@@ -1,0 +1,86 @@
+// Reward-design ablation on a single client (Table 2's Alibaba-2017):
+//   ρ sweep            response-time vs load-balance trade-off (Eq. 6)
+//   Eq. 8 sign         literal paper reward vs the corrected form
+//   energy extension   blending in the consolidation objective
+#include "bench_common.hpp"
+#include "rl/ppo.hpp"
+
+using namespace pfrl;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  env::RewardConfig reward;
+};
+
+sim::EpisodeMetrics train_and_eval(const Variant& variant, const bench::Options& opt) {
+  const core::ClientPreset preset = core::table2_clients()[1];
+  const core::FederationLayout layout = core::layout_for({&preset, 1}, opt.scale);
+  env::SchedulingEnvConfig cfg = core::make_env_config(preset, layout, opt.scale);
+  cfg.reward = variant.reward;
+
+  auto [train, test] = workload::split_train_test(
+      core::make_trace(preset, opt.scale, opt.seed), opt.scale.train_fraction);
+  env::SchedulingEnv environment(cfg, std::move(train));
+  rl::PpoConfig ppo;
+  ppo.seed = opt.seed + 5;
+  rl::PpoAgent agent(environment.state_dim(), environment.action_count(), ppo);
+  for (std::size_t e = 0; e < opt.scale.episodes; ++e) (void)agent.train_episode(environment);
+
+  environment.set_trace(std::move(test));
+  std::vector<sim::EpisodeMetrics> runs;
+  for (int r = 0; r < 3; ++r)
+    runs.push_back(agent.evaluate_sampled(environment, /*masked=*/true).metrics);
+  return sim::average_metrics(runs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::print_banner("Ablation: reward design",
+                      "ρ sweep, Eq. 8 sign, energy extension (not a paper figure)", opt);
+
+  std::vector<Variant> variants;
+  for (const double rho : {0.1, 0.5, 0.9}) {
+    Variant v;
+    v.name = "rho=" + util::TablePrinter::num(rho, 1);
+    v.reward.rho = rho;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "strict Eq.8 (literal sign)";
+    v.reward.strict_paper_reward = true;
+    variants.push_back(v);
+  }
+  for (const double ew : {0.3, 0.6}) {
+    Variant v;
+    v.name = "energy weight " + util::TablePrinter::num(ew, 1);
+    v.reward.energy_weight = ew;
+    variants.push_back(v);
+  }
+
+  util::TablePrinter table({"variant", "avg response (s)", "utilization", "load balance",
+                            "makespan (s)"});
+  auto csv = bench::maybe_csv(opt, "ablation_reward",
+                              {"variant", "response", "utilization", "load_balance"});
+  for (const Variant& v : variants) {
+    const sim::EpisodeMetrics m = train_and_eval(v, opt);
+    table.row({v.name, util::TablePrinter::num(m.avg_response_time, 2),
+               util::TablePrinter::num(m.avg_utilization, 3),
+               util::TablePrinter::num(m.avg_load_balance, 3),
+               util::TablePrinter::num(m.makespan, 2)});
+    if (csv)
+      csv->row({v.name, util::CsvWriter::field(m.avg_response_time),
+                util::CsvWriter::field(m.avg_utilization),
+                util::CsvWriter::field(m.avg_load_balance)});
+    std::printf("%s done\n", v.name.c_str());
+  }
+  std::printf("\n");
+  table.print();
+  std::printf("\nExpected: higher ρ favors response time, lower ρ favors balance; the "
+              "energy-weighted variants trade some balance for consolidation.\n");
+  return 0;
+}

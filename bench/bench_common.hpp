@@ -1,0 +1,124 @@
+// Shared plumbing for the experiment harnesses: option parsing (scaled
+// defaults, --full for paper scale), convergence-curve tables, optional
+// CSV dumps for external re-plotting.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/federation.hpp"
+#include "stats/summary.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace pfrl::bench {
+
+struct Options {
+  core::ExperimentScale scale = core::ExperimentScale::quick();
+  std::uint64_t seed = 42;
+  std::string csv_dir;     // empty -> no CSV output
+  bool full = false;       // --full: paper-scale parameters
+  std::size_t clients = 0; // 0 -> experiment default
+  std::size_t threads = 0; // 0 -> hardware concurrency
+
+  static Options parse(int argc, const char* const* argv) {
+    const util::Cli cli(argc, argv);
+    Options opt;
+    opt.full = cli.get_bool("full", false);
+    opt.scale = opt.full ? core::ExperimentScale::paper() : core::ExperimentScale::quick();
+    opt.scale.episodes = static_cast<std::size_t>(
+        cli.get_int("episodes", static_cast<std::int64_t>(opt.scale.episodes)));
+    opt.scale.tasks_per_client = static_cast<std::size_t>(
+        cli.get_int("tasks", static_cast<std::int64_t>(opt.scale.tasks_per_client)));
+    opt.scale.comm_every = static_cast<std::size_t>(
+        cli.get_int("comm-every", static_cast<std::int64_t>(opt.scale.comm_every)));
+    opt.scale.cpu_scale =
+        static_cast<int>(cli.get_int("cpu-scale", opt.scale.cpu_scale));
+    opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    opt.csv_dir = cli.get("csv", "");
+    opt.clients = static_cast<std::size_t>(cli.get_int("clients", 0));
+    opt.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+    return opt;
+  }
+};
+
+inline void print_banner(const char* experiment, const char* paper_ref, const Options& opt) {
+  std::printf("=== %s ===\n%s\n", experiment, paper_ref);
+  std::printf("scale: %zu episodes, %zu tasks/client, comm every %zu, cpu/%d%s\n\n",
+              opt.scale.episodes, opt.scale.tasks_per_client, opt.scale.comm_every,
+              opt.scale.cpu_scale, opt.full ? " [paper scale]" : "");
+}
+
+using Series = std::pair<std::string, std::vector<double>>;
+
+/// Prints several convergence curves side by side, sampled at ~`points`
+/// episodes, EMA-smoothed like the paper's reward plots.
+inline void print_series_table(const std::vector<Series>& series, std::size_t points = 12,
+                               double ema_alpha = 0.25) {
+  if (series.empty()) return;
+  std::size_t len = 0;
+  for (const Series& s : series) len = std::max(len, s.second.size());
+  if (len == 0) return;
+
+  std::vector<std::vector<double>> smoothed;
+  smoothed.reserve(series.size());
+  std::vector<std::string> header{"episode"};
+  for (const Series& s : series) {
+    smoothed.push_back(stats::ema_smooth(s.second, ema_alpha));
+    header.push_back(s.first);
+  }
+  util::TablePrinter table(std::move(header));
+  const std::size_t stride = std::max<std::size_t>(1, len / points);
+  for (std::size_t e = 0; e < len; e += stride) {
+    std::vector<std::string> row{std::to_string(e)};
+    for (const auto& s : smoothed)
+      row.push_back(e < s.size() ? util::TablePrinter::num(s[e], 2) : "-");
+    table.row(std::move(row));
+  }
+  std::vector<std::string> final_row{"final"};
+  for (const auto& s : smoothed)
+    final_row.push_back(s.empty() ? "-" : util::TablePrinter::num(s.back(), 2));
+  table.row(std::move(final_row));
+  table.print();
+}
+
+/// Opens `<csv_dir>/<name>.csv` when --csv was given (else null).
+inline std::unique_ptr<util::CsvWriter> maybe_csv(const Options& opt, const std::string& name,
+                                                  std::vector<std::string> header) {
+  if (opt.csv_dir.empty()) return nullptr;
+  return std::make_unique<util::CsvWriter>(opt.csv_dir + "/" + name + ".csv",
+                                           std::move(header));
+}
+
+/// Writes curves as long-format CSV (series,episode,value).
+inline void dump_series_csv(const Options& opt, const std::string& name,
+                            const std::vector<Series>& series) {
+  auto csv = maybe_csv(opt, name, {"series", "episode", "value"});
+  if (!csv) return;
+  for (const Series& s : series)
+    for (std::size_t e = 0; e < s.second.size(); ++e)
+      csv->row({s.first, std::to_string(e), util::CsvWriter::field(s.second[e])});
+}
+
+/// Builds a FederationConfig for an algorithm under these options.
+inline core::FederationConfig fed_config(const Options& opt, fed::FedAlgorithm algorithm) {
+  core::FederationConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.scale = opt.scale;
+  cfg.seed = opt.seed;
+  cfg.threads = opt.threads;
+  return cfg;
+}
+
+inline std::vector<core::ClientPreset> clients_or_default(
+    const Options& opt, std::vector<core::ClientPreset> defaults) {
+  if (opt.clients > 0 && opt.clients < defaults.size()) defaults.resize(opt.clients);
+  return defaults;
+}
+
+}  // namespace pfrl::bench

@@ -1,0 +1,95 @@
+// Figures 2-5 — heterogeneity of the ten workloads: requested CPU and
+// memory distributions (Figs. 2-3), hourly task arrival rates (Fig. 4),
+// and execution-time CDFs (Fig. 5).
+#include <array>
+
+#include "bench_common.hpp"
+#include "stats/ecdf.hpp"
+#include "workload/catalog.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pfrl;
+  const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::print_banner("Figs. 2-5: workload heterogeneity",
+                      "Paper: request distributions, arrival rates, runtime CDFs", opt);
+  const std::size_t n = opt.full ? 20000 : 5000;
+
+  struct DatasetSample {
+    std::string name;
+    std::vector<double> cpus, mem, durations;
+    std::array<double, 24> hourly{};
+  };
+  std::vector<DatasetSample> samples;
+
+  util::Rng rng(opt.seed);
+  for (const workload::WorkloadModel& model : workload::dataset_catalog()) {
+    const workload::Trace trace = workload::sample_trace(model, n, rng);
+    DatasetSample s;
+    s.name = model.name;
+    std::array<std::size_t, 24> counts{};
+    for (const workload::Task& t : trace) {
+      s.cpus.push_back(t.vcpus);
+      s.mem.push_back(t.memory_gb);
+      s.durations.push_back(t.duration);
+      const auto hour = static_cast<std::size_t>(t.arrival_time / model.seconds_per_hour);
+      ++counts[hour % 24];
+    }
+    const double hours_simulated =
+        trace.empty() ? 1.0 : trace.back().arrival_time / model.seconds_per_hour;
+    const double days = std::max(1.0, hours_simulated / 24.0);
+    for (std::size_t h = 0; h < 24; ++h) s.hourly[h] = static_cast<double>(counts[h]) / days;
+    samples.push_back(std::move(s));
+  }
+
+  std::printf("Figs. 2-3: requested resources per dataset (quartiles):\n");
+  {
+    util::TablePrinter table({"dataset", "cpu p25", "cpu p50", "cpu p95", "mem p25 (GB)",
+                              "mem p50 (GB)", "mem p95 (GB)"});
+    for (const DatasetSample& s : samples) {
+      std::vector<double> cpu = s.cpus, mem = s.mem;
+      std::sort(cpu.begin(), cpu.end());
+      std::sort(mem.begin(), mem.end());
+      table.row({s.name, util::TablePrinter::num(stats::quantile_sorted(cpu, 0.25), 1),
+                 util::TablePrinter::num(stats::quantile_sorted(cpu, 0.50), 1),
+                 util::TablePrinter::num(stats::quantile_sorted(cpu, 0.95), 1),
+                 util::TablePrinter::num(stats::quantile_sorted(mem, 0.25), 1),
+                 util::TablePrinter::num(stats::quantile_sorted(mem, 0.50), 1),
+                 util::TablePrinter::num(stats::quantile_sorted(mem, 0.95), 1)});
+    }
+    table.print();
+  }
+
+  std::printf("\nFig. 4: mean hourly arrival rates (tasks/hour at hours 0/6/12/14/18/22):\n");
+  {
+    util::TablePrinter table({"dataset", "h0", "h6", "h12", "h14", "h18", "h22"});
+    for (const DatasetSample& s : samples)
+      table.row({s.name, util::TablePrinter::num(s.hourly[0], 1),
+                 util::TablePrinter::num(s.hourly[6], 1),
+                 util::TablePrinter::num(s.hourly[12], 1),
+                 util::TablePrinter::num(s.hourly[14], 1),
+                 util::TablePrinter::num(s.hourly[18], 1),
+                 util::TablePrinter::num(s.hourly[22], 1)});
+    table.print();
+  }
+
+  std::printf("\nFig. 5: execution-time CDF — duration (s) reached at F(x):\n");
+  {
+    util::TablePrinter table({"dataset", "F=0.25", "F=0.5", "F=0.75", "F=0.9", "F=0.99"});
+    for (const DatasetSample& s : samples) {
+      std::vector<double> d = s.durations;
+      std::sort(d.begin(), d.end());
+      table.row({s.name, util::TablePrinter::num(stats::quantile_sorted(d, 0.25), 0),
+                 util::TablePrinter::num(stats::quantile_sorted(d, 0.50), 0),
+                 util::TablePrinter::num(stats::quantile_sorted(d, 0.75), 0),
+                 util::TablePrinter::num(stats::quantile_sorted(d, 0.90), 0),
+                 util::TablePrinter::num(stats::quantile_sorted(d, 0.99), 0)});
+    }
+    table.print();
+  }
+
+  if (auto csv = bench::maybe_csv(opt, "fig02_05_durations", {"dataset", "duration"})) {
+    for (const DatasetSample& s : samples)
+      for (const double d : s.durations) csv->row({s.name, util::CsvWriter::field(d)});
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 15 — the headline convergence comparison on the Table 3
+// ten-client setup: PFRL-DM vs FedAvg vs MFPO vs independent PPO, plus
+// the communication-cost note of §5.2 (PFRL-DM ships only the public
+// critic; FedAvg/MFPO ship actor + critic).
+#include "bench_common.hpp"
+
+using namespace pfrl;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::print_banner("Fig. 15: convergence of the four algorithms",
+                      "Paper: §5.2 — PFRL-DM converges fastest and highest", opt);
+
+  const auto clients = bench::clients_or_default(opt, core::table3_clients());
+  std::printf("clients: %zu\n\n", clients.size());
+
+  std::vector<bench::Series> curves;
+  util::TablePrinter comm({"algorithm", "rounds", "uplink KiB", "downlink KiB",
+                           "final mean reward"});
+  for (const fed::FedAlgorithm alg :
+       {fed::FedAlgorithm::kPfrlDm, fed::FedAlgorithm::kFedAvg, fed::FedAlgorithm::kMfpo,
+        fed::FedAlgorithm::kIndependent}) {
+    util::Stopwatch watch;
+    core::Federation federation(clients, bench::fed_config(opt, alg));
+    const fed::TrainingHistory history = federation.train();
+    const std::vector<double> curve = history.mean_reward_curve();
+    std::printf("%s trained in %.1fs\n", fed::algorithm_name(alg).c_str(), watch.seconds());
+    comm.row({fed::algorithm_name(alg), std::to_string(history.rounds),
+              util::TablePrinter::num(static_cast<double>(history.uplink_bytes) / 1024.0, 1),
+              util::TablePrinter::num(static_cast<double>(history.downlink_bytes) / 1024.0, 1),
+              util::TablePrinter::num(curve.empty() ? 0.0 : curve.back(), 2)});
+    curves.emplace_back(fed::algorithm_name(alg), curve);
+  }
+
+  std::printf("\nMean reward across clients (EMA-smoothed):\n");
+  bench::print_series_table(curves);
+  std::printf("\nCommunication and final performance:\n");
+  comm.print();
+  bench::dump_series_csv(opt, "fig15", curves);
+  std::printf("\nPaper shape: PFRL-DM above MFPO above FedAvg; PFRL-DM's uplink is a "
+              "fraction of FedAvg's (critic-only payloads).\n");
+  return 0;
+}

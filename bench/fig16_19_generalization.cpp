@@ -1,0 +1,104 @@
+// Figures 16-19 + Table 4 — generalization to hybrid workloads: every
+// client keeps 20% of its own test tasks and receives 80% drawn from the
+// other clients' datasets; the four §5.1 metrics are reported per
+// algorithm (distribution across clients), followed by the pair-wise
+// Wilcoxon signed-rank tests of Table 4.
+#include <map>
+
+#include "bench_common.hpp"
+#include "stats/wilcoxon.hpp"
+
+using namespace pfrl;
+
+namespace {
+
+struct MetricVectors {
+  std::vector<double> response, makespan, utilization, load_balance;
+};
+
+constexpr std::array<fed::FedAlgorithm, 4> kAlgorithms{
+    fed::FedAlgorithm::kPfrlDm, fed::FedAlgorithm::kFedAvg, fed::FedAlgorithm::kMfpo,
+    fed::FedAlgorithm::kIndependent};
+
+void print_metric_figure(const char* title, const char* metric_key,
+                         const std::map<fed::FedAlgorithm, MetricVectors>& results,
+                         std::vector<double> MetricVectors::*member, int precision,
+                         util::CsvWriter* csv) {
+  std::printf("\n%s\n", title);
+  util::TablePrinter table({"algorithm", "mean", "median", "q25", "q75", "min", "max"});
+  for (const fed::FedAlgorithm alg : kAlgorithms) {
+    const std::vector<double>& v = results.at(alg).*member;
+    const stats::Summary s = stats::summarize(v);
+    table.row({fed::algorithm_name(alg), util::TablePrinter::num(s.mean, precision),
+               util::TablePrinter::num(s.median, precision),
+               util::TablePrinter::num(s.q25, precision),
+               util::TablePrinter::num(s.q75, precision),
+               util::TablePrinter::num(s.min, precision),
+               util::TablePrinter::num(s.max, precision)});
+    if (csv)
+      for (std::size_t i = 0; i < v.size(); ++i)
+        csv->row({metric_key, fed::algorithm_name(alg), std::to_string(i),
+                  util::CsvWriter::field(v[i])});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::print_banner("Figs. 16-19 + Table 4: hybrid-workload generalization",
+                      "Paper: §5.3 — per-client metric distributions + Wilcoxon tests", opt);
+
+  const auto clients = bench::clients_or_default(opt, core::table3_clients());
+  std::map<fed::FedAlgorithm, MetricVectors> results;
+
+  for (const fed::FedAlgorithm alg : kAlgorithms) {
+    core::Federation federation(clients, bench::fed_config(opt, alg));
+    (void)federation.train();
+    MetricVectors v;
+    for (const core::EvalResult& r : federation.evaluate_on_hybrid(0.2)) {
+      v.response.push_back(r.metrics.avg_response_time);
+      v.makespan.push_back(r.metrics.makespan);
+      v.utilization.push_back(r.metrics.avg_utilization);
+      v.load_balance.push_back(r.metrics.avg_load_balance);
+    }
+    results.emplace(alg, std::move(v));
+    std::printf("%s trained + evaluated\n", fed::algorithm_name(alg).c_str());
+  }
+
+  auto csv = bench::maybe_csv(opt, "fig16_19", {"metric", "algorithm", "client", "value"});
+  print_metric_figure("Fig. 16: average response time (s) across clients", "response",
+                      results, &MetricVectors::response, 2, csv.get());
+  print_metric_figure("Fig. 17: average makespan (s) across clients", "makespan", results,
+                      &MetricVectors::makespan, 2, csv.get());
+  print_metric_figure("Fig. 18: average resource utilization across clients", "utilization",
+                      results, &MetricVectors::utilization, 3, csv.get());
+  print_metric_figure("Fig. 19: average load balancing across clients (lower = better)",
+                      "load_balance", results, &MetricVectors::load_balance, 3, csv.get());
+
+  std::printf("\nTable 4: pair-wise Wilcoxon signed-rank p-values, PFRL-DM vs others:\n");
+  util::TablePrinter table4({"metric", "vs FedAvg", "vs MFPO", "vs PPO"});
+  const auto row_for = [&](const char* name, std::vector<double> MetricVectors::*member) {
+    std::vector<std::string> row{name};
+    for (const fed::FedAlgorithm other :
+         {fed::FedAlgorithm::kFedAvg, fed::FedAlgorithm::kMfpo,
+          fed::FedAlgorithm::kIndependent}) {
+      const stats::WilcoxonResult r = stats::wilcoxon_signed_rank(
+          results.at(fed::FedAlgorithm::kPfrlDm).*member, results.at(other).*member);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3g", r.p_value);
+      row.push_back(buf);
+    }
+    table4.row(std::move(row));
+  };
+  row_for("Average response", &MetricVectors::response);
+  row_for("Average makespan", &MetricVectors::makespan);
+  row_for("Average resource utilization", &MetricVectors::utilization);
+  row_for("Average load balancing", &MetricVectors::load_balance);
+  table4.print();
+  std::printf("\nPaper shape: PFRL-DM leads the response/makespan/load-balance "
+              "distributions and the utilization; p-values small (the paper reports "
+              "1.93e-3 uniformly for its 10 clients).\n");
+  return 0;
+}

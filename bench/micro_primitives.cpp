@@ -1,0 +1,187 @@
+// Microbenchmarks of the perf-critical primitives: environment stepping,
+// NN forward/backward, PPO updates, aggregation, and the wire format.
+#include <benchmark/benchmark.h>
+
+#include "core/presets.hpp"
+#include "fed/attention_aggregator.hpp"
+#include "fed/fedavg.hpp"
+#include "nn/adam.hpp"
+#include "nn/mlp.hpp"
+#include "rl/ppo.hpp"
+#include "stats/wilcoxon.hpp"
+#include "util/serialization.hpp"
+
+namespace {
+
+using namespace pfrl;
+
+env::SchedulingEnvConfig bench_env_config() {
+  const auto presets = core::table2_clients();
+  const core::ExperimentScale scale = core::ExperimentScale::quick();
+  return core::make_env_config(presets[0], core::layout_for(presets, scale), scale);
+}
+
+workload::Trace bench_trace(std::size_t tasks) {
+  core::ExperimentScale scale = core::ExperimentScale::quick();
+  scale.tasks_per_client = tasks;
+  return core::make_trace(core::table2_clients()[0], scale, 17);
+}
+
+void BM_EnvStepRandomPolicy(benchmark::State& state) {
+  env::SchedulingEnv environment(bench_env_config(), bench_trace(200));
+  util::Rng rng(1);
+  for (auto _ : state) {
+    const int action = static_cast<int>(rng.uniform_int(0, environment.action_count() - 1));
+    const env::StepResult r = environment.step(action);
+    if (r.done) environment.reset();
+    benchmark::DoNotOptimize(r.reward);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EnvStepRandomPolicy);
+
+void BM_EnvObserve(benchmark::State& state) {
+  env::SchedulingEnv environment(bench_env_config(), bench_trace(200));
+  std::vector<float> buffer(environment.state_dim());
+  for (auto _ : state) {
+    environment.observe(buffer);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buffer.size() * sizeof(float)));
+}
+BENCHMARK(BM_EnvObserve);
+
+void BM_MlpForward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  nn::Mlp net(100, {64}, 9, rng);
+  nn::Matrix x(batch, 100);
+  for (float& v : x.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto _ : state) {
+    nn::Matrix y = net.forward(x);
+    benchmark::DoNotOptimize(y.flat().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_MlpForward)->Arg(1)->Arg(64)->Arg(512);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  nn::Mlp net(100, {64}, 9, rng);
+  nn::Matrix x(batch, 100);
+  for (float& v : x.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  nn::Matrix g(batch, 9, 0.01F);
+  for (auto _ : state) {
+    net.zero_grad();
+    nn::Matrix y = net.forward(x);
+    nn::Matrix gi = net.backward(g);
+    benchmark::DoNotOptimize(gi.flat().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_MlpForwardBackward)->Arg(64)->Arg(512);
+
+void BM_AdamStep(benchmark::State& state) {
+  util::Rng rng(4);
+  nn::Mlp net(100, {64}, 9, rng);
+  nn::Adam opt(net.params(), nn::AdamConfig{});
+  for (nn::Param* p : net.params())
+    for (float& gval : p->grad.flat()) gval = static_cast<float>(rng.uniform(-0.1, 0.1));
+  for (auto _ : state) opt.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.param_count()));
+}
+BENCHMARK(BM_AdamStep);
+
+void BM_PpoTrainEpisode(benchmark::State& state) {
+  env::SchedulingEnv environment(bench_env_config(), bench_trace(60));
+  rl::PpoConfig cfg;
+  cfg.seed = 5;
+  rl::PpoAgent agent(environment.state_dim(), environment.action_count(), cfg);
+  for (auto _ : state) {
+    const rl::EpisodeStats s = agent.train_episode(environment);
+    benchmark::DoNotOptimize(s.total_reward);
+  }
+}
+BENCHMARK(BM_PpoTrainEpisode)->Unit(benchmark::kMillisecond);
+
+void BM_AttentionAggregate(benchmark::State& state) {
+  const auto clients = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(6);
+  const std::size_t p = 64 * 100 + 64 + 64 + 1;  // critic-sized vectors
+  fed::AggregationInput input;
+  input.models = nn::Matrix(clients, p);
+  for (float& v : input.models.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (std::size_t i = 0; i < clients; ++i) input.client_ids.push_back(static_cast<int>(i));
+  fed::AttentionAggregator agg;
+  for (auto _ : state) {
+    fed::AggregationOutput out = agg.aggregate(input);
+    benchmark::DoNotOptimize(out.global_model.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(clients));
+}
+BENCHMARK(BM_AttentionAggregate)->Arg(4)->Arg(10)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_FedAvgAggregate(benchmark::State& state) {
+  const auto clients = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  const std::size_t p = 64 * 100 + 64 + 64 + 1;
+  fed::AggregationInput input;
+  input.models = nn::Matrix(clients, p);
+  for (float& v : input.models.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (std::size_t i = 0; i < clients; ++i) input.client_ids.push_back(static_cast<int>(i));
+  fed::FedAvgAggregator agg;
+  for (auto _ : state) {
+    fed::AggregationOutput out = agg.aggregate(input);
+    benchmark::DoNotOptimize(out.global_model.data());
+  }
+}
+BENCHMARK(BM_FedAvgAggregate)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_ModelSerializeRoundTrip(benchmark::State& state) {
+  util::Rng rng(8);
+  nn::Mlp net(100, {64}, 1, rng);
+  for (auto _ : state) {
+    util::ByteWriter w;
+    net.serialize(w);
+    util::ByteReader r(w.bytes());
+    net.deserialize(r);
+    benchmark::DoNotOptimize(w.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.param_count() * sizeof(float)));
+}
+BENCHMARK(BM_ModelSerializeRoundTrip);
+
+void BM_WilcoxonExact(benchmark::State& state) {
+  util::Rng rng(9);
+  std::vector<double> a(20);
+  std::vector<double> b(20);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.normal(0, 1);
+    b[i] = a[i] + rng.normal(0.5, 0.5);
+  }
+  for (auto _ : state) {
+    const stats::WilcoxonResult r = stats::wilcoxon_signed_rank(a, b);
+    benchmark::DoNotOptimize(r.p_value);
+  }
+}
+BENCHMARK(BM_WilcoxonExact);
+
+void BM_TraceSampling(benchmark::State& state) {
+  const workload::WorkloadModel& model = workload::dataset_model(workload::DatasetId::kGoogle);
+  util::Rng rng(10);
+  for (auto _ : state) {
+    workload::Trace t = workload::sample_trace(model, 3500, rng);
+    benchmark::DoNotOptimize(t.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 3500);
+}
+BENCHMARK(BM_TraceSampling)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,49 @@
+// Table 1 — machine specifications of the source clusters — plus the
+// synthetic workload-model parameters standing in for each dataset and
+// the client environments of Tables 2 and 3.
+#include "bench_common.hpp"
+#include "workload/catalog.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pfrl;
+  const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::print_banner("Table 1: machine specifications",
+                      "Paper: Table 1 (+ Tables 2-3 client settings)", opt);
+
+  {
+    util::TablePrinter table({"dataset", "#CPUs", "Mem (GiB)", "#Nodes", "platform"});
+    for (const workload::Table1Row& row : workload::table1_machine_specs())
+      table.row({row.dataset, row.cpus, row.memory_gib, std::to_string(row.nodes),
+                 row.platform});
+    table.print();
+  }
+
+  std::printf("\nSynthetic workload models standing in for the datasets:\n");
+  {
+    util::TablePrinter table(
+        {"dataset", "vCPU request", "memory request (GB)", "duration (s)", "arrivals/h"});
+    for (const workload::WorkloadModel& m : workload::dataset_catalog())
+      table.row({m.name, m.vcpu_request.describe(), m.memory_request.describe(),
+                 m.duration.describe(), util::TablePrinter::num(m.arrivals_per_hour, 0)});
+    table.print();
+  }
+
+  const auto print_clients = [](const char* title,
+                                const std::vector<core::ClientPreset>& clients) {
+    std::printf("\n%s\n", title);
+    util::TablePrinter table({"client", "machine specs (CPU,Mem,Count)", "dataset"});
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      std::string specs;
+      for (const sim::MachineSpec& s : clients[i].specs)
+        specs += "(" + std::to_string(s.vcpus) + "," +
+                 std::to_string(static_cast<int>(s.memory_gb)) + "," +
+                 std::to_string(s.count) + ") ";
+      table.row({"Client " + std::to_string(i + 1), specs,
+                 workload::dataset_name(clients[i].dataset)});
+    }
+    table.print();
+  };
+  print_clients("Table 2: observation-experiment clients:", core::table2_clients());
+  print_clients("Table 3: evaluation clients:", core::table3_clients());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Classical heuristics (first-fit, best-fit, worst-fit, round-robin,
+// random) versus a trained PPO scheduler on the same environment and
+// test workload — the sanity anchor for everything else in this repo.
+//
+//   ./heuristic_vs_rl [--episodes N] [--tasks N] [--seed S]
+#include <cstdio>
+
+#include "core/presets.hpp"
+#include "env/heuristic_policies.hpp"
+#include "rl/ppo.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pfrl;
+  const util::Cli cli(argc, argv);
+
+  core::ExperimentScale scale = core::ExperimentScale::quick();
+  scale.episodes = static_cast<std::size_t>(cli.get_int("episodes", 60));
+  scale.tasks_per_client = static_cast<std::size_t>(cli.get_int("tasks", 150));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 21));
+
+  const core::ClientPreset preset = core::table2_clients()[1];  // Alibaba-2017
+  const core::FederationLayout layout = core::layout_for({&preset, 1}, scale);
+  const workload::Trace full = core::make_trace(preset, scale, seed);
+  auto [train, test] = workload::split_train_test(full, scale.train_fraction);
+
+  env::SchedulingEnv environment(core::make_env_config(preset, layout, scale), train);
+
+  std::printf("Training PPO for %zu episodes on %zu %s tasks...\n", scale.episodes,
+              train.size(), workload::dataset_name(preset.dataset).c_str());
+  rl::PpoConfig ppo;
+  ppo.seed = seed;
+  rl::PpoAgent agent(environment.state_dim(), environment.action_count(), ppo);
+  for (std::size_t e = 0; e < scale.episodes; ++e) (void)agent.train_episode(environment);
+
+  util::TablePrinter table(
+      {"scheduler", "avg response (s)", "makespan (s)", "utilization", "load balance"});
+
+  environment.set_trace(test);
+  const rl::EpisodeStats ppo_eval = agent.evaluate(environment);
+  table.row({"PPO (trained)", util::TablePrinter::num(ppo_eval.metrics.avg_response_time, 2),
+             util::TablePrinter::num(ppo_eval.metrics.makespan, 2),
+             util::TablePrinter::num(ppo_eval.metrics.avg_utilization, 3),
+             util::TablePrinter::num(ppo_eval.metrics.avg_load_balance, 3)});
+
+  for (const env::HeuristicPolicy policy :
+       {env::HeuristicPolicy::kFirstFit, env::HeuristicPolicy::kBestFit,
+        env::HeuristicPolicy::kWorstFit, env::HeuristicPolicy::kRoundRobin,
+        env::HeuristicPolicy::kRandom}) {
+    env::HeuristicScheduler sched(policy, seed);
+    const sim::EpisodeMetrics m = sched.run_episode(environment);
+    table.row({heuristic_name(policy), util::TablePrinter::num(m.avg_response_time, 2),
+               util::TablePrinter::num(m.makespan, 2),
+               util::TablePrinter::num(m.avg_utilization, 3),
+               util::TablePrinter::num(m.avg_load_balance, 3)});
+  }
+
+  std::printf("\nEvaluation on the held-out test split (%zu tasks):\n", test.size());
+  table.print();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a single cloud-scheduling environment from a preset,
+// train one PPO agent on it, and report the §5.1 metrics on the held-out
+// test split.
+//
+//   ./quickstart [--episodes N] [--tasks N] [--seed S]
+#include <cstdio>
+
+#include "core/presets.hpp"
+#include "rl/ppo.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pfrl;
+  const util::Cli cli(argc, argv);
+
+  core::ExperimentScale scale = core::ExperimentScale::quick();
+  scale.episodes = static_cast<std::size_t>(cli.get_int("episodes", 30));
+  scale.tasks_per_client = static_cast<std::size_t>(cli.get_int("tasks", 100));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+
+  // Client 1 of Table 2: Google workload on a small mixed cluster.
+  const core::ClientPreset preset = core::table2_clients().front();
+  const core::FederationLayout layout = core::layout_for({&preset, 1}, scale);
+
+  const workload::Trace full = core::make_trace(preset, scale, seed);
+  auto [train, test] = workload::split_train_test(full, scale.train_fraction);
+  std::printf("Sampled %zu tasks from the %s model (%zu train / %zu test)\n", full.size(),
+              workload::dataset_name(preset.dataset).c_str(), train.size(), test.size());
+
+  env::SchedulingEnv environment(core::make_env_config(preset, layout, scale), train);
+  std::printf("Environment: %zu VMs, state dim %zu, %d actions\n",
+              environment.cluster().vm_count(), environment.state_dim(),
+              environment.action_count());
+
+  rl::PpoConfig ppo;
+  ppo.seed = seed;
+  rl::PpoAgent agent(environment.state_dim(), environment.action_count(), ppo);
+
+  std::printf("\nTraining %zu episodes...\n", scale.episodes);
+  for (std::size_t e = 0; e < scale.episodes; ++e) {
+    const rl::EpisodeStats stats = agent.train_episode(environment);
+    if (e % 5 == 0 || e + 1 == scale.episodes)
+      std::printf(
+          "  episode %3zu  reward %9.2f  avg-response %7.2f s  util %4.1f%%  "
+          "steps %4zu inval %4zu lazy %3zu\n",
+          e, stats.total_reward, stats.metrics.avg_response_time,
+          100.0 * stats.metrics.avg_utilization, stats.metrics.steps,
+          stats.metrics.invalid_actions, stats.metrics.lazy_noops);
+  }
+
+  environment.set_trace(test);
+  const rl::EpisodeStats eval = agent.evaluate(environment);
+
+  util::TablePrinter table({"metric", "value"});
+  table.row({"avg response time (s)", util::TablePrinter::num(eval.metrics.avg_response_time, 2)});
+  table.row({"makespan (s)", util::TablePrinter::num(eval.metrics.makespan, 2)});
+  table.row({"avg utilization", util::TablePrinter::num(eval.metrics.avg_utilization, 3)});
+  table.row({"avg load balance", util::TablePrinter::num(eval.metrics.avg_load_balance, 3)});
+  table.row({"completed tasks", std::to_string(eval.metrics.completed_tasks)});
+  std::printf("\nGreedy evaluation on the held-out test split:\n");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/serialization.hpp"
+
+namespace pfrl::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4C524650;  // "PFRL"
+constexpr std::uint32_t kVersion = 1;
+
+enum class AgentKind : std::uint8_t { kPpo = 0, kDualCritic = 1 };
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("checkpoint: cannot open for writing: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("checkpoint: write failed: " + path);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("checkpoint: cannot open for reading: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw std::runtime_error("checkpoint: read failed: " + path);
+  return bytes;
+}
+
+}  // namespace
+
+void save_agent(rl::PpoAgent& agent, const std::string& path) {
+  util::ByteWriter w;
+  w.write_u32(kMagic);
+  w.write_u32(kVersion);
+  auto* dual = dynamic_cast<rl::DualCriticPpoAgent*>(&agent);
+  w.write_u8(static_cast<std::uint8_t>(dual ? AgentKind::kDualCritic : AgentKind::kPpo));
+  agent.actor().serialize(w);
+  agent.critic().serialize(w);
+  if (dual) dual->public_critic().serialize(w);
+  write_file(path, w.bytes());
+}
+
+void load_agent(rl::PpoAgent& agent, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  util::ByteReader r(bytes);
+  if (r.read_u32() != kMagic) throw std::invalid_argument("checkpoint: bad magic in " + path);
+  if (r.read_u32() != kVersion)
+    throw std::invalid_argument("checkpoint: unsupported version in " + path);
+  const auto kind = static_cast<AgentKind>(r.read_u8());
+  auto* dual = dynamic_cast<rl::DualCriticPpoAgent*>(&agent);
+  if ((kind == AgentKind::kDualCritic) != (dual != nullptr))
+    throw std::invalid_argument("checkpoint: agent kind mismatch in " + path);
+  agent.actor().deserialize(r);
+  agent.critic().deserialize(r);
+  if (dual) dual->public_critic().deserialize(r);
+  if (!r.exhausted()) throw std::invalid_argument("checkpoint: trailing bytes in " + path);
+}
+
+void save_federation(fed::FedTrainer& trainer, const std::string& directory) {
+  std::filesystem::create_directories(directory);
+  for (std::size_t i = 0; i < trainer.client_count(); ++i)
+    save_agent(trainer.client(i).agent(),
+               directory + "/client_" + std::to_string(i) + ".ckpt");
+  if (fed::FedServer* server = trainer.server(); server && server->has_global_model()) {
+    util::ByteWriter w;
+    w.write_u32(kMagic);
+    w.write_u32(kVersion);
+    w.write_f32_span(server->global_model());
+    write_file(directory + "/server.ckpt", w.bytes());
+  }
+}
+
+void load_federation(fed::FedTrainer& trainer, const std::string& directory) {
+  for (std::size_t i = 0; i < trainer.client_count(); ++i)
+    load_agent(trainer.client(i).agent(),
+               directory + "/client_" + std::to_string(i) + ".ckpt");
+  const std::string server_path = directory + "/server.ckpt";
+  if (fed::FedServer* server = trainer.server();
+      server && std::filesystem::exists(server_path)) {
+    const std::vector<std::uint8_t> bytes = read_file(server_path);
+    util::ByteReader r(bytes);
+    if (r.read_u32() != kMagic || r.read_u32() != kVersion)
+      throw std::invalid_argument("checkpoint: bad server checkpoint");
+    server->set_global_model(r.read_f32_vector());
+  }
+}
+
+}  // namespace pfrl::core

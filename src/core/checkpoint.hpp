@@ -1,0 +1,32 @@
+// Model persistence: save/restore trained agents and whole federations.
+//
+// Format: little-endian magic 'PFRL' + version + agent kind tag +
+// the networks' serialized parameters (actor, critic, and — for the
+// dual-critic agent — the public critic). Architecture is validated on
+// load: a checkpoint only restores into an identically shaped agent.
+#pragma once
+
+#include <string>
+
+#include "fed/trainer.hpp"
+#include "rl/dual_critic_ppo.hpp"
+
+namespace pfrl::core {
+
+/// Writes the agent's parameters to `path` (overwrites).
+void save_agent(rl::PpoAgent& agent, const std::string& path);
+
+/// Restores parameters saved by save_agent into an architecture-identical
+/// agent. Throws std::runtime_error on I/O failure and
+/// std::invalid_argument on format/architecture mismatch.
+void load_agent(rl::PpoAgent& agent, const std::string& path);
+
+/// Saves every client's agent (client_<i>.ckpt) plus the server's global
+/// model (server.ckpt, if any) under `directory` (created if missing).
+void save_federation(fed::FedTrainer& trainer, const std::string& directory);
+
+/// Restores a federation previously saved with save_federation. The
+/// trainer must have been constructed with the same clients/algorithm.
+void load_federation(fed::FedTrainer& trainer, const std::string& directory);
+
+}  // namespace pfrl::core

@@ -1,0 +1,143 @@
+#include "core/federation.hpp"
+
+#include <algorithm>
+
+#include <stdexcept>
+
+namespace pfrl::core {
+
+std::unique_ptr<fed::Aggregator> make_aggregator(const FederationConfig& config) {
+  switch (config.algorithm) {
+    case fed::FedAlgorithm::kIndependent: return nullptr;
+    case fed::FedAlgorithm::kFedAvg:
+    case fed::FedAlgorithm::kFedProx:  // regularization happens client-side
+    case fed::FedAlgorithm::kFedKl:
+      return std::make_unique<fed::FedAvgAggregator>();
+    case fed::FedAlgorithm::kMfpo: return std::make_unique<fed::MfpoAggregator>(config.mfpo);
+    case fed::FedAlgorithm::kPfrlDm:
+      return std::make_unique<fed::AttentionAggregator>(config.attention);
+  }
+  throw std::invalid_argument("make_aggregator: unknown algorithm");
+}
+
+Federation::Federation(std::vector<ClientPreset> presets, FederationConfig config)
+    : config_(std::move(config)), presets_(std::move(presets)) {
+  if (presets_.empty()) throw std::invalid_argument("Federation: no clients");
+  layout_ = layout_for(presets_, config_.scale);
+
+  std::vector<std::unique_ptr<fed::FedClient>> clients;
+  clients.reserve(presets_.size());
+  test_traces_.reserve(presets_.size());
+  util::Rng seed_rng(config_.seed);
+  for (std::size_t i = 0; i < presets_.size(); ++i) {
+    const workload::Trace full =
+        make_trace(presets_[i], config_.scale, seed_rng.next_u64());
+    auto [train, test] = workload::split_train_test(full, config_.scale.train_fraction);
+    test_traces_.push_back(std::move(test));
+    clients.push_back(build_client(static_cast<int>(i), presets_[i], std::move(train)));
+  }
+
+  fed::FedTrainerConfig trainer_cfg;
+  trainer_cfg.total_episodes = config_.scale.episodes;
+  trainer_cfg.comm_every = config_.scale.comm_every;
+  trainer_cfg.participants_per_round =
+      config_.participants_per_round == 0 ? (presets_.size() + 1) / 2
+                                          : config_.participants_per_round;
+  trainer_cfg.seed = config_.seed ^ 0xFEDFEDFEDULL;
+  trainer_cfg.threads = config_.threads;
+  trainer_ = std::make_unique<fed::FedTrainer>(trainer_cfg, make_aggregator(config_),
+                                               std::move(clients));
+}
+
+std::unique_ptr<fed::FedClient> Federation::build_client(int id, const ClientPreset& preset,
+                                                         workload::Trace train_trace) {
+  env::SchedulingEnvConfig env_cfg = make_env_config(preset, layout_, config_.scale);
+  env_cfg.reward.rho = config_.rho;
+  env_cfg.reward.strict_paper_reward = config_.strict_paper_reward;
+  env_cfg.reward.energy_weight = config_.energy_weight;
+
+  fed::FedClientConfig client_cfg;
+  client_cfg.id = id;
+  client_cfg.algorithm = config_.algorithm;
+  client_cfg.ppo = config_.ppo;
+  client_cfg.fedprox_mu = config_.fedprox_mu;
+  client_cfg.fedkl_beta = config_.fedkl_beta;
+  client_cfg.ppo.seed = config_.seed + static_cast<std::uint64_t>(id) * 0x9E3779B9ULL + 1;
+  return std::make_unique<fed::FedClient>(client_cfg, std::move(env_cfg),
+                                          std::move(train_trace));
+}
+
+fed::TrainingHistory Federation::train() { return trainer_->run(); }
+
+namespace {
+sim::EpisodeMetrics run_eval(fed::FedClient& client, workload::Trace trace,
+                             const EvalOptions& options) {
+  if (options.sampled)
+    return client.evaluate_on_sampled(std::move(trace), std::max<std::size_t>(1, options.rollouts));
+  return client.evaluate_on(std::move(trace)).metrics;
+}
+}  // namespace
+
+std::vector<EvalResult> Federation::evaluate_on_test_splits(const EvalOptions& options) {
+  std::vector<EvalResult> results;
+  results.reserve(presets_.size());
+  for (std::size_t i = 0; i < presets_.size(); ++i) {
+    EvalResult r;
+    r.client_id = static_cast<int>(i);
+    r.metrics = run_eval(trainer_->client(i), test_traces_[i], options);
+    results.push_back(r);
+  }
+  return results;
+}
+
+std::vector<EvalResult> Federation::evaluate_on_hybrid(double keep_fraction,
+                                                       const EvalOptions& options) {
+  util::Rng rng(config_.seed ^ 0xA5A5A5A5ULL);
+  std::vector<EvalResult> results;
+  results.reserve(presets_.size());
+  for (std::size_t i = 0; i < presets_.size(); ++i) {
+    std::vector<workload::Trace> others;
+    others.reserve(presets_.size() - 1);
+    for (std::size_t j = 0; j < presets_.size(); ++j)
+      if (j != i) others.push_back(test_traces_[j]);
+    workload::Trace mixed =
+        workload::hybrid_mix(test_traces_[i], others, keep_fraction, rng);
+    // Donated tasks were sized for *their* cluster; clamp them to this
+    // client's machines (as admission control would), or the FIFO head
+    // could block on a request no local VM can ever satisfy.
+    const sim::MachineSpecs scaled =
+        sim::scale_vcpus(presets_[i].specs, config_.scale.cpu_scale);
+    int max_vcpus = 1;
+    double max_mem = 1.0;
+    for (const sim::MachineSpec& s : scaled) {
+      max_vcpus = std::max(max_vcpus, s.vcpus);
+      max_mem = std::max(max_mem, s.memory_gb);
+    }
+    for (workload::Task& t : mixed) {
+      t.vcpus = std::min(t.vcpus, max_vcpus);
+      t.memory_gb = std::min(t.memory_gb, max_mem);
+    }
+    EvalResult r;
+    r.client_id = static_cast<int>(i);
+    r.metrics = run_eval(trainer_->client(i), std::move(mixed), options);
+    results.push_back(r);
+  }
+  return results;
+}
+
+std::size_t Federation::add_client(const ClientPreset& preset) {
+  // Task requests are clamped to this client's machines, but the shared
+  // observation layout must already cover it.
+  const sim::MachineSpecs scaled = sim::scale_vcpus(preset.specs, config_.scale.cpu_scale);
+  if (static_cast<std::size_t>(sim::total_vms(scaled)) > layout_.max_vms)
+    throw std::invalid_argument("add_client: preset exceeds federation layout");
+  util::Rng rng(config_.seed + presets_.size() * 7919 + 13);
+  const workload::Trace full = make_trace(preset, config_.scale, rng.next_u64());
+  auto [train, test] = workload::split_train_test(full, config_.scale.train_fraction);
+  test_traces_.push_back(std::move(test));
+  presets_.push_back(preset);
+  return trainer_->add_client(
+      build_client(static_cast<int>(presets_.size()) - 1, preset, std::move(train)));
+}
+
+}  // namespace pfrl::core

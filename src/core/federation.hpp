@@ -1,0 +1,97 @@
+// The top-level public API: build a federation of cloud-scheduling
+// clients from presets and train it with PFRL-DM or any baseline.
+//
+//   using namespace pfrl;
+//   core::FederationConfig cfg;
+//   cfg.algorithm = fed::FedAlgorithm::kPfrlDm;
+//   core::Federation federation(core::table3_clients(), cfg);
+//   fed::TrainingHistory history = federation.train();
+//
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/presets.hpp"
+#include "fed/attention_aggregator.hpp"
+#include "fed/fedavg.hpp"
+#include "fed/mfpo.hpp"
+#include "fed/trainer.hpp"
+#include "stats/summary.hpp"
+
+namespace pfrl::core {
+
+struct FederationConfig {
+  fed::FedAlgorithm algorithm = fed::FedAlgorithm::kPfrlDm;
+  ExperimentScale scale = ExperimentScale::quick();
+  rl::PpoConfig ppo;
+  /// Participants per round; 0 = N/2 rounded up (the paper's K = N/2).
+  std::size_t participants_per_round = 0;
+  std::uint64_t seed = 42;
+  std::size_t threads = 0;
+  nn::MultiHeadAttentionConfig attention;
+  fed::MfpoConfig mfpo;
+  float fedprox_mu = 0.01F;  // kFedProx proximal strength
+  float fedkl_beta = 0.5F;   // kFedKl KL-penalty strength
+  double rho = 0.5;                  // reward mix (Eq. 6)
+  bool strict_paper_reward = false;  // Eq. 8 literal sign
+  double energy_weight = 0.0;        // energy-objective extension (0 = paper)
+};
+
+/// Builds the aggregator matching `algorithm` (null for independent PPO).
+std::unique_ptr<fed::Aggregator> make_aggregator(const FederationConfig& config);
+
+/// Per-client evaluation outcome on a test trace.
+struct EvalResult {
+  int client_id = 0;
+  sim::EpisodeMetrics metrics;
+};
+
+/// How test traces are rolled out.
+struct EvalOptions {
+  /// Sampled = run the raw stochastic policy (deployment-faithful; the
+  /// §5.3 comparisons use this). False = deterministic greedy restricted
+  /// to feasible actions.
+  bool sampled = true;
+  std::size_t rollouts = 3;  // averaged when sampled
+};
+
+class Federation {
+ public:
+  Federation(std::vector<ClientPreset> presets, FederationConfig config);
+
+  /// Trains to config.scale.episodes and returns the full history.
+  fed::TrainingHistory train();
+
+  /// Evaluates every client on its own held-out test split.
+  std::vector<EvalResult> evaluate_on_test_splits(const EvalOptions& options = {});
+
+  /// §5.3 hybrid evaluation: each client keeps `keep_fraction` of its own
+  /// test tasks, the rest drawn from the other clients' datasets.
+  std::vector<EvalResult> evaluate_on_hybrid(double keep_fraction,
+                                             const EvalOptions& options = {});
+
+  /// Adds a new client with `preset` (Fig. 20); returns its index.
+  std::size_t add_client(const ClientPreset& preset);
+
+  fed::FedTrainer& trainer() { return *trainer_; }
+  std::size_t client_count() const { return presets_.size(); }
+  const ClientPreset& preset(std::size_t i) const { return presets_[i]; }
+  const FederationLayout& layout() const { return layout_; }
+  const FederationConfig& config() const { return config_; }
+
+  /// The held-out (40%) test trace of client i.
+  const workload::Trace& test_trace(std::size_t i) const { return test_traces_[i]; }
+
+ private:
+  std::unique_ptr<fed::FedClient> build_client(int id, const ClientPreset& preset,
+                                               workload::Trace train_trace);
+
+  FederationConfig config_;
+  std::vector<ClientPreset> presets_;
+  FederationLayout layout_;
+  std::vector<workload::Trace> test_traces_;
+  std::unique_ptr<fed::FedTrainer> trainer_;
+};
+
+}  // namespace pfrl::core

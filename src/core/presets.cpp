@@ -1,0 +1,114 @@
+#include "core/presets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pfrl::core {
+
+using workload::DatasetId;
+
+std::vector<ClientPreset> table2_clients() {
+  // Table 2: machine specifications (CPU, Memory, Count) + dataset.
+  return {
+      {{{16, 128, 4}, {32, 256, 1}}, DatasetId::kGoogle},
+      {{{32, 256, 3}}, DatasetId::kAlibaba2017},
+      {{{16, 128, 2}, {32, 256, 2}}, DatasetId::kHpcHf},
+      {{{16, 128, 3}, {32, 256, 2}}, DatasetId::kKvm2019},
+  };
+}
+
+std::vector<ClientPreset> table3_clients() {
+  // Table 3: the 10-client evaluation setup.
+  return {
+      {{{8, 64, 1}, {16, 128, 4}, {64, 512, 2}}, DatasetId::kGoogle},
+      {{{8, 64, 3}, {32, 128, 3}, {64, 512, 1}}, DatasetId::kAlibaba2017},
+      {{{8, 64, 3}, {32, 256, 2}, {64, 512, 2}}, DatasetId::kAlibaba2018},
+      {{{8, 64, 2}, {32, 256, 3}, {40, 256, 2}}, DatasetId::kHpcKs},
+      {{{8, 64, 1}, {48, 256, 2}, {64, 512, 3}}, DatasetId::kHpcHf},
+      {{{16, 128, 1}, {32, 256, 3}, {40, 256, 3}}, DatasetId::kHpcWz},
+      {{{16, 128, 1}, {40, 256, 3}, {32, 200, 3}}, DatasetId::kKvm2019},
+      {{{16, 128, 4}, {64, 512, 1}}, DatasetId::kKvm2020},
+      {{{8, 64, 2}, {16, 128, 2}, {64, 512, 1}}, DatasetId::kCeritSc},
+      {{{8, 128, 2}, {16, 128, 4}}, DatasetId::kK8s},
+  };
+}
+
+ExperimentScale ExperimentScale::quick() { return {}; }
+
+ExperimentScale ExperimentScale::paper() {
+  ExperimentScale s;
+  s.tasks_per_client = 3500;
+  s.episodes = 500;
+  s.comm_every = 25;
+  s.cpu_scale = 1;
+  s.queue_window = 10;
+  return s;
+}
+
+ExperimentScale ExperimentScale::tiny() {
+  ExperimentScale s;
+  s.tasks_per_client = 40;
+  s.episodes = 6;
+  s.comm_every = 2;
+  s.cpu_scale = 16;
+  s.queue_window = 3;
+  return s;
+}
+
+FederationLayout layout_for(std::span<const ClientPreset> clients, const ExperimentScale& scale) {
+  FederationLayout layout;
+  layout.queue_window = scale.queue_window;
+  layout.max_vms = 0;
+  layout.max_vcpus_per_vm = 1;
+  layout.max_memory_gb = 1.0;
+  for (const ClientPreset& c : clients) {
+    const sim::MachineSpecs scaled = sim::scale_vcpus(c.specs, scale.cpu_scale);
+    layout.max_vms = std::max(layout.max_vms, static_cast<std::size_t>(sim::total_vms(scaled)));
+    for (const sim::MachineSpec& s : scaled) {
+      layout.max_vcpus_per_vm = std::max(layout.max_vcpus_per_vm, s.vcpus);
+      layout.max_memory_gb = std::max(layout.max_memory_gb, s.memory_gb);
+    }
+  }
+  return layout;
+}
+
+env::SchedulingEnvConfig make_env_config(const ClientPreset& client,
+                                         const FederationLayout& layout,
+                                         const ExperimentScale& scale) {
+  env::SchedulingEnvConfig cfg;
+  cfg.cluster.specs = sim::scale_vcpus(client.specs, scale.cpu_scale);
+  cfg.cluster.tick_seconds = scale.tick_seconds;
+  cfg.max_vms = layout.max_vms;
+  cfg.max_vcpus_per_vm = layout.max_vcpus_per_vm;
+  cfg.max_memory_gb = layout.max_memory_gb;
+  cfg.queue_window = layout.queue_window;
+  return cfg;
+}
+
+workload::Trace make_trace(const ClientPreset& client, const ExperimentScale& scale,
+                           std::uint64_t seed) {
+  const sim::MachineSpecs scaled = sim::scale_vcpus(client.specs, scale.cpu_scale);
+  // Cap a task's request at the largest (scaled) machine so every task is
+  // schedulable somewhere; then calibrate arrivals to the scaled capacity.
+  int max_vcpus = 1;
+  double max_mem = 1.0;
+  for (const sim::MachineSpec& s : scaled) {
+    max_vcpus = std::max(max_vcpus, s.vcpus);
+    max_mem = std::max(max_mem, s.memory_gb);
+  }
+
+  workload::WorkloadModel model = workload::dataset_model(client.dataset);
+  const workload::WorkloadModel calibrated = workload::calibrate_arrivals(
+      model, sim::total_vcpus(scaled) * scale.cpu_scale, scale.target_utilization);
+
+  util::Rng rng(seed);
+  workload::Trace trace =
+      workload::sample_trace(calibrated, scale.tasks_per_client, rng);
+  for (workload::Task& t : trace) {
+    t.vcpus = std::clamp((t.vcpus + scale.cpu_scale - 1) / scale.cpu_scale, 1, max_vcpus);
+    t.memory_gb = std::min(t.memory_gb, max_mem);
+  }
+  return trace;
+}
+
+}  // namespace pfrl::core

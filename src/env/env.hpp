@@ -1,0 +1,62 @@
+// Generic episodic RL environment interface (discrete actions).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace pfrl::env {
+
+/// Optional side-interface for environments that can report the §5.1
+/// scheduling metrics of the episode in progress. Agents query it via
+/// dynamic_cast after rollouts.
+class MetricsSource {
+ public:
+  virtual ~MetricsSource() = default;
+  virtual sim::EpisodeMetrics metrics() const = 0;
+};
+
+/// Optional side-interface exposing the underlying cluster — what the
+/// structured heuristics (best-fit, worst-fit) inspect.
+class ClusterView {
+ public:
+  virtual ~ClusterView() = default;
+  virtual const sim::Cluster& cluster() const = 0;
+};
+
+struct StepResult {
+  double reward = 0.0;
+  bool done = false;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual void reset() = 0;
+
+  /// Dimensionality of the observation vector.
+  virtual std::size_t state_dim() const = 0;
+  /// Number of discrete actions.
+  virtual int action_count() const = 0;
+
+  /// Writes the current observation into `out` (size state_dim()).
+  virtual void observe(std::span<float> out) const = 0;
+
+  /// Convenience allocation-returning observation.
+  std::vector<float> state() const {
+    std::vector<float> s(state_dim());
+    observe(s);
+    return s;
+  }
+
+  virtual StepResult step(int action) = 0;
+
+  /// Validity mask over actions in the current state (used by masked
+  /// policies and by tests; the paper's agent learns penalties instead).
+  virtual std::vector<bool> valid_actions() const = 0;
+};
+
+}  // namespace pfrl::env

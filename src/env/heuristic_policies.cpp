@@ -1,0 +1,98 @@
+#include "env/heuristic_policies.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace pfrl::env {
+
+const char* heuristic_name(HeuristicPolicy policy) {
+  switch (policy) {
+    case HeuristicPolicy::kFirstFit: return "first-fit";
+    case HeuristicPolicy::kBestFit: return "best-fit";
+    case HeuristicPolicy::kWorstFit: return "worst-fit";
+    case HeuristicPolicy::kRoundRobin: return "round-robin";
+    case HeuristicPolicy::kRandom: return "random";
+  }
+  return "?";
+}
+
+HeuristicScheduler::HeuristicScheduler(HeuristicPolicy policy, std::uint64_t seed)
+    : policy_(policy), rng_(seed) {}
+
+int HeuristicScheduler::act(const Env& environment) {
+  const std::vector<bool> mask = environment.valid_actions();
+  const int noop = environment.action_count() - 1;  // no-op is last by convention
+  std::vector<std::size_t> feasible;
+  for (std::size_t a = 0; a + 1 < mask.size(); ++a)
+    if (mask[a]) feasible.push_back(a);
+  if (feasible.empty()) return noop;
+
+  switch (policy_) {
+    case HeuristicPolicy::kFirstFit:
+      return static_cast<int>(feasible.front());
+    case HeuristicPolicy::kRandom:
+      return static_cast<int>(feasible[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(feasible.size()) - 1))]);
+    case HeuristicPolicy::kRoundRobin: {
+      const std::size_t vm_actions = mask.size() - 1;
+      for (std::size_t offset = 1; offset <= vm_actions; ++offset) {
+        const std::size_t candidate = (round_robin_cursor_ + offset) % vm_actions;
+        for (const std::size_t a : feasible)
+          if (a == candidate) {
+            round_robin_cursor_ = candidate;
+            return static_cast<int>(candidate);
+          }
+      }
+      return static_cast<int>(feasible.front());
+    }
+    case HeuristicPolicy::kBestFit:
+    case HeuristicPolicy::kWorstFit:
+      break;  // handled below — they need the cluster
+  }
+
+  const auto* view = dynamic_cast<const ClusterView*>(&environment);
+  if (view == nullptr)
+    throw std::invalid_argument("HeuristicScheduler: policy needs a ClusterView environment");
+  const auto& vms = view->cluster().vms();
+
+  // Absolute remaining capacity, each resource normalized by the largest
+  // machine in the cluster so vCPUs and GBs are commensurable (an idle
+  // big VM has more slack than an idle small one).
+  double max_vcpus = 1.0;
+  double max_mem = 1.0;
+  for (const sim::Vm& vm : vms) {
+    max_vcpus = std::max(max_vcpus, static_cast<double>(vm.vcpu_capacity()));
+    max_mem = std::max(max_mem, vm.memory_capacity());
+  }
+  const auto remaining = [&](std::size_t vm) {
+    return static_cast<double>(vms[vm].free_vcpus()) / max_vcpus +
+           vms[vm].free_memory() / max_mem;
+  };
+
+  std::size_t best = feasible.front();
+  double best_rem = policy_ == HeuristicPolicy::kBestFit
+                        ? std::numeric_limits<double>::max()
+                        : -1.0;
+  for (const std::size_t a : feasible) {
+    const double rem = remaining(a);
+    const bool better =
+        policy_ == HeuristicPolicy::kBestFit ? rem < best_rem : rem > best_rem;
+    if (better) {
+      best_rem = rem;
+      best = a;
+    }
+  }
+  return static_cast<int>(best);
+}
+
+sim::EpisodeMetrics HeuristicScheduler::run_episode(Env& environment) {
+  environment.reset();
+  bool done = false;
+  while (!done) done = environment.step(act(environment)).done;
+  if (const auto* source = dynamic_cast<const MetricsSource*>(&environment))
+    return source->metrics();
+  return {};
+}
+
+}  // namespace pfrl::env

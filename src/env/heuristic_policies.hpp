@@ -1,0 +1,47 @@
+// Classical scheduling heuristics over the same environments the RL
+// agents use — baselines for the examples and sanity anchors for the
+// benchmarks (an RL policy that loses to Random has not learned).
+//
+// The scheduler works against the generic Env interface (validity mask +
+// no-op-last action convention) and uses the ClusterView side-interface
+// for the capacity-aware policies; it drives the trace-driven and the
+// workflow environments alike.
+#pragma once
+
+#include "env/env.hpp"
+#include "util/rng.hpp"
+
+namespace pfrl::env {
+
+enum class HeuristicPolicy {
+  kFirstFit,    // lowest-index VM that fits
+  kBestFit,     // feasible VM with the least remaining weighted capacity
+  kWorstFit,    // feasible VM with the most remaining weighted capacity
+  kRoundRobin,  // next feasible VM after the previous placement
+  kRandom,      // uniformly random feasible VM
+};
+
+const char* heuristic_name(HeuristicPolicy policy);
+
+/// Chooses an action for the current state; no-op when nothing fits.
+class HeuristicScheduler {
+ public:
+  HeuristicScheduler(HeuristicPolicy policy, std::uint64_t seed = 1);
+
+  /// `environment` must implement ClusterView for kBestFit/kWorstFit
+  /// (throws std::invalid_argument otherwise).
+  int act(const Env& environment);
+
+  /// Runs one full episode; returns the env's metrics (empty metrics if
+  /// the environment is not a MetricsSource).
+  sim::EpisodeMetrics run_episode(Env& environment);
+
+  HeuristicPolicy policy() const { return policy_; }
+
+ private:
+  HeuristicPolicy policy_;
+  util::Rng rng_;
+  std::size_t round_robin_cursor_ = 0;
+};
+
+}  // namespace pfrl::env

@@ -1,0 +1,68 @@
+#include "env/observation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "env/scheduling_env.hpp"
+
+namespace pfrl::env {
+
+std::size_t observation_dim(const SchedulingEnvConfig& config) {
+  const std::size_t l = config.max_vms;
+  const auto u = static_cast<std::size_t>(config.max_vcpus_per_vm);
+  const std::size_t q = config.queue_window;
+  return l * sim::kResourceTypes + l * u + q * sim::kResourceTypes;
+}
+
+void encode_observation(const sim::Cluster& cluster, const SchedulingEnvConfig& config,
+                        std::span<float> out) {
+  if (out.size() != observation_dim(config))
+    throw std::invalid_argument("encode_observation: bad buffer size");
+  std::fill(out.begin(), out.end(), 0.0F);
+  const auto& vms = cluster.vms();
+  const auto max_cpu = static_cast<double>(config.max_vcpus_per_vm);
+  const double max_mem = config.max_memory_gb;
+
+  // S^VM — remaining capacity, normalized.
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < config.max_vms; ++i) {
+    if (i < vms.size()) {
+      out[pos] = static_cast<float>(vms[i].free_vcpus() / max_cpu);
+      out[pos + 1] = static_cast<float>(vms[i].free_memory() / max_mem);
+    }
+    pos += sim::kResourceTypes;
+  }
+
+  // S^vCPU — per-slot completion progress.
+  const double now = cluster.now();
+  for (std::size_t i = 0; i < config.max_vms; ++i) {
+    if (i < vms.size()) {
+      const int slots = std::min(vms[i].vcpu_capacity(), config.max_vcpus_per_vm);
+      for (int k = 0; k < slots; ++k)
+        out[pos + static_cast<std::size_t>(k)] =
+            static_cast<float>(vms[i].slot_progress(k, now));
+    }
+    pos += static_cast<std::size_t>(config.max_vcpus_per_vm);
+  }
+
+  // S^Queue — requested resources of the first Q waiting tasks.
+  const auto& queue = cluster.queue();
+  for (std::size_t q = 0; q < config.queue_window; ++q) {
+    if (q < queue.size()) {
+      out[pos] = static_cast<float>(queue[q].vcpus / max_cpu);
+      out[pos + 1] = static_cast<float>(queue[q].memory_gb / max_mem);
+    }
+    pos += sim::kResourceTypes;
+  }
+}
+
+std::vector<bool> action_validity(const sim::Cluster& cluster,
+                                  const SchedulingEnvConfig& config) {
+  std::vector<bool> mask(config.max_vms + 1, false);
+  mask.back() = true;  // no-op is always available
+  for (std::size_t i = 0; i < cluster.vm_count() && i < config.max_vms; ++i)
+    mask[i] = cluster.vm_fits_head(i);
+  return mask;
+}
+
+}  // namespace pfrl::env

@@ -1,0 +1,27 @@
+// Observation encoding and action-validity masks shared by the
+// trace-driven and workflow environments (both expose the exact state
+// layout of §4.1 / Fig. 6).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/cluster.hpp"
+
+namespace pfrl::env {
+
+struct SchedulingEnvConfig;  // scheduling_env.hpp
+
+/// L*d + L*U^vcpu + Q*d.
+std::size_t observation_dim(const SchedulingEnvConfig& config);
+
+/// Writes S = (S^VM, S^vCPU, S^Queue) into `out` (size observation_dim).
+void encode_observation(const sim::Cluster& cluster, const SchedulingEnvConfig& config,
+                        std::span<float> out);
+
+/// Per-action feasibility: VM actions true when the queue head fits,
+/// no-op (last) always true.
+std::vector<bool> action_validity(const sim::Cluster& cluster,
+                                  const SchedulingEnvConfig& config);
+
+}  // namespace pfrl::env

@@ -1,0 +1,51 @@
+#include "env/reward.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pfrl::env {
+
+double placement_reward(const sim::Cluster& cluster, const sim::Completion& placed,
+                        double loadbal_before, double power_before,
+                        const RewardConfig& config) {
+  // Eq. (7): both run and response are known at placement time (the task
+  // starts immediately, so response = wait + run).
+  const double run = placed.task.duration;
+  const double response = placed.response_time();
+  const double r_res = std::exp(run / std::max(response, 1e-9));
+
+  // Eq. (8): Load_c = LoadBal(after) - LoadBal(before).
+  const double load_c = cluster.load_balance() - loadbal_before;
+  double r_load;
+  if (load_c <= 0.0) {
+    r_load = 1.0;
+  } else {
+    r_load = config.strict_paper_reward ? load_c : -load_c;
+  }
+
+  const double base = config.rho * r_res + (1.0 - config.rho) * r_load;
+  if (config.energy_weight <= 0.0) return base;
+
+  // Extension: reward placements whose power increment is close to the
+  // minimum this task could cost (vCPU draw only, no wake-up premium).
+  const double delta = std::max(cluster.power_draw() - power_before, 1e-9);
+  const double min_delta =
+      cluster.config().power.watts_per_vcpu * static_cast<double>(placed.task.vcpus);
+  const double r_energy = std::min(1.0, min_delta / delta);
+  return (1.0 - config.energy_weight) * base + config.energy_weight * r_energy;
+}
+
+double invalid_action_penalty(const sim::Cluster& cluster,
+                              std::optional<std::size_t> vm_index) {
+  double weighted_util = 1.0;
+  if (vm_index && *vm_index < cluster.vm_count()) {
+    const sim::Vm& vm = cluster.vms()[*vm_index];
+    weighted_util = 0.0;
+    for (int r = 0; r < sim::kResourceTypes; ++r)
+      weighted_util +=
+          cluster.config().resource_weights[static_cast<std::size_t>(r)] * vm.utilization(r);
+  }
+  return -std::exp(weighted_util);
+}
+
+}  // namespace pfrl::env

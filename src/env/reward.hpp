@@ -1,0 +1,40 @@
+// The reward function of §4.2 (Eqs. 3–9), shared by the trace-driven
+// SchedulingEnv and the DAG-driven WorkflowEnv, plus the energy-objective
+// extension the paper sketches ("the reward function can be easily
+// extended to accommodate ... energy consumption").
+#pragma once
+
+#include <optional>
+
+#include "sim/cluster.hpp"
+
+namespace pfrl::env {
+
+struct RewardConfig {
+  /// ρ of Eq. (6): response-time vs load-balance weight.
+  double rho = 0.5;
+  /// "a larger negative constant" for idling while a VM fits (§4.2).
+  double lazy_noop_penalty = -5.0;
+  /// Eq. (8) literal sign (positive Load_c rewarded) vs the corrected
+  /// form (see DESIGN.md).
+  bool strict_paper_reward = false;
+  /// Extension: fraction of the placement reward allocated to the energy
+  /// objective. 0 reproduces the paper's Eq. (6) exactly.
+  double energy_weight = 0.0;
+};
+
+/// Reward for a *valid* placement: ρ·R_res + (1-ρ)·R_load (Eqs. 6-8),
+/// optionally blended with R_energy = min-possible power increment over
+/// the actual increment (1.0 when the task lands on an already-awake VM).
+/// `loadbal_before` / `power_before` are the cluster readings taken just
+/// before the placement.
+double placement_reward(const sim::Cluster& cluster, const sim::Completion& placed,
+                        double loadbal_before, double power_before,
+                        const RewardConfig& config);
+
+/// Eq. (9): -e^{Σ w_i·util_i} of the chosen VM; a nonexistent (padded)
+/// VM counts as fully utilized.
+double invalid_action_penalty(const sim::Cluster& cluster,
+                              std::optional<std::size_t> vm_index);
+
+}  // namespace pfrl::env

@@ -1,0 +1,122 @@
+#include "env/scheduling_env.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "env/observation.hpp"
+
+namespace pfrl::env {
+
+SchedulingEnv::SchedulingEnv(SchedulingEnvConfig config, workload::Trace trace)
+    : config_(std::move(config)), trace_(std::move(trace)) {
+  if (config_.max_vms == 0 || config_.max_vcpus_per_vm <= 0 || config_.queue_window == 0)
+    throw std::invalid_argument("SchedulingEnv: zero-sized observation layout");
+  if (static_cast<std::size_t>(sim::total_vms(config_.cluster.specs)) > config_.max_vms)
+    throw std::invalid_argument("SchedulingEnv: cluster has more VMs than max_vms");
+  for (const sim::MachineSpec& s : config_.cluster.specs) {
+    if (s.vcpus > config_.max_vcpus_per_vm)
+      throw std::invalid_argument("SchedulingEnv: VM exceeds max_vcpus_per_vm");
+    if (s.memory_gb > config_.max_memory_gb)
+      throw std::invalid_argument("SchedulingEnv: VM exceeds max_memory_gb");
+  }
+  reset();
+}
+
+void SchedulingEnv::reset() {
+  cluster_ = std::make_unique<sim::Cluster>(config_.cluster, trace_);
+  collector_ = sim::MetricsCollector();
+  total_reward_ = 0.0;
+  steps_ = 0;
+  invalid_actions_ = 0;
+  lazy_noops_ = 0;
+  // An episode begins at the first arrival, not at t=0 with an empty queue.
+  fast_forward_idle_gaps();
+}
+
+void SchedulingEnv::fast_forward_idle_gaps() {
+  if (!config_.fast_forward_idle) return;
+  // Jump event-to-event until a task is waiting (or nothing remains);
+  // the skipped interval still contributes (time-weighted) to the
+  // utilization/load-balance averages, with the pre-jump readings that
+  // hold until the jump's target event.
+  while (cluster_->queue().empty() && !cluster_->all_done()) {
+    const double before = cluster_->now();
+    const double util = cluster_->weighted_utilization();
+    const double loadbal = cluster_->load_balance();
+    for (const sim::Completion& c : cluster_->fast_forward()) collector_.record_completion(c);
+    if (cluster_->now() == before) break;  // no future event to jump to
+    collector_.record_period(util, loadbal,
+                             (cluster_->now() - before) / config_.cluster.tick_seconds);
+  }
+}
+
+std::size_t SchedulingEnv::state_dim() const { return observation_dim(config_); }
+
+int SchedulingEnv::action_count() const { return static_cast<int>(config_.max_vms) + 1; }
+
+void SchedulingEnv::observe(std::span<float> out) const {
+  encode_observation(*cluster_, config_, out);
+}
+
+std::vector<bool> SchedulingEnv::valid_actions() const {
+  return action_validity(*cluster_, config_);
+}
+
+void SchedulingEnv::advance_clock() {
+  for (const sim::Completion& c : cluster_->tick()) collector_.record_completion(c);
+  collector_.record_tick(*cluster_);
+  fast_forward_idle_gaps();
+}
+
+StepResult SchedulingEnv::step(int action) {
+  if (action < 0 || action >= action_count())
+    throw std::out_of_range("SchedulingEnv::step: action out of range");
+  StepResult result;
+  ++steps_;
+
+  const bool is_noop = action == noop_action();
+  const auto vm_index = static_cast<std::size_t>(action);
+
+  if (is_noop) {
+    if (!cluster_->queue().empty() && cluster_->any_vm_fits(cluster_->queue().front())) {
+      // Lazy no-op: a feasible VM existed ("inertia policies" penalty).
+      result.reward = config_.reward.lazy_noop_penalty;
+      ++lazy_noops_;
+    }
+    advance_clock();
+  } else if (!cluster_->queue().empty() && vm_index < cluster_->vm_count() &&
+             cluster_->vm_fits_head(vm_index)) {
+    const double loadbal_before = cluster_->load_balance();
+    const double power_before = cluster_->power_draw();
+    const sim::Completion placed = cluster_->schedule_head(vm_index);
+    result.reward =
+        placement_reward(*cluster_, placed, loadbal_before, power_before, config_.reward);
+    // Valid placement keeps the clock still: the agent may immediately
+    // schedule the next queued task at the same instant.
+  } else {
+    result.reward = invalid_action_penalty(*cluster_, vm_index);
+    ++invalid_actions_;
+    advance_clock();
+  }
+
+  total_reward_ += result.reward;
+  result.done = cluster_->all_done() || steps_ >= config_.max_steps;
+  return result;
+}
+
+void SchedulingEnv::set_trace(workload::Trace trace) {
+  trace_ = std::move(trace);
+  reset();
+}
+
+sim::EpisodeMetrics SchedulingEnv::metrics() const {
+  sim::EpisodeMetrics m = collector_.finalize();
+  m.total_reward = total_reward_;
+  m.steps = steps_;
+  m.invalid_actions = invalid_actions_;
+  m.lazy_noops = lazy_noops_;
+  return m;
+}
+
+}  // namespace pfrl::env

@@ -1,0 +1,96 @@
+// The cloud task-scheduling environment of §4.1–4.2.
+//
+// State  S = (S^VM, S^vCPU, S^Queue), Fig. 6:
+//   S^VM    — remaining capacity per VM (free vCPUs, free memory),
+//             normalized by the padding maxima; missing VMs padded 0.
+//   S^vCPU  — per-vCPU running state: completion progress in (0, 1] for a
+//             busy slot, 0 for a free or void slot. The agent never sees a
+//             task's duration — only observed progress.
+//   S^Queue — requested (vCPUs, memory) of the first Q waiting tasks.
+//
+// Actions: 0..L-1 select a VM for the queue head; action L is the no-op
+// ("-1" in the paper).
+//
+// Reward (Eqs. 3–9): valid placement earns ρ·R_res + (1-ρ)·R_load with
+// R_res = e^{run/response}; an infeasible placement is denied and
+// penalized by −e^{Σ w_i·util_i} of the chosen VM; a no-op while some VM
+// fits the head task costs a larger negative constant; a justified no-op
+// is free. Eq. (8)'s literal positive branch (`R_load = Load_c` when
+// deployment *worsens* balance) is an evident sign typo; the default is
+// the intent-corrected `-Load_c`, and `strict_paper_reward` restores the
+// literal form.
+//
+// Time: a valid placement does not advance the clock (several arrivals
+// can be placed in one tick); every other action advances one tick. When
+// the queue is empty the clock optionally fast-forwards to the next
+// arrival/completion.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "env/env.hpp"
+#include "env/reward.hpp"
+#include "sim/cluster.hpp"
+#include "sim/metrics.hpp"
+#include "workload/trace.hpp"
+
+namespace pfrl::env {
+
+struct SchedulingEnvConfig {
+  sim::ClusterConfig cluster;
+
+  /// Padding maxima defining the fixed observation layout. Clients in a
+  /// federation must share these so their networks are aggregable
+  /// ("clients are expected to have similar definitions of the RL
+  /// environments", §4.1).
+  std::size_t max_vms = 8;       // L
+  int max_vcpus_per_vm = 16;     // U^vcpu
+  double max_memory_gb = 512.0;  // U^mem
+
+  std::size_t queue_window = 10;  // Q
+
+  RewardConfig reward;  // Eqs. 6-9 (+ optional energy extension)
+  bool fast_forward_idle = true;
+  std::size_t max_steps = 200000;  // runaway-episode safety cap
+};
+
+class SchedulingEnv final : public Env, public MetricsSource, public ClusterView {
+ public:
+  SchedulingEnv(SchedulingEnvConfig config, workload::Trace trace);
+
+  void reset() override;
+  std::size_t state_dim() const override;
+  int action_count() const override;
+  void observe(std::span<float> out) const override;
+  StepResult step(int action) override;
+  std::vector<bool> valid_actions() const override;
+
+  /// Index of the no-op action (== max_vms).
+  int noop_action() const { return static_cast<int>(config_.max_vms); }
+
+  /// Swap the task trace (train -> test); resets the episode.
+  void set_trace(workload::Trace trace);
+
+  /// Metrics of the episode so far (final after done).
+  sim::EpisodeMetrics metrics() const override;
+
+  const sim::Cluster& cluster() const override { return *cluster_; }
+  const SchedulingEnvConfig& config() const { return config_; }
+  std::size_t steps_taken() const { return steps_; }
+
+ private:
+  void advance_clock();
+  void fast_forward_idle_gaps();
+
+  SchedulingEnvConfig config_;
+  workload::Trace trace_;
+  std::unique_ptr<sim::Cluster> cluster_;
+  sim::MetricsCollector collector_;
+  double total_reward_ = 0.0;
+  std::size_t steps_ = 0;
+  std::size_t invalid_actions_ = 0;
+  std::size_t lazy_noops_ = 0;
+};
+
+}  // namespace pfrl::env

@@ -1,0 +1,203 @@
+#include "env/workflow_env.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "env/observation.hpp"
+#include "env/reward.hpp"
+
+namespace pfrl::env {
+
+WorkflowEnv::WorkflowEnv(SchedulingEnvConfig config, workload::WorkflowBatch batch)
+    : config_(std::move(config)), batch_(std::move(batch)) {
+  if (config_.max_vms == 0 || config_.max_vcpus_per_vm <= 0 || config_.queue_window == 0)
+    throw std::invalid_argument("WorkflowEnv: zero-sized observation layout");
+  std::sort(batch_.begin(), batch_.end(),
+            [](const workload::Workflow& a, const workload::Workflow& b) {
+              return a.arrival_time < b.arrival_time;
+            });
+  job_offsets_.reserve(batch_.size());
+  for (const workload::Workflow& wf : batch_) {
+    if (!workload::is_topologically_ordered(wf))
+      throw std::invalid_argument("WorkflowEnv: workflow has forward dependencies");
+    job_offsets_.push_back(total_tasks_);
+    total_tasks_ += wf.task_count();
+  }
+  reset();
+}
+
+void WorkflowEnv::reset() {
+  cluster_ = std::make_unique<sim::Cluster>(config_.cluster, workload::Trace{});
+  collector_ = sim::MetricsCollector();
+  task_states_.assign(total_tasks_, {});
+  dependents_.assign(total_tasks_, {});
+  remaining_in_job_.assign(batch_.size(), 0);
+  job_finish_.assign(batch_.size(), 0.0);
+  next_job_ = 0;
+  completed_ = 0;
+  completed_jobs_ = 0;
+  total_reward_ = 0.0;
+  steps_ = 0;
+  invalid_actions_ = 0;
+  lazy_noops_ = 0;
+
+  for (std::size_t j = 0; j < batch_.size(); ++j) {
+    remaining_in_job_[j] = batch_[j].task_count();
+    for (std::size_t t = 0; t < batch_[j].task_count(); ++t) {
+      const std::size_t uid = job_offsets_[j] + t;
+      task_states_[uid].pending_deps = batch_[j].tasks[t].deps.size();
+      for (const std::size_t dep : batch_[j].tasks[t].deps)
+        dependents_[job_offsets_[j] + dep].push_back(uid);
+    }
+  }
+  fast_forward_idle_gaps();
+}
+
+std::size_t WorkflowEnv::state_dim() const { return observation_dim(config_); }
+int WorkflowEnv::action_count() const { return static_cast<int>(config_.max_vms) + 1; }
+void WorkflowEnv::observe(std::span<float> out) const {
+  encode_observation(*cluster_, config_, out);
+}
+std::vector<bool> WorkflowEnv::valid_actions() const {
+  return action_validity(*cluster_, config_);
+}
+
+void WorkflowEnv::admit_arrived_jobs() {
+  while (next_job_ < batch_.size() &&
+         batch_[next_job_].arrival_time <= cluster_->now() + 1e-9) {
+    const std::size_t j = next_job_++;
+    for (std::size_t t = 0; t < batch_[j].task_count(); ++t) {
+      const std::size_t uid = job_offsets_[j] + t;
+      if (task_states_[uid].pending_deps == 0 && !task_states_[uid].released) {
+        task_states_[uid].released = true;
+        workload::Task task = batch_[j].tasks[t].task;
+        task.id = uid;
+        // Waiting time is measured from the moment the task became
+        // schedulable — for a root, the job's arrival.
+        task.arrival_time = batch_[j].arrival_time;
+        cluster_->inject_task(task);
+      }
+    }
+  }
+}
+
+void WorkflowEnv::handle_completions(const std::vector<sim::Completion>& completions) {
+  for (const sim::Completion& c : completions) {
+    collector_.record_completion(c);
+    const std::size_t uid = c.task.id;
+    task_states_[uid].completed = true;
+    ++completed_;
+
+    // Which job does this uid belong to?
+    const auto job_it = std::upper_bound(job_offsets_.begin(), job_offsets_.end(), uid);
+    const auto j = static_cast<std::size_t>(job_it - job_offsets_.begin()) - 1;
+    if (--remaining_in_job_[j] == 0) {
+      job_finish_[j] = c.finish_time;
+      ++completed_jobs_;
+    }
+
+    // Unlock dependents whose every predecessor has now finished.
+    for (const std::size_t dep_uid : dependents_[uid]) {
+      if (--task_states_[dep_uid].pending_deps == 0 && !task_states_[dep_uid].released) {
+        task_states_[dep_uid].released = true;
+        workload::Task task = batch_[j].tasks[dep_uid - job_offsets_[j]].task;
+        task.id = dep_uid;
+        task.arrival_time = c.finish_time;  // became schedulable now
+        cluster_->inject_task(task);
+      }
+    }
+  }
+}
+
+std::optional<double> WorkflowEnv::next_external_event() const {
+  std::optional<double> next;
+  if (next_job_ < batch_.size()) next = batch_[next_job_].arrival_time;
+  for (const sim::Vm& vm : cluster_->vms()) {
+    const auto completion = vm.next_completion();
+    if (completion && (!next || *completion < *next)) next = completion;
+  }
+  return next;
+}
+
+void WorkflowEnv::fast_forward_idle_gaps() {
+  if (!config_.fast_forward_idle) {
+    admit_arrived_jobs();
+    return;
+  }
+  admit_arrived_jobs();
+  while (cluster_->queue().empty() && completed_ < total_tasks_) {
+    const auto next = next_external_event();
+    if (!next || *next <= cluster_->now()) break;
+    const double before = cluster_->now();
+    const double util = cluster_->weighted_utilization();
+    const double loadbal = cluster_->load_balance();
+    handle_completions(cluster_->advance_until(*next));
+    collector_.record_period(util, loadbal,
+                             (cluster_->now() - before) / config_.cluster.tick_seconds);
+    admit_arrived_jobs();
+  }
+}
+
+void WorkflowEnv::advance_clock() {
+  handle_completions(cluster_->tick());
+  collector_.record_tick(*cluster_);
+  fast_forward_idle_gaps();
+}
+
+StepResult WorkflowEnv::step(int action) {
+  if (action < 0 || action >= action_count())
+    throw std::out_of_range("WorkflowEnv::step: action out of range");
+  StepResult result;
+  ++steps_;
+
+  const bool is_noop = action == noop_action();
+  const auto vm_index = static_cast<std::size_t>(action);
+
+  if (is_noop) {
+    if (!cluster_->queue().empty() && cluster_->any_vm_fits(cluster_->queue().front())) {
+      result.reward = config_.reward.lazy_noop_penalty;
+      ++lazy_noops_;
+    }
+    advance_clock();
+  } else if (!cluster_->queue().empty() && vm_index < cluster_->vm_count() &&
+             cluster_->vm_fits_head(vm_index)) {
+    const double loadbal_before = cluster_->load_balance();
+    const double power_before = cluster_->power_draw();
+    const sim::Completion placed = cluster_->schedule_head(vm_index);
+    result.reward =
+        placement_reward(*cluster_, placed, loadbal_before, power_before, config_.reward);
+  } else {
+    result.reward = invalid_action_penalty(*cluster_, vm_index);
+    ++invalid_actions_;
+    advance_clock();
+  }
+
+  total_reward_ += result.reward;
+  result.done = completed_ >= total_tasks_ || steps_ >= config_.max_steps;
+  return result;
+}
+
+sim::EpisodeMetrics WorkflowEnv::metrics() const {
+  sim::EpisodeMetrics m = collector_.finalize();
+  m.total_reward = total_reward_;
+  m.steps = steps_;
+  m.invalid_actions = invalid_actions_;
+  m.lazy_noops = lazy_noops_;
+  return m;
+}
+
+double WorkflowEnv::avg_job_response() const {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t j = 0; j < batch_.size(); ++j) {
+    if (remaining_in_job_[j] == 0 && !batch_[j].tasks.empty()) {
+      acc += job_finish_[j] - batch_[j].arrival_time;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : acc / static_cast<double>(n);
+}
+
+std::size_t WorkflowEnv::completed_jobs() const { return completed_jobs_; }
+
+}  // namespace pfrl::env

@@ -1,0 +1,81 @@
+// Workflow scheduling environment — the paper's future-work extension.
+//
+// Same observation layout, action space, and reward as SchedulingEnv,
+// but tasks carry dependencies: a task enters the waiting queue only when
+// its job has arrived AND all of its predecessors have completed. The
+// agent therefore schedules the *frontier* of each DAG; placement quality
+// now also determines how quickly downstream tasks unlock.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "env/env.hpp"
+#include "env/scheduling_env.hpp"
+#include "workload/dag.hpp"
+
+namespace pfrl::env {
+
+class WorkflowEnv final : public Env, public MetricsSource, public ClusterView {
+ public:
+  /// The trace-related parts of `config` are ignored; everything else
+  /// (layout, reward, fast-forward, caps) behaves as in SchedulingEnv.
+  WorkflowEnv(SchedulingEnvConfig config, workload::WorkflowBatch batch);
+
+  void reset() override;
+  std::size_t state_dim() const override;
+  int action_count() const override;
+  void observe(std::span<float> out) const override;
+  StepResult step(int action) override;
+  std::vector<bool> valid_actions() const override;
+
+  int noop_action() const { return static_cast<int>(config_.max_vms); }
+
+  /// Task-level metrics (response measured from task *release*, i.e. the
+  /// moment the task became schedulable) plus reward/step counters.
+  sim::EpisodeMetrics metrics() const override;
+
+  /// Mean job response time: last task finish minus job arrival.
+  double avg_job_response() const;
+  /// Jobs fully completed so far.
+  std::size_t completed_jobs() const;
+
+  const sim::Cluster& cluster() const override { return *cluster_; }
+  const workload::WorkflowBatch& batch() const { return batch_; }
+
+ private:
+  // Global uid for (job, task): uid = job_offsets_[job] + task_index.
+  struct TaskState {
+    std::size_t pending_deps = 0;
+    bool released = false;
+    bool completed = false;
+  };
+
+  void release_ready_tasks();
+  void handle_completions(const std::vector<sim::Completion>& completions);
+  void admit_arrived_jobs();
+  void advance_clock();
+  void fast_forward_idle_gaps();
+  std::optional<double> next_external_event() const;
+
+  SchedulingEnvConfig config_;
+  workload::WorkflowBatch batch_;
+  std::vector<std::size_t> job_offsets_;
+  std::size_t total_tasks_ = 0;
+
+  std::unique_ptr<sim::Cluster> cluster_;
+  sim::MetricsCollector collector_;
+  std::vector<TaskState> task_states_;
+  std::vector<std::vector<std::size_t>> dependents_;  // uid -> dependent uids
+  std::vector<std::size_t> remaining_in_job_;
+  std::vector<double> job_finish_;
+  std::size_t next_job_ = 0;       // first not-yet-arrived job
+  std::size_t completed_ = 0;
+  std::size_t completed_jobs_ = 0;
+  double total_reward_ = 0.0;
+  std::size_t steps_ = 0;
+  std::size_t invalid_actions_ = 0;
+  std::size_t lazy_noops_ = 0;
+};
+
+}  // namespace pfrl::env

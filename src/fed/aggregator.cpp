@@ -1,0 +1,40 @@
+#include "fed/aggregator.hpp"
+
+#include <stdexcept>
+
+namespace pfrl::fed {
+
+AggregationOutput weighted_aggregate(const AggregationInput& input, const nn::Matrix& weights) {
+  const std::size_t k = input.models.rows();
+  const std::size_t p = input.models.cols();
+  if (weights.rows() != k || weights.cols() != k)
+    throw std::invalid_argument("weighted_aggregate: weight matrix must be K x K");
+  if (input.client_ids.size() != k)
+    throw std::invalid_argument("weighted_aggregate: client ids not row-aligned");
+
+  AggregationOutput out;
+  out.weights = weights;
+  out.personalized.resize(k);
+  out.global_model.assign(p, 0.0F);
+
+  // ψ_k = Σ_j W_kj Θ_j  (Eq. 21) — a K×K by K×P product.
+  const nn::Matrix personalized = weights.matmul(input.models);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto row = personalized.row(i);
+    out.personalized[i].assign(row.begin(), row.end());
+    for (std::size_t j = 0; j < p; ++j) out.global_model[j] += row[j];
+  }
+  // ψ_G = (1/K) Σ ψ_k  (Eq. 22).
+  const float inv_k = 1.0F / static_cast<float>(k);
+  for (float& v : out.global_model) v *= inv_k;
+  return out;
+}
+
+FixedWeightAggregator::FixedWeightAggregator(nn::Matrix weights, std::string label)
+    : weights_(std::move(weights)), label_(std::move(label)) {}
+
+AggregationOutput FixedWeightAggregator::aggregate(const AggregationInput& input) {
+  return weighted_aggregate(input, weights_);
+}
+
+}  // namespace pfrl::fed

@@ -1,0 +1,59 @@
+// Server-side aggregation strategies.
+//
+// All strategies consume the same input — one flattened parameter vector
+// per participating client, stacked into a K × P matrix — and emit one
+// personalized vector per participant plus a global model ψ_G for clients
+// that skipped the round (Algorithm 1, lines 9–15).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace pfrl::fed {
+
+struct AggregationInput {
+  std::vector<int> client_ids;  // participant ids, row-aligned with models
+  nn::Matrix models;            // K × P flattened parameters (Θ in Eq. 21)
+};
+
+struct AggregationOutput {
+  /// personalized[k] is the model returned to client_ids[k] (Eq. 21).
+  std::vector<std::vector<float>> personalized;
+  /// ψ_G — mean of the personalized models (Eq. 22); also the round's
+  /// update for non-participants and the initializer for joiners.
+  std::vector<float> global_model;
+  /// The K × K weight matrix actually used (identity-free diagnostics for
+  /// the Figs. 11–13 heat-maps; FedAvg reports the uniform matrix).
+  nn::Matrix weights;
+};
+
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  virtual AggregationOutput aggregate(const AggregationInput& input) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Shared implementation: personalized_k = Σ_j W_kj · Θ_j for an arbitrary
+/// row-stochastic W, and ψ_G = mean of the personalized rows.
+AggregationOutput weighted_aggregate(const AggregationInput& input, const nn::Matrix& weights);
+
+/// Aggregates with a caller-supplied constant weight matrix — the
+/// Fed-Diff-weight / Fed-Same2-weight configurations of §3.3 (Fig. 10).
+class FixedWeightAggregator final : public Aggregator {
+ public:
+  explicit FixedWeightAggregator(nn::Matrix weights, std::string label = "fixed-weight");
+
+  AggregationOutput aggregate(const AggregationInput& input) override;
+  std::string name() const override { return label_; }
+
+ private:
+  nn::Matrix weights_;
+  std::string label_;
+};
+
+}  // namespace pfrl::fed

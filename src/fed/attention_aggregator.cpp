@@ -1,0 +1,21 @@
+#include "fed/attention_aggregator.hpp"
+
+#include <stdexcept>
+
+namespace pfrl::fed {
+
+AttentionAggregator::AttentionAggregator(nn::MultiHeadAttentionConfig config)
+    : config_(config) {}
+
+AggregationOutput AttentionAggregator::aggregate(const AggregationInput& input) {
+  if (input.models.rows() == 0) throw std::invalid_argument("AttentionAggregator: no models");
+  if (!attention_) {
+    attention_.emplace(input.models.cols(), config_);
+  } else if (attention_->input_dim() != input.models.cols()) {
+    throw std::invalid_argument("AttentionAggregator: model dimension changed across rounds");
+  }
+  const nn::Matrix w = attention_->weights(input.models);  // Eq. 18-20
+  return weighted_aggregate(input, w);                     // Eq. 21-22
+}
+
+}  // namespace pfrl::fed

@@ -1,0 +1,33 @@
+// PFRL-DM's personalized aggregator (§4.4, Algorithm 1): multi-head
+// attention over the uploaded public-critic parameter vectors produces a
+// per-client weight row; each participant receives its own attention-
+// weighted combination instead of one shared average.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "fed/aggregator.hpp"
+#include "nn/attention.hpp"
+
+namespace pfrl::fed {
+
+class AttentionAggregator final : public Aggregator {
+ public:
+  explicit AttentionAggregator(nn::MultiHeadAttentionConfig config = {});
+
+  AggregationOutput aggregate(const AggregationInput& input) override;
+  std::string name() const override { return "pfrl-dm-attention"; }
+
+  /// The attention module is created on first use (when P becomes known)
+  /// and kept — the random projections must be identical across rounds.
+  const nn::MultiHeadAttention* attention() const {
+    return attention_ ? &*attention_ : nullptr;
+  }
+
+ private:
+  nn::MultiHeadAttentionConfig config_;
+  std::optional<nn::MultiHeadAttention> attention_;
+};
+
+}  // namespace pfrl::fed

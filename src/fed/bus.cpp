@@ -1,0 +1,65 @@
+#include "fed/bus.hpp"
+
+#include <stdexcept>
+
+namespace pfrl::fed {
+
+Bus::Bus(std::size_t client_count) : client_boxes_(client_count) {}
+
+void Bus::send_to_server(Message message) {
+  const std::scoped_lock lock(mutex_);
+  uplink_bytes_ += message.payload.size();
+  ++uplink_messages_;
+  server_box_.push_back(std::move(message));
+}
+
+void Bus::send_to_client(std::size_t client, Message message) {
+  const std::scoped_lock lock(mutex_);
+  if (client >= client_boxes_.size()) throw std::out_of_range("Bus: unknown client");
+  downlink_bytes_ += message.payload.size();
+  ++downlink_messages_;
+  client_boxes_[client].push_back(std::move(message));
+}
+
+std::vector<Message> Bus::drain_server() {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Message> out(server_box_.begin(), server_box_.end());
+  server_box_.clear();
+  return out;
+}
+
+std::vector<Message> Bus::drain_client(std::size_t client) {
+  const std::scoped_lock lock(mutex_);
+  if (client >= client_boxes_.size()) throw std::out_of_range("Bus: unknown client");
+  std::vector<Message> out(client_boxes_[client].begin(), client_boxes_[client].end());
+  client_boxes_[client].clear();
+  return out;
+}
+
+std::size_t Bus::add_client() {
+  const std::scoped_lock lock(mutex_);
+  client_boxes_.emplace_back();
+  return client_boxes_.size() - 1;
+}
+
+std::uint64_t Bus::uplink_bytes() const {
+  const std::scoped_lock lock(mutex_);
+  return uplink_bytes_;
+}
+
+std::uint64_t Bus::downlink_bytes() const {
+  const std::scoped_lock lock(mutex_);
+  return downlink_bytes_;
+}
+
+std::uint64_t Bus::uplink_messages() const {
+  const std::scoped_lock lock(mutex_);
+  return uplink_messages_;
+}
+
+std::uint64_t Bus::downlink_messages() const {
+  const std::scoped_lock lock(mutex_);
+  return downlink_messages_;
+}
+
+}  // namespace pfrl::fed

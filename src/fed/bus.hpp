@@ -1,0 +1,49 @@
+// In-process message bus between federated clients and the server.
+//
+// Mailbox-per-endpoint with byte accounting; thread-safe so clients
+// training on pool threads can post uploads concurrently (MPI-style
+// cooperative message passing, no shared model state).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "fed/message.hpp"
+
+namespace pfrl::fed {
+
+class Bus {
+ public:
+  explicit Bus(std::size_t client_count);
+
+  std::size_t client_count() const { return client_boxes_.size(); }
+
+  /// Client -> server.
+  void send_to_server(Message message);
+  /// Server -> one client.
+  void send_to_client(std::size_t client, Message message);
+
+  std::vector<Message> drain_server();
+  std::vector<Message> drain_client(std::size_t client);
+
+  /// Grow to accommodate a newly joined client (Fig. 20); returns its id.
+  std::size_t add_client();
+
+  std::uint64_t uplink_bytes() const;
+  std::uint64_t downlink_bytes() const;
+  std::uint64_t uplink_messages() const;
+  std::uint64_t downlink_messages() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Message> server_box_;
+  std::vector<std::deque<Message>> client_boxes_;
+  std::uint64_t uplink_bytes_ = 0;
+  std::uint64_t downlink_bytes_ = 0;
+  std::uint64_t uplink_messages_ = 0;
+  std::uint64_t downlink_messages_ = 0;
+};
+
+}  // namespace pfrl::fed

@@ -1,0 +1,142 @@
+#include "fed/client.hpp"
+
+#include <stdexcept>
+
+#include "util/serialization.hpp"
+
+namespace pfrl::fed {
+
+std::string algorithm_name(FedAlgorithm algorithm) {
+  switch (algorithm) {
+    case FedAlgorithm::kIndependent: return "PPO";
+    case FedAlgorithm::kFedAvg: return "FedAvg";
+    case FedAlgorithm::kMfpo: return "MFPO";
+    case FedAlgorithm::kPfrlDm: return "PFRL-DM";
+    case FedAlgorithm::kFedProx: return "FedProx";
+    case FedAlgorithm::kFedKl: return "FedKL";
+  }
+  return "?";
+}
+
+namespace {
+std::unique_ptr<rl::PpoAgent> make_agent(FedAlgorithm algorithm, std::size_t state_dim,
+                                         int action_count, const rl::PpoConfig& ppo) {
+  if (algorithm == FedAlgorithm::kPfrlDm)
+    return std::make_unique<rl::DualCriticPpoAgent>(state_dim, action_count, ppo);
+  return std::make_unique<rl::PpoAgent>(state_dim, action_count, ppo);
+}
+}  // namespace
+
+FedClient::FedClient(FedClientConfig config, env::SchedulingEnvConfig env_config,
+                     workload::Trace train_trace)
+    : config_(config),
+      env_(std::move(env_config), train_trace),
+      train_trace_(std::move(train_trace)),
+      agent_(make_agent(config.algorithm, env_.state_dim(), env_.action_count(), config.ppo)) {}
+
+std::vector<rl::EpisodeStats> FedClient::train_episodes(std::size_t episodes) {
+  std::vector<rl::EpisodeStats> stats;
+  stats.reserve(episodes);
+  for (std::size_t e = 0; e < episodes; ++e) stats.push_back(agent_->train_episode(env_));
+  return stats;
+}
+
+rl::DualCriticPpoAgent* FedClient::dual_agent() {
+  return dynamic_cast<rl::DualCriticPpoAgent*>(agent_.get());
+}
+
+std::vector<std::uint8_t> FedClient::make_upload() {
+  util::ByteWriter writer;
+  switch (config_.algorithm) {
+    case FedAlgorithm::kIndependent:
+      break;  // nothing is shared
+    case FedAlgorithm::kPfrlDm: {
+      const std::vector<float> psi = dual_agent()->public_critic().flatten();
+      writer.write_f32_span(psi);
+      break;
+    }
+    case FedAlgorithm::kFedAvg:
+    case FedAlgorithm::kMfpo:
+    case FedAlgorithm::kFedProx:
+    case FedAlgorithm::kFedKl: {
+      // Actor and critic travel as one concatenated vector so the
+      // aggregator treats them uniformly.
+      std::vector<float> flat = agent_->actor().flatten();
+      const std::vector<float> critic = agent_->critic().flatten();
+      flat.insert(flat.end(), critic.begin(), critic.end());
+      writer.write_f32_span(flat);
+      break;
+    }
+  }
+  return writer.take();
+}
+
+void FedClient::apply_download(std::span<const std::uint8_t> payload) {
+  util::ByteReader reader(payload);
+  const std::vector<float> flat = reader.read_f32_vector();
+  switch (config_.algorithm) {
+    case FedAlgorithm::kIndependent:
+      throw std::logic_error("FedClient: independent client received a model");
+    case FedAlgorithm::kPfrlDm:
+      dual_agent()->load_public_critic(flat);
+      break;
+    case FedAlgorithm::kFedAvg:
+    case FedAlgorithm::kMfpo:
+    case FedAlgorithm::kFedProx:
+    case FedAlgorithm::kFedKl: {
+      const std::size_t actor_n = agent_->actor().param_count();
+      const std::size_t critic_n = agent_->critic().param_count();
+      if (flat.size() != actor_n + critic_n)
+        throw std::invalid_argument("FedClient: download size mismatch");
+      const auto actor_part = std::span<const float>(flat).subspan(0, actor_n);
+      const auto critic_part = std::span<const float>(flat).subspan(actor_n, critic_n);
+      agent_->load_actor(actor_part);
+      agent_->load_critic(critic_part);
+      // The regularized variants also anchor local training to the model
+      // they just received.
+      if (config_.algorithm == FedAlgorithm::kFedProx)
+        agent_->set_proximal_anchor(actor_part, critic_part, config_.fedprox_mu);
+      if (config_.algorithm == FedAlgorithm::kFedKl)
+        agent_->set_kl_anchor(actor_part, config_.fedkl_beta);
+      break;
+    }
+  }
+}
+
+std::size_t FedClient::upload_param_count() {
+  switch (config_.algorithm) {
+    case FedAlgorithm::kIndependent: return 0;
+    case FedAlgorithm::kPfrlDm: return dual_agent()->public_critic().param_count();
+    case FedAlgorithm::kFedAvg:
+    case FedAlgorithm::kMfpo:
+    case FedAlgorithm::kFedProx:
+    case FedAlgorithm::kFedKl:
+      return agent_->actor().param_count() + agent_->critic().param_count();
+  }
+  return 0;
+}
+
+double FedClient::shared_critic_loss() {
+  if (auto* dual = dual_agent()) return dual->last_public_critic_loss();
+  return agent_->last_critic_loss();
+}
+
+rl::EpisodeStats FedClient::evaluate_on(workload::Trace test_trace) {
+  env_.set_trace(std::move(test_trace));
+  const rl::EpisodeStats stats = agent_->evaluate(env_);
+  env_.set_trace(train_trace_);
+  return stats;
+}
+
+sim::EpisodeMetrics FedClient::evaluate_on_sampled(workload::Trace test_trace,
+                                                   std::size_t rollouts) {
+  env_.set_trace(std::move(test_trace));
+  std::vector<sim::EpisodeMetrics> runs;
+  runs.reserve(rollouts);
+  for (std::size_t r = 0; r < rollouts; ++r)
+    runs.push_back(agent_->evaluate_sampled(env_, /*masked=*/false).metrics);
+  env_.set_trace(train_trace_);
+  return sim::average_metrics(runs);
+}
+
+}  // namespace pfrl::fed

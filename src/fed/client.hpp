@@ -1,0 +1,86 @@
+// A federated client: one cloud provider's scheduling environment plus
+// its learning agent, with algorithm-specific wire behaviour.
+//
+// What crosses the wire per algorithm:
+//   PFRL-DM   — the public critic ψ only (§5.2 highlights the saving);
+//   FedAvg    — actor + critic (the paper's FedAvg baseline);
+//   MFPO      — actor + critic, momentum applied on the server;
+//   Independent — nothing (local PPO baseline).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "env/scheduling_env.hpp"
+#include "rl/dual_critic_ppo.hpp"
+#include "rl/ppo.hpp"
+
+namespace pfrl::fed {
+
+enum class FedAlgorithm {
+  kIndependent,
+  kFedAvg,
+  kMfpo,
+  kPfrlDm,
+  /// FedAvg + client-side proximal term μ‖θ − θ_G‖² (Li et al., MLSys'20).
+  kFedProx,
+  /// FedAvg + client-side KL(π_θ ‖ π_G) penalty (Xie & Song, JSAC'23).
+  kFedKl,
+};
+
+std::string algorithm_name(FedAlgorithm algorithm);
+
+struct FedClientConfig {
+  int id = 0;
+  FedAlgorithm algorithm = FedAlgorithm::kPfrlDm;
+  rl::PpoConfig ppo;
+  float fedprox_mu = 0.01F;  // proximal strength (kFedProx)
+  float fedkl_beta = 0.5F;   // KL penalty strength (kFedKl)
+};
+
+class FedClient {
+ public:
+  FedClient(FedClientConfig config, env::SchedulingEnvConfig env_config,
+            workload::Trace train_trace);
+
+  int id() const { return config_.id; }
+  FedAlgorithm algorithm() const { return config_.algorithm; }
+
+  /// Runs `episodes` local training episodes (Ω in Algorithm 1).
+  std::vector<rl::EpisodeStats> train_episodes(std::size_t episodes);
+
+  /// Serializes the parameters this algorithm shares.
+  std::vector<std::uint8_t> make_upload();
+  /// Applies a (personalized or global) model from the server.
+  void apply_download(std::span<const std::uint8_t> payload);
+  /// Number of floats in an upload — P for the aggregator.
+  std::size_t upload_param_count();
+
+  /// Loss of the critic this algorithm shares, evaluated on the agent's
+  /// last trajectory buffer (Fig. 9's before/after-aggregation series).
+  double shared_critic_loss();
+
+  /// Greedy (masked) evaluation on `test_trace`; the training trace and
+  /// episode state are restored afterwards.
+  rl::EpisodeStats evaluate_on(workload::Trace test_trace);
+
+  /// Raw-policy evaluation: `rollouts` stochastic episodes, metrics
+  /// averaged. This is the deployment-faithful measurement — a policy
+  /// that drifted toward idling or infeasible picks pays for it in
+  /// waiting time instead of being rescued by an action mask.
+  sim::EpisodeMetrics evaluate_on_sampled(workload::Trace test_trace, std::size_t rollouts);
+
+  rl::PpoAgent& agent() { return *agent_; }
+  /// Non-null only for PFRL-DM clients.
+  rl::DualCriticPpoAgent* dual_agent();
+  env::SchedulingEnv& environment() { return env_; }
+
+ private:
+  FedClientConfig config_;
+  env::SchedulingEnv env_;
+  workload::Trace train_trace_;
+  std::unique_ptr<rl::PpoAgent> agent_;
+};
+
+}  // namespace pfrl::fed

@@ -1,0 +1,14 @@
+#include "fed/fedavg.hpp"
+
+#include <stdexcept>
+
+namespace pfrl::fed {
+
+AggregationOutput FedAvgAggregator::aggregate(const AggregationInput& input) {
+  const std::size_t k = input.models.rows();
+  if (k == 0) throw std::invalid_argument("FedAvg: no models");
+  nn::Matrix uniform(k, k, 1.0F / static_cast<float>(k));
+  return weighted_aggregate(input, uniform);
+}
+
+}  // namespace pfrl::fed

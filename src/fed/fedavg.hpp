@@ -1,0 +1,15 @@
+// FedAvg (McMahan et al.) — the uniform-average baseline the paper shows
+// failing under environmental heterogeneity (§3.2, Figs. 8–9, 15).
+#pragma once
+
+#include "fed/aggregator.hpp"
+
+namespace pfrl::fed {
+
+class FedAvgAggregator final : public Aggregator {
+ public:
+  AggregationOutput aggregate(const AggregationInput& input) override;
+  std::string name() const override { return "fedavg"; }
+};
+
+}  // namespace pfrl::fed

@@ -1,0 +1,26 @@
+// Federated wire messages. Model parameters only ever cross the
+// client/server boundary inside these payloads (serialized bytes), which
+// keeps clients honestly isolated and makes communication costs
+// measurable (§5.2 compares PFRL-DM's critic-only traffic against
+// FedAvg's actor+critic traffic).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pfrl::fed {
+
+enum class MessageType : std::uint8_t {
+  kModelUpload = 0,    // client -> server: locally trained parameters
+  kModelPersonalized,  // server -> client: the client's personalized model
+  kModelGlobal,        // server -> client: ψ_G (non-participants, joiners)
+};
+
+struct Message {
+  MessageType type = MessageType::kModelUpload;
+  int sender = -1;  // client id, or -1 for the server
+  std::uint64_t round = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+}  // namespace pfrl::fed

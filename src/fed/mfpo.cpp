@@ -1,0 +1,44 @@
+#include "fed/mfpo.hpp"
+
+#include <stdexcept>
+
+namespace pfrl::fed {
+
+MfpoAggregator::MfpoAggregator(MfpoConfig config) : config_(config) {}
+
+AggregationOutput MfpoAggregator::aggregate(const AggregationInput& input) {
+  const std::size_t k = input.models.rows();
+  const std::size_t p = input.models.cols();
+  if (k == 0) throw std::invalid_argument("MfpoAggregator: no models");
+
+  // Average of the uploaded models.
+  std::vector<float> avg(p, 0.0F);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto row = input.models.row(i);
+    for (std::size_t j = 0; j < p; ++j) avg[j] += row[j];
+  }
+  const float inv_k = 1.0F / static_cast<float>(k);
+  for (float& v : avg) v *= inv_k;
+
+  if (global_.empty()) {
+    // First round: adopt the average, momentum starts at zero.
+    global_ = avg;
+    momentum_.assign(p, 0.0F);
+  } else {
+    if (global_.size() != p)
+      throw std::invalid_argument("MfpoAggregator: model dimension changed across rounds");
+    for (std::size_t j = 0; j < p; ++j) {
+      const float delta = avg[j] - global_[j];
+      momentum_[j] = config_.beta * momentum_[j] + (1.0F - config_.beta) * delta;
+      global_[j] += config_.server_lr * momentum_[j];
+    }
+  }
+
+  AggregationOutput out;
+  out.global_model = global_;
+  out.personalized.assign(k, global_);  // no personalization in MFPO
+  out.weights = nn::Matrix(k, k, inv_k);
+  return out;
+}
+
+}  // namespace pfrl::fed

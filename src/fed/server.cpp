@@ -1,0 +1,86 @@
+#include "fed/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/serialization.hpp"
+
+namespace pfrl::fed {
+
+FedServer::FedServer(std::unique_ptr<Aggregator> aggregator)
+    : aggregator_(std::move(aggregator)) {
+  if (!aggregator_) throw std::invalid_argument("FedServer: null aggregator");
+}
+
+namespace {
+std::vector<std::uint8_t> encode_model(std::span<const float> model) {
+  util::ByteWriter writer;
+  writer.write_f32_span(model);
+  return writer.take();
+}
+}  // namespace
+
+std::size_t FedServer::run_round(Bus& bus, std::uint64_t round,
+                                 std::span<const std::size_t> all_clients) {
+  const std::vector<Message> uploads = bus.drain_server();
+  if (uploads.empty()) return 0;
+
+  // Decode the K uploads into a K × P matrix (row order = arrival order).
+  AggregationInput input;
+  input.client_ids.reserve(uploads.size());
+  std::vector<std::vector<float>> rows;
+  rows.reserve(uploads.size());
+  std::size_t p = 0;
+  for (const Message& m : uploads) {
+    if (m.type != MessageType::kModelUpload)
+      throw std::invalid_argument("FedServer: unexpected message type in inbox");
+    util::ByteReader reader(m.payload);
+    rows.push_back(reader.read_f32_vector());
+    if (p == 0) p = rows.back().size();
+    if (rows.back().size() != p)
+      throw std::invalid_argument("FedServer: clients uploaded differently sized models");
+    input.client_ids.push_back(m.sender);
+  }
+  input.models = nn::Matrix(rows.size(), p);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    std::copy(rows[i].begin(), rows[i].end(), input.models.row(i).begin());
+
+  AggregationOutput output = aggregator_->aggregate(input);
+  global_model_ = std::move(output.global_model);
+  last_weights_ = std::move(output.weights);
+  last_participants_ = input.client_ids;
+
+  // Personalized models to participants (Algorithm 1 line 15's first arm).
+  for (std::size_t i = 0; i < input.client_ids.size(); ++i) {
+    Message reply;
+    reply.type = MessageType::kModelPersonalized;
+    reply.sender = -1;
+    reply.round = round;
+    reply.payload = encode_model(output.personalized[i]);
+    bus.send_to_client(static_cast<std::size_t>(input.client_ids[i]), std::move(reply));
+  }
+
+  // ψ_G to everyone else.
+  for (const std::size_t client : all_clients) {
+    const bool participated =
+        std::find(input.client_ids.begin(), input.client_ids.end(), static_cast<int>(client)) !=
+        input.client_ids.end();
+    if (participated) continue;
+    Message reply;
+    reply.type = MessageType::kModelGlobal;
+    reply.sender = -1;
+    reply.round = round;
+    reply.payload = encode_model(global_model_);
+    bus.send_to_client(client, std::move(reply));
+  }
+  return input.client_ids.size();
+}
+
+void FedServer::set_global_model(std::vector<float> model) { global_model_ = std::move(model); }
+
+std::vector<std::uint8_t> FedServer::global_payload() const {
+  if (!has_global_model()) throw std::logic_error("FedServer: no global model yet");
+  return encode_model(global_model_);
+}
+
+}  // namespace pfrl::fed

@@ -1,0 +1,47 @@
+// The federated server (Algorithm 1, lines 8–15): drains the round's
+// uploads from the bus, runs the pluggable aggregation strategy, then
+// answers every participant with its personalized model and every other
+// known client with the stored global model ψ_G.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fed/aggregator.hpp"
+#include "fed/bus.hpp"
+
+namespace pfrl::fed {
+
+class FedServer {
+ public:
+  explicit FedServer(std::unique_ptr<Aggregator> aggregator);
+
+  /// Executes one aggregation round over whatever uploads are waiting in
+  /// the bus. `all_clients` lists every known client id; those that did
+  /// not upload receive ψ_G (once one exists). Returns the number of
+  /// participants.
+  std::size_t run_round(Bus& bus, std::uint64_t round, std::span<const std::size_t> all_clients);
+
+  /// Seeds ψ_G before training (initial broadcast) or for tests.
+  void set_global_model(std::vector<float> model);
+  bool has_global_model() const { return !global_model_.empty(); }
+  const std::vector<float>& global_model() const { return global_model_; }
+
+  /// Serialized ψ_G ready to hand to a newly joining client (Fig. 20).
+  std::vector<std::uint8_t> global_payload() const;
+
+  /// Weight matrix of the most recent round (diagnostics / heat-maps).
+  const nn::Matrix& last_weights() const { return last_weights_; }
+  const std::vector<int>& last_participants() const { return last_participants_; }
+
+  const Aggregator& aggregator() const { return *aggregator_; }
+
+ private:
+  std::unique_ptr<Aggregator> aggregator_;
+  std::vector<float> global_model_;
+  nn::Matrix last_weights_;
+  std::vector<int> last_participants_;
+};
+
+}  // namespace pfrl::fed

@@ -1,0 +1,135 @@
+#include "fed/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace pfrl::fed {
+
+std::vector<double> TrainingHistory::mean_reward_curve() const {
+  std::size_t max_len = 0;
+  for (const ClientHistory& c : clients)
+    max_len = std::max(max_len, c.joined_at_episode + c.episode_rewards.size());
+  std::vector<double> curve(max_len, 0.0);
+  std::vector<std::size_t> counts(max_len, 0);
+  for (const ClientHistory& c : clients) {
+    for (std::size_t e = 0; e < c.episode_rewards.size(); ++e) {
+      curve[c.joined_at_episode + e] += c.episode_rewards[e];
+      ++counts[c.joined_at_episode + e];
+    }
+  }
+  for (std::size_t e = 0; e < curve.size(); ++e)
+    if (counts[e] > 0) curve[e] /= static_cast<double>(counts[e]);
+  return curve;
+}
+
+FedTrainer::FedTrainer(FedTrainerConfig config, std::unique_ptr<Aggregator> aggregator,
+                       std::vector<std::unique_ptr<FedClient>> clients)
+    : config_(config),
+      server_(aggregator ? std::make_unique<FedServer>(std::move(aggregator)) : nullptr),
+      clients_(std::move(clients)),
+      bus_(clients_.size()),
+      rng_(config.seed),
+      pool_(config.threads) {
+  if (clients_.empty()) throw std::invalid_argument("FedTrainer: no clients");
+  if (config_.comm_every == 0) throw std::invalid_argument("FedTrainer: comm_every must be > 0");
+  history_.clients.resize(clients_.size());
+
+  if (communication_enabled() && config_.sync_initial_model) {
+    // Every client starts from client 0's shared parameters, which also
+    // seeds ψ_G on the server (Algorithm 1's ψ_G^{(0)}).
+    const std::vector<std::uint8_t> init = clients_.front()->make_upload();
+    util::ByteReader reader(init);
+    server_->set_global_model(reader.read_f32_vector());
+    for (std::size_t i = 1; i < clients_.size(); ++i) clients_[i]->apply_download(init);
+  }
+}
+
+bool FedTrainer::communication_enabled() const {
+  return server_ != nullptr &&
+         clients_.front()->algorithm() != FedAlgorithm::kIndependent;
+}
+
+std::vector<std::size_t> FedTrainer::pick_participants() {
+  std::vector<std::size_t> all(clients_.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const std::size_t k = config_.participants_per_round;
+  if (k == 0 || k >= clients_.size()) return all;
+  rng_.shuffle(all);
+  all.resize(k);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+void FedTrainer::step_round() {
+  // --- Local training: "for each client n in parallel" (Algorithm 1). ---
+  const std::size_t episodes = config_.comm_every;
+  pool_.parallel_for(clients_.size(), [&](std::size_t i) {
+    const std::vector<rl::EpisodeStats> stats = clients_[i]->train_episodes(episodes);
+    ClientHistory& h = history_.clients[i];
+    for (const rl::EpisodeStats& s : stats) {
+      h.episode_rewards.push_back(s.total_reward);
+      h.episode_metrics.push_back(s.metrics);
+    }
+  });
+  episodes_done_ += episodes;
+
+  if (!communication_enabled()) return;
+
+  // --- Upload phase (participants only). ---
+  const std::vector<std::size_t> participants = pick_participants();
+  for (const std::size_t i : participants) {
+    Message m;
+    m.type = MessageType::kModelUpload;
+    m.sender = clients_[i]->id();
+    m.round = round_index_;
+    m.payload = clients_[i]->make_upload();
+    bus_.send_to_server(std::move(m));
+  }
+
+  // Critic evaluation before the new model lands (Fig. 9, "before").
+  for (std::size_t i = 0; i < clients_.size(); ++i)
+    history_.clients[i].critic_loss_before.push_back(clients_[i]->shared_critic_loss());
+
+  // --- Server aggregation + distribution. ---
+  std::vector<std::size_t> all(clients_.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  server_->run_round(bus_, round_index_, all);
+
+  // --- Download phase. ---
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    for (const Message& m : bus_.drain_client(i)) clients_[i]->apply_download(m.payload);
+    history_.clients[i].critic_loss_after.push_back(clients_[i]->shared_critic_loss());
+  }
+
+  ++round_index_;
+  ++history_.rounds;
+}
+
+TrainingHistory FedTrainer::run() {
+  while (episodes_done_ < config_.total_episodes) step_round();
+  return snapshot_history();
+}
+
+std::size_t FedTrainer::add_client(std::unique_ptr<FedClient> client) {
+  clients_.push_back(std::move(client));
+  bus_.add_client();
+  ClientHistory h;
+  h.joined_at_episode = episodes_done_;
+  history_.clients.push_back(std::move(h));
+  const std::size_t index = clients_.size() - 1;
+  if (communication_enabled() && server_->has_global_model())
+    clients_[index]->apply_download(server_->global_payload());
+  return index;
+}
+
+TrainingHistory FedTrainer::snapshot_history() const {
+  TrainingHistory h = history_;
+  h.uplink_bytes = bus_.uplink_bytes();
+  h.downlink_bytes = bus_.downlink_bytes();
+  return h;
+}
+
+}  // namespace pfrl::fed

@@ -1,0 +1,96 @@
+// Round orchestration for federated training (Algorithm 1's outer loop).
+//
+// Each round: every client trains Ω local episodes in parallel (thread
+// pool), the round's participants (K ≤ N, sampled) upload their shared
+// parameters, the server aggregates and replies, clients apply their
+// downloads. The trainer records per-episode rewards/metrics and the
+// before/after-aggregation critic losses that Figs. 8–9, 15, 20–21 plot.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fed/bus.hpp"
+#include "fed/client.hpp"
+#include "fed/server.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pfrl::fed {
+
+struct FedTrainerConfig {
+  std::size_t total_episodes = 300;  // per client
+  std::size_t comm_every = 15;       // Ω: local episodes between rounds
+  /// Clients uploading per round (K in Algorithm 1); 0 = all.
+  std::size_t participants_per_round = 0;
+  std::uint64_t seed = 42;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  /// Broadcast client 0's shared parameters before training so all
+  /// clients start from a common model (standard FL initialization; also
+  /// what makes parameter-space similarity measurable).
+  bool sync_initial_model = true;
+};
+
+struct ClientHistory {
+  std::vector<double> episode_rewards;
+  std::vector<sim::EpisodeMetrics> episode_metrics;
+  /// Shared-critic loss right before/after applying each round's download.
+  std::vector<double> critic_loss_before;
+  std::vector<double> critic_loss_after;
+  /// Episode index (global) at which this client joined.
+  std::size_t joined_at_episode = 0;
+};
+
+struct TrainingHistory {
+  std::vector<ClientHistory> clients;
+  std::size_t rounds = 0;
+  std::uint64_t uplink_bytes = 0;
+  std::uint64_t downlink_bytes = 0;
+
+  /// Mean reward across clients at each episode (clients that had not
+  /// joined yet are skipped) — the curves of Figs. 8, 15.
+  std::vector<double> mean_reward_curve() const;
+};
+
+class FedTrainer {
+ public:
+  FedTrainer(FedTrainerConfig config, std::unique_ptr<Aggregator> aggregator,
+             std::vector<std::unique_ptr<FedClient>> clients);
+
+  /// Runs until every client has executed total_episodes local episodes
+  /// (counted from its own join point).
+  TrainingHistory run();
+
+  /// One round: Ω local episodes per client + aggregation/exchange.
+  void step_round();
+
+  /// Adds a client mid-training (Fig. 20); it is initialized from ψ_G
+  /// when one exists. Returns its index.
+  std::size_t add_client(std::unique_ptr<FedClient> client);
+
+  std::size_t episodes_done() const { return episodes_done_; }
+  std::size_t client_count() const { return clients_.size(); }
+  FedClient& client(std::size_t i) { return *clients_[i]; }
+  /// Null when training independently (no aggregator was supplied).
+  FedServer* server() { return server_ ? server_.get() : nullptr; }
+  Bus& bus() { return bus_; }
+  const TrainingHistory& history() const { return history_; }
+  TrainingHistory snapshot_history() const;
+
+ private:
+  bool communication_enabled() const;
+  std::vector<std::size_t> pick_participants();
+
+  FedTrainerConfig config_;
+  std::unique_ptr<FedServer> server_;
+  std::vector<std::unique_ptr<FedClient>> clients_;
+  Bus bus_;
+  util::Rng rng_;
+  util::ThreadPool pool_;
+  TrainingHistory history_;
+  std::size_t episodes_done_ = 0;  // episodes completed by the oldest client
+  std::uint64_t round_index_ = 0;
+};
+
+}  // namespace pfrl::fed

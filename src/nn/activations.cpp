@@ -1,0 +1,39 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+namespace pfrl::nn {
+
+Matrix Tanh::forward(const Matrix& input) {
+  Matrix out = input;
+  for (float& v : out.flat()) v = std::tanh(v);
+  cached_output_ = out;
+  return out;
+}
+
+Matrix Tanh::backward(const Matrix& grad_output) {
+  Matrix grad_in = grad_output;
+  auto out = cached_output_.flat();
+  auto g = grad_in.flat();
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= 1.0F - out[i] * out[i];
+  return grad_in;
+}
+
+Matrix Relu::forward(const Matrix& input) {
+  cached_input_ = input;
+  Matrix out = input;
+  for (float& v : out.flat())
+    if (v < 0.0F) v = 0.0F;
+  return out;
+}
+
+Matrix Relu::backward(const Matrix& grad_output) {
+  Matrix grad_in = grad_output;
+  auto in = cached_input_.flat();
+  auto g = grad_in.flat();
+  for (std::size_t i = 0; i < g.size(); ++i)
+    if (in[i] <= 0.0F) g[i] = 0.0F;
+  return grad_in;
+}
+
+}  // namespace pfrl::nn

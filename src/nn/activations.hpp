@@ -1,0 +1,28 @@
+// Element-wise activations (no parameters).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace pfrl::nn {
+
+class Tanh final : public Layer {
+ public:
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<Tanh>(); }
+
+ private:
+  Matrix cached_output_;
+};
+
+class Relu final : public Layer {
+ public:
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<Relu>(); }
+
+ private:
+  Matrix cached_input_;
+};
+
+}  // namespace pfrl::nn

@@ -1,0 +1,65 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pfrl::nn {
+
+Adam::Adam(std::vector<Param*> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  // Optional global-norm clip across all parameters.
+  float clip_scale = 1.0F;
+  if (config_.max_grad_norm > 0.0F) {
+    double total_sq = 0.0;
+    for (const Param* p : params_)
+      for (const float g : p->grad.flat()) total_sq += static_cast<double>(g) * g;
+    const double norm = std::sqrt(total_sq);
+    if (norm > config_.max_grad_norm)
+      clip_scale = static_cast<float>(config_.max_grad_norm / (norm + 1e-12));
+  }
+
+  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(step_count_));
+  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(step_count_));
+
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto values = params_[i]->value.flat();
+    auto grads = params_[i]->grad.flat();
+    auto m = m_[i].flat();
+    auto v = v_[i].flat();
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      const float g = grads[j] * clip_scale;
+      m[j] = config_.beta1 * m[j] + (1.0F - config_.beta1) * g;
+      v[j] = config_.beta2 * v[j] + (1.0F - config_.beta2) * g * g;
+      const auto m_hat = static_cast<float>(m[j] / bias1);
+      const auto v_hat = static_cast<float>(v[j] / bias2);
+      values[j] -= config_.lr * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+    }
+  }
+}
+
+void Adam::reset_moments() {
+  for (auto& m : m_) m.zero();
+  for (auto& v : v_) v.zero();
+  step_count_ = 0;
+}
+
+void Adam::rebind(std::vector<Param*> params) {
+  if (params.size() != params_.size())
+    throw std::invalid_argument("Adam::rebind: param count mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i)
+    if (!params[i]->value.same_shape(params_[i]->value))
+      throw std::invalid_argument("Adam::rebind: param shape mismatch");
+  params_ = std::move(params);
+}
+
+}  // namespace pfrl::nn

@@ -1,0 +1,49 @@
+// Adam optimizer (Kingma & Ba) over a set of Params.
+//
+// The paper trains with Adam: actor lr 3e-4, critic lr 1e-4 (§3.1).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace pfrl::nn {
+
+struct AdamConfig {
+  float lr = 3e-4F;
+  float beta1 = 0.9F;
+  float beta2 = 0.999F;
+  float epsilon = 1e-8F;
+  /// Optional global-norm gradient clipping; <= 0 disables.
+  float max_grad_norm = 0.5F;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Param*> params, AdamConfig config);
+
+  /// Applies one update from the accumulated gradients, then leaves the
+  /// gradients untouched (caller decides when to zero them).
+  void step();
+
+  /// Resets moment estimates and the step counter — used when a client
+  /// swaps in a freshly aggregated model whose loss landscape position no
+  /// longer matches the accumulated moments.
+  void reset_moments();
+
+  /// Re-binds to a (possibly different) parameter set of identical shapes.
+  void rebind(std::vector<Param*> params);
+
+  std::int64_t steps_taken() const { return step_count_; }
+  const AdamConfig& config() const { return config_; }
+  void set_lr(float lr) { config_.lr = lr; }
+
+ private:
+  std::vector<Param*> params_;
+  AdamConfig config_;
+  std::vector<Matrix> m_;  // first moments, one per param
+  std::vector<Matrix> v_;  // second moments
+  std::int64_t step_count_ = 0;
+};
+
+}  // namespace pfrl::nn

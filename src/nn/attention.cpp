@@ -1,0 +1,91 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/softmax.hpp"
+
+namespace pfrl::nn {
+
+namespace {
+Matrix gaussian_matrix(std::size_t rows, std::size_t cols, double scale, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (float& v : m.flat()) v = static_cast<float>(rng.normal(0.0, scale));
+  return m;
+}
+}  // namespace
+
+MultiHeadAttention::MultiHeadAttention(std::size_t input_dim, MultiHeadAttentionConfig config)
+    : config_(config) {
+  if (config_.num_heads == 0 || config_.d_model == 0 || config_.d_k == 0)
+    throw std::invalid_argument("MultiHeadAttention: zero-sized configuration");
+  util::Rng rng(config_.seed);
+  // 1/sqrt(dim) scaling keeps embedded norms comparable to input norms.
+  embed_ = gaussian_matrix(input_dim, config_.d_model,
+                           1.0 / std::sqrt(static_cast<double>(input_dim)), rng);
+  w_query_.reserve(config_.num_heads);
+  w_key_.reserve(config_.num_heads);
+  const double proj_scale = 1.0 / std::sqrt(static_cast<double>(config_.d_model));
+  for (std::size_t h = 0; h < config_.num_heads; ++h) {
+    w_query_.push_back(gaussian_matrix(config_.d_model, config_.d_k, proj_scale, rng));
+    w_key_.push_back(config_.tie_query_key
+                         ? w_query_.back()
+                         : gaussian_matrix(config_.d_model, config_.d_k, proj_scale, rng));
+  }
+}
+
+Matrix MultiHeadAttention::embed(const Matrix& models) const {
+  if (models.cols() != embed_.rows())
+    throw std::invalid_argument("MultiHeadAttention: model dimension mismatch");
+  Matrix input = models;
+  if (config_.center_models && input.rows() > 1) {
+    const Matrix col_mean = input.column_sums() * (1.0F / static_cast<float>(input.rows()));
+    for (std::size_t r = 0; r < input.rows(); ++r) {
+      auto row = input.row(r);
+      const auto mean_row = col_mean.row(0);
+      for (std::size_t c = 0; c < row.size(); ++c) row[c] -= mean_row[c];
+    }
+  }
+  Matrix e = input.matmul(embed_);
+  if (!config_.normalize_embeddings) return e;
+  for (std::size_t r = 0; r < e.rows(); ++r) {
+    auto row = e.row(r);
+    double mean = 0.0;
+    for (const float v : row) mean += static_cast<double>(v);
+    mean /= static_cast<double>(row.size());
+    double var = 0.0;
+    for (const float v : row) {
+      const double d = static_cast<double>(v) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(row.size());
+    const auto inv_std = static_cast<float>(1.0 / std::sqrt(var + 1e-8));
+    for (float& v : row) v = (v - static_cast<float>(mean)) * inv_std;
+  }
+  return e;
+}
+
+std::vector<Matrix> MultiHeadAttention::head_weights(const Matrix& models) const {
+  const Matrix e = embed(models);
+  const auto inv_sqrt_dk = static_cast<float>(1.0 / std::sqrt(static_cast<double>(config_.d_k)));
+  std::vector<Matrix> heads;
+  heads.reserve(config_.num_heads);
+  for (std::size_t h = 0; h < config_.num_heads; ++h) {
+    const Matrix q = e.matmul(w_query_[h]);
+    const Matrix k = e.matmul(w_key_[h]);
+    Matrix scores = q.matmul_transpose(k);
+    scores *= inv_sqrt_dk;
+    heads.push_back(softmax_rows(scores));
+  }
+  return heads;
+}
+
+Matrix MultiHeadAttention::weights(const Matrix& models) const {
+  const std::vector<Matrix> heads = head_weights(models);
+  Matrix mean = heads.front();
+  for (std::size_t h = 1; h < heads.size(); ++h) mean += heads[h];
+  mean *= 1.0F / static_cast<float>(heads.size());
+  return mean;
+}
+
+}  // namespace pfrl::nn

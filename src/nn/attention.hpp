@@ -1,0 +1,73 @@
+// Multi-head attention weight generator for the server-side aggregator
+// (paper §4.4, Eqs. 18–20).
+//
+// Input: K flattened client critic-parameter vectors (K × P). The module
+//   1. projects each vector to a d_model embedding (a seeded random
+//      projection — Johnson–Lindenstrauss-style, preserving the geometry
+//      of the parameter vectors without requiring server-side training),
+//   2. standardizes each embedding row (zero mean / unit variance) so no
+//      single large coordinate dominates the dot products,
+//   3. runs H scaled-dot-product heads  softmax(Q Kᵀ / sqrt(d_k)),
+//   4. averages the per-head weight matrices into one row-stochastic
+//      K × K matrix W.
+// The aggregator then forms the personalized models ψ_k = Σ_j W_kj ψ_j
+// (Eq. 21); that multiplication lives in fed/attention_aggregator.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace pfrl::nn {
+
+struct MultiHeadAttentionConfig {
+  std::size_t num_heads = 4;
+  std::size_t d_model = 64;
+  std::size_t d_k = 16;
+  std::uint64_t seed = 0x5EEDA77E;  // projections are fixed given the seed
+  /// Standardize embedding rows before Q/K projection.
+  bool normalize_embeddings = true;
+  /// Subtract the per-coordinate mean across clients before embedding.
+  /// Federated clients share an initialization, so the raw parameter
+  /// vectors are dominated by that common component and every pairwise
+  /// similarity saturates; centering cancels it and lets the *divergence*
+  /// between clients (what training in different environments produced)
+  /// drive the attention weights.
+  bool center_models = true;
+  /// Share each head's key projection with its query projection. With
+  /// *untrained* projections this is essential: independent random W^Q,
+  /// W^K make q_i·k_j a zero-mean random form that carries no similarity
+  /// signal, whereas tied projections make each head a random-feature
+  /// approximation of the embedding dot product (so similar critics —
+  /// the C1/C1' pair of Fig. 11 — attend to each other). Disable to get
+  /// the literal untied form of Eq. 20.
+  bool tie_query_key = true;
+};
+
+class MultiHeadAttention {
+ public:
+  /// `input_dim` is P, the flattened critic size. Projections are created
+  /// eagerly so every call sees identical weights.
+  MultiHeadAttention(std::size_t input_dim, MultiHeadAttentionConfig config);
+
+  /// models: K × P (one row per client). Returns the K × K row-stochastic
+  /// attention weight matrix (head-averaged).
+  Matrix weights(const Matrix& models) const;
+
+  /// Per-head weight matrices (for the Fig. 11 heat-map and tests).
+  std::vector<Matrix> head_weights(const Matrix& models) const;
+
+  std::size_t input_dim() const { return embed_.rows(); }
+  const MultiHeadAttentionConfig& config() const { return config_; }
+
+ private:
+  Matrix embed(const Matrix& models) const;
+
+  MultiHeadAttentionConfig config_;
+  Matrix embed_;                 // P × d_model shared embedding
+  std::vector<Matrix> w_query_;  // per head, d_model × d_k
+  std::vector<Matrix> w_key_;    // per head, d_model × d_k
+};
+
+}  // namespace pfrl::nn

@@ -1,0 +1,43 @@
+// Layer abstraction with explicit forward/backward.
+//
+// There is deliberately no autograd graph: each layer caches what its
+// backward pass needs, and composite losses (the clipped PPO surrogate,
+// the dual-critic MSE) assemble output gradients by hand. Finite-difference
+// tests in tests/nn_gradcheck_test.cpp pin every backward implementation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace pfrl::nn {
+
+/// One trainable tensor: value + gradient accumulator of the same shape.
+struct Param {
+  Matrix value;
+  Matrix grad;
+
+  explicit Param(Matrix v) : value(std::move(v)), grad(value.rows(), value.cols()) {}
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for a batch (rows = samples) and caches
+  /// whatever backward() needs.
+  virtual Matrix forward(const Matrix& input) = 0;
+
+  /// Given dL/d(output), accumulates dL/d(params) into the Param grads and
+  /// returns dL/d(input). Must follow a matching forward() call.
+  virtual Matrix backward(const Matrix& grad_output) = 0;
+
+  /// Trainable parameters (empty for activations).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Deep copy including parameter values (gradients reset to zero).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+};
+
+}  // namespace pfrl::nn

@@ -1,0 +1,40 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+namespace pfrl::nn {
+
+namespace {
+Param xavier_weight(std::size_t in, std::size_t out, util::Rng& rng) {
+  Matrix w(in, out);
+  const double bound = std::sqrt(6.0 / static_cast<double>(in + out));
+  for (float& v : w.flat()) v = static_cast<float>(rng.uniform(-bound, bound));
+  return Param(std::move(w));
+}
+}  // namespace
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng)
+    : weight_(xavier_weight(in_features, out_features, rng)),
+      bias_(Matrix(1, out_features)) {}
+
+Matrix Linear::forward(const Matrix& input) {
+  cached_input_ = input;
+  Matrix out = input.matmul(weight_.value);
+  out.add_row_broadcast(bias_.value);
+  return out;
+}
+
+Matrix Linear::backward(const Matrix& grad_output) {
+  // dL/dW = xᵀ g ; dL/db = column sums of g ; dL/dx = g Wᵀ.
+  weight_.grad += cached_input_.transpose_matmul(grad_output);
+  bias_.grad += grad_output.column_sums();
+  return grad_output.matmul_transpose(weight_.value);
+}
+
+std::unique_ptr<Layer> Linear::clone() const {
+  Param w(weight_.value);
+  Param b(bias_.value);
+  return std::unique_ptr<Layer>(new Linear(std::move(w), std::move(b)));
+}
+
+}  // namespace pfrl::nn

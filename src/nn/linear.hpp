@@ -1,0 +1,33 @@
+// Affine layer: y = x W + b, with W stored input-major (in × out).
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace pfrl::nn {
+
+class Linear final : public Layer {
+ public:
+  /// Xavier-uniform initialization of W, zero bias.
+  Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng);
+
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::unique_ptr<Layer> clone() const override;
+
+  std::size_t in_features() const { return weight_.value.rows(); }
+  std::size_t out_features() const { return weight_.value.cols(); }
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  Linear(Param weight, Param bias) : weight_(std::move(weight)), bias_(std::move(bias)) {}
+
+  Param weight_;
+  Param bias_;
+  Matrix cached_input_;
+};
+
+}  // namespace pfrl::nn

@@ -1,0 +1,134 @@
+#include "nn/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pfrl::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill_value)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill_value) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  if (data_.size() != rows * cols)
+    throw std::invalid_argument("Matrix: data size does not match shape");
+}
+
+Matrix Matrix::row_vector(std::span<const float> values) {
+  return Matrix(1, values.size(), std::vector<float>(values.begin(), values.end()));
+}
+
+void Matrix::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("matmul: inner dims differ");
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order: streams through `other` row-wise for cache locality.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const float* a_row = data_.data() + i * cols_;
+    float* o_row = out.data_.data() + i * other.cols_;
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const float a = a_row[k];
+      if (a == 0.0F) continue;
+      const float* b_row = other.data_.data() + k * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) o_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose_matmul(const Matrix& other) const {
+  if (rows_ != other.rows_) throw std::invalid_argument("transpose_matmul: outer dims differ");
+  Matrix out(cols_, other.cols_);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const float* a_row = data_.data() + k * cols_;
+    const float* b_row = other.data_.data() + k * other.cols_;
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const float a = a_row[i];
+      if (a == 0.0F) continue;
+      float* o_row = out.data_.data() + i * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) o_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_transpose(const Matrix& other) const {
+  if (cols_ != other.cols_) throw std::invalid_argument("matmul_transpose: inner dims differ");
+  Matrix out(rows_, other.rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const float* a_row = data_.data() + i * cols_;
+    float* o_row = out.data_.data() + i * other.rows_;
+    for (std::size_t j = 0; j < other.rows_; ++j) {
+      const float* b_row = other.data_.data() + j * cols_;
+      float acc = 0.0F;
+      for (std::size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
+      o_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  if (!same_shape(other)) throw std::invalid_argument("operator+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  if (!same_shape(other)) throw std::invalid_argument("operator-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix Matrix::hadamard(const Matrix& other) const {
+  if (!same_shape(other)) throw std::invalid_argument("hadamard: shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+void Matrix::add_row_broadcast(const Matrix& bias) {
+  if (bias.rows_ != 1 || bias.cols_ != cols_)
+    throw std::invalid_argument("add_row_broadcast: bias must be 1 x cols");
+  for (std::size_t i = 0; i < rows_; ++i) {
+    float* r = data_.data() + i * cols_;
+    for (std::size_t j = 0; j < cols_; ++j) r[j] += bias.data_[j];
+  }
+}
+
+Matrix Matrix::column_sums() const {
+  Matrix out(1, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const float* r = data_.data() + i * cols_;
+    for (std::size_t j = 0; j < cols_; ++j) out.data_[j] += r[j];
+  }
+  return out;
+}
+
+double Matrix::sum() const {
+  double acc = 0.0;
+  for (const float v : data_) acc += static_cast<double>(v);
+  return acc;
+}
+
+float Matrix::max_abs() const {
+  float best = 0.0F;
+  for (const float v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+}  // namespace pfrl::nn

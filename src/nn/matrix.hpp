@@ -1,0 +1,92 @@
+// Dense row-major float matrix — the single tensor type of the NN stack.
+//
+// The networks in PFRL-DM are tiny (one 64-unit hidden layer), so the
+// design optimizes for clarity and testability over BLAS-level speed:
+// value semantics, bounds assertions in debug builds, and explicit loops
+// the compiler can vectorize.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pfrl::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0F);
+  Matrix(std::size_t rows, std::size_t cols, std::vector<float> data);
+
+  static Matrix row_vector(std::span<const float> values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<float> row(std::size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  void fill(float value);
+  void zero() { fill(0.0F); }
+
+  /// this * other  — (m×k)·(k×n) → m×n.
+  Matrix matmul(const Matrix& other) const;
+  /// thisᵀ * other — (k×m)ᵀ·(k×n) → m×n without materializing the transpose.
+  Matrix transpose_matmul(const Matrix& other) const;
+  /// this * otherᵀ — (m×k)·(n×k)ᵀ → m×n without materializing the transpose.
+  Matrix matmul_transpose(const Matrix& other) const;
+
+  Matrix transposed() const;
+
+  /// Element-wise operations (shapes must match).
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(float scalar);
+  Matrix hadamard(const Matrix& other) const;
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, float s) { return lhs *= s; }
+  friend Matrix operator*(float s, Matrix rhs) { return rhs *= s; }
+
+  /// Adds `bias` (1×cols) to every row.
+  void add_row_broadcast(const Matrix& bias);
+
+  /// Column-wise sum → 1×cols (gradient of a row broadcast).
+  Matrix column_sums() const;
+
+  double sum() const;
+  float max_abs() const;
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace pfrl::nn

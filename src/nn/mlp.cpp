@@ -1,0 +1,121 @@
+#include "nn/mlp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+
+namespace pfrl::nn {
+
+Mlp::Mlp(std::size_t input_dim, const std::vector<std::size_t>& hidden_dims,
+         std::size_t output_dim, util::Rng& rng)
+    : input_dim_(input_dim), output_dim_(output_dim) {
+  std::size_t prev = input_dim;
+  for (const std::size_t h : hidden_dims) {
+    layers_.push_back(std::make_unique<Linear>(prev, h, rng));
+    layers_.push_back(std::make_unique<Tanh>());
+    prev = h;
+  }
+  layers_.push_back(std::make_unique<Linear>(prev, output_dim, rng));
+}
+
+Mlp::Mlp(const Mlp& other) : input_dim_(other.input_dim_), output_dim_(other.output_dim_) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& layer : other.layers_) layers_.push_back(layer->clone());
+}
+
+Mlp& Mlp::operator=(const Mlp& other) {
+  if (this == &other) return *this;
+  Mlp copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+Matrix Mlp::forward(const Matrix& input) {
+  Matrix x = input;
+  for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+Matrix Mlp::backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+void Mlp::zero_grad() {
+  for (Param* p : params()) p->grad.zero();
+}
+
+std::vector<Param*> Mlp::params() {
+  std::vector<Param*> all;
+  for (auto& layer : layers_)
+    for (Param* p : layer->params()) all.push_back(p);
+  return all;
+}
+
+std::size_t Mlp::param_count() const {
+  std::size_t count = 0;
+  for (const auto& layer : layers_)
+    for (Param* p : const_cast<Layer&>(*layer).params()) count += p->value.size();
+  return count;
+}
+
+std::vector<float> Mlp::flatten() const {
+  std::vector<float> flat;
+  flat.reserve(param_count());
+  for (const auto& layer : layers_)
+    for (Param* p : const_cast<Layer&>(*layer).params()) {
+      const auto values = p->value.flat();
+      flat.insert(flat.end(), values.begin(), values.end());
+    }
+  return flat;
+}
+
+void Mlp::unflatten(std::span<const float> flat) {
+  if (flat.size() != param_count())
+    throw std::invalid_argument("Mlp::unflatten: size mismatch");
+  std::size_t offset = 0;
+  for (auto& layer : layers_)
+    for (Param* p : layer->params()) {
+      auto values = p->value.flat();
+      std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(offset), values.size(),
+                  values.begin());
+      offset += values.size();
+    }
+}
+
+std::vector<float> Mlp::flatten_grad() const {
+  std::vector<float> flat;
+  flat.reserve(param_count());
+  for (const auto& layer : layers_)
+    for (Param* p : const_cast<Layer&>(*layer).params()) {
+      const auto grads = p->grad.flat();
+      flat.insert(flat.end(), grads.begin(), grads.end());
+    }
+  return flat;
+}
+
+void Mlp::serialize(util::ByteWriter& writer) const {
+  writer.write_u64(input_dim_);
+  writer.write_u64(output_dim_);
+  const std::vector<float> flat = flatten();
+  writer.write_f32_span(flat);
+}
+
+void Mlp::deserialize(util::ByteReader& reader) {
+  const std::uint64_t in = reader.read_u64();
+  const std::uint64_t out = reader.read_u64();
+  if (in != input_dim_ || out != output_dim_)
+    throw std::invalid_argument("Mlp::deserialize: architecture mismatch");
+  const std::vector<float> flat = reader.read_f32_vector();
+  unflatten(flat);
+}
+
+bool Mlp::same_architecture(const Mlp& other) const {
+  return input_dim_ == other.input_dim_ && output_dim_ == other.output_dim_ &&
+         param_count() == other.param_count();
+}
+
+}  // namespace pfrl::nn

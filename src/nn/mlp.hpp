@@ -1,0 +1,61 @@
+// Sequential network plus the parameter plumbing that federated learning
+// needs: flatten/unflatten (aggregation works on flat vectors, Eq. 21–22)
+// and byte serialization (models cross the bus as payloads).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+#include "util/serialization.hpp"
+
+namespace pfrl::nn {
+
+class Mlp {
+ public:
+  Mlp() = default;
+
+  /// Builds input -> [hidden tanh]* -> output (linear head), matching the
+  /// paper's "single hidden layer of 64 neurons" when hidden = {64}.
+  Mlp(std::size_t input_dim, const std::vector<std::size_t>& hidden_dims,
+      std::size_t output_dim, util::Rng& rng);
+
+  Mlp(const Mlp& other);
+  Mlp& operator=(const Mlp& other);
+  Mlp(Mlp&&) = default;
+  Mlp& operator=(Mlp&&) = default;
+
+  Matrix forward(const Matrix& input);
+  /// Backward through the whole stack; returns dL/d(input).
+  Matrix backward(const Matrix& grad_output);
+
+  void zero_grad();
+
+  std::vector<Param*> params();
+  std::size_t param_count() const;
+
+  /// Concatenated parameter values in layer order.
+  std::vector<float> flatten() const;
+  /// Inverse of flatten(); throws on size mismatch.
+  void unflatten(std::span<const float> flat);
+  /// Concatenated gradients (same ordering as flatten()).
+  std::vector<float> flatten_grad() const;
+
+  void serialize(util::ByteWriter& writer) const;
+  /// Restores parameter values into an architecture-compatible net.
+  void deserialize(util::ByteReader& reader);
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t output_dim() const { return output_dim_; }
+
+  bool same_architecture(const Mlp& other) const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::size_t input_dim_ = 0;
+  std::size_t output_dim_ = 0;
+};
+
+}  // namespace pfrl::nn

@@ -1,0 +1,73 @@
+#include "nn/similarity.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "nn/softmax.hpp"
+
+namespace pfrl::nn {
+
+Matrix cosine_similarity_matrix(const Matrix& models) {
+  const std::size_t k = models.rows();
+  std::vector<double> norms(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    double acc = 0.0;
+    for (const float v : models.row(i)) acc += static_cast<double>(v) * static_cast<double>(v);
+    norms[i] = std::sqrt(acc);
+  }
+  Matrix sim(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      double dot = 0.0;
+      const auto a = models.row(i);
+      const auto b = models.row(j);
+      for (std::size_t t = 0; t < a.size(); ++t)
+        dot += static_cast<double>(a[t]) * static_cast<double>(b[t]);
+      const double denom = norms[i] * norms[j];
+      sim(i, j) = denom > 0.0 ? static_cast<float>(dot / denom) : 0.0F;
+    }
+  }
+  return sim;
+}
+
+Matrix kl_divergence_matrix(const Matrix& models) {
+  const std::size_t k = models.rows();
+  const std::size_t p = models.cols();
+  // Squash each parameter vector into a distribution over coordinates.
+  Matrix dist(k, p);
+  for (std::size_t i = 0; i < k; ++i) {
+    auto out = dist.row(i);
+    const auto in = models.row(i);
+    for (std::size_t t = 0; t < p; ++t) out[t] = std::fabs(in[t]);
+    softmax_inplace(out);
+  }
+  Matrix div(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      double acc = 0.0;
+      const auto pi = dist.row(i);
+      const auto pj = dist.row(j);
+      for (std::size_t t = 0; t < p; ++t) {
+        const double a = std::max(static_cast<double>(pi[t]), 1e-12);
+        const double b = std::max(static_cast<double>(pj[t]), 1e-12);
+        acc += a * std::log(a / b);
+      }
+      div(i, j) = static_cast<float>(acc);
+    }
+  }
+  return div;
+}
+
+Matrix weights_from_similarity(const Matrix& similarity, float tau) {
+  Matrix w = similarity;
+  w *= 1.0F / tau;
+  return softmax_rows(w);
+}
+
+Matrix weights_from_divergence(const Matrix& divergence, float tau) {
+  Matrix w = divergence;
+  w *= -1.0F / tau;
+  return softmax_rows(w);
+}
+
+}  // namespace pfrl::nn

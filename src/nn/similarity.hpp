@@ -1,0 +1,28 @@
+// Baseline similarity-based weight generators (paper §3.3, Figs. 12–13).
+//
+// The paper compares the multi-head attention weights against weights
+// derived from KL divergence and cosine similarity over the clients'
+// critic models; both baselines fail to concentrate weight on the
+// matching client pair. These functions reproduce those baselines.
+#pragma once
+
+#include "nn/matrix.hpp"
+
+namespace pfrl::nn {
+
+/// Pairwise cosine similarity of the rows of `models` (K × P) → K × K.
+Matrix cosine_similarity_matrix(const Matrix& models);
+
+/// Pairwise KL divergence D(p_i || p_j) where p_i = softmax(|row_i|).
+/// Parameter vectors are not distributions, so — as in the paper's
+/// baseline — they are squashed into one via softmax of magnitudes first.
+Matrix kl_divergence_matrix(const Matrix& models);
+
+/// Row-stochastic weights from a similarity matrix: softmax(sim / tau)
+/// per row. Higher similarity → larger weight.
+Matrix weights_from_similarity(const Matrix& similarity, float tau = 1.0F);
+
+/// Row-stochastic weights from a divergence matrix: softmax(-div / tau).
+Matrix weights_from_divergence(const Matrix& divergence, float tau = 1.0F);
+
+}  // namespace pfrl::nn

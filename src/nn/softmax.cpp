@@ -1,0 +1,50 @@
+#include "nn/softmax.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pfrl::nn {
+
+Matrix softmax_rows(const Matrix& logits) {
+  Matrix out = logits;
+  for (std::size_t r = 0; r < out.rows(); ++r) softmax_inplace(out.row(r));
+  return out;
+}
+
+Matrix log_softmax_rows(const Matrix& logits) {
+  Matrix out = logits;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    auto row = out.row(r);
+    const float max_v = *std::max_element(row.begin(), row.end());
+    double total = 0.0;
+    for (const float v : row) total += std::exp(static_cast<double>(v - max_v));
+    const float log_z = max_v + static_cast<float>(std::log(total));
+    for (float& v : row) v -= log_z;
+  }
+  return out;
+}
+
+void softmax_inplace(std::span<float> values) {
+  assert(!values.empty());
+  const float max_v = *std::max_element(values.begin(), values.end());
+  double total = 0.0;
+  for (float& v : values) {
+    v = std::exp(v - max_v);
+    total += static_cast<double>(v);
+  }
+  const auto inv = static_cast<float>(1.0 / total);
+  for (float& v : values) v *= inv;
+}
+
+void softmax_backward_row(std::span<const float> probs, std::span<const float> grad_probs,
+                          std::span<float> grad_logits) {
+  assert(probs.size() == grad_probs.size() && probs.size() == grad_logits.size());
+  double dot = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i)
+    dot += static_cast<double>(probs[i]) * static_cast<double>(grad_probs[i]);
+  for (std::size_t i = 0; i < probs.size(); ++i)
+    grad_logits[i] = probs[i] * (grad_probs[i] - static_cast<float>(dot));
+}
+
+}  // namespace pfrl::nn

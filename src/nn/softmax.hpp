@@ -1,0 +1,30 @@
+// Row-wise softmax utilities.
+//
+// The PPO policy head consumes raw logits, so softmax lives outside the
+// Layer stack: the loss code converts logits -> probabilities with these
+// helpers and assembles dL/dlogits directly (which is both simpler and
+// numerically better than backprop through an explicit softmax layer).
+#pragma once
+
+#include <span>
+
+#include "nn/matrix.hpp"
+
+namespace pfrl::nn {
+
+/// Row-wise softmax with max-subtraction for numerical stability.
+Matrix softmax_rows(const Matrix& logits);
+
+/// Row-wise log-softmax (stable).
+Matrix log_softmax_rows(const Matrix& logits);
+
+/// Softmax over a single contiguous vector.
+void softmax_inplace(std::span<float> values);
+
+/// Given probabilities p = softmax(z) for one row and dL/dp, computes
+/// dL/dz = (diag(p) - p pᵀ) · dL/dp. Used by attention backward and in
+/// gradient checks of the policy head.
+void softmax_backward_row(std::span<const float> probs, std::span<const float> grad_probs,
+                          std::span<float> grad_logits);
+
+}  // namespace pfrl::nn

@@ -1,0 +1,37 @@
+#include "rl/agent.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace pfrl::rl {
+
+int sample_categorical(std::span<const float> logits, util::Rng& rng, float& log_prob) {
+  assert(!logits.empty());
+  const float max_logit = *std::max_element(logits.begin(), logits.end());
+  double total = 0.0;
+  std::vector<double> weights(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    weights[i] = std::exp(static_cast<double>(logits[i] - max_logit));
+    total += weights[i];
+  }
+  double target = rng.uniform() * total;
+  std::size_t chosen = logits.size() - 1;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) {
+      chosen = i;
+      break;
+    }
+  }
+  log_prob = static_cast<float>(std::log(weights[chosen] / total));
+  return static_cast<int>(chosen);
+}
+
+int argmax_action(std::span<const float> logits) {
+  assert(!logits.empty());
+  return static_cast<int>(std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+}  // namespace pfrl::rl

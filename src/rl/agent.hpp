@@ -1,0 +1,61 @@
+// Agent-facing abstractions shared by PPO variants and the federated layer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "env/env.hpp"
+#include "sim/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace pfrl::rl {
+
+/// Hyper-parameters (§3.1: Adam, actor lr 3e-4, critic lr 1e-4, one hidden
+/// layer of 64 neurons, γ = 0.99, clip ε = 0.2).
+struct PpoConfig {
+  std::size_t hidden = 64;
+  float actor_lr = 3e-4F;
+  float critic_lr = 1e-4F;
+  double gamma = 0.99;
+  /// GAE λ. 1.0 recovers the paper's Monte-Carlo advantage (Eq. 13);
+  /// the default trades a little bias for far less variance, which the
+  /// scaled-down episodes need to learn within few samples.
+  double gae_lambda = 0.95;
+  float clip_epsilon = 0.2F;
+  std::size_t update_epochs = 4;    // PPO epochs per collected episode
+  float entropy_coef = 0.01F;       // exploration bonus (not paper-specified)
+  bool normalize_advantages = true;
+  float max_grad_norm = 0.5F;
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of one training or evaluation episode.
+struct EpisodeStats {
+  double total_reward = 0.0;
+  sim::EpisodeMetrics metrics;
+};
+
+/// Minimal polymorphic agent interface (the federated client holds
+/// concrete PPO types; this interface is for examples/baselines).
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  /// Samples an action from the current policy.
+  virtual int act(std::span<const float> state) = 0;
+
+  /// Collects one episode in `environment` and performs a policy update.
+  virtual EpisodeStats train_episode(env::Env& environment) = 0;
+
+  /// Greedy rollout without learning.
+  virtual EpisodeStats evaluate(env::Env& environment) = 0;
+};
+
+/// Samples from the categorical distribution softmax(logits); on return
+/// `log_prob` holds log π(a). Numerically stable (works on raw logits).
+int sample_categorical(std::span<const float> logits, util::Rng& rng, float& log_prob);
+
+/// Index of the largest logit (greedy action).
+int argmax_action(std::span<const float> logits);
+
+}  // namespace pfrl::rl

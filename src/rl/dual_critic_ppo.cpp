@@ -1,0 +1,76 @@
+#include "rl/dual_critic_ppo.hpp"
+
+#include <cmath>
+
+namespace pfrl::rl {
+
+namespace {
+nn::AdamConfig adam_for(float lr, float max_grad_norm) {
+  nn::AdamConfig c;
+  c.lr = lr;
+  c.max_grad_norm = max_grad_norm;
+  return c;
+}
+}  // namespace
+
+DualCriticPpoAgent::DualCriticPpoAgent(std::size_t state_dim, int action_count, PpoConfig config)
+    : PpoAgent(state_dim, action_count, config),
+      public_critic_(state_dim, {config.hidden}, 1, rng_),
+      public_critic_opt_(public_critic_.params(),
+                         adam_for(config.critic_lr, config.max_grad_norm)) {}
+
+nn::Matrix DualCriticPpoAgent::value_batch(const nn::Matrix& states) {
+  nn::Matrix local = critic_.forward(states);
+  const nn::Matrix pub = public_critic_.forward(states);
+  const auto a = static_cast<float>(alpha_);
+  for (std::size_t i = 0; i < local.rows(); ++i)
+    local(i, 0) = a * local(i, 0) + (1.0F - a) * pub(i, 0);
+  return local;
+}
+
+void DualCriticPpoAgent::update_critics(const nn::Matrix& states,
+                                        std::span<const float> returns) {
+  // Eqs. (16) and (17): both critics regress toward the same targets,
+  // "optimized synchronously" during the update.
+  const float inv_n = 1.0F / static_cast<float>(states.rows());
+  for (std::size_t epoch = 0; epoch < config_.update_epochs; ++epoch) {
+    for (nn::Mlp* net : {&critic_, &public_critic_}) {
+      nn::Matrix v = net->forward(states);
+      nn::Matrix grad(v.rows(), 1);
+      for (std::size_t i = 0; i < v.rows(); ++i)
+        grad(i, 0) = 2.0F * inv_n * (v(i, 0) - returns[i]);
+      net->zero_grad();
+      net->backward(grad);
+      (net == &critic_ ? critic_opt_ : public_critic_opt_).step();
+    }
+  }
+  refresh_alpha();
+}
+
+void DualCriticPpoAgent::load_public_critic(std::span<const float> flat) {
+  public_critic_.unflatten(flat);
+  public_critic_opt_.reset_moments();
+  refresh_alpha();
+}
+
+void DualCriticPpoAgent::load_critic(std::span<const float> flat) {
+  PpoAgent::load_critic(flat);  // targets the local critic; triggers refresh
+}
+
+void DualCriticPpoAgent::refresh_alpha() {
+  // Eq. (15), evaluated on the trajectories still in the buffer. Before
+  // any experience exists the critics are equally trusted.
+  if (last_buffer().empty()) {
+    alpha_ = 0.5;
+    return;
+  }
+  last_local_loss_ = critic_loss_on(critic_, last_buffer());
+  last_public_loss_ = critic_loss_on(public_critic_, last_buffer());
+  // Stabilize the softmax for large losses by shifting both exponents.
+  const double shift = std::min(last_local_loss_, last_public_loss_);
+  const double e_local = std::exp(-(last_local_loss_ - shift));
+  const double e_public = std::exp(-(last_public_loss_ - shift));
+  alpha_ = e_local / (e_local + e_public);
+}
+
+}  // namespace pfrl::rl

@@ -1,0 +1,62 @@
+// The client-side algorithm of PFRL-DM (§4.3): PPO with a *dual critic*.
+//
+// Each client keeps a local critic φ (never shared) and a public critic ψ
+// (the model exchanged with the server). State values mix the two:
+//     V(s) = α·V_φ(s) + (1-α)·V_ψ(s)                       (Eq. 14)
+// with α chosen adaptively from the critics' buffer losses:
+//     α = e^{-L_φ} / (e^{-L_φ} + e^{-L_ψ})                 (Eq. 15)
+// recomputed after every parameter change — both local updates and the
+// receipt of an aggregated public critic — so a public model that arrives
+// poorly matched to this client's environment is automatically
+// down-weighted instead of corrupting the policy-update direction
+// (the Fig. 9 failure mode of plain FedAvg).
+//
+// Both critics regress toward the same return targets (Eqs. 16–17); the
+// base-class critic_ member serves as the *local* critic φ.
+#pragma once
+
+#include "rl/ppo.hpp"
+
+namespace pfrl::rl {
+
+class DualCriticPpoAgent final : public PpoAgent {
+ public:
+  DualCriticPpoAgent(std::size_t state_dim, int action_count, PpoConfig config);
+
+  /// Mixed value (Eq. 14).
+  nn::Matrix value_batch(const nn::Matrix& states) override;
+
+  nn::Mlp& local_critic() { return critic_; }
+  nn::Mlp& public_critic() { return public_critic_; }
+  const nn::Mlp& public_critic() const { return public_critic_; }
+
+  /// Loads an aggregated public critic from the server; the local critic
+  /// and actor stay untouched (only ψ crosses the wire in PFRL-DM).
+  void load_public_critic(std::span<const float> flat);
+
+  /// PpoAgent::load_critic targets the *local* critic; kept for symmetry
+  /// with the baselines.
+  void load_critic(std::span<const float> flat) override;
+
+  double alpha() const { return alpha_; }
+  double last_public_critic_loss() const { return last_public_loss_; }
+  double last_local_critic_loss() const { return last_local_loss_; }
+
+ protected:
+  void on_model_loaded() override {
+    PpoAgent::on_model_loaded();
+    refresh_alpha();
+  }
+  void update_critics(const nn::Matrix& states, std::span<const float> returns) override;
+
+ private:
+  void refresh_alpha();
+
+  nn::Mlp public_critic_;
+  nn::Adam public_critic_opt_;
+  double alpha_ = 0.5;
+  double last_local_loss_ = 0.0;
+  double last_public_loss_ = 0.0;
+};
+
+}  // namespace pfrl::rl

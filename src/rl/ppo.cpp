@@ -1,0 +1,319 @@
+#include "rl/ppo.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "env/scheduling_env.hpp"
+#include "nn/softmax.hpp"
+
+namespace pfrl::rl {
+
+namespace {
+nn::AdamConfig adam_for(float lr, float max_grad_norm) {
+  nn::AdamConfig c;
+  c.lr = lr;
+  c.max_grad_norm = max_grad_norm;
+  return c;
+}
+}  // namespace
+
+PpoAgent::PpoAgent(std::size_t state_dim, int action_count, PpoConfig config)
+    : config_(config),
+      state_dim_(state_dim),
+      action_count_(action_count),
+      rng_(config.seed),
+      actor_(state_dim, {config.hidden}, static_cast<std::size_t>(action_count), rng_),
+      critic_(state_dim, {config.hidden}, 1, rng_),
+      actor_opt_(actor_.params(), adam_for(config.actor_lr, config.max_grad_norm)),
+      critic_opt_(critic_.params(), adam_for(config.critic_lr, config.max_grad_norm)) {
+  if (action_count <= 0) throw std::invalid_argument("PpoAgent: action_count must be positive");
+}
+
+nn::Matrix PpoAgent::value_batch(const nn::Matrix& states) { return critic_.forward(states); }
+
+int PpoAgent::act_stochastic(std::span<const float> state, float& log_prob, float& value) {
+  const nn::Matrix s = nn::Matrix::row_vector(state);
+  const nn::Matrix logits = actor_.forward(s);
+  const nn::Matrix v = value_batch(s);
+  value = v(0, 0);
+  return sample_categorical(logits.row(0), rng_, log_prob);
+}
+
+int PpoAgent::act_greedy(std::span<const float> state) {
+  const nn::Matrix logits = actor_.forward(nn::Matrix::row_vector(state));
+  return argmax_action(logits.row(0));
+}
+
+int PpoAgent::act_greedy_masked(std::span<const float> state, const std::vector<bool>& valid) {
+  const nn::Matrix logits = actor_.forward(nn::Matrix::row_vector(state));
+  const auto row = logits.row(0);
+  int best = -1;
+  for (std::size_t a = 0; a < row.size(); ++a) {
+    if (a < valid.size() && !valid[a]) continue;
+    if (best < 0 || row[a] > row[static_cast<std::size_t>(best)]) best = static_cast<int>(a);
+  }
+  return best >= 0 ? best : argmax_action(row);
+}
+
+int PpoAgent::act(std::span<const float> state) {
+  float log_prob = 0.0F;
+  float value = 0.0F;
+  return act_stochastic(state, log_prob, value);
+}
+
+double PpoAgent::collect_episode(env::Env& environment, RolloutBuffer& buffer) {
+  environment.reset();
+  double total_reward = 0.0;
+  std::vector<float> state(environment.state_dim());
+  bool done = false;
+  while (!done) {
+    environment.observe(state);
+    Transition t;
+    t.state = state;
+    t.action = act_stochastic(state, t.log_prob, t.value);
+    const env::StepResult r = environment.step(t.action);
+    t.reward = r.reward;
+    t.done = r.done;
+    done = r.done;
+    total_reward += r.reward;
+    buffer.add(std::move(t));
+  }
+  return total_reward;
+}
+
+EpisodeStats PpoAgent::train_episode(env::Env& environment) {
+  RolloutBuffer buffer;
+  EpisodeStats stats;
+  stats.total_reward = collect_episode(environment, buffer);
+  if (const auto* source = dynamic_cast<const env::MetricsSource*>(&environment))
+    stats.metrics = source->metrics();
+  update(buffer);
+  return stats;
+}
+
+EpisodeStats PpoAgent::evaluate(env::Env& environment) {
+  environment.reset();
+  EpisodeStats stats;
+  std::vector<float> state(environment.state_dim());
+  bool done = false;
+  while (!done) {
+    environment.observe(state);
+    // Deterministic evaluation must make progress: when any placement is
+    // feasible, the no-op (last action) is masked out so a policy that
+    // drifted toward idling cannot livelock the episode; the learned
+    // ranking still chooses *which* VM.
+    std::vector<bool> mask = environment.valid_actions();
+    bool any_placement = false;
+    for (std::size_t a = 0; a + 1 < mask.size(); ++a) any_placement |= mask[a];
+    if (any_placement) mask.back() = false;
+    const env::StepResult r = environment.step(act_greedy_masked(state, mask));
+    stats.total_reward += r.reward;
+    done = r.done;
+  }
+  if (const auto* source = dynamic_cast<const env::MetricsSource*>(&environment))
+    stats.metrics = source->metrics();
+  return stats;
+}
+
+EpisodeStats PpoAgent::evaluate_sampled(env::Env& environment, bool masked) {
+  environment.reset();
+  EpisodeStats stats;
+  std::vector<float> state(environment.state_dim());
+  bool done = false;
+  while (!done) {
+    environment.observe(state);
+    const nn::Matrix logits = actor_.forward(nn::Matrix::row_vector(state));
+    const auto row = logits.row(0);
+
+    int action;
+    float log_prob = 0.0F;
+    if (masked) {
+      std::vector<bool> mask = environment.valid_actions();
+      bool any_placement = false;
+      for (std::size_t a = 0; a + 1 < mask.size(); ++a) any_placement |= mask[a];
+      if (any_placement) mask.back() = false;
+      std::vector<float> restricted(row.size(), -1e30F);
+      for (std::size_t a = 0; a < row.size(); ++a)
+        if (a >= mask.size() || mask[a]) restricted[a] = row[a];
+      action = sample_categorical(restricted, rng_, log_prob);
+    } else {
+      action = sample_categorical(row, rng_, log_prob);
+    }
+
+    const env::StepResult r = environment.step(action);
+    stats.total_reward += r.reward;
+    done = r.done;
+  }
+  if (const auto* source = dynamic_cast<const env::MetricsSource*>(&environment))
+    stats.metrics = source->metrics();
+  return stats;
+}
+
+void PpoAgent::update(const RolloutBuffer& buffer) {
+  if (buffer.empty()) return;
+  const nn::Matrix states = buffer.state_matrix();
+  const RolloutBuffer::GaeResult gae =
+      buffer.compute_gae(config_.gamma, config_.gae_lambda, config_.normalize_advantages);
+
+  // Stash the buffer first: subclasses re-evaluate critics on the current
+  // trajectories whenever parameters change (Eq. 15).
+  last_buffer_ = buffer;
+  update_actor(buffer, states, gae.advantages);
+  update_critics(states, gae.returns);
+  last_critic_loss_ = critic_loss_on(critic_, buffer);
+}
+
+void PpoAgent::update_actor(const RolloutBuffer& buffer, const nn::Matrix& states,
+                            std::span<const float> advantages) {
+  const auto n = buffer.size();
+  const auto& transitions = buffer.transitions();
+  const float inv_n = 1.0F / static_cast<float>(n);
+
+  // FedKL: reference log-probabilities of the anchored (global) policy.
+  nn::Matrix anchor_log_probs;
+  if (kl_beta_ > 0.0F && kl_anchor_actor_)
+    anchor_log_probs = nn::log_softmax_rows(kl_anchor_actor_->forward(states));
+
+  for (std::size_t epoch = 0; epoch < config_.update_epochs; ++epoch) {
+    nn::Matrix logits = actor_.forward(states);
+    const nn::Matrix log_probs = nn::log_softmax_rows(logits);
+    const nn::Matrix probs = nn::softmax_rows(logits);
+
+    // dL/dlogits for L = -(1/N) Σ [min(rA, clip(r)A) + c_H H].
+    nn::Matrix grad(logits.rows(), logits.cols());
+    for (std::size_t i = 0; i < n; ++i) {
+      const int a = transitions[i].action;
+      const float adv = advantages[i];
+      const float ratio =
+          std::exp(log_probs(i, static_cast<std::size_t>(a)) - transitions[i].log_prob);
+
+      // The clipped branch is active (zero gradient) when the ratio moved
+      // past the clip boundary in the advantage's direction.
+      const bool clipped = (adv > 0.0F && ratio > 1.0F + config_.clip_epsilon) ||
+                           (adv < 0.0F && ratio < 1.0F - config_.clip_epsilon);
+
+      auto g = grad.row(i);
+      const auto p = probs.row(i);
+      if (!clipped) {
+        // d(r·A)/dlogit_j = r·A·(1{j==a} - p_j); negated for gradient descent.
+        const float coeff = -inv_n * ratio * adv;
+        for (std::size_t j = 0; j < g.size(); ++j)
+          g[j] += coeff * ((static_cast<int>(j) == a ? 1.0F : 0.0F) - p[j]);
+      }
+      if (config_.entropy_coef > 0.0F) {
+        // dH/dlogit_j = -p_j (log p_j + H); we *add* entropy to the
+        // objective, so subtract its gradient from the descent direction.
+        double entropy = 0.0;
+        const auto lp = log_probs.row(i);
+        for (std::size_t j = 0; j < g.size(); ++j)
+          entropy -= static_cast<double>(p[j]) * static_cast<double>(lp[j]);
+        for (std::size_t j = 0; j < g.size(); ++j)
+          g[j] += config_.entropy_coef * inv_n * p[j] *
+                  (lp[j] + static_cast<float>(entropy));
+      }
+      if (kl_beta_ > 0.0F && !anchor_log_probs.empty()) {
+        // + β·KL(π_θ ‖ π_anchor):
+        // dKL/dlogit_j = p_j (log p_j - log g_j - KL).
+        const auto lp = log_probs.row(i);
+        const auto alp = anchor_log_probs.row(i);
+        double kl = 0.0;
+        for (std::size_t j = 0; j < g.size(); ++j)
+          kl += static_cast<double>(p[j]) * (static_cast<double>(lp[j]) - alp[j]);
+        for (std::size_t j = 0; j < g.size(); ++j)
+          g[j] += kl_beta_ * inv_n * p[j] * (lp[j] - alp[j] - static_cast<float>(kl));
+      }
+    }
+
+    actor_.zero_grad();
+    actor_.backward(grad);
+    if (proximal_mu_ > 0.0F && !proximal_actor_anchor_.empty())
+      apply_proximal_gradient(actor_, proximal_actor_anchor_);
+    actor_opt_.step();
+  }
+}
+
+void PpoAgent::update_critics(const nn::Matrix& states, std::span<const float> returns) {
+  const float inv_n = 1.0F / static_cast<float>(states.rows());
+  for (std::size_t epoch = 0; epoch < config_.update_epochs; ++epoch) {
+    nn::Matrix v = critic_.forward(states);
+    nn::Matrix grad(v.rows(), 1);
+    for (std::size_t i = 0; i < v.rows(); ++i)
+      grad(i, 0) = 2.0F * inv_n * (v(i, 0) - returns[i]);
+    critic_.zero_grad();
+    critic_.backward(grad);
+    if (proximal_mu_ > 0.0F && !proximal_critic_anchor_.empty())
+      apply_proximal_gradient(critic_, proximal_critic_anchor_);
+    critic_opt_.step();
+  }
+}
+
+void PpoAgent::apply_proximal_gradient(nn::Mlp& net, const std::vector<float>& anchor) const {
+  std::size_t offset = 0;
+  for (nn::Param* p : net.params()) {
+    auto values = p->value.flat();
+    auto grads = p->grad.flat();
+    for (std::size_t i = 0; i < values.size(); ++i)
+      grads[i] += proximal_mu_ * (values[i] - anchor[offset + i]);
+    offset += values.size();
+  }
+}
+
+void PpoAgent::set_proximal_anchor(std::span<const float> actor_anchor,
+                                   std::span<const float> critic_anchor, float mu) {
+  if (actor_anchor.size() != actor_.param_count() ||
+      critic_anchor.size() != critic_.param_count())
+    throw std::invalid_argument("set_proximal_anchor: size mismatch");
+  proximal_actor_anchor_.assign(actor_anchor.begin(), actor_anchor.end());
+  proximal_critic_anchor_.assign(critic_anchor.begin(), critic_anchor.end());
+  proximal_mu_ = mu;
+}
+
+void PpoAgent::clear_proximal_anchor() {
+  proximal_actor_anchor_.clear();
+  proximal_critic_anchor_.clear();
+  proximal_mu_ = 0.0F;
+}
+
+void PpoAgent::set_kl_anchor(std::span<const float> actor_params, float beta) {
+  if (actor_params.size() != actor_.param_count())
+    throw std::invalid_argument("set_kl_anchor: size mismatch");
+  if (!kl_anchor_actor_) kl_anchor_actor_ = std::make_unique<nn::Mlp>(actor_);
+  kl_anchor_actor_->unflatten(actor_params);
+  kl_beta_ = beta;
+}
+
+void PpoAgent::clear_kl_anchor() {
+  kl_anchor_actor_.reset();
+  kl_beta_ = 0.0F;
+}
+
+double PpoAgent::critic_loss_on(nn::Mlp& net, const RolloutBuffer& buffer) const {
+  if (buffer.empty()) return 0.0;
+  const nn::Matrix states = buffer.state_matrix();
+  const std::vector<float> returns = buffer.compute_returns(config_.gamma);
+  const nn::Matrix v = net.forward(states);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < v.rows(); ++i) {
+    const double d = static_cast<double>(v(i, 0)) - static_cast<double>(returns[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(v.rows());
+}
+
+void PpoAgent::on_model_loaded() {
+  if (!last_buffer_.empty()) last_critic_loss_ = critic_loss_on(critic_, last_buffer_);
+}
+
+void PpoAgent::load_actor(std::span<const float> flat) {
+  actor_.unflatten(flat);
+  actor_opt_.reset_moments();
+  on_model_loaded();
+}
+
+void PpoAgent::load_critic(std::span<const float> flat) {
+  critic_.unflatten(flat);
+  critic_opt_.reset_moments();
+  on_model_loaded();
+}
+
+}  // namespace pfrl::rl

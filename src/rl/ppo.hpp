@@ -1,0 +1,127 @@
+// Clipped-surrogate PPO with a single critic — the independent baseline
+// ("PPO" in Figs. 8, 15–20) and the base class of the dual-critic variant.
+#pragma once
+
+#include "nn/adam.hpp"
+#include "nn/mlp.hpp"
+#include "rl/agent.hpp"
+#include "rl/rollout.hpp"
+
+namespace pfrl::rl {
+
+class PpoAgent : public Agent {
+ public:
+  PpoAgent(std::size_t state_dim, int action_count, PpoConfig config);
+  ~PpoAgent() override = default;
+
+  int act(std::span<const float> state) override;
+  EpisodeStats train_episode(env::Env& environment) override;
+  EpisodeStats evaluate(env::Env& environment) override;
+
+  /// Stochastic evaluation: samples from the trained policy. With
+  /// `masked` the distribution is restricted to feasible actions (no-op
+  /// only when nothing fits); unmasked runs the raw policy exactly as in
+  /// training, so infeasible picks cost real waiting time — the mistake
+  /// mode the §3.1 generalization comparison measures. Averaging a few
+  /// rollouts surfaces differences a deterministic rollout can mask.
+  EpisodeStats evaluate_sampled(env::Env& environment, bool masked = false);
+
+  /// Samples an action and reports log π(a|s) and the value estimate used
+  /// for the advantage baseline.
+  int act_stochastic(std::span<const float> state, float& log_prob, float& value);
+  int act_greedy(std::span<const float> state);
+  /// Greedy over the valid actions only. Evaluation uses this (standard
+  /// practice): training relies on the env's penalties to teach validity,
+  /// but a deterministic rollout must not be able to wedge on a VM that
+  /// never fits.
+  int act_greedy_masked(std::span<const float> state, const std::vector<bool>& valid);
+
+  /// Rolls one episode into `buffer` (no learning). Returns env reward.
+  double collect_episode(env::Env& environment, RolloutBuffer& buffer);
+
+  /// One PPO update (config.update_epochs passes) from a filled buffer.
+  void update(const RolloutBuffer& buffer);
+
+  /// Value estimate V(s) for a batch — overridden by the dual-critic
+  /// variant to mix local and public critics (Eq. 14).
+  virtual nn::Matrix value_batch(const nn::Matrix& states);
+
+  nn::Mlp& actor() { return actor_; }
+  const nn::Mlp& actor() const { return actor_; }
+  nn::Mlp& critic() { return critic_; }
+  const nn::Mlp& critic() const { return critic_; }
+
+  /// Replaces network parameters (federated model load). Resets optimizer
+  /// moments and lets subclasses react (α refresh, Eq. 15).
+  void load_actor(std::span<const float> flat);
+  virtual void load_critic(std::span<const float> flat);
+
+  /// MSE of `net` against discounted returns of `buffer` — the critic
+  /// evaluation the paper plots in Fig. 9 and uses for α (Eq. 15).
+  double critic_loss_on(nn::Mlp& net, const RolloutBuffer& buffer) const;
+
+  const PpoConfig& config() const { return config_; }
+  std::size_t state_dim() const { return state_dim_; }
+  int action_count() const { return action_count_; }
+
+  /// Mean critic loss on the most recently collected episode buffer.
+  double last_critic_loss() const { return last_critic_loss_; }
+
+  /// FedProx-style proximal regularization (Li et al., MLSys'20): adds
+  /// μ·(θ − anchor) to actor and critic gradients during updates, pulling
+  /// local training toward the last global model. Anchors must match the
+  /// networks' architectures.
+  void set_proximal_anchor(std::span<const float> actor_anchor,
+                           std::span<const float> critic_anchor, float mu);
+  void clear_proximal_anchor();
+  bool has_proximal_anchor() const { return proximal_mu_ > 0.0F; }
+
+  /// FedKL-style policy constraint (Xie & Song, JSAC'23): adds
+  /// β·KL(π_θ ‖ π_anchor) to the actor loss, directly penalizing output
+  /// drift from the last global policy.
+  void set_kl_anchor(std::span<const float> actor_params, float beta);
+  void clear_kl_anchor();
+  bool has_kl_anchor() const { return kl_beta_ > 0.0F; }
+
+ protected:
+  /// Called after any external parameter replacement; re-evaluates the
+  /// critic on the retained buffer so before/after-aggregation losses
+  /// (Fig. 9) are observable.
+  virtual void on_model_loaded();
+
+  /// Critic regression step(s) toward the returns (Eq. 16/17 for the dual
+  /// variant). Default: single critic, config.update_epochs passes.
+  virtual void update_critics(const nn::Matrix& states, std::span<const float> returns);
+
+  /// Keep a copy of the last buffer so critics can be re-evaluated after
+  /// a global model arrives (the "evaluated according to the trajectories
+  /// in the buffer" step of §4.3).
+  const RolloutBuffer& last_buffer() const { return last_buffer_; }
+
+  PpoConfig config_;
+  std::size_t state_dim_;
+  int action_count_;
+  util::Rng rng_;
+  nn::Mlp actor_;
+  nn::Mlp critic_;
+  nn::Adam actor_opt_;
+  nn::Adam critic_opt_;
+  RolloutBuffer last_buffer_;
+  double last_critic_loss_ = 0.0;
+
+  /// Adds μ·(θ − anchor) into `net`'s accumulated gradients.
+  void apply_proximal_gradient(nn::Mlp& net, const std::vector<float>& anchor) const;
+
+  // Federated regularizers (empty/0 = off).
+  std::vector<float> proximal_actor_anchor_;
+  std::vector<float> proximal_critic_anchor_;
+  float proximal_mu_ = 0.0F;
+  std::unique_ptr<nn::Mlp> kl_anchor_actor_;
+  float kl_beta_ = 0.0F;
+
+ private:
+  void update_actor(const RolloutBuffer& buffer, const nn::Matrix& states,
+                    std::span<const float> advantages);
+};
+
+}  // namespace pfrl::rl

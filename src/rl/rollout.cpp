@@ -1,0 +1,85 @@
+#include "rl/rollout.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pfrl::rl {
+
+std::vector<float> RolloutBuffer::compute_returns(double gamma) const {
+  std::vector<float> returns(transitions_.size());
+  double running = 0.0;
+  for (std::size_t i = transitions_.size(); i-- > 0;) {
+    if (transitions_[i].done) running = 0.0;
+    running = transitions_[i].reward + gamma * running;
+    returns[i] = static_cast<float>(running);
+  }
+  return returns;
+}
+
+std::vector<float> RolloutBuffer::compute_advantages(std::span<const float> returns,
+                                                     bool normalize) const {
+  if (returns.size() != transitions_.size())
+    throw std::invalid_argument("compute_advantages: size mismatch");
+  std::vector<float> adv(returns.size());
+  for (std::size_t i = 0; i < adv.size(); ++i) adv[i] = returns[i] - transitions_[i].value;
+  if (normalize && adv.size() > 1) {
+    double mean = 0.0;
+    for (const float a : adv) mean += static_cast<double>(a);
+    mean /= static_cast<double>(adv.size());
+    double var = 0.0;
+    for (const float a : adv) var += (static_cast<double>(a) - mean) * (static_cast<double>(a) - mean);
+    var /= static_cast<double>(adv.size());
+    const double inv_std = 1.0 / (std::sqrt(var) + 1e-8);
+    for (float& a : adv) a = static_cast<float>((static_cast<double>(a) - mean) * inv_std);
+  }
+  return adv;
+}
+
+RolloutBuffer::GaeResult RolloutBuffer::compute_gae(double gamma, double lambda,
+                                                    bool normalize) const {
+  GaeResult out;
+  const std::size_t n = transitions_.size();
+  out.advantages.resize(n);
+  out.returns.resize(n);
+  double running_adv = 0.0;
+  for (std::size_t i = n; i-- > 0;) {
+    const Transition& t = transitions_[i];
+    const double next_value =
+        (t.done || i + 1 == n) ? 0.0 : static_cast<double>(transitions_[i + 1].value);
+    const double not_done = t.done ? 0.0 : 1.0;
+    const double delta = t.reward + gamma * next_value * not_done - static_cast<double>(t.value);
+    // not_done zeroes both the bootstrap and the accumulation at episode
+    // boundaries, restarting GAE cleanly.
+    running_adv = delta + gamma * lambda * not_done * running_adv;
+    out.advantages[i] = static_cast<float>(running_adv);
+    out.returns[i] = static_cast<float>(running_adv + static_cast<double>(t.value));
+  }
+  if (normalize && n > 1) {
+    double mean = 0.0;
+    for (const float a : out.advantages) mean += static_cast<double>(a);
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (const float a : out.advantages)
+      var += (static_cast<double>(a) - mean) * (static_cast<double>(a) - mean);
+    var /= static_cast<double>(n);
+    const double inv_std = 1.0 / (std::sqrt(var) + 1e-8);
+    for (float& a : out.advantages)
+      a = static_cast<float>((static_cast<double>(a) - mean) * inv_std);
+  }
+  return out;
+}
+
+nn::Matrix RolloutBuffer::state_matrix() const {
+  if (transitions_.empty()) return {};
+  const std::size_t dim = transitions_.front().state.size();
+  nn::Matrix states(transitions_.size(), dim);
+  for (std::size_t i = 0; i < transitions_.size(); ++i) {
+    if (transitions_[i].state.size() != dim)
+      throw std::invalid_argument("state_matrix: inconsistent state dims");
+    auto row = states.row(i);
+    std::copy(transitions_[i].state.begin(), transitions_[i].state.end(), row.begin());
+  }
+  return states;
+}
+
+}  // namespace pfrl::rl

@@ -1,0 +1,60 @@
+// Trajectory storage for on-policy updates.
+//
+// The paper's advantage (Eq. 13) is A = Q - V with Q estimated from
+// samples; we use the standard discounted-return estimate of Q (the
+// Monte-Carlo special case) plus optional GAE, with per-buffer advantage
+// normalization.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace pfrl::rl {
+
+struct Transition {
+  std::vector<float> state;
+  int action = 0;
+  double reward = 0.0;
+  float log_prob = 0.0F;  // log π_old(a|s) at collection time
+  float value = 0.0F;     // V(s) at collection time (mixed value for dual-critic)
+  bool done = false;      // episode terminated after this transition
+};
+
+class RolloutBuffer {
+ public:
+  void add(Transition t) { transitions_.push_back(std::move(t)); }
+  void clear() { transitions_.clear(); }
+  std::size_t size() const { return transitions_.size(); }
+  bool empty() const { return transitions_.empty(); }
+
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  /// Discounted returns-to-go, resetting at episode boundaries.
+  std::vector<float> compute_returns(double gamma) const;
+
+  /// Generalized Advantage Estimation (Schulman et al. 2016):
+  ///   δ_t = r_t + γ·V(s_{t+1})·(1-done_t) - V(s_t)
+  ///   A_t = δ_t + γλ·(1-done_t)·A_{t+1}
+  /// `returns` (critic regression targets) are A_t + V(s_t). λ = 1
+  /// recovers the Monte-Carlo advantage of Eq. 13; smaller λ trades bias
+  /// for the variance reduction the short scaled-down episodes need.
+  struct GaeResult {
+    std::vector<float> advantages;
+    std::vector<float> returns;
+  };
+  GaeResult compute_gae(double gamma, double lambda, bool normalize) const;
+
+  /// Advantages A_t = returns_t - value_t, optionally normalized to zero
+  /// mean / unit variance within the buffer.
+  std::vector<float> compute_advantages(std::span<const float> returns, bool normalize) const;
+
+  /// All states stacked into an N x state_dim matrix.
+  nn::Matrix state_matrix() const;
+
+ private:
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace pfrl::rl

@@ -1,0 +1,158 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pfrl::sim {
+
+Cluster::Cluster(ClusterConfig config, workload::Trace trace)
+    : config_(std::move(config)), trace_(std::move(trace)) {
+  if (config_.specs.empty()) throw std::invalid_argument("Cluster: no machine specs");
+  if (config_.tick_seconds <= 0.0) throw std::invalid_argument("Cluster: non-positive tick");
+  if (!workload::is_sorted_by_arrival(trace_)) workload::normalize(trace_);
+  int id = 0;
+  for (const MachineSpec& spec : config_.specs)
+    for (int i = 0; i < spec.count; ++i) vms_.emplace_back(id++, spec.vcpus, spec.memory_gb);
+  admit_arrivals();
+}
+
+std::size_t Cluster::outstanding_tasks() const {
+  std::size_t running = 0;
+  for (const Vm& vm : vms_) running += vm.running_count();
+  return (trace_.size() - next_arrival_) + queue_.size() + running;
+}
+
+bool Cluster::any_vm_fits(const workload::Task& task) const {
+  return std::any_of(vms_.begin(), vms_.end(), [&](const Vm& vm) { return vm.can_fit(task); });
+}
+
+bool Cluster::vm_fits_head(std::size_t vm_index) const {
+  if (queue_.empty() || vm_index >= vms_.size()) return false;
+  return vms_[vm_index].can_fit(queue_.front());
+}
+
+Completion Cluster::schedule_head(std::size_t vm_index) {
+  if (queue_.empty()) throw std::logic_error("schedule_head: empty queue");
+  if (vm_index >= vms_.size()) throw std::out_of_range("schedule_head: bad VM index");
+  const workload::Task task = queue_.front();
+  if (!vms_[vm_index].can_fit(task)) throw std::logic_error("schedule_head: task does not fit");
+  queue_.pop_front();
+  vms_[vm_index].place(task, now_);
+  Completion c;
+  c.task = task;
+  c.start_time = now_;
+  c.finish_time = now_ + task.duration;
+  return c;
+}
+
+void Cluster::admit_arrivals() {
+  while (next_arrival_ < trace_.size() && trace_[next_arrival_].arrival_time <= now_ + 1e-9)
+    queue_.push_back(trace_[next_arrival_++]);
+}
+
+std::vector<Completion> Cluster::complete_until(double t) {
+  std::vector<Completion> done;
+  for (Vm& vm : vms_) {
+    for (RunningTask& rt : vm.advance(t)) {
+      Completion c;
+      c.start_time = rt.start_time;
+      c.finish_time = rt.finish_time();
+      c.task = std::move(rt.task);
+      done.push_back(std::move(c));
+    }
+  }
+  std::sort(done.begin(), done.end(),
+            [](const Completion& a, const Completion& b) { return a.finish_time < b.finish_time; });
+  return done;
+}
+
+std::vector<Completion> Cluster::tick() {
+  now_ += config_.tick_seconds;
+  auto done = complete_until(now_);
+  admit_arrivals();
+  return done;
+}
+
+std::vector<Completion> Cluster::fast_forward() {
+  if (!queue_.empty()) return {};
+  std::optional<double> next_event;
+  if (next_arrival_ < trace_.size()) next_event = trace_[next_arrival_].arrival_time;
+  for (const Vm& vm : vms_) {
+    const auto completion = vm.next_completion();
+    if (completion && (!next_event || *completion < *next_event)) next_event = completion;
+  }
+  if (!next_event || *next_event <= now_) return {};
+  // Round the jump up to whole ticks so the clock stays tick-aligned.
+  const double delta = *next_event - now_;
+  const double ticks = std::ceil(delta / config_.tick_seconds - 1e-9);
+  now_ += ticks * config_.tick_seconds;
+  auto done = complete_until(now_);
+  admit_arrivals();
+  return done;
+}
+
+std::vector<Completion> Cluster::advance_until(double t) {
+  if (t <= now_) return {};
+  const double ticks = std::ceil((t - now_) / config_.tick_seconds - 1e-9);
+  now_ += ticks * config_.tick_seconds;
+  auto done = complete_until(now_);
+  admit_arrivals();
+  return done;
+}
+
+double Cluster::load_balance() const {
+  double total = 0.0;
+  const auto vm_count_d = static_cast<double>(vms_.size());
+  for (int r = 0; r < kResourceTypes; ++r) {
+    double mean_load = 0.0;
+    for (const Vm& vm : vms_) mean_load += vm.load_remaining(r);
+    mean_load /= vm_count_d;
+    double var = 0.0;
+    for (const Vm& vm : vms_) {
+      const double d = vm.load_remaining(r) - mean_load;
+      var += d * d;
+    }
+    total += config_.resource_weights[static_cast<std::size_t>(r)] * std::sqrt(var / vm_count_d);
+  }
+  return total;
+}
+
+double Cluster::mean_utilization(int resource) const {
+  double acc = 0.0;
+  for (const Vm& vm : vms_) acc += vm.utilization(resource);
+  return acc / static_cast<double>(vms_.size());
+}
+
+double Cluster::power_draw() const {
+  double watts = 0.0;
+  for (const Vm& vm : vms_) {
+    if (vm.running_count() == 0) {
+      watts += config_.power.idle_watts * config_.power.sleeping_fraction;
+    } else {
+      watts += config_.power.idle_watts +
+               config_.power.watts_per_vcpu *
+                   static_cast<double>(vm.vcpu_capacity() - vm.free_vcpus());
+    }
+  }
+  return watts;
+}
+
+double Cluster::max_power_draw() const {
+  double watts = 0.0;
+  for (const Vm& vm : vms_)
+    watts += config_.power.idle_watts +
+             config_.power.watts_per_vcpu * static_cast<double>(vm.vcpu_capacity());
+  return watts;
+}
+
+void Cluster::inject_task(const workload::Task& task) { queue_.push_back(task); }
+
+double Cluster::weighted_utilization() const {
+  double acc = 0.0;
+  for (int r = 0; r < kResourceTypes; ++r)
+    acc += config_.resource_weights[static_cast<std::size_t>(r)] * mean_utilization(r);
+  return acc;
+}
+
+}  // namespace pfrl::sim

@@ -1,0 +1,111 @@
+// Discrete-time cloud cluster: a set of VMs, a FIFO waiting queue, and a
+// task trace replayed against the clock. The RL environment (env/) drives
+// this engine; the engine itself is policy-agnostic and is also used
+// directly by the heuristic baselines in the examples.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/power.hpp"
+#include "sim/vm.hpp"
+#include "workload/trace.hpp"
+
+namespace pfrl::sim {
+
+/// Number of resource dimensions (d in the paper): vCPU and memory.
+constexpr int kResourceTypes = 2;
+
+struct ClusterConfig {
+  MachineSpecs specs;
+  double tick_seconds = 1.0;
+  /// w_i in Eqs. (4), (9), (24) — relative importance of vCPU vs memory.
+  std::array<double, kResourceTypes> resource_weights{0.5, 0.5};
+  /// Per-VM power model for the energy-objective extension.
+  PowerModel power;
+};
+
+/// A finished task with its timing milestones.
+struct Completion {
+  workload::Task task;
+  double start_time = 0.0;
+  double finish_time = 0.0;
+
+  double wait_time() const { return start_time - task.arrival_time; }
+  double response_time() const { return finish_time - task.arrival_time; }
+};
+
+class Cluster {
+ public:
+  Cluster(ClusterConfig config, workload::Trace trace);
+
+  double now() const { return now_; }
+  const std::vector<Vm>& vms() const { return vms_; }
+  std::size_t vm_count() const { return vms_.size(); }
+  const std::deque<workload::Task>& queue() const { return queue_; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Tasks not yet arrived + queued + running.
+  std::size_t outstanding_tasks() const;
+  bool all_done() const { return outstanding_tasks() == 0; }
+
+  bool any_vm_fits(const workload::Task& task) const;
+  bool vm_fits_head(std::size_t vm_index) const;
+
+  /// Places the queue head on `vm_index` at the current time. The caller
+  /// must have checked fit. Returns the resulting Completion milestones
+  /// (finish time is determined at placement since the simulator knows
+  /// the duration; the completion is *recorded* when the clock reaches it).
+  Completion schedule_head(std::size_t vm_index);
+
+  /// Advances the clock by one tick: completes finished tasks, admits new
+  /// arrivals. Returns the tasks that completed during the tick.
+  std::vector<Completion> tick();
+
+  /// Advances the clock directly to the next interesting instant (next
+  /// arrival or next completion) when the queue is empty; no-op otherwise.
+  /// Returns completions that fired. Keeps tick alignment by rounding the
+  /// jump up to whole ticks.
+  std::vector<Completion> fast_forward();
+
+  /// Advances the clock to at least `t` (tick-aligned), completing and
+  /// admitting along the way. Used by drivers with external event sources
+  /// (the workflow env's job arrivals). No-op when t <= now.
+  std::vector<Completion> advance_until(double t);
+
+  /// LoadBal(t) per Eq. (4) — weighted stddev of per-VM remaining load.
+  double load_balance() const;
+
+  /// Mean utilization of resource r across VMs at the current instant.
+  double mean_utilization(int resource) const;
+
+  /// Weighted (w_i) mean utilization across resources and VMs.
+  double weighted_utilization() const;
+
+  /// Instantaneous power draw (watts) under the linear model: every VM
+  /// pays its idle cost plus a per-used-vCPU increment.
+  double power_draw() const;
+  /// Draw if every vCPU in the cluster were busy (normalizer).
+  double max_power_draw() const;
+
+  /// Appends a task to the waiting queue at the current time — used by
+  /// the workflow extension, which releases DAG tasks as their
+  /// predecessors complete rather than from a fixed arrival trace.
+  void inject_task(const workload::Task& task);
+
+ private:
+  void admit_arrivals();
+  std::vector<Completion> complete_until(double t);
+
+  ClusterConfig config_;
+  workload::Trace trace_;     // sorted by arrival
+  std::size_t next_arrival_ = 0;
+  std::deque<workload::Task> queue_;
+  std::vector<Vm> vms_;
+  double now_ = 0.0;
+};
+
+}  // namespace pfrl::sim

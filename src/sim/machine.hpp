@@ -1,0 +1,45 @@
+// Machine (VM) specifications — the (CPU, Memory, Count) triples of the
+// paper's Tables 2 and 3.
+#pragma once
+
+#include <vector>
+
+namespace pfrl::sim {
+
+struct MachineSpec {
+  int vcpus = 1;
+  double memory_gb = 1.0;
+  int count = 1;
+};
+
+using MachineSpecs = std::vector<MachineSpec>;
+
+inline int total_vms(const MachineSpecs& specs) {
+  int n = 0;
+  for (const auto& s : specs) n += s.count;
+  return n;
+}
+
+inline double total_vcpus(const MachineSpecs& specs) {
+  double n = 0;
+  for (const auto& s : specs) n += static_cast<double>(s.vcpus) * s.count;
+  return n;
+}
+
+inline double total_memory_gb(const MachineSpecs& specs) {
+  double n = 0;
+  for (const auto& s : specs) n += s.memory_gb * s.count;
+  return n;
+}
+
+/// Divides every machine's vCPU count by `factor` (>= 1, rounding up to at
+/// least 1). Used to shrink paper-scale clusters for the 1-core default
+/// runs; task vCPU requests are scaled by the same factor at env setup so
+/// relative pressure is preserved.
+inline MachineSpecs scale_vcpus(MachineSpecs specs, int factor) {
+  if (factor <= 1) return specs;
+  for (auto& s : specs) s.vcpus = (s.vcpus + factor - 1) / factor;
+  return specs;
+}
+
+}  // namespace pfrl::sim

@@ -1,0 +1,66 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+namespace pfrl::sim {
+
+EpisodeMetrics average_metrics(std::span<const EpisodeMetrics> runs) {
+  EpisodeMetrics avg;
+  if (runs.empty()) return avg;
+  const auto n = static_cast<double>(runs.size());
+  for (const EpisodeMetrics& m : runs) {
+    avg.avg_response_time += m.avg_response_time / n;
+    avg.avg_wait_time += m.avg_wait_time / n;
+    avg.makespan += m.makespan / n;
+    avg.avg_utilization += m.avg_utilization / n;
+    avg.avg_load_balance += m.avg_load_balance / n;
+    avg.total_reward += m.total_reward / n;
+    avg.completed_tasks += m.completed_tasks;
+    avg.steps += m.steps;
+    avg.invalid_actions += m.invalid_actions;
+    avg.lazy_noops += m.lazy_noops;
+  }
+  avg.completed_tasks /= runs.size();
+  avg.steps /= runs.size();
+  avg.invalid_actions /= runs.size();
+  avg.lazy_noops /= runs.size();
+  return avg;
+}
+
+void MetricsCollector::record_completion(const Completion& completion) {
+  response_times_.push_back(completion.response_time());
+  wait_times_.push_back(completion.wait_time());
+  last_finish_ = std::max(last_finish_, completion.finish_time);
+}
+
+void MetricsCollector::record_tick(const Cluster& cluster) {
+  record_period(cluster.weighted_utilization(), cluster.load_balance(), 1.0);
+}
+
+void MetricsCollector::record_period(double weighted_utilization, double load_balance,
+                                     double ticks) {
+  util_sum_ += weighted_utilization * ticks;
+  loadbal_sum_ += load_balance * ticks;
+  tick_samples_ += ticks;
+}
+
+EpisodeMetrics MetricsCollector::finalize() const {
+  EpisodeMetrics m;
+  m.completed_tasks = response_times_.size();
+  if (!response_times_.empty()) {
+    double acc = 0.0;
+    for (const double r : response_times_) acc += r;
+    m.avg_response_time = acc / static_cast<double>(response_times_.size());
+    acc = 0.0;
+    for (const double w : wait_times_) acc += w;
+    m.avg_wait_time = acc / static_cast<double>(wait_times_.size());
+  }
+  m.makespan = last_finish_;
+  if (tick_samples_ > 0.0) {
+    m.avg_utilization = util_sum_ / tick_samples_;
+    m.avg_load_balance = loadbal_sum_ / tick_samples_;
+  }
+  return m;
+}
+
+}  // namespace pfrl::sim

@@ -1,0 +1,59 @@
+// Episode metric accumulation — the four evaluation metrics of §5.1:
+// average response time (Eq. 23), makespan, average resource utilization
+// (Eq. 24), and average load balancing (Eq. 25).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/cluster.hpp"
+
+namespace pfrl::sim {
+
+/// Final metrics of one scheduling episode.
+struct EpisodeMetrics {
+  double avg_response_time = 0.0;   // Eq. 23
+  double avg_wait_time = 0.0;
+  double makespan = 0.0;            // finish of the last task
+  double avg_utilization = 0.0;     // Eq. 24 (weighted, time-averaged)
+  double avg_load_balance = 0.0;    // Eq. 25 (lower = more balanced)
+  std::size_t completed_tasks = 0;
+
+  // Filled by the RL environment:
+  double total_reward = 0.0;
+  std::size_t steps = 0;
+  std::size_t invalid_actions = 0;
+  std::size_t lazy_noops = 0;  // no-op while some VM fit the head task
+};
+
+/// Field-wise mean over several episodes (multi-rollout evaluation).
+EpisodeMetrics average_metrics(std::span<const EpisodeMetrics> runs);
+
+/// Streams observations during an episode and finalizes EpisodeMetrics.
+class MetricsCollector {
+ public:
+  void record_completion(const Completion& completion);
+
+  /// Sample utilization/load-balance once per simulated tick.
+  void record_tick(const Cluster& cluster);
+
+  /// Time-weighted sample covering `ticks` simulated ticks during which
+  /// the given readings were constant (fast-forwarded idle stretches —
+  /// without this, Eq. 24/25 averages would ignore exactly the periods a
+  /// consolidating scheduler keeps machines empty).
+  void record_period(double weighted_utilization, double load_balance, double ticks);
+
+  EpisodeMetrics finalize() const;
+
+  const std::vector<double>& response_times() const { return response_times_; }
+
+ private:
+  std::vector<double> response_times_;
+  std::vector<double> wait_times_;
+  double last_finish_ = 0.0;
+  double util_sum_ = 0.0;
+  double loadbal_sum_ = 0.0;
+  double tick_samples_ = 0.0;
+};
+
+}  // namespace pfrl::sim

@@ -1,0 +1,20 @@
+// Linear VM power model — the paper notes the reward "can be easily
+// extended to accommodate other optimization objectives, such as ...
+// energy consumption"; this is that extension's substrate.
+//
+// P(vm) = idle_watts + watts_per_vcpu * used_vcpus, the standard linear
+// utilization model (Fan et al., "Power provisioning for a
+// warehouse-sized computer").
+#pragma once
+
+namespace pfrl::sim {
+
+struct PowerModel {
+  double idle_watts = 100.0;
+  double watts_per_vcpu = 12.5;
+  /// A VM running nothing can be parked at this fraction of idle_watts —
+  /// what makes consolidation (vs load-spreading) save energy at all.
+  double sleeping_fraction = 0.3;
+};
+
+}  // namespace pfrl::sim

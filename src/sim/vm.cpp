@@ -1,0 +1,82 @@
+#include "sim/vm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace pfrl::sim {
+
+Vm::Vm(int id, int vcpus, double memory_gb)
+    : id_(id), vcpu_capacity_(vcpus), memory_capacity_(memory_gb),
+      slot_busy_(static_cast<std::size_t>(vcpus), 0) {
+  if (vcpus <= 0 || memory_gb <= 0.0)
+    throw std::invalid_argument("Vm: non-positive capacity");
+}
+
+bool Vm::can_fit(const workload::Task& task) const {
+  return task.vcpus <= free_vcpus() && task.memory_gb <= free_memory() + 1e-9;
+}
+
+void Vm::place(const workload::Task& task, double now) {
+  if (!can_fit(task)) throw std::logic_error("Vm::place: task does not fit");
+  RunningTask rt;
+  rt.task = task;
+  rt.start_time = now;
+  rt.slots.reserve(static_cast<std::size_t>(task.vcpus));
+  for (int k = 0; k < vcpu_capacity_ && static_cast<int>(rt.slots.size()) < task.vcpus; ++k) {
+    if (!slot_busy_[static_cast<std::size_t>(k)]) {
+      slot_busy_[static_cast<std::size_t>(k)] = 1;
+      rt.slots.push_back(k);
+    }
+  }
+  assert(static_cast<int>(rt.slots.size()) == task.vcpus);
+  used_vcpus_ += task.vcpus;
+  used_memory_ += task.memory_gb;
+  running_.push_back(std::move(rt));
+}
+
+std::vector<RunningTask> Vm::advance(double now) {
+  std::vector<RunningTask> done;
+  for (auto it = running_.begin(); it != running_.end();) {
+    if (it->finish_time() <= now + 1e-9) {
+      for (const int k : it->slots) slot_busy_[static_cast<std::size_t>(k)] = 0;
+      used_vcpus_ -= it->task.vcpus;
+      used_memory_ -= it->task.memory_gb;
+      done.push_back(std::move(*it));
+      it = running_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(done.begin(), done.end(),
+            [](const RunningTask& a, const RunningTask& b) {
+              return a.finish_time() < b.finish_time();
+            });
+  return done;
+}
+
+std::optional<double> Vm::next_completion() const {
+  std::optional<double> next;
+  for (const auto& rt : running_)
+    if (!next || rt.finish_time() < *next) next = rt.finish_time();
+  return next;
+}
+
+double Vm::slot_progress(int slot, double now) const {
+  assert(slot >= 0 && slot < vcpu_capacity_);
+  if (!slot_busy_[static_cast<std::size_t>(slot)]) return 0.0;
+  for (const auto& rt : running_)
+    if (std::find(rt.slots.begin(), rt.slots.end(), slot) != rt.slots.end())
+      return rt.progress(now);
+  return 0.0;  // unreachable if invariants hold
+}
+
+double Vm::utilization(int resource) const {
+  switch (resource) {
+    case 0: return static_cast<double>(used_vcpus_) / static_cast<double>(vcpu_capacity_);
+    case 1: return used_memory_ / memory_capacity_;
+    default: throw std::out_of_range("Vm::utilization: resource index");
+  }
+}
+
+}  // namespace pfrl::sim

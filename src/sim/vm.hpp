@@ -1,0 +1,78 @@
+// A virtual machine with per-vCPU slot tracking.
+//
+// The paper's state (Fig. 6) exposes, per VM, the remaining capacity and
+// the *completion progress* of the task running on each vCPU — the agent
+// never sees a task's total duration, only how far along each slot is.
+// The Vm therefore tracks which task occupies which slots and when it
+// started, and reports slot progress as elapsed/duration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace pfrl::sim {
+
+/// A task currently executing on a VM.
+struct RunningTask {
+  workload::Task task;
+  double start_time = 0.0;
+  std::vector<int> slots;  // occupied vCPU indices
+
+  double finish_time() const { return start_time + task.duration; }
+  double progress(double now) const {
+    if (task.duration <= 0.0) return 1.0;
+    const double p = (now - start_time) / task.duration;
+    return p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+  }
+};
+
+class Vm {
+ public:
+  Vm(int id, int vcpus, double memory_gb);
+
+  int id() const { return id_; }
+  int vcpu_capacity() const { return vcpu_capacity_; }
+  double memory_capacity() const { return memory_capacity_; }
+
+  int free_vcpus() const { return vcpu_capacity_ - used_vcpus_; }
+  double free_memory() const { return memory_capacity_ - used_memory_; }
+
+  /// Both resource demands fit right now.
+  bool can_fit(const workload::Task& task) const;
+
+  /// Places the task (must fit), occupying the lowest free slots.
+  void place(const workload::Task& task, double now);
+
+  /// Completes every task whose finish_time <= now; returns them (for
+  /// response-time accounting), ordered by finish time.
+  std::vector<RunningTask> advance(double now);
+
+  /// Next finish time among running tasks (nullopt if idle).
+  std::optional<double> next_completion() const;
+
+  /// Progress of the task on slot k at `now`; 0 for a free slot.
+  double slot_progress(int slot, double now) const;
+
+  /// Fraction of resource used: index 0 = vCPU, 1 = memory.
+  double utilization(int resource) const;
+  /// Fraction of resource *remaining* (the paper's m^load, Eq. 4).
+  double load_remaining(int resource) const { return 1.0 - utilization(resource); }
+
+  const std::vector<RunningTask>& running() const { return running_; }
+  std::size_t running_count() const { return running_.size(); }
+
+ private:
+  int id_;
+  int vcpu_capacity_;
+  double memory_capacity_;
+  int used_vcpus_ = 0;
+  double used_memory_ = 0.0;
+  std::vector<RunningTask> running_;
+  std::vector<std::int8_t> slot_busy_;      // per-vCPU occupancy flag
+  std::vector<std::size_t> slot_task_idx_;  // slot -> index into running_
+};
+
+}  // namespace pfrl::sim

@@ -1,0 +1,55 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pfrl::stats {
+
+Ecdf::Ecdf(std::span<const double> samples) : sorted_(samples.begin(), samples.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+std::vector<std::pair<double, double>> Ecdf::curve(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || points == 0) return out;
+  out.reserve(points);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        points == 1 ? hi : lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+std::vector<HistogramBin> histogram(std::span<const double> samples, std::size_t bins) {
+  std::vector<HistogramBin> out;
+  if (samples.empty() || bins == 0) return out;
+  const auto [min_it, max_it] = std::minmax_element(samples.begin(), samples.end());
+  const double lo = *min_it;
+  double hi = *max_it;
+  if (hi == lo) hi = lo + 1.0;  // degenerate: everything in one bin
+  const double width = (hi - lo) / static_cast<double>(bins);
+  out.resize(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    out[b].lo = lo + width * static_cast<double>(b);
+    out[b].hi = out[b].lo + width;
+  }
+  for (const double v : samples) {
+    auto idx = static_cast<std::size_t>((v - lo) / width);
+    if (idx >= bins) idx = bins - 1;  // max value lands in the last bin
+    ++out[idx].count;
+  }
+  for (auto& bin : out)
+    bin.fraction = static_cast<double>(bin.count) / static_cast<double>(samples.size());
+  return out;
+}
+
+}  // namespace pfrl::stats

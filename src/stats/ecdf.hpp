@@ -1,0 +1,41 @@
+// Empirical CDF and fixed-width histograms — used to print the workload
+// heterogeneity panels (Figs. 2–5: request distributions, arrival rates,
+// execution-time CDFs).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pfrl::stats {
+
+/// Immutable empirical distribution over a sample set.
+class Ecdf {
+ public:
+  explicit Ecdf(std::span<const double> samples);
+
+  /// P(X <= x).
+  double at(double x) const;
+
+  /// Evaluates the ECDF at `points` evenly spaced values spanning
+  /// [min, max]; returns {x, F(x)} pairs — one printable CDF curve.
+  std::vector<std::pair<double, double>> curve(std::size_t points) const;
+
+  std::size_t sample_count() const { return sorted_.size(); }
+  double min() const { return sorted_.empty() ? 0.0 : sorted_.front(); }
+  double max() const { return sorted_.empty() ? 0.0 : sorted_.back(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+struct HistogramBin {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::size_t count = 0;
+  double fraction = 0.0;
+};
+
+/// Fixed-width histogram over [min, max] of the samples.
+std::vector<HistogramBin> histogram(std::span<const double> samples, std::size_t bins);
+
+}  // namespace pfrl::stats

@@ -1,0 +1,60 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pfrl::stats {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double mean(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  double acc = 0.0;
+  for (const double v : samples) acc += v;
+  return acc / static_cast<double>(samples.size());
+}
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  s.mean = mean(samples);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = quantile_sorted(sorted, 0.5);
+  s.q25 = quantile_sorted(sorted, 0.25);
+  s.q75 = quantile_sorted(sorted, 0.75);
+
+  if (samples.size() > 1) {
+    double acc = 0.0;
+    for (const double v : samples) acc += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(acc / static_cast<double>(samples.size() - 1));
+  }
+  return s;
+}
+
+std::vector<double> ema_smooth(std::span<const double> series, double alpha) {
+  std::vector<double> out;
+  out.reserve(series.size());
+  double state = series.empty() ? 0.0 : series.front();
+  for (const double v : series) {
+    state = alpha * v + (1.0 - alpha) * state;
+    out.push_back(state);
+  }
+  return out;
+}
+
+}  // namespace pfrl::stats

@@ -1,0 +1,34 @@
+// Summary statistics over metric samples (means across clients/episodes,
+// quantiles for the Figs. 16–19 box-style distributions).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pfrl::stats {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q25 = 0.0;
+  double q75 = 0.0;
+};
+
+/// Computes all fields in one pass over a copy (needs sorting for the
+/// quantiles). Empty input yields an all-zero summary with count == 0.
+Summary summarize(std::span<const double> samples);
+
+/// Linear-interpolation quantile of *sorted* samples, q in [0, 1].
+double quantile_sorted(std::span<const double> sorted, double q);
+
+double mean(std::span<const double> samples);
+
+/// Exponential moving average smoothing used when printing convergence
+/// curves (the paper's reward plots are visibly smoothed).
+std::vector<double> ema_smooth(std::span<const double> series, double alpha);
+
+}  // namespace pfrl::stats

@@ -1,0 +1,114 @@
+#include "stats/wilcoxon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace pfrl::stats {
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+namespace {
+
+struct RankedDiffs {
+  std::vector<double> ranks;     // average ranks of |d|
+  std::vector<bool> positive;    // sign of d
+  double tie_correction = 0.0;   // sum over tie groups of (t^3 - t)
+  bool has_ties = false;
+};
+
+RankedDiffs rank_differences(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("wilcoxon_signed_rank: unequal sample sizes");
+  std::vector<double> diffs;
+  diffs.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d != 0.0) diffs.push_back(d);
+  }
+  RankedDiffs out;
+  const std::size_t n = diffs.size();
+  if (n == 0) return out;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return std::fabs(diffs[i]) < std::fabs(diffs[j]); });
+
+  out.ranks.resize(n);
+  out.positive.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.positive[i] = diffs[i] > 0.0;
+
+  // Average ranks over groups of tied |d|.
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && std::fabs(diffs[order[j + 1]]) == std::fabs(diffs[order[i]])) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    const auto tie_size = static_cast<double>(j - i + 1);
+    if (j > i) {
+      out.has_ties = true;
+      out.tie_correction += tie_size * tie_size * tie_size - tie_size;
+    }
+    for (std::size_t k = i; k <= j; ++k) out.ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return out;
+}
+
+/// Exact two-sided p-value by dynamic programming over the distribution of
+/// W+ under H0 (each rank independently + or - with probability 1/2).
+/// Requires integer ranks (no ties).
+double exact_p_value(double w_plus, std::size_t n) {
+  const std::size_t max_sum = n * (n + 1) / 2;
+  // count[s] = number of sign assignments with W+ == s.
+  std::vector<double> count(max_sum + 1, 0.0);
+  count[0] = 1.0;
+  for (std::size_t rank = 1; rank <= n; ++rank)
+    for (std::size_t s = max_sum + 1; s-- > rank;) count[s] += count[s - rank];
+
+  const double total = std::pow(2.0, static_cast<double>(n));
+  // Two-sided: P(W+ <= w) + P(W+ >= max_sum - w) using symmetry.
+  const auto w = static_cast<std::size_t>(w_plus + 0.5);
+  double tail = 0.0;
+  for (std::size_t s = 0; s <= std::min(w, max_sum); ++s) tail += count[s];
+  double p = 2.0 * tail / total;
+  return std::min(p, 1.0);
+}
+
+}  // namespace
+
+WilcoxonResult wilcoxon_signed_rank(std::span<const double> a, std::span<const double> b) {
+  const RankedDiffs ranked = rank_differences(a, b);
+  WilcoxonResult result;
+  result.n = ranked.ranks.size();
+  if (result.n == 0) return result;  // all pairs equal -> p = 1
+
+  double w_plus = 0.0;
+  double w_minus = 0.0;
+  for (std::size_t i = 0; i < ranked.ranks.size(); ++i)
+    (ranked.positive[i] ? w_plus : w_minus) += ranked.ranks[i];
+  result.statistic = std::min(w_plus, w_minus);
+
+  const auto n = static_cast<double>(result.n);
+  if (result.n <= 25 && !ranked.has_ties) {
+    result.exact = true;
+    result.p_value = exact_p_value(result.statistic, result.n);
+    return result;
+  }
+
+  // Normal approximation with continuity and tie corrections.
+  const double mean_w = n * (n + 1.0) / 4.0;
+  const double var_w = n * (n + 1.0) * (2.0 * n + 1.0) / 24.0 - ranked.tie_correction / 48.0;
+  if (var_w <= 0.0) {
+    result.p_value = 1.0;
+    return result;
+  }
+  const double z = (result.statistic - mean_w + 0.5) / std::sqrt(var_w);
+  result.p_value = std::min(1.0, 2.0 * normal_cdf(z));
+  return result;
+}
+
+}  // namespace pfrl::stats

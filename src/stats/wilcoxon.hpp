@@ -1,0 +1,28 @@
+// Wilcoxon signed-rank test (paired, two-sided) — Table 4 of the paper
+// reports pair-wise p-values between PFRL-DM and each baseline across the
+// ten clients' metric results.
+#pragma once
+
+#include <span>
+
+namespace pfrl::stats {
+
+struct WilcoxonResult {
+  double statistic = 0.0;   // W = min(W+, W-)
+  double p_value = 1.0;     // two-sided
+  std::size_t n = 0;        // effective pairs (zero differences dropped)
+  bool exact = false;       // exact enumeration vs normal approximation
+};
+
+/// Paired two-sided test of H0: median difference == 0.
+/// Zero differences are dropped (standard practice); ties get average
+/// ranks. n <= 25 uses exact enumeration of the W+ distribution (valid
+/// only without ties — falls back to the normal approximation with tie
+/// correction otherwise); larger n uses the normal approximation with
+/// continuity correction.
+WilcoxonResult wilcoxon_signed_rank(std::span<const double> a, std::span<const double> b);
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+
+}  // namespace pfrl::stats

@@ -1,0 +1,59 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace pfrl::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path, std::ios::trunc), arity_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  write_row(header);
+  rows_ = 0;  // header does not count as a data row
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (fields.size() != arity_)
+    throw std::invalid_argument("CsvWriter: row arity mismatch");
+  write_row(fields);
+  ++rows_;
+}
+
+void CsvWriter::row(std::initializer_list<std::string> fields) {
+  row(std::vector<std::string>(fields));
+}
+
+std::string CsvWriter::field(double value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{}) return "nan";
+  return std::string(buf, ptr);
+}
+
+std::string CsvWriter::field(std::int64_t value) { return std::to_string(value); }
+
+std::string CsvWriter::field(std::size_t value) { return std::to_string(value); }
+
+std::string CsvWriter::escape(std::string_view raw) {
+  const bool needs_quote = raw.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(raw);
+  std::string quoted;
+  quoted.reserve(raw.size() + 2);
+  quoted.push_back('"');
+  for (const char c : raw) {
+    if (c == '"') quoted.push_back('"');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace pfrl::util

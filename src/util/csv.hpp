@@ -1,0 +1,46 @@
+// CSV output for experiment results so the paper's figures can be re-plotted
+// from the harness output with any external tool.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfrl::util {
+
+/// Streams rows to a CSV file. Fields containing commas, quotes, or
+/// newlines are quoted per RFC 4180. The file is flushed on destruction.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+
+  /// Writes one row; must match the header's arity.
+  void row(const std::vector<std::string>& fields);
+  void row(std::initializer_list<std::string> fields);
+
+  /// Convenience: formats arithmetic values with full round-trip precision.
+  static std::string field(double value);
+  static std::string field(std::int64_t value);
+  static std::string field(std::size_t value);
+
+  bool is_open() const { return out_.is_open(); }
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  static std::string escape(std::string_view raw);
+  void write_row(const std::vector<std::string>& fields);
+
+  std::ofstream out_;
+  std::size_t arity_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace pfrl::util

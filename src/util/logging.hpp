@@ -1,0 +1,34 @@
+// Minimal leveled logger (printf-style; gcc 12 has no <format>). The
+// experiment harnesses print their results through structured writers
+// (csv.hpp / table.hpp); this logger is for progress and diagnostics.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace pfrl::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Thread-safe write of one line to stderr.
+void log_message(LogLevel level, std::string_view message);
+
+/// printf-style formatting into a std::string.
+std::string format_string(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+#define PFRL_LOG_IMPL(level, ...)                                              \
+  do {                                                                         \
+    if (::pfrl::util::log_level() <= (level))                                  \
+      ::pfrl::util::log_message((level), ::pfrl::util::format_string(__VA_ARGS__)); \
+  } while (0)
+
+#define PFRL_LOG_DEBUG(...) PFRL_LOG_IMPL(::pfrl::util::LogLevel::kDebug, __VA_ARGS__)
+#define PFRL_LOG_INFO(...) PFRL_LOG_IMPL(::pfrl::util::LogLevel::kInfo, __VA_ARGS__)
+#define PFRL_LOG_WARN(...) PFRL_LOG_IMPL(::pfrl::util::LogLevel::kWarn, __VA_ARGS__)
+#define PFRL_LOG_ERROR(...) PFRL_LOG_IMPL(::pfrl::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace pfrl::util

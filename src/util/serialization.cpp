@@ -1,0 +1,3 @@
+// Intentionally header-only (see serialization.hpp); this TU anchors the
+// module in the pfrl_util library.
+#include "util/serialization.hpp"

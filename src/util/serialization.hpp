@@ -1,0 +1,104 @@
+// Byte-level serialization for federated messages.
+//
+// Model parameters cross the client/server boundary only as serialized
+// payloads (fed::Bus). Keeping an explicit wire format (little-endian,
+// length-prefixed) lets the harnesses report the paper's communication
+// costs in real bytes and keeps clients honestly isolated.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pfrl::util {
+
+/// Append-only binary writer (little-endian).
+class ByteWriter {
+ public:
+  void write_u8(std::uint8_t v) { buffer_.push_back(v); }
+  void write_u32(std::uint32_t v) { write_raw(&v, sizeof v); }
+  void write_u64(std::uint64_t v) { write_raw(&v, sizeof v); }
+  void write_i64(std::int64_t v) { write_raw(&v, sizeof v); }
+  void write_f32(float v) { write_raw(&v, sizeof v); }
+  void write_f64(double v) { write_raw(&v, sizeof v); }
+
+  void write_string(const std::string& s) {
+    write_u32(static_cast<std::uint32_t>(s.size()));
+    write_raw(s.data(), s.size());
+  }
+
+  void write_f32_span(std::span<const float> values) {
+    write_u32(static_cast<std::uint32_t>(values.size()));
+    write_raw(values.data(), values.size() * sizeof(float));
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  void write_raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buffer_.insert(buffer_.end(), p, p + n);
+  }
+
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Sequential binary reader over a byte span. Throws std::out_of_range on
+/// truncated input — a malformed federated message must never be silently
+/// accepted.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t read_u8() { return read_scalar<std::uint8_t>(); }
+  std::uint32_t read_u32() { return read_scalar<std::uint32_t>(); }
+  std::uint64_t read_u64() { return read_scalar<std::uint64_t>(); }
+  std::int64_t read_i64() { return read_scalar<std::int64_t>(); }
+  float read_f32() { return read_scalar<float>(); }
+  double read_f64() { return read_scalar<double>(); }
+
+  std::string read_string() {
+    const std::uint32_t n = read_u32();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + cursor_), n);
+    cursor_ += n;
+    return s;
+  }
+
+  std::vector<float> read_f32_vector() {
+    const std::uint32_t n = read_u32();
+    require(static_cast<std::size_t>(n) * sizeof(float));
+    std::vector<float> values(n);
+    std::memcpy(values.data(), bytes_.data() + cursor_, n * sizeof(float));
+    cursor_ += n * sizeof(float);
+    return values;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - cursor_; }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  template <typename T>
+  T read_scalar() {
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, bytes_.data() + cursor_, sizeof(T));
+    cursor_ += sizeof(T);
+    return v;
+  }
+
+  void require(std::size_t n) const {
+    if (cursor_ + n > bytes_.size())
+      throw std::out_of_range("ByteReader: truncated message");
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace pfrl::util

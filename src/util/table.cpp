@@ -1,0 +1,60 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pfrl::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("TablePrinter: empty header");
+}
+
+void TablePrinter::row(std::vector<std::string> fields) {
+  if (fields.size() != header_.size())
+    throw std::invalid_argument("TablePrinter: row arity mismatch");
+  rows_.push_back(std::move(fields));
+}
+
+std::string TablePrinter::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+
+  const auto emit_row = [&](const std::vector<std::string>& fields, std::string& out) {
+    out.push_back('|');
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      out.push_back(' ');
+      out += fields[c];
+      out.append(widths[c] - fields[c].size() + 1, ' ');
+      out.push_back('|');
+    }
+    out.push_back('\n');
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  out.push_back('|');
+  for (const std::size_t w : widths) {
+    out.append(w + 2, '-');
+    out.push_back('|');
+  }
+  out.push_back('\n');
+  for (const auto& r : rows_) emit_row(r, out);
+  return out;
+}
+
+void TablePrinter::print() const {
+  const std::string rendered = render();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace pfrl::util

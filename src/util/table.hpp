@@ -1,0 +1,31 @@
+// ASCII table rendering — the experiment harnesses print their results in
+// the same rows/columns the paper's tables and figure legends use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pfrl::util {
+
+/// Accumulates rows, then renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void row(std::vector<std::string> fields);
+
+  /// Formats a double with `precision` digits after the decimal point.
+  static std::string num(double value, int precision = 3);
+
+  /// Renders header + separator + rows with per-column alignment.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pfrl::util

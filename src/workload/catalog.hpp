@@ -1,0 +1,58 @@
+// The ten dataset models used throughout the paper, plus the Table 1
+// machine-specification inventory.
+//
+// Dataset ids are stable and used anywhere a client is bound to a
+// workload (Tables 2 and 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/model.hpp"
+
+namespace pfrl::workload {
+
+enum class DatasetId : std::uint32_t {
+  kGoogle = 0,
+  kAlibaba2017 = 1,
+  kAlibaba2018 = 2,
+  kHpcKs = 3,
+  kHpcHf = 4,
+  kHpcWz = 5,
+  kKvm2019 = 6,
+  kKvm2020 = 7,
+  kCeritSc = 8,
+  kK8s = 9,
+};
+
+constexpr std::size_t kDatasetCount = 10;
+
+/// The model for one dataset.
+const WorkloadModel& dataset_model(DatasetId id);
+
+/// All ten, indexed by DatasetId.
+const std::vector<WorkloadModel>& dataset_catalog();
+
+std::string dataset_name(DatasetId id);
+
+/// Returns a copy of `model` with arrivals_per_hour set so that the
+/// offered CPU load (arrival rate x mean vCPUs x mean duration) is
+/// `target_utilization` of `total_vcpus`. This is how client presets keep
+/// every cluster moderately loaded regardless of the dataset's shape.
+WorkloadModel calibrate_arrivals(WorkloadModel model, double total_vcpus,
+                                 double target_utilization);
+
+/// One row of the paper's Table 1 (machine specifications of the source
+/// clusters). Values are carried verbatim from the paper.
+struct Table1Row {
+  std::string dataset;
+  std::string cpus;
+  std::string memory_gib;
+  int nodes = 0;
+  std::string platform;
+};
+
+const std::vector<Table1Row>& table1_machine_specs();
+
+}  // namespace pfrl::workload

@@ -1,0 +1,96 @@
+#include "workload/dag.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pfrl::workload {
+
+WorkflowBatch sample_workflows(const WorkloadModel& model, std::size_t n_jobs,
+                               const DagShape& shape, util::Rng& rng) {
+  if (shape.min_tasks == 0 || shape.min_tasks > shape.max_tasks || shape.max_width == 0)
+    throw std::invalid_argument("sample_workflows: degenerate shape");
+
+  WorkflowBatch batch;
+  batch.reserve(n_jobs);
+  double now = 0.0;
+  for (std::size_t j = 0; j < n_jobs; ++j) {
+    // Job arrivals reuse the model's (diurnally modulated) process.
+    const auto hour =
+        static_cast<std::size_t>(now / model.seconds_per_hour) % model.diurnal_profile.size();
+    const double multiplier = std::max(model.diurnal_profile[hour], 1e-3);
+    now += rng.exponential(model.arrivals_per_hour * multiplier / model.seconds_per_hour);
+
+    Workflow wf;
+    wf.id = j;
+    wf.arrival_time = now;
+    const auto n_tasks = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(shape.min_tasks),
+                        static_cast<std::int64_t>(shape.max_tasks)));
+
+    // Assign tasks to layers of random width.
+    std::vector<std::size_t> layer_of;
+    std::size_t layer = 0;
+    std::size_t produced = 0;
+    while (produced < n_tasks) {
+      const auto width = static_cast<std::size_t>(rng.uniform_int(
+          1, static_cast<std::int64_t>(std::min(shape.max_width, n_tasks - produced))));
+      for (std::size_t w = 0; w < width; ++w) layer_of.push_back(layer);
+      produced += width;
+      ++layer;
+    }
+
+    for (std::size_t t = 0; t < n_tasks; ++t) {
+      WorkflowTask wt;
+      wt.task.id = t;
+      wt.task.vcpus = std::max(1, static_cast<int>(std::lround(model.vcpu_request.sample(rng))));
+      wt.task.memory_gb = std::max(0.1, model.memory_request.sample(rng));
+      wt.task.duration = std::max(1.0, model.duration.sample(rng));
+      wt.task.dataset_id = model.dataset_id;
+
+      if (layer_of[t] > 0) {
+        // Collect the previous layer's task indices.
+        std::vector<std::size_t> previous;
+        for (std::size_t p = 0; p < t; ++p)
+          if (layer_of[p] + 1 == layer_of[t]) previous.push_back(p);
+        // At least one dependency, possibly more.
+        const std::size_t first = previous[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(previous.size()) - 1))];
+        wt.deps.push_back(first);
+        for (const std::size_t p : previous)
+          if (p != first && rng.bernoulli(shape.extra_edge_prob)) wt.deps.push_back(p);
+        std::sort(wt.deps.begin(), wt.deps.end());
+      }
+      wf.tasks.push_back(std::move(wt));
+    }
+    batch.push_back(std::move(wf));
+  }
+  return batch;
+}
+
+bool is_topologically_ordered(const Workflow& workflow) {
+  for (std::size_t t = 0; t < workflow.tasks.size(); ++t)
+    for (const std::size_t dep : workflow.tasks[t].deps)
+      if (dep >= t) return false;
+  return true;
+}
+
+std::size_t total_tasks(const WorkflowBatch& batch) {
+  std::size_t n = 0;
+  for (const Workflow& wf : batch) n += wf.task_count();
+  return n;
+}
+
+double critical_path(const Workflow& workflow) {
+  std::vector<double> finish(workflow.tasks.size(), 0.0);
+  double best = 0.0;
+  for (std::size_t t = 0; t < workflow.tasks.size(); ++t) {
+    double start = 0.0;
+    for (const std::size_t dep : workflow.tasks[t].deps) start = std::max(start, finish[dep]);
+    finish[t] = start + workflow.tasks[t].task.duration;
+    best = std::max(best, finish[t]);
+  }
+  return best;
+}
+
+}  // namespace pfrl::workload

@@ -1,0 +1,59 @@
+// Workflow (DAG) workloads — the paper's stated future work ("we plan to
+// further explore the application of the proposed algorithm on workflow
+// datasets with dependencies").
+//
+// A Workflow is a job whose tasks are partially ordered: a task becomes
+// schedulable only when the job has arrived and all of its predecessors
+// have completed. Generation follows the common layered-DAG recipe
+// (fork-join / map-reduce shapes): tasks are arranged in layers and each
+// non-root task depends on one or more tasks of the previous layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/model.hpp"
+#include "workload/trace.hpp"
+
+namespace pfrl::workload {
+
+struct WorkflowTask {
+  Task task;                       // sizes/duration; arrival set at release
+  std::vector<std::size_t> deps;   // indices of predecessors within the job
+};
+
+struct Workflow {
+  std::uint64_t id = 0;
+  double arrival_time = 0.0;       // when the job enters the system
+  std::vector<WorkflowTask> tasks;
+
+  std::size_t task_count() const { return tasks.size(); }
+};
+
+using WorkflowBatch = std::vector<Workflow>;
+
+struct DagShape {
+  std::size_t min_tasks = 4;
+  std::size_t max_tasks = 12;
+  std::size_t max_width = 4;     // tasks per layer
+  double extra_edge_prob = 0.3;  // chance of additional cross edges
+};
+
+/// Samples `n_jobs` workflows: job arrivals from the model's arrival
+/// process, task sizes/durations from its distributions, structure from
+/// `shape`. Every non-root task depends on >= 1 previous-layer task.
+WorkflowBatch sample_workflows(const WorkloadModel& model, std::size_t n_jobs,
+                               const DagShape& shape, util::Rng& rng);
+
+/// True when every dependency points to an earlier task index (the
+/// generator's invariant — sufficient for acyclicity).
+bool is_topologically_ordered(const Workflow& workflow);
+
+/// Total tasks across the batch.
+std::size_t total_tasks(const WorkflowBatch& batch);
+
+/// Length (sum of durations) of the longest dependency chain — the lower
+/// bound on the job's makespan given unlimited resources.
+double critical_path(const Workflow& workflow);
+
+}  // namespace pfrl::workload

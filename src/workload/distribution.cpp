@@ -1,0 +1,83 @@
+#include "workload/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace pfrl::workload {
+
+double Distribution::sample(util::Rng& rng) const {
+  double v = 0.0;
+  switch (family) {
+    case DistFamily::kConstant: v = p1; break;
+    case DistFamily::kUniform: v = rng.uniform(p1, p2); break;
+    case DistFamily::kNormal: v = rng.normal(p1, p2); break;
+    case DistFamily::kLogNormal: v = rng.lognormal(p1, p2); break;
+    case DistFamily::kExponential: v = rng.exponential(p1); break;
+    case DistFamily::kPareto: v = rng.pareto(p1, p2); break;
+    case DistFamily::kGamma: v = rng.gamma(p1, p2); break;
+  }
+  return std::clamp(v, clamp_lo, clamp_hi);
+}
+
+double Distribution::mean_unclamped() const {
+  switch (family) {
+    case DistFamily::kConstant: return p1;
+    case DistFamily::kUniform: return 0.5 * (p1 + p2);
+    case DistFamily::kNormal: return p1;
+    case DistFamily::kLogNormal: return std::exp(p1 + 0.5 * p2 * p2);
+    case DistFamily::kExponential: return 1.0 / p1;
+    case DistFamily::kPareto:
+      return p2 > 1.0 ? p2 * p1 / (p2 - 1.0) : std::numeric_limits<double>::infinity();
+    case DistFamily::kGamma: return p1 * p2;
+  }
+  return 0.0;
+}
+
+std::string Distribution::describe() const {
+  const char* name = "?";
+  switch (family) {
+    case DistFamily::kConstant: name = "const"; break;
+    case DistFamily::kUniform: name = "uniform"; break;
+    case DistFamily::kNormal: name = "normal"; break;
+    case DistFamily::kLogNormal: name = "lognormal"; break;
+    case DistFamily::kExponential: name = "exponential"; break;
+    case DistFamily::kPareto: name = "pareto"; break;
+    case DistFamily::kGamma: name = "gamma"; break;
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s(%.3g,%.3g)[%.3g,%.3g]", name, p1, p2, clamp_lo, clamp_hi);
+  return buf;
+}
+
+Distribution constant(double value) {
+  return {.family = DistFamily::kConstant, .p1 = value, .p2 = 0.0,
+          .clamp_lo = value, .clamp_hi = value};
+}
+
+Distribution uniform_dist(double lo, double hi) {
+  return {.family = DistFamily::kUniform, .p1 = lo, .p2 = hi, .clamp_lo = lo, .clamp_hi = hi};
+}
+
+Distribution normal_dist(double mean, double stddev, double lo, double hi) {
+  return {.family = DistFamily::kNormal, .p1 = mean, .p2 = stddev, .clamp_lo = lo, .clamp_hi = hi};
+}
+
+Distribution lognormal_dist(double mu, double sigma, double lo, double hi) {
+  return {.family = DistFamily::kLogNormal, .p1 = mu, .p2 = sigma, .clamp_lo = lo, .clamp_hi = hi};
+}
+
+Distribution exponential_dist(double rate, double lo, double hi) {
+  return {.family = DistFamily::kExponential, .p1 = rate, .p2 = 0.0, .clamp_lo = lo, .clamp_hi = hi};
+}
+
+Distribution pareto_dist(double scale, double shape, double lo, double hi) {
+  return {.family = DistFamily::kPareto, .p1 = scale, .p2 = shape, .clamp_lo = lo, .clamp_hi = hi};
+}
+
+Distribution gamma_dist(double shape, double scale, double lo, double hi) {
+  return {.family = DistFamily::kGamma, .p1 = shape, .p2 = scale, .clamp_lo = lo, .clamp_hi = hi};
+}
+
+}  // namespace pfrl::workload

@@ -1,0 +1,50 @@
+// Parameterized scalar distributions.
+//
+// Each synthetic dataset model (catalog.hpp) is assembled from these; the
+// family + parameters differ per dataset, which is what reproduces the
+// cross-dataset heterogeneity in Figs. 2–5.
+#pragma once
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace pfrl::workload {
+
+enum class DistFamily {
+  kConstant,    // always p1
+  kUniform,     // U[p1, p2]
+  kNormal,      // N(p1, p2), clamped
+  kLogNormal,   // exp(N(p1, p2))
+  kExponential, // rate p1
+  kPareto,      // scale p1, shape p2
+  kGamma,       // shape p1, scale p2
+};
+
+/// A distribution plus hard clamping bounds (real traces have physical
+/// caps: a task can't request more than the largest machine).
+struct Distribution {
+  DistFamily family = DistFamily::kConstant;
+  double p1 = 1.0;
+  double p2 = 0.0;
+  double clamp_lo = 0.0;
+  double clamp_hi = 1e18;
+
+  double sample(util::Rng& rng) const;
+
+  /// Analytic mean of the *unclamped* distribution (Pareto with shape <= 1
+  /// returns infinity). Used by tests and by arrival-rate calibration.
+  double mean_unclamped() const;
+
+  std::string describe() const;
+};
+
+Distribution constant(double value);
+Distribution uniform_dist(double lo, double hi);
+Distribution normal_dist(double mean, double stddev, double lo, double hi);
+Distribution lognormal_dist(double mu, double sigma, double lo, double hi);
+Distribution exponential_dist(double rate, double lo, double hi);
+Distribution pareto_dist(double scale, double shape, double lo, double hi);
+Distribution gamma_dist(double shape, double scale, double lo, double hi);
+
+}  // namespace pfrl::workload

@@ -1,0 +1,63 @@
+#include "workload/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pfrl::workload {
+
+Trace sample_trace(const WorkloadModel& model, std::size_t n_tasks, util::Rng& rng) {
+  if (model.arrivals_per_hour <= 0.0)
+    throw std::invalid_argument("sample_trace: arrivals_per_hour must be positive");
+  Trace trace;
+  trace.reserve(n_tasks);
+  double now = 0.0;
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    // Rate of the modulated Poisson process at the current simulated hour.
+    const auto hour =
+        static_cast<std::size_t>(now / model.seconds_per_hour) % model.diurnal_profile.size();
+    const double multiplier = std::max(model.diurnal_profile[hour], 1e-3);
+    double rate_per_second = model.arrivals_per_hour * multiplier / model.seconds_per_hour;
+    if (model.burst_prob > 0.0 && rng.bernoulli(model.burst_prob))
+      rate_per_second *= std::max(model.burst_rate_multiplier, 1e-3);
+    now += rng.exponential(rate_per_second);
+
+    Task task;
+    task.id = i;
+    task.arrival_time = now;
+    task.vcpus = std::max(1, static_cast<int>(std::lround(model.vcpu_request.sample(rng))));
+    task.memory_gb = std::max(0.1, model.memory_request.sample(rng));
+    task.duration = std::max(1.0, model.duration.sample(rng));
+    task.dataset_id = model.dataset_id;
+    trace.push_back(task);
+  }
+  return trace;
+}
+
+std::array<double, 24> flat_profile() {
+  std::array<double, 24> p{};
+  p.fill(1.0);
+  return p;
+}
+
+std::array<double, 24> office_hours_profile(double peak) {
+  std::array<double, 24> p{};
+  for (std::size_t h = 0; h < p.size(); ++h) {
+    // Smooth bump centred at 14:00, trough around 02:00.
+    const double phase = (static_cast<double>(h) - 14.0) / 24.0 * 2.0 * std::numbers::pi;
+    p[h] = 1.0 + (peak - 1.0) * 0.5 * (1.0 + std::cos(phase));
+  }
+  return p;
+}
+
+std::array<double, 24> night_batch_profile(double peak) {
+  std::array<double, 24> p{};
+  for (std::size_t h = 0; h < p.size(); ++h) {
+    const double phase = (static_cast<double>(h) - 2.0) / 24.0 * 2.0 * std::numbers::pi;
+    p[h] = 1.0 + (peak - 1.0) * 0.5 * (1.0 + std::cos(phase));
+  }
+  return p;
+}
+
+}  // namespace pfrl::workload

@@ -1,0 +1,88 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pfrl::workload {
+
+bool is_sorted_by_arrival(const Trace& trace) {
+  return std::is_sorted(trace.begin(), trace.end(),
+                        [](const Task& a, const Task& b) { return a.arrival_time < b.arrival_time; });
+}
+
+void normalize(Trace& trace) {
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const Task& a, const Task& b) { return a.arrival_time < b.arrival_time; });
+  for (std::size_t i = 0; i < trace.size(); ++i) trace[i].id = i;
+}
+
+std::pair<Trace, Trace> split_train_test(const Trace& trace, double fraction) {
+  if (fraction < 0.0 || fraction > 1.0)
+    throw std::invalid_argument("split_train_test: fraction outside [0, 1]");
+  const auto cut = static_cast<std::size_t>(static_cast<double>(trace.size()) * fraction);
+  Trace train(trace.begin(), trace.begin() + static_cast<std::ptrdiff_t>(cut));
+  Trace test(trace.begin() + static_cast<std::ptrdiff_t>(cut), trace.end());
+  // Re-anchor the test set at t = 0 so both halves are standalone traces.
+  if (!test.empty()) {
+    const double t0 = test.front().arrival_time;
+    for (Task& t : test) t.arrival_time -= t0;
+  }
+  normalize(train);
+  normalize(test);
+  return {std::move(train), std::move(test)};
+}
+
+Trace combine(std::span<const Trace> traces, std::size_t per_source_cap) {
+  Trace out;
+  for (const Trace& t : traces) {
+    const std::size_t take = per_source_cap == 0 ? t.size() : std::min(per_source_cap, t.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  normalize(out);
+  return out;
+}
+
+Trace hybrid_mix(const Trace& own, std::span<const Trace> others, double keep_fraction,
+                 util::Rng& rng) {
+  if (keep_fraction < 0.0 || keep_fraction > 1.0)
+    throw std::invalid_argument("hybrid_mix: keep_fraction outside [0, 1]");
+  Trace out;
+  out.reserve(own.size());
+  const auto keep = static_cast<std::size_t>(static_cast<double>(own.size()) * keep_fraction);
+
+  // Chronological subsample of the retained share: every k-th task keeps
+  // the original arrival pattern's shape.
+  if (keep > 0) {
+    const double stride = static_cast<double>(own.size()) / static_cast<double>(keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+      const auto idx = std::min(own.size() - 1, static_cast<std::size_t>(stride * static_cast<double>(i)));
+      out.push_back(own[idx]);
+    }
+  }
+
+  // Fill the remainder from the other clients' traces, re-stamped onto
+  // the own-trace timeline so the arrival process stays plausible.
+  const std::size_t fill = own.size() - out.size();
+  std::vector<const Task*> pool;
+  for (const Trace& t : others)
+    for (const Task& task : t) pool.push_back(&task);
+  if (fill > 0 && pool.empty())
+    throw std::invalid_argument("hybrid_mix: no donor tasks available");
+  const double horizon = own.empty() ? 0.0 : own.back().arrival_time;
+  for (std::size_t i = 0; i < fill; ++i) {
+    Task t = *pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+    t.arrival_time = rng.uniform(0.0, horizon);
+    out.push_back(t);
+  }
+  normalize(out);
+  return out;
+}
+
+double total_cpu_seconds(const Trace& trace) {
+  double acc = 0.0;
+  for (const Task& t : trace) acc += static_cast<double>(t.vcpus) * t.duration;
+  return acc;
+}
+
+}  // namespace pfrl::workload

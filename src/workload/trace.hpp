@@ -1,0 +1,56 @@
+// Task records and trace manipulation (train/test splits, the heterogeneous
+// union of §3.1, and the hybrid 20/80 mixes of §5.3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pfrl::workload {
+
+/// One task as the scheduler sees it on arrival. Resource demands are
+/// known on arrival (paper §4.1); the duration is known to the *simulator*
+/// but is never put in the observation — the agent only sees per-vCPU
+/// completion progress (paper's "the VM could track the task's completion
+/// progress").
+struct Task {
+  std::uint64_t id = 0;
+  double arrival_time = 0.0;  // seconds since trace start
+  int vcpus = 1;              // requested vCPUs
+  double memory_gb = 1.0;     // requested memory
+  double duration = 1.0;      // execution time in seconds (ground truth)
+  std::uint32_t dataset_id = 0;  // which workload model produced it
+};
+
+using Trace = std::vector<Task>;
+
+/// Chronological check used by invariants/tests.
+bool is_sorted_by_arrival(const Trace& trace);
+
+/// Sorts by arrival time (stable) and reassigns contiguous ids.
+void normalize(Trace& trace);
+
+/// First `fraction` of the tasks (chronological) for training, rest for
+/// testing — the paper's 60/40 split.
+std::pair<Trace, Trace> split_train_test(const Trace& trace, double fraction);
+
+/// Union of traces; arrival times are kept, tasks re-sorted (the
+/// "heter-train"/"heter-test" datasets of §3.1). `per_source_cap` limits
+/// how many tasks are taken from each source (0 = all).
+Trace combine(std::span<const Trace> traces, std::size_t per_source_cap = 0);
+
+/// §5.3 hybrid test set: keeps `keep_fraction` of `own` (chronological
+/// subsample) and fills the rest with uniformly drawn tasks from `others`,
+/// re-stamping the drawn tasks onto the kept timeline so the mix stays a
+/// valid arrival process of the same total size as `own`.
+Trace hybrid_mix(const Trace& own, std::span<const Trace> others, double keep_fraction,
+                 util::Rng& rng);
+
+/// Aggregate demand (vcpus * duration) — used to sanity-check that traces
+/// are comparable in offered load.
+double total_cpu_seconds(const Trace& trace);
+
+}  // namespace pfrl::workload

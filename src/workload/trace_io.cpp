@@ -1,0 +1,94 @@
+#include "workload/trace_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace pfrl::workload {
+
+void save_trace_csv(const Trace& trace, const std::string& path) {
+  util::CsvWriter csv(path, {"arrival_time", "vcpus", "memory_gb", "duration", "dataset_id"});
+  for (const Task& t : trace)
+    csv.row({util::CsvWriter::field(t.arrival_time), std::to_string(t.vcpus),
+             util::CsvWriter::field(t.memory_gb), util::CsvWriter::field(t.duration),
+             std::to_string(t.dataset_id)});
+}
+
+namespace {
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (const char c : line) {
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+double parse_double(const std::string& s, std::size_t line_no, const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(s, &consumed);
+    if (consumed != s.size()) throw std::invalid_argument("trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("trace CSV line " + std::to_string(line_no) + ": bad " +
+                                what + " '" + s + "'");
+  }
+}
+
+long parse_long(const std::string& s, std::size_t line_no, const char* what) {
+  long v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size())
+    throw std::invalid_argument("trace CSV line " + std::to_string(line_no) + ": bad " +
+                                what + " '" + s + "'");
+  return v;
+}
+
+}  // namespace
+
+Trace load_trace_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace_csv: cannot open " + path);
+
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_skipped = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    if (!header_skipped) {
+      header_skipped = true;
+      if (line.rfind("arrival_time", 0) == 0) continue;  // header row present
+    }
+    const std::vector<std::string> fields = split_fields(line);
+    if (fields.size() != 5)
+      throw std::invalid_argument("trace CSV line " + std::to_string(line_no) +
+                                  ": expected 5 fields, got " + std::to_string(fields.size()));
+    Task t;
+    t.arrival_time = parse_double(fields[0], line_no, "arrival_time");
+    t.vcpus = static_cast<int>(parse_long(fields[1], line_no, "vcpus"));
+    t.memory_gb = parse_double(fields[2], line_no, "memory_gb");
+    t.duration = parse_double(fields[3], line_no, "duration");
+    t.dataset_id = static_cast<std::uint32_t>(parse_long(fields[4], line_no, "dataset_id"));
+    if (t.vcpus < 1 || t.memory_gb <= 0.0 || t.duration <= 0.0 || t.arrival_time < 0.0)
+      throw std::invalid_argument("trace CSV line " + std::to_string(line_no) +
+                                  ": non-positive task attributes");
+    trace.push_back(t);
+  }
+  normalize(trace);
+  return trace;
+}
+
+}  // namespace pfrl::workload

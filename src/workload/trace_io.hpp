@@ -1,0 +1,26 @@
+// Trace import/export. The models in catalog.hpp are synthetic stand-ins;
+// users holding the real cluster traces (Google, Alibaba, ...) can export
+// them to this CSV schema and drive every experiment with actual data:
+//
+//   arrival_time,vcpus,memory_gb,duration,dataset_id
+//   0.0,2,4.5,120.0,0
+//   1.5,1,2.0,30.0,0
+#pragma once
+
+#include <string>
+
+#include "workload/trace.hpp"
+
+namespace pfrl::workload {
+
+/// Writes the trace with a header row.
+void save_trace_csv(const Trace& trace, const std::string& path);
+
+/// Parses a CSV written by save_trace_csv (or hand-made with the same
+/// columns). Tolerates \r\n endings and blank lines; throws
+/// std::runtime_error on I/O failure and std::invalid_argument on a
+/// malformed row (with its line number). The result is normalized
+/// (sorted by arrival, contiguous ids).
+Trace load_trace_csv(const std::string& path);
+
+}  // namespace pfrl::workload

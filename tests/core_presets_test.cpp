@@ -1,0 +1,150 @@
+#include "core/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/federation.hpp"
+
+namespace pfrl::core {
+namespace {
+
+TEST(Presets, Table2HasFourClients) {
+  const auto clients = table2_clients();
+  ASSERT_EQ(clients.size(), 4u);
+  // Client 1 of Table 2: (16,128,4) (32,256,1), Google.
+  EXPECT_EQ(clients[0].specs.size(), 2u);
+  EXPECT_EQ(clients[0].specs[0].vcpus, 16);
+  EXPECT_EQ(clients[0].specs[0].count, 4);
+  EXPECT_EQ(clients[0].dataset, workload::DatasetId::kGoogle);
+  EXPECT_EQ(clients[1].dataset, workload::DatasetId::kAlibaba2017);
+}
+
+TEST(Presets, Table3HasTenClientsWithDistinctDatasets) {
+  const auto clients = table3_clients();
+  ASSERT_EQ(clients.size(), 10u);
+  std::set<workload::DatasetId> datasets;
+  for (const ClientPreset& c : clients) {
+    datasets.insert(c.dataset);
+    EXPECT_FALSE(c.specs.empty());
+    for (const sim::MachineSpec& s : c.specs) {
+      EXPECT_GT(s.vcpus, 0);
+      EXPECT_GT(s.memory_gb, 0.0);
+      EXPECT_GT(s.count, 0);
+    }
+  }
+  EXPECT_EQ(datasets.size(), 10u);  // one dataset per client
+}
+
+TEST(Presets, ScalesHaveSensibleOrdering) {
+  const ExperimentScale tiny = ExperimentScale::tiny();
+  const ExperimentScale quick = ExperimentScale::quick();
+  const ExperimentScale paper = ExperimentScale::paper();
+  EXPECT_LT(tiny.tasks_per_client, quick.tasks_per_client);
+  EXPECT_LT(quick.tasks_per_client, paper.tasks_per_client);
+  EXPECT_EQ(paper.tasks_per_client, 3500u);
+  EXPECT_EQ(paper.episodes, 500u);
+  EXPECT_EQ(paper.comm_every, 25u);
+  EXPECT_EQ(paper.cpu_scale, 1);
+}
+
+TEST(Presets, LayoutCoversEveryClient) {
+  const auto clients = table3_clients();
+  const ExperimentScale scale = ExperimentScale::quick();
+  const FederationLayout layout = layout_for(clients, scale);
+  for (const ClientPreset& c : clients) {
+    const sim::MachineSpecs scaled = sim::scale_vcpus(c.specs, scale.cpu_scale);
+    EXPECT_LE(static_cast<std::size_t>(sim::total_vms(scaled)), layout.max_vms);
+    for (const sim::MachineSpec& s : scaled) {
+      EXPECT_LE(s.vcpus, layout.max_vcpus_per_vm);
+      EXPECT_LE(s.memory_gb, layout.max_memory_gb);
+    }
+  }
+}
+
+TEST(Presets, EnvConfigMatchesLayout) {
+  const auto clients = table2_clients();
+  const ExperimentScale scale = ExperimentScale::tiny();
+  const FederationLayout layout = layout_for(clients, scale);
+  const env::SchedulingEnvConfig cfg = make_env_config(clients[0], layout, scale);
+  EXPECT_EQ(cfg.max_vms, layout.max_vms);
+  EXPECT_EQ(cfg.max_vcpus_per_vm, layout.max_vcpus_per_vm);
+  EXPECT_EQ(cfg.queue_window, scale.queue_window);
+  // Env constructible for every client under the shared layout.
+  for (const ClientPreset& c : clients) {
+    EXPECT_NO_THROW(env::SchedulingEnv(make_env_config(c, layout, scale),
+                                       make_trace(c, scale, 1)));
+  }
+}
+
+TEST(Presets, TracesAreSchedulableOnTheirCluster) {
+  // Every sampled task must fit on at least one (scaled) machine of its
+  // own client — otherwise episodes could never complete.
+  const ExperimentScale scale = ExperimentScale::quick();
+  for (const ClientPreset& client : table3_clients()) {
+    const sim::MachineSpecs scaled = sim::scale_vcpus(client.specs, scale.cpu_scale);
+    const workload::Trace trace = make_trace(client, scale, 9);
+    for (const workload::Task& t : trace) {
+      bool fits = false;
+      for (const sim::MachineSpec& s : scaled)
+        if (t.vcpus <= s.vcpus && t.memory_gb <= s.memory_gb) fits = true;
+      EXPECT_TRUE(fits) << workload::dataset_name(client.dataset);
+    }
+  }
+}
+
+TEST(Presets, TraceSizesMatchScale) {
+  const ExperimentScale scale = ExperimentScale::tiny();
+  const workload::Trace t = make_trace(table2_clients()[0], scale, 5);
+  EXPECT_EQ(t.size(), scale.tasks_per_client);
+}
+
+TEST(Federation, ConstructsForEveryAlgorithm) {
+  for (const fed::FedAlgorithm alg :
+       {fed::FedAlgorithm::kIndependent, fed::FedAlgorithm::kFedAvg, fed::FedAlgorithm::kMfpo,
+        fed::FedAlgorithm::kPfrlDm}) {
+    FederationConfig cfg;
+    cfg.algorithm = alg;
+    cfg.scale = ExperimentScale::tiny();
+    Federation federation(table2_clients(), cfg);
+    EXPECT_EQ(federation.client_count(), 4u);
+  }
+}
+
+TEST(Federation, MakeAggregatorMatchesAlgorithm) {
+  FederationConfig cfg;
+  cfg.algorithm = fed::FedAlgorithm::kIndependent;
+  EXPECT_EQ(make_aggregator(cfg), nullptr);
+  cfg.algorithm = fed::FedAlgorithm::kFedAvg;
+  EXPECT_EQ(make_aggregator(cfg)->name(), "fedavg");
+  cfg.algorithm = fed::FedAlgorithm::kMfpo;
+  EXPECT_EQ(make_aggregator(cfg)->name(), "mfpo");
+  cfg.algorithm = fed::FedAlgorithm::kPfrlDm;
+  EXPECT_EQ(make_aggregator(cfg)->name(), "pfrl-dm-attention");
+}
+
+TEST(Federation, DefaultParticipantsIsHalf) {
+  FederationConfig cfg;
+  cfg.scale = ExperimentScale::tiny();
+  Federation federation(table2_clients(), cfg);
+  federation.trainer().step_round();
+  EXPECT_EQ(federation.trainer().server()->last_participants().size(), 2u);  // K = N/2
+}
+
+TEST(Federation, EmptyPresetsThrow) {
+  FederationConfig cfg;
+  EXPECT_THROW(Federation({}, cfg), std::invalid_argument);
+}
+
+TEST(Federation, TestTracesAreHeldOut) {
+  FederationConfig cfg;
+  cfg.scale = ExperimentScale::tiny();
+  Federation federation(table2_clients(), cfg);
+  for (std::size_t i = 0; i < federation.client_count(); ++i) {
+    const workload::Trace& test = federation.test_trace(i);
+    EXPECT_EQ(test.size(), cfg.scale.tasks_per_client -
+                               static_cast<std::size_t>(cfg.scale.tasks_per_client *
+                                                        cfg.scale.train_fraction));
+  }
+}
+
+}  // namespace
+}  // namespace pfrl::core

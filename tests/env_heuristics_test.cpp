@@ -1,0 +1,140 @@
+#include "env/heuristic_policies.hpp"
+
+#include "env/workflow_env.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/presets.hpp"
+
+namespace pfrl::env {
+namespace {
+
+workload::Task make_task(double arrival, int vcpus, double mem, double duration) {
+  workload::Task t;
+  t.arrival_time = arrival;
+  t.vcpus = vcpus;
+  t.memory_gb = mem;
+  t.duration = duration;
+  return t;
+}
+
+SchedulingEnvConfig config_3vms() {
+  SchedulingEnvConfig cfg;
+  cfg.cluster.specs = {{4, 16.0, 2}, {8, 32.0, 1}};
+  cfg.max_vms = 3;
+  cfg.max_vcpus_per_vm = 8;
+  cfg.max_memory_gb = 32.0;
+  cfg.queue_window = 3;
+  cfg.fast_forward_idle = false;
+  return cfg;
+}
+
+TEST(Heuristics, Names) {
+  EXPECT_STREQ(heuristic_name(HeuristicPolicy::kFirstFit), "first-fit");
+  EXPECT_STREQ(heuristic_name(HeuristicPolicy::kBestFit), "best-fit");
+  EXPECT_STREQ(heuristic_name(HeuristicPolicy::kWorstFit), "worst-fit");
+  EXPECT_STREQ(heuristic_name(HeuristicPolicy::kRoundRobin), "round-robin");
+  EXPECT_STREQ(heuristic_name(HeuristicPolicy::kRandom), "random");
+}
+
+TEST(Heuristics, FirstFitPicksLowestIndex) {
+  SchedulingEnv env(config_3vms(), {make_task(0, 1, 1, 5)});
+  HeuristicScheduler sched(HeuristicPolicy::kFirstFit);
+  EXPECT_EQ(sched.act(env), 0);
+}
+
+TEST(Heuristics, NoopWhenNothingFits) {
+  SchedulingEnv env(config_3vms(), {make_task(0, 8, 33.0, 5)});  // memory too big
+  HeuristicScheduler sched(HeuristicPolicy::kFirstFit);
+  EXPECT_EQ(sched.act(env), env.noop_action());
+}
+
+TEST(Heuristics, BestFitPrefersTightestVm) {
+  // VM 2 (8 vCPU) has the most slack; best-fit should pick VM 0 for a
+  // small task, worst-fit should pick VM 2.
+  SchedulingEnv env(config_3vms(), {make_task(0, 1, 1, 5)});
+  HeuristicScheduler best(HeuristicPolicy::kBestFit);
+  HeuristicScheduler worst(HeuristicPolicy::kWorstFit);
+  EXPECT_EQ(best.act(env), 0);
+  EXPECT_EQ(worst.act(env), 2);
+}
+
+TEST(Heuristics, BestFitTracksOccupancy) {
+  // Occupy VM 0 partially: it becomes the tighter fit vs an idle twin.
+  SchedulingEnv env(config_3vms(),
+                    {make_task(0, 2, 8, 100), make_task(0, 1, 1, 5)});
+  (void)env.step(0);  // put the 2-vCPU task on VM 0
+  HeuristicScheduler best(HeuristicPolicy::kBestFit);
+  EXPECT_EQ(best.act(env), 0);  // VM 0 now tightest and still fits
+}
+
+TEST(Heuristics, RoundRobinCyclesAcrossPlacements) {
+  workload::Trace trace;
+  for (int i = 0; i < 3; ++i) trace.push_back(make_task(0, 1, 1, 50));
+  SchedulingEnv env(config_3vms(), trace);
+  HeuristicScheduler rr(HeuristicPolicy::kRoundRobin);
+  const int a1 = rr.act(env);
+  (void)env.step(a1);
+  const int a2 = rr.act(env);
+  (void)env.step(a2);
+  const int a3 = rr.act(env);
+  EXPECT_NE(a1, a2);
+  EXPECT_NE(a2, a3);
+}
+
+TEST(Heuristics, RandomOnlyPicksFeasible) {
+  // VM 2 is the only machine fitting 5 vCPUs.
+  SchedulingEnv env(config_3vms(), {make_task(0, 5, 1, 5)});
+  HeuristicScheduler rnd(HeuristicPolicy::kRandom, 9);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rnd.act(env), 2);
+}
+
+TEST(Heuristics, DrivesWorkflowEnvThroughGenericInterface) {
+  // The scheduler only needs Env + ClusterView, so it must complete a
+  // dependency-constrained episode too.
+  workload::Workflow wf;
+  for (int t = 0; t < 4; ++t) {
+    workload::WorkflowTask wt;
+    wt.task.vcpus = 1;
+    wt.task.memory_gb = 1.0;
+    wt.task.duration = 2.0;
+    if (t > 0) wt.deps = {static_cast<std::size_t>(t - 1)};
+    wf.tasks.push_back(std::move(wt));
+  }
+  WorkflowEnv env(config_3vms(), {wf});
+  HeuristicScheduler sched(HeuristicPolicy::kBestFit, 7);
+  const sim::EpisodeMetrics m = sched.run_episode(env);
+  EXPECT_EQ(m.completed_tasks, 4u);
+  EXPECT_EQ(env.completed_jobs(), 1u);
+}
+
+class HeuristicEpisode : public ::testing::TestWithParam<HeuristicPolicy> {};
+
+TEST_P(HeuristicEpisode, CompletesEveryTask) {
+  core::ExperimentScale scale = core::ExperimentScale::tiny();
+  const core::ClientPreset preset = core::table2_clients()[0];
+  const core::FederationLayout layout = core::layout_for({&preset, 1}, scale);
+  SchedulingEnv env(core::make_env_config(preset, layout, scale),
+                    core::make_trace(preset, scale, 11));
+  HeuristicScheduler sched(GetParam(), 5);
+  const sim::EpisodeMetrics m = sched.run_episode(env);
+  EXPECT_EQ(m.completed_tasks, scale.tasks_per_client);
+  EXPECT_EQ(m.invalid_actions, 0u);  // heuristics never pick infeasible VMs
+  EXPECT_GT(m.avg_response_time, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, HeuristicEpisode,
+                         ::testing::Values(HeuristicPolicy::kFirstFit,
+                                           HeuristicPolicy::kBestFit,
+                                           HeuristicPolicy::kWorstFit,
+                                           HeuristicPolicy::kRoundRobin,
+                                           HeuristicPolicy::kRandom),
+                         [](const auto& info) {
+                           std::string n = heuristic_name(info.param);
+                           for (char& c : n)
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace pfrl::env

@@ -1,0 +1,323 @@
+#include "env/scheduling_env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/presets.hpp"
+#include "util/rng.hpp"
+#include "workload/catalog.hpp"
+
+namespace pfrl::env {
+namespace {
+
+workload::Task make_task(double arrival, int vcpus, double mem, double duration) {
+  workload::Task t;
+  t.arrival_time = arrival;
+  t.vcpus = vcpus;
+  t.memory_gb = mem;
+  t.duration = duration;
+  return t;
+}
+
+SchedulingEnvConfig small_config() {
+  SchedulingEnvConfig cfg;
+  cfg.cluster.specs = {{4, 16.0, 2}};  // two 4-vCPU/16-GB VMs
+  cfg.max_vms = 3;                     // one padded void VM
+  cfg.max_vcpus_per_vm = 4;
+  cfg.max_memory_gb = 16.0;
+  cfg.queue_window = 2;
+  cfg.fast_forward_idle = false;
+  return cfg;
+}
+
+TEST(SchedulingEnv, StateDimMatchesLayout) {
+  SchedulingEnv env(small_config(), {});
+  // L*d + L*U + Q*d = 3*2 + 3*4 + 2*2 = 22
+  EXPECT_EQ(env.state_dim(), 22u);
+  EXPECT_EQ(env.action_count(), 4);  // 3 VM slots + no-op
+  EXPECT_EQ(env.noop_action(), 3);
+}
+
+TEST(SchedulingEnv, ConstructionValidatesLayout) {
+  SchedulingEnvConfig cfg = small_config();
+  cfg.max_vms = 1;  // cluster has 2 VMs
+  EXPECT_THROW(SchedulingEnv(cfg, {}), std::invalid_argument);
+
+  cfg = small_config();
+  cfg.max_vcpus_per_vm = 2;  // VM has 4
+  EXPECT_THROW(SchedulingEnv(cfg, {}), std::invalid_argument);
+
+  cfg = small_config();
+  cfg.max_memory_gb = 8.0;  // VM has 16
+  EXPECT_THROW(SchedulingEnv(cfg, {}), std::invalid_argument);
+}
+
+TEST(SchedulingEnv, ObserveLayoutHandChecked) {
+  workload::Trace trace{make_task(0.0, 2, 8.0, 10.0), make_task(0.0, 1, 4.0, 5.0)};
+  SchedulingEnv env(small_config(), trace);
+
+  std::vector<float> s(env.state_dim());
+  env.observe(s);
+
+  // S^VM: both real VMs idle -> free fractions 1.0; void VM -> 0.
+  EXPECT_FLOAT_EQ(s[0], 1.0F);  // VM0 free vcpus / 4
+  EXPECT_FLOAT_EQ(s[1], 1.0F);  // VM0 free mem / 16
+  EXPECT_FLOAT_EQ(s[2], 1.0F);
+  EXPECT_FLOAT_EQ(s[3], 1.0F);
+  EXPECT_FLOAT_EQ(s[4], 0.0F);  // void VM
+  EXPECT_FLOAT_EQ(s[5], 0.0F);
+
+  // S^vCPU: all slots idle.
+  for (std::size_t i = 6; i < 6 + 12; ++i) EXPECT_FLOAT_EQ(s[i], 0.0F);
+
+  // S^Queue: two waiting tasks (vcpus/4, mem/16).
+  EXPECT_FLOAT_EQ(s[18], 0.5F);
+  EXPECT_FLOAT_EQ(s[19], 0.5F);
+  EXPECT_FLOAT_EQ(s[20], 0.25F);
+  EXPECT_FLOAT_EQ(s[21], 0.25F);
+}
+
+TEST(SchedulingEnv, ObserveShowsPlacementAndProgress) {
+  workload::Trace trace{make_task(0.0, 2, 8.0, 10.0)};
+  SchedulingEnv env(small_config(), trace);
+  (void)env.step(0);  // place on VM 0
+
+  std::vector<float> s(env.state_dim());
+  env.observe(s);
+  EXPECT_FLOAT_EQ(s[0], 0.5F);  // 2 of 4 vcpus left
+  EXPECT_FLOAT_EQ(s[1], 0.5F);  // 8 of 16 GB left
+
+  // Advance 5 ticks: progress = 0.5 on slots 0 and 1 of VM 0.
+  for (int i = 0; i < 5; ++i) (void)env.step(env.noop_action());
+  env.observe(s);
+  EXPECT_FLOAT_EQ(s[6], 0.5F);
+  EXPECT_FLOAT_EQ(s[7], 0.5F);
+  EXPECT_FLOAT_EQ(s[8], 0.0F);
+}
+
+TEST(SchedulingEnv, ValidPlacementRewardMatchesEquations) {
+  workload::Trace trace{make_task(0.0, 2, 8.0, 10.0)};
+  SchedulingEnvConfig cfg = small_config();
+  cfg.reward.rho = 0.5;
+  SchedulingEnv env(cfg, trace);
+
+  // Placement at t=0: wait 0 -> R_res = e^{10/10} = e.
+  // LoadBal before: 0 (uniform idle). After: vCPU loads {0.5,1,(void n/a)}.
+  // The cluster has 2 VMs: {0.5, 1.0} -> stddev 0.25 per resource -> 0.25.
+  // Load_c = 0.25 - 0 > 0 -> corrected reward -0.25.
+  const StepResult r = env.step(0);
+  EXPECT_FALSE(r.done);
+  EXPECT_NEAR(r.reward, 0.5 * std::exp(1.0) + 0.5 * (-0.25), 1e-6);
+}
+
+TEST(SchedulingEnv, StrictPaperRewardFlipsLoadSign) {
+  workload::Trace trace{make_task(0.0, 2, 8.0, 10.0)};
+  SchedulingEnvConfig cfg = small_config();
+  cfg.reward.strict_paper_reward = true;
+  SchedulingEnv env(cfg, trace);
+  const StepResult r = env.step(0);
+  EXPECT_NEAR(r.reward, 0.5 * std::exp(1.0) + 0.5 * (+0.25), 1e-6);
+}
+
+TEST(SchedulingEnv, BalancingPlacementEarnsUnitLoadReward) {
+  // Second task placed on the *other* VM improves balance -> R_load = 1.
+  workload::Trace trace{make_task(0.0, 2, 8.0, 10.0), make_task(0.0, 2, 8.0, 10.0)};
+  SchedulingEnv env(small_config(), trace);
+  (void)env.step(0);
+  const StepResult r = env.step(1);
+  EXPECT_NEAR(r.reward, 0.5 * std::exp(1.0) + 0.5 * 1.0, 1e-6);
+}
+
+TEST(SchedulingEnv, InvalidPlacementPenaltyMatchesEq9) {
+  // Head task needs 5 vCPUs: fits nowhere.
+  workload::Trace trace{make_task(0.0, 5, 1.0, 10.0)};
+  SchedulingEnvConfig cfg = small_config();
+  cfg.max_vcpus_per_vm = 8;  // allow the request in the layout
+  SchedulingEnv env(cfg, trace);
+  // VM 0 idle: weighted utilization 0 -> penalty -e^0 = -1.
+  const StepResult r = env.step(0);
+  EXPECT_NEAR(r.reward, -1.0, 1e-9);
+}
+
+TEST(SchedulingEnv, VoidVmSelectionPenalizedAsFullyUtilized) {
+  workload::Trace trace{make_task(0.0, 1, 1.0, 10.0)};
+  SchedulingEnv env(small_config(), trace);
+  const StepResult r = env.step(2);  // VM index 2 does not exist
+  EXPECT_NEAR(r.reward, -std::exp(1.0), 1e-6);
+}
+
+TEST(SchedulingEnv, LazyNoopPenalized) {
+  workload::Trace trace{make_task(0.0, 1, 1.0, 10.0)};
+  SchedulingEnvConfig cfg = small_config();
+  cfg.reward.lazy_noop_penalty = -5.0;
+  SchedulingEnv env(cfg, trace);
+  const StepResult r = env.step(env.noop_action());
+  EXPECT_DOUBLE_EQ(r.reward, -5.0);
+  EXPECT_EQ(env.metrics().lazy_noops, 1u);
+}
+
+TEST(SchedulingEnv, JustifiedNoopIsFree) {
+  workload::Trace trace{make_task(0.0, 5, 1.0, 10.0)};  // fits nowhere
+  SchedulingEnvConfig cfg = small_config();
+  cfg.max_vcpus_per_vm = 8;
+  SchedulingEnv env(cfg, trace);
+  const StepResult r = env.step(env.noop_action());
+  EXPECT_DOUBLE_EQ(r.reward, 0.0);
+}
+
+TEST(SchedulingEnv, ValidActionsMaskMatchesFits) {
+  workload::Trace trace{make_task(0.0, 3, 8.0, 10.0), make_task(0.0, 3, 8.0, 10.0)};
+  SchedulingEnv env(small_config(), trace);
+  auto mask = env.valid_actions();
+  ASSERT_EQ(mask.size(), 4u);
+  EXPECT_TRUE(mask[0]);
+  EXPECT_TRUE(mask[1]);
+  EXPECT_FALSE(mask[2]);  // void VM
+  EXPECT_TRUE(mask[3]);   // no-op
+
+  (void)env.step(0);  // 3 vCPUs on VM0 -> 1 left, head needs 3
+  mask = env.valid_actions();
+  EXPECT_FALSE(mask[0]);
+  EXPECT_TRUE(mask[1]);
+}
+
+TEST(SchedulingEnv, EpisodeCompletesAndReportsMetrics) {
+  workload::Trace trace{make_task(0.0, 2, 8.0, 3.0), make_task(1.0, 2, 8.0, 4.0)};
+  SchedulingEnv env(small_config(), trace);
+  bool done = false;
+  int guard = 0;
+  while (!done && guard++ < 100) {
+    // First-fit policy.
+    int action = env.noop_action();
+    const auto mask = env.valid_actions();
+    for (std::size_t a = 0; a + 1 < mask.size(); ++a)
+      if (mask[a]) {
+        action = static_cast<int>(a);
+        break;
+      }
+    done = env.step(action).done;
+  }
+  EXPECT_TRUE(done);
+  const sim::EpisodeMetrics m = env.metrics();
+  EXPECT_EQ(m.completed_tasks, 2u);
+  EXPECT_GT(m.makespan, 0.0);
+  EXPECT_GT(m.avg_response_time, 0.0);
+  EXPECT_EQ(m.invalid_actions, 0u);
+}
+
+TEST(SchedulingEnv, MaxStepsCapTerminates) {
+  workload::Trace trace{make_task(0.0, 5, 1.0, 10.0)};  // unschedulable
+  SchedulingEnvConfig cfg = small_config();
+  cfg.max_vcpus_per_vm = 8;
+  cfg.max_steps = 10;
+  SchedulingEnv env(cfg, trace);
+  bool done = false;
+  int steps = 0;
+  while (!done) {
+    done = env.step(env.noop_action()).done;
+    ++steps;
+  }
+  EXPECT_EQ(steps, 10);
+}
+
+TEST(SchedulingEnv, ResetRestoresInitialState) {
+  workload::Trace trace{make_task(0.0, 2, 8.0, 3.0)};
+  SchedulingEnv env(small_config(), trace);
+  (void)env.step(0);
+  EXPECT_GT(env.steps_taken(), 0u);
+  env.reset();
+  EXPECT_EQ(env.steps_taken(), 0u);
+  EXPECT_EQ(env.cluster().queue().size(), 1u);
+  EXPECT_EQ(env.cluster().vms()[0].running_count(), 0u);
+}
+
+TEST(SchedulingEnv, SetTraceSwapsWorkload) {
+  workload::Trace a{make_task(0.0, 1, 1.0, 1.0)};
+  workload::Trace b{make_task(0.0, 2, 2.0, 2.0), make_task(0.0, 1, 1.0, 1.0)};
+  SchedulingEnv env(small_config(), a);
+  env.set_trace(b);
+  EXPECT_EQ(env.cluster().queue().size(), 2u);
+}
+
+TEST(SchedulingEnv, FastForwardSkipsIdleGaps) {
+  workload::Trace trace{make_task(0.0, 1, 1.0, 2.0), make_task(100.0, 1, 1.0, 2.0)};
+  SchedulingEnvConfig cfg = small_config();
+  cfg.fast_forward_idle = true;
+  SchedulingEnv env(cfg, trace);
+  (void)env.step(0);                  // place first task
+  (void)env.step(env.noop_action());  // tick; then queue empty -> jump
+  EXPECT_GE(env.cluster().now(), 100.0);
+  EXPECT_EQ(env.cluster().queue().size(), 1u);
+}
+
+TEST(SchedulingEnv, WithoutFastForwardClockCrawls) {
+  workload::Trace trace{make_task(5.0, 1, 1.0, 2.0)};
+  SchedulingEnvConfig cfg = small_config();
+  cfg.fast_forward_idle = false;
+  SchedulingEnv env(cfg, trace);
+  (void)env.step(env.noop_action());
+  EXPECT_DOUBLE_EQ(env.cluster().now(), 1.0);
+}
+
+TEST(SchedulingEnv, OutOfRangeActionThrows) {
+  SchedulingEnv env(small_config(), {});
+  EXPECT_THROW((void)env.step(-1), std::out_of_range);
+  EXPECT_THROW((void)env.step(4), std::out_of_range);
+}
+
+TEST(SchedulingEnv, ObserveRejectsWrongBufferSize) {
+  SchedulingEnv env(small_config(), {});
+  std::vector<float> wrong(env.state_dim() + 1);
+  EXPECT_THROW(env.observe(wrong), std::invalid_argument);
+}
+
+// Property sweep: for every dataset model, a random policy must never
+// violate resource invariants and the episode must terminate.
+class EnvDatasetProperty : public ::testing::TestWithParam<workload::DatasetId> {};
+
+TEST_P(EnvDatasetProperty, RandomPolicyPreservesInvariants) {
+  core::ExperimentScale scale = core::ExperimentScale::tiny();
+  const core::ClientPreset preset{{{8, 64.0, 2}, {16, 128.0, 1}}, GetParam()};
+  const core::FederationLayout layout = core::layout_for({&preset, 1}, scale);
+  const workload::Trace trace = core::make_trace(preset, scale, 77);
+  SchedulingEnv env(core::make_env_config(preset, layout, scale), trace);
+
+  util::Rng rng(123);
+  bool done = false;
+  std::size_t guard = 0;
+  while (!done && guard++ < 50000) {
+    const int action = static_cast<int>(rng.uniform_int(0, env.action_count() - 1));
+    done = env.step(action).done;
+    for (const sim::Vm& vm : env.cluster().vms()) {
+      EXPECT_GE(vm.free_vcpus(), 0);
+      EXPECT_GE(vm.free_memory(), -1e-6);
+    }
+  }
+  EXPECT_TRUE(done);
+  const sim::EpisodeMetrics m = env.metrics();
+  // A random policy still eventually schedules everything (penalty path
+  // always advances the clock).
+  EXPECT_EQ(m.completed_tasks, trace.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, EnvDatasetProperty,
+                         ::testing::Values(workload::DatasetId::kGoogle,
+                                           workload::DatasetId::kAlibaba2017,
+                                           workload::DatasetId::kAlibaba2018,
+                                           workload::DatasetId::kHpcKs,
+                                           workload::DatasetId::kHpcHf,
+                                           workload::DatasetId::kHpcWz,
+                                           workload::DatasetId::kKvm2019,
+                                           workload::DatasetId::kKvm2020,
+                                           workload::DatasetId::kCeritSc,
+                                           workload::DatasetId::kK8s),
+                         [](const auto& info) {
+                           std::string n = workload::dataset_name(info.param);
+                           for (char& c : n)
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace pfrl::env

@@ -1,0 +1,206 @@
+#include "env/workflow_env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/presets.hpp"
+#include "env/heuristic_policies.hpp"
+#include "rl/ppo.hpp"
+#include "workload/catalog.hpp"
+
+namespace pfrl::env {
+namespace {
+
+SchedulingEnvConfig small_config() {
+  SchedulingEnvConfig cfg;
+  cfg.cluster.specs = {{4, 16.0, 2}};
+  cfg.max_vms = 2;
+  cfg.max_vcpus_per_vm = 4;
+  cfg.max_memory_gb = 16.0;
+  cfg.queue_window = 3;
+  return cfg;
+}
+
+workload::Workflow chain_job(double arrival, std::vector<double> durations) {
+  workload::Workflow wf;
+  wf.arrival_time = arrival;
+  for (std::size_t t = 0; t < durations.size(); ++t) {
+    workload::WorkflowTask wt;
+    wt.task.vcpus = 1;
+    wt.task.memory_gb = 1.0;
+    wt.task.duration = durations[t];
+    if (t > 0) wt.deps = {t - 1};
+    wf.tasks.push_back(std::move(wt));
+  }
+  return wf;
+}
+
+/// Runs first-fit until done; returns steps taken.
+std::size_t drain_first_fit(WorkflowEnv& env, std::size_t guard = 5000) {
+  std::size_t steps = 0;
+  bool done = false;
+  while (!done && steps < guard) {
+    int action = env.noop_action();
+    const auto mask = env.valid_actions();
+    for (std::size_t a = 0; a + 1 < mask.size(); ++a)
+      if (mask[a]) {
+        action = static_cast<int>(a);
+        break;
+      }
+    done = env.step(action).done;
+    ++steps;
+  }
+  EXPECT_TRUE(done);
+  return steps;
+}
+
+TEST(WorkflowEnv, ObservationMatchesSchedulingLayout) {
+  WorkflowEnv env(small_config(), {chain_job(0.0, {5.0})});
+  // Same formula as SchedulingEnv: 2*2 + 2*4 + 3*2 = 18.
+  EXPECT_EQ(env.state_dim(), 18u);
+  EXPECT_EQ(env.action_count(), 3);
+}
+
+TEST(WorkflowEnv, OnlyRootsAreInitiallySchedulable) {
+  workload::Workflow wf = chain_job(0.0, {5.0, 5.0, 5.0});
+  WorkflowEnv env(small_config(), {wf});
+  EXPECT_EQ(env.cluster().queue().size(), 1u);  // only the root
+}
+
+TEST(WorkflowEnv, DependentsReleaseAfterPredecessorCompletes) {
+  WorkflowEnv env(small_config(), {chain_job(0.0, {3.0, 4.0})});
+  (void)env.step(0);  // place root on VM 0
+  EXPECT_TRUE(env.cluster().queue().empty());
+  // Idle no-ops fast-forward to the root's completion, releasing task 1.
+  (void)env.step(env.noop_action());
+  EXPECT_EQ(env.cluster().queue().size(), 1u);
+  EXPECT_GE(env.cluster().now(), 3.0);
+}
+
+TEST(WorkflowEnv, RespectsDependencyOrderUnderFirstFit) {
+  // Chain of 3: completions must be sequential, job response >= critical path.
+  workload::Workflow wf = chain_job(0.0, {3.0, 4.0, 5.0});
+  WorkflowEnv env(small_config(), {wf});
+  drain_first_fit(env);
+  EXPECT_EQ(env.completed_jobs(), 1u);
+  EXPECT_GE(env.avg_job_response(), workload::critical_path(wf));
+  const sim::EpisodeMetrics m = env.metrics();
+  EXPECT_EQ(m.completed_tasks, 3u);
+  EXPECT_GE(m.makespan, 12.0);  // 3+4+5 sequential
+}
+
+TEST(WorkflowEnv, ParallelBranchesOverlap) {
+  // Fork: root then two independent 10s children -> with 2 VMs both can
+  // run in parallel; makespan well under the serial 22s.
+  workload::Workflow wf;
+  wf.arrival_time = 0.0;
+  workload::WorkflowTask root;
+  root.task = {.id = 0, .arrival_time = 0, .vcpus = 1, .memory_gb = 1, .duration = 2.0};
+  wf.tasks.push_back(root);
+  for (int i = 0; i < 2; ++i) {
+    workload::WorkflowTask child;
+    child.task = {.id = 0, .arrival_time = 0, .vcpus = 1, .memory_gb = 1, .duration = 10.0};
+    child.deps = {0};
+    wf.tasks.push_back(child);
+  }
+  WorkflowEnv env(small_config(), {wf});
+  drain_first_fit(env);
+  const sim::EpisodeMetrics m = env.metrics();
+  EXPECT_EQ(m.completed_tasks, 3u);
+  EXPECT_LT(m.makespan, 15.0);  // 2 + 10 + slack, not 22
+}
+
+TEST(WorkflowEnv, MultipleJobsWithStaggeredArrivals) {
+  WorkflowEnv env(small_config(),
+                  {chain_job(0.0, {2.0, 2.0}), chain_job(50.0, {1.0, 1.0, 1.0})});
+  drain_first_fit(env);
+  EXPECT_EQ(env.completed_jobs(), 2u);
+  EXPECT_EQ(env.metrics().completed_tasks, 5u);
+}
+
+TEST(WorkflowEnv, RewardSemanticsMatchSchedulingEnv) {
+  // A single root task behaves exactly like a plain scheduling task.
+  workload::Workflow wf = chain_job(0.0, {10.0});
+  wf.tasks[0].task.vcpus = 2;
+  wf.tasks[0].task.memory_gb = 8.0;
+  WorkflowEnv env(small_config(), {wf});
+  const StepResult r = env.step(0);
+  // Same numbers as SchedulingEnv.ValidPlacementRewardMatchesEquations
+  // (two idle 4-vCPU VMs, task (2, 8GB, 10s), wait 0).
+  EXPECT_NEAR(r.reward, 0.5 * std::exp(1.0) + 0.5 * (-0.25), 1e-6);
+}
+
+TEST(WorkflowEnv, LazyNoopPenalizedAndPlacementRewarded) {
+  WorkflowEnv env(small_config(), {chain_job(0.0, {5.0})});
+  EXPECT_DOUBLE_EQ(env.step(env.noop_action()).reward, -5.0);  // root fits
+
+  WorkflowEnv env2(small_config(), {chain_job(0.0, {5.0})});
+  EXPECT_GT(env2.step(1).reward, 0.0);  // valid placement on VM 1
+
+  // Infeasible pick (task larger than any VM) is penalized per Eq. (9).
+  workload::Workflow big = chain_job(0.0, {5.0});
+  big.tasks[0].task.vcpus = 4;
+  big.tasks[0].task.memory_gb = 16.0;
+  WorkflowEnv env3(small_config(), {big});
+  (void)env3.step(0);                       // fills VM 0 completely
+  EXPECT_TRUE(env3.cluster().queue().empty());
+}
+
+TEST(WorkflowEnv, ResetReplaysTheBatch) {
+  WorkflowEnv env(small_config(), {chain_job(0.0, {2.0, 2.0})});
+  drain_first_fit(env);
+  EXPECT_EQ(env.completed_jobs(), 1u);
+  env.reset();
+  EXPECT_EQ(env.completed_jobs(), 0u);
+  EXPECT_EQ(env.cluster().queue().size(), 1u);
+  drain_first_fit(env);
+  EXPECT_EQ(env.completed_jobs(), 1u);
+}
+
+TEST(WorkflowEnv, RejectsForwardDependencies) {
+  workload::Workflow bad;
+  workload::WorkflowTask t;
+  t.deps = {1};
+  bad.tasks.push_back(t);
+  bad.tasks.push_back({});
+  EXPECT_THROW(WorkflowEnv(small_config(), {bad}), std::invalid_argument);
+}
+
+TEST(WorkflowEnv, PpoAgentTrainsOnWorkflows) {
+  util::Rng rng(11);
+  const workload::WorkflowBatch batch = workload::sample_workflows(
+      workload::dataset_model(workload::DatasetId::kK8s), 6, {.min_tasks = 2, .max_tasks = 4},
+      rng);
+  SchedulingEnvConfig cfg = small_config();
+  cfg.max_vcpus_per_vm = 8;
+  cfg.cluster.specs = {{8, 32.0, 2}};
+  WorkflowEnv env(cfg, batch);
+  rl::PpoConfig ppo;
+  ppo.seed = 2;
+  rl::PpoAgent agent(env.state_dim(), env.action_count(), ppo);
+  for (int e = 0; e < 3; ++e) {
+    const rl::EpisodeStats stats = agent.train_episode(env);
+    EXPECT_TRUE(std::isfinite(stats.total_reward));
+  }
+}
+
+TEST(WorkflowEnv, LastFitDrainsViaEnvInterfaceOnly) {
+  // A policy written against the generic Env interface (mask + actions)
+  // drives the workflow environment without workflow-specific knowledge.
+  WorkflowEnv env(small_config(), {chain_job(0.0, {2.0, 3.0})});
+  util::Rng rng(3);
+  bool done = false;
+  std::size_t guard = 0;
+  while (!done && guard++ < 1000) {
+    const auto mask = env.valid_actions();
+    int action = env.noop_action();
+    for (std::size_t a = 0; a + 1 < mask.size(); ++a)
+      if (mask[a]) action = static_cast<int>(a);
+    done = env.step(action).done;
+  }
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace pfrl::env

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "fed/attention_aggregator.hpp"
+#include <cmath>
+#include "fed/fedavg.hpp"
+#include "fed/mfpo.hpp"
+#include "util/rng.hpp"
+
+namespace pfrl::fed {
+namespace {
+
+AggregationInput make_input(std::vector<std::vector<float>> rows) {
+  AggregationInput in;
+  const std::size_t k = rows.size();
+  const std::size_t p = rows.front().size();
+  in.models = nn::Matrix(k, p);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::copy(rows[i].begin(), rows[i].end(), in.models.row(i).begin());
+    in.client_ids.push_back(static_cast<int>(i));
+  }
+  return in;
+}
+
+TEST(WeightedAggregate, HandComputed) {
+  const AggregationInput in = make_input({{1, 2}, {3, 4}});
+  nn::Matrix w(2, 2, std::vector<float>{0.75F, 0.25F, 0.5F, 0.5F});
+  const AggregationOutput out = weighted_aggregate(in, w);
+  ASSERT_EQ(out.personalized.size(), 2u);
+  EXPECT_FLOAT_EQ(out.personalized[0][0], 0.75F * 1 + 0.25F * 3);
+  EXPECT_FLOAT_EQ(out.personalized[0][1], 0.75F * 2 + 0.25F * 4);
+  EXPECT_FLOAT_EQ(out.personalized[1][0], 2.0F);
+  EXPECT_FLOAT_EQ(out.personalized[1][1], 3.0F);
+  // Global = mean of personalized rows (Eq. 22).
+  EXPECT_FLOAT_EQ(out.global_model[0], (1.5F + 2.0F) / 2.0F);
+  EXPECT_FLOAT_EQ(out.global_model[1], (2.5F + 3.0F) / 2.0F);
+}
+
+TEST(WeightedAggregate, ValidatesShapes) {
+  const AggregationInput in = make_input({{1, 2}, {3, 4}});
+  EXPECT_THROW(weighted_aggregate(in, nn::Matrix(3, 3)), std::invalid_argument);
+  AggregationInput bad = in;
+  bad.client_ids.pop_back();
+  EXPECT_THROW(weighted_aggregate(bad, nn::Matrix(2, 2)), std::invalid_argument);
+}
+
+TEST(FedAvg, ProducesUniformAverage) {
+  const AggregationInput in = make_input({{2, 4}, {4, 8}, {6, 0}});
+  FedAvgAggregator agg;
+  const AggregationOutput out = agg.aggregate(in);
+  for (const auto& p : out.personalized) {
+    EXPECT_FLOAT_EQ(p[0], 4.0F);
+    EXPECT_FLOAT_EQ(p[1], 4.0F);
+  }
+  EXPECT_FLOAT_EQ(out.global_model[0], 4.0F);
+  EXPECT_EQ(agg.name(), "fedavg");
+  // Uniform weight matrix reported for diagnostics.
+  EXPECT_FLOAT_EQ(out.weights(0, 2), 1.0F / 3.0F);
+}
+
+TEST(FixedWeight, UsesSuppliedMatrix) {
+  nn::Matrix w(2, 2, std::vector<float>{1.0F, 0.0F, 0.0F, 1.0F});  // identity
+  FixedWeightAggregator agg(w, "identity");
+  const AggregationInput in = make_input({{5, 6}, {7, 8}});
+  const AggregationOutput out = agg.aggregate(in);
+  EXPECT_FLOAT_EQ(out.personalized[0][0], 5.0F);  // each keeps its own
+  EXPECT_FLOAT_EQ(out.personalized[1][1], 8.0F);
+  EXPECT_EQ(agg.name(), "identity");
+}
+
+TEST(Attention, OutputsAreConvexCombinations) {
+  util::Rng rng(1);
+  std::vector<std::vector<float>> rows(4, std::vector<float>(30));
+  for (auto& r : rows)
+    for (float& v : r) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  AttentionAggregator agg;
+  const AggregationOutput out = agg.aggregate(make_input(rows));
+  ASSERT_EQ(out.personalized.size(), 4u);
+  // Row-stochastic weights -> each personalized coordinate lies within
+  // the min/max of the uploaded coordinates.
+  for (std::size_t j = 0; j < 30; ++j) {
+    float lo = rows[0][j];
+    float hi = rows[0][j];
+    for (const auto& r : rows) {
+      lo = std::min(lo, r[j]);
+      hi = std::max(hi, r[j]);
+    }
+    for (const auto& p : out.personalized) {
+      EXPECT_GE(p[j], lo - 1e-4F);
+      EXPECT_LE(p[j], hi + 1e-4F);
+    }
+  }
+}
+
+TEST(Attention, PersonalizedModelsDifferAcrossClients) {
+  util::Rng rng(2);
+  std::vector<std::vector<float>> rows(3, std::vector<float>(40));
+  for (auto& r : rows)
+    for (float& v : r) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  AttentionAggregator agg;
+  const AggregationOutput out = agg.aggregate(make_input(rows));
+  float diff = 0;
+  for (std::size_t j = 0; j < 40; ++j)
+    diff = std::max(diff, std::fabs(out.personalized[0][j] - out.personalized[1][j]));
+  EXPECT_GT(diff, 1e-5F);  // personalization, unlike FedAvg
+}
+
+TEST(Attention, DimensionChangeAcrossRoundsThrows) {
+  util::Rng rng(3);
+  std::vector<std::vector<float>> rows(2, std::vector<float>(10, 1.0F));
+  AttentionAggregator agg;
+  (void)agg.aggregate(make_input(rows));
+  std::vector<std::vector<float>> bigger(2, std::vector<float>(11, 1.0F));
+  EXPECT_THROW((void)agg.aggregate(make_input(bigger)), std::invalid_argument);
+}
+
+TEST(Attention, WeightsStableAcrossRoundsForSameInput) {
+  util::Rng rng(4);
+  std::vector<std::vector<float>> rows(3, std::vector<float>(20));
+  for (auto& r : rows)
+    for (float& v : r) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  AttentionAggregator agg;
+  const auto out1 = agg.aggregate(make_input(rows));
+  const auto out2 = agg.aggregate(make_input(rows));
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_FLOAT_EQ(out1.weights(i, j), out2.weights(i, j));
+}
+
+TEST(Mfpo, FirstRoundAdoptsAverage) {
+  MfpoAggregator agg;
+  const AggregationOutput out = agg.aggregate(make_input({{2, 0}, {4, 2}}));
+  EXPECT_FLOAT_EQ(out.global_model[0], 3.0F);
+  EXPECT_FLOAT_EQ(out.global_model[1], 1.0F);
+  EXPECT_EQ(out.personalized.size(), 2u);
+  EXPECT_EQ(out.personalized[0], out.personalized[1]);  // no personalization
+}
+
+TEST(Mfpo, MomentumAccumulatesAcrossRounds) {
+  MfpoConfig cfg;
+  cfg.beta = 0.5F;
+  cfg.server_lr = 1.0F;
+  MfpoAggregator agg(cfg);
+  // Round 0: avg = 0 -> global = 0, momentum = 0.
+  (void)agg.aggregate(make_input({{0.0F}}));
+  // Round 1: avg = 8 -> delta = 8, u = 0.5*0 + 0.5*8 = 4, global = 4.
+  const auto r1 = agg.aggregate(make_input({{8.0F}}));
+  EXPECT_FLOAT_EQ(r1.global_model[0], 4.0F);
+  EXPECT_FLOAT_EQ(agg.momentum()[0], 4.0F);
+  // Round 2: avg = 8 -> delta = 4, u = 0.5*4 + 0.5*4 = 4, global = 8.
+  const auto r2 = agg.aggregate(make_input({{8.0F}}));
+  EXPECT_FLOAT_EQ(r2.global_model[0], 8.0F);
+}
+
+TEST(Mfpo, MomentumPreservesPastDirection) {
+  // After the clients stop moving, momentum keeps pushing — the
+  // "preserves the influence of past solutions" behaviour of §5.2.
+  MfpoConfig cfg;
+  cfg.beta = 0.9F;
+  MfpoAggregator agg(cfg);
+  (void)agg.aggregate(make_input({{0.0F}}));
+  (void)agg.aggregate(make_input({{10.0F}}));
+  const float m_before = agg.momentum()[0];
+  EXPECT_GT(m_before, 0.0F);
+  // Upload equals current global: delta shrinks but momentum persists.
+  const auto out = agg.aggregate(make_input({{agg.aggregate(make_input({{10.0F}})).global_model[0]}}));
+  EXPECT_GT(out.global_model[0], 0.0F);
+}
+
+TEST(Mfpo, DimensionChangeThrows) {
+  MfpoAggregator agg;
+  (void)agg.aggregate(make_input({{1.0F, 2.0F}}));
+  EXPECT_THROW((void)agg.aggregate(make_input({{1.0F}})), std::invalid_argument);
+}
+
+TEST(Aggregators, EmptyInputThrows) {
+  AggregationInput empty;
+  empty.models = nn::Matrix(0, 0);
+  FedAvgAggregator fedavg;
+  EXPECT_THROW((void)fedavg.aggregate(empty), std::invalid_argument);
+  MfpoAggregator mfpo;
+  EXPECT_THROW((void)mfpo.aggregate(empty), std::invalid_argument);
+  AttentionAggregator attention;
+  EXPECT_THROW((void)attention.aggregate(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfrl::fed

@@ -1,0 +1,89 @@
+#include "fed/bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace pfrl::fed {
+namespace {
+
+Message make_message(MessageType type, int sender, std::size_t payload_bytes) {
+  Message m;
+  m.type = type;
+  m.sender = sender;
+  m.payload.assign(payload_bytes, 0x7F);
+  return m;
+}
+
+TEST(Bus, RoutesUplinkToServer) {
+  Bus bus(2);
+  bus.send_to_server(make_message(MessageType::kModelUpload, 0, 10));
+  bus.send_to_server(make_message(MessageType::kModelUpload, 1, 20));
+  const auto msgs = bus.drain_server();
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].sender, 0);
+  EXPECT_EQ(msgs[1].sender, 1);
+  EXPECT_TRUE(bus.drain_server().empty());  // drained
+}
+
+TEST(Bus, RoutesDownlinkToSpecificClient) {
+  Bus bus(3);
+  bus.send_to_client(1, make_message(MessageType::kModelPersonalized, -1, 8));
+  EXPECT_TRUE(bus.drain_client(0).empty());
+  EXPECT_EQ(bus.drain_client(1).size(), 1u);
+  EXPECT_TRUE(bus.drain_client(2).empty());
+}
+
+TEST(Bus, CountsBytesAndMessages) {
+  Bus bus(2);
+  bus.send_to_server(make_message(MessageType::kModelUpload, 0, 100));
+  bus.send_to_server(make_message(MessageType::kModelUpload, 1, 50));
+  bus.send_to_client(0, make_message(MessageType::kModelGlobal, -1, 30));
+  EXPECT_EQ(bus.uplink_bytes(), 150u);
+  EXPECT_EQ(bus.downlink_bytes(), 30u);
+  EXPECT_EQ(bus.uplink_messages(), 2u);
+  EXPECT_EQ(bus.downlink_messages(), 1u);
+}
+
+TEST(Bus, UnknownClientThrows) {
+  Bus bus(1);
+  EXPECT_THROW(bus.send_to_client(5, {}), std::out_of_range);
+  EXPECT_THROW((void)bus.drain_client(5), std::out_of_range);
+}
+
+TEST(Bus, AddClientGrowsMailboxes) {
+  Bus bus(1);
+  const std::size_t id = bus.add_client();
+  EXPECT_EQ(id, 1u);
+  EXPECT_EQ(bus.client_count(), 2u);
+  bus.send_to_client(id, make_message(MessageType::kModelGlobal, -1, 4));
+  EXPECT_EQ(bus.drain_client(id).size(), 1u);
+}
+
+TEST(Bus, PreservesPayloadContent) {
+  Bus bus(1);
+  Message m;
+  m.type = MessageType::kModelUpload;
+  m.sender = 0;
+  m.round = 9;
+  m.payload = {1, 2, 3, 4};
+  bus.send_to_server(m);
+  const auto msgs = bus.drain_server();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].payload, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(msgs[0].round, 9u);
+}
+
+TEST(Bus, ConcurrentUploadsAllArrive) {
+  Bus bus(8);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 8; ++c)
+    threads.emplace_back(
+        [&bus, c] { bus.send_to_server(make_message(MessageType::kModelUpload, c, 16)); });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bus.drain_server().size(), 8u);
+  EXPECT_EQ(bus.uplink_bytes(), 8u * 16);
+}
+
+}  // namespace
+}  // namespace pfrl::fed

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "core/presets.hpp"
+#include <cmath>
+#include "fed/client.hpp"
+#include "fed/fedavg.hpp"
+#include "fed/server.hpp"
+#include "util/serialization.hpp"
+
+namespace pfrl::fed {
+namespace {
+
+std::unique_ptr<FedClient> make_client(int id, FedAlgorithm algorithm,
+                                        std::uint64_t seed = 100) {
+  const core::ExperimentScale scale = core::ExperimentScale::tiny();
+  const core::ClientPreset preset = core::table2_clients()[static_cast<std::size_t>(id) % 4];
+  const core::FederationLayout layout = core::layout_for(core::table2_clients(), scale);
+  FedClientConfig cfg;
+  cfg.id = id;
+  cfg.algorithm = algorithm;
+  cfg.ppo.seed = seed + static_cast<std::uint64_t>(id);
+  return std::make_unique<FedClient>(cfg, core::make_env_config(preset, layout, scale),
+                                     core::make_trace(preset, scale, seed * 31 + 7));
+}
+
+TEST(FedClient, AlgorithmNames) {
+  EXPECT_EQ(algorithm_name(FedAlgorithm::kIndependent), "PPO");
+  EXPECT_EQ(algorithm_name(FedAlgorithm::kFedAvg), "FedAvg");
+  EXPECT_EQ(algorithm_name(FedAlgorithm::kMfpo), "MFPO");
+  EXPECT_EQ(algorithm_name(FedAlgorithm::kPfrlDm), "PFRL-DM");
+}
+
+TEST(FedClient, PfrlDmUsesDualCriticAgent) {
+  auto client = make_client(0, FedAlgorithm::kPfrlDm);
+  EXPECT_NE(client->dual_agent(), nullptr);
+  auto baseline = make_client(1, FedAlgorithm::kFedAvg);
+  EXPECT_EQ(baseline->dual_agent(), nullptr);
+}
+
+TEST(FedClient, PfrlDmUploadsOnlyPublicCritic) {
+  auto client = make_client(0, FedAlgorithm::kPfrlDm);
+  const auto payload = client->make_upload();
+  util::ByteReader reader(payload);
+  const auto flat = reader.read_f32_vector();
+  EXPECT_EQ(flat.size(), client->dual_agent()->public_critic().param_count());
+  EXPECT_EQ(flat, client->dual_agent()->public_critic().flatten());
+}
+
+TEST(FedClient, FedAvgUploadsActorPlusCritic) {
+  auto client = make_client(0, FedAlgorithm::kFedAvg);
+  const auto payload = client->make_upload();
+  util::ByteReader reader(payload);
+  const auto flat = reader.read_f32_vector();
+  EXPECT_EQ(flat.size(),
+            client->agent().actor().param_count() + client->agent().critic().param_count());
+}
+
+TEST(FedClient, PfrlDmTrafficIsSmallerThanFedAvg) {
+  // §5.2: PFRL-DM transmits only the public critic; FedAvg both networks.
+  auto pfrl = make_client(0, FedAlgorithm::kPfrlDm);
+  auto fedavg = make_client(0, FedAlgorithm::kFedAvg);
+  EXPECT_LT(pfrl->make_upload().size(), fedavg->make_upload().size());
+}
+
+TEST(FedClient, IndependentUploadsNothing) {
+  auto client = make_client(0, FedAlgorithm::kIndependent);
+  EXPECT_TRUE(client->make_upload().empty());
+  EXPECT_EQ(client->upload_param_count(), 0u);
+}
+
+TEST(FedClient, DownloadRoundTripPfrlDm) {
+  auto a = make_client(0, FedAlgorithm::kPfrlDm, 1);
+  auto b = make_client(1, FedAlgorithm::kPfrlDm, 2);
+  b->apply_download(a->make_upload());
+  EXPECT_EQ(b->dual_agent()->public_critic().flatten(),
+            a->dual_agent()->public_critic().flatten());
+}
+
+TEST(FedClient, DownloadRoundTripFedAvg) {
+  auto a = make_client(0, FedAlgorithm::kFedAvg, 1);
+  auto b = make_client(1, FedAlgorithm::kFedAvg, 2);
+  b->apply_download(a->make_upload());
+  EXPECT_EQ(b->agent().actor().flatten(), a->agent().actor().flatten());
+  EXPECT_EQ(b->agent().critic().flatten(), a->agent().critic().flatten());
+}
+
+TEST(FedClient, IndependentRejectsDownload) {
+  auto a = make_client(0, FedAlgorithm::kFedAvg, 1);
+  auto indep = make_client(1, FedAlgorithm::kIndependent, 2);
+  EXPECT_THROW(indep->apply_download(a->make_upload()), std::logic_error);
+}
+
+TEST(FedClient, WrongSizeDownloadThrows) {
+  auto client = make_client(0, FedAlgorithm::kFedAvg);
+  util::ByteWriter w;
+  w.write_f32_span(std::vector<float>(3, 0.0F));
+  EXPECT_THROW(client->apply_download(w.bytes()), std::invalid_argument);
+}
+
+TEST(FedClient, TrainEpisodesReturnsStats) {
+  auto client = make_client(0, FedAlgorithm::kPfrlDm);
+  const auto stats = client->train_episodes(2);
+  ASSERT_EQ(stats.size(), 2u);
+  for (const auto& s : stats) {
+    EXPECT_TRUE(std::isfinite(s.total_reward));
+    EXPECT_GT(s.metrics.completed_tasks, 0u);
+  }
+}
+
+TEST(FedClient, EvaluateOnRestoresTrainingTrace) {
+  auto client = make_client(0, FedAlgorithm::kPfrlDm);
+  const core::ExperimentScale scale = core::ExperimentScale::tiny();
+  const core::ClientPreset preset = core::table2_clients()[1];
+  const workload::Trace other = core::make_trace(preset, scale, 555);
+  const std::size_t before = client->environment().cluster().outstanding_tasks();
+  const rl::EpisodeStats stats = client->evaluate_on(other);
+  EXPECT_GT(stats.metrics.completed_tasks, 0u);
+  EXPECT_EQ(client->environment().cluster().outstanding_tasks(), before);
+}
+
+TEST(FedServer, NullAggregatorThrows) {
+  EXPECT_THROW(FedServer(nullptr), std::invalid_argument);
+}
+
+TEST(FedServer, RoundAggregatesAndReplies) {
+  FedServer server(std::make_unique<FedAvgAggregator>());
+  Bus bus(3);
+
+  auto c0 = make_client(0, FedAlgorithm::kFedAvg, 1);
+  auto c1 = make_client(1, FedAlgorithm::kFedAvg, 2);
+  // Clients 0 and 1 upload; client 2 sits out.
+  for (int i = 0; i < 2; ++i) {
+    Message m;
+    m.type = MessageType::kModelUpload;
+    m.sender = i;
+    m.payload = (i == 0 ? c0 : c1)->make_upload();
+    bus.send_to_server(std::move(m));
+  }
+  const std::vector<std::size_t> all{0, 1, 2};
+  EXPECT_EQ(server.run_round(bus, 0, all), 2u);
+
+  const auto r0 = bus.drain_client(0);
+  const auto r1 = bus.drain_client(1);
+  const auto r2 = bus.drain_client(2);
+  ASSERT_EQ(r0.size(), 1u);
+  ASSERT_EQ(r1.size(), 1u);
+  ASSERT_EQ(r2.size(), 1u);
+  EXPECT_EQ(r0[0].type, MessageType::kModelPersonalized);
+  EXPECT_EQ(r2[0].type, MessageType::kModelGlobal);
+  EXPECT_TRUE(server.has_global_model());
+  EXPECT_EQ(server.last_participants().size(), 2u);
+
+  // FedAvg: every reply equals the average.
+  util::ByteReader ra(r0[0].payload);
+  util::ByteReader rb(r2[0].payload);
+  EXPECT_EQ(ra.read_f32_vector(), rb.read_f32_vector());
+}
+
+TEST(FedServer, EmptyRoundIsNoop) {
+  FedServer server(std::make_unique<FedAvgAggregator>());
+  Bus bus(1);
+  const std::vector<std::size_t> all{0};
+  EXPECT_EQ(server.run_round(bus, 0, all), 0u);
+  EXPECT_FALSE(server.has_global_model());
+  EXPECT_THROW((void)server.global_payload(), std::logic_error);
+}
+
+TEST(FedServer, MismatchedUploadSizesThrow) {
+  FedServer server(std::make_unique<FedAvgAggregator>());
+  Bus bus(2);
+  for (int i = 0; i < 2; ++i) {
+    util::ByteWriter w;
+    w.write_f32_span(std::vector<float>(static_cast<std::size_t>(4 + i), 0.0F));
+    Message m;
+    m.type = MessageType::kModelUpload;
+    m.sender = i;
+    m.payload = w.take();
+    bus.send_to_server(std::move(m));
+  }
+  const std::vector<std::size_t> all{0, 1};
+  EXPECT_THROW(server.run_round(bus, 0, all), std::invalid_argument);
+}
+
+TEST(FedServer, GlobalPayloadDecodable) {
+  FedServer server(std::make_unique<FedAvgAggregator>());
+  server.set_global_model({1.0F, 2.0F, 3.0F});
+  const auto payload = server.global_payload();
+  util::ByteReader r(payload);
+  EXPECT_EQ(r.read_f32_vector(), (std::vector<float>{1.0F, 2.0F, 3.0F}));
+}
+
+}  // namespace
+}  // namespace pfrl::fed

@@ -1,0 +1,137 @@
+// Round-protocol details under partial participation (Algorithm 1's
+// K <= N path): who gets personalized models, who gets ψ_G, and how the
+// server state evolves across rounds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/presets.hpp"
+#include "fed/attention_aggregator.hpp"
+#include "fed/trainer.hpp"
+#include "util/serialization.hpp"
+
+namespace pfrl::fed {
+namespace {
+
+std::vector<std::unique_ptr<FedClient>> make_clients(std::size_t n) {
+  const core::ExperimentScale scale = core::ExperimentScale::tiny();
+  const auto presets = core::table2_clients();
+  const core::FederationLayout layout = core::layout_for(presets, scale);
+  std::vector<std::unique_ptr<FedClient>> clients;
+  for (std::size_t i = 0; i < n; ++i) {
+    FedClientConfig cfg;
+    cfg.id = static_cast<int>(i);
+    cfg.algorithm = FedAlgorithm::kPfrlDm;
+    cfg.ppo.seed = 4000 + i;
+    const core::ClientPreset& preset = presets[i % presets.size()];
+    auto [train, test] = workload::split_train_test(
+        core::make_trace(preset, scale, 600 + i), scale.train_fraction);
+    (void)test;
+    clients.push_back(std::make_unique<FedClient>(
+        cfg, core::make_env_config(preset, layout, scale), std::move(train)));
+  }
+  return clients;
+}
+
+FedTrainer make_trainer(std::size_t clients, std::size_t participants,
+                        std::uint64_t seed = 77) {
+  FedTrainerConfig cfg;
+  cfg.total_episodes = 8;
+  cfg.comm_every = 2;
+  cfg.participants_per_round = participants;
+  cfg.seed = seed;
+  cfg.threads = 1;
+  return FedTrainer(cfg, std::make_unique<AttentionAggregator>(), make_clients(clients));
+}
+
+TEST(FedProtocol, ParticipantsAreASubsetOfClients) {
+  FedTrainer trainer = make_trainer(4, 2);
+  trainer.step_round();
+  const auto& participants = trainer.server()->last_participants();
+  ASSERT_EQ(participants.size(), 2u);
+  for (const int id : participants) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 4);
+  }
+  // Weight matrix is K x K, row-stochastic.
+  const nn::Matrix& w = trainer.server()->last_weights();
+  ASSERT_EQ(w.rows(), 2u);
+  ASSERT_EQ(w.cols(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    double sum = 0;
+    for (std::size_t j = 0; j < 2; ++j) sum += static_cast<double>(w(i, j));
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(FedProtocol, ParticipantSelectionVariesAcrossRounds) {
+  FedTrainer trainer = make_trainer(4, 2);
+  std::set<std::vector<int>> seen;
+  for (int round = 0; round < 4; ++round) {
+    trainer.step_round();
+    auto p = trainer.server()->last_participants();
+    std::sort(p.begin(), p.end());
+    seen.insert(p);
+  }
+  // Random sampling over C(4,2)=6 subsets virtually never repeats the
+  // same pair four times.
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(FedProtocol, NonParticipantsReceiveGlobalModel) {
+  FedTrainer trainer = make_trainer(4, 2);
+  trainer.step_round();
+  const auto& participants = trainer.server()->last_participants();
+  const std::vector<float>& global = trainer.server()->global_model();
+  for (std::size_t i = 0; i < trainer.client_count(); ++i) {
+    const bool participated =
+        std::find(participants.begin(), participants.end(), static_cast<int>(i)) !=
+        participants.end();
+    const std::vector<float> psi =
+        trainer.client(i).dual_agent()->public_critic().flatten();
+    if (!participated) {
+      EXPECT_EQ(psi, global) << "client " << i;
+    }
+  }
+}
+
+TEST(FedProtocol, GlobalModelEvolvesAcrossRounds) {
+  FedTrainer trainer = make_trainer(4, 2);
+  trainer.step_round();
+  const std::vector<float> g1 = trainer.server()->global_model();
+  trainer.step_round();
+  const std::vector<float> g2 = trainer.server()->global_model();
+  EXPECT_EQ(g1.size(), g2.size());
+  EXPECT_NE(g1, g2);
+}
+
+TEST(FedProtocol, FullParticipationPersonalizesEveryone) {
+  FedTrainer trainer = make_trainer(4, 0);  // 0 = all
+  trainer.step_round();
+  EXPECT_EQ(trainer.server()->last_participants().size(), 4u);
+  // With attention weights, at least one pair of clients ends up with
+  // different public critics (personalization).
+  const auto psi0 = trainer.client(0).dual_agent()->public_critic().flatten();
+  const auto psi1 = trainer.client(1).dual_agent()->public_critic().flatten();
+  EXPECT_NE(psi0, psi1);
+}
+
+TEST(FedProtocol, UplinkOnlyFromParticipants) {
+  FedTrainer trainer = make_trainer(4, 2);
+  const std::uint64_t before = trainer.bus().uplink_messages();
+  trainer.step_round();
+  EXPECT_EQ(trainer.bus().uplink_messages() - before, 2u);
+  // Everyone hears back (personalized or global).
+  EXPECT_EQ(trainer.bus().downlink_messages(), 4u);
+}
+
+TEST(FedProtocol, RunStopsAtConfiguredEpisodes) {
+  FedTrainer trainer = make_trainer(2, 0);
+  const TrainingHistory h = trainer.run();
+  EXPECT_EQ(trainer.episodes_done(), 8u);
+  EXPECT_EQ(h.rounds, 4u);
+}
+
+}  // namespace
+}  // namespace pfrl::fed

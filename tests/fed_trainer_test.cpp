@@ -1,0 +1,182 @@
+#include "fed/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/presets.hpp"
+#include "fed/attention_aggregator.hpp"
+#include "fed/fedavg.hpp"
+
+namespace pfrl::fed {
+namespace {
+
+std::vector<std::unique_ptr<FedClient>> make_clients(std::size_t n, FedAlgorithm algorithm) {
+  const core::ExperimentScale scale = core::ExperimentScale::tiny();
+  const auto presets = core::table2_clients();
+  const core::FederationLayout layout = core::layout_for(presets, scale);
+  std::vector<std::unique_ptr<FedClient>> clients;
+  for (std::size_t i = 0; i < n; ++i) {
+    const core::ClientPreset& preset = presets[i % presets.size()];
+    FedClientConfig cfg;
+    cfg.id = static_cast<int>(i);
+    cfg.algorithm = algorithm;
+    cfg.ppo.seed = 1000 + i;
+    clients.push_back(std::make_unique<FedClient>(cfg,
+                                                  core::make_env_config(preset, layout, scale),
+                                                  core::make_trace(preset, scale, 77 + i)));
+  }
+  return clients;
+}
+
+FedTrainerConfig tiny_trainer_config() {
+  FedTrainerConfig cfg;
+  cfg.total_episodes = 4;
+  cfg.comm_every = 2;
+  cfg.threads = 1;
+  return cfg;
+}
+
+TEST(FedTrainer, ValidatesConstruction) {
+  EXPECT_THROW(FedTrainer(tiny_trainer_config(), std::make_unique<FedAvgAggregator>(), {}),
+               std::invalid_argument);
+  FedTrainerConfig bad = tiny_trainer_config();
+  bad.comm_every = 0;
+  EXPECT_THROW(FedTrainer(bad, std::make_unique<FedAvgAggregator>(),
+                          make_clients(2, FedAlgorithm::kFedAvg)),
+               std::invalid_argument);
+}
+
+TEST(FedTrainer, SyncInitialModelAlignsClients) {
+  auto clients = make_clients(3, FedAlgorithm::kFedAvg);
+  FedClient* c0 = clients[0].get();
+  FedClient* c2 = clients[2].get();
+  FedTrainer trainer(tiny_trainer_config(), std::make_unique<FedAvgAggregator>(),
+                     std::move(clients));
+  EXPECT_EQ(c0->agent().actor().flatten(), c2->agent().actor().flatten());
+  EXPECT_TRUE(trainer.server()->has_global_model());
+}
+
+TEST(FedTrainer, RunRecordsPerEpisodeHistory) {
+  FedTrainer trainer(tiny_trainer_config(), std::make_unique<FedAvgAggregator>(),
+                     make_clients(2, FedAlgorithm::kFedAvg));
+  const TrainingHistory h = trainer.run();
+  EXPECT_EQ(h.rounds, 2u);
+  ASSERT_EQ(h.clients.size(), 2u);
+  for (const ClientHistory& c : h.clients) {
+    EXPECT_EQ(c.episode_rewards.size(), 4u);
+    EXPECT_EQ(c.episode_metrics.size(), 4u);
+    EXPECT_EQ(c.critic_loss_before.size(), 2u);
+    EXPECT_EQ(c.critic_loss_after.size(), 2u);
+  }
+  EXPECT_GT(h.uplink_bytes, 0u);
+  EXPECT_GT(h.downlink_bytes, 0u);
+}
+
+TEST(FedTrainer, IndependentClientsNeverCommunicate) {
+  FedTrainer trainer(tiny_trainer_config(), nullptr,
+                     make_clients(2, FedAlgorithm::kIndependent));
+  const TrainingHistory h = trainer.run();
+  EXPECT_EQ(h.rounds, 0u);
+  EXPECT_EQ(h.uplink_bytes, 0u);
+  EXPECT_EQ(h.downlink_bytes, 0u);
+  EXPECT_EQ(h.clients[0].episode_rewards.size(), 4u);
+  EXPECT_EQ(trainer.server(), nullptr);
+}
+
+TEST(FedTrainer, PartialParticipationSendsGlobalToOthers) {
+  FedTrainerConfig cfg = tiny_trainer_config();
+  cfg.participants_per_round = 2;
+  FedTrainer trainer(cfg, std::make_unique<FedAvgAggregator>(),
+                     make_clients(4, FedAlgorithm::kFedAvg));
+  trainer.step_round();
+  EXPECT_EQ(trainer.server()->last_participants().size(), 2u);
+  // Every client records before/after losses regardless of participation.
+  for (std::size_t i = 0; i < trainer.client_count(); ++i) {
+    EXPECT_EQ(trainer.history().clients[i].critic_loss_before.size(), 1u);
+    EXPECT_EQ(trainer.history().clients[i].critic_loss_after.size(), 1u);
+  }
+}
+
+TEST(FedTrainer, PfrlDmRoundProducesPersonalizedCritics) {
+  FedTrainerConfig cfg = tiny_trainer_config();
+  FedTrainer trainer(cfg, std::make_unique<AttentionAggregator>(),
+                     make_clients(3, FedAlgorithm::kPfrlDm));
+  trainer.step_round();
+  // After an attention round the clients' public critics differ
+  // (personalization), unlike FedAvg where all would be equal.
+  const auto psi0 = trainer.client(0).dual_agent()->public_critic().flatten();
+  const auto psi1 = trainer.client(1).dual_agent()->public_critic().flatten();
+  EXPECT_NE(psi0, psi1);
+}
+
+TEST(FedTrainer, FedAvgRoundEqualizesModels) {
+  FedTrainer trainer(tiny_trainer_config(), std::make_unique<FedAvgAggregator>(),
+                     make_clients(3, FedAlgorithm::kFedAvg));
+  trainer.step_round();
+  EXPECT_EQ(trainer.client(0).agent().actor().flatten(),
+            trainer.client(1).agent().actor().flatten());
+  EXPECT_EQ(trainer.client(1).agent().critic().flatten(),
+            trainer.client(2).agent().critic().flatten());
+}
+
+TEST(FedTrainer, AddClientJoinsWithGlobalModel) {
+  auto clients = make_clients(3, FedAlgorithm::kFedAvg);
+  FedTrainer trainer(tiny_trainer_config(), std::make_unique<FedAvgAggregator>(),
+                     std::move(clients));
+  trainer.step_round();
+
+  auto joiner = make_clients(1, FedAlgorithm::kFedAvg);
+  const std::size_t idx = trainer.add_client(std::move(joiner[0]));
+  EXPECT_EQ(idx, 3u);
+  EXPECT_EQ(trainer.client_count(), 4u);
+  EXPECT_EQ(trainer.history().clients[idx].joined_at_episode, 2u);
+  // Joiner was initialized from ψ_G.
+  const auto payload = trainer.server()->global_payload();
+  util::ByteReader r(payload);
+  const auto global = r.read_f32_vector();
+  auto joined_flat = trainer.client(idx).agent().actor().flatten();
+  const auto critic_flat = trainer.client(idx).agent().critic().flatten();
+  joined_flat.insert(joined_flat.end(), critic_flat.begin(), critic_flat.end());
+  EXPECT_EQ(joined_flat, global);
+}
+
+TEST(FedTrainer, MeanRewardCurveAveragesAcrossClients) {
+  TrainingHistory h;
+  h.clients.resize(2);
+  h.clients[0].episode_rewards = {1.0, 3.0};
+  h.clients[1].episode_rewards = {3.0, 5.0};
+  const auto curve = h.mean_reward_curve();
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0], 2.0);
+  EXPECT_DOUBLE_EQ(curve[1], 4.0);
+}
+
+TEST(FedTrainer, MeanRewardCurveHandlesLateJoiners) {
+  TrainingHistory h;
+  h.clients.resize(2);
+  h.clients[0].episode_rewards = {1.0, 1.0, 1.0};
+  h.clients[1].episode_rewards = {9.0};
+  h.clients[1].joined_at_episode = 2;
+  const auto curve = h.mean_reward_curve();
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0], 1.0);
+  EXPECT_DOUBLE_EQ(curve[1], 1.0);
+  EXPECT_DOUBLE_EQ(curve[2], 5.0);
+}
+
+TEST(FedTrainer, DeterministicWithSingleThread) {
+  const auto run_once = [] {
+    FedTrainerConfig cfg = tiny_trainer_config();
+    cfg.seed = 99;
+    FedTrainer trainer(cfg, std::make_unique<FedAvgAggregator>(),
+                       make_clients(2, FedAlgorithm::kFedAvg));
+    return trainer.run();
+  };
+  const TrainingHistory a = run_once();
+  const TrainingHistory b = run_once();
+  ASSERT_EQ(a.clients.size(), b.clients.size());
+  for (std::size_t i = 0; i < a.clients.size(); ++i)
+    EXPECT_EQ(a.clients[i].episode_rewards, b.clients[i].episode_rewards);
+}
+
+}  // namespace
+}  // namespace pfrl::fed

@@ -1,0 +1,152 @@
+// End-to-end federation runs across all four algorithms at tiny scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/federation.hpp"
+
+namespace pfrl::core {
+namespace {
+
+FederationConfig tiny_config(fed::FedAlgorithm algorithm, std::uint64_t seed = 42) {
+  FederationConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.scale = ExperimentScale::tiny();
+  cfg.seed = seed;
+  cfg.threads = 1;
+  return cfg;
+}
+
+class FederationAlgorithms : public ::testing::TestWithParam<fed::FedAlgorithm> {};
+
+TEST_P(FederationAlgorithms, TrainsEndToEnd) {
+  Federation federation(table2_clients(), tiny_config(GetParam()));
+  const fed::TrainingHistory history = federation.train();
+  ASSERT_EQ(history.clients.size(), 4u);
+  for (const fed::ClientHistory& c : history.clients) {
+    EXPECT_EQ(c.episode_rewards.size(), ExperimentScale::tiny().episodes);
+    for (const double r : c.episode_rewards) EXPECT_TRUE(std::isfinite(r));
+    for (const sim::EpisodeMetrics& m : c.episode_metrics) {
+      EXPECT_GT(m.completed_tasks, 0u);
+      EXPECT_GE(m.avg_utilization, 0.0);
+      EXPECT_LE(m.avg_utilization, 1.0);
+    }
+  }
+  const auto curve = history.mean_reward_curve();
+  EXPECT_EQ(curve.size(), ExperimentScale::tiny().episodes);
+}
+
+TEST_P(FederationAlgorithms, EvaluatesOnTestAndHybridSplits) {
+  Federation federation(table2_clients(), tiny_config(GetParam()));
+  (void)federation.train();
+
+  const auto test_results = federation.evaluate_on_test_splits();
+  ASSERT_EQ(test_results.size(), 4u);
+  for (const EvalResult& r : test_results) {
+    EXPECT_GT(r.metrics.completed_tasks, 0u);
+    EXPECT_GT(r.metrics.avg_response_time, 0.0);
+    EXPECT_GT(r.metrics.makespan, 0.0);
+  }
+
+  const auto hybrid_results = federation.evaluate_on_hybrid(0.2);
+  ASSERT_EQ(hybrid_results.size(), 4u);
+  for (const EvalResult& r : hybrid_results) EXPECT_GT(r.metrics.completed_tasks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, FederationAlgorithms,
+                         ::testing::Values(fed::FedAlgorithm::kIndependent,
+                                           fed::FedAlgorithm::kFedAvg,
+                                           fed::FedAlgorithm::kMfpo,
+                                           fed::FedAlgorithm::kPfrlDm),
+                         [](const auto& info) {
+                           std::string n = fed::algorithm_name(info.param);
+                           for (char& c : n)
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return n;
+                         });
+
+TEST(Integration, PfrlDmOnlyTransmitsCritics) {
+  Federation pfrl(table2_clients(), tiny_config(fed::FedAlgorithm::kPfrlDm));
+  Federation fedavg(table2_clients(), tiny_config(fed::FedAlgorithm::kFedAvg));
+  const auto h_pfrl = pfrl.train();
+  const auto h_fedavg = fedavg.train();
+  ASSERT_GT(h_pfrl.uplink_bytes, 0u);
+  ASSERT_GT(h_fedavg.uplink_bytes, 0u);
+  // §5.2: PFRL-DM moves only ψ; FedAvg moves actor + critic.
+  EXPECT_LT(h_pfrl.uplink_bytes, h_fedavg.uplink_bytes);
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  Federation a(table2_clients(), tiny_config(fed::FedAlgorithm::kPfrlDm, 7));
+  Federation b(table2_clients(), tiny_config(fed::FedAlgorithm::kPfrlDm, 7));
+  const auto ha = a.train();
+  const auto hb = b.train();
+  for (std::size_t i = 0; i < ha.clients.size(); ++i)
+    EXPECT_EQ(ha.clients[i].episode_rewards, hb.clients[i].episode_rewards);
+}
+
+TEST(Integration, DifferentSeedsDiverge) {
+  Federation a(table2_clients(), tiny_config(fed::FedAlgorithm::kPfrlDm, 7));
+  Federation b(table2_clients(), tiny_config(fed::FedAlgorithm::kPfrlDm, 8));
+  const auto ha = a.train();
+  const auto hb = b.train();
+  EXPECT_NE(ha.clients[0].episode_rewards, hb.clients[0].episode_rewards);
+}
+
+TEST(Integration, NewClientJoinsMidTraining) {
+  FederationConfig cfg = tiny_config(fed::FedAlgorithm::kPfrlDm);
+  Federation federation(table2_clients(), cfg);
+  federation.trainer().step_round();
+
+  const std::size_t idx = federation.add_client(table2_clients()[0]);
+  EXPECT_EQ(idx, 4u);
+  federation.trainer().step_round();
+
+  const auto history = federation.trainer().snapshot_history();
+  const fed::ClientHistory& joiner = history.clients[idx];
+  EXPECT_EQ(joiner.joined_at_episode, ExperimentScale::tiny().comm_every);
+  EXPECT_EQ(joiner.episode_rewards.size(), ExperimentScale::tiny().comm_every);
+}
+
+TEST(Integration, JoinerAdoptsServerGlobalModel) {
+  FederationConfig cfg = tiny_config(fed::FedAlgorithm::kPfrlDm);
+  Federation federation(table2_clients(), cfg);
+  federation.trainer().step_round();
+
+  const std::size_t idx = federation.add_client(table2_clients()[1]);
+  const auto payload = federation.trainer().server()->global_payload();
+  util::ByteReader r(payload);
+  const auto global = r.read_f32_vector();
+  EXPECT_EQ(federation.trainer().client(idx).dual_agent()->public_critic().flatten(), global);
+}
+
+TEST(Integration, ParallelTrainingMatchesHistoryShape) {
+  FederationConfig cfg = tiny_config(fed::FedAlgorithm::kFedAvg);
+  cfg.threads = 4;  // oversubscribed on 1 core, exercises the pool path
+  Federation federation(table2_clients(), cfg);
+  const auto history = federation.train();
+  for (const fed::ClientHistory& c : history.clients)
+    EXPECT_EQ(c.episode_rewards.size(), ExperimentScale::tiny().episodes);
+}
+
+TEST(Integration, StrictPaperRewardStillTrains) {
+  FederationConfig cfg = tiny_config(fed::FedAlgorithm::kPfrlDm);
+  cfg.strict_paper_reward = true;
+  Federation federation(table2_clients(), cfg);
+  const auto history = federation.train();
+  for (const double r : history.clients[0].episode_rewards) EXPECT_TRUE(std::isfinite(r));
+}
+
+TEST(Integration, AlphaRemainsValidThroughFederatedRounds) {
+  FederationConfig cfg = tiny_config(fed::FedAlgorithm::kPfrlDm);
+  Federation federation(table2_clients(), cfg);
+  (void)federation.train();
+  for (std::size_t i = 0; i < federation.client_count(); ++i) {
+    const double alpha = federation.trainer().client(i).dual_agent()->alpha();
+    EXPECT_GE(alpha, 0.0);
+    EXPECT_LE(alpha, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pfrl::core

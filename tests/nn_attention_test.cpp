@@ -1,0 +1,189 @@
+#include "nn/attention.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "util/rng.hpp"
+
+namespace pfrl::nn {
+namespace {
+
+Matrix client_models(std::size_t k, std::size_t p, util::Rng& rng) {
+  Matrix m(k, p);
+  for (float& v : m.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+void expect_row_stochastic(const Matrix& w) {
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    double s = 0;
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+      EXPECT_GE(w(i, j), 0.0F);
+      s += static_cast<double>(w(i, j));
+    }
+    EXPECT_NEAR(s, 1.0, 1e-4);
+  }
+}
+
+TEST(MultiHeadAttention, WeightsAreRowStochastic) {
+  util::Rng rng(1);
+  MultiHeadAttention mha(50, {});
+  const Matrix w = mha.weights(client_models(4, 50, rng));
+  EXPECT_EQ(w.rows(), 4u);
+  EXPECT_EQ(w.cols(), 4u);
+  expect_row_stochastic(w);
+}
+
+TEST(MultiHeadAttention, EachHeadIsRowStochastic) {
+  util::Rng rng(2);
+  MultiHeadAttentionConfig cfg;
+  cfg.num_heads = 3;
+  MultiHeadAttention mha(30, cfg);
+  const auto heads = mha.head_weights(client_models(5, 30, rng));
+  EXPECT_EQ(heads.size(), 3u);
+  for (const Matrix& h : heads) expect_row_stochastic(h);
+}
+
+TEST(MultiHeadAttention, DeterministicAcrossInstances) {
+  util::Rng rng(3);
+  const Matrix models = client_models(4, 40, rng);
+  MultiHeadAttentionConfig cfg;
+  cfg.seed = 777;
+  MultiHeadAttention a(40, cfg);
+  MultiHeadAttention b(40, cfg);
+  const Matrix wa = a.weights(models);
+  const Matrix wb = b.weights(models);
+  for (std::size_t i = 0; i < wa.rows(); ++i)
+    for (std::size_t j = 0; j < wa.cols(); ++j) EXPECT_FLOAT_EQ(wa(i, j), wb(i, j));
+}
+
+TEST(MultiHeadAttention, DifferentSeedsGiveDifferentWeights) {
+  util::Rng rng(4);
+  const Matrix models = client_models(4, 40, rng);
+  MultiHeadAttentionConfig c1;
+  c1.seed = 1;
+  MultiHeadAttentionConfig c2;
+  c2.seed = 2;
+  const Matrix w1 = MultiHeadAttention(40, c1).weights(models);
+  const Matrix w2 = MultiHeadAttention(40, c2).weights(models);
+  float max_diff = 0;
+  for (std::size_t i = 0; i < w1.rows(); ++i)
+    for (std::size_t j = 0; j < w1.cols(); ++j)
+      max_diff = std::max(max_diff, std::fabs(w1(i, j) - w2(i, j)));
+  EXPECT_GT(max_diff, 1e-4F);
+}
+
+TEST(MultiHeadAttention, SimilarClientsAttendToEachOther) {
+  // The §3.3 observation (Fig. 11): C1 and C1' share an environment, so
+  // their critics are near-identical; attention should concentrate the
+  // C1 row's off-diagonal mass on C1' (and vice versa).
+  util::Rng rng(5);
+  const std::size_t p = 200;
+  Matrix models(4, p);
+  // C1 and C1' = same base + small noise; C2, C3 unrelated.
+  std::vector<float> base(p);
+  for (float& v : base) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (std::size_t j = 0; j < p; ++j) {
+    models(0, j) = base[j] + static_cast<float>(rng.normal(0.0, 0.02));
+    models(1, j) = base[j] + static_cast<float>(rng.normal(0.0, 0.02));
+    models(2, j) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    models(3, j) = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  const Matrix w = MultiHeadAttention(p, {}).weights(models);
+  // Row 0's largest off-diagonal weight must be on client 1, and vice versa.
+  EXPECT_GT(w(0, 1), w(0, 2));
+  EXPECT_GT(w(0, 1), w(0, 3));
+  EXPECT_GT(w(1, 0), w(1, 2));
+  EXPECT_GT(w(1, 0), w(1, 3));
+}
+
+TEST(MultiHeadAttention, DimensionMismatchThrows) {
+  util::Rng rng(6);
+  MultiHeadAttention mha(20, {});
+  EXPECT_THROW((void)mha.weights(client_models(3, 21, rng)), std::invalid_argument);
+}
+
+TEST(MultiHeadAttention, ZeroConfigThrows) {
+  MultiHeadAttentionConfig cfg;
+  cfg.num_heads = 0;
+  EXPECT_THROW(MultiHeadAttention(10, cfg), std::invalid_argument);
+}
+
+TEST(MultiHeadAttention, SingleClientWeightIsOne) {
+  util::Rng rng(7);
+  MultiHeadAttention mha(15, {});
+  const Matrix w = mha.weights(client_models(1, 15, rng));
+  EXPECT_EQ(w.rows(), 1u);
+  EXPECT_NEAR(w(0, 0), 1.0F, 1e-6F);
+}
+
+TEST(MultiHeadAttention, CenteringCancelsSharedInitialization) {
+  // Federated clients all start from one global model, so raw parameter
+  // vectors are dominated by that shared component; centering must still
+  // isolate the twin pair while the uncentered variant saturates.
+  util::Rng rng(9);
+  const std::size_t p = 300;
+  std::vector<float> shared(p);
+  for (float& v : shared) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> twin_delta(p);
+  for (float& v : twin_delta) v = static_cast<float>(rng.normal(0.0, 0.05));
+
+  Matrix models(4, p);
+  for (std::size_t j = 0; j < p; ++j) {
+    models(0, j) = shared[j] + twin_delta[j];
+    models(1, j) = shared[j] + twin_delta[j] + static_cast<float>(rng.normal(0.0, 0.01));
+    models(2, j) = shared[j] + static_cast<float>(rng.normal(0.0, 0.05));
+    models(3, j) = shared[j] + static_cast<float>(rng.normal(0.0, 0.05));
+  }
+
+  MultiHeadAttentionConfig centered_cfg;
+  centered_cfg.center_models = true;
+  const Matrix w = MultiHeadAttention(p, centered_cfg).weights(models);
+  // Twin pair's mutual weight beats their weight on the strangers.
+  EXPECT_GT(w(0, 1), w(0, 2));
+  EXPECT_GT(w(0, 1), w(0, 3));
+  EXPECT_GT(w(1, 0), w(1, 2));
+}
+
+TEST(MultiHeadAttention, UntiedQkLosesSimilaritySignal) {
+  // With independent random W^Q and W^K the twin pair gets no systematic
+  // advantage: its focus score should be much weaker than the tied form's.
+  util::Rng rng(10);
+  const std::size_t p = 300;
+  Matrix models(4, p);
+  std::vector<float> base(p);
+  for (float& v : base) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (std::size_t j = 0; j < p; ++j) {
+    models(0, j) = base[j] + static_cast<float>(rng.normal(0.0, 0.02));
+    models(1, j) = base[j] + static_cast<float>(rng.normal(0.0, 0.02));
+    models(2, j) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    models(3, j) = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  const auto focus = [](const Matrix& w) {
+    return (w(0, 1) + w(1, 0)) / 2.0 - (w(0, 2) + w(0, 3) + w(1, 2) + w(1, 3)) / 4.0;
+  };
+  MultiHeadAttentionConfig tied;
+  tied.tie_query_key = true;
+  MultiHeadAttentionConfig untied;
+  untied.tie_query_key = false;
+  const double tied_focus = focus(MultiHeadAttention(p, tied).weights(models));
+  const double untied_focus = focus(MultiHeadAttention(p, untied).weights(models));
+  EXPECT_GT(tied_focus, 0.05);
+  EXPECT_GT(tied_focus, untied_focus + 0.02);
+}
+
+TEST(MultiHeadAttention, HeadAverageEqualsWeights) {
+  util::Rng rng(8);
+  const Matrix models = client_models(3, 25, rng);
+  MultiHeadAttention mha(25, {});
+  const auto heads = mha.head_weights(models);
+  Matrix mean = heads.front();
+  for (std::size_t h = 1; h < heads.size(); ++h) mean += heads[h];
+  mean *= 1.0F / static_cast<float>(heads.size());
+  const Matrix w = mha.weights(models);
+  for (std::size_t i = 0; i < w.rows(); ++i)
+    for (std::size_t j = 0; j < w.cols(); ++j) EXPECT_NEAR(w(i, j), mean(i, j), 1e-6F);
+}
+
+}  // namespace
+}  // namespace pfrl::nn

@@ -1,0 +1,168 @@
+// Finite-difference verification of every backward implementation —
+// the backbone correctness guarantee of the hand-written NN stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/mlp.hpp"
+#include "nn/softmax.hpp"
+#include "util/rng.hpp"
+
+namespace pfrl::nn {
+namespace {
+
+/// Compares analytic parameter gradients of `loss` (which must run
+/// forward + backward on `net` with zeroed grads and return the scalar
+/// loss) against central finite differences.
+void gradcheck(Mlp& net, const std::function<double()>& forward_loss,
+               const std::function<void()>& forward_backward, double tol = 5e-2) {
+  net.zero_grad();
+  forward_backward();
+  const std::vector<float> analytic = net.flatten_grad();
+  const std::vector<float> theta = net.flatten();
+
+  double worst = 0.0;
+  const float eps = 1e-3F;
+  // Probe a spread of parameters (every 5th) to keep runtime sane.
+  for (std::size_t k = 0; k < theta.size(); k += 5) {
+    std::vector<float> t = theta;
+    t[k] += eps;
+    net.unflatten(t);
+    const double lp = forward_loss();
+    t[k] -= 2 * eps;
+    net.unflatten(t);
+    const double lm = forward_loss();
+    const double numeric = (lp - lm) / (2.0 * static_cast<double>(eps));
+    // Float32 forward passes limit the finite-difference resolution to
+    // roughly ulp(L)/eps ≈ 1e-4; gradients below that floor are noise,
+    // so compare only where the signal is measurable.
+    const double denom = std::max(std::fabs(numeric), std::fabs(static_cast<double>(analytic[k])));
+    if (denom < 5e-3) continue;
+    worst = std::max(worst, std::fabs(numeric - analytic[k]) / denom);
+  }
+  net.unflatten(theta);
+  EXPECT_LT(worst, tol);
+}
+
+struct Shape {
+  std::size_t in;
+  std::vector<std::size_t> hidden;
+  std::size_t out;
+  std::size_t batch;
+};
+
+class MlpGradcheck : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(MlpGradcheck, MseLoss) {
+  const Shape s = GetParam();
+  util::Rng rng(17);
+  Mlp net(s.in, s.hidden, s.out, rng);
+  Matrix x(s.batch, s.in);
+  for (float& v : x.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  Matrix target(s.batch, s.out);
+  for (float& v : target.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const float inv_n = 1.0F / static_cast<float>(s.batch);
+
+  auto loss = [&] {
+    const Matrix y = net.forward(x);
+    double acc = 0;
+    for (std::size_t i = 0; i < y.rows(); ++i)
+      for (std::size_t j = 0; j < y.cols(); ++j) {
+        const double d = static_cast<double>(y(i, j)) - static_cast<double>(target(i, j));
+        acc += d * d;
+      }
+    return acc * static_cast<double>(inv_n);
+  };
+  auto fb = [&] {
+    const Matrix y = net.forward(x);
+    Matrix g(y.rows(), y.cols());
+    for (std::size_t i = 0; i < y.rows(); ++i)
+      for (std::size_t j = 0; j < y.cols(); ++j)
+        g(i, j) = 2.0F * inv_n * (y(i, j) - target(i, j));
+    net.backward(g);
+  };
+  gradcheck(net, loss, fb);
+}
+
+TEST_P(MlpGradcheck, NegativeLogLikelihoodLoss) {
+  const Shape s = GetParam();
+  if (s.out < 2) GTEST_SKIP() << "NLL needs >= 2 classes";
+  util::Rng rng(23);
+  Mlp net(s.in, s.hidden, s.out, rng);
+  Matrix x(s.batch, s.in);
+  for (float& v : x.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<std::size_t> actions(s.batch);
+  for (auto& a : actions)
+    a = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(s.out) - 1));
+  const float inv_n = 1.0F / static_cast<float>(s.batch);
+
+  auto loss = [&] {
+    const Matrix lp = log_softmax_rows(net.forward(x));
+    double acc = 0;
+    for (std::size_t i = 0; i < s.batch; ++i) acc -= static_cast<double>(lp(i, actions[i]));
+    return acc * static_cast<double>(inv_n);
+  };
+  auto fb = [&] {
+    const Matrix p = softmax_rows(net.forward(x));
+    Matrix g(s.batch, s.out);
+    for (std::size_t i = 0; i < s.batch; ++i)
+      for (std::size_t j = 0; j < s.out; ++j)
+        g(i, j) = inv_n * (p(i, j) - (j == actions[i] ? 1.0F : 0.0F));
+    net.backward(g);
+  };
+  gradcheck(net, loss, fb);
+}
+
+TEST_P(MlpGradcheck, EntropyBonus) {
+  const Shape s = GetParam();
+  if (s.out < 2) GTEST_SKIP() << "entropy needs >= 2 classes";
+  util::Rng rng(29);
+  Mlp net(s.in, s.hidden, s.out, rng);
+  Matrix x(s.batch, s.in);
+  for (float& v : x.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const float inv_n = 1.0F / static_cast<float>(s.batch);
+
+  // L = -(1/N) Σ H(π(·|s_i)) — the (negated) entropy bonus of the PPO loss.
+  auto loss = [&] {
+    const Matrix lp = log_softmax_rows(net.forward(x));
+    double acc = 0;
+    for (std::size_t i = 0; i < s.batch; ++i)
+      for (std::size_t j = 0; j < s.out; ++j)
+        acc += std::exp(static_cast<double>(lp(i, j))) * static_cast<double>(lp(i, j));
+    return acc * static_cast<double>(inv_n);
+  };
+  auto fb = [&] {
+    const Matrix logits = net.forward(x);
+    const Matrix lp = log_softmax_rows(logits);
+    const Matrix p = softmax_rows(logits);
+    Matrix g(s.batch, s.out);
+    for (std::size_t i = 0; i < s.batch; ++i) {
+      double entropy = 0;
+      for (std::size_t j = 0; j < s.out; ++j)
+        entropy -= static_cast<double>(p(i, j)) * static_cast<double>(lp(i, j));
+      // d(-H)/dlogit_j = p_j (log p_j + H).
+      for (std::size_t j = 0; j < s.out; ++j)
+        g(i, j) = inv_n * p(i, j) * (lp(i, j) + static_cast<float>(entropy));
+    }
+    net.backward(g);
+  };
+  gradcheck(net, loss, fb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MlpGradcheck,
+                         ::testing::Values(Shape{3, {}, 2, 4},          // linear-only
+                                           Shape{4, {8}, 3, 6},         // one hidden
+                                           Shape{5, {16, 8}, 4, 5},     // two hidden
+                                           Shape{10, {64}, 1, 8},       // critic-shaped
+                                           Shape{40, {64}, 6, 3}),      // actor-shaped
+                         [](const auto& info) {
+                           const Shape& s = info.param;
+                           std::string name = "in" + std::to_string(s.in);
+                           for (const std::size_t h : s.hidden) name += "_h" + std::to_string(h);
+                           name += "_out" + std::to_string(s.out);
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace pfrl::nn

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/softmax.hpp"
+#include "util/rng.hpp"
+
+namespace pfrl::nn {
+namespace {
+
+TEST(Linear, ForwardIsAffine) {
+  util::Rng rng(1);
+  Linear layer(2, 3, rng);
+  // Overwrite with known weights.
+  layer.weight().value = Matrix(2, 3, std::vector<float>{1, 2, 3, 4, 5, 6});
+  layer.bias().value = Matrix(1, 3, std::vector<float>{0.5F, -0.5F, 1.0F});
+  Matrix x(1, 2, std::vector<float>{1, 1});
+  const Matrix y = layer.forward(x);
+  EXPECT_FLOAT_EQ(y(0, 0), 5.5F);
+  EXPECT_FLOAT_EQ(y(0, 1), 6.5F);
+  EXPECT_FLOAT_EQ(y(0, 2), 10.0F);
+}
+
+TEST(Linear, XavierInitWithinBound) {
+  util::Rng rng(2);
+  Linear layer(30, 20, rng);
+  const double bound = std::sqrt(6.0 / (30 + 20));
+  for (const float v : layer.weight().value.flat()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+  for (const float v : layer.bias().value.flat()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Linear, CloneIsDeepCopy) {
+  util::Rng rng(3);
+  Linear layer(2, 2, rng);
+  auto copy = layer.clone();
+  Matrix x(1, 2, std::vector<float>{1, 2});
+  const Matrix y1 = layer.forward(x);
+  const Matrix y2 = copy->forward(x);
+  EXPECT_FLOAT_EQ(y1(0, 0), y2(0, 0));
+  // Mutating the original must not affect the clone.
+  layer.weight().value.fill(0.0F);
+  const Matrix y3 = copy->forward(x);
+  EXPECT_FLOAT_EQ(y3(0, 0), y2(0, 0));
+}
+
+TEST(Linear, BackwardAccumulatesGradients) {
+  util::Rng rng(4);
+  Linear layer(2, 1, rng);
+  Matrix x(1, 2, std::vector<float>{1, 2});
+  (void)layer.forward(x);
+  Matrix g(1, 1, std::vector<float>{1.0F});
+  (void)layer.backward(g);
+  (void)layer.forward(x);
+  (void)layer.backward(g);
+  // Two identical backward passes double the gradient.
+  EXPECT_FLOAT_EQ(layer.weight().grad(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(layer.weight().grad(1, 0), 4.0F);
+  EXPECT_FLOAT_EQ(layer.bias().grad(0, 0), 2.0F);
+}
+
+TEST(Tanh, ForwardMatchesStd) {
+  Tanh t;
+  Matrix x(1, 3, std::vector<float>{-1.0F, 0.0F, 2.0F});
+  const Matrix y = t.forward(x);
+  EXPECT_FLOAT_EQ(y(0, 0), std::tanh(-1.0F));
+  EXPECT_FLOAT_EQ(y(0, 1), 0.0F);
+  EXPECT_FLOAT_EQ(y(0, 2), std::tanh(2.0F));
+}
+
+TEST(Relu, ForwardClampsNegatives) {
+  Relu r;
+  Matrix x(1, 3, std::vector<float>{-1.0F, 0.0F, 2.0F});
+  const Matrix y = r.forward(x);
+  EXPECT_FLOAT_EQ(y(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(y(0, 1), 0.0F);
+  EXPECT_FLOAT_EQ(y(0, 2), 2.0F);
+}
+
+TEST(Relu, BackwardMasksByInputSign) {
+  Relu r;
+  Matrix x(1, 3, std::vector<float>{-1.0F, 0.5F, 2.0F});
+  (void)r.forward(x);
+  Matrix g(1, 3, std::vector<float>{10, 10, 10});
+  const Matrix gi = r.backward(g);
+  EXPECT_FLOAT_EQ(gi(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(gi(0, 1), 10.0F);
+  EXPECT_FLOAT_EQ(gi(0, 2), 10.0F);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Matrix logits(3, 4);
+  util::Rng rng(5);
+  for (float& v : logits.flat()) v = static_cast<float>(rng.uniform(-5.0, 5.0));
+  const Matrix p = softmax_rows(logits);
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    double s = 0;
+    for (std::size_t j = 0; j < p.cols(); ++j) {
+      EXPECT_GT(p(i, j), 0.0F);
+      s += static_cast<double>(p(i, j));
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, InvariantToLogitShift) {
+  Matrix a(1, 3, std::vector<float>{1, 2, 3});
+  Matrix b(1, 3, std::vector<float>{101, 102, 103});
+  const Matrix pa = softmax_rows(a);
+  const Matrix pb = softmax_rows(b);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(pa(0, j), pb(0, j), 1e-6F);
+}
+
+TEST(Softmax, StableForExtremeLogits) {
+  Matrix x(1, 2, std::vector<float>{1000.0F, -1000.0F});
+  const Matrix p = softmax_rows(x);
+  EXPECT_NEAR(p(0, 0), 1.0F, 1e-6F);
+  EXPECT_NEAR(p(0, 1), 0.0F, 1e-6F);
+}
+
+TEST(LogSoftmax, ConsistentWithSoftmax) {
+  Matrix logits(2, 3, std::vector<float>{0.1F, -2.0F, 1.5F, 3.0F, 3.0F, 3.0F});
+  const Matrix p = softmax_rows(logits);
+  const Matrix lp = log_softmax_rows(logits);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(std::exp(lp(i, j)), p(i, j), 1e-5F);
+}
+
+TEST(SoftmaxBackward, MatchesNumericJacobian) {
+  util::Rng rng(6);
+  std::vector<float> logits(5);
+  for (float& v : logits) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  std::vector<float> grad_p(5);
+  for (float& v : grad_p) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  auto compute_probs = [](std::vector<float> z) {
+    softmax_inplace(z);
+    return z;
+  };
+  const std::vector<float> probs = compute_probs(logits);
+
+  std::vector<float> analytic(5);
+  softmax_backward_row(probs, grad_p, analytic);
+
+  const float eps = 1e-3F;
+  for (std::size_t k = 0; k < 5; ++k) {
+    auto zp = logits;
+    zp[k] += eps;
+    auto zm = logits;
+    zm[k] -= eps;
+    const auto pp = compute_probs(zp);
+    const auto pm = compute_probs(zm);
+    double num = 0;
+    for (std::size_t j = 0; j < 5; ++j)
+      num += static_cast<double>(grad_p[j]) * (pp[j] - pm[j]) / (2.0 * eps);
+    EXPECT_NEAR(analytic[k], num, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace pfrl::nn

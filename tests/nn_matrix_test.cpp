@@ -1,0 +1,145 @@
+#include "nn/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace pfrl::nn {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, util::Rng& rng) {
+  Matrix m(r, c);
+  for (float& v : m.flat()) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return m;
+}
+
+void expect_near(const Matrix& a, const Matrix& b, float tol = 1e-4F) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) EXPECT_NEAR(a(i, j), b(i, j), tol);
+}
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5F);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (const float v : m.flat()) EXPECT_EQ(v, 1.5F);
+  m.zero();
+  for (const float v : m.flat()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Matrix, DataConstructorValidatesShape) {
+  EXPECT_THROW(Matrix(2, 2, std::vector<float>{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Matrix, RowVector) {
+  const std::vector<float> v{1, 2, 3};
+  const Matrix m = Matrix::row_vector(v);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(0, 2), 3.0F);
+}
+
+TEST(Matrix, MatmulHandComputed) {
+  Matrix a(2, 3, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, std::vector<float>{7, 8, 9, 10, 11, 12});
+  const Matrix c = a.matmul(b);
+  EXPECT_EQ(c(0, 0), 58.0F);
+  EXPECT_EQ(c(0, 1), 64.0F);
+  EXPECT_EQ(c(1, 0), 139.0F);
+  EXPECT_EQ(c(1, 1), 154.0F);
+}
+
+TEST(Matrix, MatmulDimMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.matmul(b), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeMatmulEqualsExplicitTranspose) {
+  util::Rng rng(1);
+  const Matrix a = random_matrix(5, 4, rng);
+  const Matrix b = random_matrix(5, 3, rng);
+  expect_near(a.transpose_matmul(b), a.transposed().matmul(b));
+}
+
+TEST(Matrix, MatmulTransposeEqualsExplicitTranspose) {
+  util::Rng rng(2);
+  const Matrix a = random_matrix(4, 6, rng);
+  const Matrix b = random_matrix(5, 6, rng);
+  expect_near(a.matmul_transpose(b), a.matmul(b.transposed()));
+}
+
+TEST(Matrix, TransposeIsInvolution) {
+  util::Rng rng(3);
+  const Matrix a = random_matrix(3, 7, rng);
+  expect_near(a.transposed().transposed(), a);
+}
+
+TEST(Matrix, ElementwiseOps) {
+  Matrix a(1, 3, std::vector<float>{1, 2, 3});
+  Matrix b(1, 3, std::vector<float>{10, 20, 30});
+  const Matrix sum = a + b;
+  EXPECT_EQ(sum(0, 1), 22.0F);
+  const Matrix diff = b - a;
+  EXPECT_EQ(diff(0, 2), 27.0F);
+  const Matrix scaled = a * 2.0F;
+  EXPECT_EQ(scaled(0, 0), 2.0F);
+  const Matrix had = a.hadamard(b);
+  EXPECT_EQ(had(0, 2), 90.0F);
+}
+
+TEST(Matrix, ShapeMismatchThrowsOnElementwise) {
+  Matrix a(1, 3);
+  Matrix b(3, 1);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW((void)a.hadamard(b), std::invalid_argument);
+}
+
+TEST(Matrix, RowBroadcastAddsToEveryRow) {
+  Matrix m(2, 2, std::vector<float>{1, 2, 3, 4});
+  Matrix bias(1, 2, std::vector<float>{10, 20});
+  m.add_row_broadcast(bias);
+  EXPECT_EQ(m(0, 0), 11.0F);
+  EXPECT_EQ(m(1, 1), 24.0F);
+}
+
+TEST(Matrix, RowBroadcastValidatesShape) {
+  Matrix m(2, 2);
+  Matrix bad(2, 2);
+  EXPECT_THROW(m.add_row_broadcast(bad), std::invalid_argument);
+}
+
+TEST(Matrix, ColumnSums) {
+  Matrix m(2, 3, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Matrix s = m.column_sums();
+  EXPECT_EQ(s.rows(), 1u);
+  EXPECT_EQ(s(0, 0), 5.0F);
+  EXPECT_EQ(s(0, 1), 7.0F);
+  EXPECT_EQ(s(0, 2), 9.0F);
+}
+
+TEST(Matrix, SumAndMaxAbs) {
+  Matrix m(1, 4, std::vector<float>{-5, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(m.sum(), 1.0);
+  EXPECT_EQ(m.max_abs(), 5.0F);
+}
+
+TEST(Matrix, MatmulAssociativityProperty) {
+  util::Rng rng(4);
+  const Matrix a = random_matrix(3, 4, rng);
+  const Matrix b = random_matrix(4, 5, rng);
+  const Matrix c = random_matrix(5, 2, rng);
+  expect_near(a.matmul(b).matmul(c), a.matmul(b.matmul(c)), 1e-3F);
+}
+
+TEST(Matrix, EmptyDefaultMatrix) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace pfrl::nn

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/adam.hpp"
+#include "nn/mlp.hpp"
+#include "util/rng.hpp"
+#include "util/serialization.hpp"
+
+namespace pfrl::nn {
+namespace {
+
+TEST(Mlp, ParamCountMatchesArchitecture) {
+  util::Rng rng(1);
+  Mlp net(10, {64}, 3, rng);
+  // 10*64 + 64 + 64*3 + 3
+  EXPECT_EQ(net.param_count(), 10u * 64 + 64 + 64 * 3 + 3);
+  EXPECT_EQ(net.input_dim(), 10u);
+  EXPECT_EQ(net.output_dim(), 3u);
+}
+
+TEST(Mlp, FlattenUnflattenRoundTrip) {
+  util::Rng rng(2);
+  Mlp net(4, {8}, 2, rng);
+  const std::vector<float> flat = net.flatten();
+  EXPECT_EQ(flat.size(), net.param_count());
+
+  Mlp other(4, {8}, 2, rng);  // different init
+  other.unflatten(flat);
+  EXPECT_EQ(other.flatten(), flat);
+
+  Matrix x(1, 4, std::vector<float>{0.1F, -0.2F, 0.3F, 0.4F});
+  const Matrix y1 = net.forward(x);
+  const Matrix y2 = other.forward(x);
+  EXPECT_FLOAT_EQ(y1(0, 0), y2(0, 0));
+  EXPECT_FLOAT_EQ(y1(0, 1), y2(0, 1));
+}
+
+TEST(Mlp, UnflattenSizeMismatchThrows) {
+  util::Rng rng(3);
+  Mlp net(4, {8}, 2, rng);
+  std::vector<float> wrong(net.param_count() - 1);
+  EXPECT_THROW(net.unflatten(wrong), std::invalid_argument);
+}
+
+TEST(Mlp, CopyIsIndependent) {
+  util::Rng rng(4);
+  Mlp net(3, {5}, 2, rng);
+  Mlp copy = net;
+  EXPECT_EQ(copy.flatten(), net.flatten());
+  std::vector<float> zeros(net.param_count(), 0.0F);
+  net.unflatten(zeros);
+  EXPECT_NE(copy.flatten(), net.flatten());
+}
+
+TEST(Mlp, SerializeDeserializeRoundTrip) {
+  util::Rng rng(5);
+  Mlp net(6, {10}, 4, rng);
+  util::ByteWriter w;
+  net.serialize(w);
+  Mlp other(6, {10}, 4, rng);
+  util::ByteReader r(w.bytes());
+  other.deserialize(r);
+  EXPECT_EQ(other.flatten(), net.flatten());
+}
+
+TEST(Mlp, DeserializeArchitectureMismatchThrows) {
+  util::Rng rng(6);
+  Mlp net(6, {10}, 4, rng);
+  util::ByteWriter w;
+  net.serialize(w);
+  Mlp other(7, {10}, 4, rng);
+  util::ByteReader r(w.bytes());
+  EXPECT_THROW(other.deserialize(r), std::invalid_argument);
+}
+
+TEST(Mlp, ZeroGradClearsAccumulators) {
+  util::Rng rng(7);
+  Mlp net(3, {4}, 2, rng);
+  Matrix x(2, 3, 0.5F);
+  (void)net.forward(x);
+  net.backward(Matrix(2, 2, 1.0F));
+  bool any_nonzero = false;
+  for (const float g : net.flatten_grad())
+    if (g != 0.0F) any_nonzero = true;
+  EXPECT_TRUE(any_nonzero);
+  net.zero_grad();
+  for (const float g : net.flatten_grad()) EXPECT_EQ(g, 0.0F);
+}
+
+TEST(Mlp, SameArchitectureCheck) {
+  util::Rng rng(8);
+  Mlp a(3, {4}, 2, rng);
+  Mlp b(3, {4}, 2, rng);
+  Mlp c(3, {5}, 2, rng);
+  EXPECT_TRUE(a.same_architecture(b));
+  EXPECT_FALSE(a.same_architecture(c));
+}
+
+// --- Adam ---
+
+TEST(Adam, MinimizesQuadratic) {
+  // One 1x1 "network": minimize (w - 3)^2 via explicit gradients.
+  Param w(Matrix(1, 1, std::vector<float>{0.0F}));
+  AdamConfig cfg;
+  cfg.lr = 0.1F;
+  cfg.max_grad_norm = 0.0F;
+  Adam opt({&w}, cfg);
+  for (int i = 0; i < 300; ++i) {
+    w.grad(0, 0) = 2.0F * (w.value(0, 0) - 3.0F);
+    opt.step();
+  }
+  EXPECT_NEAR(w.value(0, 0), 3.0F, 1e-2F);
+  EXPECT_EQ(opt.steps_taken(), 300);
+}
+
+TEST(Adam, GradClipBoundsStepSize) {
+  Param w(Matrix(1, 1, std::vector<float>{0.0F}));
+  AdamConfig cfg;
+  cfg.lr = 1.0F;
+  cfg.max_grad_norm = 0.001F;  // savage clip
+  Adam opt({&w}, cfg);
+  w.grad(0, 0) = 1e6F;
+  opt.step();
+  // Adam normalizes by sqrt(v), so the step is ~lr regardless, but the
+  // clip must not blow up or NaN.
+  EXPECT_TRUE(std::isfinite(w.value(0, 0)));
+  EXPECT_LE(std::fabs(w.value(0, 0)), 1.1F);
+}
+
+TEST(Adam, ResetMomentsRestartsSchedule) {
+  Param w(Matrix(1, 1, std::vector<float>{0.0F}));
+  Adam opt({&w}, AdamConfig{});
+  w.grad(0, 0) = 1.0F;
+  opt.step();
+  EXPECT_EQ(opt.steps_taken(), 1);
+  opt.reset_moments();
+  EXPECT_EQ(opt.steps_taken(), 0);
+}
+
+TEST(Adam, RebindValidatesShapes) {
+  Param a(Matrix(2, 2));
+  Param b(Matrix(2, 2));
+  Param wrong(Matrix(3, 2));
+  Adam opt({&a}, AdamConfig{});
+  EXPECT_NO_THROW(opt.rebind({&b}));
+  EXPECT_THROW(opt.rebind({&wrong}), std::invalid_argument);
+  EXPECT_THROW(opt.rebind({&a, &b}), std::invalid_argument);
+}
+
+TEST(Adam, TrainsMlpOnRegression) {
+  // y = 2x1 - x2; the MLP should fit it far better than init.
+  util::Rng rng(9);
+  Mlp net(2, {16}, 1, rng);
+  AdamConfig cfg;
+  cfg.lr = 0.01F;
+  Adam opt(net.params(), cfg);
+
+  Matrix x(32, 2);
+  Matrix y(32, 1);
+  for (std::size_t i = 0; i < 32; ++i) {
+    x(i, 0) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    x(i, 1) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    y(i, 0) = 2.0F * x(i, 0) - x(i, 1);
+  }
+  auto mse = [&] {
+    const Matrix out = net.forward(x);
+    double acc = 0;
+    for (std::size_t i = 0; i < 32; ++i) {
+      const double d = static_cast<double>(out(i, 0)) - static_cast<double>(y(i, 0));
+      acc += d * d;
+    }
+    return acc / 32.0;
+  };
+  const double before = mse();
+  for (int iter = 0; iter < 500; ++iter) {
+    const Matrix out = net.forward(x);
+    Matrix g(32, 1);
+    for (std::size_t i = 0; i < 32; ++i) g(i, 0) = 2.0F / 32.0F * (out(i, 0) - y(i, 0));
+    net.zero_grad();
+    net.backward(g);
+    opt.step();
+  }
+  EXPECT_LT(mse(), before * 0.05);
+}
+
+}  // namespace
+}  // namespace pfrl::nn

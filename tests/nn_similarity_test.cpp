@@ -1,0 +1,112 @@
+#include "nn/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace pfrl::nn {
+namespace {
+
+TEST(CosineSimilarity, DiagonalIsOne) {
+  util::Rng rng(1);
+  Matrix m(3, 10);
+  for (float& v : m.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const Matrix s = cosine_similarity_matrix(m);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(s(i, i), 1.0F, 1e-5F);
+}
+
+TEST(CosineSimilarity, IsSymmetric) {
+  util::Rng rng(2);
+  Matrix m(4, 8);
+  for (float& v : m.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const Matrix s = cosine_similarity_matrix(m);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(s(i, j), s(j, i), 1e-5F);
+}
+
+TEST(CosineSimilarity, KnownVectors) {
+  Matrix m(3, 2, std::vector<float>{1, 0, 0, 1, -1, 0});
+  const Matrix s = cosine_similarity_matrix(m);
+  EXPECT_NEAR(s(0, 1), 0.0F, 1e-6F);   // orthogonal
+  EXPECT_NEAR(s(0, 2), -1.0F, 1e-6F);  // opposite
+}
+
+TEST(CosineSimilarity, ZeroVectorYieldsZero) {
+  Matrix m(2, 3, std::vector<float>{0, 0, 0, 1, 2, 3});
+  const Matrix s = cosine_similarity_matrix(m);
+  EXPECT_EQ(s(0, 1), 0.0F);
+  EXPECT_EQ(s(0, 0), 0.0F);
+}
+
+TEST(KlDivergence, DiagonalIsZero) {
+  util::Rng rng(3);
+  Matrix m(3, 12);
+  for (float& v : m.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const Matrix d = kl_divergence_matrix(m);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(d(i, i), 0.0F, 1e-5F);
+}
+
+TEST(KlDivergence, NonNegative) {
+  util::Rng rng(4);
+  Matrix m(5, 20);
+  for (float& v : m.flat()) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  const Matrix d = kl_divergence_matrix(m);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j) EXPECT_GE(d(i, j), -1e-5F);
+}
+
+TEST(KlDivergence, IdenticalRowsHaveZeroDivergence) {
+  Matrix m(2, 4, std::vector<float>{1, 2, 3, 4, 1, 2, 3, 4});
+  const Matrix d = kl_divergence_matrix(m);
+  EXPECT_NEAR(d(0, 1), 0.0F, 1e-6F);
+  EXPECT_NEAR(d(1, 0), 0.0F, 1e-6F);
+}
+
+void expect_row_stochastic(const Matrix& w) {
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    double s = 0;
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+      EXPECT_GE(w(i, j), 0.0F);
+      s += static_cast<double>(w(i, j));
+    }
+    EXPECT_NEAR(s, 1.0, 1e-4);
+  }
+}
+
+TEST(WeightGeneration, SimilarityWeightsRowStochastic) {
+  util::Rng rng(5);
+  Matrix m(4, 10);
+  for (float& v : m.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  expect_row_stochastic(weights_from_similarity(cosine_similarity_matrix(m)));
+}
+
+TEST(WeightGeneration, DivergenceWeightsRowStochastic) {
+  util::Rng rng(6);
+  Matrix m(4, 10);
+  for (float& v : m.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  expect_row_stochastic(weights_from_divergence(kl_divergence_matrix(m)));
+}
+
+TEST(WeightGeneration, HigherSimilarityGetsMoreWeight) {
+  Matrix sim(1, 3, std::vector<float>{0.9F, 0.1F, -0.5F});
+  const Matrix w = weights_from_similarity(sim);
+  EXPECT_GT(w(0, 0), w(0, 1));
+  EXPECT_GT(w(0, 1), w(0, 2));
+}
+
+TEST(WeightGeneration, LowerDivergenceGetsMoreWeight) {
+  Matrix div(1, 3, std::vector<float>{0.0F, 1.0F, 5.0F});
+  const Matrix w = weights_from_divergence(div);
+  EXPECT_GT(w(0, 0), w(0, 1));
+  EXPECT_GT(w(0, 1), w(0, 2));
+}
+
+TEST(WeightGeneration, TemperatureSharpensWeights) {
+  Matrix sim(1, 2, std::vector<float>{1.0F, 0.0F});
+  const Matrix soft = weights_from_similarity(sim, 10.0F);
+  const Matrix sharp = weights_from_similarity(sim, 0.1F);
+  EXPECT_GT(sharp(0, 0), soft(0, 0));
+}
+
+}  // namespace
+}  // namespace pfrl::nn

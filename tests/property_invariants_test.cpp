@@ -1,0 +1,138 @@
+// Cross-cutting invariant sweeps: every dataset × several seeds, driven
+// through the full preset → trace → environment → scheduler pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/presets.hpp"
+#include "env/heuristic_policies.hpp"
+#include "env/scheduling_env.hpp"
+#include "workload/catalog.hpp"
+
+namespace pfrl {
+namespace {
+
+struct Case {
+  workload::DatasetId dataset;
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string n = workload::dataset_name(info.param.dataset) + "_s" +
+                  std::to_string(info.param.seed);
+  for (char& c : n)
+    if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+  return n;
+}
+
+class PipelineInvariants : public ::testing::TestWithParam<Case> {
+ protected:
+  static core::ClientPreset preset_for(workload::DatasetId dataset) {
+    core::ClientPreset p = core::table2_clients()[0];
+    p.dataset = dataset;
+    return p;
+  }
+};
+
+TEST_P(PipelineInvariants, TraceSplitPartitionsTasks) {
+  const core::ExperimentScale scale = core::ExperimentScale::tiny();
+  const workload::Trace full =
+      core::make_trace(preset_for(GetParam().dataset), scale, GetParam().seed);
+  const auto [train, test] = workload::split_train_test(full, scale.train_fraction);
+  EXPECT_EQ(train.size() + test.size(), full.size());
+  const double total = workload::total_cpu_seconds(full);
+  EXPECT_NEAR(workload::total_cpu_seconds(train) + workload::total_cpu_seconds(test), total,
+              1e-6 * std::max(1.0, total));
+}
+
+TEST_P(PipelineInvariants, FirstFitEpisodeSatisfiesMetricBounds) {
+  const core::ExperimentScale scale = core::ExperimentScale::tiny();
+  const core::ClientPreset preset = preset_for(GetParam().dataset);
+  const core::FederationLayout layout = core::layout_for({&preset, 1}, scale);
+  const workload::Trace trace = core::make_trace(preset, scale, GetParam().seed);
+
+  double max_duration = 0.0;
+  double mean_duration = 0.0;
+  for (const workload::Task& t : trace) {
+    max_duration = std::max(max_duration, t.duration);
+    mean_duration += t.duration / static_cast<double>(trace.size());
+  }
+
+  env::SchedulingEnv environment(core::make_env_config(preset, layout, scale), trace);
+  env::HeuristicScheduler sched(env::HeuristicPolicy::kFirstFit, GetParam().seed);
+  const sim::EpisodeMetrics m = sched.run_episode(environment);
+
+  EXPECT_EQ(m.completed_tasks, trace.size());
+  // Response = wait + run, so response >= mean run and makespan >= the
+  // longest single task.
+  EXPECT_GE(m.avg_response_time, mean_duration - 1e-9);
+  EXPECT_GE(m.avg_wait_time, 0.0);
+  EXPECT_GE(m.avg_response_time, m.avg_wait_time);
+  EXPECT_GE(m.makespan, max_duration - 1e-9);
+  EXPECT_GE(m.avg_utilization, 0.0);
+  EXPECT_LE(m.avg_utilization, 1.0);
+  EXPECT_GE(m.avg_load_balance, 0.0);
+  EXPECT_TRUE(std::isfinite(m.total_reward));
+  EXPECT_EQ(m.invalid_actions, 0u);
+}
+
+TEST_P(PipelineInvariants, EpisodesAreDeterministicGivenSeed) {
+  const core::ExperimentScale scale = core::ExperimentScale::tiny();
+  const core::ClientPreset preset = preset_for(GetParam().dataset);
+  const core::FederationLayout layout = core::layout_for({&preset, 1}, scale);
+
+  const auto run_once = [&] {
+    env::SchedulingEnv environment(core::make_env_config(preset, layout, scale),
+                                   core::make_trace(preset, scale, GetParam().seed));
+    env::HeuristicScheduler sched(env::HeuristicPolicy::kRandom, GetParam().seed + 1);
+    return sched.run_episode(environment);
+  };
+  const sim::EpisodeMetrics a = run_once();
+  const sim::EpisodeMetrics b = run_once();
+  EXPECT_DOUBLE_EQ(a.avg_response_time, b.avg_response_time);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.total_reward, b.total_reward);
+  EXPECT_EQ(a.steps, b.steps);
+}
+
+TEST_P(PipelineInvariants, HybridMixPreservesScheduleability) {
+  const core::ExperimentScale scale = core::ExperimentScale::tiny();
+  const core::ClientPreset preset = preset_for(GetParam().dataset);
+  const core::FederationLayout layout = core::layout_for(core::table2_clients(), scale);
+  const workload::Trace own = core::make_trace(preset, scale, GetParam().seed);
+  // Donors come from the other Table 2 clients, whose tasks may be bigger
+  // than this cluster's machines — the env must still terminate because
+  // the clock advances on justified no-ops.
+  std::vector<workload::Trace> others;
+  for (const core::ClientPreset& other : core::table2_clients())
+    others.push_back(core::make_trace(other, scale, GetParam().seed + 5));
+  util::Rng rng(GetParam().seed + 9);
+  const workload::Trace mixed = workload::hybrid_mix(own, others, 0.5, rng);
+  EXPECT_EQ(mixed.size(), own.size());
+
+  env::SchedulingEnvConfig cfg = core::make_env_config(preset, layout, scale);
+  cfg.max_steps = 20000;
+  env::SchedulingEnv environment(cfg, mixed);
+  env::HeuristicScheduler sched(env::HeuristicPolicy::kBestFit, GetParam().seed);
+  const sim::EpisodeMetrics m = sched.run_episode(environment);
+  EXPECT_GT(m.completed_tasks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, PipelineInvariants,
+    ::testing::Values(Case{workload::DatasetId::kGoogle, 1},
+                      Case{workload::DatasetId::kGoogle, 2},
+                      Case{workload::DatasetId::kAlibaba2017, 1},
+                      Case{workload::DatasetId::kAlibaba2018, 1},
+                      Case{workload::DatasetId::kHpcKs, 1},
+                      Case{workload::DatasetId::kHpcHf, 1},
+                      Case{workload::DatasetId::kHpcWz, 1},
+                      Case{workload::DatasetId::kKvm2019, 1},
+                      Case{workload::DatasetId::kKvm2020, 1},
+                      Case{workload::DatasetId::kCeritSc, 1},
+                      Case{workload::DatasetId::kK8s, 1},
+                      Case{workload::DatasetId::kK8s, 7}),
+    case_name);
+
+}  // namespace
+}  // namespace pfrl

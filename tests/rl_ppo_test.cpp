@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rl/dual_critic_ppo.hpp"
+#include "rl/ppo.hpp"
+
+namespace pfrl::rl {
+namespace {
+
+/// Contextual bandit: reward +1 when the action equals argmax(state).
+class BanditEnv final : public env::Env {
+ public:
+  explicit BanditEnv(std::uint64_t seed) : rng_(seed) { roll(); }
+
+  void reset() override {
+    steps_ = 0;
+    roll();
+  }
+  std::size_t state_dim() const override { return 3; }
+  int action_count() const override { return 3; }
+  void observe(std::span<float> out) const override {
+    std::copy(state_.begin(), state_.end(), out.begin());
+  }
+  env::StepResult step(int action) override {
+    env::StepResult r;
+    r.reward = action == best_action() ? 1.0 : -1.0;
+    roll();
+    r.done = ++steps_ >= 64;
+    return r;
+  }
+  std::vector<bool> valid_actions() const override { return {true, true, true}; }
+
+  int best_action() const {
+    int best = 0;
+    for (int i = 1; i < 3; ++i)
+      if (state_[static_cast<std::size_t>(i)] > state_[static_cast<std::size_t>(best)]) best = i;
+    return best;
+  }
+
+ private:
+  void roll() {
+    for (float& v : state_) v = static_cast<float>(rng_.uniform());
+  }
+  util::Rng rng_;
+  std::vector<float> state_{0, 0, 0};
+  int steps_ = 0;
+};
+
+double greedy_accuracy(PpoAgent& agent, std::uint64_t seed, int trials = 300) {
+  util::Rng rng(seed);
+  int correct = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<float> s(3);
+    for (float& v : s) v = static_cast<float>(rng.uniform());
+    int best = 0;
+    for (int i = 1; i < 3; ++i)
+      if (s[static_cast<std::size_t>(i)] > s[static_cast<std::size_t>(best)]) best = i;
+    if (agent.act_greedy(s) == best) ++correct;
+  }
+  return static_cast<double>(correct) / trials;
+}
+
+TEST(PpoAgent, LearnsContextualBandit) {
+  BanditEnv env(99);
+  PpoConfig cfg;
+  cfg.seed = 3;
+  cfg.update_epochs = 10;
+  PpoAgent agent(3, 3, cfg);
+  const double before = greedy_accuracy(agent, 1234);
+  for (int ep = 0; ep < 150; ++ep) (void)agent.train_episode(env);
+  const double after = greedy_accuracy(agent, 1234);
+  EXPECT_GT(after, 0.8);
+  EXPECT_GT(after, before + 0.2);
+}
+
+TEST(PpoAgent, DualCriticAlsoLearnsBandit) {
+  BanditEnv env(7);
+  PpoConfig cfg;
+  cfg.seed = 5;
+  cfg.update_epochs = 10;
+  DualCriticPpoAgent agent(3, 3, cfg);
+  for (int ep = 0; ep < 150; ++ep) (void)agent.train_episode(env);
+  EXPECT_GT(greedy_accuracy(agent, 777), 0.75);
+}
+
+TEST(PpoAgent, ActStochasticReportsLogProbAndValue) {
+  PpoConfig cfg;
+  cfg.seed = 1;
+  PpoAgent agent(3, 3, cfg);
+  float log_prob = 1.0F;
+  float value = -99.0F;
+  const std::vector<float> s{0.1F, 0.2F, 0.3F};
+  const int a = agent.act_stochastic(s, log_prob, value);
+  EXPECT_GE(a, 0);
+  EXPECT_LT(a, 3);
+  EXPECT_LT(log_prob, 0.0F);  // log of a probability < 1
+  EXPECT_TRUE(std::isfinite(value));
+}
+
+TEST(PpoAgent, CriticRegressionReducesLoss) {
+  PpoConfig cfg;
+  cfg.seed = 11;
+  cfg.update_epochs = 30;
+  cfg.critic_lr = 1e-2F;
+  PpoAgent agent(2, 2, cfg);
+
+  RolloutBuffer buffer;
+  util::Rng rng(13);
+  for (int i = 0; i < 64; ++i) {
+    Transition t;
+    t.state = {static_cast<float>(rng.uniform()), static_cast<float>(rng.uniform())};
+    t.action = 0;
+    t.reward = 2.0 * t.state[0];  // value depends on state
+    t.log_prob = -0.7F;
+    t.value = 0.0F;
+    t.done = true;  // one-step episodes: return == reward
+    buffer.add(t);
+  }
+  const double before = agent.critic_loss_on(agent.critic(), buffer);
+  agent.update(buffer);
+  const double after = agent.critic_loss_on(agent.critic(), buffer);
+  EXPECT_LT(after, before);
+  EXPECT_GT(agent.last_critic_loss(), 0.0);
+}
+
+TEST(PpoAgent, LoadActorRoundTrip) {
+  PpoConfig cfg;
+  cfg.seed = 21;
+  PpoAgent a(4, 3, cfg);
+  cfg.seed = 22;
+  PpoAgent b(4, 3, cfg);
+  const std::vector<float> theta = a.actor().flatten();
+  b.load_actor(theta);
+  EXPECT_EQ(b.actor().flatten(), theta);
+}
+
+TEST(PpoAgent, LoadCriticRoundTrip) {
+  PpoConfig cfg;
+  cfg.seed = 23;
+  PpoAgent a(4, 3, cfg);
+  cfg.seed = 24;
+  PpoAgent b(4, 3, cfg);
+  const std::vector<float> phi = a.critic().flatten();
+  b.load_critic(phi);
+  EXPECT_EQ(b.critic().flatten(), phi);
+}
+
+TEST(PpoAgent, InvalidActionCountThrows) {
+  PpoConfig cfg;
+  EXPECT_THROW(PpoAgent(4, 0, cfg), std::invalid_argument);
+}
+
+TEST(DualCritic, ValueBatchMixesWithAlpha) {
+  PpoConfig cfg;
+  cfg.seed = 31;
+  DualCriticPpoAgent agent(2, 2, cfg);
+  // alpha starts at 0.5 (no buffer yet).
+  EXPECT_DOUBLE_EQ(agent.alpha(), 0.5);
+
+  nn::Matrix states(3, 2, std::vector<float>{0.1F, 0.2F, -0.3F, 0.4F, 0.5F, -0.6F});
+  const nn::Matrix local = agent.local_critic().forward(states);
+  const nn::Matrix pub = agent.public_critic().forward(states);
+  const nn::Matrix mixed = agent.value_batch(states);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(mixed(i, 0), 0.5F * local(i, 0) + 0.5F * pub(i, 0), 1e-5F);
+}
+
+TEST(DualCritic, AlphaStaysInUnitInterval) {
+  BanditEnv env(55);
+  PpoConfig cfg;
+  cfg.seed = 41;
+  DualCriticPpoAgent agent(3, 3, cfg);
+  for (int ep = 0; ep < 10; ++ep) {
+    (void)agent.train_episode(env);
+    EXPECT_GE(agent.alpha(), 0.0);
+    EXPECT_LE(agent.alpha(), 1.0);
+  }
+}
+
+TEST(DualCritic, AlphaShiftsTowardBetterCritic) {
+  // Train normally, then corrupt the *public* critic: α (the local
+  // critic's weight) must rise above 0.5 — the Eq. 15 mechanism that
+  // protects clients from a bad aggregated model.
+  BanditEnv env(66);
+  PpoConfig cfg;
+  cfg.seed = 51;
+  DualCriticPpoAgent agent(3, 3, cfg);
+  for (int ep = 0; ep < 20; ++ep) (void)agent.train_episode(env);
+
+  std::vector<float> garbage(agent.public_critic().param_count());
+  util::Rng rng(3);
+  for (float& v : garbage) v = static_cast<float>(rng.uniform(-30.0, 30.0));
+  agent.load_public_critic(garbage);
+  EXPECT_GT(agent.alpha(), 0.5);
+  EXPECT_GT(agent.last_public_critic_loss(), agent.last_local_critic_loss());
+}
+
+TEST(DualCritic, LoadPublicCriticKeepsLocalUntouched) {
+  PpoConfig cfg;
+  cfg.seed = 61;
+  DualCriticPpoAgent agent(2, 2, cfg);
+  const std::vector<float> local_before = agent.local_critic().flatten();
+  std::vector<float> psi(agent.public_critic().param_count(), 0.25F);
+  agent.load_public_critic(psi);
+  EXPECT_EQ(agent.public_critic().flatten(), psi);
+  EXPECT_EQ(agent.local_critic().flatten(), local_before);
+}
+
+TEST(SampleCategorical, RespectsDistribution) {
+  util::Rng rng(71);
+  const std::vector<float> logits{0.0F, 2.0F, -1.0F};  // softmax ≈ {.11,.79,.10}... approx
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 20000; ++i) {
+    float lp = 0;
+    ++counts[static_cast<std::size_t>(sample_categorical(logits, rng, lp))];
+    EXPECT_LE(lp, 0.0F);
+  }
+  EXPECT_GT(counts[1], counts[0] * 4);
+  EXPECT_GT(counts[1], counts[2] * 4);
+}
+
+TEST(SampleCategorical, LogProbMatchesSoftmax) {
+  util::Rng rng(81);
+  const std::vector<float> logits{1.0F, 2.0F, 3.0F};
+  float lp = 0;
+  const int a = sample_categorical(logits, rng, lp);
+  // softmax denominator
+  double z = 0;
+  for (const float l : logits) z += std::exp(static_cast<double>(l) - 3.0);
+  const double expected =
+      (static_cast<double>(logits[static_cast<std::size_t>(a)]) - 3.0) - std::log(z);
+  EXPECT_NEAR(lp, expected, 1e-5);
+}
+
+TEST(ArgmaxAction, PicksLargest) {
+  const std::vector<float> logits{0.1F, -5.0F, 7.0F, 2.0F};
+  EXPECT_EQ(argmax_action(logits), 2);
+}
+
+}  // namespace
+}  // namespace pfrl::rl

@@ -1,0 +1,138 @@
+#include "rl/rollout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pfrl::rl {
+namespace {
+
+Transition make_t(double reward, float value, bool done, std::vector<float> state = {0.0F}) {
+  Transition t;
+  t.state = std::move(state);
+  t.reward = reward;
+  t.value = value;
+  t.done = done;
+  return t;
+}
+
+TEST(RolloutBuffer, ReturnsHandComputed) {
+  RolloutBuffer b;
+  b.add(make_t(1.0, 0, false));
+  b.add(make_t(2.0, 0, false));
+  b.add(make_t(3.0, 0, true));
+  const auto r = b.compute_returns(0.5);
+  // r2 = 3; r1 = 2 + 0.5*3 = 3.5; r0 = 1 + 0.5*3.5 = 2.75
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_FLOAT_EQ(r[2], 3.0F);
+  EXPECT_FLOAT_EQ(r[1], 3.5F);
+  EXPECT_FLOAT_EQ(r[0], 2.75F);
+}
+
+TEST(RolloutBuffer, ReturnsResetAtEpisodeBoundary) {
+  RolloutBuffer b;
+  b.add(make_t(1.0, 0, true));   // episode 1 ends
+  b.add(make_t(10.0, 0, false)); // episode 2
+  b.add(make_t(20.0, 0, true));
+  const auto r = b.compute_returns(1.0);
+  EXPECT_FLOAT_EQ(r[0], 1.0F);
+  EXPECT_FLOAT_EQ(r[1], 30.0F);
+  EXPECT_FLOAT_EQ(r[2], 20.0F);
+}
+
+TEST(RolloutBuffer, GaeHandComputed) {
+  // Two steps, gamma = 0.5, lambda = 0.5, values v0 = 1, v1 = 2.
+  // delta1 = r1 - v1 = 3 - 2 = 1           (terminal)
+  // delta0 = r0 + 0.5*v1 - v0 = 1 + 1 - 1 = 1
+  // A1 = 1; A0 = delta0 + 0.25*A1 = 1.25
+  RolloutBuffer b;
+  b.add(make_t(1.0, 1.0F, false));
+  b.add(make_t(3.0, 2.0F, true));
+  const auto gae = b.compute_gae(0.5, 0.5, /*normalize=*/false);
+  ASSERT_EQ(gae.advantages.size(), 2u);
+  EXPECT_FLOAT_EQ(gae.advantages[1], 1.0F);
+  EXPECT_FLOAT_EQ(gae.advantages[0], 1.25F);
+  EXPECT_FLOAT_EQ(gae.returns[0], 2.25F);  // A + V
+  EXPECT_FLOAT_EQ(gae.returns[1], 3.0F);
+}
+
+TEST(RolloutBuffer, GaeLambdaOneEqualsMonteCarloAdvantage) {
+  RolloutBuffer b;
+  b.add(make_t(1.0, 0.3F, false));
+  b.add(make_t(-2.0, -0.1F, false));
+  b.add(make_t(0.5, 0.8F, true));
+  const double gamma = 0.9;
+  const auto returns = b.compute_returns(gamma);
+  const auto mc = b.compute_advantages(returns, false);
+  const auto gae = b.compute_gae(gamma, 1.0, false);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(gae.advantages[i], mc[i], 1e-5F);
+}
+
+TEST(RolloutBuffer, GaeLambdaZeroIsTdError) {
+  RolloutBuffer b;
+  b.add(make_t(1.0, 0.5F, false));
+  b.add(make_t(2.0, 1.5F, true));
+  const auto gae = b.compute_gae(0.9, 0.0, false);
+  EXPECT_NEAR(gae.advantages[0], 1.0 + 0.9 * 1.5 - 0.5, 1e-6);
+  EXPECT_NEAR(gae.advantages[1], 2.0 - 1.5, 1e-6);
+}
+
+TEST(RolloutBuffer, GaeDoesNotBleedAcrossEpisodes) {
+  RolloutBuffer b;
+  b.add(make_t(100.0, 0.0F, true));  // huge terminal reward, episode 1
+  b.add(make_t(0.0, 0.0F, true));    // episode 2 must not see it
+  const auto gae = b.compute_gae(0.99, 0.95, false);
+  EXPECT_FLOAT_EQ(gae.advantages[1], 0.0F);
+}
+
+TEST(RolloutBuffer, NormalizedAdvantagesAreStandardized) {
+  RolloutBuffer b;
+  for (int i = 0; i < 50; ++i)
+    b.add(make_t(static_cast<double>(i % 7), static_cast<float>(i % 3), i == 49));
+  const auto gae = b.compute_gae(0.99, 0.95, true);
+  double mean = 0;
+  for (const float a : gae.advantages) mean += static_cast<double>(a);
+  mean /= 50.0;
+  double var = 0;
+  for (const float a : gae.advantages)
+    var += (static_cast<double>(a) - mean) * (static_cast<double>(a) - mean);
+  var /= 50.0;
+  EXPECT_NEAR(mean, 0.0, 1e-4);
+  EXPECT_NEAR(std::sqrt(var), 1.0, 1e-3);
+}
+
+TEST(RolloutBuffer, AdvantagesSizeMismatchThrows) {
+  RolloutBuffer b;
+  b.add(make_t(1.0, 0.0F, true));
+  const std::vector<float> wrong(3);
+  EXPECT_THROW((void)b.compute_advantages(wrong, false), std::invalid_argument);
+}
+
+TEST(RolloutBuffer, StateMatrixStacksRows) {
+  RolloutBuffer b;
+  b.add(make_t(0, 0, false, {1.0F, 2.0F}));
+  b.add(make_t(0, 0, true, {3.0F, 4.0F}));
+  const nn::Matrix m = b.state_matrix();
+  ASSERT_EQ(m.rows(), 2u);
+  ASSERT_EQ(m.cols(), 2u);
+  EXPECT_FLOAT_EQ(m(1, 0), 3.0F);
+  EXPECT_FLOAT_EQ(m(1, 1), 4.0F);
+}
+
+TEST(RolloutBuffer, StateMatrixInconsistentDimsThrow) {
+  RolloutBuffer b;
+  b.add(make_t(0, 0, false, {1.0F, 2.0F}));
+  b.add(make_t(0, 0, true, {3.0F}));
+  EXPECT_THROW((void)b.state_matrix(), std::invalid_argument);
+}
+
+TEST(RolloutBuffer, ClearEmptiesBuffer) {
+  RolloutBuffer b;
+  b.add(make_t(1, 0, true));
+  EXPECT_EQ(b.size(), 1u);
+  b.clear();
+  EXPECT_TRUE(b.empty());
+}
+
+}  // namespace
+}  // namespace pfrl::rl

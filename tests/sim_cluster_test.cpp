@@ -1,0 +1,248 @@
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/metrics.hpp"
+
+namespace pfrl::sim {
+namespace {
+
+workload::Task make_task(double arrival, int vcpus, double mem, double duration) {
+  workload::Task t;
+  t.arrival_time = arrival;
+  t.vcpus = vcpus;
+  t.memory_gb = mem;
+  t.duration = duration;
+  return t;
+}
+
+ClusterConfig two_vm_config() {
+  ClusterConfig cfg;
+  cfg.specs = {{4, 16.0, 2}};
+  return cfg;
+}
+
+TEST(Cluster, ConstructionValidates) {
+  EXPECT_THROW(Cluster(ClusterConfig{}, {}), std::invalid_argument);
+  ClusterConfig bad = two_vm_config();
+  bad.tick_seconds = 0.0;
+  EXPECT_THROW(Cluster(bad, {}), std::invalid_argument);
+}
+
+TEST(Cluster, ExpandsSpecsIntoVms) {
+  ClusterConfig cfg;
+  cfg.specs = {{4, 16.0, 2}, {8, 32.0, 1}};
+  Cluster c(cfg, {});
+  ASSERT_EQ(c.vm_count(), 3u);
+  EXPECT_EQ(c.vms()[0].vcpu_capacity(), 4);
+  EXPECT_EQ(c.vms()[2].vcpu_capacity(), 8);
+  EXPECT_TRUE(c.all_done());
+}
+
+TEST(Cluster, AdmitsArrivalsAtConstructionAndTicks) {
+  workload::Trace trace{make_task(0.0, 1, 1, 5), make_task(1.5, 1, 1, 5),
+                        make_task(10.0, 1, 1, 5)};
+  Cluster c(two_vm_config(), trace);
+  EXPECT_EQ(c.queue().size(), 1u);  // t = 0 arrival
+  (void)c.tick();                   // now = 1
+  EXPECT_EQ(c.queue().size(), 1u);
+  (void)c.tick();  // now = 2, second task arrived
+  EXPECT_EQ(c.queue().size(), 2u);
+}
+
+TEST(Cluster, ScheduleHeadPlacesAndPredicts) {
+  workload::Trace trace{make_task(0.0, 2, 8, 7.0)};
+  Cluster c(two_vm_config(), trace);
+  const Completion placed = c.schedule_head(0);
+  EXPECT_DOUBLE_EQ(placed.start_time, 0.0);
+  EXPECT_DOUBLE_EQ(placed.finish_time, 7.0);
+  EXPECT_DOUBLE_EQ(placed.wait_time(), 0.0);
+  EXPECT_DOUBLE_EQ(placed.response_time(), 7.0);
+  EXPECT_TRUE(c.queue().empty());
+  EXPECT_EQ(c.vms()[0].free_vcpus(), 2);
+}
+
+TEST(Cluster, ScheduleHeadErrors) {
+  workload::Trace trace{make_task(0.0, 5, 1, 1.0)};  // 5 vcpus > any VM
+  Cluster c(two_vm_config(), trace);
+  EXPECT_THROW(c.schedule_head(9), std::out_of_range);
+  EXPECT_THROW(c.schedule_head(0), std::logic_error);  // does not fit
+  Cluster empty(two_vm_config(), {});
+  EXPECT_THROW(empty.schedule_head(0), std::logic_error);
+}
+
+TEST(Cluster, TickCompletesTasks) {
+  workload::Trace trace{make_task(0.0, 1, 1, 1.0)};
+  Cluster c(two_vm_config(), trace);
+  (void)c.schedule_head(0);
+  const auto done = c.tick();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0].finish_time, 1.0);
+  EXPECT_TRUE(c.all_done());
+}
+
+TEST(Cluster, OutstandingCountsAllStages) {
+  workload::Trace trace{make_task(0.0, 1, 1, 5), make_task(100.0, 1, 1, 5)};
+  Cluster c(two_vm_config(), trace);
+  EXPECT_EQ(c.outstanding_tasks(), 2u);  // 1 queued + 1 future
+  (void)c.schedule_head(0);
+  EXPECT_EQ(c.outstanding_tasks(), 2u);  // 1 running + 1 future
+  for (int i = 0; i < 6; ++i) (void)c.tick();
+  EXPECT_EQ(c.outstanding_tasks(), 1u);  // only the future arrival
+}
+
+TEST(Cluster, FastForwardJumpsToNextArrival) {
+  workload::Trace trace{make_task(50.0, 1, 1, 5)};
+  Cluster c(two_vm_config(), trace);
+  EXPECT_TRUE(c.queue().empty());
+  (void)c.fast_forward();
+  EXPECT_GE(c.now(), 50.0);
+  EXPECT_LT(c.now(), 51.0 + 1e-9);  // tick-aligned jump
+  EXPECT_EQ(c.queue().size(), 1u);
+}
+
+TEST(Cluster, FastForwardCollectsCompletions) {
+  workload::Trace trace{make_task(0.0, 1, 1, 3.0)};
+  Cluster c(two_vm_config(), trace);
+  (void)c.schedule_head(0);
+  const auto done = c.fast_forward();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0].finish_time, 3.0);
+}
+
+TEST(Cluster, FastForwardNoopWhenQueueNonEmpty) {
+  workload::Trace trace{make_task(0.0, 1, 1, 3.0)};
+  Cluster c(two_vm_config(), trace);
+  const double before = c.now();
+  EXPECT_TRUE(c.fast_forward().empty());
+  EXPECT_DOUBLE_EQ(c.now(), before);
+}
+
+TEST(Cluster, AdvanceUntilJumpsTickAligned) {
+  workload::Trace trace{make_task(0.0, 1, 1, 3.0)};
+  Cluster c(two_vm_config(), trace);
+  (void)c.schedule_head(0);
+  const auto done = c.advance_until(7.3);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_GE(c.now(), 7.3);
+  EXPECT_LT(c.now(), 8.0 + 1e-9);
+  // No-op when target is in the past.
+  EXPECT_TRUE(c.advance_until(1.0).empty());
+}
+
+TEST(Cluster, InjectTaskEntersQueueImmediately) {
+  Cluster c(two_vm_config(), {});
+  EXPECT_TRUE(c.all_done());
+  c.inject_task(make_task(0.0, 1, 1, 5.0));
+  EXPECT_EQ(c.queue().size(), 1u);
+  EXPECT_FALSE(c.all_done());
+  (void)c.schedule_head(0);
+  const auto done = c.advance_until(5.0);
+  EXPECT_EQ(done.size(), 1u);
+  EXPECT_TRUE(c.all_done());
+}
+
+TEST(Cluster, AnyVmFitsChecksAll) {
+  ClusterConfig cfg;
+  cfg.specs = {{2, 4.0, 1}, {8, 64.0, 1}};
+  Cluster c(cfg, {});
+  EXPECT_TRUE(c.any_vm_fits(make_task(0, 8, 64, 1)));
+  EXPECT_FALSE(c.any_vm_fits(make_task(0, 9, 1, 1)));
+}
+
+TEST(Cluster, LoadBalanceZeroWhenUniform) {
+  Cluster c(two_vm_config(), {});
+  EXPECT_DOUBLE_EQ(c.load_balance(), 0.0);  // both VMs fully idle
+}
+
+TEST(Cluster, LoadBalanceMatchesHandComputation) {
+  // Two identical VMs; put a 2-vCPU, 8-GB task on VM 0 only.
+  workload::Trace trace{make_task(0.0, 2, 8.0, 100.0)};
+  Cluster c(two_vm_config(), trace);
+  (void)c.schedule_head(0);
+  // vCPU remaining loads: {0.5, 1.0} -> mean 0.75, stddev 0.25.
+  // Memory remaining loads: {0.5, 1.0} -> same. Weighted 0.5/0.5 -> 0.25.
+  EXPECT_NEAR(c.load_balance(), 0.25, 1e-9);
+}
+
+TEST(Cluster, UtilizationAggregates) {
+  workload::Trace trace{make_task(0.0, 2, 8.0, 100.0)};
+  Cluster c(two_vm_config(), trace);
+  (void)c.schedule_head(0);
+  EXPECT_NEAR(c.mean_utilization(0), 0.25, 1e-9);  // (0.5 + 0) / 2
+  EXPECT_NEAR(c.mean_utilization(1), 0.25, 1e-9);
+  EXPECT_NEAR(c.weighted_utilization(), 0.25, 1e-9);
+}
+
+TEST(Cluster, GreedyDrainCompletesEverything) {
+  // Property: first-fit on every tick eventually completes every task.
+  workload::Trace trace;
+  util::Rng rng(99);
+  for (int i = 0; i < 60; ++i)
+    trace.push_back(make_task(rng.uniform(0.0, 30.0), 1 + static_cast<int>(rng.uniform_int(0, 3)),
+                              rng.uniform(0.5, 8.0), rng.uniform(1.0, 10.0)));
+  workload::normalize(trace);
+  Cluster c(two_vm_config(), trace);
+  std::size_t completed = 0;
+  for (int step = 0; step < 10000 && !c.all_done(); ++step) {
+    bool placed = true;
+    while (placed && !c.queue().empty()) {
+      placed = false;
+      for (std::size_t vm = 0; vm < c.vm_count(); ++vm) {
+        if (c.vm_fits_head(vm)) {
+          (void)c.schedule_head(vm);
+          placed = true;
+          break;
+        }
+      }
+    }
+    completed += c.tick().size();
+    if (c.queue().empty()) completed += c.fast_forward().size();
+  }
+  EXPECT_TRUE(c.all_done());
+  EXPECT_EQ(completed, trace.size());
+}
+
+TEST(MetricsCollector, AggregatesCompletionsAndTicks) {
+  MetricsCollector collector;
+  Completion c1;
+  c1.task = make_task(0.0, 1, 1, 4.0);
+  c1.start_time = 1.0;
+  c1.finish_time = 5.0;
+  Completion c2;
+  c2.task = make_task(2.0, 1, 1, 2.0);
+  c2.start_time = 6.0;
+  c2.finish_time = 8.0;
+  collector.record_completion(c1);
+  collector.record_completion(c2);
+
+  const EpisodeMetrics m = collector.finalize();
+  EXPECT_EQ(m.completed_tasks, 2u);
+  EXPECT_DOUBLE_EQ(m.avg_response_time, (5.0 + 6.0) / 2.0);
+  EXPECT_DOUBLE_EQ(m.avg_wait_time, (1.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(m.makespan, 8.0);
+}
+
+TEST(MetricsCollector, EmptyEpisode) {
+  MetricsCollector collector;
+  const EpisodeMetrics m = collector.finalize();
+  EXPECT_EQ(m.completed_tasks, 0u);
+  EXPECT_DOUBLE_EQ(m.avg_response_time, 0.0);
+  EXPECT_DOUBLE_EQ(m.makespan, 0.0);
+}
+
+TEST(MetricsCollector, TickSamplesAverage) {
+  MetricsCollector collector;
+  workload::Trace trace{make_task(0.0, 2, 8.0, 100.0)};
+  Cluster c(two_vm_config(), trace);
+  collector.record_tick(c);  // idle: util 0
+  (void)c.schedule_head(0);
+  collector.record_tick(c);  // util 0.25
+  const EpisodeMetrics m = collector.finalize();
+  EXPECT_NEAR(m.avg_utilization, 0.125, 1e-9);
+}
+
+}  // namespace
+}  // namespace pfrl::sim

@@ -1,0 +1,147 @@
+// Power model, time-weighted metric sampling, metric averaging, and the
+// energy reward extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "env/reward.hpp"
+#include "env/scheduling_env.hpp"
+#include "sim/metrics.hpp"
+
+namespace pfrl::sim {
+namespace {
+
+workload::Task make_task(double arrival, int vcpus, double mem, double duration) {
+  workload::Task t;
+  t.arrival_time = arrival;
+  t.vcpus = vcpus;
+  t.memory_gb = mem;
+  t.duration = duration;
+  return t;
+}
+
+ClusterConfig two_vm_config() {
+  ClusterConfig cfg;
+  cfg.specs = {{4, 16.0, 2}};
+  cfg.power.idle_watts = 100.0;
+  cfg.power.watts_per_vcpu = 10.0;
+  cfg.power.sleeping_fraction = 0.3;
+  return cfg;
+}
+
+TEST(Power, SleepingClusterDrawsParkedPower) {
+  Cluster c(two_vm_config(), {});
+  // Both VMs empty -> 2 * 100 * 0.3.
+  EXPECT_DOUBLE_EQ(c.power_draw(), 60.0);
+}
+
+TEST(Power, ActiveVmPaysIdlePlusPerVcpu) {
+  workload::Trace trace{make_task(0, 2, 4.0, 50.0)};
+  Cluster c(two_vm_config(), trace);
+  (void)c.schedule_head(0);
+  // VM0 awake: 100 + 2*10; VM1 parked: 30.
+  EXPECT_DOUBLE_EQ(c.power_draw(), 150.0);
+}
+
+TEST(Power, MaxPowerIsFullyLoadedCluster) {
+  Cluster c(two_vm_config(), {});
+  EXPECT_DOUBLE_EQ(c.max_power_draw(), 2 * (100.0 + 4 * 10.0));
+}
+
+TEST(Power, ConsolidationDrawsLessThanSpreading) {
+  workload::Trace trace{make_task(0, 1, 1.0, 50.0), make_task(0, 1, 1.0, 50.0)};
+  Cluster packed(two_vm_config(), trace);
+  (void)packed.schedule_head(0);
+  (void)packed.schedule_head(0);  // both on VM 0
+
+  Cluster spread(two_vm_config(), trace);
+  (void)spread.schedule_head(0);
+  (void)spread.schedule_head(1);  // one each
+  EXPECT_LT(packed.power_draw(), spread.power_draw());
+}
+
+TEST(Metrics, RecordPeriodWeightsByDuration) {
+  MetricsCollector collector;
+  collector.record_period(1.0, 0.0, 1.0);   // 1 tick at util 1
+  collector.record_period(0.0, 0.0, 3.0);   // 3 ticks at util 0
+  const EpisodeMetrics m = collector.finalize();
+  EXPECT_NEAR(m.avg_utilization, 0.25, 1e-12);
+}
+
+TEST(Metrics, AverageMetricsFieldwise) {
+  EpisodeMetrics a;
+  a.avg_response_time = 10;
+  a.makespan = 100;
+  a.completed_tasks = 4;
+  EpisodeMetrics b;
+  b.avg_response_time = 20;
+  b.makespan = 300;
+  b.completed_tasks = 6;
+  const std::vector<EpisodeMetrics> runs{a, b};
+  const EpisodeMetrics avg = average_metrics(runs);
+  EXPECT_DOUBLE_EQ(avg.avg_response_time, 15.0);
+  EXPECT_DOUBLE_EQ(avg.makespan, 200.0);
+  EXPECT_EQ(avg.completed_tasks, 5u);
+}
+
+TEST(Metrics, AverageMetricsEmptyIsZero) {
+  const EpisodeMetrics avg = average_metrics({});
+  EXPECT_DOUBLE_EQ(avg.avg_response_time, 0.0);
+  EXPECT_EQ(avg.completed_tasks, 0u);
+}
+
+TEST(EnergyReward, ZeroWeightReproducesPaperReward) {
+  workload::Trace trace{make_task(0, 2, 8.0, 10.0)};
+  env::SchedulingEnvConfig cfg;
+  cfg.cluster = two_vm_config();
+  cfg.max_vms = 2;
+  cfg.max_vcpus_per_vm = 4;
+  cfg.max_memory_gb = 16.0;
+  cfg.queue_window = 2;
+  cfg.reward.energy_weight = 0.0;
+  env::SchedulingEnv env(cfg, trace);
+  const env::StepResult r = env.step(0);
+  EXPECT_NEAR(r.reward, 0.5 * std::exp(1.0) + 0.5 * (-0.25), 1e-6);
+}
+
+TEST(EnergyReward, WakingASleepingVmIsPenalizedRelativeToPacking) {
+  // Two tasks; first placed on VM 0. With energy in the reward, placing
+  // the second on the already-awake VM 0 must out-reward waking VM 1.
+  const auto run_second_placement = [](std::size_t vm) {
+    workload::Trace trace{make_task(0, 1, 1.0, 10.0), make_task(0, 1, 1.0, 10.0)};
+    env::SchedulingEnvConfig cfg;
+    cfg.cluster = two_vm_config();
+    cfg.max_vms = 2;
+    cfg.max_vcpus_per_vm = 4;
+    cfg.max_memory_gb = 16.0;
+    cfg.queue_window = 2;
+    cfg.reward.energy_weight = 1.0;  // pure energy objective
+    env::SchedulingEnv env(cfg, trace);
+    (void)env.step(0);
+    return env.step(static_cast<int>(vm)).reward;
+  };
+  const double pack = run_second_placement(0);
+  const double wake = run_second_placement(1);
+  EXPECT_NEAR(pack, 1.0, 1e-9);  // minimal possible power increment
+  EXPECT_LT(wake, pack);
+}
+
+TEST(EnergyReward, InvalidPenaltyUnchangedByEnergyWeight) {
+  workload::Trace trace{make_task(0, 4, 16.0, 10.0), make_task(0, 4, 16.0, 10.0),
+                        make_task(0, 1, 1.0, 10.0)};
+  env::SchedulingEnvConfig cfg;
+  cfg.cluster = two_vm_config();
+  cfg.max_vms = 2;
+  cfg.max_vcpus_per_vm = 4;
+  cfg.max_memory_gb = 16.0;
+  cfg.queue_window = 3;
+  cfg.reward.energy_weight = 0.7;
+  env::SchedulingEnv env(cfg, trace);
+  (void)env.step(0);
+  (void)env.step(1);  // both VMs now full
+  const env::StepResult r = env.step(0);  // head (1 vCPU) cannot fit VM 0
+  EXPECT_NEAR(r.reward, -std::exp(1.0), 1e-6);  // Eq. 9 at full utilization
+}
+
+}  // namespace
+}  // namespace pfrl::sim

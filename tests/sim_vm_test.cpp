@@ -1,0 +1,137 @@
+#include "sim/vm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+
+namespace pfrl::sim {
+namespace {
+
+workload::Task make_task(int vcpus, double mem, double duration, double arrival = 0.0) {
+  workload::Task t;
+  t.vcpus = vcpus;
+  t.memory_gb = mem;
+  t.duration = duration;
+  t.arrival_time = arrival;
+  return t;
+}
+
+TEST(Vm, ConstructionValidates) {
+  EXPECT_THROW(Vm(0, 0, 8.0), std::invalid_argument);
+  EXPECT_THROW(Vm(0, 4, 0.0), std::invalid_argument);
+}
+
+TEST(Vm, FitChecksBothResources) {
+  Vm vm(0, 4, 16.0);
+  EXPECT_TRUE(vm.can_fit(make_task(4, 16.0, 1)));
+  EXPECT_FALSE(vm.can_fit(make_task(5, 1.0, 1)));
+  EXPECT_FALSE(vm.can_fit(make_task(1, 17.0, 1)));
+}
+
+TEST(Vm, PlaceConsumesResources) {
+  Vm vm(0, 8, 32.0);
+  vm.place(make_task(3, 10.0, 5.0), 0.0);
+  EXPECT_EQ(vm.free_vcpus(), 5);
+  EXPECT_DOUBLE_EQ(vm.free_memory(), 22.0);
+  EXPECT_EQ(vm.running_count(), 1u);
+}
+
+TEST(Vm, PlaceWithoutFitThrows) {
+  Vm vm(0, 2, 4.0);
+  EXPECT_THROW(vm.place(make_task(3, 1.0, 1.0), 0.0), std::logic_error);
+}
+
+TEST(Vm, OccupiesLowestFreeSlots) {
+  Vm vm(0, 4, 100.0);
+  vm.place(make_task(2, 1.0, 10.0), 0.0);
+  EXPECT_GT(vm.slot_progress(0, 5.0), 0.0);
+  EXPECT_GT(vm.slot_progress(1, 5.0), 0.0);
+  EXPECT_EQ(vm.slot_progress(2, 5.0), 0.0);
+  EXPECT_EQ(vm.slot_progress(3, 5.0), 0.0);
+}
+
+TEST(Vm, SlotProgressTracksElapsedFraction) {
+  Vm vm(0, 2, 8.0);
+  vm.place(make_task(1, 1.0, 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(vm.slot_progress(0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(vm.slot_progress(0, 7.0), 0.5);
+  EXPECT_DOUBLE_EQ(vm.slot_progress(0, 12.0), 1.0);
+  EXPECT_DOUBLE_EQ(vm.slot_progress(0, 20.0), 1.0);  // clamped
+}
+
+TEST(Vm, AdvanceCompletesFinishedTasks) {
+  Vm vm(0, 4, 16.0);
+  vm.place(make_task(1, 2.0, 5.0), 0.0);   // finishes at 5
+  vm.place(make_task(2, 4.0, 10.0), 0.0);  // finishes at 10
+  auto done = vm.advance(5.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0].finish_time(), 5.0);
+  EXPECT_EQ(vm.free_vcpus(), 2);
+  EXPECT_DOUBLE_EQ(vm.free_memory(), 12.0);
+
+  done = vm.advance(20.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(vm.free_vcpus(), 4);
+  EXPECT_DOUBLE_EQ(vm.free_memory(), 16.0);
+  EXPECT_EQ(vm.running_count(), 0u);
+}
+
+TEST(Vm, AdvanceReturnsCompletionsOrderedByFinish) {
+  Vm vm(0, 4, 16.0);
+  vm.place(make_task(1, 1.0, 9.0), 0.0);
+  vm.place(make_task(1, 1.0, 3.0), 0.0);
+  vm.place(make_task(1, 1.0, 6.0), 0.0);
+  const auto done = vm.advance(10.0);
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_LE(done[0].finish_time(), done[1].finish_time());
+  EXPECT_LE(done[1].finish_time(), done[2].finish_time());
+}
+
+TEST(Vm, SlotsAreReusedAfterCompletion) {
+  Vm vm(0, 2, 8.0);
+  vm.place(make_task(2, 2.0, 4.0), 0.0);
+  (void)vm.advance(4.0);
+  vm.place(make_task(2, 2.0, 4.0), 4.0);
+  EXPECT_EQ(vm.free_vcpus(), 0);
+  EXPECT_GT(vm.slot_progress(0, 6.0), 0.0);
+}
+
+TEST(Vm, NextCompletionIsEarliestFinish) {
+  Vm vm(0, 4, 16.0);
+  EXPECT_FALSE(vm.next_completion().has_value());
+  vm.place(make_task(1, 1.0, 8.0), 0.0);
+  vm.place(make_task(1, 1.0, 3.0), 1.0);
+  ASSERT_TRUE(vm.next_completion().has_value());
+  EXPECT_DOUBLE_EQ(*vm.next_completion(), 4.0);
+}
+
+TEST(Vm, UtilizationPerResource) {
+  Vm vm(0, 8, 32.0);
+  vm.place(make_task(2, 24.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(vm.utilization(0), 0.25);
+  EXPECT_DOUBLE_EQ(vm.utilization(1), 0.75);
+  EXPECT_DOUBLE_EQ(vm.load_remaining(0), 0.75);
+  EXPECT_DOUBLE_EQ(vm.load_remaining(1), 0.25);
+  EXPECT_THROW((void)vm.utilization(2), std::out_of_range);
+}
+
+TEST(MachineSpecs, Totals) {
+  const MachineSpecs specs{{8, 64, 2}, {16, 128, 3}};
+  EXPECT_EQ(total_vms(specs), 5);
+  EXPECT_DOUBLE_EQ(total_vcpus(specs), 8 * 2 + 16 * 3);
+  EXPECT_DOUBLE_EQ(total_memory_gb(specs), 64 * 2 + 128 * 3);
+}
+
+TEST(MachineSpecs, ScaleVcpusRoundsUp) {
+  const MachineSpecs specs{{8, 64, 1}, {9, 64, 1}, {1, 64, 1}};
+  const MachineSpecs scaled = scale_vcpus(specs, 8);
+  EXPECT_EQ(scaled[0].vcpus, 1);
+  EXPECT_EQ(scaled[1].vcpus, 2);
+  EXPECT_EQ(scaled[2].vcpus, 1);
+  // factor <= 1 is the identity
+  const MachineSpecs same = scale_vcpus(specs, 1);
+  EXPECT_EQ(same[1].vcpus, 9);
+}
+
+}  // namespace
+}  // namespace pfrl::sim

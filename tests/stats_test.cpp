@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/ecdf.hpp"
+#include "stats/summary.hpp"
+#include "stats/wilcoxon.hpp"
+#include "util/rng.hpp"
+
+namespace pfrl::stats {
+namespace {
+
+TEST(Summary, KnownValues) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(s.q25, 2.0);
+  EXPECT_DOUBLE_EQ(s.q75, 4.0);
+}
+
+TEST(Summary, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, SingleSample) {
+  const std::vector<double> v{7.5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.median, 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> sorted{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 10.0);
+}
+
+TEST(EmaSmooth, ConvergesToConstant) {
+  const std::vector<double> series(50, 4.0);
+  const auto smoothed = ema_smooth(series, 0.3);
+  EXPECT_EQ(smoothed.size(), 50u);
+  EXPECT_NEAR(smoothed.back(), 4.0, 1e-9);
+}
+
+TEST(EmaSmooth, FollowsTrendWithLag) {
+  std::vector<double> series;
+  for (int i = 0; i < 20; ++i) series.push_back(i);
+  const auto smoothed = ema_smooth(series, 0.5);
+  // Lags behind the raw series but increases monotonically.
+  for (std::size_t i = 1; i < smoothed.size(); ++i) {
+    EXPECT_GT(smoothed[i], smoothed[i - 1]);
+    EXPECT_LE(smoothed[i], series[i]);
+  }
+}
+
+TEST(Ecdf, EvaluatesFractions) {
+  const std::vector<double> v{1, 2, 3, 4};
+  const Ecdf e(v);
+  EXPECT_DOUBLE_EQ(e.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.at(100.0), 1.0);
+}
+
+TEST(Ecdf, CurveIsMonotone) {
+  util::Rng rng(1);
+  std::vector<double> v(200);
+  for (double& x : v) x = rng.normal(0, 1);
+  const Ecdf e(v);
+  const auto curve = e.curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Histogram, CountsSumToTotal) {
+  util::Rng rng(2);
+  std::vector<double> v(500);
+  for (double& x : v) x = rng.uniform(0, 10);
+  const auto bins = histogram(v, 8);
+  ASSERT_EQ(bins.size(), 8u);
+  std::size_t total = 0;
+  double frac = 0;
+  for (const auto& b : bins) {
+    total += b.count;
+    frac += b.fraction;
+    EXPECT_LT(b.lo, b.hi);
+  }
+  EXPECT_EQ(total, 500u);
+  EXPECT_NEAR(frac, 1.0, 1e-9);
+}
+
+TEST(Histogram, DegenerateSingleValue) {
+  const std::vector<double> v{3.0, 3.0, 3.0};
+  const auto bins = histogram(v, 4);
+  ASSERT_EQ(bins.size(), 4u);
+  EXPECT_EQ(bins.front().count, 3u);
+}
+
+TEST(Histogram, MaxValueLandsInLastBin) {
+  const std::vector<double> v{0.0, 1.0};
+  const auto bins = histogram(v, 2);
+  EXPECT_EQ(bins.back().count, 1u);
+}
+
+// --- Wilcoxon signed-rank ---
+
+TEST(Wilcoxon, AllPositiveDifferencesExact) {
+  // d = {1,2,3,4,5}: W = 0, exact two-sided p = 2/2^5 = 0.0625.
+  const std::vector<double> a{2, 4, 6, 8, 10};
+  const std::vector<double> b{1, 2, 3, 4, 5};
+  const WilcoxonResult r = wilcoxon_signed_rank(a, b);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.n, 5u);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_NEAR(r.p_value, 0.0625, 1e-9);
+}
+
+TEST(Wilcoxon, OneNegativeDifferenceExact) {
+  // d = {-1, 2, 3, 4, 5}: W- = 1 -> p = 2 * (count(0)+count(1)) / 32 = 0.125.
+  const std::vector<double> a{0, 4, 6, 8, 10};
+  const std::vector<double> b{1, 2, 3, 4, 5};
+  const WilcoxonResult r = wilcoxon_signed_rank(a, b);
+  EXPECT_TRUE(r.exact);
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+  EXPECT_NEAR(r.p_value, 0.125, 1e-9);
+}
+
+TEST(Wilcoxon, SymmetricUnderSwap) {
+  const std::vector<double> a{5, 1, 7, 2, 9, 4, 8, 3};
+  const std::vector<double> b{4, 2, 5, 4, 7, 6, 5, 1};
+  const WilcoxonResult r1 = wilcoxon_signed_rank(a, b);
+  const WilcoxonResult r2 = wilcoxon_signed_rank(b, a);
+  EXPECT_DOUBLE_EQ(r1.p_value, r2.p_value);
+  EXPECT_DOUBLE_EQ(r1.statistic, r2.statistic);
+}
+
+TEST(Wilcoxon, AllEqualPairsGiveP1) {
+  const std::vector<double> a{1, 2, 3};
+  const WilcoxonResult r = wilcoxon_signed_rank(a, a);
+  EXPECT_EQ(r.n, 0u);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(Wilcoxon, UnequalSizesThrow) {
+  const std::vector<double> a{1, 2};
+  const std::vector<double> b{1};
+  EXPECT_THROW(wilcoxon_signed_rank(a, b), std::invalid_argument);
+}
+
+TEST(Wilcoxon, TiedMagnitudesFallBackToApproximation) {
+  // |d| ties force average ranks, so exact enumeration is skipped.
+  const std::vector<double> a{2, 0, 4, 0, 6, 0};
+  const std::vector<double> b{1, 1, 3, 1, 5, 1};
+  const WilcoxonResult r = wilcoxon_signed_rank(a, b);
+  EXPECT_FALSE(r.exact);
+  EXPECT_GT(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+}
+
+TEST(Wilcoxon, LargeSampleStrongSeparationIsSignificant) {
+  util::Rng rng(7);
+  std::vector<double> a(40);
+  std::vector<double> b(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    b[i] = rng.normal(0, 1);
+    a[i] = b[i] + 2.0 + rng.normal(0, 0.1);  // a consistently larger
+  }
+  const WilcoxonResult r = wilcoxon_signed_rank(a, b);
+  EXPECT_FALSE(r.exact);
+  EXPECT_LT(r.p_value, 1e-4);
+}
+
+TEST(Wilcoxon, LargeSampleNoEffectIsInsignificant) {
+  util::Rng rng(8);
+  std::vector<double> a(60);
+  std::vector<double> b(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    a[i] = rng.normal(0, 1);
+    b[i] = rng.normal(0, 1);
+  }
+  const WilcoxonResult r = wilcoxon_signed_rank(a, b);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(Wilcoxon, TenClientsPaperShape) {
+  // The Table 4 situation: 10 paired metric values where one method is
+  // uniformly better -> the smallest achievable two-sided p for n = 10
+  // is 2/1024 ≈ 1.95e-3, exactly the paper's reported value.
+  std::vector<double> pfrl(10);
+  std::vector<double> other(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    pfrl[i] = 10.0 + static_cast<double>(i);
+    other[i] = 12.0 + 1.5 * static_cast<double>(i);
+  }
+  const WilcoxonResult r = wilcoxon_signed_rank(pfrl, other);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.n, 10u);
+  EXPECT_NEAR(r.p_value, 2.0 / 1024.0, 1e-9);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+}  // namespace
+}  // namespace pfrl::stats

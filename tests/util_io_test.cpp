@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace pfrl::util {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() / "pfrl_csv_test.csv").string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(CsvWriterTest, HeaderAndRows) {
+  {
+    CsvWriter w(path_, {"a", "b"});
+    w.row({"1", "2"});
+    w.row({"x", "y"});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  EXPECT_EQ(read_file(path_), "a,b\n1,2\nx,y\n");
+}
+
+TEST_F(CsvWriterTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter w(path_, {"v"});
+    w.row({"has,comma"});
+    w.row({"has\"quote"});
+    w.row({"has\nnewline"});
+  }
+  EXPECT_EQ(read_file(path_), "v\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST_F(CsvWriterTest, ArityMismatchThrows) {
+  CsvWriter w(path_, {"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), std::invalid_argument);
+}
+
+TEST_F(CsvWriterTest, BadPathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv", {"a"}), std::runtime_error);
+}
+
+TEST(CsvField, NumericFormatting) {
+  EXPECT_EQ(CsvWriter::field(std::int64_t{-5}), "-5");
+  EXPECT_EQ(CsvWriter::field(std::size_t{7}), "7");
+  EXPECT_EQ(CsvWriter::field(1.5), "1.5");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.row({"x", "1"});
+  t.row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name   | v  |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22 |"), std::string::npos);
+  EXPECT_NE(out.find("|--------|----|"), std::string::npos);
+}
+
+TEST(TablePrinter, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(-1.0, 0), "-1");
+}
+
+TEST(TablePrinter, ArityMismatchThrows) {
+  TablePrinter t({"a"});
+  EXPECT_THROW(t.row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, EmptyHeaderThrows) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(Cli, ParsesKeyValueForms) {
+  // Note: `--flag value` is greedy (value attaches to the flag), so bare
+  // boolean flags must use `--flag=1`, come last, or precede another `--`.
+  const char* argv[] = {"prog", "--alpha", "3", "--beta=hello", "pos1", "--flag"};
+  Cli cli(6, argv);
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get("beta", ""), "hello");
+  EXPECT_TRUE(cli.has("flag"));
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.program(), "prog");
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get_int("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(cli.get_bool("missing", false));
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+}
+
+TEST(Cli, BooleanSpellings) {
+  const char* argv[] = {"prog", "--on=true", "--off=0", "--yes=yes"};
+  Cli cli(4, argv);
+  EXPECT_TRUE(cli.get_bool("on", false));
+  EXPECT_FALSE(cli.get_bool("off", true));
+  EXPECT_TRUE(cli.get_bool("yes", false));
+}
+
+TEST(Cli, MalformedNumbersThrow) {
+  const char* argv[] = {"prog", "--n=12x", "--d=abc"};
+  Cli cli(3, argv);
+  EXPECT_THROW(cli.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(cli.get_double("d", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, FlagFollowedByOptionIsBoolean) {
+  const char* argv[] = {"prog", "--full", "--episodes", "5"};
+  Cli cli(4, argv);
+  EXPECT_TRUE(cli.get_bool("full", false));
+  EXPECT_EQ(cli.get_int("episodes", 0), 5);
+}
+
+TEST(Cli, NegativeNumberAsValue) {
+  const char* argv[] = {"prog", "--x=-4"};
+  Cli cli(2, argv);
+  EXPECT_EQ(cli.get_int("x", 0), -4);
+}
+
+}  // namespace
+}  // namespace pfrl::util

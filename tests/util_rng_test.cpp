@@ -1,0 +1,182 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace pfrl::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() != b.next_u64()) ++differing;
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(7);
+  Rng child = parent.split();
+  // Child diverges from the parent's continuation.
+  int differing = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent.next_u64() != child.next_u64()) ++differing;
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 9.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 9.25);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, UniformIntApproximatelyUnbiased) {
+  Rng rng(77);
+  std::array<int, 5> counts{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+  for (const int c : counts) EXPECT_NEAR(c, n / 5, n / 5 * 0.1);
+}
+
+struct MomentCase {
+  const char* name;
+  double expected_mean;
+  double expected_var;
+  double (*draw)(Rng&);
+};
+
+class RngMoments : public ::testing::TestWithParam<MomentCase> {};
+
+TEST_P(RngMoments, MatchesAnalyticMoments) {
+  const MomentCase& c = GetParam();
+  Rng rng(2024);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = c.draw(rng);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, c.expected_mean, 0.05 * std::max(1.0, std::fabs(c.expected_mean)))
+      << c.name;
+  EXPECT_NEAR(var, c.expected_var, 0.08 * std::max(1.0, c.expected_var)) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, RngMoments,
+    ::testing::Values(
+        MomentCase{"normal(2,3)", 2.0, 9.0, [](Rng& r) { return r.normal(2.0, 3.0); }},
+        MomentCase{"exponential(0.5)", 2.0, 4.0, [](Rng& r) { return r.exponential(0.5); }},
+        MomentCase{"gamma(3,2)", 6.0, 12.0, [](Rng& r) { return r.gamma(3.0, 2.0); }},
+        MomentCase{"gamma(0.5,1)", 0.5, 0.5, [](Rng& r) { return r.gamma(0.5, 1.0); }},
+        MomentCase{"lognormal(0,0.5)", std::exp(0.125),
+                   (std::exp(0.25) - 1.0) * std::exp(0.25),
+                   [](Rng& r) { return r.lognormal(0.0, 0.5); }},
+        MomentCase{"pareto(1,3)", 1.5, 0.75, [](Rng& r) { return r.pareto(1.0, 3.0); }},
+        MomentCase{"poisson(12)", 12.0, 12.0,
+                   [](Rng& r) { return static_cast<double>(r.poisson(12.0)); }},
+        MomentCase{"poisson(100)", 100.0, 100.0,
+                   [](Rng& r) { return static_cast<double>(r.poisson(100.0)); }}),
+    [](const auto& info) {
+      std::string n = info.param.name;
+      for (char& ch : n)
+        if (!isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      return n;
+    });
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(1);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedChoiceProportional) {
+  Rng rng(31);
+  const std::array<double, 3> weights{1.0, 2.0, 7.0};
+  std::array<int, 3> counts{};
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_choice(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.02);
+}
+
+TEST(Rng, WeightedChoiceAllZeroFallsBackToUniform) {
+  Rng rng(31);
+  const std::array<double, 4> weights{0.0, 0.0, 0.0, 0.0};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.weighted_choice(weights));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(v, shuffled);
+}
+
+TEST(Splitmix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+}
+
+}  // namespace
+}  // namespace pfrl::util

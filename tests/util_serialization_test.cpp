@@ -1,0 +1,121 @@
+#include "util/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace pfrl::util {
+namespace {
+
+TEST(Serialization, ScalarRoundTrip) {
+  ByteWriter w;
+  w.write_u8(0xAB);
+  w.write_u32(0xDEADBEEF);
+  w.write_u64(0x0123456789ABCDEFULL);
+  w.write_i64(-42);
+  w.write_f32(3.25F);
+  w.write_f64(-2.5);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read_u8(), 0xAB);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_EQ(r.read_f32(), 3.25F);
+  EXPECT_EQ(r.read_f64(), -2.5);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialization, StringRoundTrip) {
+  ByteWriter w;
+  w.write_string("hello, federation");
+  w.write_string("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read_string(), "hello, federation");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialization, FloatSpanRoundTrip) {
+  const std::vector<float> values{1.0F, -2.5F, 0.0F, std::numeric_limits<float>::max()};
+  ByteWriter w;
+  w.write_f32_span(values);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read_f32_vector(), values);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialization, EmptySpanRoundTrip) {
+  ByteWriter w;
+  w.write_f32_span({});
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.read_f32_vector().empty());
+}
+
+TEST(Serialization, SpecialFloatValuesSurvive) {
+  const std::vector<float> values{std::numeric_limits<float>::infinity(),
+                                  -std::numeric_limits<float>::infinity(), 1e-38F};
+  ByteWriter w;
+  w.write_f32_span(values);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read_f32_vector(), values);
+}
+
+TEST(Serialization, TruncatedScalarThrows) {
+  ByteWriter w;
+  w.write_u32(5);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.read_u64(), std::out_of_range);
+}
+
+TEST(Serialization, TruncatedVectorThrows) {
+  ByteWriter w;
+  w.write_u32(100);  // claims 100 floats, provides none
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.read_f32_vector(), std::out_of_range);
+}
+
+TEST(Serialization, TruncatedStringThrows) {
+  ByteWriter w;
+  w.write_u32(10);
+  w.write_u8('x');
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.read_string(), std::out_of_range);
+}
+
+TEST(Serialization, EmptyReaderThrowsImmediately) {
+  ByteReader r({});
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_THROW(r.read_u8(), std::out_of_range);
+}
+
+TEST(Serialization, RemainingTracksCursor) {
+  ByteWriter w;
+  w.write_u32(1);
+  w.write_u32(2);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.read_u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  r.read_u32();
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Serialization, TakeMovesBufferOut) {
+  ByteWriter w;
+  w.write_u8(1);
+  const auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(Serialization, SizeMatchesWrittenBytes) {
+  ByteWriter w;
+  w.write_u8(0);
+  w.write_u32(0);
+  w.write_f64(0.0);
+  EXPECT_EQ(w.size(), 1u + 4u + 8u);
+}
+
+}  // namespace
+}  // namespace pfrl::util

@@ -1,0 +1,139 @@
+#include "workload/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/catalog.hpp"
+
+namespace pfrl::workload {
+namespace {
+
+DagShape small_shape() {
+  DagShape s;
+  s.min_tasks = 3;
+  s.max_tasks = 8;
+  s.max_width = 3;
+  return s;
+}
+
+TEST(Dag, GeneratesRequestedJobCount) {
+  util::Rng rng(1);
+  const WorkflowBatch batch =
+      sample_workflows(dataset_model(DatasetId::kGoogle), 20, small_shape(), rng);
+  EXPECT_EQ(batch.size(), 20u);
+  for (const Workflow& wf : batch) {
+    EXPECT_GE(wf.task_count(), 3u);
+    EXPECT_LE(wf.task_count(), 8u);
+  }
+}
+
+TEST(Dag, ArrivalsAreMonotone) {
+  util::Rng rng(2);
+  const WorkflowBatch batch =
+      sample_workflows(dataset_model(DatasetId::kK8s), 30, small_shape(), rng);
+  for (std::size_t j = 1; j < batch.size(); ++j)
+    EXPECT_GE(batch[j].arrival_time, batch[j - 1].arrival_time);
+}
+
+TEST(Dag, TopologicallyOrderedByConstruction) {
+  util::Rng rng(3);
+  for (const DatasetId id : {DatasetId::kGoogle, DatasetId::kHpcKs, DatasetId::kAlibaba2018}) {
+    const WorkflowBatch batch = sample_workflows(dataset_model(id), 15, small_shape(), rng);
+    for (const Workflow& wf : batch) EXPECT_TRUE(is_topologically_ordered(wf));
+  }
+}
+
+TEST(Dag, NonRootTasksHaveAtLeastOneDependency) {
+  util::Rng rng(4);
+  const WorkflowBatch batch =
+      sample_workflows(dataset_model(DatasetId::kGoogle), 25, small_shape(), rng);
+  for (const Workflow& wf : batch) {
+    // Task 0 is always a root.
+    EXPECT_TRUE(wf.tasks[0].deps.empty());
+    // Dependencies are unique and in range.
+    for (std::size_t t = 0; t < wf.task_count(); ++t) {
+      std::set<std::size_t> unique(wf.tasks[t].deps.begin(), wf.tasks[t].deps.end());
+      EXPECT_EQ(unique.size(), wf.tasks[t].deps.size());
+      for (const std::size_t d : wf.tasks[t].deps) EXPECT_LT(d, t);
+    }
+  }
+}
+
+TEST(Dag, TasksCarryModelDistributions) {
+  util::Rng rng(5);
+  const WorkflowBatch batch =
+      sample_workflows(dataset_model(DatasetId::kHpcHf), 10, small_shape(), rng);
+  for (const Workflow& wf : batch)
+    for (const WorkflowTask& wt : wf.tasks) {
+      EXPECT_GE(wt.task.vcpus, 1);
+      EXPECT_GT(wt.task.duration, 0.0);
+      EXPECT_EQ(wt.task.dataset_id, static_cast<std::uint32_t>(DatasetId::kHpcHf));
+    }
+}
+
+TEST(Dag, TotalTasksSumsBatch) {
+  util::Rng rng(6);
+  const WorkflowBatch batch =
+      sample_workflows(dataset_model(DatasetId::kGoogle), 5, small_shape(), rng);
+  std::size_t expected = 0;
+  for (const Workflow& wf : batch) expected += wf.task_count();
+  EXPECT_EQ(total_tasks(batch), expected);
+}
+
+TEST(Dag, CriticalPathHandComputed) {
+  Workflow wf;
+  const auto add = [&](double duration, std::vector<std::size_t> deps) {
+    WorkflowTask t;
+    t.task.duration = duration;
+    t.deps = std::move(deps);
+    wf.tasks.push_back(std::move(t));
+  };
+  add(10, {});        // 0
+  add(5, {});         // 1
+  add(3, {0});        // 2: 13
+  add(20, {1});       // 3: 25
+  add(1, {2, 3});     // 4: max(13,25)+1 = 26
+  EXPECT_DOUBLE_EQ(critical_path(wf), 26.0);
+}
+
+TEST(Dag, CriticalPathBoundsAnyChain) {
+  util::Rng rng(7);
+  const WorkflowBatch batch =
+      sample_workflows(dataset_model(DatasetId::kKvm2020), 10, small_shape(), rng);
+  for (const Workflow& wf : batch) {
+    double longest_task = 0;
+    double sum = 0;
+    for (const WorkflowTask& wt : wf.tasks) {
+      longest_task = std::max(longest_task, wt.task.duration);
+      sum += wt.task.duration;
+    }
+    const double cp = critical_path(wf);
+    EXPECT_GE(cp, longest_task);
+    EXPECT_LE(cp, sum + 1e-9);
+  }
+}
+
+TEST(Dag, DegenerateShapeThrows) {
+  util::Rng rng(8);
+  DagShape bad = small_shape();
+  bad.min_tasks = 0;
+  EXPECT_THROW(sample_workflows(dataset_model(DatasetId::kGoogle), 1, bad, rng),
+               std::invalid_argument);
+  bad = small_shape();
+  bad.min_tasks = 9;  // > max_tasks
+  EXPECT_THROW(sample_workflows(dataset_model(DatasetId::kGoogle), 1, bad, rng),
+               std::invalid_argument);
+}
+
+TEST(Dag, IsTopologicallyOrderedDetectsForwardEdge) {
+  Workflow wf;
+  WorkflowTask a;
+  a.deps = {1};  // depends on a later task
+  wf.tasks.push_back(a);
+  wf.tasks.push_back({});
+  EXPECT_FALSE(is_topologically_ordered(wf));
+}
+
+}  // namespace
+}  // namespace pfrl::workload

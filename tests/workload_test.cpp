@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "workload/catalog.hpp"
+#include "workload/distribution.hpp"
+#include "workload/model.hpp"
+#include "workload/trace.hpp"
+
+namespace pfrl::workload {
+namespace {
+
+TEST(Distribution, SamplesRespectClamps) {
+  util::Rng rng(1);
+  const Distribution d = pareto_dist(10.0, 1.2, 15.0, 100.0);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = d.sample(rng);
+    EXPECT_GE(v, 15.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(Distribution, ConstantAlwaysSame) {
+  util::Rng rng(2);
+  const Distribution d = constant(7.0);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(d.sample(rng), 7.0);
+  EXPECT_DOUBLE_EQ(d.mean_unclamped(), 7.0);
+}
+
+struct MeanCase {
+  const char* name;
+  Distribution dist;
+  double expected;
+};
+
+class DistributionMeans : public ::testing::TestWithParam<MeanCase> {};
+
+TEST_P(DistributionMeans, EmpiricalMeanMatchesAnalytic) {
+  const MeanCase& c = GetParam();
+  util::Rng rng(42);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += c.dist.sample(rng);
+  EXPECT_NEAR(acc / n, c.expected, 0.05 * std::max(1.0, c.expected)) << c.name;
+  EXPECT_NEAR(c.dist.mean_unclamped(), c.expected, 1e-9) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, DistributionMeans,
+    ::testing::Values(
+        MeanCase{"uniform", uniform_dist(2.0, 6.0), 4.0},
+        MeanCase{"normal", normal_dist(5.0, 1.0, -100, 100), 5.0},
+        MeanCase{"lognormal", lognormal_dist(1.0, 0.5, 0, 1e9), std::exp(1.125)},
+        MeanCase{"exponential", exponential_dist(0.25, 0, 1e9), 4.0},
+        MeanCase{"pareto", pareto_dist(2.0, 3.0, 0, 1e9), 3.0},
+        MeanCase{"gamma", gamma_dist(2.0, 3.0, 0, 1e9), 6.0}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Distribution, ParetoShapeBelowOneHasInfiniteMean) {
+  const Distribution d = pareto_dist(1.0, 0.9, 0, 1e18);
+  EXPECT_TRUE(std::isinf(d.mean_unclamped()));
+}
+
+TEST(Distribution, DescribeNamesFamily) {
+  EXPECT_NE(uniform_dist(0, 1).describe().find("uniform"), std::string::npos);
+  EXPECT_NE(gamma_dist(1, 1, 0, 9).describe().find("gamma"), std::string::npos);
+}
+
+TEST(Profiles, OfficeHoursPeaksInAfternoon) {
+  const auto p = office_hours_profile(3.0);
+  EXPECT_NEAR(p[14], 3.0, 1e-9);
+  EXPECT_LT(p[2], p[14]);
+  for (const double v : p) EXPECT_GT(v, 0.0);
+}
+
+TEST(Profiles, NightBatchPeaksAtNight) {
+  const auto p = night_batch_profile(2.0);
+  EXPECT_NEAR(p[2], 2.0, 1e-9);
+  EXPECT_LT(p[14], p[2]);
+}
+
+TEST(SampleTrace, ProducesSortedUniqueIds) {
+  util::Rng rng(3);
+  const Trace t = sample_trace(dataset_model(DatasetId::kGoogle), 500, rng);
+  EXPECT_EQ(t.size(), 500u);
+  EXPECT_TRUE(is_sorted_by_arrival(t));
+  std::set<std::uint64_t> ids;
+  for (const Task& task : t) ids.insert(task.id);
+  EXPECT_EQ(ids.size(), 500u);
+}
+
+TEST(SampleTrace, TasksHavePositiveDemands) {
+  util::Rng rng(4);
+  for (const WorkloadModel& model : dataset_catalog()) {
+    const Trace t = sample_trace(model, 200, rng);
+    for (const Task& task : t) {
+      EXPECT_GE(task.vcpus, 1) << model.name;
+      EXPECT_GT(task.memory_gb, 0.0) << model.name;
+      EXPECT_GE(task.duration, 1.0) << model.name;
+      EXPECT_EQ(task.dataset_id, model.dataset_id) << model.name;
+    }
+  }
+}
+
+TEST(SampleTrace, DeterministicGivenSeed) {
+  util::Rng r1(5);
+  util::Rng r2(5);
+  const Trace a = sample_trace(dataset_model(DatasetId::kK8s), 100, r1);
+  const Trace b = sample_trace(dataset_model(DatasetId::kK8s), 100, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_time, b[i].arrival_time);
+    EXPECT_EQ(a[i].vcpus, b[i].vcpus);
+    EXPECT_DOUBLE_EQ(a[i].duration, b[i].duration);
+  }
+}
+
+TEST(Catalog, HasTenDistinctDatasets) {
+  const auto& catalog = dataset_catalog();
+  EXPECT_EQ(catalog.size(), kDatasetCount);
+  std::set<std::string> names;
+  std::set<std::uint32_t> ids;
+  for (const WorkloadModel& m : catalog) {
+    names.insert(m.name);
+    ids.insert(m.dataset_id);
+  }
+  EXPECT_EQ(names.size(), kDatasetCount);
+  EXPECT_EQ(ids.size(), kDatasetCount);
+}
+
+TEST(Catalog, DatasetsAreHeterogeneous) {
+  // The §3.1 premise: the datasets' request/duration distributions must
+  // differ materially. Compare mean durations of an HPC vs the K8s model.
+  util::Rng rng(6);
+  const Trace hpc = sample_trace(dataset_model(DatasetId::kHpcHf), 1000, rng);
+  const Trace k8s = sample_trace(dataset_model(DatasetId::kK8s), 1000, rng);
+  double hpc_mean = 0;
+  double k8s_mean = 0;
+  for (const Task& t : hpc) hpc_mean += t.duration;
+  for (const Task& t : k8s) k8s_mean += t.duration;
+  hpc_mean /= 1000;
+  k8s_mean /= 1000;
+  EXPECT_GT(hpc_mean, 5.0 * k8s_mean);  // HPC jobs are much longer
+
+  double hpc_cpu = 0;
+  double k8s_cpu = 0;
+  for (const Task& t : hpc) hpc_cpu += t.vcpus;
+  for (const Task& t : k8s) k8s_cpu += t.vcpus;
+  EXPECT_GT(hpc_cpu / 1000, 3.0 * k8s_cpu / 1000);  // and much wider
+}
+
+TEST(Catalog, LookupByIdMatchesName) {
+  EXPECT_EQ(dataset_name(DatasetId::kAlibaba2017), "Alibaba-2017");
+  EXPECT_EQ(dataset_name(DatasetId::kCeritSc), "CERIT-SC");
+}
+
+TEST(Catalog, CalibrateArrivalsHitsTargetLoad) {
+  const WorkloadModel base = dataset_model(DatasetId::kKvm2019);
+  const WorkloadModel calibrated = calibrate_arrivals(base, 64.0, 0.5);
+  // Offered load = rate/s * mean_vcpus * mean_duration ≈ 0.5 * 64.
+  util::Rng rng(7);
+  const int n = 20000;
+  double vcpus = 0;
+  double durations = 0;
+  for (int i = 0; i < n; ++i) {
+    vcpus += std::max(1.0, std::round(calibrated.vcpu_request.sample(rng)));
+    durations += std::max(1.0, calibrated.duration.sample(rng));
+  }
+  const double offered = calibrated.arrivals_per_hour / calibrated.seconds_per_hour *
+                         (vcpus / n) * (durations / n);
+  EXPECT_NEAR(offered, 32.0, 8.0);  // rounding + clamping slack
+}
+
+TEST(Catalog, CalibrateArrivalsRejectsBadTargets) {
+  const WorkloadModel m = dataset_model(DatasetId::kGoogle);
+  EXPECT_THROW(calibrate_arrivals(m, 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(calibrate_arrivals(m, 10.0, 0.0), std::invalid_argument);
+}
+
+TEST(Catalog, Table1HasFifteenRows) {
+  EXPECT_EQ(table1_machine_specs().size(), 15u);
+  for (const Table1Row& row : table1_machine_specs()) {
+    EXPECT_FALSE(row.dataset.empty());
+    EXPECT_GT(row.nodes, 0);
+  }
+}
+
+TEST(TraceOps, SplitRespectsFractionAndReanchorsTest) {
+  util::Rng rng(8);
+  Trace t = sample_trace(dataset_model(DatasetId::kGoogle), 100, rng);
+  const auto [train, test] = split_train_test(t, 0.6);
+  EXPECT_EQ(train.size(), 60u);
+  EXPECT_EQ(test.size(), 40u);
+  EXPECT_TRUE(is_sorted_by_arrival(train));
+  EXPECT_TRUE(is_sorted_by_arrival(test));
+  EXPECT_DOUBLE_EQ(test.front().arrival_time, 0.0);
+}
+
+TEST(TraceOps, SplitEdgeFractions) {
+  util::Rng rng(9);
+  Trace t = sample_trace(dataset_model(DatasetId::kGoogle), 10, rng);
+  const auto [all, none] = split_train_test(t, 1.0);
+  EXPECT_EQ(all.size(), 10u);
+  EXPECT_TRUE(none.empty());
+  EXPECT_THROW(split_train_test(t, 1.5), std::invalid_argument);
+}
+
+TEST(TraceOps, CombineMergesAndSorts) {
+  util::Rng rng(10);
+  const Trace a = sample_trace(dataset_model(DatasetId::kGoogle), 50, rng);
+  const Trace b = sample_trace(dataset_model(DatasetId::kK8s), 50, rng);
+  const std::vector<Trace> traces{a, b};
+  const Trace merged = combine(traces);
+  EXPECT_EQ(merged.size(), 100u);
+  EXPECT_TRUE(is_sorted_by_arrival(merged));
+  // Both datasets represented.
+  std::set<std::uint32_t> ids;
+  for (const Task& t : merged) ids.insert(t.dataset_id);
+  EXPECT_EQ(ids.size(), 2u);
+}
+
+TEST(TraceOps, CombineWithCapLimitsPerSource) {
+  util::Rng rng(11);
+  const Trace a = sample_trace(dataset_model(DatasetId::kGoogle), 50, rng);
+  const Trace b = sample_trace(dataset_model(DatasetId::kK8s), 50, rng);
+  const std::vector<Trace> traces{a, b};
+  EXPECT_EQ(combine(traces, 20).size(), 40u);
+}
+
+TEST(TraceOps, HybridMixKeepsSizeAndFraction) {
+  util::Rng rng(12);
+  const Trace own = sample_trace(dataset_model(DatasetId::kGoogle), 100, rng);
+  const Trace other = sample_trace(dataset_model(DatasetId::kHpcKs), 100, rng);
+  util::Rng mix_rng(13);
+  const std::vector<Trace> others{other};
+  const Trace mixed = hybrid_mix(own, others, 0.2, mix_rng);
+  EXPECT_EQ(mixed.size(), own.size());
+  EXPECT_TRUE(is_sorted_by_arrival(mixed));
+  std::size_t own_count = 0;
+  for (const Task& t : mixed)
+    if (t.dataset_id == static_cast<std::uint32_t>(DatasetId::kGoogle)) ++own_count;
+  EXPECT_EQ(own_count, 20u);  // exactly the kept fraction
+}
+
+TEST(TraceOps, HybridMixFullKeepEqualsSubsample) {
+  util::Rng rng(14);
+  const Trace own = sample_trace(dataset_model(DatasetId::kGoogle), 50, rng);
+  util::Rng mix_rng(15);
+  const Trace mixed = hybrid_mix(own, {}, 1.0, mix_rng);
+  EXPECT_EQ(mixed.size(), own.size());
+  for (const Task& t : mixed)
+    EXPECT_EQ(t.dataset_id, static_cast<std::uint32_t>(DatasetId::kGoogle));
+}
+
+TEST(TraceOps, HybridMixWithoutDonorsThrows) {
+  util::Rng rng(16);
+  const Trace own = sample_trace(dataset_model(DatasetId::kGoogle), 10, rng);
+  util::Rng mix_rng(17);
+  EXPECT_THROW(hybrid_mix(own, {}, 0.5, mix_rng), std::invalid_argument);
+}
+
+TEST(TraceOps, TotalCpuSecondsAccumulates) {
+  Trace t;
+  t.push_back({.id = 0, .arrival_time = 0, .vcpus = 2, .memory_gb = 1, .duration = 10});
+  t.push_back({.id = 1, .arrival_time = 1, .vcpus = 3, .memory_gb = 1, .duration = 4});
+  EXPECT_DOUBLE_EQ(total_cpu_seconds(t), 32.0);
+}
+
+}  // namespace
+}  // namespace pfrl::workload

@@ -1,0 +1,106 @@
+#include "workload/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "workload/catalog.hpp"
+#include "workload/model.hpp"
+
+namespace pfrl::workload {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() / "pfrl_trace_io.csv").string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  void write_raw(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(TraceIoTest, RoundTripPreservesTasks) {
+  util::Rng rng(1);
+  const Trace original = sample_trace(dataset_model(DatasetId::kGoogle), 200, rng);
+  save_trace_csv(original, path_);
+  const Trace loaded = load_trace_csv(path_);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i].arrival_time, original[i].arrival_time);
+    EXPECT_EQ(loaded[i].vcpus, original[i].vcpus);
+    EXPECT_DOUBLE_EQ(loaded[i].memory_gb, original[i].memory_gb);
+    EXPECT_DOUBLE_EQ(loaded[i].duration, original[i].duration);
+    EXPECT_EQ(loaded[i].dataset_id, original[i].dataset_id);
+  }
+}
+
+TEST_F(TraceIoTest, LoadsHandWrittenCsv) {
+  write_raw(
+      "arrival_time,vcpus,memory_gb,duration,dataset_id\n"
+      "5.0,2,4.5,120.0,3\n"
+      "1.5,1,2.0,30.0,0\n");
+  const Trace t = load_trace_csv(path_);
+  ASSERT_EQ(t.size(), 2u);
+  // Normalized: sorted by arrival with contiguous ids.
+  EXPECT_DOUBLE_EQ(t[0].arrival_time, 1.5);
+  EXPECT_EQ(t[0].id, 0u);
+  EXPECT_EQ(t[1].vcpus, 2);
+  EXPECT_EQ(t[1].dataset_id, 3u);
+}
+
+TEST_F(TraceIoTest, ToleratesCrLfAndBlankLines) {
+  write_raw(
+      "arrival_time,vcpus,memory_gb,duration,dataset_id\r\n"
+      "\r\n"
+      "1.0,1,1.0,10.0,0\r\n"
+      "\n");
+  EXPECT_EQ(load_trace_csv(path_).size(), 1u);
+}
+
+TEST_F(TraceIoTest, HeaderlessFileAccepted) {
+  write_raw("1.0,1,1.0,10.0,0\n2.0,2,2.0,20.0,1\n");
+  EXPECT_EQ(load_trace_csv(path_).size(), 2u);
+}
+
+TEST_F(TraceIoTest, MalformedRowsRejectedWithLineNumber) {
+  write_raw("arrival_time,vcpus,memory_gb,duration,dataset_id\n1.0,1,1.0\n");
+  try {
+    (void)load_trace_csv(path_);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST_F(TraceIoTest, BadNumbersRejected) {
+  write_raw("1.0,abc,1.0,10.0,0\n");
+  EXPECT_THROW((void)load_trace_csv(path_), std::invalid_argument);
+  write_raw("1.0,1,1.0,xyz,0\n");
+  EXPECT_THROW((void)load_trace_csv(path_), std::invalid_argument);
+}
+
+TEST_F(TraceIoTest, NonPositiveAttributesRejected) {
+  write_raw("1.0,0,1.0,10.0,0\n");  // zero vcpus
+  EXPECT_THROW((void)load_trace_csv(path_), std::invalid_argument);
+  write_raw("1.0,1,1.0,-5.0,0\n");  // negative duration
+  EXPECT_THROW((void)load_trace_csv(path_), std::invalid_argument);
+}
+
+TEST_F(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW((void)load_trace_csv("/nonexistent/trace.csv"), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, EmptyFileYieldsEmptyTrace) {
+  write_raw("");
+  EXPECT_TRUE(load_trace_csv(path_).empty());
+}
+
+}  // namespace
+}  // namespace pfrl::workload

@@ -1,0 +1,187 @@
+// pfrldm — command-line front end for the library.
+//
+//   pfrldm datasets
+//       List the built-in workload models.
+//   pfrldm trace --dataset Google --tasks 500 --out trace.csv [--seed S]
+//       Sample a synthetic trace to CSV (the same schema load_trace_csv
+//       reads, so real traces can be swapped in).
+//   pfrldm inspect --in trace.csv
+//       Summary statistics of a trace file.
+//   pfrldm train --algorithm pfrl-dm --table 3 [--episodes N] [--seed S]
+//                [--checkpoint DIR] [--full]
+//       Train a federation and optionally persist it.
+//   pfrldm evaluate --algorithm pfrl-dm --table 3 --checkpoint DIR
+//                   [--hybrid 0.2]
+//       Restore a federation and evaluate on held-out / hybrid workloads.
+#include <cstdio>
+#include <string>
+
+#include "core/checkpoint.hpp"
+#include "core/federation.hpp"
+#include "stats/summary.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/trace_io.hpp"
+
+using namespace pfrl;
+
+namespace {
+
+int usage() {
+  std::printf(
+      "usage: pfrldm <command> [options]\n"
+      "  datasets                              list workload models\n"
+      "  trace    --dataset NAME --tasks N --out FILE [--seed S]\n"
+      "  inspect  --in FILE\n"
+      "  train    --algorithm ALG --table 2|3 [--episodes N] [--seed S]\n"
+      "           [--checkpoint DIR] [--full]\n"
+      "  evaluate --algorithm ALG --table 2|3 --checkpoint DIR [--hybrid F]\n"
+      "algorithms: pfrl-dm fedavg mfpo fedprox fedkl ppo\n");
+  return 2;
+}
+
+fed::FedAlgorithm parse_algorithm(const std::string& name) {
+  if (name == "pfrl-dm") return fed::FedAlgorithm::kPfrlDm;
+  if (name == "fedavg") return fed::FedAlgorithm::kFedAvg;
+  if (name == "mfpo") return fed::FedAlgorithm::kMfpo;
+  if (name == "fedprox") return fed::FedAlgorithm::kFedProx;
+  if (name == "fedkl") return fed::FedAlgorithm::kFedKl;
+  if (name == "ppo") return fed::FedAlgorithm::kIndependent;
+  throw std::invalid_argument("unknown algorithm '" + name + "'");
+}
+
+workload::DatasetId parse_dataset(const std::string& name) {
+  for (const workload::WorkloadModel& m : workload::dataset_catalog())
+    if (m.name == name) return static_cast<workload::DatasetId>(m.dataset_id);
+  throw std::invalid_argument("unknown dataset '" + name + "' (see `pfrldm datasets`)");
+}
+
+core::FederationConfig federation_config(const util::Cli& cli) {
+  core::FederationConfig cfg;
+  cfg.algorithm = parse_algorithm(cli.get("algorithm", "pfrl-dm"));
+  cfg.scale = cli.get_bool("full", false) ? core::ExperimentScale::paper()
+                                          : core::ExperimentScale::quick();
+  cfg.scale.episodes = static_cast<std::size_t>(
+      cli.get_int("episodes", static_cast<std::int64_t>(cfg.scale.episodes)));
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  return cfg;
+}
+
+std::vector<core::ClientPreset> presets_for(const util::Cli& cli) {
+  return cli.get_int("table", 3) == 2 ? core::table2_clients() : core::table3_clients();
+}
+
+int cmd_datasets() {
+  util::TablePrinter table({"dataset", "vCPU request", "memory (GB)", "duration (s)"});
+  for (const workload::WorkloadModel& m : workload::dataset_catalog())
+    table.row({m.name, m.vcpu_request.describe(), m.memory_request.describe(),
+               m.duration.describe()});
+  table.print();
+  return 0;
+}
+
+int cmd_trace(const util::Cli& cli) {
+  const workload::DatasetId id = parse_dataset(cli.get("dataset", "Google"));
+  const auto tasks = static_cast<std::size_t>(cli.get_int("tasks", 500));
+  const std::string out = cli.get("out", "trace.csv");
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 42)));
+  const workload::Trace trace = workload::sample_trace(workload::dataset_model(id), tasks, rng);
+  workload::save_trace_csv(trace, out);
+  std::printf("wrote %zu tasks to %s\n", trace.size(), out.c_str());
+  return 0;
+}
+
+int cmd_inspect(const util::Cli& cli) {
+  const std::string in = cli.get("in", "");
+  if (in.empty()) return usage();
+  const workload::Trace trace = workload::load_trace_csv(in);
+  std::vector<double> cpus;
+  std::vector<double> mem;
+  std::vector<double> durations;
+  for (const workload::Task& t : trace) {
+    cpus.push_back(t.vcpus);
+    mem.push_back(t.memory_gb);
+    durations.push_back(t.duration);
+  }
+  util::TablePrinter table({"attribute", "mean", "median", "min", "max"});
+  const auto row = [&](const char* name, const std::vector<double>& v) {
+    const stats::Summary s = stats::summarize(v);
+    table.row({name, util::TablePrinter::num(s.mean, 2), util::TablePrinter::num(s.median, 2),
+               util::TablePrinter::num(s.min, 2), util::TablePrinter::num(s.max, 2)});
+  };
+  std::printf("%zu tasks, horizon %.1f s\n", trace.size(),
+              trace.empty() ? 0.0 : trace.back().arrival_time);
+  row("vcpus", cpus);
+  row("memory_gb", mem);
+  row("duration_s", durations);
+  table.print();
+  return 0;
+}
+
+void print_eval(const char* title, core::Federation& federation,
+                const std::vector<core::EvalResult>& results) {
+  std::printf("\n%s\n", title);
+  util::TablePrinter table(
+      {"client", "dataset", "avg response (s)", "makespan (s)", "utilization", "load bal"});
+  for (const core::EvalResult& r : results) {
+    const auto i = static_cast<std::size_t>(r.client_id);
+    table.row({std::to_string(r.client_id),
+               workload::dataset_name(federation.preset(i).dataset),
+               util::TablePrinter::num(r.metrics.avg_response_time, 2),
+               util::TablePrinter::num(r.metrics.makespan, 2),
+               util::TablePrinter::num(r.metrics.avg_utilization, 3),
+               util::TablePrinter::num(r.metrics.avg_load_balance, 3)});
+  }
+  table.print();
+}
+
+int cmd_train(const util::Cli& cli) {
+  core::Federation federation(presets_for(cli), federation_config(cli));
+  std::printf("training %zu clients with %s...\n", federation.client_count(),
+              fed::algorithm_name(federation.config().algorithm).c_str());
+  const fed::TrainingHistory history = federation.train();
+  const auto curve = history.mean_reward_curve();
+  std::printf("episodes %zu, rounds %zu, final mean reward %.2f, uplink %.1f KiB\n",
+              curve.size(), history.rounds, curve.empty() ? 0.0 : curve.back(),
+              static_cast<double>(history.uplink_bytes) / 1024.0);
+  print_eval("held-out test splits:", federation, federation.evaluate_on_test_splits());
+  const std::string checkpoint = cli.get("checkpoint", "");
+  if (!checkpoint.empty()) {
+    core::save_federation(federation.trainer(), checkpoint);
+    std::printf("\ncheckpoint written to %s\n", checkpoint.c_str());
+  }
+  return 0;
+}
+
+int cmd_evaluate(const util::Cli& cli) {
+  const std::string checkpoint = cli.get("checkpoint", "");
+  if (checkpoint.empty()) return usage();
+  core::Federation federation(presets_for(cli), federation_config(cli));
+  core::load_federation(federation.trainer(), checkpoint);
+  std::printf("restored federation from %s\n", checkpoint.c_str());
+  print_eval("held-out test splits:", federation, federation.evaluate_on_test_splits());
+  if (cli.has("hybrid")) {
+    const double keep = cli.get_double("hybrid", 0.2);
+    print_eval("hybrid workloads:", federation, federation.evaluate_on_hybrid(keep));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const util::Cli cli(argc - 1, argv + 1);
+  try {
+    if (command == "datasets") return cmd_datasets();
+    if (command == "trace") return cmd_trace(cli);
+    if (command == "inspect") return cmd_inspect(cli);
+    if (command == "train") return cmd_train(cli);
+    if (command == "evaluate") return cmd_evaluate(cli);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
