@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pfrl_dm.dir/ablation_pfrl_dm.cpp.o"
+  "CMakeFiles/ablation_pfrl_dm.dir/ablation_pfrl_dm.cpp.o.d"
+  "ablation_pfrl_dm"
+  "ablation_pfrl_dm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pfrl_dm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

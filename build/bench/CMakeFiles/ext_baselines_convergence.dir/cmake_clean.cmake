@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_baselines_convergence.dir/ext_baselines_convergence.cpp.o"
+  "CMakeFiles/ext_baselines_convergence.dir/ext_baselines_convergence.cpp.o.d"
+  "ext_baselines_convergence"
+  "ext_baselines_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_baselines_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_workflow_scheduling.dir/ext_workflow_scheduling.cpp.o"
+  "CMakeFiles/ext_workflow_scheduling.dir/ext_workflow_scheduling.cpp.o.d"
+  "ext_workflow_scheduling"
+  "ext_workflow_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_workflow_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_05_workload_heterogeneity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_iso_vs_heter.dir/fig07_iso_vs_heter.cpp.o"
+  "CMakeFiles/fig07_iso_vs_heter.dir/fig07_iso_vs_heter.cpp.o.d"
+  "fig07_iso_vs_heter"
+  "fig07_iso_vs_heter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_iso_vs_heter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

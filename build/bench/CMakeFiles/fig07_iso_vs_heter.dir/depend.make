@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_iso_vs_heter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_fedavg_vs_ppo.dir/fig08_fedavg_vs_ppo.cpp.o"
+  "CMakeFiles/fig08_fedavg_vs_ppo.dir/fig08_fedavg_vs_ppo.cpp.o.d"
+  "fig08_fedavg_vs_ppo"
+  "fig08_fedavg_vs_ppo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_fedavg_vs_ppo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_fedavg_vs_ppo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_critic_loss_aggregation.dir/fig09_critic_loss_aggregation.cpp.o"
+  "CMakeFiles/fig09_critic_loss_aggregation.dir/fig09_critic_loss_aggregation.cpp.o.d"
+  "fig09_critic_loss_aggregation"
+  "fig09_critic_loss_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_critic_loss_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_similarity_weighting.dir/fig10_similarity_weighting.cpp.o"
+  "CMakeFiles/fig10_similarity_weighting.dir/fig10_similarity_weighting.cpp.o.d"
+  "fig10_similarity_weighting"
+  "fig10_similarity_weighting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_similarity_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

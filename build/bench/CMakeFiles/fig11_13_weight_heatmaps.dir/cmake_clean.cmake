@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_13_weight_heatmaps.dir/fig11_13_weight_heatmaps.cpp.o"
+  "CMakeFiles/fig11_13_weight_heatmaps.dir/fig11_13_weight_heatmaps.cpp.o.d"
+  "fig11_13_weight_heatmaps"
+  "fig11_13_weight_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_13_weight_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_13_weight_heatmaps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig15_convergence.cpp" "bench/CMakeFiles/fig15_convergence.dir/fig15_convergence.cpp.o" "gcc" "bench/CMakeFiles/fig15_convergence.dir/fig15_convergence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pfrl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fed/CMakeFiles/pfrl_fed.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/pfrl_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/pfrl_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pfrl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pfrl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pfrl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pfrl_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pfrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_convergence.dir/fig15_convergence.cpp.o"
+  "CMakeFiles/fig15_convergence.dir/fig15_convergence.cpp.o.d"
+  "fig15_convergence"
+  "fig15_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_19_generalization.dir/fig16_19_generalization.cpp.o"
+  "CMakeFiles/fig16_19_generalization.dir/fig16_19_generalization.cpp.o.d"
+  "fig16_19_generalization"
+  "fig16_19_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_19_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_new_agent.dir/fig20_new_agent.cpp.o"
+  "CMakeFiles/fig20_new_agent.dir/fig20_new_agent.cpp.o.d"
+  "fig20_new_agent"
+  "fig20_new_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_new_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

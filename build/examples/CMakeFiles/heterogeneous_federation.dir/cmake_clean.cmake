@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_federation.dir/heterogeneous_federation.cpp.o"
+  "CMakeFiles/heterogeneous_federation.dir/heterogeneous_federation.cpp.o.d"
+  "heterogeneous_federation"
+  "heterogeneous_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

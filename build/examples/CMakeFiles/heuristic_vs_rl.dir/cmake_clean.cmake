@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heuristic_vs_rl.dir/heuristic_vs_rl.cpp.o"
+  "CMakeFiles/heuristic_vs_rl.dir/heuristic_vs_rl.cpp.o.d"
+  "heuristic_vs_rl"
+  "heuristic_vs_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heuristic_vs_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

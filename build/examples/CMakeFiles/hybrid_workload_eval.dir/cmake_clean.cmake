@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_workload_eval.dir/hybrid_workload_eval.cpp.o"
+  "CMakeFiles/hybrid_workload_eval.dir/hybrid_workload_eval.cpp.o.d"
+  "hybrid_workload_eval"
+  "hybrid_workload_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_workload_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

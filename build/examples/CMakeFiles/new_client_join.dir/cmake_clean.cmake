@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/new_client_join.dir/new_client_join.cpp.o"
+  "CMakeFiles/new_client_join.dir/new_client_join.cpp.o.d"
+  "new_client_join"
+  "new_client_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/new_client_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

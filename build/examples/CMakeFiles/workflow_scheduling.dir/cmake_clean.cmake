@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_scheduling.dir/workflow_scheduling.cpp.o"
+  "CMakeFiles/workflow_scheduling.dir/workflow_scheduling.cpp.o.d"
+  "workflow_scheduling"
+  "workflow_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfrl_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/pfrl_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/pfrl_core.dir/federation.cpp.o"
+  "CMakeFiles/pfrl_core.dir/federation.cpp.o.d"
+  "CMakeFiles/pfrl_core.dir/presets.cpp.o"
+  "CMakeFiles/pfrl_core.dir/presets.cpp.o.d"
+  "libpfrl_core.a"
+  "libpfrl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfrl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/heuristic_policies.cpp" "src/env/CMakeFiles/pfrl_env.dir/heuristic_policies.cpp.o" "gcc" "src/env/CMakeFiles/pfrl_env.dir/heuristic_policies.cpp.o.d"
+  "/root/repo/src/env/observation.cpp" "src/env/CMakeFiles/pfrl_env.dir/observation.cpp.o" "gcc" "src/env/CMakeFiles/pfrl_env.dir/observation.cpp.o.d"
+  "/root/repo/src/env/reward.cpp" "src/env/CMakeFiles/pfrl_env.dir/reward.cpp.o" "gcc" "src/env/CMakeFiles/pfrl_env.dir/reward.cpp.o.d"
+  "/root/repo/src/env/scheduling_env.cpp" "src/env/CMakeFiles/pfrl_env.dir/scheduling_env.cpp.o" "gcc" "src/env/CMakeFiles/pfrl_env.dir/scheduling_env.cpp.o.d"
+  "/root/repo/src/env/workflow_env.cpp" "src/env/CMakeFiles/pfrl_env.dir/workflow_env.cpp.o" "gcc" "src/env/CMakeFiles/pfrl_env.dir/workflow_env.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pfrl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pfrl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pfrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfrl_env.dir/heuristic_policies.cpp.o"
+  "CMakeFiles/pfrl_env.dir/heuristic_policies.cpp.o.d"
+  "CMakeFiles/pfrl_env.dir/observation.cpp.o"
+  "CMakeFiles/pfrl_env.dir/observation.cpp.o.d"
+  "CMakeFiles/pfrl_env.dir/reward.cpp.o"
+  "CMakeFiles/pfrl_env.dir/reward.cpp.o.d"
+  "CMakeFiles/pfrl_env.dir/scheduling_env.cpp.o"
+  "CMakeFiles/pfrl_env.dir/scheduling_env.cpp.o.d"
+  "CMakeFiles/pfrl_env.dir/workflow_env.cpp.o"
+  "CMakeFiles/pfrl_env.dir/workflow_env.cpp.o.d"
+  "libpfrl_env.a"
+  "libpfrl_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfrl_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fed/aggregator.cpp" "src/fed/CMakeFiles/pfrl_fed.dir/aggregator.cpp.o" "gcc" "src/fed/CMakeFiles/pfrl_fed.dir/aggregator.cpp.o.d"
+  "/root/repo/src/fed/attention_aggregator.cpp" "src/fed/CMakeFiles/pfrl_fed.dir/attention_aggregator.cpp.o" "gcc" "src/fed/CMakeFiles/pfrl_fed.dir/attention_aggregator.cpp.o.d"
+  "/root/repo/src/fed/bus.cpp" "src/fed/CMakeFiles/pfrl_fed.dir/bus.cpp.o" "gcc" "src/fed/CMakeFiles/pfrl_fed.dir/bus.cpp.o.d"
+  "/root/repo/src/fed/client.cpp" "src/fed/CMakeFiles/pfrl_fed.dir/client.cpp.o" "gcc" "src/fed/CMakeFiles/pfrl_fed.dir/client.cpp.o.d"
+  "/root/repo/src/fed/fedavg.cpp" "src/fed/CMakeFiles/pfrl_fed.dir/fedavg.cpp.o" "gcc" "src/fed/CMakeFiles/pfrl_fed.dir/fedavg.cpp.o.d"
+  "/root/repo/src/fed/mfpo.cpp" "src/fed/CMakeFiles/pfrl_fed.dir/mfpo.cpp.o" "gcc" "src/fed/CMakeFiles/pfrl_fed.dir/mfpo.cpp.o.d"
+  "/root/repo/src/fed/server.cpp" "src/fed/CMakeFiles/pfrl_fed.dir/server.cpp.o" "gcc" "src/fed/CMakeFiles/pfrl_fed.dir/server.cpp.o.d"
+  "/root/repo/src/fed/trainer.cpp" "src/fed/CMakeFiles/pfrl_fed.dir/trainer.cpp.o" "gcc" "src/fed/CMakeFiles/pfrl_fed.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rl/CMakeFiles/pfrl_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pfrl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pfrl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/pfrl_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pfrl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pfrl_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

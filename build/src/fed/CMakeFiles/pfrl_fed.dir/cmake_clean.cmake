@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfrl_fed.dir/aggregator.cpp.o"
+  "CMakeFiles/pfrl_fed.dir/aggregator.cpp.o.d"
+  "CMakeFiles/pfrl_fed.dir/attention_aggregator.cpp.o"
+  "CMakeFiles/pfrl_fed.dir/attention_aggregator.cpp.o.d"
+  "CMakeFiles/pfrl_fed.dir/bus.cpp.o"
+  "CMakeFiles/pfrl_fed.dir/bus.cpp.o.d"
+  "CMakeFiles/pfrl_fed.dir/client.cpp.o"
+  "CMakeFiles/pfrl_fed.dir/client.cpp.o.d"
+  "CMakeFiles/pfrl_fed.dir/fedavg.cpp.o"
+  "CMakeFiles/pfrl_fed.dir/fedavg.cpp.o.d"
+  "CMakeFiles/pfrl_fed.dir/mfpo.cpp.o"
+  "CMakeFiles/pfrl_fed.dir/mfpo.cpp.o.d"
+  "CMakeFiles/pfrl_fed.dir/server.cpp.o"
+  "CMakeFiles/pfrl_fed.dir/server.cpp.o.d"
+  "CMakeFiles/pfrl_fed.dir/trainer.cpp.o"
+  "CMakeFiles/pfrl_fed.dir/trainer.cpp.o.d"
+  "libpfrl_fed.a"
+  "libpfrl_fed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfrl_fed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pfrl_fed.
+# This may be replaced when dependencies are built.

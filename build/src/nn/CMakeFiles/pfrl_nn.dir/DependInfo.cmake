@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/pfrl_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/pfrl_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/adam.cpp" "src/nn/CMakeFiles/pfrl_nn.dir/adam.cpp.o" "gcc" "src/nn/CMakeFiles/pfrl_nn.dir/adam.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/pfrl_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/pfrl_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/pfrl_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/pfrl_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/nn/CMakeFiles/pfrl_nn.dir/matrix.cpp.o" "gcc" "src/nn/CMakeFiles/pfrl_nn.dir/matrix.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/pfrl_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/pfrl_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/similarity.cpp" "src/nn/CMakeFiles/pfrl_nn.dir/similarity.cpp.o" "gcc" "src/nn/CMakeFiles/pfrl_nn.dir/similarity.cpp.o.d"
+  "/root/repo/src/nn/softmax.cpp" "src/nn/CMakeFiles/pfrl_nn.dir/softmax.cpp.o" "gcc" "src/nn/CMakeFiles/pfrl_nn.dir/softmax.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pfrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfrl_nn.dir/activations.cpp.o"
+  "CMakeFiles/pfrl_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/pfrl_nn.dir/adam.cpp.o"
+  "CMakeFiles/pfrl_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/pfrl_nn.dir/attention.cpp.o"
+  "CMakeFiles/pfrl_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/pfrl_nn.dir/linear.cpp.o"
+  "CMakeFiles/pfrl_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/pfrl_nn.dir/matrix.cpp.o"
+  "CMakeFiles/pfrl_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/pfrl_nn.dir/mlp.cpp.o"
+  "CMakeFiles/pfrl_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/pfrl_nn.dir/similarity.cpp.o"
+  "CMakeFiles/pfrl_nn.dir/similarity.cpp.o.d"
+  "CMakeFiles/pfrl_nn.dir/softmax.cpp.o"
+  "CMakeFiles/pfrl_nn.dir/softmax.cpp.o.d"
+  "libpfrl_nn.a"
+  "libpfrl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfrl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

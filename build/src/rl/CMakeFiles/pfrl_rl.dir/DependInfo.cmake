@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/agent.cpp" "src/rl/CMakeFiles/pfrl_rl.dir/agent.cpp.o" "gcc" "src/rl/CMakeFiles/pfrl_rl.dir/agent.cpp.o.d"
+  "/root/repo/src/rl/dual_critic_ppo.cpp" "src/rl/CMakeFiles/pfrl_rl.dir/dual_critic_ppo.cpp.o" "gcc" "src/rl/CMakeFiles/pfrl_rl.dir/dual_critic_ppo.cpp.o.d"
+  "/root/repo/src/rl/ppo.cpp" "src/rl/CMakeFiles/pfrl_rl.dir/ppo.cpp.o" "gcc" "src/rl/CMakeFiles/pfrl_rl.dir/ppo.cpp.o.d"
+  "/root/repo/src/rl/rollout.cpp" "src/rl/CMakeFiles/pfrl_rl.dir/rollout.cpp.o" "gcc" "src/rl/CMakeFiles/pfrl_rl.dir/rollout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/env/CMakeFiles/pfrl_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pfrl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pfrl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pfrl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pfrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfrl_rl.dir/agent.cpp.o"
+  "CMakeFiles/pfrl_rl.dir/agent.cpp.o.d"
+  "CMakeFiles/pfrl_rl.dir/dual_critic_ppo.cpp.o"
+  "CMakeFiles/pfrl_rl.dir/dual_critic_ppo.cpp.o.d"
+  "CMakeFiles/pfrl_rl.dir/ppo.cpp.o"
+  "CMakeFiles/pfrl_rl.dir/ppo.cpp.o.d"
+  "CMakeFiles/pfrl_rl.dir/rollout.cpp.o"
+  "CMakeFiles/pfrl_rl.dir/rollout.cpp.o.d"
+  "libpfrl_rl.a"
+  "libpfrl_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfrl_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

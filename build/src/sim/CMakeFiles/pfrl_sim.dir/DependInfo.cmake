@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/pfrl_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/pfrl_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/pfrl_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/pfrl_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/vm.cpp" "src/sim/CMakeFiles/pfrl_sim.dir/vm.cpp.o" "gcc" "src/sim/CMakeFiles/pfrl_sim.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pfrl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pfrl_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

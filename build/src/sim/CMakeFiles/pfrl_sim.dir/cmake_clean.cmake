@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfrl_sim.dir/cluster.cpp.o"
+  "CMakeFiles/pfrl_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/pfrl_sim.dir/metrics.cpp.o"
+  "CMakeFiles/pfrl_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/pfrl_sim.dir/vm.cpp.o"
+  "CMakeFiles/pfrl_sim.dir/vm.cpp.o.d"
+  "libpfrl_sim.a"
+  "libpfrl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfrl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfrl_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/pfrl_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/pfrl_stats.dir/summary.cpp.o"
+  "CMakeFiles/pfrl_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/pfrl_stats.dir/wilcoxon.cpp.o"
+  "CMakeFiles/pfrl_stats.dir/wilcoxon.cpp.o.d"
+  "libpfrl_stats.a"
+  "libpfrl_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfrl_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

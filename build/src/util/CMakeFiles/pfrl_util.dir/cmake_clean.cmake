@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfrl_util.dir/cli.cpp.o"
+  "CMakeFiles/pfrl_util.dir/cli.cpp.o.d"
+  "CMakeFiles/pfrl_util.dir/csv.cpp.o"
+  "CMakeFiles/pfrl_util.dir/csv.cpp.o.d"
+  "CMakeFiles/pfrl_util.dir/logging.cpp.o"
+  "CMakeFiles/pfrl_util.dir/logging.cpp.o.d"
+  "CMakeFiles/pfrl_util.dir/rng.cpp.o"
+  "CMakeFiles/pfrl_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pfrl_util.dir/serialization.cpp.o"
+  "CMakeFiles/pfrl_util.dir/serialization.cpp.o.d"
+  "CMakeFiles/pfrl_util.dir/table.cpp.o"
+  "CMakeFiles/pfrl_util.dir/table.cpp.o.d"
+  "CMakeFiles/pfrl_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/pfrl_util.dir/thread_pool.cpp.o.d"
+  "libpfrl_util.a"
+  "libpfrl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfrl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

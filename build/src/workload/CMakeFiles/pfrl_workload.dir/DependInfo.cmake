@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/catalog.cpp" "src/workload/CMakeFiles/pfrl_workload.dir/catalog.cpp.o" "gcc" "src/workload/CMakeFiles/pfrl_workload.dir/catalog.cpp.o.d"
+  "/root/repo/src/workload/dag.cpp" "src/workload/CMakeFiles/pfrl_workload.dir/dag.cpp.o" "gcc" "src/workload/CMakeFiles/pfrl_workload.dir/dag.cpp.o.d"
+  "/root/repo/src/workload/distribution.cpp" "src/workload/CMakeFiles/pfrl_workload.dir/distribution.cpp.o" "gcc" "src/workload/CMakeFiles/pfrl_workload.dir/distribution.cpp.o.d"
+  "/root/repo/src/workload/model.cpp" "src/workload/CMakeFiles/pfrl_workload.dir/model.cpp.o" "gcc" "src/workload/CMakeFiles/pfrl_workload.dir/model.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/pfrl_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/pfrl_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/pfrl_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/pfrl_workload.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pfrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

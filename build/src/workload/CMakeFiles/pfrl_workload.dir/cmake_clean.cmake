@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfrl_workload.dir/catalog.cpp.o"
+  "CMakeFiles/pfrl_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/pfrl_workload.dir/dag.cpp.o"
+  "CMakeFiles/pfrl_workload.dir/dag.cpp.o.d"
+  "CMakeFiles/pfrl_workload.dir/distribution.cpp.o"
+  "CMakeFiles/pfrl_workload.dir/distribution.cpp.o.d"
+  "CMakeFiles/pfrl_workload.dir/model.cpp.o"
+  "CMakeFiles/pfrl_workload.dir/model.cpp.o.d"
+  "CMakeFiles/pfrl_workload.dir/trace.cpp.o"
+  "CMakeFiles/pfrl_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/pfrl_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/pfrl_workload.dir/trace_io.cpp.o.d"
+  "libpfrl_workload.a"
+  "libpfrl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfrl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_presets_test.dir/core_presets_test.cpp.o"
+  "CMakeFiles/core_presets_test.dir/core_presets_test.cpp.o.d"
+  "core_presets_test"
+  "core_presets_test.pdb"
+  "core_presets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_presets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

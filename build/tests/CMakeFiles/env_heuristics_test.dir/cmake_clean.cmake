@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/env_heuristics_test.dir/env_heuristics_test.cpp.o"
+  "CMakeFiles/env_heuristics_test.dir/env_heuristics_test.cpp.o.d"
+  "env_heuristics_test"
+  "env_heuristics_test.pdb"
+  "env_heuristics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/env_heuristics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/env_workflow_test.dir/env_workflow_test.cpp.o"
+  "CMakeFiles/env_workflow_test.dir/env_workflow_test.cpp.o.d"
+  "env_workflow_test"
+  "env_workflow_test.pdb"
+  "env_workflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/env_workflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

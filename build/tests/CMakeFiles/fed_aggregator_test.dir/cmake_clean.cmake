@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fed_aggregator_test.dir/fed_aggregator_test.cpp.o"
+  "CMakeFiles/fed_aggregator_test.dir/fed_aggregator_test.cpp.o.d"
+  "fed_aggregator_test"
+  "fed_aggregator_test.pdb"
+  "fed_aggregator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fed_aggregator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

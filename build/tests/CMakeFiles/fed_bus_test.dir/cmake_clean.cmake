@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fed_bus_test.dir/fed_bus_test.cpp.o"
+  "CMakeFiles/fed_bus_test.dir/fed_bus_test.cpp.o.d"
+  "fed_bus_test"
+  "fed_bus_test.pdb"
+  "fed_bus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fed_bus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fed_client_server_test.dir/fed_client_server_test.cpp.o"
+  "CMakeFiles/fed_client_server_test.dir/fed_client_server_test.cpp.o.d"
+  "fed_client_server_test"
+  "fed_client_server_test.pdb"
+  "fed_client_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fed_client_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

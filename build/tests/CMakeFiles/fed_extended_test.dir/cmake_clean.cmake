@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fed_extended_test.dir/fed_extended_test.cpp.o"
+  "CMakeFiles/fed_extended_test.dir/fed_extended_test.cpp.o.d"
+  "fed_extended_test"
+  "fed_extended_test.pdb"
+  "fed_extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fed_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fed_protocol_test.dir/fed_protocol_test.cpp.o"
+  "CMakeFiles/fed_protocol_test.dir/fed_protocol_test.cpp.o.d"
+  "fed_protocol_test"
+  "fed_protocol_test.pdb"
+  "fed_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fed_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fed_trainer_test.dir/fed_trainer_test.cpp.o"
+  "CMakeFiles/fed_trainer_test.dir/fed_trainer_test.cpp.o.d"
+  "fed_trainer_test"
+  "fed_trainer_test.pdb"
+  "fed_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fed_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_similarity_test.dir/nn_similarity_test.cpp.o"
+  "CMakeFiles/nn_similarity_test.dir/nn_similarity_test.cpp.o.d"
+  "nn_similarity_test"
+  "nn_similarity_test.pdb"
+  "nn_similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

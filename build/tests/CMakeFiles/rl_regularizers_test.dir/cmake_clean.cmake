@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_regularizers_test.dir/rl_regularizers_test.cpp.o"
+  "CMakeFiles/rl_regularizers_test.dir/rl_regularizers_test.cpp.o.d"
+  "rl_regularizers_test"
+  "rl_regularizers_test.pdb"
+  "rl_regularizers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_regularizers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

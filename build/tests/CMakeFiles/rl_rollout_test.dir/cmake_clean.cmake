@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_rollout_test.dir/rl_rollout_test.cpp.o"
+  "CMakeFiles/rl_rollout_test.dir/rl_rollout_test.cpp.o.d"
+  "rl_rollout_test"
+  "rl_rollout_test.pdb"
+  "rl_rollout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_rollout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_power_test.dir/sim_power_test.cpp.o"
+  "CMakeFiles/sim_power_test.dir/sim_power_test.cpp.o.d"
+  "sim_power_test"
+  "sim_power_test.pdb"
+  "sim_power_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

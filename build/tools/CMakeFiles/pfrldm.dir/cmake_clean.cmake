@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfrldm.dir/pfrldm_cli.cpp.o"
+  "CMakeFiles/pfrldm.dir/pfrldm_cli.cpp.o.d"
+  "pfrldm"
+  "pfrldm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfrldm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
