@@ -45,6 +45,8 @@ Federation::Federation(std::vector<ClientPreset> presets, FederationConfig confi
                                           : config_.participants_per_round;
   trainer_cfg.seed = config_.seed ^ 0xFEDFEDFEDULL;
   trainer_cfg.threads = config_.threads;
+  trainer_cfg.faults = config_.faults;
+  trainer_cfg.min_participants = config_.min_participants;
   trainer_ = std::make_unique<fed::FedTrainer>(trainer_cfg, make_aggregator(config_),
                                                std::move(clients));
 }

@@ -36,6 +36,10 @@ struct FederationConfig {
   double rho = 0.5;                  // reward mix (Eq. 6)
   bool strict_paper_reward = false;  // Eq. 8 literal sign
   double energy_weight = 0.0;        // energy-objective extension (0 = paper)
+  /// Fault model for the bus (fed/fault.hpp); all-zero = perfect network.
+  fed::FaultPlan faults;
+  /// Valid uploads the server requires before aggregating (quorum).
+  std::size_t min_participants = 1;
 };
 
 /// Builds the aggregator matching `algorithm` (null for independent PPO).

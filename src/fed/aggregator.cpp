@@ -1,8 +1,15 @@
 #include "fed/aggregator.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace pfrl::fed {
+
+bool models_all_finite(const nn::Matrix& models) {
+  for (const float v : models.flat())
+    if (!std::isfinite(v)) return false;
+  return true;
+}
 
 AggregationOutput weighted_aggregate(const AggregationInput& input, const nn::Matrix& weights) {
   const std::size_t k = input.models.rows();
@@ -11,6 +18,8 @@ AggregationOutput weighted_aggregate(const AggregationInput& input, const nn::Ma
     throw std::invalid_argument("weighted_aggregate: weight matrix must be K x K");
   if (input.client_ids.size() != k)
     throw std::invalid_argument("weighted_aggregate: client ids not row-aligned");
+  if (!models_all_finite(input.models))
+    throw std::invalid_argument("weighted_aggregate: non-finite model upload");
 
   AggregationOutput out;
   out.weights = weights;

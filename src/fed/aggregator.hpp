@@ -38,6 +38,13 @@ class Aggregator {
   virtual std::string name() const = 0;
 };
 
+/// True when every entry of `models` is finite. Aggregators call this as
+/// a last line of defense: one diverged (NaN/Inf) upload averaged into
+/// ψ_G would poison every client's critic, so such inputs are rejected
+/// with std::invalid_argument. (FedServer filters non-finite uploads
+/// per-message before they ever reach an aggregator.)
+bool models_all_finite(const nn::Matrix& models);
+
 /// Shared implementation: personalized_k = Σ_j W_kj · Θ_j for an arbitrary
 /// row-stochastic W, and ψ_G = mean of the personalized rows.
 AggregationOutput weighted_aggregate(const AggregationInput& input, const nn::Matrix& weights);

@@ -9,6 +9,10 @@ AttentionAggregator::AttentionAggregator(nn::MultiHeadAttentionConfig config)
 
 AggregationOutput AttentionAggregator::aggregate(const AggregationInput& input) {
   if (input.models.rows() == 0) throw std::invalid_argument("AttentionAggregator: no models");
+  // Checked before the attention forward pass: a NaN upload would turn
+  // the similarity scores — and thus every weight row — into NaN.
+  if (!models_all_finite(input.models))
+    throw std::invalid_argument("AttentionAggregator: non-finite model upload");
   if (!attention_) {
     attention_.emplace(input.models.cols(), config_);
   } else if (attention_->input_dim() != input.models.cols()) {

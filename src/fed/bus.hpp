@@ -14,22 +14,32 @@
 
 namespace pfrl::fed {
 
+// The send/drain entry points are virtual so a fault model can be layered
+// on top (fed::FaultyBus drops/delays/duplicates/corrupts in-flight
+// messages); the plain Bus stays the zero-overhead perfect network.
 class Bus {
  public:
   explicit Bus(std::size_t client_count);
+  virtual ~Bus() = default;
 
-  std::size_t client_count() const { return client_boxes_.size(); }
+  Bus(const Bus&) = delete;
+  Bus& operator=(const Bus&) = delete;
+
+  std::size_t client_count() const {
+    const std::scoped_lock lock(mutex_);
+    return client_boxes_.size();
+  }
 
   /// Client -> server.
-  void send_to_server(Message message);
+  virtual void send_to_server(Message message);
   /// Server -> one client.
-  void send_to_client(std::size_t client, Message message);
+  virtual void send_to_client(std::size_t client, Message message);
 
-  std::vector<Message> drain_server();
-  std::vector<Message> drain_client(std::size_t client);
+  virtual std::vector<Message> drain_server();
+  virtual std::vector<Message> drain_client(std::size_t client);
 
   /// Grow to accommodate a newly joined client (Fig. 20); returns its id.
-  std::size_t add_client();
+  virtual std::size_t add_client();
 
   std::uint64_t uplink_bytes() const;
   std::uint64_t downlink_bytes() const;

@@ -1,5 +1,6 @@
 #include "fed/client.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "util/serialization.hpp"
@@ -101,6 +102,45 @@ void FedClient::apply_download(std::span<const std::uint8_t> payload) {
       break;
     }
   }
+}
+
+bool FedClient::try_apply_download(const Message& message, std::string* reason) {
+  const auto fail = [reason](const char* why) {
+    if (reason) *reason = why;
+    return false;
+  };
+  if (config_.algorithm == FedAlgorithm::kIndependent)
+    return fail("independent client accepts no downloads");
+  if (message.type != MessageType::kModelPersonalized &&
+      message.type != MessageType::kModelGlobal)
+    return fail("unexpected message type");
+  if (!checksum_ok(message)) return fail("checksum mismatch (corrupted payload)");
+  std::vector<float> flat;
+  try {
+    util::ByteReader reader(message.payload);
+    flat = reader.read_f32_vector();
+    if (!reader.exhausted()) return fail("trailing bytes");
+  } catch (const std::exception&) {
+    return fail("truncated payload");
+  }
+  if (flat.size() != upload_param_count()) return fail("parameter count mismatch");
+  for (const float v : flat)
+    if (!std::isfinite(v)) return fail("non-finite parameters");
+  // Validated; the throwing paths below cannot fire now.
+  switch (config_.algorithm) {
+    case FedAlgorithm::kIndependent:
+      return false;  // unreachable
+    case FedAlgorithm::kPfrlDm:
+      dual_agent()->load_public_critic(flat);
+      break;
+    case FedAlgorithm::kFedAvg:
+    case FedAlgorithm::kMfpo:
+    case FedAlgorithm::kFedProx:
+    case FedAlgorithm::kFedKl:
+      apply_download(message.payload);
+      break;
+  }
+  return true;
 }
 
 std::size_t FedClient::upload_param_count() {

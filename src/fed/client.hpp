@@ -10,9 +10,11 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "env/scheduling_env.hpp"
+#include "fed/message.hpp"
 #include "rl/dual_critic_ppo.hpp"
 #include "rl/ppo.hpp"
 
@@ -54,6 +56,14 @@ class FedClient {
   std::vector<std::uint8_t> make_upload();
   /// Applies a (personalized or global) model from the server.
   void apply_download(std::span<const std::uint8_t> payload);
+
+  /// Validated download path used under the fault model: verifies the
+  /// message checksum, decodes, and checks shape and finiteness before
+  /// touching any parameters. On failure the model is left untouched and
+  /// false is returned (`reason`, if given, says why) — the client keeps
+  /// its previous public critic and the adaptive α (Eq. 15) down-weights
+  /// it as it goes stale, instead of the federation aborting.
+  bool try_apply_download(const Message& message, std::string* reason = nullptr);
   /// Number of floats in an upload — P for the aggregator.
   std::size_t upload_param_count();
 

@@ -1,0 +1,115 @@
+#include "fed/fault.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace pfrl::fed {
+
+bool FaultPlan::enabled() const {
+  return uplink_drop > 0.0 || downlink_drop > 0.0 || uplink_corrupt > 0.0 ||
+         downlink_corrupt > 0.0 || uplink_duplicate > 0.0 || uplink_delay > 0.0 ||
+         !crashes.empty();
+}
+
+bool FaultPlan::crashed(std::size_t client, std::uint64_t round) const {
+  for (const CrashWindow& w : crashes)
+    if (w.client == client && round >= w.from_round && round < w.until_round) return true;
+  return false;
+}
+
+FaultyBus::FaultyBus(std::size_t client_count, FaultPlan plan)
+    : Bus(client_count), plan_(std::move(plan)) {}
+
+util::Rng& FaultyBus::link_rng(bool uplink, std::size_t client) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(uplink) << 32) | client;
+  auto it = link_rngs_.find(key);
+  if (it == link_rngs_.end())
+    it = link_rngs_.emplace(key, util::Rng(plan_.seed ^ (key * 0x9E3779B97F4A7C15ULL))).first;
+  return it->second;
+}
+
+void FaultyBus::corrupt_payload(Message& message, util::Rng& rng) {
+  const std::size_t flips = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  for (std::size_t f = 0; f < flips; ++f) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(message.payload.size()) - 1));
+    message.payload[pos] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+  }
+}
+
+void FaultyBus::send_to_server(Message message) {
+  const auto client = static_cast<std::size_t>(std::max(message.sender, 0));
+  if (plan_.crashed(client, round_)) {
+    ++counters_.crash_suppressed;
+    return;
+  }
+  util::Rng& rng = link_rng(/*uplink=*/true, client);
+  // All four decisions are drawn every time so the per-link stream
+  // consumption does not depend on earlier outcomes.
+  const bool drop = rng.bernoulli(plan_.uplink_drop);
+  const bool delay = rng.bernoulli(plan_.uplink_delay);
+  const bool corrupt = rng.bernoulli(plan_.uplink_corrupt);
+  const bool duplicate = rng.bernoulli(plan_.uplink_duplicate);
+  if (drop) {
+    ++counters_.uplink_dropped;
+    PFRL_LOG_DEBUG("fault: dropped upload from client %zu (round %llu)", client,
+                   static_cast<unsigned long long>(message.round));
+    return;
+  }
+  if (corrupt && !message.payload.empty()) {
+    corrupt_payload(message, rng);
+    ++counters_.uplink_corrupted;
+  }
+  if (delay && plan_.max_delay_rounds > 0) {
+    const auto by = static_cast<std::uint64_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(plan_.max_delay_rounds)));
+    ++counters_.delayed;
+    delayed_.emplace_back(round_ + by, std::move(message));
+    return;
+  }
+  if (duplicate) {
+    ++counters_.duplicated;
+    Bus::send_to_server(message);
+  }
+  Bus::send_to_server(std::move(message));
+}
+
+void FaultyBus::send_to_client(std::size_t client, Message message) {
+  if (plan_.crashed(client, round_)) {
+    ++counters_.crash_suppressed;
+    return;
+  }
+  util::Rng& rng = link_rng(/*uplink=*/false, client);
+  const bool drop = rng.bernoulli(plan_.downlink_drop);
+  const bool corrupt = rng.bernoulli(plan_.downlink_corrupt);
+  if (drop) {
+    ++counters_.downlink_dropped;
+    PFRL_LOG_DEBUG("fault: dropped download to client %zu (round %llu)", client,
+                   static_cast<unsigned long long>(message.round));
+    return;
+  }
+  if (corrupt && !message.payload.empty()) {
+    corrupt_payload(message, rng);
+    ++counters_.downlink_corrupted;
+  }
+  Bus::send_to_client(client, std::move(message));
+}
+
+void FaultyBus::begin_round(std::uint64_t round) {
+  round_ = round;
+  std::vector<Message> release;
+  for (auto it = delayed_.begin(); it != delayed_.end();) {
+    if (it->first <= round_) {
+      release.push_back(std::move(it->second));
+      it = delayed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Released messages keep their original round id, so the server's
+  // staleness check classifies them as late arrivals.
+  for (Message& m : release) Bus::send_to_server(std::move(m));
+}
+
+}  // namespace pfrl::fed

@@ -1,0 +1,99 @@
+// Fault injection for the federated stack.
+//
+// Real federations lose uploads, deliver them late, duplicate them,
+// corrupt bits in transit, and lose whole clients for stretches of
+// training. FaultPlan describes such a fault model (seeded, so every
+// run is reproducible); FaultyBus applies it to messages in flight while
+// leaving the Bus interface — and therefore FedServer/FedTrainer —
+// unchanged. The receive-path hardening that the injected faults
+// exercise lives in FedServer::run_round (checksum/round/shape/finite
+// validation + quorum) and FedClient::try_apply_download (keep the
+// previous public critic; Eq. 15's α then down-weights it).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fed/bus.hpp"
+#include "util/rng.hpp"
+
+namespace pfrl::fed {
+
+/// A scheduled client outage: the client is down for rounds
+/// [from_round, until_round) — it neither trains, uploads, nor receives.
+struct CrashWindow {
+  std::size_t client = 0;
+  std::uint64_t from_round = 0;
+  std::uint64_t until_round = 0;
+};
+
+/// Per-link fault probabilities plus the crash schedule. All-zero (the
+/// default) means a perfect network; FedTrainer then uses a plain Bus and
+/// behaves byte-for-byte like the fault-free implementation.
+struct FaultPlan {
+  double uplink_drop = 0.0;        // P(upload silently lost)
+  double downlink_drop = 0.0;      // P(download silently lost)
+  double uplink_corrupt = 0.0;     // P(upload payload bit-flipped)
+  double downlink_corrupt = 0.0;   // P(download payload bit-flipped)
+  double uplink_duplicate = 0.0;   // P(upload delivered twice)
+  double uplink_delay = 0.0;       // P(upload deferred >= 1 round)
+  std::size_t max_delay_rounds = 1;  // delay drawn uniformly from [1, max]
+  std::vector<CrashWindow> crashes;
+  std::uint64_t seed = 0x5EEDFA17;
+
+  bool enabled() const;
+  bool crashed(std::size_t client, std::uint64_t round) const;
+};
+
+struct FaultCounters {
+  std::uint64_t uplink_dropped = 0;
+  std::uint64_t downlink_dropped = 0;
+  std::uint64_t uplink_corrupted = 0;
+  std::uint64_t downlink_corrupted = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+  /// Messages blackholed because an endpoint was inside a crash window.
+  std::uint64_t crash_suppressed = 0;
+
+  std::uint64_t total() const {
+    return uplink_dropped + downlink_dropped + uplink_corrupted + downlink_corrupted +
+           duplicated + delayed + crash_suppressed;
+  }
+};
+
+/// A Bus that injects the FaultPlan's faults. Each (direction, client)
+/// link owns an independent RNG stream derived from the plan seed, so
+/// fault decisions on one link never shift another link's stream and a
+/// fixed seed reproduces the exact fault sequence.
+class FaultyBus final : public Bus {
+ public:
+  FaultyBus(std::size_t client_count, FaultPlan plan);
+
+  void send_to_server(Message message) override;
+  void send_to_client(std::size_t client, Message message) override;
+
+  /// Round boundary hook (called by FedTrainer before the upload phase):
+  /// advances the crash schedule and releases messages whose delay
+  /// expired — they arrive carrying their original round id, so the
+  /// server's staleness check sees them as late.
+  void begin_round(std::uint64_t round);
+
+  const FaultCounters& counters() const { return counters_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  util::Rng& link_rng(bool uplink, std::size_t client);
+  /// Flips 1–4 random bytes of the payload (checksum left as stamped, so
+  /// the receiver's CRC verification catches it).
+  void corrupt_payload(Message& message, util::Rng& rng);
+
+  FaultPlan plan_;
+  std::uint64_t round_ = 0;
+  std::vector<std::pair<std::uint64_t, Message>> delayed_;  // (deliver_at, msg)
+  std::unordered_map<std::uint64_t, util::Rng> link_rngs_;
+  FaultCounters counters_;
+};
+
+}  // namespace pfrl::fed

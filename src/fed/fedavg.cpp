@@ -7,6 +7,8 @@ namespace pfrl::fed {
 AggregationOutput FedAvgAggregator::aggregate(const AggregationInput& input) {
   const std::size_t k = input.models.rows();
   if (k == 0) throw std::invalid_argument("FedAvg: no models");
+  if (!models_all_finite(input.models))
+    throw std::invalid_argument("FedAvg: non-finite model upload");
   nn::Matrix uniform(k, k, 1.0F / static_cast<float>(k));
   return weighted_aggregate(input, uniform);
 }

@@ -3,10 +3,17 @@
 // keeps clients honestly isolated and makes communication costs
 // measurable (§5.2 compares PFRL-DM's critic-only traffic against
 // FedAvg's actor+critic traffic).
+//
+// Every message carries a CRC-32 of its payload. Receivers (FedServer for
+// uploads, FedClient for downloads) verify it and drop mismatching
+// messages instead of deserializing corrupted parameters — the first line
+// of defense of the fault-tolerance layer (fed/fault.hpp).
 #pragma once
 
 #include <cstdint>
 #include <vector>
+
+#include "util/serialization.hpp"
 
 namespace pfrl::fed {
 
@@ -20,7 +27,24 @@ struct Message {
   MessageType type = MessageType::kModelUpload;
   int sender = -1;  // client id, or -1 for the server
   std::uint64_t round = 0;
+  std::uint32_t checksum = 0;  // CRC-32 of payload (see make_message)
   std::vector<std::uint8_t> payload;
 };
+
+/// Builds a message with its checksum stamped. All legitimate senders go
+/// through this; a zero/default checksum on a non-empty payload is
+/// indistinguishable from corruption and will be rejected downstream.
+inline Message make_message(MessageType type, int sender, std::uint64_t round,
+                            std::vector<std::uint8_t> payload) {
+  Message m;
+  m.type = type;
+  m.sender = sender;
+  m.round = round;
+  m.payload = std::move(payload);
+  m.checksum = util::crc32(m.payload);
+  return m;
+}
+
+inline bool checksum_ok(const Message& m) { return util::crc32(m.payload) == m.checksum; }
 
 }  // namespace pfrl::fed

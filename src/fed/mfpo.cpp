@@ -10,6 +10,8 @@ AggregationOutput MfpoAggregator::aggregate(const AggregationInput& input) {
   const std::size_t k = input.models.rows();
   const std::size_t p = input.models.cols();
   if (k == 0) throw std::invalid_argument("MfpoAggregator: no models");
+  if (!models_all_finite(input.models))
+    throw std::invalid_argument("MfpoAggregator: non-finite model upload");
 
   // Average of the uploaded models.
   std::vector<float> avg(p, 0.0F);

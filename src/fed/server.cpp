@@ -1,8 +1,10 @@
 #include "fed/server.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "util/logging.hpp"
 #include "util/serialization.hpp"
 
 namespace pfrl::fed {
@@ -13,11 +15,19 @@ FedServer::FedServer(std::unique_ptr<Aggregator> aggregator)
 }
 
 namespace {
+
 std::vector<std::uint8_t> encode_model(std::span<const float> model) {
   util::ByteWriter writer;
   writer.write_f32_span(model);
   return writer.take();
 }
+
+bool all_finite(std::span<const float> values) {
+  for (const float v : values)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
 }  // namespace
 
 std::size_t FedServer::run_round(Bus& bus, std::uint64_t round,
@@ -25,22 +35,83 @@ std::size_t FedServer::run_round(Bus& bus, std::uint64_t round,
   const std::vector<Message> uploads = bus.drain_server();
   if (uploads.empty()) return 0;
 
-  // Decode the K uploads into a K × P matrix (row order = arrival order).
+  // Validate each upload independently: decode failures, corruption, and
+  // stale or duplicated deliveries cost that one message, never the round.
   AggregationInput input;
   input.client_ids.reserve(uploads.size());
   std::vector<std::vector<float>> rows;
   rows.reserve(uploads.size());
-  std::size_t p = 0;
+  // ψ_G (when it exists) pins the expected parameter count; before the
+  // first aggregation the first valid upload defines it.
+  std::size_t p = global_model_.size();
   for (const Message& m : uploads) {
-    if (m.type != MessageType::kModelUpload)
-      throw std::invalid_argument("FedServer: unexpected message type in inbox");
-    util::ByteReader reader(m.payload);
-    rows.push_back(reader.read_f32_vector());
-    if (p == 0) p = rows.back().size();
-    if (rows.back().size() != p)
-      throw std::invalid_argument("FedServer: clients uploaded differently sized models");
+    if (m.type != MessageType::kModelUpload) {
+      ++stats_.rejected_type;
+      PFRL_LOG_WARN("FedServer: dropped non-upload message (type %d) from %d",
+                    static_cast<int>(m.type), m.sender);
+      continue;
+    }
+    if (!checksum_ok(m)) {
+      ++stats_.rejected_checksum;
+      PFRL_LOG_WARN("FedServer: dropped corrupted upload from client %d (round %llu)", m.sender,
+                    static_cast<unsigned long long>(m.round));
+      continue;
+    }
+    if (m.round != round) {
+      ++stats_.rejected_stale;
+      PFRL_LOG_WARN("FedServer: dropped stale upload from client %d (round %llu, expected %llu)",
+                    m.sender, static_cast<unsigned long long>(m.round),
+                    static_cast<unsigned long long>(round));
+      continue;
+    }
+    std::vector<float> row;
+    try {
+      util::ByteReader reader(m.payload);
+      row = reader.read_f32_vector();
+      if (!reader.exhausted()) throw std::out_of_range("trailing bytes");
+    } catch (const std::exception& e) {
+      ++stats_.rejected_malformed;
+      PFRL_LOG_WARN("FedServer: dropped malformed upload from client %d: %s", m.sender, e.what());
+      continue;
+    }
+    if (row.empty() || (p != 0 && row.size() != p)) {
+      ++stats_.rejected_size;
+      PFRL_LOG_WARN("FedServer: dropped mis-sized upload from client %d (%zu params, expected %zu)",
+                    m.sender, row.size(), p);
+      continue;
+    }
+    if (!all_finite(row)) {
+      ++stats_.rejected_nonfinite;
+      PFRL_LOG_WARN("FedServer: dropped non-finite upload from client %d (diverged?)", m.sender);
+      continue;
+    }
+    if (std::find(input.client_ids.begin(), input.client_ids.end(), m.sender) !=
+        input.client_ids.end()) {
+      ++stats_.rejected_duplicate;
+      PFRL_LOG_WARN("FedServer: dropped duplicate upload from client %d (round %llu)", m.sender,
+                    static_cast<unsigned long long>(m.round));
+      continue;
+    }
+    if (p == 0) p = row.size();
+    ++stats_.accepted;
+    rows.push_back(std::move(row));
     input.client_ids.push_back(m.sender);
   }
+
+  if (rows.size() < min_participants_) {
+    // Quorum not met: skip aggregation, carry ψ_G forward, and answer
+    // everyone with it so surviving clients do not go stale needlessly.
+    ++stats_.quorum_failures;
+    PFRL_LOG_WARN("FedServer: round %llu below quorum (%zu valid < %zu); carrying psi_G forward",
+                  static_cast<unsigned long long>(round), rows.size(), min_participants_);
+    if (has_global_model()) {
+      for (const std::size_t client : all_clients)
+        bus.send_to_client(client, make_message(MessageType::kModelGlobal, -1, round,
+                                                encode_model(global_model_)));
+    }
+    return 0;
+  }
+
   input.models = nn::Matrix(rows.size(), p);
   for (std::size_t i = 0; i < rows.size(); ++i)
     std::copy(rows[i].begin(), rows[i].end(), input.models.row(i).begin());
@@ -51,14 +122,10 @@ std::size_t FedServer::run_round(Bus& bus, std::uint64_t round,
   last_participants_ = input.client_ids;
 
   // Personalized models to participants (Algorithm 1 line 15's first arm).
-  for (std::size_t i = 0; i < input.client_ids.size(); ++i) {
-    Message reply;
-    reply.type = MessageType::kModelPersonalized;
-    reply.sender = -1;
-    reply.round = round;
-    reply.payload = encode_model(output.personalized[i]);
-    bus.send_to_client(static_cast<std::size_t>(input.client_ids[i]), std::move(reply));
-  }
+  for (std::size_t i = 0; i < input.client_ids.size(); ++i)
+    bus.send_to_client(static_cast<std::size_t>(input.client_ids[i]),
+                       make_message(MessageType::kModelPersonalized, -1, round,
+                                    encode_model(output.personalized[i])));
 
   // ψ_G to everyone else.
   for (const std::size_t client : all_clients) {
@@ -66,12 +133,8 @@ std::size_t FedServer::run_round(Bus& bus, std::uint64_t round,
         std::find(input.client_ids.begin(), input.client_ids.end(), static_cast<int>(client)) !=
         input.client_ids.end();
     if (participated) continue;
-    Message reply;
-    reply.type = MessageType::kModelGlobal;
-    reply.sender = -1;
-    reply.round = round;
-    reply.payload = encode_model(global_model_);
-    bus.send_to_client(client, std::move(reply));
+    bus.send_to_client(client, make_message(MessageType::kModelGlobal, -1, round,
+                                            encode_model(global_model_)));
   }
   return input.client_ids.size();
 }

@@ -2,6 +2,12 @@
 // uploads from the bus, runs the pluggable aggregation strategy, then
 // answers every participant with its personalized model and every other
 // known client with the stored global model ψ_G.
+//
+// The receive path is hardened: a malformed, corrupted, stale, mis-sized,
+// duplicated, or non-finite upload is rejected and logged — one bad
+// client never aborts the federation. Aggregation proceeds only when at
+// least `min_participants` valid uploads arrived; otherwise the round is
+// skipped and ψ_G carries forward unchanged (quorum semantics).
 #pragma once
 
 #include <memory>
@@ -13,15 +19,40 @@
 
 namespace pfrl::fed {
 
+/// Outcome counts of upload validation, cumulative across rounds.
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_type = 0;       // not a kModelUpload
+  std::uint64_t rejected_checksum = 0;   // CRC-32 mismatch (corruption)
+  std::uint64_t rejected_stale = 0;      // round id != current round
+  std::uint64_t rejected_malformed = 0;  // truncated / trailing bytes
+  std::uint64_t rejected_size = 0;       // parameter count mismatch
+  std::uint64_t rejected_nonfinite = 0;  // NaN/Inf parameters (divergence)
+  std::uint64_t rejected_duplicate = 0;  // same sender twice in one round
+  std::uint64_t quorum_failures = 0;     // rounds skipped: too few valid uploads
+
+  std::uint64_t total_rejected() const {
+    return rejected_type + rejected_checksum + rejected_stale + rejected_malformed +
+           rejected_size + rejected_nonfinite + rejected_duplicate;
+  }
+};
+
 class FedServer {
  public:
   explicit FedServer(std::unique_ptr<Aggregator> aggregator);
 
   /// Executes one aggregation round over whatever uploads are waiting in
   /// the bus. `all_clients` lists every known client id; those that did
-  /// not upload receive ψ_G (once one exists). Returns the number of
-  /// participants.
+  /// not upload receive ψ_G (once one exists). Invalid uploads are
+  /// rejected (see ServerStats); if fewer than min_participants valid
+  /// uploads remain the round is skipped, ψ_G carries forward, and every
+  /// client is answered with it. Returns the number of uploads
+  /// aggregated (0 when the round was skipped).
   std::size_t run_round(Bus& bus, std::uint64_t round, std::span<const std::size_t> all_clients);
+
+  /// Quorum: valid uploads required before aggregating (default 1).
+  void set_min_participants(std::size_t n) { min_participants_ = n == 0 ? 1 : n; }
+  std::size_t min_participants() const { return min_participants_; }
 
   /// Seeds ψ_G before training (initial broadcast) or for tests.
   void set_global_model(std::vector<float> model);
@@ -35,6 +66,8 @@ class FedServer {
   const nn::Matrix& last_weights() const { return last_weights_; }
   const std::vector<int>& last_participants() const { return last_participants_; }
 
+  const ServerStats& stats() const { return stats_; }
+
   const Aggregator& aggregator() const { return *aggregator_; }
 
  private:
@@ -42,6 +75,8 @@ class FedServer {
   std::vector<float> global_model_;
   nn::Matrix last_weights_;
   std::vector<int> last_participants_;
+  ServerStats stats_;
+  std::size_t min_participants_ = 1;
 };
 
 }  // namespace pfrl::fed

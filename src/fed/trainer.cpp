@@ -25,16 +25,25 @@ std::vector<double> TrainingHistory::mean_reward_curve() const {
   return curve;
 }
 
+namespace {
+std::unique_ptr<Bus> make_bus(std::size_t clients, const FaultPlan& plan) {
+  if (plan.enabled()) return std::make_unique<FaultyBus>(clients, plan);
+  return std::make_unique<Bus>(clients);
+}
+}  // namespace
+
 FedTrainer::FedTrainer(FedTrainerConfig config, std::unique_ptr<Aggregator> aggregator,
                        std::vector<std::unique_ptr<FedClient>> clients)
-    : config_(config),
+    : config_(std::move(config)),
       server_(aggregator ? std::make_unique<FedServer>(std::move(aggregator)) : nullptr),
       clients_(std::move(clients)),
-      bus_(clients_.size()),
-      rng_(config.seed),
-      pool_(config.threads) {
+      bus_(make_bus(clients_.size(), config_.faults)),
+      rng_(config_.seed),
+      pool_(config_.threads) {
   if (clients_.empty()) throw std::invalid_argument("FedTrainer: no clients");
   if (config_.comm_every == 0) throw std::invalid_argument("FedTrainer: comm_every must be > 0");
+  faulty_bus_ = dynamic_cast<FaultyBus*>(bus_.get());
+  if (server_) server_->set_min_participants(config_.min_participants);
   history_.clients.resize(clients_.size());
 
   if (communication_enabled() && config_.sync_initial_model) {
@@ -64,9 +73,21 @@ std::vector<std::size_t> FedTrainer::pick_participants() {
 }
 
 void FedTrainer::step_round() {
+  if (faulty_bus_) faulty_bus_->begin_round(round_index_);
+
+  // Clients inside a crash window sit the whole round out: no local
+  // training, no upload, and FaultyBus blackholes their downloads.
+  std::vector<char> crashed(clients_.size(), 0);
+  for (std::size_t i = 0; i < clients_.size(); ++i)
+    if (config_.faults.crashed(i, round_index_)) {
+      crashed[i] = 1;
+      ++history_.clients[i].rounds_crashed;
+    }
+
   // --- Local training: "for each client n in parallel" (Algorithm 1). ---
   const std::size_t episodes = config_.comm_every;
   pool_.parallel_for(clients_.size(), [&](std::size_t i) {
+    if (crashed[i]) return;
     const std::vector<rl::EpisodeStats> stats = clients_[i]->train_episodes(episodes);
     ClientHistory& h = history_.clients[i];
     for (const rl::EpisodeStats& s : stats) {
@@ -76,17 +97,18 @@ void FedTrainer::step_round() {
   });
   episodes_done_ += episodes;
 
-  if (!communication_enabled()) return;
+  if (!communication_enabled()) {
+    ++round_index_;
+    return;
+  }
 
   // --- Upload phase (participants only). ---
   const std::vector<std::size_t> participants = pick_participants();
   for (const std::size_t i : participants) {
-    Message m;
-    m.type = MessageType::kModelUpload;
-    m.sender = clients_[i]->id();
-    m.round = round_index_;
-    m.payload = clients_[i]->make_upload();
-    bus_.send_to_server(std::move(m));
+    if (crashed[i]) continue;
+    bus_->send_to_server(make_message(MessageType::kModelUpload, clients_[i]->id(),
+                                      round_index_, clients_[i]->make_upload()));
+    ++history_.clients[i].uploads_sent;
   }
 
   // Critic evaluation before the new model lands (Fig. 9, "before").
@@ -96,11 +118,31 @@ void FedTrainer::step_round() {
   // --- Server aggregation + distribution. ---
   std::vector<std::size_t> all(clients_.size());
   std::iota(all.begin(), all.end(), std::size_t{0});
-  server_->run_round(bus_, round_index_, all);
+  server_->run_round(*bus_, round_index_, all);
 
-  // --- Download phase. ---
+  // --- Download phase. A missing or invalid download leaves the previous
+  // model in place; the client keeps training on it (stale) and Eq. 15's
+  // α down-weights the public critic as its loss drifts. ---
   for (std::size_t i = 0; i < clients_.size(); ++i) {
-    for (const Message& m : bus_.drain_client(i)) clients_[i]->apply_download(m.payload);
+    ClientHistory& h = history_.clients[i];
+    bool applied = false;
+    std::string reason;
+    for (const Message& m : bus_->drain_client(i)) {
+      if (clients_[i]->try_apply_download(m, &reason)) {
+        applied = true;
+        ++h.downloads_applied;
+      } else {
+        ++h.downloads_rejected;
+        PFRL_LOG_WARN("FedTrainer: client %zu rejected download (round %llu): %s", i,
+                      static_cast<unsigned long long>(round_index_), reason.c_str());
+      }
+    }
+    if (applied) {
+      h.staleness = 0;
+    } else {
+      ++h.staleness;
+      h.max_staleness = std::max(h.max_staleness, h.staleness);
+    }
     history_.clients[i].critic_loss_after.push_back(clients_[i]->shared_critic_loss());
   }
 
@@ -115,7 +157,7 @@ TrainingHistory FedTrainer::run() {
 
 std::size_t FedTrainer::add_client(std::unique_ptr<FedClient> client) {
   clients_.push_back(std::move(client));
-  bus_.add_client();
+  bus_->add_client();
   ClientHistory h;
   h.joined_at_episode = episodes_done_;
   history_.clients.push_back(std::move(h));
@@ -127,8 +169,10 @@ std::size_t FedTrainer::add_client(std::unique_ptr<FedClient> client) {
 
 TrainingHistory FedTrainer::snapshot_history() const {
   TrainingHistory h = history_;
-  h.uplink_bytes = bus_.uplink_bytes();
-  h.downlink_bytes = bus_.downlink_bytes();
+  h.uplink_bytes = bus_->uplink_bytes();
+  h.downlink_bytes = bus_->downlink_bytes();
+  if (faulty_bus_) h.faults = faulty_bus_->counters();
+  if (server_) h.server = server_->stats();
   return h;
 }
 

@@ -5,6 +5,14 @@
 // parameters, the server aggregates and replies, clients apply their
 // downloads. The trainer records per-episode rewards/metrics and the
 // before/after-aggregation critic losses that Figs. 8–9, 15, 20–21 plot.
+//
+// A FaultPlan in the config switches the bus to a fault-injecting one
+// (fed/fault.hpp): uploads/downloads may be dropped, delayed, duplicated
+// or corrupted, and clients may crash for scheduled round windows. The
+// trainer then tracks per-client drop/reject/staleness counters and the
+// run degrades gracefully instead of aborting. With the default
+// (all-zero) plan, behaviour is byte-for-byte identical to a perfect
+// network.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +21,7 @@
 
 #include "fed/bus.hpp"
 #include "fed/client.hpp"
+#include "fed/fault.hpp"
 #include "fed/server.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -30,6 +39,10 @@ struct FedTrainerConfig {
   /// clients start from a common model (standard FL initialization; also
   /// what makes parameter-space similarity measurable).
   bool sync_initial_model = true;
+  /// Fault model applied to the bus; all-zero (default) = perfect network.
+  FaultPlan faults;
+  /// Valid uploads the server requires before aggregating (quorum).
+  std::size_t min_participants = 1;
 };
 
 struct ClientHistory {
@@ -40,6 +53,18 @@ struct ClientHistory {
   std::vector<double> critic_loss_after;
   /// Episode index (global) at which this client joined.
   std::size_t joined_at_episode = 0;
+
+  // Fault-tolerance accounting (all zero on a perfect network).
+  std::size_t uploads_sent = 0;
+  std::size_t downloads_applied = 0;
+  /// Downloads discarded by validation (corrupt/truncated/mis-sized).
+  std::size_t downloads_rejected = 0;
+  /// Rounds spent inside a crash window (no training, no traffic).
+  std::size_t rounds_crashed = 0;
+  /// Communication rounds since a download was last applied; the client
+  /// is running on a stale public critic meanwhile (α compensates).
+  std::size_t staleness = 0;
+  std::size_t max_staleness = 0;
 };
 
 struct TrainingHistory {
@@ -47,6 +72,10 @@ struct TrainingHistory {
   std::size_t rounds = 0;
   std::uint64_t uplink_bytes = 0;
   std::uint64_t downlink_bytes = 0;
+  /// Bus-level injected-fault counts (zero when faults are disabled).
+  FaultCounters faults;
+  /// Server-side upload validation outcomes.
+  ServerStats server;
 
   /// Mean reward across clients at each episode (clients that had not
   /// joined yet are skipped) — the curves of Figs. 8, 15.
@@ -74,7 +103,9 @@ class FedTrainer {
   FedClient& client(std::size_t i) { return *clients_[i]; }
   /// Null when training independently (no aggregator was supplied).
   FedServer* server() { return server_ ? server_.get() : nullptr; }
-  Bus& bus() { return bus_; }
+  Bus& bus() { return *bus_; }
+  /// Non-null only when the config carried an enabled FaultPlan.
+  FaultyBus* faulty_bus() { return faulty_bus_; }
   const TrainingHistory& history() const { return history_; }
   TrainingHistory snapshot_history() const;
 
@@ -85,7 +116,8 @@ class FedTrainer {
   FedTrainerConfig config_;
   std::unique_ptr<FedServer> server_;
   std::vector<std::unique_ptr<FedClient>> clients_;
-  Bus bus_;
+  std::unique_ptr<Bus> bus_;
+  FaultyBus* faulty_bus_ = nullptr;  // aliases bus_ when faults are on
   util::Rng rng_;
   util::ThreadPool pool_;
   TrainingHistory history_;

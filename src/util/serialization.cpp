@@ -1,3 +1,26 @@
-// Intentionally header-only (see serialization.hpp); this TU anchors the
-// module in the pfrl_util library.
 #include "util/serialization.hpp"
+
+#include <array>
+
+namespace pfrl::util {
+
+namespace {
+std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc32_table();
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (const std::uint8_t b : bytes) crc = table[(crc ^ b) & 0xFFU] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFU;
+}
+
+}  // namespace pfrl::util

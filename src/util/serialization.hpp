@@ -15,6 +15,12 @@
 
 namespace pfrl::util {
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte span.
+/// Federated payloads carry this checksum so a bit-corrupted message is
+/// rejected at the receiver instead of being deserialized into garbage
+/// parameters.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
 /// Append-only binary writer (little-endian).
 class ByteWriter {
  public:

@@ -28,6 +28,10 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// Drains the queue, joins every worker, and rejects further submits
+  /// (std::runtime_error). Idempotent; the destructor calls it.
+  void shutdown();
+
   /// Enqueue a task; the future resolves with its result (or exception).
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 
 #include "core/federation.hpp"
 
@@ -76,6 +77,45 @@ TEST_F(CheckpointTest, CorruptFileRejected) {
   rl::PpoAgent a(4, 3, cfg);
   EXPECT_THROW(load_agent(a, path("junk.ckpt")), std::invalid_argument);
   EXPECT_THROW(load_agent(a, path("missing.ckpt")), std::runtime_error);
+}
+
+TEST_F(CheckpointTest, TruncatedFileRejectedAtEveryLength) {
+  // Cutting a valid checkpoint at any point must surface as a clean
+  // exception from the decoder, never UB or an abort.
+  rl::PpoConfig cfg;
+  cfg.seed = 7;
+  rl::PpoAgent a(4, 3, cfg);
+  save_agent(a, path("full.ckpt"));
+  std::ifstream in(path("full.ckpt"), std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  ASSERT_GT(bytes.size(), 16u);
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{9},
+                                bytes.size() / 2, bytes.size() - 1}) {
+    {
+      std::ofstream out(path("cut.ckpt"), std::ios::binary);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    rl::PpoAgent b(4, 3, cfg);
+    EXPECT_THROW(load_agent(b, path("cut.ckpt")), std::exception) << "cut at " << cut;
+  }
+}
+
+TEST_F(CheckpointTest, BitFlippedHeaderRejected) {
+  rl::PpoConfig cfg;
+  cfg.seed = 8;
+  rl::PpoAgent a(4, 3, cfg);
+  save_agent(a, path("flip.ckpt"));
+  std::fstream f(path("flip.ckpt"), std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(0);
+  char c;
+  f.read(&c, 1);
+  c ^= 0x7F;  // break the magic
+  f.seekp(0);
+  f.write(&c, 1);
+  f.close();
+  rl::PpoAgent b(4, 3, cfg);
+  EXPECT_THROW(load_agent(b, path("flip.ckpt")), std::invalid_argument);
 }
 
 TEST_F(CheckpointTest, FederationRoundTrip) {

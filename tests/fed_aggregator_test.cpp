@@ -2,6 +2,7 @@
 
 #include "fed/attention_aggregator.hpp"
 #include <cmath>
+#include <limits>
 #include "fed/fedavg.hpp"
 #include "fed/mfpo.hpp"
 #include "util/rng.hpp"
@@ -170,6 +171,29 @@ TEST(Mfpo, DimensionChangeThrows) {
   MfpoAggregator agg;
   (void)agg.aggregate(make_input({{1.0F, 2.0F}}));
   EXPECT_THROW((void)agg.aggregate(make_input({{1.0F}})), std::invalid_argument);
+}
+
+TEST(Aggregators, NonFiniteUploadsRejected) {
+  // A single NaN/Inf upload must never poison aggregation: every
+  // aggregator (and the shared weighted_aggregate kernel) refuses it
+  // outright. The server filters per-message first; this is the
+  // defense-in-depth layer behind it.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  for (const float poison : {nan, inf, -inf}) {
+    const AggregationInput in = make_input({{1.0F, 2.0F}, {poison, 4.0F}});
+    EXPECT_FALSE(models_all_finite(in.models));
+    nn::Matrix w(2, 2, std::vector<float>{0.5F, 0.5F, 0.5F, 0.5F});
+    EXPECT_THROW((void)weighted_aggregate(in, w), std::invalid_argument);
+    FedAvgAggregator fedavg;
+    EXPECT_THROW((void)fedavg.aggregate(in), std::invalid_argument);
+    MfpoAggregator mfpo;
+    EXPECT_THROW((void)mfpo.aggregate(in), std::invalid_argument);
+    AttentionAggregator attention;
+    EXPECT_THROW((void)attention.aggregate(in), std::invalid_argument);
+  }
+  const AggregationInput clean = make_input({{1.0F, 2.0F}, {3.0F, 4.0F}});
+  EXPECT_TRUE(models_all_finite(clean.models));
 }
 
 TEST(Aggregators, EmptyInputThrows) {

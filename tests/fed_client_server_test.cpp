@@ -129,13 +129,9 @@ TEST(FedServer, RoundAggregatesAndReplies) {
   auto c0 = make_client(0, FedAlgorithm::kFedAvg, 1);
   auto c1 = make_client(1, FedAlgorithm::kFedAvg, 2);
   // Clients 0 and 1 upload; client 2 sits out.
-  for (int i = 0; i < 2; ++i) {
-    Message m;
-    m.type = MessageType::kModelUpload;
-    m.sender = i;
-    m.payload = (i == 0 ? c0 : c1)->make_upload();
-    bus.send_to_server(std::move(m));
-  }
+  for (int i = 0; i < 2; ++i)
+    bus.send_to_server(
+        make_message(MessageType::kModelUpload, i, 0, (i == 0 ? c0 : c1)->make_upload()));
   const std::vector<std::size_t> all{0, 1, 2};
   EXPECT_EQ(server.run_round(bus, 0, all), 2u);
 
@@ -165,20 +161,35 @@ TEST(FedServer, EmptyRoundIsNoop) {
   EXPECT_THROW((void)server.global_payload(), std::logic_error);
 }
 
-TEST(FedServer, MismatchedUploadSizesThrow) {
+TEST(FedServer, MismatchedUploadSizeRejectedNotFatal) {
+  // One mis-sized upload must not crash the federation: the first valid
+  // upload pins P, the second is rejected and logged, the round proceeds.
   FedServer server(std::make_unique<FedAvgAggregator>());
   Bus bus(2);
   for (int i = 0; i < 2; ++i) {
     util::ByteWriter w;
     w.write_f32_span(std::vector<float>(static_cast<std::size_t>(4 + i), 0.0F));
-    Message m;
-    m.type = MessageType::kModelUpload;
-    m.sender = i;
-    m.payload = w.take();
-    bus.send_to_server(std::move(m));
+    bus.send_to_server(make_message(MessageType::kModelUpload, i, 0, w.take()));
   }
   const std::vector<std::size_t> all{0, 1};
-  EXPECT_THROW(server.run_round(bus, 0, all), std::invalid_argument);
+  EXPECT_EQ(server.run_round(bus, 0, all), 1u);
+  EXPECT_EQ(server.stats().rejected_size, 1u);
+  EXPECT_EQ(server.stats().accepted, 1u);
+  EXPECT_EQ(server.last_participants(), std::vector<int>{0});
+}
+
+TEST(FedServer, UnexpectedMessageTypeRejectedNotFatal) {
+  FedServer server(std::make_unique<FedAvgAggregator>());
+  Bus bus(2);
+  util::ByteWriter good;
+  good.write_f32_span(std::vector<float>(4, 1.0F));
+  bus.send_to_server(make_message(MessageType::kModelUpload, 0, 0, good.take()));
+  util::ByteWriter bad;
+  bad.write_f32_span(std::vector<float>(4, 2.0F));
+  bus.send_to_server(make_message(MessageType::kModelGlobal, 1, 0, bad.take()));
+  const std::vector<std::size_t> all{0, 1};
+  EXPECT_EQ(server.run_round(bus, 0, all), 1u);
+  EXPECT_EQ(server.stats().rejected_type, 1u);
 }
 
 TEST(FedServer, GlobalPayloadDecodable) {

@@ -1,0 +1,314 @@
+// Fault-injection and fault-tolerance: FaultyBus link faults, the
+// server's reject-and-log validation + quorum semantics, client-side
+// graceful degradation (keep the previous public critic), and the
+// trainer surviving drop/corruption/crash schedules end-to-end.
+#include "fed/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/presets.hpp"
+#include "fed/attention_aggregator.hpp"
+#include "fed/fedavg.hpp"
+#include "fed/trainer.hpp"
+#include "util/serialization.hpp"
+
+namespace pfrl::fed {
+namespace {
+
+std::vector<std::uint8_t> encode(const std::vector<float>& values) {
+  util::ByteWriter w;
+  w.write_f32_span(values);
+  return w.take();
+}
+
+Message upload(int sender, std::uint64_t round, const std::vector<float>& values) {
+  return make_message(MessageType::kModelUpload, sender, round, encode(values));
+}
+
+std::vector<std::unique_ptr<FedClient>> make_clients(std::size_t n, FedAlgorithm algorithm) {
+  const core::ExperimentScale scale = core::ExperimentScale::tiny();
+  const auto presets = core::table2_clients();
+  const core::FederationLayout layout = core::layout_for(presets, scale);
+  std::vector<std::unique_ptr<FedClient>> clients;
+  for (std::size_t i = 0; i < n; ++i) {
+    const core::ClientPreset& preset = presets[i % presets.size()];
+    FedClientConfig cfg;
+    cfg.id = static_cast<int>(i);
+    cfg.algorithm = algorithm;
+    cfg.ppo.seed = 9000 + i;
+    clients.push_back(std::make_unique<FedClient>(cfg,
+                                                  core::make_env_config(preset, layout, scale),
+                                                  core::make_trace(preset, scale, 31 + i)));
+  }
+  return clients;
+}
+
+TEST(FaultPlan, EnabledAndCrashWindows) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  plan.uplink_drop = 0.1;
+  EXPECT_TRUE(plan.enabled());
+  plan = {};
+  plan.crashes.push_back({1, 2, 4});
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_FALSE(plan.crashed(1, 1));
+  EXPECT_TRUE(plan.crashed(1, 2));
+  EXPECT_TRUE(plan.crashed(1, 3));
+  EXPECT_FALSE(plan.crashed(1, 4));
+  EXPECT_FALSE(plan.crashed(0, 3));
+}
+
+TEST(FaultyBus, DropsEveryUploadAtProbabilityOne) {
+  FaultPlan plan;
+  plan.uplink_drop = 1.0;
+  FaultyBus bus(2, plan);
+  bus.send_to_server(upload(0, 0, {1.0F, 2.0F}));
+  bus.send_to_server(upload(1, 0, {3.0F, 4.0F}));
+  EXPECT_TRUE(bus.drain_server().empty());
+  EXPECT_EQ(bus.counters().uplink_dropped, 2u);
+  EXPECT_EQ(bus.uplink_messages(), 0u);  // never reached the wire accounting
+}
+
+TEST(FaultyBus, DuplicatesUploads) {
+  FaultPlan plan;
+  plan.uplink_duplicate = 1.0;
+  FaultyBus bus(1, plan);
+  bus.send_to_server(upload(0, 0, {1.0F}));
+  EXPECT_EQ(bus.drain_server().size(), 2u);
+  EXPECT_EQ(bus.counters().duplicated, 1u);
+}
+
+TEST(FaultyBus, DelayedUploadArrivesNextRoundWithOldRoundId) {
+  FaultPlan plan;
+  plan.uplink_delay = 1.0;
+  plan.max_delay_rounds = 1;
+  FaultyBus bus(1, plan);
+  bus.begin_round(0);
+  bus.send_to_server(upload(0, 0, {1.0F}));
+  EXPECT_TRUE(bus.drain_server().empty());
+  EXPECT_EQ(bus.counters().delayed, 1u);
+  bus.begin_round(1);
+  const auto msgs = bus.drain_server();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].round, 0u);  // stale by the time it lands
+}
+
+TEST(FaultyBus, CrashWindowBlackholesBothDirections) {
+  FaultPlan plan;
+  plan.crashes.push_back({0, 0, 2});
+  FaultyBus bus(1, plan);
+  bus.begin_round(0);
+  bus.send_to_server(upload(0, 0, {1.0F}));
+  bus.send_to_client(0, make_message(MessageType::kModelGlobal, -1, 0, encode({2.0F})));
+  EXPECT_TRUE(bus.drain_server().empty());
+  EXPECT_TRUE(bus.drain_client(0).empty());
+  EXPECT_EQ(bus.counters().crash_suppressed, 2u);
+  bus.begin_round(2);  // recovered
+  bus.send_to_server(upload(0, 2, {1.0F}));
+  EXPECT_EQ(bus.drain_server().size(), 1u);
+}
+
+TEST(FaultyBus, CorruptionIsCaughtByChecksum) {
+  FaultPlan plan;
+  plan.uplink_corrupt = 1.0;
+  FaultyBus bus(1, plan);
+  bus.send_to_server(upload(0, 0, {1.0F, 2.0F, 3.0F}));
+  const auto msgs = bus.drain_server();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(bus.counters().uplink_corrupted, 1u);
+  EXPECT_FALSE(checksum_ok(msgs[0]));
+}
+
+TEST(FedServerHardening, RejectsCorruptStaleTruncatedNonFiniteAndDuplicate) {
+  FedServer server(std::make_unique<FedAvgAggregator>());
+  Bus bus(6);
+  const std::vector<std::size_t> all{0, 1, 2, 3, 4, 5};
+
+  bus.send_to_server(upload(0, 7, {1.0F, 2.0F}));  // valid
+  Message corrupt = upload(1, 7, {3.0F, 4.0F});
+  corrupt.payload[2] ^= 0x40;  // bit flip after stamping
+  bus.send_to_server(std::move(corrupt));
+  bus.send_to_server(upload(2, 3, {5.0F, 6.0F}));  // stale round
+  Message truncated = upload(3, 7, {7.0F, 8.0F});
+  truncated.payload.resize(5);
+  truncated.checksum = util::crc32(truncated.payload);  // intact CRC, short body
+  bus.send_to_server(std::move(truncated));
+  bus.send_to_server(upload(4, 7, {std::numeric_limits<float>::quiet_NaN(), 1.0F}));
+  bus.send_to_server(upload(0, 7, {9.0F, 9.0F}));  // duplicate sender
+
+  EXPECT_EQ(server.run_round(bus, 7, all), 1u);  // only the valid one
+  const ServerStats& s = server.stats();
+  EXPECT_EQ(s.accepted, 1u);
+  EXPECT_EQ(s.rejected_checksum, 1u);
+  EXPECT_EQ(s.rejected_stale, 1u);
+  EXPECT_EQ(s.rejected_malformed, 1u);
+  EXPECT_EQ(s.rejected_nonfinite, 1u);
+  EXPECT_EQ(s.rejected_duplicate, 1u);
+  EXPECT_EQ(s.total_rejected(), 5u);
+  // ψ_G came out of the single accepted upload, unpoisoned.
+  EXPECT_EQ(server.global_model(), (std::vector<float>{1.0F, 2.0F}));
+}
+
+TEST(FedServerHardening, QuorumFailureCarriesGlobalForward) {
+  FedServer server(std::make_unique<FedAvgAggregator>());
+  server.set_min_participants(2);
+  server.set_global_model({10.0F, 20.0F});
+  Bus bus(3);
+  const std::vector<std::size_t> all{0, 1, 2};
+  bus.send_to_server(upload(0, 0, {1.0F, 2.0F}));  // 1 valid < quorum 2
+  EXPECT_EQ(server.run_round(bus, 0, all), 0u);
+  EXPECT_EQ(server.stats().quorum_failures, 1u);
+  // ψ_G unchanged and rebroadcast to every client.
+  EXPECT_EQ(server.global_model(), (std::vector<float>{10.0F, 20.0F}));
+  for (const std::size_t c : all) {
+    const auto msgs = bus.drain_client(c);
+    ASSERT_EQ(msgs.size(), 1u) << "client " << c;
+    EXPECT_EQ(msgs[0].type, MessageType::kModelGlobal);
+    EXPECT_TRUE(checksum_ok(msgs[0]));
+  }
+}
+
+TEST(FedServerHardening, PinsParamCountToGlobalModel) {
+  FedServer server(std::make_unique<FedAvgAggregator>());
+  server.set_global_model({1.0F, 2.0F, 3.0F});
+  Bus bus(1);
+  const std::vector<std::size_t> all{0};
+  bus.send_to_server(upload(0, 0, {4.0F, 5.0F}));  // wrong P
+  EXPECT_EQ(server.run_round(bus, 0, all), 0u);
+  EXPECT_EQ(server.stats().rejected_size, 1u);
+}
+
+TEST(FedClientDegradation, KeepsPreviousCriticOnBadDownload) {
+  auto clients = make_clients(2, FedAlgorithm::kPfrlDm);
+  FedClient& a = *clients[0];
+  FedClient& b = *clients[1];
+  const std::vector<float> before = b.dual_agent()->public_critic().flatten();
+
+  Message good = make_message(MessageType::kModelPersonalized, -1, 0, a.make_upload());
+  Message corrupt = good;
+  corrupt.payload[3] ^= 0x10;
+  std::string reason;
+  EXPECT_FALSE(b.try_apply_download(corrupt, &reason));
+  EXPECT_EQ(reason, "checksum mismatch (corrupted payload)");
+  EXPECT_EQ(b.dual_agent()->public_critic().flatten(), before);  // untouched
+
+  Message truncated = good;
+  truncated.payload.resize(4);
+  truncated.checksum = util::crc32(truncated.payload);
+  EXPECT_FALSE(b.try_apply_download(truncated, &reason));
+  EXPECT_EQ(b.dual_agent()->public_critic().flatten(), before);
+
+  Message wrong_size = make_message(MessageType::kModelPersonalized, -1, 0,
+                                    encode({1.0F, 2.0F, 3.0F}));
+  EXPECT_FALSE(b.try_apply_download(wrong_size, &reason));
+  EXPECT_EQ(reason, "parameter count mismatch");
+
+  EXPECT_TRUE(b.try_apply_download(good, &reason));
+  EXPECT_EQ(b.dual_agent()->public_critic().flatten(),
+            a.dual_agent()->public_critic().flatten());
+}
+
+FedTrainerConfig faulty_config(std::size_t total_episodes, std::size_t comm_every) {
+  FedTrainerConfig cfg;
+  cfg.total_episodes = total_episodes;
+  cfg.comm_every = comm_every;
+  cfg.threads = 1;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(FedTrainerFaults, SurvivesDropCorruptionAndCrashRejoin) {
+  // 25% upload drop + corruption + one mid-training crash/rejoin window:
+  // the acceptance scenario. The run must complete without throwing and
+  // every fault path must have fired at least once.
+  FedTrainerConfig cfg = faulty_config(12, 2);  // 6 rounds
+  cfg.faults.uplink_drop = 0.25;
+  cfg.faults.uplink_corrupt = 0.25;
+  cfg.faults.downlink_drop = 0.2;
+  cfg.faults.seed = 2024;
+  cfg.faults.crashes.push_back({1, 2, 4});  // client 1 down rounds 2-3
+  FedTrainer trainer(cfg, std::make_unique<AttentionAggregator>(),
+                     make_clients(3, FedAlgorithm::kPfrlDm));
+  const TrainingHistory h = trainer.run();
+
+  EXPECT_EQ(h.rounds, 6u);
+  EXPECT_GT(h.faults.uplink_dropped + h.faults.uplink_corrupted, 0u);
+  EXPECT_GT(h.faults.crash_suppressed + h.faults.downlink_dropped, 0u);
+  EXPECT_GT(h.server.total_rejected(), 0u);
+
+  // Crashed client: 2 rounds out -> 4 episodes missing, staleness seen.
+  EXPECT_EQ(h.clients[1].rounds_crashed, 2u);
+  EXPECT_EQ(h.clients[1].episode_rewards.size(), 8u);
+  EXPECT_GT(h.clients[1].max_staleness, 0u);
+  // Survivors trained the full schedule with finite rewards.
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+    EXPECT_EQ(h.clients[i].episode_rewards.size(), 12u);
+    for (const double r : h.clients[i].episode_rewards) EXPECT_TRUE(std::isfinite(r));
+  }
+}
+
+TEST(FedTrainerFaults, QuorumSkipsAggregationWhenUploadsLost) {
+  FedTrainerConfig cfg = faulty_config(4, 2);
+  cfg.faults.uplink_drop = 1.0;  // every upload lost
+  cfg.min_participants = 2;
+  FedTrainer trainer(cfg, std::make_unique<FedAvgAggregator>(),
+                     make_clients(2, FedAlgorithm::kFedAvg));
+  const TrainingHistory h = trainer.run();
+  EXPECT_EQ(h.faults.uplink_dropped, 4u);
+  // Nothing ever reached the server: ψ_G is still the initial broadcast
+  // and every client went stale each round.
+  for (const ClientHistory& c : h.clients) {
+    EXPECT_EQ(c.downloads_applied, 0u);
+    EXPECT_EQ(c.max_staleness, 2u);
+  }
+}
+
+TEST(FedTrainerFaults, DisabledPlanUsesPlainBusAndStaysDeterministic) {
+  const auto run_once = [](FaultPlan plan) {
+    FedTrainerConfig cfg = faulty_config(4, 2);
+    cfg.faults = plan;
+    FedTrainer trainer(cfg, std::make_unique<FedAvgAggregator>(),
+                       make_clients(2, FedAlgorithm::kFedAvg));
+    return trainer.run();
+  };
+  FaultPlan zeroed;
+  zeroed.seed = 999;  // a different seed alone must not change anything
+  const TrainingHistory a = run_once(FaultPlan{});
+  const TrainingHistory b = run_once(zeroed);
+  EXPECT_EQ(a.uplink_bytes, b.uplink_bytes);
+  EXPECT_EQ(a.downlink_bytes, b.downlink_bytes);
+  EXPECT_EQ(a.faults.total(), 0u);
+  EXPECT_EQ(a.server.total_rejected(), 0u);
+  ASSERT_EQ(a.clients.size(), b.clients.size());
+  for (std::size_t i = 0; i < a.clients.size(); ++i) {
+    EXPECT_EQ(a.clients[i].episode_rewards, b.clients[i].episode_rewards);
+    EXPECT_EQ(a.clients[i].downloads_applied, b.clients[i].downloads_applied);
+    EXPECT_EQ(a.clients[i].max_staleness, 0u);
+  }
+
+  FedTrainerConfig cfg = faulty_config(4, 2);
+  FedTrainer plain(cfg, std::make_unique<FedAvgAggregator>(),
+                   make_clients(2, FedAlgorithm::kFedAvg));
+  EXPECT_EQ(plain.faulty_bus(), nullptr);
+}
+
+TEST(FedTrainerFaults, StalenessCountersTrackMissedDownloads) {
+  FedTrainerConfig cfg = faulty_config(8, 2);
+  cfg.faults.downlink_drop = 1.0;
+  FedTrainer trainer(cfg, std::make_unique<FedAvgAggregator>(),
+                     make_clients(2, FedAlgorithm::kFedAvg));
+  const TrainingHistory h = trainer.run();
+  for (const ClientHistory& c : h.clients) {
+    EXPECT_EQ(c.downloads_applied, 0u);
+    EXPECT_EQ(c.staleness, 4u);
+    EXPECT_EQ(c.max_staleness, 4u);
+    EXPECT_GT(c.uploads_sent, 0u);
+  }
+  EXPECT_EQ(h.faults.downlink_dropped, 8u);
+}
+
+}  // namespace
+}  // namespace pfrl::fed

@@ -117,5 +117,25 @@ TEST(Serialization, SizeMatchesWrittenBytes) {
   EXPECT_EQ(w.size(), 1u + 4u + 8u);
 }
 
+TEST(Crc32, MatchesKnownVector) {
+  // The standard CRC-32 (IEEE 802.3) check value for "123456789".
+  const std::string s = "123456789";
+  const auto* data = reinterpret_cast<const std::uint8_t*>(s.data());
+  EXPECT_EQ(crc32({data, s.size()}), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInputIsZero) { EXPECT_EQ(crc32({}), 0u); }
+
+TEST(Crc32, SingleBitFlipChangesChecksum) {
+  std::vector<std::uint8_t> bytes(64, 0x5A);
+  const std::uint32_t clean = crc32(bytes);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] ^= 0x01;
+    EXPECT_NE(crc32(bytes), clean) << "flip at byte " << i << " undetected";
+    bytes[i] ^= 0x01;
+  }
+  EXPECT_EQ(crc32(bytes), clean);
+}
+
 }  // namespace
 }  // namespace pfrl::util

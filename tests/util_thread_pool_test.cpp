@@ -70,6 +70,39 @@ TEST(ThreadPool, ManyTasksAccumulateCorrectly) {
   EXPECT_EQ(total.load(), 999L * 1000 / 2);
 }
 
+TEST(ThreadPool, ParallelForFirstErrorWinsSequentially) {
+  // With one worker the tasks run in order, so "first" is deterministic:
+  // index 2's logic_error must beat index 5's runtime_error.
+  ThreadPool pool(1);
+  try {
+    pool.parallel_for(8, [](std::size_t i) {
+      if (i == 2) throw std::logic_error("first");
+      if (i == 5) throw std::runtime_error("second");
+    });
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  } catch (const std::runtime_error&) {
+    FAIL() << "later error won over the first";
+  }
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW((void)pool.submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingTasksAndIsIdempotent) {
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i)
+    (void)pool.submit([&done] { done.fetch_add(1); });
+  pool.shutdown();
+  EXPECT_EQ(done.load(), 10);
+  pool.shutdown();  // second call is a no-op, destructor too
+}
+
 TEST(ThreadPool, DestructionDrainsQueue) {
   std::atomic<int> done{0};
   {
