@@ -61,6 +61,7 @@ fed::TrainingHistory run_combo(fed::FedAlgorithm algorithm,
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::Session session(opt, "ablation_pfrl_dm");
   bench::print_banner("Ablation: PFRL-DM components",
                       "Which mechanism buys what (not a paper figure)", opt);
 

@@ -39,6 +39,7 @@ sim::EpisodeMetrics train_and_eval(const Variant& variant, const bench::Options&
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::Session session(opt, "ablation_reward");
   bench::print_banner("Ablation: reward design",
                       "ρ sweep, Eq. 8 sign, energy extension (not a paper figure)", opt);
 

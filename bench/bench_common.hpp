@@ -10,9 +10,11 @@
 #include <vector>
 
 #include "core/federation.hpp"
+#include "obs/obs.hpp"
 #include "stats/summary.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -25,6 +27,16 @@ struct Options {
   bool full = false;       // --full: paper-scale parameters
   std::size_t clients = 0; // 0 -> experiment default
   std::size_t threads = 0; // 0 -> hardware concurrency
+
+  // Observability (obs/): every harness emits a BENCH_<name>.json perf
+  // record unless --no-perf; --metrics-out/--trace-out add the CSV
+  // snapshot and the JSONL span stream.
+  std::string perf_out;     // empty -> BENCH_<name>.json in the cwd
+  std::string metrics_out;  // empty -> no metrics CSV
+  std::string trace_out;    // empty -> no span stream
+  std::string log_level = "info";
+  bool no_perf = false;
+  bool report = false;  // --report: end-of-run obs table on stderr
 
   static Options parse(int argc, const char* const* argv) {
     const util::Cli cli(argc, argv);
@@ -43,8 +55,56 @@ struct Options {
     opt.csv_dir = cli.get("csv", "");
     opt.clients = static_cast<std::size_t>(cli.get_int("clients", 0));
     opt.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+    opt.perf_out = cli.get("perf-out", "");
+    opt.metrics_out = cli.get("metrics-out", "");
+    opt.trace_out = cli.get("trace-out", "");
+    opt.log_level = cli.get("log-level", "info");
+    opt.no_perf = cli.get_bool("no-perf", false);
+    opt.report = cli.get_bool("report", false);
     return opt;
   }
+};
+
+/// Arms observability for a harness run and, on destruction, writes the
+/// perf record (BENCH_<name>.json), the optional metrics CSV, and the
+/// optional stderr report. Create one right after Options::parse:
+///
+///   bench::Session session(opt, "fig15_convergence");
+///   session.record().add("final_reward", r, "reward");  // optional extras
+class Session {
+ public:
+  Session(const Options& options, std::string name)
+      : options_(options), record_(std::move(name)) {
+    util::set_log_level(util::parse_log_level(options_.log_level));
+    obs::set_enabled(true);
+    if (!options_.trace_out.empty()) obs::tracer().set_stream_path(options_.trace_out);
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Harnesses may add headline numbers (final reward, p-values, ...) so
+  /// the perf record carries results, not just instrumentation.
+  obs::PerfRecord& record() { return record_; }
+
+  ~Session() {
+    const obs::Report report = obs::capture_report();
+    record_.add("wall_time_s", clock_.seconds(), "s");
+    record_.add_report(report);
+    try {
+      if (!options_.no_perf) record_.write(options_.perf_out);
+      if (!options_.metrics_out.empty()) obs::write_report_csv(report, options_.metrics_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench: observability output failed: %s\n", e.what());
+    }
+    if (options_.report) obs::print_report(report);
+    obs::tracer().set_stream_path("");
+  }
+
+ private:
+  Options options_;
+  obs::PerfRecord record_;
+  util::Stopwatch clock_;
 };
 
 inline void print_banner(const char* experiment, const char* paper_ref, const Options& opt) {

@@ -7,6 +7,7 @@ using namespace pfrl;
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::Session session(opt, "ext_baselines_convergence");
   bench::print_banner("Extension: regularized FRL baselines",
                       "PFRL-DM vs FedProx vs FedKL vs FedAvg (beyond the paper's set)", opt);
 

@@ -37,6 +37,7 @@ std::size_t convergence_episode(const std::vector<double>& curve) {
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::Session session(opt, "ext_fault_tolerance");
   bench::print_banner("Extension: fault-tolerant federation",
                       "PFRL-DM under message loss, corruption and client crash/rejoin", opt);
 
@@ -79,6 +80,16 @@ int main(int argc, char** argv) {
       char label[48];
       std::snprintf(label, sizeof(label), "loss=%.2f%s", loss, crash ? "+crash" : "");
       curves.emplace_back(label, curve);
+      // Headline numbers per sweep point go into the perf record; the
+      // registry-exported fed/* reject and quorum counters ride along via
+      // the Session's end-of-run snapshot.
+      session.record().add(std::string(label) + ".final_reward", final_reward, "reward");
+      session.record().add(std::string(label) + ".rejected",
+                           static_cast<double>(history.server.total_rejected()), "count");
+      session.record().add(std::string(label) + ".quorum_failures",
+                           static_cast<double>(history.server.quorum_failures), "count");
+      session.record().add(std::string(label) + ".max_staleness",
+                           static_cast<double>(max_staleness), "count");
       table.row({util::TablePrinter::num(loss, 2), crash ? "yes" : "no",
                  util::TablePrinter::num(final_reward, 2), std::to_string(conv),
                  std::to_string(dropped), std::to_string(history.server.total_rejected()),

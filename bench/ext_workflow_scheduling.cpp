@@ -43,6 +43,7 @@ workload::WorkflowBatch make_batch(const core::ClientPreset& preset,
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::Session session(opt, "ext_workflow_scheduling");
   bench::print_banner("Extension: workflow (DAG) scheduling",
                       "The paper's stated future work, per Table 2 client", opt);
   const std::size_t jobs = opt.full ? 60 : 15;

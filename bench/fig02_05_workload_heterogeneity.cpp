@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace pfrl;
   const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::Session session(opt, "fig02_05_workload_heterogeneity");
   bench::print_banner("Figs. 2-5: workload heterogeneity",
                       "Paper: request distributions, arrival rates, runtime CDFs", opt);
   const std::size_t n = opt.full ? 20000 : 5000;

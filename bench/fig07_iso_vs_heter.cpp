@@ -41,6 +41,7 @@ double train_and_eval_response(const env::SchedulingEnvConfig& env_cfg,
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::Session session(opt, "fig07_iso_vs_heter");
   bench::print_banner("Fig. 7: isolated vs combined training",
                       "Paper: §3.1 — avg response time of iso-/heter-trained PPO", opt);
 

@@ -7,6 +7,7 @@ using namespace pfrl;
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::Session session(opt, "fig08_fedavg_vs_ppo");
   bench::print_banner("Fig. 8: FedAvg vs independent PPO",
                       "Paper: §3.2 — FedAvg converges slower under heterogeneity", opt);
 

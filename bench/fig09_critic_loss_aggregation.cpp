@@ -8,6 +8,7 @@ using namespace pfrl;
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::Session session(opt, "fig09_critic_loss_aggregation");
   bench::print_banner("Fig. 9: critic loss before/after aggregation",
                       "Paper: §3.2 — averaged critics lose local evaluation accuracy", opt);
 

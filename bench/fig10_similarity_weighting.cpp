@@ -65,6 +65,7 @@ nn::Matrix tilted4(std::size_t favored, float weight_on_favored) {
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::Session session(opt, "fig10_similarity_weighting");
   bench::print_banner("Fig. 10: weighting similar clients",
                       "Paper: §3.3 — attention to similar clients accelerates convergence", opt);
 

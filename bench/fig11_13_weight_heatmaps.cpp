@@ -39,6 +39,7 @@ double twin_focus(const nn::Matrix& w) {
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::Session session(opt, "fig11_13_weight_heatmaps");
   bench::print_banner("Figs. 11-13: similarity-weight heat-maps",
                       "Paper: §3.3 — attention finds the similar pair; KL/cosine do not", opt);
 

@@ -8,6 +8,7 @@ using namespace pfrl;
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::Session session(opt, "fig15_convergence");
   bench::print_banner("Fig. 15: convergence of the four algorithms",
                       "Paper: §5.2 — PFRL-DM converges fastest and highest", opt);
 

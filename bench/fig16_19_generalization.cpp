@@ -47,6 +47,7 @@ void print_metric_figure(const char* title, const char* metric_key,
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::Session session(opt, "fig16_19_generalization");
   bench::print_banner("Figs. 16-19 + Table 4: hybrid-workload generalization",
                       "Paper: §5.3 — per-client metric distributions + Wilcoxon tests", opt);
 

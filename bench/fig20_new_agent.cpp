@@ -8,6 +8,7 @@ using namespace pfrl;
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::Session session(opt, "fig20_new_agent");
   bench::print_banner("Fig. 20: new agent joining the federation",
                       "Paper: §5.3 — aggregation-based init beats random init", opt);
 

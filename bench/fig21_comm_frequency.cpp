@@ -7,6 +7,7 @@ using namespace pfrl;
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::Session session(opt, "fig21_comm_frequency");
   bench::print_banner("Fig. 21: impact of communication frequency",
                       "Paper: §5.4 — convergence under different round lengths", opt);
 

@@ -1,14 +1,25 @@
 // Microbenchmarks of the perf-critical primitives: environment stepping,
 // NN forward/backward, PPO updates, aggregation, and the wire format.
+//
+// Unlike the fig/table harnesses this keeps google-benchmark's CLI, but
+// the main() below additionally captures every run and writes it through
+// the obs perf-record writer to BENCH_micro_primitives.json (override
+// with --perf-out FILE, disable with --no-perf) — the perf-trajectory
+// seed every later optimization PR is compared against.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
 
 #include "core/presets.hpp"
 #include "fed/attention_aggregator.hpp"
 #include "fed/fedavg.hpp"
 #include "nn/adam.hpp"
 #include "nn/mlp.hpp"
+#include "obs/perf_record.hpp"
 #include "rl/ppo.hpp"
 #include "stats/wilcoxon.hpp"
+#include "util/cli.hpp"
 #include "util/serialization.hpp"
 
 namespace {
@@ -184,4 +195,53 @@ void BM_TraceSampling(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceSampling)->Unit(benchmark::kMillisecond);
 
+/// Console output as usual, plus a copy of every iteration run for the
+/// perf record.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs)
+      if (run.run_type == Run::RT_Iteration && !run.error_occurred) captured_.push_back(run);
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Run>& captured() const { return captured_; }
+
+ private:
+  std::vector<Run> captured_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);  // consumes --benchmark_* flags
+  const util::Cli cli(argc, argv);     // what's left: --perf-out / --no-perf
+
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (cli.get_bool("no-perf", false)) return 0;
+  obs::PerfRecord record("micro_primitives");
+  for (const auto& run : reporter.captured()) {
+    const double iterations = std::max<double>(1.0, static_cast<double>(run.iterations));
+    obs::PerfMetric m;
+    m.name = run.benchmark_name();
+    m.value = run.cpu_accumulated_time / iterations * 1e9;
+    m.unit = "ns";
+    m.extra.emplace_back("real_ns", run.real_accumulated_time / iterations * 1e9);
+    m.extra.emplace_back("iterations", static_cast<double>(run.iterations));
+    for (const auto& [name, counter] : run.counters)
+      m.extra.emplace_back(name, static_cast<double>(counter.value));
+    record.add(std::move(m));
+  }
+  try {
+    record.write(cli.get("perf-out", ""));
+    std::printf("perf record: %zu metrics -> %s\n", record.metric_count(),
+                cli.get("perf-out", record.default_path()).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "micro_primitives: perf record write failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@
 int main(int argc, char** argv) {
   using namespace pfrl;
   const bench::Options opt = bench::Options::parse(argc, argv);
+  bench::Session session(opt, "table1_machine_specs");
   bench::print_banner("Table 1: machine specifications",
                       "Paper: Table 1 (+ Tables 2-3 client settings)", opt);
 

@@ -3,16 +3,31 @@
 // test split.
 //
 //   ./quickstart [--episodes N] [--tasks N] [--seed S]
+//               [--metrics-out FILE] [--trace-out FILE] [--log-level L]
+//
+// The obs flags mirror the pfrldm CLI: --metrics-out writes a CSV
+// snapshot of the nn/rl/env counters at exit, --trace-out streams spans
+// as JSONL while training runs.
 #include <cstdio>
 
 #include "core/presets.hpp"
+#include "obs/obs.hpp"
 #include "rl/ppo.hpp"
 #include "util/cli.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace pfrl;
   const util::Cli cli(argc, argv);
+
+  util::set_log_level(util::parse_log_level(cli.get("log-level", "info")));
+  const std::string metrics_out = cli.get("metrics-out", "");
+  const std::string trace_out = cli.get("trace-out", "");
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    obs::set_enabled(true);
+    if (!trace_out.empty()) obs::tracer().set_stream_path(trace_out);
+  }
 
   core::ExperimentScale scale = core::ExperimentScale::quick();
   scale.episodes = static_cast<std::size_t>(cli.get_int("episodes", 30));
@@ -60,5 +75,11 @@ int main(int argc, char** argv) {
   table.row({"completed tasks", std::to_string(eval.metrics.completed_tasks)});
   std::printf("\nGreedy evaluation on the held-out test split:\n");
   table.print();
+
+  if (!metrics_out.empty()) {
+    obs::write_report_csv(obs::capture_report(), metrics_out);
+    std::printf("\nmetrics snapshot written to %s\n", metrics_out.c_str());
+  }
+  obs::tracer().set_stream_path("");
   return 0;
 }

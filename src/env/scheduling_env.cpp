@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "env/observation.hpp"
+#include "obs/metrics.hpp"
 
 namespace pfrl::env {
 
@@ -74,6 +75,7 @@ StepResult SchedulingEnv::step(int action) {
     throw std::out_of_range("SchedulingEnv::step: action out of range");
   StepResult result;
   ++steps_;
+  PFRL_COUNT("env/steps", 1);
 
   const bool is_noop = action == noop_action();
   const auto vm_index = static_cast<std::size_t>(action);

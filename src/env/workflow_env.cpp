@@ -5,6 +5,7 @@
 
 #include "env/observation.hpp"
 #include "env/reward.hpp"
+#include "obs/metrics.hpp"
 
 namespace pfrl::env {
 
@@ -149,6 +150,7 @@ StepResult WorkflowEnv::step(int action) {
     throw std::out_of_range("WorkflowEnv::step: action out of range");
   StepResult result;
   ++steps_;
+  PFRL_COUNT("env/workflow_steps", 1);
 
   const bool is_noop = action == noop_action();
   const auto vm_index = static_cast<std::size_t>(action);

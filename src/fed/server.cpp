@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/serialization.hpp"
 
@@ -47,18 +49,21 @@ std::size_t FedServer::run_round(Bus& bus, std::uint64_t round,
   for (const Message& m : uploads) {
     if (m.type != MessageType::kModelUpload) {
       ++stats_.rejected_type;
+      PFRL_COUNT("fed/rejected_type", 1);
       PFRL_LOG_WARN("FedServer: dropped non-upload message (type %d) from %d",
                     static_cast<int>(m.type), m.sender);
       continue;
     }
     if (!checksum_ok(m)) {
       ++stats_.rejected_checksum;
+      PFRL_COUNT("fed/rejected_checksum", 1);
       PFRL_LOG_WARN("FedServer: dropped corrupted upload from client %d (round %llu)", m.sender,
                     static_cast<unsigned long long>(m.round));
       continue;
     }
     if (m.round != round) {
       ++stats_.rejected_stale;
+      PFRL_COUNT("fed/rejected_stale", 1);
       PFRL_LOG_WARN("FedServer: dropped stale upload from client %d (round %llu, expected %llu)",
                     m.sender, static_cast<unsigned long long>(m.round),
                     static_cast<unsigned long long>(round));
@@ -71,29 +76,34 @@ std::size_t FedServer::run_round(Bus& bus, std::uint64_t round,
       if (!reader.exhausted()) throw std::out_of_range("trailing bytes");
     } catch (const std::exception& e) {
       ++stats_.rejected_malformed;
+      PFRL_COUNT("fed/rejected_malformed", 1);
       PFRL_LOG_WARN("FedServer: dropped malformed upload from client %d: %s", m.sender, e.what());
       continue;
     }
     if (row.empty() || (p != 0 && row.size() != p)) {
       ++stats_.rejected_size;
+      PFRL_COUNT("fed/rejected_size", 1);
       PFRL_LOG_WARN("FedServer: dropped mis-sized upload from client %d (%zu params, expected %zu)",
                     m.sender, row.size(), p);
       continue;
     }
     if (!all_finite(row)) {
       ++stats_.rejected_nonfinite;
+      PFRL_COUNT("fed/rejected_nonfinite", 1);
       PFRL_LOG_WARN("FedServer: dropped non-finite upload from client %d (diverged?)", m.sender);
       continue;
     }
     if (std::find(input.client_ids.begin(), input.client_ids.end(), m.sender) !=
         input.client_ids.end()) {
       ++stats_.rejected_duplicate;
+      PFRL_COUNT("fed/rejected_duplicate", 1);
       PFRL_LOG_WARN("FedServer: dropped duplicate upload from client %d (round %llu)", m.sender,
                     static_cast<unsigned long long>(m.round));
       continue;
     }
     if (p == 0) p = row.size();
     ++stats_.accepted;
+    PFRL_COUNT("fed/uploads_accepted", 1);
     rows.push_back(std::move(row));
     input.client_ids.push_back(m.sender);
   }
@@ -102,6 +112,7 @@ std::size_t FedServer::run_round(Bus& bus, std::uint64_t round,
     // Quorum not met: skip aggregation, carry ψ_G forward, and answer
     // everyone with it so surviving clients do not go stale needlessly.
     ++stats_.quorum_failures;
+    PFRL_COUNT("fed/quorum_failures", 1);
     PFRL_LOG_WARN("FedServer: round %llu below quorum (%zu valid < %zu); carrying psi_G forward",
                   static_cast<unsigned long long>(round), rows.size(), min_participants_);
     if (has_global_model()) {
@@ -116,7 +127,10 @@ std::size_t FedServer::run_round(Bus& bus, std::uint64_t round,
   for (std::size_t i = 0; i < rows.size(); ++i)
     std::copy(rows[i].begin(), rows[i].end(), input.models.row(i).begin());
 
-  AggregationOutput output = aggregator_->aggregate(input);
+  AggregationOutput output = [&] {
+    PFRL_SPAN("fed/aggregate");
+    return aggregator_->aggregate(input);
+  }();
   global_model_ = std::move(output.global_model);
   last_weights_ = std::move(output.weights);
   last_participants_ = input.client_ids;

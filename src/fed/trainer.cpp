@@ -4,7 +4,10 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
+#include "util/stopwatch.hpp"
 
 namespace pfrl::fed {
 
@@ -73,6 +76,8 @@ std::vector<std::size_t> FedTrainer::pick_participants() {
 }
 
 void FedTrainer::step_round() {
+  PFRL_SPAN("fed/round");
+  const util::Stopwatch round_clock;
   if (faulty_bus_) faulty_bus_->begin_round(round_index_);
 
   // Clients inside a crash window sit the whole round out: no local
@@ -86,19 +91,25 @@ void FedTrainer::step_round() {
 
   // --- Local training: "for each client n in parallel" (Algorithm 1). ---
   const std::size_t episodes = config_.comm_every;
-  pool_.parallel_for(clients_.size(), [&](std::size_t i) {
-    if (crashed[i]) return;
-    const std::vector<rl::EpisodeStats> stats = clients_[i]->train_episodes(episodes);
-    ClientHistory& h = history_.clients[i];
-    for (const rl::EpisodeStats& s : stats) {
-      h.episode_rewards.push_back(s.total_reward);
-      h.episode_metrics.push_back(s.metrics);
-    }
-  });
+  {
+    PFRL_SPAN("fed/local_training");
+    pool_.parallel_for(clients_.size(), [&](std::size_t i) {
+      if (crashed[i]) return;
+      const std::vector<rl::EpisodeStats> stats = clients_[i]->train_episodes(episodes);
+      ClientHistory& h = history_.clients[i];
+      for (const rl::EpisodeStats& s : stats) {
+        h.episode_rewards.push_back(s.total_reward);
+        h.episode_metrics.push_back(s.metrics);
+      }
+    });
+  }
   episodes_done_ += episodes;
+  PFRL_GAUGE_SET("util/pool_peak_queue_depth", pool_.peak_queue_depth());
+  PFRL_GAUGE_SET("util/pool_inflight", pool_.inflight());
 
   if (!communication_enabled()) {
     ++round_index_;
+    PFRL_HISTOGRAM_RECORD("fed/round_latency_us", round_clock.seconds() * 1e6);
     return;
   }
 
@@ -131,8 +142,10 @@ void FedTrainer::step_round() {
       if (clients_[i]->try_apply_download(m, &reason)) {
         applied = true;
         ++h.downloads_applied;
+        PFRL_COUNT("fed/downloads_applied", 1);
       } else {
         ++h.downloads_rejected;
+        PFRL_COUNT("fed/downloads_rejected", 1);
         PFRL_LOG_WARN("FedTrainer: client %zu rejected download (round %llu): %s", i,
                       static_cast<unsigned long long>(round_index_), reason.c_str());
       }
@@ -148,6 +161,16 @@ void FedTrainer::step_round() {
 
   ++round_index_;
   ++history_.rounds;
+
+  PFRL_HISTOGRAM_RECORD("fed/round_latency_us", round_clock.seconds() * 1e6);
+  if (obs::enabled()) {
+    PFRL_GAUGE_SET("fed/uplink_bytes", bus_->uplink_bytes());
+    PFRL_GAUGE_SET("fed/downlink_bytes", bus_->downlink_bytes());
+    std::size_t max_staleness = 0;
+    for (const ClientHistory& h : history_.clients)
+      max_staleness = std::max(max_staleness, h.staleness);
+    PFRL_GAUGE_SET("fed/client_staleness_max", max_staleness);
+  }
 }
 
 TrainingHistory FedTrainer::run() {

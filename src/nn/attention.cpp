@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/softmax.hpp"
+#include "obs/trace.hpp"
 
 namespace pfrl::nn {
 
@@ -81,6 +82,7 @@ std::vector<Matrix> MultiHeadAttention::head_weights(const Matrix& models) const
 }
 
 Matrix MultiHeadAttention::weights(const Matrix& models) const {
+  PFRL_SPAN("nn/attention");
   const std::vector<Matrix> heads = head_weights(models);
   Matrix mean = heads.front();
   for (std::size_t h = 1; h < heads.size(); ++h) mean += heads[h];

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace pfrl::nn {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, float fill_value)
@@ -23,6 +25,7 @@ void Matrix::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
 
 Matrix Matrix::matmul(const Matrix& other) const {
   if (cols_ != other.rows_) throw std::invalid_argument("matmul: inner dims differ");
+  PFRL_COUNT("nn/flops", 2 * rows_ * cols_ * other.cols_);
   Matrix out(rows_, other.cols_);
   // i-k-j loop order: streams through `other` row-wise for cache locality.
   for (std::size_t i = 0; i < rows_; ++i) {
@@ -40,6 +43,7 @@ Matrix Matrix::matmul(const Matrix& other) const {
 
 Matrix Matrix::transpose_matmul(const Matrix& other) const {
   if (rows_ != other.rows_) throw std::invalid_argument("transpose_matmul: outer dims differ");
+  PFRL_COUNT("nn/flops", 2 * rows_ * cols_ * other.cols_);
   Matrix out(cols_, other.cols_);
   for (std::size_t k = 0; k < rows_; ++k) {
     const float* a_row = data_.data() + k * cols_;
@@ -56,6 +60,7 @@ Matrix Matrix::transpose_matmul(const Matrix& other) const {
 
 Matrix Matrix::matmul_transpose(const Matrix& other) const {
   if (cols_ != other.cols_) throw std::invalid_argument("matmul_transpose: inner dims differ");
+  PFRL_COUNT("nn/flops", 2 * rows_ * cols_ * other.rows_);
   Matrix out(rows_, other.rows_);
   for (std::size_t i = 0; i < rows_; ++i) {
     const float* a_row = data_.data() + i * cols_;

@@ -5,6 +5,7 @@
 
 #include "nn/activations.hpp"
 #include "nn/linear.hpp"
+#include "obs/trace.hpp"
 
 namespace pfrl::nn {
 
@@ -33,12 +34,14 @@ Mlp& Mlp::operator=(const Mlp& other) {
 }
 
 Matrix Mlp::forward(const Matrix& input) {
+  PFRL_SPAN("nn/mlp_forward");
   Matrix x = input;
   for (auto& layer : layers_) x = layer->forward(x);
   return x;
 }
 
 Matrix Mlp::backward(const Matrix& grad_output) {
+  PFRL_SPAN("nn/mlp_backward");
   Matrix g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
   return g;

@@ -1,0 +1,209 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms cheap enough for hot paths.
+//
+// Design constraints (DESIGN.md "Observability layer"):
+//  - the increment path takes no locks: counters are sharded over
+//    cache-line-padded atomics indexed by a per-thread shard id, gauges
+//    are single relaxed atomics, histogram recording is one atomic add
+//    into a pre-sized bucket array;
+//  - registration (name -> instrument) takes a mutex but happens once
+//    per call site (cache the returned reference, or use the PFRL_COUNT /
+//    PFRL_GAUGE_SET macros which do so via a function-local static);
+//  - instruments are never destroyed while the process runs, so cached
+//    references stay valid; `reset_values()` zeroes values for tests and
+//    benches without invalidating handles.
+//
+// All of it is inert until `obs::set_enabled(true)` (the macros check one
+// relaxed atomic first), keeping instrumented hot loops within the <2%
+// overhead budget when observability is off.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfrl::obs {
+
+/// Global kill switch; all PFRL_* instrumentation macros check it first.
+bool enabled();
+void set_enabled(bool on);
+
+// Fixed 64 rather than std::hardware_destructive_interference_size: the
+// value only affects false-sharing, and gcc warns that the stdlib constant
+// varies across -mtune settings (ABI hazard for the public header).
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Monotonic counter sharded across cache lines so concurrent writers on
+/// different threads do not contend on one atomic.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  void add(std::uint64_t delta) {
+    shards_[shard_index()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kCacheLine) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  static std::size_t shard_index();
+
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-write-wins instantaneous value (queue depth, inflight tasks, ...).
+/// `set_max` keeps a high-water mark without a read-modify-write loop on
+/// the common path.
+class Gauge {
+ public:
+  void set(double value) { bits_.store(pack(value), std::memory_order_relaxed); }
+
+  void set_max(double value) {
+    std::uint64_t observed = bits_.load(std::memory_order_relaxed);
+    while (unpack(observed) < value &&
+           !bits_.compare_exchange_weak(observed, pack(value), std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const { return unpack(bits_.load(std::memory_order_relaxed)); }
+  void reset() { set(0.0); }
+
+ private:
+  static std::uint64_t pack(double v);
+  static double unpack(std::uint64_t bits);
+
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are the inclusive upper edges of each
+/// bucket (ascending); values above the last bound land in an overflow
+/// bucket. Recording is one relaxed atomic increment plus two for the
+/// running sum/count; quantiles are linearly interpolated inside the
+/// owning bucket, so precision is set by the bucket layout.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Default layout for durations in microseconds: 1us..60s, roughly
+  /// logarithmic (1-2-5 per decade).
+  static std::vector<double> default_time_bounds_us();
+
+  void record(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  /// q in [0, 1]; returns 0 when empty.
+  double quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max_bound = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Name -> instrument registry. Lookup interns the instrument on first
+/// use; returned references live for the process lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` is consulted only on first registration of `name`; empty
+  /// picks Histogram::default_time_bounds_us().
+  Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
+
+  /// Stable (name-sorted) copy of every instrument's current value.
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes all values; handles stay valid. For tests and benches.
+  void reset_values();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry every instrumentation site reports into.
+MetricsRegistry& metrics();
+
+// Hot-path macros: one relaxed load when disabled; the instrument handle
+// is resolved once per call site via a function-local static.
+#define PFRL_COUNT(name, delta)                                      \
+  do {                                                               \
+    if (::pfrl::obs::enabled()) {                                    \
+      static ::pfrl::obs::Counter& pfrl_obs_counter_ =               \
+          ::pfrl::obs::metrics().counter(name);                      \
+      pfrl_obs_counter_.add(static_cast<std::uint64_t>(delta));      \
+    }                                                                \
+  } while (0)
+
+#define PFRL_GAUGE_SET(name, value)                                  \
+  do {                                                               \
+    if (::pfrl::obs::enabled()) {                                    \
+      static ::pfrl::obs::Gauge& pfrl_obs_gauge_ =                   \
+          ::pfrl::obs::metrics().gauge(name);                        \
+      pfrl_obs_gauge_.set(static_cast<double>(value));               \
+    }                                                                \
+  } while (0)
+
+#define PFRL_HISTOGRAM_RECORD(name, value)                           \
+  do {                                                               \
+    if (::pfrl::obs::enabled()) {                                    \
+      static ::pfrl::obs::Histogram& pfrl_obs_hist_ =                \
+          ::pfrl::obs::metrics().histogram(name);                    \
+      pfrl_obs_hist_.record(static_cast<double>(value));             \
+    }                                                                \
+  } while (0)
+
+}  // namespace pfrl::obs

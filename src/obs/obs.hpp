@@ -1,0 +1,20 @@
+// Umbrella header for the observability subsystem.
+//
+// Typical harness wiring:
+//   obs::set_enabled(true);                         // arm the macros
+//   obs::tracer().set_stream_path("trace.jsonl");   // optional span stream
+//   ... run ...
+//   obs::Report report = obs::capture_report();
+//   obs::write_report_csv(report, "metrics.csv");   // machine-readable
+//   obs::print_report(report);                      // stderr table
+//
+// Naming conventions (enforced by review, not code): metric and span
+// names are "<layer>/<thing>" with the layer matching the source
+// directory — nn/flops, rl/rollout, fed/round_latency_us,
+// env/steps, util/pool_queue_depth.
+#pragma once
+
+#include "obs/metrics.hpp"      // IWYU pragma: export
+#include "obs/perf_record.hpp"  // IWYU pragma: export
+#include "obs/sinks.hpp"        // IWYU pragma: export
+#include "obs/trace.hpp"        // IWYU pragma: export

@@ -1,0 +1,113 @@
+#include "obs/perf_record.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+namespace pfrl::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += ' ';
+        else
+          out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+}  // namespace
+
+PerfRecord::PerfRecord(std::string bench_name) : name_(std::move(bench_name)) {
+  timestamp_unix_ = std::chrono::duration_cast<std::chrono::seconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+  host_threads_ = std::thread::hardware_concurrency();
+}
+
+void PerfRecord::add(PerfMetric metric) { metrics_.push_back(std::move(metric)); }
+
+void PerfRecord::add(const std::string& name, double value, const std::string& unit) {
+  add(PerfMetric{name, value, unit, {}});
+}
+
+void PerfRecord::add_report(const Report& report) {
+  for (const CounterSample& c : report.metrics.counters)
+    add(c.name, static_cast<double>(c.value), "count");
+  for (const GaugeSample& g : report.metrics.gauges) add(g.name, g.value, "value");
+  for (const HistogramSample& h : report.metrics.histograms) {
+    PerfMetric m{h.name + ".p50", h.p50, "us", {}};
+    m.extra.emplace_back("p95", h.p95);
+    m.extra.emplace_back("p99", h.p99);
+    m.extra.emplace_back("count", static_cast<double>(h.count));
+    add(std::move(m));
+  }
+  for (const SpanAggregate& s : report.spans) {
+    PerfMetric m{s.name + ".total_ms", s.total_ms(), "ms", {}};
+    m.extra.emplace_back("calls", static_cast<double>(s.count));
+    m.extra.emplace_back("mean_us", s.mean_us());
+    add(std::move(m));
+  }
+}
+
+std::string PerfRecord::to_json() const {
+  std::string out;
+  out.reserve(256 + metrics_.size() * 96);
+  out += "{\n  \"schema\": \"pfrl-perf/1\",\n  \"name\": ";
+  append_escaped(out, name_);
+  out += ",\n  \"timestamp_unix\": " + std::to_string(timestamp_unix_);
+  out += ",\n  \"host\": {\"threads\": " + std::to_string(host_threads_) + "}";
+  out += ",\n  \"metrics\": [";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    const PerfMetric& m = metrics_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_escaped(out, m.name);
+    out += ", \"value\": ";
+    append_number(out, m.value);
+    out += ", \"unit\": ";
+    append_escaped(out, m.unit);
+    for (const auto& [key, value] : m.extra) {
+      out += ", ";
+      append_escaped(out, key);
+      out += ": ";
+      append_number(out, value);
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void PerfRecord::write(const std::string& path) const {
+  const std::string target = path.empty() ? default_path() : path;
+  std::ofstream out(target, std::ios::trunc);
+  if (!out.is_open())
+    throw std::runtime_error("PerfRecord: cannot open " + target + " for writing");
+  out << to_json();
+}
+
+}  // namespace pfrl::obs

@@ -1,0 +1,69 @@
+// Perf-record writer: the machine-readable documents the perf trajectory
+// is built from. One record per bench run, written as `BENCH_<name>.json`:
+//
+//   {
+//     "schema": "pfrl-perf/1",
+//     "name": "micro_primitives",
+//     "timestamp_unix": 1754400000,
+//     "host": {"threads": 8},
+//     "metrics": [
+//       {"name": "BM_MlpForward/64", "value": 1234.5, "unit": "ns",
+//        "items_per_second": 51883.1}
+//     ]
+//   }
+//
+// Successive PRs append records for the same bench name; comparing the
+// same metric name across records is the regression check. The schema
+// field gates future format changes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/sinks.hpp"
+
+namespace pfrl::obs {
+
+struct PerfMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;  // "ns", "ms", "items/s", "bytes", "count", ...
+  /// Optional secondary rates (items_per_second, bytes_per_second, ...);
+  /// zero-valued entries are still written — absence means "not measured".
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+class PerfRecord {
+ public:
+  explicit PerfRecord(std::string bench_name);
+
+  void add(PerfMetric metric);
+  void add(const std::string& name, double value, const std::string& unit);
+
+  /// Folds a captured obs report in: histograms become "<name>.p50/.p95/
+  /// .p99" metrics, spans become "<name>.total_ms" + "<name>.calls",
+  /// counters keep their value.
+  void add_report(const Report& report);
+
+  const std::string& name() const { return name_; }
+  std::size_t metric_count() const { return metrics_.size(); }
+
+  /// Serializes the record as a JSON document.
+  std::string to_json() const;
+
+  /// Writes `to_json()` to `path`, or to `BENCH_<name>.json` in `dir`
+  /// when `path` is empty.
+  void write(const std::string& path = "") const;
+
+  /// Default output path for this record: BENCH_<name>.json (cwd).
+  std::string default_path() const { return "BENCH_" + name_ + ".json"; }
+
+ private:
+  std::string name_;
+  std::int64_t timestamp_unix_ = 0;
+  std::size_t host_threads_ = 0;
+  std::vector<PerfMetric> metrics_;
+};
+
+}  // namespace pfrl::obs

@@ -1,0 +1,70 @@
+#include "obs/sinks.hpp"
+
+#include <cstdio>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace pfrl::obs {
+
+Report capture_report() {
+  Report report;
+  report.metrics = metrics().snapshot();
+  report.spans = tracer().aggregates();
+  return report;
+}
+
+void write_report_csv(const Report& report, const std::string& path) {
+  util::CsvWriter csv(path, {"kind", "name", "count", "value", "p50", "p95", "p99"});
+  for (const CounterSample& c : report.metrics.counters)
+    csv.row({"counter", c.name, std::to_string(c.value), "", "", "", ""});
+  for (const GaugeSample& g : report.metrics.gauges)
+    csv.row({"gauge", g.name, "", util::CsvWriter::field(g.value), "", "", ""});
+  for (const HistogramSample& h : report.metrics.histograms)
+    csv.row({"histogram", h.name, std::to_string(h.count), util::CsvWriter::field(h.sum),
+             util::CsvWriter::field(h.p50), util::CsvWriter::field(h.p95),
+             util::CsvWriter::field(h.p99)});
+  for (const SpanAggregate& s : report.spans)
+    csv.row({"span", s.name, std::to_string(s.count), util::CsvWriter::field(s.total_ms()),
+             util::CsvWriter::field(s.mean_us()), "",
+             util::CsvWriter::field(static_cast<double>(s.max_ns) / 1e3)});
+}
+
+std::string render_report(const Report& report) {
+  std::string out;
+  if (!report.metrics.counters.empty() || !report.metrics.gauges.empty()) {
+    util::TablePrinter table({"metric", "kind", "value"});
+    for (const CounterSample& c : report.metrics.counters)
+      table.row({c.name, "counter", std::to_string(c.value)});
+    for (const GaugeSample& g : report.metrics.gauges)
+      table.row({g.name, "gauge", util::TablePrinter::num(g.value, 2)});
+    out += table.render();
+  }
+  if (!report.metrics.histograms.empty()) {
+    util::TablePrinter table({"histogram", "count", "sum", "p50", "p95", "p99"});
+    for (const HistogramSample& h : report.metrics.histograms)
+      table.row({h.name, std::to_string(h.count), util::TablePrinter::num(h.sum, 1),
+                 util::TablePrinter::num(h.p50, 1), util::TablePrinter::num(h.p95, 1),
+                 util::TablePrinter::num(h.p99, 1)});
+    if (!out.empty()) out += "\n";
+    out += table.render();
+  }
+  if (!report.spans.empty()) {
+    util::TablePrinter table({"span", "calls", "total (ms)", "mean (us)", "max (us)"});
+    for (const SpanAggregate& s : report.spans)
+      table.row({s.name, std::to_string(s.count), util::TablePrinter::num(s.total_ms(), 2),
+                 util::TablePrinter::num(s.mean_us(), 1),
+                 util::TablePrinter::num(static_cast<double>(s.max_ns) / 1e3, 1)});
+    if (!out.empty()) out += "\n";
+    out += table.render();
+  }
+  return out;
+}
+
+void print_report(const Report& report) {
+  const std::string rendered = render_report(report);
+  if (rendered.empty()) return;
+  std::fprintf(stderr, "\n--- observability report ---\n%s", rendered.c_str());
+}
+
+}  // namespace pfrl::obs

@@ -1,0 +1,33 @@
+// Pluggable outputs for a metrics/trace snapshot:
+//  - CSV summary (util/csv.hpp) for machine post-processing,
+//  - aligned stderr table (util/table.hpp) for end-of-run eyeballing,
+//  - JSONL span streaming lives in obs/trace.hpp (attach a stream path).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pfrl::obs {
+
+/// Metrics snapshot + span aggregates, gathered at one instant.
+struct Report {
+  MetricsSnapshot metrics;
+  std::vector<SpanAggregate> spans;
+};
+
+/// Snapshots the global registry and tracer.
+Report capture_report();
+
+/// Long-format CSV: kind,name,count,value,p50,p95,p99 (one row per
+/// counter/gauge/histogram/span; unused cells empty).
+void write_report_csv(const Report& report, const std::string& path);
+
+/// Renders counters/gauges/histograms/spans as aligned ASCII tables.
+std::string render_report(const Report& report);
+
+/// render_report to stderr (end-of-run summary).
+void print_report(const Report& report);
+
+}  // namespace pfrl::obs

@@ -1,0 +1,218 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace pfrl::obs {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+/// Process start reference so streamed timestamps are small and relative.
+std::uint64_t process_epoch_ns() {
+  static const std::uint64_t epoch = now_ns();
+  return epoch;
+}
+
+std::uint64_t thread_ordinal() {
+  static std::atomic<std::uint64_t> next{0};
+  thread_local const std::uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+struct StackEntry {
+  const char* name;
+};
+
+std::vector<StackEntry>& span_stack() {
+  thread_local std::vector<StackEntry> stack;
+  return stack;
+}
+
+struct TracerState {
+  mutable std::mutex mutex;
+  std::map<std::string, SpanAggregate, std::less<>> aggregates;
+  std::ofstream stream;
+  bool streaming = false;
+};
+
+TracerState& state() {
+  static TracerState* s = new TracerState();  // leaked, like the registry:
+  // worker threads may close spans during static destruction.
+  return *s;
+}
+
+void json_escape_into(std::string& out, const char* text) {
+  for (const char* p = text; *p; ++p) {
+    switch (*p) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(*p) < 0x20)
+          out += ' ';  // control chars never appear in span names
+        else
+          out += *p;
+    }
+  }
+}
+
+}  // namespace
+
+void Tracer::set_stream_path(const std::string& path) {
+  TracerState& s = state();
+  const std::scoped_lock lock(s.mutex);
+  s.stream.close();
+  s.stream.clear();
+  s.streaming = false;
+  if (path.empty()) return;
+  s.stream.open(path, std::ios::trunc);
+  if (!s.stream.is_open()) throw std::runtime_error("Tracer: cannot open trace file " + path);
+  s.streaming = true;
+}
+
+bool Tracer::streaming() const {
+  TracerState& s = state();
+  const std::scoped_lock lock(s.mutex);
+  return s.streaming;
+}
+
+std::vector<SpanAggregate> Tracer::aggregates() const {
+  TracerState& s = state();
+  const std::scoped_lock lock(s.mutex);
+  std::vector<SpanAggregate> out;
+  out.reserve(s.aggregates.size());
+  for (const auto& [name, agg] : s.aggregates) out.push_back(agg);
+  return out;
+}
+
+void Tracer::reset() {
+  TracerState& s = state();
+  const std::scoped_lock lock(s.mutex);
+  s.aggregates.clear();
+}
+
+void Tracer::record(const char* name, const char* parent, std::uint64_t start_ns,
+                    std::uint64_t end_ns, std::uint32_t depth) {
+  const std::uint64_t dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+  TracerState& s = state();
+  const std::scoped_lock lock(s.mutex);
+  auto it = s.aggregates.find(name);
+  if (it == s.aggregates.end()) {
+    SpanAggregate agg;
+    agg.name = name;
+    agg.min_ns = dur_ns;
+    it = s.aggregates.emplace(agg.name, std::move(agg)).first;
+  }
+  SpanAggregate& agg = it->second;
+  ++agg.count;
+  agg.total_ns += dur_ns;
+  agg.min_ns = std::min(agg.min_ns, dur_ns);
+  agg.max_ns = std::max(agg.max_ns, dur_ns);
+
+  if (s.streaming) {
+    std::string line;
+    line.reserve(128);
+    line += "{\"name\":\"";
+    json_escape_into(line, name);
+    line += "\",\"parent\":\"";
+    if (parent) json_escape_into(line, parent);
+    line += "\",\"ts_us\":" + std::to_string((start_ns - process_epoch_ns()) / 1000);
+    line += ",\"dur_us\":" + std::to_string(dur_ns / 1000);
+    line += ",\"tid\":" + std::to_string(thread_ordinal());
+    line += ",\"depth\":" + std::to_string(depth);
+    line += "}\n";
+    s.stream << line;
+    s.stream.flush();
+  }
+}
+
+Tracer& tracer() {
+  static Tracer t;
+  return t;
+}
+
+Span::Span(const char* name) {
+  if (!enabled()) return;
+  process_epoch_ns();  // pin the epoch before the first timestamp
+  std::vector<StackEntry>& stack = span_stack();
+  parent_ = stack.empty() ? nullptr : stack.back().name;
+  depth_ = static_cast<std::uint32_t>(stack.size());
+  stack.push_back({name});
+  name_ = name;
+  start_ns_ = now_ns();
+}
+
+Span::~Span() {
+  if (!name_) return;
+  const std::uint64_t end = now_ns();
+  std::vector<StackEntry>& stack = span_stack();
+  if (!stack.empty()) stack.pop_back();
+  tracer().record(name_, parent_, start_ns_, end, depth_);
+}
+
+namespace {
+
+/// Minimal field extraction for the fixed shape record() writes.
+bool extract_string(const std::string& line, const std::string& key, std::string& out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t i = at + needle.size();
+  out.clear();
+  while (i < line.size() && line[i] != '"') {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      const char c = line[i + 1];
+      out += c == 'n' ? '\n' : c == 't' ? '\t' : c;
+      i += 2;
+    } else {
+      out += line[i++];
+    }
+  }
+  return i < line.size();
+}
+
+bool extract_u64(const std::string& line, const std::string& key, std::uint64_t& out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  try {
+    out = std::stoull(line.substr(at + needle.size()));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<SpanEvent> parse_jsonl_events(const std::string& path) {
+  std::vector<SpanEvent> events;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    SpanEvent e;
+    std::uint64_t depth = 0;
+    if (!extract_string(line, "name", e.name)) continue;
+    extract_string(line, "parent", e.parent);
+    if (!extract_u64(line, "ts_us", e.ts_us)) continue;
+    if (!extract_u64(line, "dur_us", e.dur_us)) continue;
+    extract_u64(line, "tid", e.thread);
+    extract_u64(line, "depth", depth);
+    e.depth = static_cast<std::uint32_t>(depth);
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+}  // namespace pfrl::obs

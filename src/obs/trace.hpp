@@ -1,0 +1,99 @@
+// Scoped-span tracer: RAII spans with a thread-local span stack.
+//
+//   void FedTrainer::step_round() {
+//     PFRL_SPAN("fed/round");
+//     ...
+//   }
+//
+// Every completed span is aggregated by name (call count, total/min/max
+// wall time) and, when a JSONL stream is attached, emitted as one event
+// line. Span begin/end is a steady_clock read plus a thread-local push /
+// pop; the aggregation update takes a short global mutex on span *end*
+// only, so spans belong around work in the >= 10 microsecond range
+// (episodes, forward passes, rounds), not innermost loops — those get
+// counters. With obs disabled, PFRL_SPAN is one relaxed atomic load.
+//
+// Span names are stable "<layer>/<operation>" literals; nesting is
+// recorded as depth + parent in the stream, while aggregation stays
+// keyed by name alone so the summary table is compact.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace pfrl::obs {
+
+/// Aggregated view of one span name.
+struct SpanAggregate {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  double total_ms() const { return static_cast<double>(total_ns) / 1e6; }
+  double mean_us() const {
+    return count == 0 ? 0.0 : static_cast<double>(total_ns) / (1e3 * static_cast<double>(count));
+  }
+};
+
+/// One streamed span event (also the shape parse_jsonl_events returns).
+struct SpanEvent {
+  std::string name;
+  std::string parent;      // empty at depth 0
+  std::uint64_t ts_us = 0; // start, relative to process start
+  std::uint64_t dur_us = 0;
+  std::uint64_t thread = 0;
+  std::uint32_t depth = 0;
+};
+
+class Tracer {
+ public:
+  /// Streams every completed span to `path` as one JSON object per line.
+  /// Empty path detaches the stream. Aggregation happens regardless.
+  void set_stream_path(const std::string& path);
+  bool streaming() const;
+
+  /// Name-sorted aggregates of every span completed so far.
+  std::vector<SpanAggregate> aggregates() const;
+
+  void reset();
+
+  // Called by Span only.
+  void record(const char* name, const char* parent, std::uint64_t start_ns,
+              std::uint64_t end_ns, std::uint32_t depth);
+};
+
+Tracer& tracer();
+
+/// Parses a JSONL span stream written by the tracer (round-trip tests and
+/// external tooling). Lines that do not parse are skipped.
+std::vector<SpanEvent> parse_jsonl_events(const std::string& path);
+
+/// RAII span. Inert (no clock read, no stack push) when obs is disabled
+/// at construction time.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // null when inert
+  const char* parent_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+#define PFRL_OBS_CONCAT_INNER(a, b) a##b
+#define PFRL_OBS_CONCAT(a, b) PFRL_OBS_CONCAT_INNER(a, b)
+/// Opens a span covering the rest of the enclosing scope.
+#define PFRL_SPAN(name) ::pfrl::obs::Span PFRL_OBS_CONCAT(pfrl_obs_span_, __LINE__)(name)
+
+}  // namespace pfrl::obs

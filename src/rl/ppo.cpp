@@ -5,6 +5,8 @@
 
 #include "env/scheduling_env.hpp"
 #include "nn/softmax.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pfrl::rl {
 
@@ -62,6 +64,7 @@ int PpoAgent::act(std::span<const float> state) {
 }
 
 double PpoAgent::collect_episode(env::Env& environment, RolloutBuffer& buffer) {
+  PFRL_SPAN("rl/rollout");
   environment.reset();
   double total_reward = 0.0;
   std::vector<float> state(environment.state_dim());
@@ -82,6 +85,8 @@ double PpoAgent::collect_episode(env::Env& environment, RolloutBuffer& buffer) {
 }
 
 EpisodeStats PpoAgent::train_episode(env::Env& environment) {
+  PFRL_SPAN("rl/train_episode");
+  PFRL_COUNT("rl/episodes", 1);
   RolloutBuffer buffer;
   EpisodeStats stats;
   stats.total_reward = collect_episode(environment, buffer);
@@ -150,6 +155,7 @@ EpisodeStats PpoAgent::evaluate_sampled(env::Env& environment, bool masked) {
 }
 
 void PpoAgent::update(const RolloutBuffer& buffer) {
+  PFRL_SPAN("rl/ppo_update");
   if (buffer.empty()) return;
   const nn::Matrix states = buffer.state_matrix();
   const RolloutBuffer::GaeResult gae =

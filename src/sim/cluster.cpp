@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace pfrl::sim {
 
 Cluster::Cluster(ClusterConfig config, workload::Trace trace)
@@ -64,6 +66,7 @@ std::vector<Completion> Cluster::complete_until(double t) {
   }
   std::sort(done.begin(), done.end(),
             [](const Completion& a, const Completion& b) { return a.finish_time < b.finish_time; });
+  if (!done.empty()) PFRL_COUNT("sim/task_completions", done.size());
   return done;
 }
 

@@ -1,9 +1,12 @@
 #include "util/logging.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdarg>
 #include <cstdio>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 namespace pfrl::util {
@@ -27,6 +30,30 @@ constexpr std::string_view level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+LogLevel parse_log_level(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  throw std::invalid_argument("unknown log level '" + std::string(name) +
+                              "' (debug|info|warn|error|off)");
+}
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
 
 void log_message(LogLevel level, std::string_view message) {
   if (level < log_level()) return;

@@ -14,6 +14,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// "debug" | "info" | "warn" | "error" | "off" (case-insensitive) for
+/// --log-level flags. Throws std::invalid_argument on anything else.
+LogLevel parse_log_level(std::string_view name);
+std::string_view log_level_name(LogLevel level);
+
 /// Thread-safe write of one line to stderr.
 void log_message(LogLevel level, std::string_view message);
 

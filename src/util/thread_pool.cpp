@@ -32,8 +32,15 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
+      queue_depth_.store(queue_.size(), std::memory_order_relaxed);
+      inflight_.fetch_add(1, std::memory_order_relaxed);
     }
     task();
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    // Release pairs with the acquire load in completed(): a reader that
+    // sees this task's completion also sees its earlier submitted_ bump,
+    // making completed <= submitted safe to compare across two loads.
+    completed_.fetch_add(1, std::memory_order_release);
   }
 }
 

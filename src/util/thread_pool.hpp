@@ -6,8 +6,10 @@
 // line 3).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -41,10 +43,42 @@ class ThreadPool {
     {
       const std::scoped_lock lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      // submitted_ moves before queue_depth_ (and a pop moves queue_depth_
+      // before inflight_), so at any single instant
+      // depth + inflight + completed <= submitted holds.
+      submitted_.fetch_add(1, std::memory_order_relaxed);
       queue_.emplace([task] { (*task)(); });
+      const std::size_t depth = queue_.size();
+      queue_depth_.store(depth, std::memory_order_relaxed);
+      std::size_t peak = peak_queue_depth_.load(std::memory_order_relaxed);
+      while (depth > peak &&
+             !peak_queue_depth_.compare_exchange_weak(peak, depth, std::memory_order_relaxed)) {
+      }
     }
     cv_.notify_one();
     return result;
+  }
+
+  // Live-load gauges (obs export happens at the call sites that own a
+  // pool; util cannot depend on obs). Update order guarantees the
+  // one-sided invariant queue_depth + inflight + completed <= submitted
+  // at any single instant, with equality at every quiescent point (queue
+  // drained, no task running). A racing reader issuing four separate
+  // loads may still double-count a task that moves between reads; only
+  // the monotone pair is safe to compare across loads (read completed
+  // before submitted and completed <= submitted always holds).
+
+  /// Tasks accepted by submit() so far.
+  std::uint64_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
+  /// Tasks finished (normally or by exception).
+  std::uint64_t completed() const { return completed_.load(std::memory_order_acquire); }
+  /// Tasks sitting in the queue, not yet picked up by a worker.
+  std::size_t queue_depth() const { return queue_depth_.load(std::memory_order_relaxed); }
+  /// Tasks currently executing on workers.
+  std::size_t inflight() const { return inflight_.load(std::memory_order_relaxed); }
+  /// High-water mark of queue_depth over the pool's lifetime.
+  std::size_t peak_queue_depth() const {
+    return peak_queue_depth_.load(std::memory_order_relaxed);
   }
 
   /// Runs fn(0) .. fn(count-1) across the pool and blocks until all
@@ -59,6 +93,11 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::atomic<std::size_t> queue_depth_{0};
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::size_t> peak_queue_depth_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
 };
 
 }  // namespace pfrl::util

@@ -1,0 +1,207 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace pfrl::obs {
+namespace {
+
+// The registry and enable flag are process-wide; every test starts from a
+// clean slate and leaves obs disabled for whoever runs next.
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    metrics().reset_values();
+  }
+  void TearDown() override {
+    metrics().reset_values();
+    set_enabled(false);
+  }
+};
+
+TEST_F(ObsMetricsTest, CounterConcurrentIncrementsLoseNothing) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.increment();
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST_F(ObsMetricsTest, CounterAddAccumulatesDeltas) {
+  Counter counter;
+  counter.add(5);
+  counter.add(0);
+  counter.add(37);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST_F(ObsMetricsTest, GaugeLastWriteWinsAndSetMaxKeepsHighWater) {
+  Gauge gauge;
+  gauge.set(3.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.5);
+  gauge.set(-1.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), -1.25);
+
+  gauge.set(10.0);
+  gauge.set_max(4.0);  // lower: no effect
+  EXPECT_DOUBLE_EQ(gauge.value(), 10.0);
+  gauge.set_max(12.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 12.0);
+}
+
+TEST_F(ObsMetricsTest, GaugeSetMaxUnderContentionConvergesToMaximum) {
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&gauge, t] {
+      for (int i = 0; i < 5000; ++i) gauge.set_max(static_cast<double>(t * 10000 + i));
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(gauge.value(), (kThreads - 1) * 10000 + 4999);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketsAndQuantilesInterpolate) {
+  Histogram hist({10.0, 20.0, 50.0, 100.0});
+  // 100 values uniformly in (0, 100]: 10 per first bucket etc.
+  for (int i = 1; i <= 100; ++i) hist.record(static_cast<double>(i));
+  EXPECT_EQ(hist.count(), 100u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 5050.0);
+
+  const std::vector<std::uint64_t> buckets = hist.bucket_counts();
+  ASSERT_EQ(buckets.size(), 5u);  // 4 bounds + overflow
+  EXPECT_EQ(buckets[0], 10u);     // (0, 10]
+  EXPECT_EQ(buckets[1], 10u);     // (10, 20]
+  EXPECT_EQ(buckets[2], 30u);     // (20, 50]
+  EXPECT_EQ(buckets[3], 50u);     // (50, 100]
+  EXPECT_EQ(buckets[4], 0u);      // overflow
+
+  // Linear interpolation inside the owning bucket keeps quantiles within
+  // one bucket width of the exact value.
+  EXPECT_NEAR(hist.quantile(0.50), 50.0, 15.0);
+  EXPECT_NEAR(hist.quantile(0.95), 95.0, 10.0);
+  EXPECT_GE(hist.quantile(0.99), hist.quantile(0.95));
+  EXPECT_LE(hist.quantile(0.99), 100.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.0), hist.quantile(-1.0));  // clamped
+}
+
+TEST_F(ObsMetricsTest, HistogramOverflowLandsInLastBucket) {
+  Histogram hist({1.0, 2.0});
+  hist.record(1e9);
+  hist.record(1e9);
+  const std::vector<std::uint64_t> buckets = hist.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[2], 2u);
+  // The overflow bucket has no upper edge; quantiles report its lower edge.
+  EXPECT_DOUBLE_EQ(hist.quantile(0.99), 2.0);
+}
+
+TEST_F(ObsMetricsTest, HistogramIgnoresNanAndResets) {
+  Histogram hist({1.0, 10.0});
+  hist.record(std::nan(""));
+  EXPECT_EQ(hist.count(), 0u);
+  hist.record(5.0);
+  EXPECT_EQ(hist.count(), 1u);
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 0.0);
+}
+
+TEST_F(ObsMetricsTest, HistogramRejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({5.0, 1.0}), std::invalid_argument);
+}
+
+TEST_F(ObsMetricsTest, DefaultTimeBoundsAreAscendingMicroseconds) {
+  const std::vector<double> bounds = Histogram::default_time_bounds_us();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_DOUBLE_EQ(bounds.front(), 1.0);
+  EXPECT_DOUBLE_EQ(bounds.back(), 6e7);
+  for (std::size_t i = 1; i < bounds.size(); ++i) EXPECT_LT(bounds[i - 1], bounds[i]);
+}
+
+TEST_F(ObsMetricsTest, RegistryInternsByNameAndSnapshotsSorted) {
+  Counter& a = metrics().counter("test/interned");
+  Counter& b = metrics().counter("test/interned");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  metrics().gauge("test/z_gauge").set(1.5);
+  metrics().gauge("test/a_gauge").set(2.5);
+  metrics().histogram("test/hist", {1.0, 10.0}).record(3.0);
+
+  const MetricsSnapshot snap = metrics().snapshot();
+  bool found_counter = false;
+  for (const CounterSample& c : snap.counters)
+    if (c.name == "test/interned") {
+      found_counter = true;
+      EXPECT_EQ(c.value, 7u);
+    }
+  EXPECT_TRUE(found_counter);
+  for (std::size_t i = 1; i < snap.gauges.size(); ++i)
+    EXPECT_LT(snap.gauges[i - 1].name, snap.gauges[i].name);
+  bool found_hist = false;
+  for (const HistogramSample& h : snap.histograms)
+    if (h.name == "test/hist") {
+      found_hist = true;
+      EXPECT_EQ(h.count, 1u);
+      EXPECT_DOUBLE_EQ(h.sum, 3.0);
+      EXPECT_DOUBLE_EQ(h.max_bound, 10.0);
+    }
+  EXPECT_TRUE(found_hist);
+}
+
+TEST_F(ObsMetricsTest, RegistryConcurrentRegistrationIsSafe) {
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([] {
+      for (int i = 0; i < 1000; ++i) metrics().counter("test/concurrent_reg").increment();
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(metrics().counter("test/concurrent_reg").value(), 8000u);
+}
+
+TEST_F(ObsMetricsTest, ResetValuesZeroesButKeepsHandles) {
+  Counter& c = metrics().counter("test/reset_me");
+  c.add(41);
+  metrics().reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(1);  // handle survives reset
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST_F(ObsMetricsTest, MacrosAreInertWhenDisabled) {
+  set_enabled(false);
+  PFRL_COUNT("test/disabled_counter", 10);
+  PFRL_GAUGE_SET("test/disabled_gauge", 1.0);
+  PFRL_HISTOGRAM_RECORD("test/disabled_hist", 5.0);
+  const MetricsSnapshot snap = metrics().snapshot();
+  for (const CounterSample& c : snap.counters) EXPECT_NE(c.name, "test/disabled_counter");
+  for (const GaugeSample& g : snap.gauges) EXPECT_NE(g.name, "test/disabled_gauge");
+  for (const HistogramSample& h : snap.histograms) EXPECT_NE(h.name, "test/disabled_hist");
+}
+
+TEST_F(ObsMetricsTest, MacrosRecordWhenEnabled) {
+  PFRL_COUNT("test/macro_counter", 3);
+  PFRL_COUNT("test/macro_counter", 4);
+  PFRL_GAUGE_SET("test/macro_gauge", 2.5);
+  PFRL_HISTOGRAM_RECORD("test/macro_hist", 7.0);
+  EXPECT_EQ(metrics().counter("test/macro_counter").value(), 7u);
+  EXPECT_DOUBLE_EQ(metrics().gauge("test/macro_gauge").value(), 2.5);
+  EXPECT_EQ(metrics().histogram("test/macro_hist").count(), 1u);
+}
+
+}  // namespace
+}  // namespace pfrl::obs

@@ -1,0 +1,188 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/perf_record.hpp"
+#include "obs/sinks.hpp"
+
+namespace pfrl::obs {
+namespace {
+
+const SpanAggregate* find(const std::vector<SpanAggregate>& aggs, const std::string& name) {
+  for (const SpanAggregate& a : aggs)
+    if (a.name == name) return &a;
+  return nullptr;
+}
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    tracer().reset();
+    metrics().reset_values();
+  }
+  void TearDown() override {
+    tracer().set_stream_path("");
+    tracer().reset();
+    metrics().reset_values();
+    set_enabled(false);
+  }
+
+  static std::string temp_path(const char* stem) {
+    return testing::TempDir() + stem + ".jsonl";
+  }
+
+  static void busy_wait_us(std::int64_t us) {
+    const auto until = std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+  }
+};
+
+TEST_F(ObsTraceTest, SpansAggregateByName) {
+  for (int i = 0; i < 3; ++i) {
+    PFRL_SPAN("test/outer");
+    busy_wait_us(50);
+  }
+  const std::vector<SpanAggregate> aggs = tracer().aggregates();
+  const SpanAggregate* outer = find(aggs, "test/outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 3u);
+  EXPECT_GE(outer->min_ns, 50'000u * 9 / 10);  // busy-wait floor, some slack
+  EXPECT_LE(outer->min_ns, outer->max_ns);
+  EXPECT_GE(outer->total_ns, 3 * outer->min_ns);
+  EXPECT_NEAR(outer->mean_us() * 1e3 * static_cast<double>(outer->count),
+              static_cast<double>(outer->total_ns), 1.0);
+}
+
+TEST_F(ObsTraceTest, NestedSpansKeepDepthAndParent) {
+  const std::string path = temp_path("obs_trace_nested");
+  tracer().set_stream_path(path);
+  EXPECT_TRUE(tracer().streaming());
+  {
+    PFRL_SPAN("test/root");
+    busy_wait_us(30);
+    {
+      PFRL_SPAN("test/child");
+      busy_wait_us(30);
+      { PFRL_SPAN("test/grandchild"); }
+    }
+  }
+  tracer().set_stream_path("");
+  EXPECT_FALSE(tracer().streaming());
+
+  const std::vector<SpanEvent> events = parse_jsonl_events(path);
+  ASSERT_EQ(events.size(), 3u);  // innermost closes first
+  EXPECT_EQ(events[0].name, "test/grandchild");
+  EXPECT_EQ(events[0].parent, "test/child");
+  EXPECT_EQ(events[0].depth, 2u);
+  EXPECT_EQ(events[1].name, "test/child");
+  EXPECT_EQ(events[1].parent, "test/root");
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[2].name, "test/root");
+  EXPECT_EQ(events[2].parent, "");
+  EXPECT_EQ(events[2].depth, 0u);
+
+  // Children start no earlier than the root and fit inside its duration.
+  EXPECT_GE(events[1].ts_us, events[2].ts_us);
+  EXPECT_LE(events[1].ts_us + events[1].dur_us, events[2].ts_us + events[2].dur_us + 1);
+  EXPECT_GE(events[2].dur_us, 60u * 9 / 10);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTraceTest, JsonlRoundTripPreservesFields) {
+  const std::string path = temp_path("obs_trace_roundtrip");
+  tracer().set_stream_path(path);
+  { PFRL_SPAN("test/solo"); busy_wait_us(20); }
+  tracer().set_stream_path("");
+
+  const std::vector<SpanEvent> events = parse_jsonl_events(path);
+  ASSERT_EQ(events.size(), 1u);
+  const std::vector<SpanAggregate> aggs = tracer().aggregates();
+  const SpanAggregate* solo = find(aggs, "test/solo");
+  ASSERT_NE(solo, nullptr);
+  // The streamed duration is the aggregate's, rounded down to whole us.
+  EXPECT_EQ(events[0].dur_us, solo->total_ns / 1000);
+  EXPECT_EQ(events[0].name, "test/solo");
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTraceTest, ParseSkipsMalformedLines) {
+  const std::string path = temp_path("obs_trace_malformed");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not json at all\n", f);
+    std::fputs("{\"name\":\"ok\",\"parent\":\"\",\"ts_us\":5,\"dur_us\":2,\"tid\":0,\"depth\":0}\n",
+               f);
+    std::fputs("{\"half\":\n", f);
+    std::fclose(f);
+  }
+  const std::vector<SpanEvent> events = parse_jsonl_events(path);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "ok");
+  EXPECT_EQ(events[0].ts_us, 5u);
+  EXPECT_EQ(events[0].dur_us, 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTraceTest, DisabledSpansRecordNothing) {
+  set_enabled(false);
+  { PFRL_SPAN("test/inert"); }
+  set_enabled(true);
+  EXPECT_EQ(find(tracer().aggregates(), "test/inert"), nullptr);
+}
+
+TEST_F(ObsTraceTest, ThreadsKeepIndependentStacks) {
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([] {
+      for (int i = 0; i < 50; ++i) {
+        PFRL_SPAN("test/threaded");
+        { PFRL_SPAN("test/threaded_inner"); }
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  const std::vector<SpanAggregate> aggs = tracer().aggregates();
+  const SpanAggregate* outer = find(aggs, "test/threaded");
+  const SpanAggregate* inner = find(aggs, "test/threaded_inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 200u);
+  EXPECT_EQ(inner->count, 200u);
+}
+
+TEST_F(ObsTraceTest, ResetClearsAggregates) {
+  { PFRL_SPAN("test/to_clear"); }
+  ASSERT_NE(find(tracer().aggregates(), "test/to_clear"), nullptr);
+  tracer().reset();
+  EXPECT_EQ(find(tracer().aggregates(), "test/to_clear"), nullptr);
+}
+
+TEST_F(ObsTraceTest, ReportAndPerfRecordCarrySpansAndMetrics) {
+  metrics().counter("test/report_counter").add(11);
+  { PFRL_SPAN("test/report_span"); busy_wait_us(10); }
+
+  const Report report = capture_report();
+  ASSERT_NE(find(report.spans, "test/report_span"), nullptr);
+  bool counter_present = false;
+  for (const CounterSample& c : report.metrics.counters)
+    counter_present = counter_present || c.name == "test/report_counter";
+  EXPECT_TRUE(counter_present);
+
+  PerfRecord record("obs_trace_test");
+  record.add_report(report);
+  const std::string json = record.to_json();
+  EXPECT_NE(json.find("\"pfrl-perf/1\""), std::string::npos);
+  EXPECT_NE(json.find("test/report_counter"), std::string::npos);
+  EXPECT_NE(json.find("test/report_span.total_ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfrl::obs

@@ -1,0 +1,110 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace pfrl::util {
+namespace {
+
+// Each test restores the process-wide level so ordering cannot leak.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+
+ private:
+  LogLevel previous_ = LogLevel::kInfo;
+};
+
+TEST_F(LoggingTest, ParseAcceptsCanonicalNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, ParseIsCaseInsensitive) {
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("WaRn"), LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, ParseRejectsUnknownNames) {
+  EXPECT_THROW(parse_log_level(""), std::invalid_argument);
+  EXPECT_THROW(parse_log_level("verbose"), std::invalid_argument);
+  EXPECT_THROW(parse_log_level("info "), std::invalid_argument);
+}
+
+TEST_F(LoggingTest, LevelNameRoundTripsThroughParse) {
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                               LogLevel::kError, LogLevel::kOff}) {
+    EXPECT_EQ(parse_log_level(log_level_name(level)), level);
+  }
+}
+
+TEST_F(LoggingTest, SetLevelIsObservable) {
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, MessagesBelowLevelAreDropped) {
+  set_log_level(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  log_message(LogLevel::kDebug, "dropped debug");
+  log_message(LogLevel::kInfo, "dropped info");
+  log_message(LogLevel::kWarn, "kept warn");
+  log_message(LogLevel::kError, "kept error");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("kept warn"), std::string::npos);
+  EXPECT_NE(out.find("kept error"), std::string::npos);
+  EXPECT_NE(out.find("[WARN"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  log_message(LogLevel::kError, "still dropped");
+  PFRL_LOG_ERROR("macro dropped too %d", 1);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, MacroFormatsAndFilters) {
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  PFRL_LOG_DEBUG("invisible %d", 1);
+  PFRL_LOG_INFO("round %d reward %.2f", 7, 1.5);
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("invisible"), std::string::npos);
+  EXPECT_NE(out.find("round 7 reward 1.50"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FormatStringBasics) {
+  EXPECT_EQ(format_string("plain"), "plain");
+  EXPECT_EQ(format_string("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(format_string("%5.2f", 1.5), " 1.50");
+  EXPECT_EQ(format_string("100%%"), "100%");
+}
+
+TEST_F(LoggingTest, FormatStringEmptyAndLongOutputs) {
+  EXPECT_EQ(format_string("%s", ""), "");
+  // Longer than any plausible internal buffer: the two-pass vsnprintf
+  // sizing must allocate exactly what the expansion needs.
+  const std::string big(10000, 'x');
+  const std::string out = format_string("<%s>", big.c_str());
+  EXPECT_EQ(out.size(), big.size() + 2);
+  EXPECT_EQ(out.front(), '<');
+  EXPECT_EQ(out.back(), '>');
+  EXPECT_EQ(out.substr(1, big.size()), big);
+}
+
+}  // namespace
+}  // namespace pfrl::util

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 namespace pfrl::util {
 namespace {
@@ -101,6 +104,87 @@ TEST(ThreadPool, ShutdownDrainsPendingTasksAndIsIdempotent) {
   pool.shutdown();
   EXPECT_EQ(done.load(), 10);
   pool.shutdown();  // second call is a no-op, destructor too
+}
+
+TEST(ThreadPool, GaugesTrackTaskLifecycle) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.submitted(), 0u);
+  EXPECT_EQ(pool.completed(), 0u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.inflight(), 0u);
+
+  // Gate the single worker so further submissions pile up in the queue.
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  bool started = false;
+  auto gate = pool.submit([&] {
+    std::unique_lock lock(m);
+    started = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  });
+  {
+    std::unique_lock lock(m);
+    cv.wait(lock, [&] { return started; });
+  }
+  EXPECT_EQ(pool.inflight(), 1u);
+
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 5; ++i) futures.push_back(pool.submit([i] { return i; }));
+  EXPECT_EQ(pool.submitted(), 6u);
+  EXPECT_EQ(pool.queue_depth(), 5u);
+  EXPECT_GE(pool.peak_queue_depth(), 5u);
+
+  {
+    const std::scoped_lock lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  gate.get();
+  for (auto& f : futures) (void)f.get();
+  pool.shutdown();
+
+  // Quiescent: every accepted task ran, nothing queued or running.
+  EXPECT_EQ(pool.completed(), pool.submitted());
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.inflight(), 0u);
+}
+
+TEST(ThreadPool, GaugeInvariantHoldsUnderConcurrentSampling) {
+  ThreadPool pool(4);
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  // Lock-free sampler racing the workers. Four separate loads are NOT an
+  // instantaneous snapshot (a task can migrate queue->completed between
+  // reads and be counted twice), so the sampler asserts only the
+  // race-safe monotone pair: completed, read first, never exceeds
+  // submitted, read second.
+  std::thread sampler([&] {
+    while (!stop.load()) {
+      const std::uint64_t completed = pool.completed();
+      const std::uint64_t submitted = pool.submitted();
+      if (completed > submitted) violations.fetch_add(1);
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(64, [](std::size_t i) {
+      volatile std::size_t sink = 0;
+      for (std::size_t k = 0; k < 100 + i; ++k) sink = sink + k;
+    });
+    // parallel_for blocked until every task ran: a quiescent point, where
+    // the one-sided invariant tightens to equality.
+    const std::uint64_t submitted = pool.submitted();
+    EXPECT_EQ(submitted, static_cast<std::uint64_t>(round + 1) * 64u);
+    EXPECT_EQ(pool.queue_depth() + pool.inflight() + pool.completed(), submitted);
+  }
+  stop.store(true);
+  sampler.join();
+  pool.shutdown();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(pool.submitted(), 50u * 64u);
+  EXPECT_EQ(pool.completed(), pool.submitted());
+  EXPECT_GE(pool.peak_queue_depth(), 1u);
 }
 
 TEST(ThreadPool, DestructionDrainsQueue) {

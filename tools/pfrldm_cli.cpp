@@ -13,13 +13,20 @@
 //   pfrldm evaluate --algorithm pfrl-dm --table 3 --checkpoint DIR
 //                   [--hybrid 0.2]
 //       Restore a federation and evaluate on held-out / hybrid workloads.
+//
+// Global options (any command): --log-level debug|info|warn|error|off,
+// --metrics-out FILE (CSV metrics snapshot at exit), --trace-out FILE
+// (JSONL span stream), --report (observability table on stderr).
+// Giving any of the last three arms the obs layer for the run.
 #include <cstdio>
 #include <string>
 
 #include "core/checkpoint.hpp"
 #include "core/federation.hpp"
+#include "obs/obs.hpp"
 #include "stats/summary.hpp"
 #include "util/cli.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 #include "workload/trace_io.hpp"
 
@@ -36,9 +43,52 @@ int usage() {
       "  train    --algorithm ALG --table 2|3 [--episodes N] [--seed S]\n"
       "           [--checkpoint DIR] [--full]\n"
       "  evaluate --algorithm ALG --table 2|3 --checkpoint DIR [--hybrid F]\n"
-      "algorithms: pfrl-dm fedavg mfpo fedprox fedkl ppo\n");
+      "algorithms: pfrl-dm fedavg mfpo fedprox fedkl ppo\n"
+      "global options:\n"
+      "  --log-level LEVEL    debug|info|warn|error|off (default info)\n"
+      "  --metrics-out FILE   write a CSV metrics/span snapshot at exit\n"
+      "  --trace-out FILE     stream spans as JSONL while running\n"
+      "  --report             print the observability tables to stderr\n");
   return 2;
 }
+
+/// Arms the obs layer from the global flags; flushes sinks at scope exit.
+class ObsScope {
+ public:
+  explicit ObsScope(const util::Cli& cli)
+      : metrics_out_(cli.get("metrics-out", "")),
+        report_(cli.get_bool("report", false)),
+        armed_(!metrics_out_.empty() || report_ || cli.has("trace-out")) {
+    util::set_log_level(util::parse_log_level(cli.get("log-level", "info")));
+    if (!armed_) return;
+    obs::set_enabled(true);
+    const std::string trace_out = cli.get("trace-out", "");
+    if (!trace_out.empty()) obs::tracer().set_stream_path(trace_out);
+  }
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+  ~ObsScope() {
+    if (!armed_) return;
+    const obs::Report report = obs::capture_report();
+    if (!metrics_out_.empty()) {
+      try {
+        obs::write_report_csv(report, metrics_out_);
+        std::fprintf(stderr, "metrics snapshot written to %s\n", metrics_out_.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: metrics snapshot failed: %s\n", e.what());
+      }
+    }
+    if (report_) obs::print_report(report);
+    obs::tracer().set_stream_path("");
+  }
+
+ private:
+  std::string metrics_out_;
+  bool report_;
+  bool armed_;
+};
 
 fed::FedAlgorithm parse_algorithm(const std::string& name) {
   if (name == "pfrl-dm") return fed::FedAlgorithm::kPfrlDm;
@@ -174,6 +224,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const util::Cli cli(argc - 1, argv + 1);
   try {
+    const ObsScope obs_scope(cli);
     if (command == "datasets") return cmd_datasets();
     if (command == "trace") return cmd_trace(cli);
     if (command == "inspect") return cmd_inspect(cli);

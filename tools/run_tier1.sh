@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verify (ROADMAP.md): configure, build, run the full test suite.
+#
+#   tools/run_tier1.sh [build-dir]
+#
+# Extra cmake options go in CMAKE_ARGS, e.g.
+#   CMAKE_ARGS='-DPFRL_SANITIZE=address;undefined' tools/run_tier1.sh build-asan
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build"}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+# shellcheck disable=SC2086  # CMAKE_ARGS is intentionally word-split
+cmake -B "${build_dir}" -S "${repo_root}" ${CMAKE_ARGS:-}
+cmake --build "${build_dir}" -j "${jobs}"
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
