@@ -70,13 +70,47 @@ void BM_MlpForward(benchmark::State& state) {
   nn::Matrix x(batch, 100);
   for (float& v : x.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
   for (auto _ : state) {
-    nn::Matrix y = net.forward(x);
+    const nn::Matrix& y = net.forward_batch(x);
     benchmark::DoNotOptimize(y.flat().data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch));
 }
 BENCHMARK(BM_MlpForward)->Arg(1)->Arg(64)->Arg(512);
+
+// The policy-step inference shape (actor of §3.1): fused GEMV chain
+// through preallocated scratch, zero heap allocations per call.
+void BM_MlpForwardRow(benchmark::State& state) {
+  util::Rng rng(2);
+  nn::Mlp net(100, {64}, 9, rng);
+  std::vector<float> x(100);
+  for (float& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> y(9);
+  for (auto _ : state) {
+    net.forward_row(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MlpForwardRow);
+
+// Full policy step: actor logits + critic value + categorical sample.
+void BM_ActStochastic(benchmark::State& state) {
+  rl::PpoConfig cfg;
+  cfg.seed = 11;
+  rl::PpoAgent agent(100, 9, cfg);
+  util::Rng rng(12);
+  std::vector<float> s(100);
+  for (float& v : s) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto _ : state) {
+    float log_prob = 0.0F;
+    float value = 0.0F;
+    const int action = agent.act_stochastic(s, log_prob, value);
+    benchmark::DoNotOptimize(action);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ActStochastic);
 
 void BM_MlpForwardBackward(benchmark::State& state) {
   const auto batch = static_cast<std::size_t>(state.range(0));
@@ -87,8 +121,9 @@ void BM_MlpForwardBackward(benchmark::State& state) {
   nn::Matrix g(batch, 9, 0.01F);
   for (auto _ : state) {
     net.zero_grad();
-    nn::Matrix y = net.forward(x);
-    nn::Matrix gi = net.backward(g);
+    const nn::Matrix& y = net.forward_batch(x);
+    benchmark::DoNotOptimize(y.flat().data());
+    const nn::Matrix& gi = net.backward_batch(g);
     benchmark::DoNotOptimize(gi.flat().data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *

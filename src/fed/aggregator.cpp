@@ -11,7 +11,8 @@ bool models_all_finite(const nn::Matrix& models) {
   return true;
 }
 
-AggregationOutput weighted_aggregate(const AggregationInput& input, const nn::Matrix& weights) {
+AggregationOutput weighted_aggregate(const AggregationInput& input, const nn::Matrix& weights,
+                                     nn::Matrix* personalized_scratch) {
   const std::size_t k = input.models.rows();
   const std::size_t p = input.models.cols();
   if (weights.rows() != k || weights.cols() != k)
@@ -27,7 +28,9 @@ AggregationOutput weighted_aggregate(const AggregationInput& input, const nn::Ma
   out.global_model.assign(p, 0.0F);
 
   // ψ_k = Σ_j W_kj Θ_j  (Eq. 21) — a K×K by K×P product.
-  const nn::Matrix personalized = weights.matmul(input.models);
+  nn::Matrix local_product;
+  nn::Matrix& personalized = personalized_scratch != nullptr ? *personalized_scratch : local_product;
+  weights.matmul_into(input.models, personalized);
   for (std::size_t i = 0; i < k; ++i) {
     const auto row = personalized.row(i);
     out.personalized[i].assign(row.begin(), row.end());

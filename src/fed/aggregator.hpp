@@ -46,8 +46,11 @@ class Aggregator {
 bool models_all_finite(const nn::Matrix& models);
 
 /// Shared implementation: personalized_k = Σ_j W_kj · Θ_j for an arbitrary
-/// row-stochastic W, and ψ_G = mean of the personalized rows.
-AggregationOutput weighted_aggregate(const AggregationInput& input, const nn::Matrix& weights);
+/// row-stochastic W, and ψ_G = mean of the personalized rows. The K×P
+/// product lands in `personalized_scratch` when provided (capacity reused
+/// across rounds by long-lived aggregators) or in a local otherwise.
+AggregationOutput weighted_aggregate(const AggregationInput& input, const nn::Matrix& weights,
+                                     nn::Matrix* personalized_scratch = nullptr);
 
 /// Aggregates with a caller-supplied constant weight matrix — the
 /// Fed-Diff-weight / Fed-Same2-weight configurations of §3.3 (Fig. 10).

@@ -18,8 +18,8 @@ AggregationOutput AttentionAggregator::aggregate(const AggregationInput& input) 
   } else if (attention_->input_dim() != input.models.cols()) {
     throw std::invalid_argument("AttentionAggregator: model dimension changed across rounds");
   }
-  const nn::Matrix w = attention_->weights(input.models);  // Eq. 18-20
-  return weighted_aggregate(input, w);                     // Eq. 21-22
+  const nn::Matrix w = attention_->weights(input.models);        // Eq. 18-20
+  return weighted_aggregate(input, w, &personalized_scratch_);   // Eq. 21-22
 }
 
 }  // namespace pfrl::fed

@@ -28,6 +28,7 @@ class AttentionAggregator final : public Aggregator {
  private:
   nn::MultiHeadAttentionConfig config_;
   std::optional<nn::MultiHeadAttention> attention_;
+  nn::Matrix personalized_scratch_;  // K×P product workspace, reused per round
 };
 
 }  // namespace pfrl::fed

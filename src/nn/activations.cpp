@@ -1,39 +1,47 @@
 #include "nn/activations.hpp"
 
-#include <cmath>
+#include "nn/kernels.hpp"
 
 namespace pfrl::nn {
 
-Matrix Tanh::forward(const Matrix& input) {
-  Matrix out = input;
-  for (float& v : out.flat()) v = std::tanh(v);
-  cached_output_ = out;
-  return out;
+void Tanh::forward_into(const Matrix& input, Matrix& output) {
+  output.resize(input.rows(), input.cols());
+  kernels::tanh_apply(input.flat().data(), output.flat().data(), input.size());
+  output.assign_into(cached_output_);
 }
 
-Matrix Tanh::backward(const Matrix& grad_output) {
-  Matrix grad_in = grad_output;
-  auto out = cached_output_.flat();
-  auto g = grad_in.flat();
-  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= 1.0F - out[i] * out[i];
-  return grad_in;
+void Tanh::backward_into(const Matrix& grad_output, Matrix& grad_input) {
+  grad_input.resize(grad_output.rows(), grad_output.cols());
+  const auto out = cached_output_.flat();
+  const auto g = grad_output.flat();
+  auto gi = grad_input.flat();
+  for (std::size_t i = 0; i < gi.size(); ++i) gi[i] = g[i] * (1.0F - out[i] * out[i]);
 }
 
-Matrix Relu::forward(const Matrix& input) {
-  cached_input_ = input;
-  Matrix out = input;
-  for (float& v : out.flat())
-    if (v < 0.0F) v = 0.0F;
-  return out;
+void Tanh::forward_row(std::span<const float> input, std::span<float> output) const {
+  assert(input.size() == output.size());
+  kernels::tanh_apply(input.data(), output.data(), input.size());
 }
 
-Matrix Relu::backward(const Matrix& grad_output) {
-  Matrix grad_in = grad_output;
-  auto in = cached_input_.flat();
-  auto g = grad_in.flat();
-  for (std::size_t i = 0; i < g.size(); ++i)
-    if (in[i] <= 0.0F) g[i] = 0.0F;
-  return grad_in;
+void Relu::forward_into(const Matrix& input, Matrix& output) {
+  input.assign_into(cached_input_);
+  output.resize(input.rows(), input.cols());
+  const auto in = input.flat();
+  auto out = output.flat();
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = in[i] < 0.0F ? 0.0F : in[i];
+}
+
+void Relu::backward_into(const Matrix& grad_output, Matrix& grad_input) {
+  grad_input.resize(grad_output.rows(), grad_output.cols());
+  const auto in = cached_input_.flat();
+  const auto g = grad_output.flat();
+  auto gi = grad_input.flat();
+  for (std::size_t i = 0; i < gi.size(); ++i) gi[i] = in[i] <= 0.0F ? 0.0F : g[i];
+}
+
+void Relu::forward_row(std::span<const float> input, std::span<float> output) const {
+  assert(input.size() == output.size());
+  for (std::size_t i = 0; i < input.size(); ++i) output[i] = input[i] < 0.0F ? 0.0F : input[i];
 }
 
 }  // namespace pfrl::nn

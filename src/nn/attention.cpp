@@ -71,22 +71,42 @@ std::vector<Matrix> MultiHeadAttention::head_weights(const Matrix& models) const
   const auto inv_sqrt_dk = static_cast<float>(1.0 / std::sqrt(static_cast<double>(config_.d_k)));
   std::vector<Matrix> heads;
   heads.reserve(config_.num_heads);
+  Matrix q;
+  Matrix k;
   for (std::size_t h = 0; h < config_.num_heads; ++h) {
-    const Matrix q = e.matmul(w_query_[h]);
-    const Matrix k = e.matmul(w_key_[h]);
-    Matrix scores = q.matmul_transpose(k);
+    e.matmul_into(w_query_[h], q);
+    e.matmul_into(w_key_[h], k);
+    Matrix scores;
+    q.matmul_transpose_into(k, scores);
     scores *= inv_sqrt_dk;
-    heads.push_back(softmax_rows(scores));
+    for (std::size_t r = 0; r < scores.rows(); ++r) softmax_inplace(scores.row(r));
+    heads.push_back(std::move(scores));
   }
   return heads;
 }
 
 Matrix MultiHeadAttention::weights(const Matrix& models) const {
   PFRL_SPAN("nn/attention");
-  const std::vector<Matrix> heads = head_weights(models);
-  Matrix mean = heads.front();
-  for (std::size_t h = 1; h < heads.size(); ++h) mean += heads[h];
-  mean *= 1.0F / static_cast<float>(heads.size());
+  const Matrix e = embed(models);
+  const auto inv_sqrt_dk = static_cast<float>(1.0 / std::sqrt(static_cast<double>(config_.d_k)));
+  // q / k / scores are hoisted out of the head loop and capacity-reused.
+  Matrix q;
+  Matrix k;
+  Matrix scores;
+  Matrix mean;
+  for (std::size_t h = 0; h < config_.num_heads; ++h) {
+    e.matmul_into(w_query_[h], q);
+    e.matmul_into(w_key_[h], k);
+    q.matmul_transpose_into(k, scores);
+    scores *= inv_sqrt_dk;
+    for (std::size_t r = 0; r < scores.rows(); ++r) softmax_inplace(scores.row(r));
+    if (h == 0) {
+      scores.assign_into(mean);
+    } else {
+      mean += scores;
+    }
+  }
+  mean *= 1.0F / static_cast<float>(config_.num_heads);
   return mean;
 }
 

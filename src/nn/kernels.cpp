@@ -1,0 +1,224 @@
+#include "nn/kernels.hpp"
+
+#include "obs/metrics.hpp"
+
+// Each hot body below lives in exactly one cloned function: the public
+// wrappers do the FLOP accounting (function-local statics in cloned code
+// would be duplicated per ISA variant) and immediately tail-call the
+// `*_impl` worker, which the compiler specializes per ISA level.
+#if defined(__x86_64__) && defined(__ELF__) && defined(__GNUC__) && !defined(__clang__) && \
+    __GNUC__ >= 11
+#define PFRL_TARGET_CLONES \
+  __attribute__((target_clones("default", "arch=x86-64-v2", "arch=x86-64-v3", "arch=x86-64-v4")))
+#else
+#define PFRL_TARGET_CLONES
+#endif
+
+namespace pfrl::nn::kernels {
+
+namespace {
+
+/// Shared GEMM body: C = A·B, rows seeded from `bias` (nullptr → zero).
+/// Register blocking: 4 C rows × 2 k steps are held in scalars, the inner
+/// j loop writes 4 contiguous output rows — unit stride, no aliasing, the
+/// shape the vectorizer wants.
+PFRL_TARGET_CLONES
+void gemm_bias_impl(const float* a, const float* b, const float* bias, float* c, std::size_t m,
+                    std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* ci = c + i * n;
+    if (bias == nullptr) {
+      std::fill(ci, ci + n, 0.0F);
+    } else {
+      std::copy(bias, bias + n, ci);
+    }
+  }
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float* a0 = a + (i + 0) * k;
+    const float* a1 = a + (i + 1) * k;
+    const float* a2 = a + (i + 2) * k;
+    const float* a3 = a + (i + 3) * k;
+    float* c0 = c + (i + 0) * n;
+    float* c1 = c + (i + 1) * n;
+    float* c2 = c + (i + 2) * n;
+    float* c3 = c + (i + 3) * n;
+    std::size_t kk = 0;
+    for (; kk + 2 <= k; kk += 2) {
+      const float* b0 = b + (kk + 0) * n;
+      const float* b1 = b + (kk + 1) * n;
+      const float a00 = a0[kk], a01 = a0[kk + 1];
+      const float a10 = a1[kk], a11 = a1[kk + 1];
+      const float a20 = a2[kk], a21 = a2[kk + 1];
+      const float a30 = a3[kk], a31 = a3[kk + 1];
+      for (std::size_t j = 0; j < n; ++j) {
+        const float b0j = b0[j];
+        const float b1j = b1[j];
+        c0[j] += a00 * b0j + a01 * b1j;
+        c1[j] += a10 * b0j + a11 * b1j;
+        c2[j] += a20 * b0j + a21 * b1j;
+        c3[j] += a30 * b0j + a31 * b1j;
+      }
+    }
+    for (; kk < k; ++kk) {
+      const float* br = b + kk * n;
+      const float a0k = a0[kk], a1k = a1[kk], a2k = a2[kk], a3k = a3[kk];
+      for (std::size_t j = 0; j < n; ++j) {
+        const float bj = br[j];
+        c0[j] += a0k * bj;
+        c1[j] += a1k * bj;
+        c2[j] += a2k * bj;
+        c3[j] += a3k * bj;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    std::size_t kk = 0;
+    for (; kk + 4 <= k; kk += 4) {
+      const float x0 = ai[kk], x1 = ai[kk + 1], x2 = ai[kk + 2], x3 = ai[kk + 3];
+      const float* b0 = b + (kk + 0) * n;
+      const float* b1 = b + (kk + 1) * n;
+      const float* b2 = b + (kk + 2) * n;
+      const float* b3 = b + (kk + 3) * n;
+      for (std::size_t j = 0; j < n; ++j)
+        ci[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+    }
+    for (; kk < k; ++kk) {
+      const float x = ai[kk];
+      const float* br = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += x * br[j];
+    }
+  }
+}
+
+/// C (m×n) (+)= Aᵀ·B with A (k×m), B (k×n): iterate the shared k rows in
+/// blocks of 4 so four B rows stay hot while streaming over all of C.
+PFRL_TARGET_CLONES
+void gemm_at_b_impl(const float* a, const float* b, float* c, std::size_t k, std::size_t m,
+                    std::size_t n, bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0F);
+  std::size_t r = 0;
+  for (; r + 4 <= k; r += 4) {
+    const float* a0 = a + (r + 0) * m;
+    const float* a1 = a + (r + 1) * m;
+    const float* a2 = a + (r + 2) * m;
+    const float* a3 = a + (r + 3) * m;
+    const float* b0 = b + (r + 0) * n;
+    const float* b1 = b + (r + 1) * n;
+    const float* b2 = b + (r + 2) * n;
+    const float* b3 = b + (r + 3) * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float x0 = a0[i], x1 = a1[i], x2 = a2[i], x3 = a3[i];
+      float* ci = c + i * n;
+      for (std::size_t j = 0; j < n; ++j)
+        ci[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+    }
+  }
+  for (; r < k; ++r) {
+    const float* ar = a + r * m;
+    const float* br = b + r * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float x = ar[i];
+      float* ci = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += x * br[j];
+    }
+  }
+}
+
+/// C (m×n) = A·Bᵀ with B (n×k): row-by-row dot products, four explicit
+/// partial sums per dot so the reduction vectorizes without reassociation
+/// licenses (the lanes are the program's own accumulators).
+PFRL_TARGET_CLONES
+void gemm_a_bt_impl(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* bj = b + j * k;
+      float s0 = 0.0F, s1 = 0.0F, s2 = 0.0F, s3 = 0.0F;
+      std::size_t kk = 0;
+      for (; kk + 4 <= k; kk += 4) {
+        s0 += ai[kk + 0] * bj[kk + 0];
+        s1 += ai[kk + 1] * bj[kk + 1];
+        s2 += ai[kk + 2] * bj[kk + 2];
+        s3 += ai[kk + 3] * bj[kk + 3];
+      }
+      float s = (s0 + s1) + (s2 + s3);
+      for (; kk < k; ++kk) s += ai[kk] * bj[kk];
+      ci[j] = s;
+    }
+  }
+}
+
+/// y = x·W + bias for one row, k unrolled by 4; optional fused tanh.
+PFRL_TARGET_CLONES
+void gemv_bias_impl(const float* x, const float* w, const float* bias, float* y, std::size_t k,
+                    std::size_t n, bool tanh_epilogue) {
+  std::copy(bias, bias + n, y);
+  std::size_t kk = 0;
+  for (; kk + 4 <= k; kk += 4) {
+    const float x0 = x[kk], x1 = x[kk + 1], x2 = x[kk + 2], x3 = x[kk + 3];
+    const float* w0 = w + (kk + 0) * n;
+    const float* w1 = w + (kk + 1) * n;
+    const float* w2 = w + (kk + 2) * n;
+    const float* w3 = w + (kk + 3) * n;
+    for (std::size_t j = 0; j < n; ++j)
+      y[j] += x0 * w0[j] + x1 * w1[j] + x2 * w2[j] + x3 * w3[j];
+  }
+  for (; kk < k; ++kk) {
+    const float xv = x[kk];
+    const float* wr = w + kk * n;
+    for (std::size_t j = 0; j < n; ++j) y[j] += xv * wr[j];
+  }
+  if (tanh_epilogue)
+    for (std::size_t j = 0; j < n; ++j) y[j] = fast_tanh(y[j]);
+}
+
+PFRL_TARGET_CLONES
+void tanh_apply_impl(const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = fast_tanh(x[i]);
+}
+
+}  // namespace
+
+void tanh_apply(const float* x, float* y, std::size_t n) { tanh_apply_impl(x, y, n); }
+
+void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k, std::size_t n) {
+  PFRL_COUNT("nn/flops", 2 * m * k * n);
+  gemm_bias_impl(a, b, nullptr, c, m, k, n);
+}
+
+void gemm_bias(const float* a, const float* b, const float* bias, float* c, std::size_t m,
+               std::size_t k, std::size_t n) {
+  PFRL_COUNT("nn/flops", 2 * m * k * n + m * n);
+  gemm_bias_impl(a, b, bias, c, m, k, n);
+}
+
+void gemm_at_b(const float* a, const float* b, float* c, std::size_t k, std::size_t m,
+               std::size_t n, bool accumulate) {
+  PFRL_COUNT("nn/flops", 2 * m * k * n);
+  gemm_at_b_impl(a, b, c, k, m, n, accumulate);
+}
+
+void gemm_a_bt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+               std::size_t n) {
+  PFRL_COUNT("nn/flops", 2 * m * k * n);
+  gemm_a_bt_impl(a, b, c, m, k, n);
+}
+
+void gemv_bias(const float* x, const float* w, const float* bias, float* y, std::size_t k,
+               std::size_t n) {
+  PFRL_COUNT("nn/flops", 2 * k * n + n);
+  gemv_bias_impl(x, w, bias, y, k, n, false);
+}
+
+void gemv_bias_tanh(const float* x, const float* w, const float* bias, float* y, std::size_t k,
+                    std::size_t n) {
+  PFRL_COUNT("nn/flops", 2 * k * n + n);
+  gemv_bias_impl(x, w, bias, y, k, n, true);
+}
+
+}  // namespace pfrl::nn::kernels

@@ -1,0 +1,81 @@
+// Blocked + unrolled CPU kernels behind the NN stack.
+//
+// Every dense product in the `nn/` layer funnels through the functions in
+// this file. They are written so the compiler's autovectorizer emits SIMD
+// from plain loops: register-blocked outer loops (multiple A rows / k
+// steps held in scalars), contiguous unit-stride inner loops over the
+// output columns, and no pointer aliasing the optimizer has to prove away.
+// On x86-64 ELF/gcc builds the hot bodies are compiled once per ISA level
+// (SSE2 / AVX / AVX2+FMA / AVX-512) via `target_clones` and dispatched at
+// load time, so a portable binary still runs the widest vectors the host
+// offers; `-DPFRL_NATIVE_ARCH=ON` additionally tunes the whole build for
+// the local machine.
+//
+// Contracts shared by all kernels:
+//  - matrices are dense row-major float, shapes given as (rows, cols);
+//  - output buffers must not overlap inputs (tanh_inplace excepted);
+//  - zero-sized dimensions are valid no-ops;
+//  - accumulation over k runs in ascending order per output element, so
+//    results are deterministic for a given binary and within 1e-5 of the
+//    naive triple loop (bit-identical for the non-reduction kernels);
+//  - FLOPs are reported to the `nn/flops` obs counter by the public
+//    entry points, exactly as the naive loops used to.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace pfrl::nn::kernels {
+
+/// Rational tanh approximation (cephes-style minimax, as popularized by
+/// Eigen): |fast_tanh(x) - std::tanh(x)| < 4e-7 over all of R, clamps to
+/// ±1 for |x| > 7.9. Unlike libm tanh it is branch-free polynomial math,
+/// so the autovectorizer turns element-wise loops over it into SIMD.
+inline float fast_tanh(float x) {
+  x = std::clamp(x, -7.90531110763549805F, 7.90531110763549805F);
+  const float x2 = x * x;
+  float p = -2.76076847742355e-16F;
+  p = p * x2 + 2.00018790482477e-13F;
+  p = p * x2 + -8.60467152213735e-11F;
+  p = p * x2 + 5.12229709037114e-08F;
+  p = p * x2 + 1.48572235717979e-05F;
+  p = p * x2 + 6.37261928875436e-04F;
+  p = p * x2 + 4.89352455891786e-03F;
+  p = p * x;
+  float q = 1.19825839466702e-06F;
+  q = q * x2 + 1.18534705686654e-04F;
+  q = q * x2 + 2.26843463243900e-03F;
+  q = q * x2 + 4.89352518554385e-03F;
+  return p / q;
+}
+
+/// y[i] = fast_tanh(x[i]); x may alias y.
+void tanh_apply(const float* x, float* y, std::size_t n);
+
+/// C (m×n) = A (m×k) · B (k×n). C is overwritten.
+void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k, std::size_t n);
+
+/// C (m×n) = A (m×k) · B (k×n) + bias broadcast over rows (bias is 1×n).
+void gemm_bias(const float* a, const float* b, const float* bias, float* c, std::size_t m,
+               std::size_t k, std::size_t n);
+
+/// C (m×n) = or += Aᵀ · B, where A is (k×m) and B is (k×n) — the dW = Xᵀ·G
+/// backward product, without materializing the transpose.
+void gemm_at_b(const float* a, const float* b, float* c, std::size_t k, std::size_t m,
+               std::size_t n, bool accumulate);
+
+/// C (m×n) = A (m×k) · Bᵀ, where B is (n×k) — the dX = G·Wᵀ backward
+/// product, without materializing the transpose.
+void gemm_a_bt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+               std::size_t n);
+
+/// y (1×n) = x (1×k) · W (k×n) + bias (1×n). The single-row inference path.
+void gemv_bias(const float* x, const float* w, const float* bias, float* y, std::size_t k,
+               std::size_t n);
+
+/// gemv_bias with the tanh epilogue fused into the same pass — one call
+/// per hidden Linear+Tanh pair on the policy-step hot path.
+void gemv_bias_tanh(const float* x, const float* w, const float* bias, float* y, std::size_t k,
+                    std::size_t n);
+
+}  // namespace pfrl::nn::kernels

@@ -4,9 +4,17 @@
 // backward pass needs, and composite losses (the clipped PPO surrogate,
 // the dual-critic MSE) assemble output gradients by hand. Finite-difference
 // tests in tests/nn_gradcheck_test.cpp pin every backward implementation.
+//
+// The virtual surface is workspace-based: `forward_into`/`backward_into`
+// write caller-owned matrices whose capacity is reused across calls (the
+// allocation-free training path), and `forward_row` runs single-sample
+// inference into caller scratch with zero heap allocations. The
+// value-returning `forward`/`backward` remain as thin allocating wrappers
+// for tests and cold paths.
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "nn/matrix.hpp"
@@ -25,16 +33,39 @@ class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// Computes the layer output for a batch (rows = samples) and caches
-  /// whatever backward() needs.
-  virtual Matrix forward(const Matrix& input) = 0;
+  /// Computes the layer output for a batch (rows = samples) into `output`
+  /// (resized in place, capacity reused) and caches whatever backward()
+  /// needs. `output` must not alias `input`.
+  virtual void forward_into(const Matrix& input, Matrix& output) = 0;
 
   /// Given dL/d(output), accumulates dL/d(params) into the Param grads and
-  /// returns dL/d(input). Must follow a matching forward() call.
-  virtual Matrix backward(const Matrix& grad_output) = 0;
+  /// writes dL/d(input) into `grad_input` (resized in place). Must follow
+  /// a matching forward call. `grad_input` must not alias `grad_output`.
+  virtual void backward_into(const Matrix& grad_output, Matrix& grad_input) = 0;
+
+  /// Single-row inference into caller scratch — no caching, no heap
+  /// allocation. `output.size()` must equal `output_size(input.size())`;
+  /// `input` and `output` must not overlap.
+  virtual void forward_row(std::span<const float> input, std::span<float> output) const = 0;
+
+  /// Output width produced for a given input width (row-path sizing).
+  virtual std::size_t output_size(std::size_t input_size) const { return input_size; }
+
+  /// Allocating convenience wrappers over the workspace interface.
+  Matrix forward(const Matrix& input) {
+    Matrix out;
+    forward_into(input, out);
+    return out;
+  }
+  Matrix backward(const Matrix& grad_output) {
+    Matrix grad_input;
+    backward_into(grad_output, grad_input);
+    return grad_input;
+  }
 
   /// Trainable parameters (empty for activations).
   virtual std::vector<Param*> params() { return {}; }
+  virtual std::vector<const Param*> params() const { return {}; }
 
   /// Deep copy including parameter values (gradients reset to zero).
   virtual std::unique_ptr<Layer> clone() const = 0;

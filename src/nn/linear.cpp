@@ -1,6 +1,9 @@
 #include "nn/linear.hpp"
 
 #include <cmath>
+#include <stdexcept>
+
+#include "nn/kernels.hpp"
 
 namespace pfrl::nn {
 
@@ -17,18 +20,26 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng
     : weight_(xavier_weight(in_features, out_features, rng)),
       bias_(Matrix(1, out_features)) {}
 
-Matrix Linear::forward(const Matrix& input) {
-  cached_input_ = input;
-  Matrix out = input.matmul(weight_.value);
-  out.add_row_broadcast(bias_.value);
-  return out;
+void Linear::forward_into(const Matrix& input, Matrix& output) {
+  if (input.cols() != in_features())
+    throw std::invalid_argument("Linear::forward: input width mismatch");
+  input.assign_into(cached_input_);
+  output.resize(input.rows(), out_features());
+  kernels::gemm_bias(input.flat().data(), weight_.value.flat().data(), bias_.value.flat().data(),
+                     output.flat().data(), input.rows(), in_features(), out_features());
 }
 
-Matrix Linear::backward(const Matrix& grad_output) {
+void Linear::backward_into(const Matrix& grad_output, Matrix& grad_input) {
   // dL/dW = xᵀ g ; dL/db = column sums of g ; dL/dx = g Wᵀ.
-  weight_.grad += cached_input_.transpose_matmul(grad_output);
-  bias_.grad += grad_output.column_sums();
-  return grad_output.matmul_transpose(weight_.value);
+  cached_input_.transpose_matmul_into(grad_output, weight_.grad, /*accumulate=*/true);
+  grad_output.column_sums_into(bias_.grad, /*accumulate=*/true);
+  grad_output.matmul_transpose_into(weight_.value, grad_input);
+}
+
+void Linear::forward_row(std::span<const float> input, std::span<float> output) const {
+  assert(input.size() == in_features() && output.size() == out_features());
+  kernels::gemv_bias(input.data(), weight_.value.flat().data(), bias_.value.flat().data(),
+                     output.data(), in_features(), out_features());
 }
 
 std::unique_ptr<Layer> Linear::clone() const {

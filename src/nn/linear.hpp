@@ -11,9 +11,12 @@ class Linear final : public Layer {
   /// Xavier-uniform initialization of W, zero bias.
   Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng);
 
-  Matrix forward(const Matrix& input) override;
-  Matrix backward(const Matrix& grad_output) override;
+  void forward_into(const Matrix& input, Matrix& output) override;
+  void backward_into(const Matrix& grad_output, Matrix& grad_input) override;
+  void forward_row(std::span<const float> input, std::span<float> output) const override;
+  std::size_t output_size(std::size_t) const override { return out_features(); }
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::vector<const Param*> params() const override { return {&weight_, &bias_}; }
   std::unique_ptr<Layer> clone() const override;
 
   std::size_t in_features() const { return weight_.value.rows(); }
@@ -21,13 +24,15 @@ class Linear final : public Layer {
 
   Param& weight() { return weight_; }
   Param& bias() { return bias_; }
+  const Param& weight() const { return weight_; }
+  const Param& bias() const { return bias_; }
 
  private:
   Linear(Param weight, Param bias) : weight_(std::move(weight)), bias_(std::move(bias)) {}
 
   Param weight_;
   Param bias_;
-  Matrix cached_input_;
+  Matrix cached_input_;  // capacity-reusing copy of the last forward input
 };
 
 }  // namespace pfrl::nn

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "obs/metrics.hpp"
+#include "nn/kernels.hpp"
 
 namespace pfrl::nn {
 
@@ -23,56 +23,63 @@ Matrix Matrix::row_vector(std::span<const float> values) {
 
 void Matrix::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
 
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
+void Matrix::assign_into(Matrix& dst) const {
+  assert(&dst != this);
+  dst.rows_ = rows_;
+  dst.cols_ = cols_;
+  dst.data_.assign(data_.begin(), data_.end());
+}
+
 Matrix Matrix::matmul(const Matrix& other) const {
-  if (cols_ != other.rows_) throw std::invalid_argument("matmul: inner dims differ");
-  PFRL_COUNT("nn/flops", 2 * rows_ * cols_ * other.cols_);
-  Matrix out(rows_, other.cols_);
-  // i-k-j loop order: streams through `other` row-wise for cache locality.
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const float* a_row = data_.data() + i * cols_;
-    float* o_row = out.data_.data() + i * other.cols_;
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const float a = a_row[k];
-      if (a == 0.0F) continue;
-      const float* b_row = other.data_.data() + k * other.cols_;
-      for (std::size_t j = 0; j < other.cols_; ++j) o_row[j] += a * b_row[j];
-    }
-  }
+  Matrix out;
+  matmul_into(other, out);
   return out;
+}
+
+void Matrix::matmul_into(const Matrix& other, Matrix& out) const {
+  assert(&out != this && &out != &other);
+  if (cols_ != other.rows_) throw std::invalid_argument("matmul: inner dims differ");
+  out.resize(rows_, other.cols_);
+  kernels::gemm(data_.data(), other.data_.data(), out.data_.data(), rows_, cols_, other.cols_);
 }
 
 Matrix Matrix::transpose_matmul(const Matrix& other) const {
-  if (rows_ != other.rows_) throw std::invalid_argument("transpose_matmul: outer dims differ");
-  PFRL_COUNT("nn/flops", 2 * rows_ * cols_ * other.cols_);
-  Matrix out(cols_, other.cols_);
-  for (std::size_t k = 0; k < rows_; ++k) {
-    const float* a_row = data_.data() + k * cols_;
-    const float* b_row = other.data_.data() + k * other.cols_;
-    for (std::size_t i = 0; i < cols_; ++i) {
-      const float a = a_row[i];
-      if (a == 0.0F) continue;
-      float* o_row = out.data_.data() + i * other.cols_;
-      for (std::size_t j = 0; j < other.cols_; ++j) o_row[j] += a * b_row[j];
-    }
-  }
+  Matrix out;
+  transpose_matmul_into(other, out);
   return out;
 }
 
-Matrix Matrix::matmul_transpose(const Matrix& other) const {
-  if (cols_ != other.cols_) throw std::invalid_argument("matmul_transpose: inner dims differ");
-  PFRL_COUNT("nn/flops", 2 * rows_ * cols_ * other.rows_);
-  Matrix out(rows_, other.rows_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const float* a_row = data_.data() + i * cols_;
-    float* o_row = out.data_.data() + i * other.rows_;
-    for (std::size_t j = 0; j < other.rows_; ++j) {
-      const float* b_row = other.data_.data() + j * cols_;
-      float acc = 0.0F;
-      for (std::size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
-      o_row[j] = acc;
-    }
+void Matrix::transpose_matmul_into(const Matrix& other, Matrix& out, bool accumulate) const {
+  assert(&out != this && &out != &other);
+  if (rows_ != other.rows_) throw std::invalid_argument("transpose_matmul: outer dims differ");
+  if (accumulate) {
+    if (out.rows_ != cols_ || out.cols_ != other.cols_)
+      throw std::invalid_argument("transpose_matmul_into: accumulate shape mismatch");
+  } else {
+    out.resize(cols_, other.cols_);
   }
+  kernels::gemm_at_b(data_.data(), other.data_.data(), out.data_.data(), rows_, cols_,
+                     other.cols_, accumulate);
+}
+
+Matrix Matrix::matmul_transpose(const Matrix& other) const {
+  Matrix out;
+  matmul_transpose_into(other, out);
   return out;
+}
+
+void Matrix::matmul_transpose_into(const Matrix& other, Matrix& out) const {
+  assert(&out != this && &out != &other);
+  if (cols_ != other.cols_) throw std::invalid_argument("matmul_transpose: inner dims differ");
+  out.resize(rows_, other.rows_);
+  kernels::gemm_a_bt(data_.data(), other.data_.data(), out.data_.data(), rows_, cols_,
+                     other.rows_);
 }
 
 Matrix Matrix::transposed() const {
@@ -116,12 +123,24 @@ void Matrix::add_row_broadcast(const Matrix& bias) {
 }
 
 Matrix Matrix::column_sums() const {
-  Matrix out(1, cols_);
+  Matrix out;
+  column_sums_into(out);
+  return out;
+}
+
+void Matrix::column_sums_into(Matrix& out, bool accumulate) const {
+  assert(&out != this);
+  if (accumulate) {
+    if (out.rows_ != 1 || out.cols_ != cols_)
+      throw std::invalid_argument("column_sums_into: accumulate shape mismatch");
+  } else {
+    out.resize(1, cols_);
+    out.fill(0.0F);
+  }
   for (std::size_t i = 0; i < rows_; ++i) {
     const float* r = data_.data() + i * cols_;
     for (std::size_t j = 0; j < cols_; ++j) out.data_[j] += r[j];
   }
-  return out;
 }
 
 double Matrix::sum() const {

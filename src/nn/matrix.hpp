@@ -1,9 +1,13 @@
 // Dense row-major float matrix — the single tensor type of the NN stack.
 //
-// The networks in PFRL-DM are tiny (one 64-unit hidden layer), so the
-// design optimizes for clarity and testability over BLAS-level speed:
-// value semantics, bounds assertions in debug builds, and explicit loops
-// the compiler can vectorize.
+// The compute contract (DESIGN.md "Kernel & workspace layer"): every
+// product delegates to the blocked SIMD kernels in nn/kernels.hpp, and
+// each operation comes in two forms — an allocating value-semantics form
+// for cold paths and tests, and an `_into` form that writes a
+// caller-owned workspace whose capacity is reused across calls, so
+// steady-state training and inference perform no heap allocations.
+// Bounds are assertion-checked in debug builds; shape mismatches on the
+// public API throw.
 #pragma once
 
 #include <cassert>
@@ -50,12 +54,25 @@ class Matrix {
   void fill(float value);
   void zero() { fill(0.0F); }
 
+  /// Reshapes to rows×cols, reusing the existing buffer capacity (no
+  /// allocation once the workspace has grown to its steady-state size).
+  /// Element contents are unspecified afterwards.
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// Copies *this into `dst`, reusing dst's capacity. The workspace
+  /// counterpart of `dst = *this`.
+  void assign_into(Matrix& dst) const;
+
   /// this * other  — (m×k)·(k×n) → m×n.
   Matrix matmul(const Matrix& other) const;
+  void matmul_into(const Matrix& other, Matrix& out) const;
   /// thisᵀ * other — (k×m)ᵀ·(k×n) → m×n without materializing the transpose.
+  /// The `_into` form can accumulate (the gradient-sum case).
   Matrix transpose_matmul(const Matrix& other) const;
+  void transpose_matmul_into(const Matrix& other, Matrix& out, bool accumulate = false) const;
   /// this * otherᵀ — (m×k)·(n×k)ᵀ → m×n without materializing the transpose.
   Matrix matmul_transpose(const Matrix& other) const;
+  void matmul_transpose_into(const Matrix& other, Matrix& out) const;
 
   Matrix transposed() const;
 
@@ -73,8 +90,10 @@ class Matrix {
   /// Adds `bias` (1×cols) to every row.
   void add_row_broadcast(const Matrix& bias);
 
-  /// Column-wise sum → 1×cols (gradient of a row broadcast).
+  /// Column-wise sum → 1×cols (gradient of a row broadcast). The `_into`
+  /// form can accumulate into an existing 1×cols matrix.
   Matrix column_sums() const;
+  void column_sums_into(Matrix& out, bool accumulate = false) const;
 
   double sum() const;
   float max_abs() const;

@@ -1,9 +1,12 @@
 #include "nn/mlp.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
+#include <utility>
 
 #include "nn/activations.hpp"
+#include "nn/kernels.hpp"
 #include "nn/linear.hpp"
 #include "obs/trace.hpp"
 
@@ -19,32 +22,95 @@ Mlp::Mlp(std::size_t input_dim, const std::vector<std::size_t>& hidden_dims,
     prev = h;
   }
   layers_.push_back(std::make_unique<Linear>(prev, output_dim, rng));
+  rebuild_row_plan();
 }
 
 Mlp::Mlp(const Mlp& other) : input_dim_(other.input_dim_), output_dim_(other.output_dim_) {
   layers_.reserve(other.layers_.size());
   for (const auto& layer : other.layers_) layers_.push_back(layer->clone());
+  rebuild_row_plan();
 }
 
 Mlp& Mlp::operator=(const Mlp& other) {
   if (this == &other) return *this;
+  // The defaulted move keeps row_plan_ valid: it points at Layer objects
+  // owned through unique_ptr, whose addresses survive the move.
   Mlp copy(other);
   *this = std::move(copy);
   return *this;
 }
 
-Matrix Mlp::forward(const Matrix& input) {
-  PFRL_SPAN("nn/mlp_forward");
-  Matrix x = input;
-  for (auto& layer : layers_) x = layer->forward(x);
-  return x;
+void Mlp::rebuild_row_plan() {
+  acts_.resize(layers_.size());
+  grads_.resize(layers_.size());
+  row_plan_.clear();
+
+  std::size_t width = input_dim_;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    RowOp op;
+    const auto* linear = dynamic_cast<const Linear*>(layers_[i].get());
+    if (linear != nullptr && i + 1 < layers_.size() &&
+        dynamic_cast<const Tanh*>(layers_[i + 1].get()) != nullptr) {
+      op.fused_linear = linear;
+      op.out_width = linear->out_features();
+      ++i;  // the Tanh rides in the GEMV epilogue
+    } else {
+      op.layer = layers_[i].get();
+      op.out_width = layers_[i]->output_size(width);
+    }
+    width = op.out_width;
+    row_plan_.push_back(op);
+  }
+
+  // Ping-pong scratch sized to the widest intermediate (the last op writes
+  // straight into the caller's output span).
+  std::size_t max_width = 0;
+  for (std::size_t i = 0; i + 1 < row_plan_.size(); ++i)
+    max_width = std::max(max_width, row_plan_[i].out_width);
+  row_scratch_[0].assign(max_width, 0.0F);
+  row_scratch_[1].assign(max_width, 0.0F);
 }
 
-Matrix Mlp::backward(const Matrix& grad_output) {
+const Matrix& Mlp::forward_batch(const Matrix& input) {
+  PFRL_SPAN("nn/mlp_forward");
+  if (layers_.empty()) throw std::logic_error("Mlp::forward_batch: empty network");
+  const Matrix* x = &input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->forward_into(*x, acts_[i]);
+    x = &acts_[i];
+  }
+  return acts_.back();
+}
+
+const Matrix& Mlp::backward_batch(const Matrix& grad_output) {
   PFRL_SPAN("nn/mlp_backward");
-  Matrix g = grad_output;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
-  return g;
+  if (layers_.empty()) throw std::logic_error("Mlp::backward_batch: empty network");
+  const Matrix* g = &grad_output;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    layers_[i]->backward_into(*g, grads_[i]);
+    g = &grads_[i];
+  }
+  return grads_.front();
+}
+
+void Mlp::forward_row(std::span<const float> input, std::span<float> output) const {
+  assert(input.size() == input_dim_ && output.size() == output_dim_);
+  const float* cur = input.data();
+  std::size_t cur_width = input.size();
+  for (std::size_t i = 0; i < row_plan_.size(); ++i) {
+    const RowOp& op = row_plan_[i];
+    float* dst = (i + 1 == row_plan_.size()) ? output.data() : row_scratch_[i % 2].data();
+    if (op.fused_linear != nullptr) {
+      const Linear& lin = *op.fused_linear;
+      kernels::gemv_bias_tanh(cur, lin.weight().value.flat().data(),
+                              lin.bias().value.flat().data(), dst, cur_width, op.out_width);
+    } else {
+      op.layer->forward_row(std::span<const float>(cur, cur_width),
+                            std::span<float>(dst, op.out_width));
+    }
+    cur = dst;
+    cur_width = op.out_width;
+  }
 }
 
 void Mlp::zero_grad() {
@@ -58,21 +124,26 @@ std::vector<Param*> Mlp::params() {
   return all;
 }
 
+std::vector<const Param*> Mlp::params() const {
+  std::vector<const Param*> all;
+  for (const auto& layer : layers_)
+    for (const Param* p : std::as_const(*layer).params()) all.push_back(p);
+  return all;
+}
+
 std::size_t Mlp::param_count() const {
   std::size_t count = 0;
-  for (const auto& layer : layers_)
-    for (Param* p : const_cast<Layer&>(*layer).params()) count += p->value.size();
+  for (const Param* p : params()) count += p->value.size();
   return count;
 }
 
 std::vector<float> Mlp::flatten() const {
   std::vector<float> flat;
   flat.reserve(param_count());
-  for (const auto& layer : layers_)
-    for (Param* p : const_cast<Layer&>(*layer).params()) {
-      const auto values = p->value.flat();
-      flat.insert(flat.end(), values.begin(), values.end());
-    }
+  for (const Param* p : params()) {
+    const auto values = p->value.flat();
+    flat.insert(flat.end(), values.begin(), values.end());
+  }
   return flat;
 }
 
@@ -80,23 +151,21 @@ void Mlp::unflatten(std::span<const float> flat) {
   if (flat.size() != param_count())
     throw std::invalid_argument("Mlp::unflatten: size mismatch");
   std::size_t offset = 0;
-  for (auto& layer : layers_)
-    for (Param* p : layer->params()) {
-      auto values = p->value.flat();
-      std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(offset), values.size(),
-                  values.begin());
-      offset += values.size();
-    }
+  for (Param* p : params()) {
+    auto values = p->value.flat();
+    std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(offset), values.size(),
+                values.begin());
+    offset += values.size();
+  }
 }
 
 std::vector<float> Mlp::flatten_grad() const {
   std::vector<float> flat;
   flat.reserve(param_count());
-  for (const auto& layer : layers_)
-    for (Param* p : const_cast<Layer&>(*layer).params()) {
-      const auto grads = p->grad.flat();
-      flat.insert(flat.end(), grads.begin(), grads.end());
-    }
+  for (const Param* p : params()) {
+    const auto grads = p->grad.flat();
+    flat.insert(flat.end(), grads.begin(), grads.end());
+  }
   return flat;
 }
 

@@ -1,10 +1,19 @@
 // Sequential network plus the parameter plumbing that federated learning
 // needs: flatten/unflatten (aggregation works on flat vectors, Eq. 21–22)
 // and byte serialization (models cross the bus as payloads).
+//
+// Two compute paths (DESIGN.md "Kernel & workspace layer"):
+//  - `forward_batch`/`backward_batch` run through per-layer persistent
+//    activation/gradient workspaces, so a steady-state PPO epoch performs
+//    zero heap allocations;
+//  - `forward_row` is the policy-step path: a fused GEMV chain (Linear +
+//    Tanh pairs collapse into one bias+tanh-epilogue kernel call) through
+//    preallocated scratch, allocation-free from the first call.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "nn/layer.hpp"
@@ -27,13 +36,27 @@ class Mlp {
   Mlp(Mlp&&) = default;
   Mlp& operator=(Mlp&&) = default;
 
-  Matrix forward(const Matrix& input);
-  /// Backward through the whole stack; returns dL/d(input).
-  Matrix backward(const Matrix& grad_output);
+  /// Workspace-backed batch forward; the returned reference points at the
+  /// last layer's persistent activation workspace and stays valid until
+  /// the next forward call on this network.
+  const Matrix& forward_batch(const Matrix& input);
+  /// Workspace-backed backward through the whole stack; returns a
+  /// reference to dL/d(input) with the same lifetime rules.
+  const Matrix& backward_batch(const Matrix& grad_output);
+
+  /// Allocating wrappers (tests / cold paths).
+  Matrix forward(const Matrix& input) { return forward_batch(input); }
+  Matrix backward(const Matrix& grad_output) { return backward_batch(grad_output); }
+
+  /// Single-row inference: `input` is input_dim wide, `output` output_dim
+  /// wide. Runs the fused GEMV plan through preallocated scratch — zero
+  /// heap allocations per call. Does not populate backward caches.
+  void forward_row(std::span<const float> input, std::span<float> output) const;
 
   void zero_grad();
 
   std::vector<Param*> params();
+  std::vector<const Param*> params() const;
   std::size_t param_count() const;
 
   /// Concatenated parameter values in layer order.
@@ -53,9 +76,29 @@ class Mlp {
   bool same_architecture(const Mlp& other) const;
 
  private:
+  /// One step of the fused single-row plan: either a plain layer, or a
+  /// Linear whose following Tanh has been folded into the GEMV epilogue.
+  struct RowOp {
+    const Layer* layer = nullptr;          // used when fused_linear is null
+    const class Linear* fused_linear = nullptr;  // Linear+Tanh pair
+    std::size_t out_width = 0;
+  };
+
+  void rebuild_row_plan();
+
   std::vector<std::unique_ptr<Layer>> layers_;
   std::size_t input_dim_ = 0;
   std::size_t output_dim_ = 0;
+
+  // Persistent workspaces: acts_[i] / grads_[i] belong to layers_[i].
+  std::vector<Matrix> acts_;
+  std::vector<Matrix> grads_;
+
+  // Fused single-row plan + ping-pong scratch (sized to the widest
+  // intermediate at construction; mutable because row inference is
+  // logically const).
+  std::vector<RowOp> row_plan_;
+  mutable std::vector<float> row_scratch_[2];
 };
 
 }  // namespace pfrl::nn

@@ -7,13 +7,24 @@
 namespace pfrl::nn {
 
 Matrix softmax_rows(const Matrix& logits) {
-  Matrix out = logits;
-  for (std::size_t r = 0; r < out.rows(); ++r) softmax_inplace(out.row(r));
+  Matrix out;
+  softmax_rows_into(logits, out);
   return out;
 }
 
+void softmax_rows_into(const Matrix& logits, Matrix& out) {
+  logits.assign_into(out);
+  for (std::size_t r = 0; r < out.rows(); ++r) softmax_inplace(out.row(r));
+}
+
 Matrix log_softmax_rows(const Matrix& logits) {
-  Matrix out = logits;
+  Matrix out;
+  log_softmax_rows_into(logits, out);
+  return out;
+}
+
+void log_softmax_rows_into(const Matrix& logits, Matrix& out) {
+  logits.assign_into(out);
   for (std::size_t r = 0; r < out.rows(); ++r) {
     auto row = out.row(r);
     const float max_v = *std::max_element(row.begin(), row.end());
@@ -22,7 +33,6 @@ Matrix log_softmax_rows(const Matrix& logits) {
     const float log_z = max_v + static_cast<float>(std::log(total));
     for (float& v : row) v -= log_z;
   }
-  return out;
 }
 
 void softmax_inplace(std::span<float> values) {

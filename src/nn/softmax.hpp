@@ -15,8 +15,15 @@ namespace pfrl::nn {
 /// Row-wise softmax with max-subtraction for numerical stability.
 Matrix softmax_rows(const Matrix& logits);
 
+/// Workspace form: writes softmax(logits) into `out` (resized in place,
+/// capacity reused). `out` must not alias `logits`.
+void softmax_rows_into(const Matrix& logits, Matrix& out);
+
 /// Row-wise log-softmax (stable).
 Matrix log_softmax_rows(const Matrix& logits);
+
+/// Workspace form of log_softmax_rows. `out` must not alias `logits`.
+void log_softmax_rows_into(const Matrix& logits, Matrix& out);
 
 /// Softmax over a single contiguous vector.
 void softmax_inplace(std::span<float> values);

@@ -9,23 +9,25 @@ namespace pfrl::rl {
 
 int sample_categorical(std::span<const float> logits, util::Rng& rng, float& log_prob) {
   assert(!logits.empty());
+  // Two passes, recomputing exp() instead of storing the weights: this is
+  // the policy-step hot path and must not touch the heap. exp() is
+  // deterministic, so the second pass sees bit-identical weights.
   const float max_logit = *std::max_element(logits.begin(), logits.end());
   double total = 0.0;
-  std::vector<double> weights(logits.size());
-  for (std::size_t i = 0; i < logits.size(); ++i) {
-    weights[i] = std::exp(static_cast<double>(logits[i] - max_logit));
-    total += weights[i];
-  }
+  for (const float l : logits) total += std::exp(static_cast<double>(l - max_logit));
   double target = rng.uniform() * total;
   std::size_t chosen = logits.size() - 1;
-  for (std::size_t i = 0; i < weights.size(); ++i) {
-    target -= weights[i];
+  double chosen_weight = std::exp(static_cast<double>(logits.back() - max_logit));
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const double w = std::exp(static_cast<double>(logits[i] - max_logit));
+    target -= w;
     if (target < 0.0) {
       chosen = i;
+      chosen_weight = w;
       break;
     }
   }
-  log_prob = static_cast<float>(std::log(weights[chosen] / total));
+  log_prob = static_cast<float>(std::log(chosen_weight / total));
   return static_cast<int>(chosen);
 }
 

@@ -28,6 +28,15 @@ nn::Matrix DualCriticPpoAgent::value_batch(const nn::Matrix& states) {
   return local;
 }
 
+float DualCriticPpoAgent::value_row(std::span<const float> state) {
+  float local = 0.0F;
+  float pub = 0.0F;
+  critic_.forward_row(state, std::span<float>(&local, 1));
+  public_critic_.forward_row(state, std::span<float>(&pub, 1));
+  const auto a = static_cast<float>(alpha_);
+  return a * local + (1.0F - a) * pub;
+}
+
 void DualCriticPpoAgent::update_critics(const nn::Matrix& states,
                                         std::span<const float> returns) {
   // Eqs. (16) and (17): both critics regress toward the same targets,
@@ -35,12 +44,12 @@ void DualCriticPpoAgent::update_critics(const nn::Matrix& states,
   const float inv_n = 1.0F / static_cast<float>(states.rows());
   for (std::size_t epoch = 0; epoch < config_.update_epochs; ++epoch) {
     for (nn::Mlp* net : {&critic_, &public_critic_}) {
-      nn::Matrix v = net->forward(states);
-      nn::Matrix grad(v.rows(), 1);
+      const nn::Matrix& v = net->forward_batch(states);
+      ws_value_grad_.resize(v.rows(), 1);
       for (std::size_t i = 0; i < v.rows(); ++i)
-        grad(i, 0) = 2.0F * inv_n * (v(i, 0) - returns[i]);
+        ws_value_grad_(i, 0) = 2.0F * inv_n * (v(i, 0) - returns[i]);
       net->zero_grad();
-      net->backward(grad);
+      net->backward_batch(ws_value_grad_);
       (net == &critic_ ? critic_opt_ : public_critic_opt_).step();
     }
   }
@@ -64,8 +73,12 @@ void DualCriticPpoAgent::refresh_alpha() {
     alpha_ = 0.5;
     return;
   }
-  last_local_loss_ = critic_loss_on(critic_, last_buffer());
-  last_public_loss_ = critic_loss_on(public_critic_, last_buffer());
+  // Build the stacked states and MC returns once; both loss evaluations
+  // share them (they used to rebuild the pair from the buffer each).
+  last_buffer().state_matrix_into(ws_alpha_states_);
+  last_buffer().compute_returns_into(config_.gamma, ws_alpha_returns_);
+  last_local_loss_ = critic_loss_on(critic_, ws_alpha_states_, ws_alpha_returns_);
+  last_public_loss_ = critic_loss_on(public_critic_, ws_alpha_states_, ws_alpha_returns_);
   // Stabilize the softmax for large losses by shifting both exponents.
   const double shift = std::min(last_local_loss_, last_public_loss_);
   const double e_local = std::exp(-(last_local_loss_ - shift));

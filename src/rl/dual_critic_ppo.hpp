@@ -26,6 +26,9 @@ class DualCriticPpoAgent final : public PpoAgent {
   /// Mixed value (Eq. 14).
   nn::Matrix value_batch(const nn::Matrix& states) override;
 
+  /// Mixed value for a single state, allocation-free (Eq. 14).
+  float value_row(std::span<const float> state) override;
+
   nn::Mlp& local_critic() { return critic_; }
   nn::Mlp& public_critic() { return public_critic_; }
   const nn::Mlp& public_critic() const { return public_critic_; }
@@ -54,6 +57,10 @@ class DualCriticPpoAgent final : public PpoAgent {
 
   nn::Mlp public_critic_;
   nn::Adam public_critic_opt_;
+  // Workspaces for the α refresh (states + MC returns are built once and
+  // shared by both critic-loss evaluations).
+  nn::Matrix ws_alpha_states_;
+  std::vector<float> ws_alpha_returns_;
   double alpha_ = 0.5;
   double last_local_loss_ = 0.0;
   double last_public_loss_ = 0.0;

@@ -29,26 +29,33 @@ PpoAgent::PpoAgent(std::size_t state_dim, int action_count, PpoConfig config)
       actor_opt_(actor_.params(), adam_for(config.actor_lr, config.max_grad_norm)),
       critic_opt_(critic_.params(), adam_for(config.critic_lr, config.max_grad_norm)) {
   if (action_count <= 0) throw std::invalid_argument("PpoAgent: action_count must be positive");
+  row_logits_.assign(static_cast<std::size_t>(action_count), 0.0F);
 }
 
 nn::Matrix PpoAgent::value_batch(const nn::Matrix& states) { return critic_.forward(states); }
 
+float PpoAgent::value_row(std::span<const float> state) {
+  float v = 0.0F;
+  critic_.forward_row(state, std::span<float>(&v, 1));
+  return v;
+}
+
 int PpoAgent::act_stochastic(std::span<const float> state, float& log_prob, float& value) {
-  const nn::Matrix s = nn::Matrix::row_vector(state);
-  const nn::Matrix logits = actor_.forward(s);
-  const nn::Matrix v = value_batch(s);
-  value = v(0, 0);
-  return sample_categorical(logits.row(0), rng_, log_prob);
+  // Fused GEMV path through preallocated scratch: a policy step performs
+  // zero heap allocations.
+  actor_.forward_row(state, row_logits_);
+  value = value_row(state);
+  return sample_categorical(row_logits_, rng_, log_prob);
 }
 
 int PpoAgent::act_greedy(std::span<const float> state) {
-  const nn::Matrix logits = actor_.forward(nn::Matrix::row_vector(state));
-  return argmax_action(logits.row(0));
+  actor_.forward_row(state, row_logits_);
+  return argmax_action(row_logits_);
 }
 
 int PpoAgent::act_greedy_masked(std::span<const float> state, const std::vector<bool>& valid) {
-  const nn::Matrix logits = actor_.forward(nn::Matrix::row_vector(state));
-  const auto row = logits.row(0);
+  actor_.forward_row(state, row_logits_);
+  const std::span<const float> row(row_logits_);
   int best = -1;
   for (std::size_t a = 0; a < row.size(); ++a) {
     if (a < valid.size() && !valid[a]) continue;
@@ -127,8 +134,8 @@ EpisodeStats PpoAgent::evaluate_sampled(env::Env& environment, bool masked) {
   bool done = false;
   while (!done) {
     environment.observe(state);
-    const nn::Matrix logits = actor_.forward(nn::Matrix::row_vector(state));
-    const auto row = logits.row(0);
+    actor_.forward_row(state, row_logits_);
+    const std::span<const float> row(row_logits_);
 
     int action;
     float log_prob = 0.0F;
@@ -157,16 +164,19 @@ EpisodeStats PpoAgent::evaluate_sampled(env::Env& environment, bool masked) {
 void PpoAgent::update(const RolloutBuffer& buffer) {
   PFRL_SPAN("rl/ppo_update");
   if (buffer.empty()) return;
-  const nn::Matrix states = buffer.state_matrix();
+  buffer.state_matrix_into(ws_states_);
   const RolloutBuffer::GaeResult gae =
       buffer.compute_gae(config_.gamma, config_.gae_lambda, config_.normalize_advantages);
 
   // Stash the buffer first: subclasses re-evaluate critics on the current
   // trajectories whenever parameters change (Eq. 15).
   last_buffer_ = buffer;
-  update_actor(buffer, states, gae.advantages);
-  update_critics(states, gae.returns);
-  last_critic_loss_ = critic_loss_on(critic_, buffer);
+  update_actor(buffer, ws_states_, gae.advantages);
+  update_critics(ws_states_, gae.returns);
+  // The loss evaluation reuses the states stacked above and computes the
+  // Monte-Carlo returns once, instead of rebuilding both per call.
+  buffer.compute_returns_into(config_.gamma, ws_mc_returns_);
+  last_critic_loss_ = critic_loss_on(critic_, ws_states_, ws_mc_returns_);
 }
 
 void PpoAgent::update_actor(const RolloutBuffer& buffer, const nn::Matrix& states,
@@ -176,17 +186,22 @@ void PpoAgent::update_actor(const RolloutBuffer& buffer, const nn::Matrix& state
   const float inv_n = 1.0F / static_cast<float>(n);
 
   // FedKL: reference log-probabilities of the anchored (global) policy.
-  nn::Matrix anchor_log_probs;
-  if (kl_beta_ > 0.0F && kl_anchor_actor_)
-    anchor_log_probs = nn::log_softmax_rows(kl_anchor_actor_->forward(states));
+  const bool use_kl = kl_beta_ > 0.0F && kl_anchor_actor_ != nullptr;
+  if (use_kl)
+    nn::log_softmax_rows_into(kl_anchor_actor_->forward_batch(states), ws_anchor_lp_);
+  const nn::Matrix& anchor_log_probs = ws_anchor_lp_;
 
   for (std::size_t epoch = 0; epoch < config_.update_epochs; ++epoch) {
-    nn::Matrix logits = actor_.forward(states);
-    const nn::Matrix log_probs = nn::log_softmax_rows(logits);
-    const nn::Matrix probs = nn::softmax_rows(logits);
+    const nn::Matrix& logits = actor_.forward_batch(states);
+    nn::log_softmax_rows_into(logits, ws_log_probs_);
+    nn::softmax_rows_into(logits, ws_probs_);
+    const nn::Matrix& log_probs = ws_log_probs_;
+    const nn::Matrix& probs = ws_probs_;
 
     // dL/dlogits for L = -(1/N) Σ [min(rA, clip(r)A) + c_H H].
-    nn::Matrix grad(logits.rows(), logits.cols());
+    ws_actor_grad_.resize(logits.rows(), logits.cols());
+    ws_actor_grad_.zero();
+    nn::Matrix& grad = ws_actor_grad_;
     for (std::size_t i = 0; i < n; ++i) {
       const int a = transitions[i].action;
       const float adv = advantages[i];
@@ -217,7 +232,7 @@ void PpoAgent::update_actor(const RolloutBuffer& buffer, const nn::Matrix& state
           g[j] += config_.entropy_coef * inv_n * p[j] *
                   (lp[j] + static_cast<float>(entropy));
       }
-      if (kl_beta_ > 0.0F && !anchor_log_probs.empty()) {
+      if (use_kl) {
         // + β·KL(π_θ ‖ π_anchor):
         // dKL/dlogit_j = p_j (log p_j - log g_j - KL).
         const auto lp = log_probs.row(i);
@@ -231,7 +246,7 @@ void PpoAgent::update_actor(const RolloutBuffer& buffer, const nn::Matrix& state
     }
 
     actor_.zero_grad();
-    actor_.backward(grad);
+    actor_.backward_batch(grad);
     if (proximal_mu_ > 0.0F && !proximal_actor_anchor_.empty())
       apply_proximal_gradient(actor_, proximal_actor_anchor_);
     actor_opt_.step();
@@ -241,12 +256,12 @@ void PpoAgent::update_actor(const RolloutBuffer& buffer, const nn::Matrix& state
 void PpoAgent::update_critics(const nn::Matrix& states, std::span<const float> returns) {
   const float inv_n = 1.0F / static_cast<float>(states.rows());
   for (std::size_t epoch = 0; epoch < config_.update_epochs; ++epoch) {
-    nn::Matrix v = critic_.forward(states);
-    nn::Matrix grad(v.rows(), 1);
+    const nn::Matrix& v = critic_.forward_batch(states);
+    ws_value_grad_.resize(v.rows(), 1);
     for (std::size_t i = 0; i < v.rows(); ++i)
-      grad(i, 0) = 2.0F * inv_n * (v(i, 0) - returns[i]);
+      ws_value_grad_(i, 0) = 2.0F * inv_n * (v(i, 0) - returns[i]);
     critic_.zero_grad();
-    critic_.backward(grad);
+    critic_.backward_batch(ws_value_grad_);
     if (proximal_mu_ > 0.0F && !proximal_critic_anchor_.empty())
       apply_proximal_gradient(critic_, proximal_critic_anchor_);
     critic_opt_.step();
@@ -297,10 +312,16 @@ double PpoAgent::critic_loss_on(nn::Mlp& net, const RolloutBuffer& buffer) const
   if (buffer.empty()) return 0.0;
   const nn::Matrix states = buffer.state_matrix();
   const std::vector<float> returns = buffer.compute_returns(config_.gamma);
-  const nn::Matrix v = net.forward(states);
+  return critic_loss_on(net, states, returns);
+}
+
+double PpoAgent::critic_loss_on(nn::Mlp& net, const nn::Matrix& states,
+                                std::span<const float> mc_returns) const {
+  if (states.rows() == 0) return 0.0;
+  const nn::Matrix& v = net.forward_batch(states);
   double acc = 0.0;
   for (std::size_t i = 0; i < v.rows(); ++i) {
-    const double d = static_cast<double>(v(i, 0)) - static_cast<double>(returns[i]);
+    const double d = static_cast<double>(v(i, 0)) - static_cast<double>(mc_returns[i]);
     acc += d * d;
   }
   return acc / static_cast<double>(v.rows());

@@ -46,6 +46,10 @@ class PpoAgent : public Agent {
   /// variant to mix local and public critics (Eq. 14).
   virtual nn::Matrix value_batch(const nn::Matrix& states);
 
+  /// Value estimate V(s) for a single state via the allocation-free
+  /// forward_row path (same override semantics as value_batch).
+  virtual float value_row(std::span<const float> state);
+
   nn::Mlp& actor() { return actor_; }
   const nn::Mlp& actor() const { return actor_; }
   nn::Mlp& critic() { return critic_; }
@@ -59,6 +63,10 @@ class PpoAgent : public Agent {
   /// MSE of `net` against discounted returns of `buffer` — the critic
   /// evaluation the paper plots in Fig. 9 and uses for α (Eq. 15).
   double critic_loss_on(nn::Mlp& net, const RolloutBuffer& buffer) const;
+  /// Same loss when the caller already holds the stacked states and the
+  /// Monte-Carlo returns (the update path computes both exactly once).
+  double critic_loss_on(nn::Mlp& net, const nn::Matrix& states,
+                        std::span<const float> mc_returns) const;
 
   const PpoConfig& config() const { return config_; }
   std::size_t state_dim() const { return state_dim_; }
@@ -109,6 +117,13 @@ class PpoAgent : public Agent {
   RolloutBuffer last_buffer_;
   double last_critic_loss_ = 0.0;
 
+  // Persistent update-path workspaces (capacity reused across episodes so
+  // steady-state training stays off the heap). ws_value_grad_ is shared
+  // with the dual-critic update_critics override.
+  nn::Matrix ws_states_;
+  nn::Matrix ws_value_grad_;
+  std::vector<float> ws_mc_returns_;
+
   /// Adds μ·(θ − anchor) into `net`'s accumulated gradients.
   void apply_proximal_gradient(nn::Mlp& net, const std::vector<float>& anchor) const;
 
@@ -122,6 +137,14 @@ class PpoAgent : public Agent {
  private:
   void update_actor(const RolloutBuffer& buffer, const nn::Matrix& states,
                     std::span<const float> advantages);
+
+  // Single-row inference scratch (sized action_count at construction) and
+  // actor-update workspaces.
+  std::vector<float> row_logits_;
+  nn::Matrix ws_log_probs_;
+  nn::Matrix ws_probs_;
+  nn::Matrix ws_actor_grad_;
+  nn::Matrix ws_anchor_lp_;
 };
 
 }  // namespace pfrl::rl

@@ -1,19 +1,25 @@
 #include "rl/rollout.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace pfrl::rl {
 
 std::vector<float> RolloutBuffer::compute_returns(double gamma) const {
-  std::vector<float> returns(transitions_.size());
+  std::vector<float> returns;
+  compute_returns_into(gamma, returns);
+  return returns;
+}
+
+void RolloutBuffer::compute_returns_into(double gamma, std::vector<float>& out) const {
+  out.resize(transitions_.size());
   double running = 0.0;
   for (std::size_t i = transitions_.size(); i-- > 0;) {
     if (transitions_[i].done) running = 0.0;
     running = transitions_[i].reward + gamma * running;
-    returns[i] = static_cast<float>(running);
+    out[i] = static_cast<float>(running);
   }
-  return returns;
 }
 
 std::vector<float> RolloutBuffer::compute_advantages(std::span<const float> returns,
@@ -70,16 +76,24 @@ RolloutBuffer::GaeResult RolloutBuffer::compute_gae(double gamma, double lambda,
 }
 
 nn::Matrix RolloutBuffer::state_matrix() const {
-  if (transitions_.empty()) return {};
+  nn::Matrix states;
+  state_matrix_into(states);
+  return states;
+}
+
+void RolloutBuffer::state_matrix_into(nn::Matrix& out) const {
+  if (transitions_.empty()) {
+    out.resize(0, 0);
+    return;
+  }
   const std::size_t dim = transitions_.front().state.size();
-  nn::Matrix states(transitions_.size(), dim);
+  out.resize(transitions_.size(), dim);
   for (std::size_t i = 0; i < transitions_.size(); ++i) {
     if (transitions_[i].state.size() != dim)
       throw std::invalid_argument("state_matrix: inconsistent state dims");
-    auto row = states.row(i);
+    auto row = out.row(i);
     std::copy(transitions_[i].state.begin(), transitions_[i].state.end(), row.begin());
   }
-  return states;
 }
 
 }  // namespace pfrl::rl

@@ -33,6 +33,8 @@ class RolloutBuffer {
 
   /// Discounted returns-to-go, resetting at episode boundaries.
   std::vector<float> compute_returns(double gamma) const;
+  /// Workspace form: writes into `out`, reusing its capacity.
+  void compute_returns_into(double gamma, std::vector<float>& out) const;
 
   /// Generalized Advantage Estimation (Schulman et al. 2016):
   ///   δ_t = r_t + γ·V(s_{t+1})·(1-done_t) - V(s_t)
@@ -52,6 +54,8 @@ class RolloutBuffer {
 
   /// All states stacked into an N x state_dim matrix.
   nn::Matrix state_matrix() const;
+  /// Workspace form: writes into `out`, reusing its capacity.
+  void state_matrix_into(nn::Matrix& out) const;
 
  private:
   std::vector<Transition> transitions_;

@@ -1,0 +1,208 @@
+// Equivalence of the blocked SIMD kernels (nn/kernels.hpp) against naive
+// reference loops, over awkward shapes: single rows/columns, sizes that
+// are not multiples of the register-block factors, and empty extents.
+//
+// The kernels reassociate partial sums for vectorization, so comparisons
+// use a tolerance scaled by the magnitude of the accumulated terms
+// (1e-5 relative, per the kernel contract) instead of ULP equality.
+#include "nn/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using pfrl::util::Rng;
+namespace kernels = pfrl::nn::kernels;
+
+std::vector<float> random_vec(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+/// |actual - ref| ≤ 1e-5 · max(1, Σ|terms|): reassociation-safe bound.
+void expect_close(float actual, double ref, double sum_abs) {
+  const double tol = 1e-5 * std::max(1.0, sum_abs);
+  EXPECT_NEAR(static_cast<double>(actual), ref, tol);
+}
+
+struct Shape {
+  std::size_t m, k, n;
+};
+
+const Shape kShapes[] = {
+    {1, 1, 1},   {1, 7, 1},   {7, 1, 7},    {1, 100, 9},  {4, 8, 16},
+    {5, 9, 11},  {3, 2, 5},   {17, 19, 23}, {64, 100, 9}, {2, 64, 64},
+    {6, 3, 1},   {1, 1, 33},
+};
+
+TEST(Kernels, GemmMatchesNaive) {
+  Rng rng(41);
+  for (const Shape s : kShapes) {
+    const auto a = random_vec(s.m * s.k, rng);
+    const auto b = random_vec(s.k * s.n, rng);
+    std::vector<float> c(s.m * s.n, -123.0F);
+    kernels::gemm(a.data(), b.data(), c.data(), s.m, s.k, s.n);
+    for (std::size_t i = 0; i < s.m; ++i)
+      for (std::size_t j = 0; j < s.n; ++j) {
+        double ref = 0.0, mag = 0.0;
+        for (std::size_t kk = 0; kk < s.k; ++kk) {
+          const double t = static_cast<double>(a[i * s.k + kk]) * b[kk * s.n + j];
+          ref += t;
+          mag += std::abs(t);
+        }
+        expect_close(c[i * s.n + j], ref, mag);
+      }
+  }
+}
+
+TEST(Kernels, GemmBiasMatchesNaive) {
+  Rng rng(42);
+  for (const Shape s : kShapes) {
+    const auto a = random_vec(s.m * s.k, rng);
+    const auto b = random_vec(s.k * s.n, rng);
+    const auto bias = random_vec(s.n, rng);
+    std::vector<float> c(s.m * s.n);
+    kernels::gemm_bias(a.data(), b.data(), bias.data(), c.data(), s.m, s.k, s.n);
+    for (std::size_t i = 0; i < s.m; ++i)
+      for (std::size_t j = 0; j < s.n; ++j) {
+        double ref = bias[j], mag = std::abs(static_cast<double>(bias[j]));
+        for (std::size_t kk = 0; kk < s.k; ++kk) {
+          const double t = static_cast<double>(a[i * s.k + kk]) * b[kk * s.n + j];
+          ref += t;
+          mag += std::abs(t);
+        }
+        expect_close(c[i * s.n + j], ref, mag);
+      }
+  }
+}
+
+TEST(Kernels, GemmAtBMatchesNaiveBothModes) {
+  Rng rng(43);
+  for (const Shape s : kShapes) {
+    // A is k×m, B is k×n, C is m×n.
+    const auto a = random_vec(s.k * s.m, rng);
+    const auto b = random_vec(s.k * s.n, rng);
+    const auto seed = random_vec(s.m * s.n, rng);
+    for (const bool accumulate : {false, true}) {
+      std::vector<float> c = seed;
+      kernels::gemm_at_b(a.data(), b.data(), c.data(), s.k, s.m, s.n, accumulate);
+      for (std::size_t i = 0; i < s.m; ++i)
+        for (std::size_t j = 0; j < s.n; ++j) {
+          double ref = accumulate ? static_cast<double>(seed[i * s.n + j]) : 0.0;
+          double mag = std::abs(ref);
+          for (std::size_t kk = 0; kk < s.k; ++kk) {
+            const double t = static_cast<double>(a[kk * s.m + i]) * b[kk * s.n + j];
+            ref += t;
+            mag += std::abs(t);
+          }
+          expect_close(c[i * s.n + j], ref, mag);
+        }
+    }
+  }
+}
+
+TEST(Kernels, GemmABtMatchesNaive) {
+  Rng rng(44);
+  for (const Shape s : kShapes) {
+    // A is m×k, B is n×k, C is m×n.
+    const auto a = random_vec(s.m * s.k, rng);
+    const auto b = random_vec(s.n * s.k, rng);
+    std::vector<float> c(s.m * s.n, -123.0F);
+    kernels::gemm_a_bt(a.data(), b.data(), c.data(), s.m, s.k, s.n);
+    for (std::size_t i = 0; i < s.m; ++i)
+      for (std::size_t j = 0; j < s.n; ++j) {
+        double ref = 0.0, mag = 0.0;
+        for (std::size_t kk = 0; kk < s.k; ++kk) {
+          const double t = static_cast<double>(a[i * s.k + kk]) * b[j * s.k + kk];
+          ref += t;
+          mag += std::abs(t);
+        }
+        expect_close(c[i * s.n + j], ref, mag);
+      }
+  }
+}
+
+TEST(Kernels, GemvBiasMatchesNaive) {
+  Rng rng(45);
+  for (const Shape s : kShapes) {
+    const auto x = random_vec(s.k, rng);
+    const auto w = random_vec(s.k * s.n, rng);
+    const auto bias = random_vec(s.n, rng);
+    std::vector<float> y(s.n);
+    kernels::gemv_bias(x.data(), w.data(), bias.data(), y.data(), s.k, s.n);
+    for (std::size_t j = 0; j < s.n; ++j) {
+      double ref = bias[j], mag = std::abs(static_cast<double>(bias[j]));
+      for (std::size_t kk = 0; kk < s.k; ++kk) {
+        const double t = static_cast<double>(x[kk]) * w[kk * s.n + j];
+        ref += t;
+        mag += std::abs(t);
+      }
+      expect_close(y[j], ref, mag);
+    }
+  }
+}
+
+TEST(Kernels, GemvBiasTanhFusesEpilogue) {
+  Rng rng(46);
+  const std::size_t k = 100, n = 64;
+  const auto x = random_vec(k, rng);
+  const auto w = random_vec(k * n, rng);
+  const auto bias = random_vec(n, rng);
+  std::vector<float> fused(n);
+  std::vector<float> unfused(n);
+  kernels::gemv_bias_tanh(x.data(), w.data(), bias.data(), fused.data(), k, n);
+  kernels::gemv_bias(x.data(), w.data(), bias.data(), unfused.data(), k, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // The fused epilogue is exactly fast_tanh of the affine result...
+    EXPECT_FLOAT_EQ(fused[j], kernels::fast_tanh(unfused[j]));
+    // ...which must sit within 1e-5 of libm tanh.
+    EXPECT_NEAR(fused[j], std::tanh(unfused[j]), 1e-5F);
+  }
+}
+
+TEST(Kernels, EmptyExtentsAreNoOps) {
+  // m = 0 / n = 0: nothing written, nothing read; k = 0: bias passthrough.
+  std::vector<float> b(8, 1.0F);
+  std::vector<float> c(4, 7.0F);
+  kernels::gemm(nullptr, b.data(), c.data(), 0, 2, 4);
+  for (const float v : c) EXPECT_FLOAT_EQ(v, 7.0F);  // m=0 leaves c untouched
+
+  std::vector<float> a(6, 1.0F);
+  std::vector<float> bias{0.5F, -0.25F};
+  std::vector<float> y(2, 9.0F);
+  kernels::gemv_bias(a.data(), b.data(), bias.data(), y.data(), 0, 2);
+  EXPECT_FLOAT_EQ(y[0], 0.5F);  // k=0: y = bias
+  EXPECT_FLOAT_EQ(y[1], -0.25F);
+
+  kernels::tanh_apply(a.data(), y.data(), 0);  // n=0 no-op
+  EXPECT_FLOAT_EQ(y[0], 0.5F);
+}
+
+TEST(Kernels, FastTanhAccuracySweep) {
+  // Dense sweep over the active range plus the saturated tails.
+  for (double x = -10.0; x <= 10.0; x += 1e-3) {
+    const float approx = kernels::fast_tanh(static_cast<float>(x));
+    EXPECT_NEAR(static_cast<double>(approx), std::tanh(x), 1e-6) << "at x = " << x;
+    EXPECT_LE(std::abs(approx), 1.0F) << "at x = " << x;
+  }
+  EXPECT_FLOAT_EQ(kernels::fast_tanh(0.0F), 0.0F);
+  EXPECT_NEAR(kernels::fast_tanh(50.0F), 1.0F, 1e-7F);
+  EXPECT_NEAR(kernels::fast_tanh(-50.0F), -1.0F, 1e-7F);
+}
+
+TEST(Kernels, TanhApplyMatchesScalar) {
+  Rng rng(47);
+  const auto x = random_vec(103, rng);  // deliberately not a lane multiple
+  std::vector<float> y(x.size());
+  kernels::tanh_apply(x.data(), y.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_FLOAT_EQ(y[i], kernels::fast_tanh(x[i]));
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Workspace-reuse semantics of the `_into` compute paths: repeated calls
+// through persistent workspaces must be indistinguishable from fresh
+// allocating calls, across batch-size changes, and the fused forward_row
+// path must agree with the batch path row-for-row.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/matrix.hpp"
+#include "nn/mlp.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using pfrl::nn::Linear;
+using pfrl::nn::Matrix;
+using pfrl::nn::Mlp;
+using pfrl::nn::Tanh;
+using pfrl::util::Rng;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (float& v : m.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+void expect_identical(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) EXPECT_FLOAT_EQ(a(i, j), b(i, j)) << i << "," << j;
+}
+
+TEST(Workspace, RepeatedForwardIntoEqualsFreshForward) {
+  Rng rng(11);
+  Linear layer(13, 7, rng);
+  const Matrix x1 = random_matrix(5, 13, rng);
+  const Matrix x2 = random_matrix(5, 13, rng);
+
+  Matrix workspace;
+  layer.forward_into(x1, workspace);  // grows the workspace
+  layer.forward_into(x2, workspace);  // reuses it
+  const Matrix fresh = layer.forward(x2);
+  expect_identical(workspace, fresh);
+}
+
+TEST(Workspace, MatrixResizeReusesCapacityAcrossShapes) {
+  Rng rng(12);
+  Linear layer(6, 4, rng);
+  Matrix out;
+  // Shrink then regrow: stale elements from the larger shape must never
+  // leak into a later result.
+  for (const std::size_t batch : {8U, 2U, 5U, 8U, 1U}) {
+    const Matrix x = random_matrix(batch, 6, rng);
+    layer.forward_into(x, out);
+    const Matrix fresh = layer.forward(x);
+    expect_identical(out, fresh);
+  }
+}
+
+TEST(Workspace, MlpForwardBatchStableAcrossBatchSizes) {
+  Rng rng(13);
+  Mlp net(10, {16}, 3, rng);
+  const Mlp reference = net;  // deep copy: same parameters, fresh caches
+  for (const std::size_t batch : {4U, 32U, 1U, 9U}) {
+    Rng data_rng(100 + batch);
+    const Matrix x = random_matrix(batch, 10, data_rng);
+    const Matrix& reused = net.forward_batch(x);
+    Mlp fresh = reference;
+    expect_identical(reused, fresh.forward(x));
+  }
+}
+
+TEST(Workspace, ForwardRowMatchesBatchRow) {
+  Rng rng(14);
+  Mlp net(100, {64}, 9, rng);
+  const Matrix x = random_matrix(6, 100, rng);
+  const Matrix& batch = net.forward_batch(x);
+  std::vector<float> row_out(9);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    net.forward_row(x.row(r), row_out);
+    for (std::size_t j = 0; j < 9; ++j)
+      // Same kernels, different accumulation grouping (GEMM register
+      // blocks vs GEMV): tolerance, not equality.
+      EXPECT_NEAR(row_out[j], batch(r, j), 1e-5F) << r << "," << j;
+  }
+}
+
+TEST(Workspace, BackwardBatchEqualsFreshBackward) {
+  Rng rng(15);
+  Mlp net(8, {12}, 4, rng);
+  Mlp fresh = net;
+  const Matrix x = random_matrix(7, 8, rng);
+  const Matrix g = random_matrix(7, 4, rng);
+
+  // Warm the persistent workspaces with a differently-shaped pass first.
+  const Matrix warm_x = random_matrix(15, 8, rng);
+  const Matrix warm_g = random_matrix(15, 4, rng);
+  net.zero_grad();
+  net.forward_batch(warm_x);
+  net.backward_batch(warm_g);
+
+  net.zero_grad();
+  net.forward_batch(x);
+  const Matrix reused_gi = net.backward_batch(g);
+
+  fresh.zero_grad();
+  fresh.forward(x);
+  const Matrix fresh_gi = fresh.backward(g);
+
+  expect_identical(reused_gi, fresh_gi);
+  const std::vector<float> reused_grads = net.flatten_grad();
+  const std::vector<float> fresh_grads = fresh.flatten_grad();
+  ASSERT_EQ(reused_grads.size(), fresh_grads.size());
+  for (std::size_t i = 0; i < reused_grads.size(); ++i)
+    EXPECT_FLOAT_EQ(reused_grads[i], fresh_grads[i]) << i;
+}
+
+TEST(Workspace, TanhForwardIntoReusesOutput) {
+  Rng rng(16);
+  Tanh t;
+  Matrix out;
+  for (const std::size_t n : {64U, 5U, 64U}) {
+    const Matrix x = random_matrix(2, n, rng);
+    t.forward_into(x, out);
+    ASSERT_EQ(out.cols(), n);
+    for (std::size_t i = 0; i < x.rows(); ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        EXPECT_NEAR(out(i, j), std::tanh(x(i, j)), 1e-6F);
+  }
+}
+
+TEST(Workspace, ConstParamsMatchMutableParams) {
+  Rng rng(17);
+  Mlp net(5, {6}, 2, rng);
+  const Mlp& cnet = net;
+  const auto mutable_params = net.params();
+  const auto const_params = cnet.params();
+  ASSERT_EQ(mutable_params.size(), const_params.size());
+  for (std::size_t i = 0; i < mutable_params.size(); ++i)
+    EXPECT_EQ(static_cast<const pfrl::nn::Param*>(mutable_params[i]), const_params[i]);
+  EXPECT_EQ(cnet.param_count(), 5U * 6U + 6U + 6U * 2U + 2U);
+}
+
+}  // namespace

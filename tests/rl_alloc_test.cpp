@@ -1,0 +1,119 @@
+// Proof that the steady-state policy-step path is allocation-free: this
+// binary replaces the global allocator with a counting one, warms the
+// agent up (first calls may grow workspaces and register metrics), and
+// then asserts that repeated act_stochastic / forward_row calls perform
+// exactly zero heap allocations.
+//
+// This test lives in its own executable on purpose — tests/CMakeLists.txt
+// builds one binary per file, so the operator new replacement cannot leak
+// into unrelated tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "rl/dual_critic_ppo.hpp"
+#include "rl/ppo.hpp"
+#include "util/rng.hpp"
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using pfrl::util::Rng;
+
+std::vector<float> random_state(std::size_t n, Rng& rng) {
+  std::vector<float> s(n);
+  for (float& v : s) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return s;
+}
+
+TEST(AllocationFree, MlpForwardRow) {
+  Rng rng(21);
+  pfrl::nn::Mlp net(100, {64}, 9, rng);
+  const std::vector<float> x = random_state(100, rng);
+  std::vector<float> y(9);
+  net.forward_row(x, y);  // warmup (nothing should allocate even here)
+
+  const std::size_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) net.forward_row(x, y);
+  EXPECT_EQ(g_allocations.load() - before, 0U)
+      << "Mlp::forward_row allocated on the steady-state path";
+}
+
+TEST(AllocationFree, ActStochasticSingleCritic) {
+  pfrl::rl::PpoConfig cfg;
+  cfg.seed = 22;
+  pfrl::rl::PpoAgent agent(100, 9, cfg);
+  Rng rng(23);
+  const std::vector<float> state = random_state(100, rng);
+
+  float log_prob = 0.0F;
+  float value = 0.0F;
+  // Warmup: first call may register metrics counters lazily.
+  for (int i = 0; i < 4; ++i) agent.act_stochastic(state, log_prob, value);
+
+  const std::size_t before = g_allocations.load();
+  int action_sum = 0;
+  for (int i = 0; i < 1000; ++i) action_sum += agent.act_stochastic(state, log_prob, value);
+  EXPECT_EQ(g_allocations.load() - before, 0U)
+      << "act_stochastic allocated on the steady-state path";
+  EXPECT_GE(action_sum, 0);
+}
+
+TEST(AllocationFree, ActStochasticDualCritic) {
+  pfrl::rl::PpoConfig cfg;
+  cfg.seed = 24;
+  pfrl::rl::DualCriticPpoAgent agent(100, 9, cfg);
+  Rng rng(25);
+  const std::vector<float> state = random_state(100, rng);
+
+  float log_prob = 0.0F;
+  float value = 0.0F;
+  for (int i = 0; i < 4; ++i) agent.act_stochastic(state, log_prob, value);
+
+  const std::size_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) agent.act_stochastic(state, log_prob, value);
+  EXPECT_EQ(g_allocations.load() - before, 0U)
+      << "dual-critic act_stochastic allocated on the steady-state path";
+}
+
+TEST(AllocationFree, GreedyPaths) {
+  pfrl::rl::PpoConfig cfg;
+  cfg.seed = 26;
+  pfrl::rl::PpoAgent agent(100, 9, cfg);
+  Rng rng(27);
+  const std::vector<float> state = random_state(100, rng);
+  const std::vector<bool> valid(9, true);
+
+  agent.act_greedy(state);
+  agent.act_greedy_masked(state, valid);
+
+  const std::size_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    agent.act_greedy(state);
+    agent.act_greedy_masked(state, valid);
+  }
+  EXPECT_EQ(g_allocations.load() - before, 0U)
+      << "greedy action paths allocated on the steady-state path";
+}
+
+}  // namespace

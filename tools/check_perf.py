@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Compare a fresh micro_primitives perf record against the checked-in baseline.
+
+Both files use the pfrl-perf/1 schema written by obs/perf_record.hpp
+(bench/micro_primitives.cpp dumps one per run). Metrics are matched by
+name; a metric whose fresh value exceeds baseline * (1 + threshold) is a
+regression and fails the check. Metrics present on only one side are
+reported but never fail the check (benchmarks come and go across PRs).
+
+Usage:
+  tools/check_perf.py --baseline BENCH_micro_primitives.json \
+                      --fresh build/BENCH_fresh.json [--threshold 0.25]
+
+Exit codes: 0 = no regression, 1 = at least one regression, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path: str) -> dict[str, float]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_perf: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    if record.get("schema") != "pfrl-perf/1":
+        print(f"check_perf: {path}: unexpected schema {record.get('schema')!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    metrics: dict[str, float] = {}
+    for metric in record.get("metrics", []):
+        name, value = metric.get("name"), metric.get("value")
+        if isinstance(name, str) and isinstance(value, (int, float)):
+            metrics[name] = float(value)
+    if not metrics:
+        print(f"check_perf: {path}: no metrics", file=sys.stderr)
+        sys.exit(2)
+    return metrics
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="checked-in perf record")
+    parser.add_argument("--fresh", required=True, help="freshly generated perf record")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative slowdown (0.25 = +25%%)")
+    args = parser.parse_args()
+
+    baseline = load_metrics(args.baseline)
+    fresh = load_metrics(args.fresh)
+
+    regressions = []
+    width = max(len(n) for n in sorted(set(baseline) | set(fresh)))
+    for name in sorted(set(baseline) | set(fresh)):
+        if name not in baseline:
+            print(f"  {name:<{width}}  (new metric, no baseline)")
+            continue
+        if name not in fresh:
+            print(f"  {name:<{width}}  (missing from fresh run)")
+            continue
+        base, now = baseline[name], fresh[name]
+        ratio = now / base if base > 0 else float("inf")
+        marker = ""
+        if ratio > 1.0 + args.threshold:
+            marker = "  << REGRESSION"
+            regressions.append((name, base, now, ratio))
+        print(f"  {name:<{width}}  {base:>12.1f} -> {now:>12.1f} ns  ({ratio:5.2f}x){marker}")
+
+    if regressions:
+        print(f"\ncheck_perf: {len(regressions)} metric(s) regressed more than "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, base, now, ratio in regressions:
+            print(f"  {name}: {base:.1f} ns -> {now:.1f} ns ({ratio:.2f}x)",
+                  file=sys.stderr)
+        return 1
+    print(f"\ncheck_perf: OK ({args.threshold:.0%} threshold)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
