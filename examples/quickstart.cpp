@@ -3,12 +3,16 @@
 // test split.
 //
 //   ./quickstart [--episodes N] [--tasks N] [--seed S]
-//               [--metrics-out FILE] [--trace-out FILE] [--log-level L]
+//               [--metrics-out FILE] [--trace-out FILE] [--run-dir DIR]
+//               [--log-level L]
 //
 // The obs flags mirror the pfrldm CLI: --metrics-out writes a CSV
 // snapshot of the nn/rl/env counters at exit, --trace-out streams spans
-// as JSONL while training runs.
+// as JSONL while training runs, and --run-dir writes a run directory
+// (manifest.json + learning.jsonl + summary.json) that
+// tools/pfrl_report.py renders into a report.
 #include <cstdio>
+#include <memory>
 
 #include "core/presets.hpp"
 #include "obs/obs.hpp"
@@ -24,7 +28,8 @@ int main(int argc, char** argv) {
   util::set_log_level(util::parse_log_level(cli.get("log-level", "info")));
   const std::string metrics_out = cli.get("metrics-out", "");
   const std::string trace_out = cli.get("trace-out", "");
-  if (!metrics_out.empty() || !trace_out.empty()) {
+  const std::string run_dir = cli.get("run-dir", "");
+  if (!metrics_out.empty() || !trace_out.empty() || !run_dir.empty()) {
     obs::set_enabled(true);
     if (!trace_out.empty()) obs::tracer().set_stream_path(trace_out);
   }
@@ -52,9 +57,48 @@ int main(int argc, char** argv) {
   ppo.seed = seed;
   rl::PpoAgent agent(environment.state_dim(), environment.action_count(), ppo);
 
+  // With --run-dir, every episode becomes one learning.jsonl "round" for
+  // this single local agent; the watchdog screens the diagnostics as they
+  // stream.
+  std::unique_ptr<obs::RunReporter> reporter;
+  if (!run_dir.empty()) {
+    obs::RunManifest manifest;
+    manifest.run_name = "quickstart";
+    manifest.algorithm = "ppo";
+    manifest.seed = seed;
+    manifest.episodes = scale.episodes;
+    manifest.clients = 1;
+    manifest.config.emplace_back("dataset", workload::dataset_name(preset.dataset));
+    manifest.config.emplace_back("tasks", std::to_string(full.size()));
+    reporter = std::make_unique<obs::RunReporter>(run_dir, std::move(manifest));
+  }
+  std::vector<double> rewards;
+  rewards.reserve(scale.episodes);
+
   std::printf("\nTraining %zu episodes...\n", scale.episodes);
   for (std::size_t e = 0; e < scale.episodes; ++e) {
     const rl::EpisodeStats stats = agent.train_episode(environment);
+    rewards.push_back(stats.total_reward);
+    if (reporter) {
+      obs::LearningRoundEvent event;
+      event.round = e;
+      event.episodes_done = e + 1;
+      obs::ClientRoundDiagnostics c;
+      c.id = 0;
+      c.episodes = 1;
+      c.mean_reward = stats.total_reward;
+      c.policy_entropy = stats.update.policy_entropy;
+      c.approx_kl = stats.update.approx_kl;
+      c.clip_fraction = stats.update.clip_fraction;
+      c.explained_variance = stats.update.explained_variance;
+      c.policy_grad_norm = stats.update.policy_grad_norm;
+      c.critic_grad_norm = stats.update.critic_grad_norm;
+      c.alpha = stats.update.alpha;
+      c.local_critic_loss = stats.update.local_critic_loss;
+      c.public_critic_loss = stats.update.public_critic_loss;
+      event.clients.push_back(std::move(c));
+      reporter->record_round(event);
+    }
     if (e % 5 == 0 || e + 1 == scale.episodes)
       std::printf(
           "  episode %3zu  reward %9.2f  avg-response %7.2f s  util %4.1f%%  "
@@ -76,6 +120,17 @@ int main(int argc, char** argv) {
   std::printf("\nGreedy evaluation on the held-out test split:\n");
   table.print();
 
+  if (reporter) {
+    std::string history = "{\"rewards\":[";
+    for (std::size_t i = 0; i < rewards.size(); ++i) {
+      if (i != 0) history += ',';
+      obs::json_number_append(history, rewards[i]);
+    }
+    history += "]}";
+    reporter->finalize(obs::capture_report(), history);
+    std::printf("\nrun directory written to %s (render: tools/pfrl_report.py %s)\n",
+                run_dir.c_str(), run_dir.c_str());
+  }
   if (!metrics_out.empty()) {
     obs::write_report_csv(obs::capture_report(), metrics_out);
     std::printf("\nmetrics snapshot written to %s\n", metrics_out.c_str());

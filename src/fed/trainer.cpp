@@ -29,11 +29,108 @@ std::vector<double> TrainingHistory::mean_reward_curve() const {
 }
 
 namespace {
+
 std::unique_ptr<Bus> make_bus(std::size_t clients, const FaultPlan& plan) {
   if (plan.enabled()) return std::make_unique<FaultyBus>(clients, plan);
   return std::make_unique<Bus>(clients);
 }
+
+void append_double_array(std::string& out, const std::vector<double>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ',';
+    obs::json_number_append(out, values[i]);
+  }
+  out += ']';
+}
+
 }  // namespace
+
+std::string training_history_json(const TrainingHistory& history) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"rounds\":" + std::to_string(history.rounds);
+  out += ",\"uplink_bytes\":" + std::to_string(history.uplink_bytes);
+  out += ",\"downlink_bytes\":" + std::to_string(history.downlink_bytes);
+  out += ",\"faults\":{\"uplink_dropped\":" + std::to_string(history.faults.uplink_dropped);
+  out += ",\"downlink_dropped\":" + std::to_string(history.faults.downlink_dropped);
+  out += ",\"uplink_corrupted\":" + std::to_string(history.faults.uplink_corrupted);
+  out += ",\"downlink_corrupted\":" + std::to_string(history.faults.downlink_corrupted);
+  out += ",\"duplicated\":" + std::to_string(history.faults.duplicated);
+  out += ",\"delayed\":" + std::to_string(history.faults.delayed);
+  out += ",\"crash_suppressed\":" + std::to_string(history.faults.crash_suppressed) + "}";
+  out += ",\"server\":{\"accepted\":" + std::to_string(history.server.accepted);
+  out += ",\"rejected\":" + std::to_string(history.server.total_rejected());
+  out += ",\"rejected_nonfinite\":" + std::to_string(history.server.rejected_nonfinite);
+  out += ",\"quorum_failures\":" + std::to_string(history.server.quorum_failures) + "}";
+  out += ",\"mean_reward_curve\":";
+  append_double_array(out, history.mean_reward_curve());
+  out += ",\"clients\":[";
+  for (std::size_t i = 0; i < history.clients.size(); ++i) {
+    const ClientHistory& c = history.clients[i];
+    out += i == 0 ? "{" : ",{";
+    out += "\"joined_at_episode\":" + std::to_string(c.joined_at_episode);
+    out += ",\"uploads_sent\":" + std::to_string(c.uploads_sent);
+    out += ",\"downloads_applied\":" + std::to_string(c.downloads_applied);
+    out += ",\"downloads_rejected\":" + std::to_string(c.downloads_rejected);
+    out += ",\"rounds_crashed\":" + std::to_string(c.rounds_crashed);
+    out += ",\"max_staleness\":" + std::to_string(c.max_staleness);
+    out += ",\"episode_rewards\":";
+    append_double_array(out, c.episode_rewards);
+    out += ",\"critic_loss_before\":";
+    append_double_array(out, c.critic_loss_before);
+    out += ",\"critic_loss_after\":";
+    append_double_array(out, c.critic_loss_after);
+    out += ",\"round_diagnostics\":[";
+    for (std::size_t r = 0; r < c.round_diagnostics.size(); ++r) {
+      const rl::UpdateDiagnostics& d = c.round_diagnostics[r];
+      out += r == 0 ? "{" : ",{";
+      out += "\"entropy\":";
+      obs::json_number_append(out, d.policy_entropy);
+      out += ",\"approx_kl\":";
+      obs::json_number_append(out, d.approx_kl);
+      out += ",\"clip_fraction\":";
+      obs::json_number_append(out, d.clip_fraction);
+      out += ",\"explained_variance\":";
+      obs::json_number_append(out, d.explained_variance);
+      out += ",\"policy_grad_norm\":";
+      obs::json_number_append(out, d.policy_grad_norm);
+      out += ",\"critic_grad_norm\":";
+      obs::json_number_append(out, d.critic_grad_norm);
+      out += ",\"alpha\":";
+      obs::json_number_append(out, d.alpha);
+      out += ",\"local_critic_loss\":";
+      obs::json_number_append(out, d.local_critic_loss);
+      out += ",\"public_critic_loss\":";
+      obs::json_number_append(out, d.public_critic_loss);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "],\"attention_rounds\":[";
+  for (std::size_t i = 0; i < history.attention_rounds.size(); ++i) {
+    const AttentionRoundRecord& rec = history.attention_rounds[i];
+    out += i == 0 ? "{" : ",{";
+    out += "\"round\":" + std::to_string(rec.round);
+    out += ",\"participants\":[";
+    for (std::size_t p = 0; p < rec.participants.size(); ++p) {
+      if (p != 0) out += ',';
+      out += std::to_string(rec.participants[p]);
+    }
+    out += "],\"weights\":[";
+    for (std::size_t r = 0; r < rec.weights.rows(); ++r) {
+      out += r == 0 ? "[" : ",[";
+      for (std::size_t col = 0; col < rec.weights.cols(); ++col) {
+        if (col != 0) out += ',';
+        obs::json_number_append(out, rec.weights(r, col));
+      }
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
 
 FedTrainer::FedTrainer(FedTrainerConfig config, std::unique_ptr<Aggregator> aggregator,
                        std::vector<std::unique_ptr<FedClient>> clients)
@@ -87,6 +184,9 @@ void FedTrainer::step_round() {
     if (config_.faults.crashed(i, round_index_)) {
       crashed[i] = 1;
       ++history_.clients[i].rounds_crashed;
+      // Keep round_diagnostics aligned with the round counter: a crashed
+      // round contributes a default entry (the watchdog skips it).
+      history_.clients[i].round_diagnostics.emplace_back();
     }
 
   // --- Local training: "for each client n in parallel" (Algorithm 1). ---
@@ -97,10 +197,34 @@ void FedTrainer::step_round() {
       if (crashed[i]) return;
       const std::vector<rl::EpisodeStats> stats = clients_[i]->train_episodes(episodes);
       ClientHistory& h = history_.clients[i];
+      rl::UpdateDiagnostics mean;
+      mean.alpha = 0.0;  // accumulate from zero (the struct defaults to 1)
       for (const rl::EpisodeStats& s : stats) {
         h.episode_rewards.push_back(s.total_reward);
         h.episode_metrics.push_back(s.metrics);
+        mean.policy_entropy += s.update.policy_entropy;
+        mean.approx_kl += s.update.approx_kl;
+        mean.clip_fraction += s.update.clip_fraction;
+        mean.explained_variance += s.update.explained_variance;
+        mean.policy_grad_norm += s.update.policy_grad_norm;
+        mean.critic_grad_norm += s.update.critic_grad_norm;
+        mean.alpha += s.update.alpha;
+        mean.local_critic_loss += s.update.local_critic_loss;
+        mean.public_critic_loss += s.update.public_critic_loss;
       }
+      if (!stats.empty()) {
+        const double inv = 1.0 / static_cast<double>(stats.size());
+        mean.policy_entropy *= inv;
+        mean.approx_kl *= inv;
+        mean.clip_fraction *= inv;
+        mean.explained_variance *= inv;
+        mean.policy_grad_norm *= inv;
+        mean.critic_grad_norm *= inv;
+        mean.alpha *= inv;
+        mean.local_critic_loss *= inv;
+        mean.public_critic_loss *= inv;
+      }
+      h.round_diagnostics.push_back(mean);
     });
   }
   episodes_done_ += episodes;
@@ -108,6 +232,7 @@ void FedTrainer::step_round() {
   PFRL_GAUGE_SET("util/pool_inflight", pool_.inflight());
 
   if (!communication_enabled()) {
+    emit_round_event(round_index_, crashed, episodes);
     ++round_index_;
     PFRL_HISTOGRAM_RECORD("fed/round_latency_us", round_clock.seconds() * 1e6);
     return;
@@ -130,6 +255,16 @@ void FedTrainer::step_round() {
   std::vector<std::size_t> all(clients_.size());
   std::iota(all.begin(), all.end(), std::size_t{0});
   server_->run_round(*bus_, round_index_, all);
+
+  // Attention-based aggregators expose the round's weight matrix; keep it
+  // per round so reports can plot attention trajectories (Fig. 10-style).
+  if (server_->last_weights().rows() > 0) {
+    AttentionRoundRecord rec;
+    rec.round = round_index_;
+    rec.participants = server_->last_participants();
+    rec.weights = server_->last_weights();
+    history_.attention_rounds.push_back(std::move(rec));
+  }
 
   // --- Download phase. A missing or invalid download leaves the previous
   // model in place; the client keeps training on it (stale) and Eq. 15's
@@ -159,6 +294,7 @@ void FedTrainer::step_round() {
     history_.clients[i].critic_loss_after.push_back(clients_[i]->shared_critic_loss());
   }
 
+  emit_round_event(round_index_, crashed, episodes);
   ++round_index_;
   ++history_.rounds;
 
@@ -174,8 +310,69 @@ void FedTrainer::step_round() {
 }
 
 TrainingHistory FedTrainer::run() {
-  while (episodes_done_ < config_.total_episodes) step_round();
+  while (episodes_done_ < config_.total_episodes) {
+    step_round();
+    if (reporter_ && reporter_->abort_requested()) {
+      PFRL_LOG_WARN("FedTrainer: watchdog requested abort after round %llu; stopping",
+                    static_cast<unsigned long long>(round_index_));
+      break;
+    }
+  }
   return snapshot_history();
+}
+
+void FedTrainer::emit_round_event(std::uint64_t round, const std::vector<char>& crashed,
+                                  std::size_t episodes_this_round) {
+  if (!reporter_) return;
+  const bool comm = communication_enabled();
+  obs::LearningRoundEvent event;
+  event.round = round;
+  event.episodes_done = episodes_done_;
+  event.clients.reserve(clients_.size());
+  const AttentionRoundRecord* attention = nullptr;
+  if (comm && !history_.attention_rounds.empty() &&
+      history_.attention_rounds.back().round == round)
+    attention = &history_.attention_rounds.back();
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    const ClientHistory& h = history_.clients[i];
+    obs::ClientRoundDiagnostics c;
+    c.id = clients_[i]->id();
+    c.crashed = crashed[i] != 0;
+    c.episodes = c.crashed ? 0 : episodes_this_round;
+    if (c.episodes > 0) {
+      const std::size_t n = std::min(c.episodes, h.episode_rewards.size());
+      double sum = 0.0;
+      for (std::size_t e = h.episode_rewards.size() - n; e < h.episode_rewards.size(); ++e)
+        sum += h.episode_rewards[e];
+      c.mean_reward = n > 0 ? sum / static_cast<double>(n) : 0.0;
+    }
+    if (!h.round_diagnostics.empty()) {
+      const rl::UpdateDiagnostics& d = h.round_diagnostics.back();
+      c.policy_entropy = d.policy_entropy;
+      c.approx_kl = d.approx_kl;
+      c.clip_fraction = d.clip_fraction;
+      c.explained_variance = d.explained_variance;
+      c.policy_grad_norm = d.policy_grad_norm;
+      c.critic_grad_norm = d.critic_grad_norm;
+      c.alpha = d.alpha;
+      c.local_critic_loss = d.local_critic_loss;
+      c.public_critic_loss = d.public_critic_loss;
+    }
+    if (comm && !h.critic_loss_before.empty()) c.critic_loss_before = h.critic_loss_before.back();
+    if (comm && !h.critic_loss_after.empty()) c.critic_loss_after = h.critic_loss_after.back();
+    c.staleness = h.staleness;
+    if (attention != nullptr) {
+      for (std::size_t r = 0; r < attention->participants.size(); ++r) {
+        if (attention->participants[r] != c.id) continue;
+        c.attention_row.reserve(attention->participants.size());
+        for (std::size_t col = 0; col < attention->participants.size(); ++col)
+          c.attention_row.push_back(attention->weights(r, col));
+        break;
+      }
+    }
+    event.clients.push_back(std::move(c));
+  }
+  reporter_->record_round(event);
 }
 
 std::size_t FedTrainer::add_client(std::unique_ptr<FedClient> client) {

@@ -23,6 +23,7 @@
 #include "fed/client.hpp"
 #include "fed/fault.hpp"
 #include "fed/server.hpp"
+#include "obs/run_report.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -51,6 +52,11 @@ struct ClientHistory {
   /// Shared-critic loss right before/after applying each round's download.
   std::vector<double> critic_loss_before;
   std::vector<double> critic_loss_after;
+  /// Per-round learning diagnostics: the mean of rl::UpdateDiagnostics
+  /// over the round's local episodes. Rounds this client spent crashed
+  /// contribute a default-constructed entry so indices stay aligned with
+  /// the round counter.
+  std::vector<rl::UpdateDiagnostics> round_diagnostics;
   /// Episode index (global) at which this client joined.
   std::size_t joined_at_episode = 0;
 
@@ -67,6 +73,16 @@ struct ClientHistory {
   std::size_t max_staleness = 0;
 };
 
+/// The attention-weight matrix one aggregation round produced (Alg. 1,
+/// Eqs. 18–22): weights(r, c) is how much participant r's personalized
+/// model drew from participant c's upload. `participants` maps rows and
+/// columns to client ids.
+struct AttentionRoundRecord {
+  std::uint64_t round = 0;
+  std::vector<int> participants;
+  nn::Matrix weights;
+};
+
 struct TrainingHistory {
   std::vector<ClientHistory> clients;
   std::size_t rounds = 0;
@@ -76,11 +92,19 @@ struct TrainingHistory {
   FaultCounters faults;
   /// Server-side upload validation outcomes.
   ServerStats server;
+  /// Attention matrices per aggregation round (empty for non-attention
+  /// aggregators, which report no weights).
+  std::vector<AttentionRoundRecord> attention_rounds;
 
   /// Mean reward across clients at each episode (clients that had not
   /// joined yet are skipped) — the curves of Figs. 8, 15.
   std::vector<double> mean_reward_curve() const;
 };
+
+/// Renders a TrainingHistory as a self-contained JSON object — the
+/// `history` field of a run directory's summary.json (rendered here so
+/// obs::RunReporter stays independent of fed types).
+std::string training_history_json(const TrainingHistory& history);
 
 class FedTrainer {
  public:
@@ -109,9 +133,18 @@ class FedTrainer {
   const TrainingHistory& history() const { return history_; }
   TrainingHistory snapshot_history() const;
 
+  /// Attaches a run reporter (not owned; may be null to detach). Every
+  /// step_round then emits a LearningRoundEvent, and run() stops at the
+  /// next round boundary when the reporter's watchdog requests an abort.
+  void set_reporter(obs::RunReporter* reporter) { reporter_ = reporter; }
+  obs::RunReporter* reporter() { return reporter_; }
+
  private:
   bool communication_enabled() const;
   std::vector<std::size_t> pick_participants();
+  /// Builds and records this round's LearningRoundEvent (reporter set).
+  void emit_round_event(std::uint64_t round, const std::vector<char>& crashed,
+                        std::size_t episodes_this_round);
 
   FedTrainerConfig config_;
   std::unique_ptr<FedServer> server_;
@@ -121,6 +154,7 @@ class FedTrainer {
   util::Rng rng_;
   util::ThreadPool pool_;
   TrainingHistory history_;
+  obs::RunReporter* reporter_ = nullptr;
   std::size_t episodes_done_ = 0;  // episodes completed by the oldest client
   std::uint64_t round_index_ = 0;
 };

@@ -16,5 +16,6 @@
 
 #include "obs/metrics.hpp"      // IWYU pragma: export
 #include "obs/perf_record.hpp"  // IWYU pragma: export
+#include "obs/run_report.hpp"   // IWYU pragma: export
 #include "obs/sinks.hpp"        // IWYU pragma: export
 #include "obs/trace.hpp"        // IWYU pragma: export

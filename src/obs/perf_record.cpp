@@ -1,45 +1,13 @@
 #include "obs/perf_record.hpp"
 
 #include <chrono>
-#include <cmath>
-#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 #include <thread>
 
+#include "obs/run_report.hpp"  // shared json_escape_append / json_number_append
+
 namespace pfrl::obs {
-
-namespace {
-
-void append_escaped(std::string& out, const std::string& text) {
-  out += '"';
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20)
-          out += ' ';
-        else
-          out += c;
-    }
-  }
-  out += '"';
-}
-
-void append_number(std::string& out, double value) {
-  if (!std::isfinite(value)) {
-    out += "null";
-    return;
-  }
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  out += buf;
-}
-
-}  // namespace
 
 PerfRecord::PerfRecord(std::string bench_name) : name_(std::move(bench_name)) {
   timestamp_unix_ = std::chrono::duration_cast<std::chrono::seconds>(
@@ -77,7 +45,7 @@ std::string PerfRecord::to_json() const {
   std::string out;
   out.reserve(256 + metrics_.size() * 96);
   out += "{\n  \"schema\": \"pfrl-perf/1\",\n  \"name\": ";
-  append_escaped(out, name_);
+  json_escape_append(out, name_);
   out += ",\n  \"timestamp_unix\": " + std::to_string(timestamp_unix_);
   out += ",\n  \"host\": {\"threads\": " + std::to_string(host_threads_) + "}";
   out += ",\n  \"metrics\": [";
@@ -85,16 +53,16 @@ std::string PerfRecord::to_json() const {
     const PerfMetric& m = metrics_[i];
     out += i == 0 ? "\n" : ",\n";
     out += "    {\"name\": ";
-    append_escaped(out, m.name);
+    json_escape_append(out, m.name);
     out += ", \"value\": ";
-    append_number(out, m.value);
+    json_number_append(out, m.value);
     out += ", \"unit\": ";
-    append_escaped(out, m.unit);
+    json_escape_append(out, m.unit);
     for (const auto& [key, value] : m.extra) {
       out += ", ";
-      append_escaped(out, key);
+      json_escape_append(out, key);
       out += ": ";
-      append_number(out, value);
+      json_number_append(out, value);
     }
     out += "}";
   }

@@ -1,0 +1,340 @@
+#include "obs/run_report.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace pfrl::obs {
+
+void json_escape_append(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += ' ';
+        else
+          out += c;
+    }
+  }
+  out += '"';
+}
+
+void json_number_append(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+BuildInfo BuildInfo::current() {
+  BuildInfo info;
+#ifdef PFRL_GIT_DESCRIBE
+  info.git_describe = PFRL_GIT_DESCRIBE;
+#else
+  info.git_describe = "unknown";
+#endif
+#ifdef PFRL_BUILD_TYPE
+  info.build_type = PFRL_BUILD_TYPE;
+#else
+  info.build_type = "unknown";
+#endif
+#if defined(__clang__)
+  info.compiler = "clang " __clang_version__;
+#elif defined(__GNUC__)
+  info.compiler = "gcc " __VERSION__;
+#else
+  info.compiler = "unknown";
+#endif
+  return info;
+}
+
+namespace {
+
+std::int64_t unix_now() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void append_kv(std::string& out, const char* key, double value, bool* first = nullptr) {
+  if (first != nullptr) {
+    if (!*first) out += ',';
+    *first = false;
+  } else {
+    out += ',';
+  }
+  out += '"';
+  out += key;
+  out += "\":";
+  json_number_append(out, value);
+}
+
+void append_alert(std::string& out, const WatchdogAlert& a) {
+  out += "{\"round\":" + std::to_string(a.round);
+  out += ",\"client\":" + std::to_string(a.client);
+  out += ",\"kind\":";
+  json_escape_append(out, a.kind);
+  out += ",\"detail\":";
+  json_escape_append(out, a.detail);
+  out += '}';
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open())
+    throw std::runtime_error("RunReporter: cannot open " + path + " for writing");
+  out << content;
+}
+
+void append_metrics_snapshot(std::string& out, const Report& report) {
+  out += "{\"counters\":[";
+  for (std::size_t i = 0; i < report.metrics.counters.size(); ++i) {
+    const CounterSample& c = report.metrics.counters[i];
+    out += i == 0 ? "{" : ",{";
+    out += "\"name\":";
+    json_escape_append(out, c.name);
+    out += ",\"value\":" + std::to_string(c.value) + "}";
+  }
+  out += "],\"gauges\":[";
+  for (std::size_t i = 0; i < report.metrics.gauges.size(); ++i) {
+    const GaugeSample& g = report.metrics.gauges[i];
+    out += i == 0 ? "{" : ",{";
+    out += "\"name\":";
+    json_escape_append(out, g.name);
+    out += ",\"value\":";
+    json_number_append(out, g.value);
+    out += "}";
+  }
+  out += "],\"histograms\":[";
+  for (std::size_t i = 0; i < report.metrics.histograms.size(); ++i) {
+    const HistogramSample& h = report.metrics.histograms[i];
+    out += i == 0 ? "{" : ",{";
+    out += "\"name\":";
+    json_escape_append(out, h.name);
+    out += ",\"count\":" + std::to_string(h.count);
+    append_kv(out, "sum", h.sum);
+    append_kv(out, "p50", h.p50);
+    append_kv(out, "p95", h.p95);
+    append_kv(out, "p99", h.p99);
+    out += "}";
+  }
+  out += "],\"spans\":[";
+  for (std::size_t i = 0; i < report.spans.size(); ++i) {
+    const SpanAggregate& s = report.spans[i];
+    out += i == 0 ? "{" : ",{";
+    out += "\"name\":";
+    json_escape_append(out, s.name);
+    out += ",\"calls\":" + std::to_string(s.count);
+    append_kv(out, "total_ms", s.total_ms());
+    append_kv(out, "mean_us", s.mean_us());
+    out += "}";
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+RunReporter::RunReporter(std::string dir, RunManifest manifest, WatchdogConfig watchdog)
+    : dir_(std::move(dir)),
+      manifest_(std::move(manifest)),
+      watchdog_(watchdog),
+      build_(BuildInfo::current()),
+      started_unix_(unix_now()) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec && !std::filesystem::is_directory(dir_))
+    throw std::runtime_error("RunReporter: cannot create run directory " + dir_ + ": " +
+                             ec.message());
+  write_manifest("running");
+  const std::string learning_path = (std::filesystem::path(dir_) / "learning.jsonl").string();
+  learning_.open(learning_path, std::ios::trunc);
+  if (!learning_.is_open())
+    throw std::runtime_error("RunReporter: cannot open " + learning_path + " for writing");
+}
+
+RunReporter::~RunReporter() {
+  if (finalized_) return;
+  try {
+    finalize(capture_report(), {});
+  } catch (const std::exception&) {
+    // Destructor finalization is best-effort (e.g. disk full mid-run).
+  }
+}
+
+void RunReporter::write_manifest(const char* status) {
+  std::string out;
+  out.reserve(1024);
+  out += "{\n  \"schema\": \"pfrl-run/1\",\n  \"name\": ";
+  json_escape_append(out, manifest_.run_name);
+  out += ",\n  \"algorithm\": ";
+  json_escape_append(out, manifest_.algorithm);
+  out += ",\n  \"seed\": " + std::to_string(manifest_.seed);
+  out += ",\n  \"episodes\": " + std::to_string(manifest_.episodes);
+  out += ",\n  \"clients\": " + std::to_string(manifest_.clients);
+  out += ",\n  \"started_unix\": " + std::to_string(started_unix_);
+  out += ",\n  \"build\": {\"git_describe\": ";
+  json_escape_append(out, build_.git_describe);
+  out += ", \"build_type\": ";
+  json_escape_append(out, build_.build_type);
+  out += ", \"compiler\": ";
+  json_escape_append(out, build_.compiler);
+  out += "},\n  \"config\": {";
+  for (std::size_t i = 0; i < manifest_.config.size(); ++i) {
+    out += i == 0 ? "" : ", ";
+    json_escape_append(out, manifest_.config[i].first);
+    out += ": ";
+    json_escape_append(out, manifest_.config[i].second);
+  }
+  out += "},\n  \"watchdog\": {\"min_policy_entropy\": ";
+  json_number_append(out, watchdog_.min_policy_entropy);
+  out += ", \"max_approx_kl\": ";
+  json_number_append(out, watchdog_.max_approx_kl);
+  out += ", \"min_explained_variance\": ";
+  json_number_append(out, watchdog_.min_explained_variance);
+  out += ", \"warmup_rounds\": " + std::to_string(watchdog_.warmup_rounds);
+  out += ", \"abort_on_alert\": ";
+  out += watchdog_.abort_on_alert ? "true" : "false";
+  out += "},\n  \"status\": ";
+  json_escape_append(out, status);
+  out += ",\n  \"rounds_recorded\": " + std::to_string(rounds_recorded_);
+  out += ",\n  \"alerts\": [";
+  for (std::size_t i = 0; i < alerts_.size(); ++i) {
+    out += i == 0 ? "" : ",";
+    append_alert(out, alerts_[i]);
+  }
+  out += "]\n}\n";
+  write_file((std::filesystem::path(dir_) / "manifest.json").string(), out);
+}
+
+void RunReporter::add_alert(std::uint64_t round, int client, const char* kind,
+                            std::string detail) {
+  WatchdogAlert alert;
+  alert.round = round;
+  alert.client = client;
+  alert.kind = kind;
+  alert.detail = std::move(detail);
+  alerts_.push_back(std::move(alert));
+  if (watchdog_.abort_on_alert) abort_requested_ = true;
+}
+
+void RunReporter::check_round(const LearningRoundEvent& event) {
+  const std::size_t before = alerts_.size();
+  for (const ClientRoundDiagnostics& c : event.clients) {
+    if (c.crashed || c.episodes == 0) continue;  // no update happened
+    const bool finite =
+        std::isfinite(c.mean_reward) && std::isfinite(c.policy_entropy) &&
+        std::isfinite(c.approx_kl) && std::isfinite(c.clip_fraction) &&
+        std::isfinite(c.explained_variance) && std::isfinite(c.policy_grad_norm) &&
+        std::isfinite(c.critic_grad_norm) && std::isfinite(c.alpha) &&
+        std::isfinite(c.local_critic_loss) && std::isfinite(c.public_critic_loss);
+    if (!finite) {
+      add_alert(event.round, c.id, "non_finite",
+                "non-finite learning signal (diverged update)");
+      continue;  // the remaining thresholds are meaningless on NaNs
+    }
+    if (c.approx_kl > watchdog_.max_approx_kl) {
+      std::string detail = "approx_kl ";
+      json_number_append(detail, c.approx_kl);
+      detail += " > ";
+      json_number_append(detail, watchdog_.max_approx_kl);
+      add_alert(event.round, c.id, "kl_blowup", std::move(detail));
+    }
+    if (event.round >= watchdog_.warmup_rounds) {
+      if (c.policy_entropy < watchdog_.min_policy_entropy) {
+        std::string detail = "policy_entropy ";
+        json_number_append(detail, c.policy_entropy);
+        detail += " < ";
+        json_number_append(detail, watchdog_.min_policy_entropy);
+        add_alert(event.round, c.id, "entropy_collapse", std::move(detail));
+      }
+      if (c.explained_variance < watchdog_.min_explained_variance) {
+        std::string detail = "explained_variance ";
+        json_number_append(detail, c.explained_variance);
+        detail += " < ";
+        json_number_append(detail, watchdog_.min_explained_variance);
+        add_alert(event.round, c.id, "ev_crater", std::move(detail));
+      }
+    }
+  }
+  // Alerts land in the manifest immediately so a run killed right after a
+  // divergence still explains itself.
+  if (alerts_.size() != before) write_manifest("running");
+}
+
+void RunReporter::record_round(const LearningRoundEvent& event) {
+  if (finalized_)
+    throw std::logic_error("RunReporter: record_round after finalize");
+  std::string line;
+  line.reserve(256 + event.clients.size() * 256);
+  line += "{\"round\":" + std::to_string(event.round);
+  line += ",\"episodes\":" + std::to_string(event.episodes_done);
+  line += ",\"clients\":[";
+  for (std::size_t i = 0; i < event.clients.size(); ++i) {
+    const ClientRoundDiagnostics& c = event.clients[i];
+    line += i == 0 ? "{" : ",{";
+    line += "\"id\":" + std::to_string(c.id);
+    line += ",\"crashed\":";
+    line += c.crashed ? "true" : "false";
+    line += ",\"episodes\":" + std::to_string(c.episodes);
+    append_kv(line, "reward", c.mean_reward);
+    append_kv(line, "entropy", c.policy_entropy);
+    append_kv(line, "approx_kl", c.approx_kl);
+    append_kv(line, "clip_fraction", c.clip_fraction);
+    append_kv(line, "explained_variance", c.explained_variance);
+    append_kv(line, "policy_grad_norm", c.policy_grad_norm);
+    append_kv(line, "critic_grad_norm", c.critic_grad_norm);
+    append_kv(line, "alpha", c.alpha);
+    append_kv(line, "local_critic_loss", c.local_critic_loss);
+    append_kv(line, "public_critic_loss", c.public_critic_loss);
+    append_kv(line, "critic_loss_before", c.critic_loss_before);
+    append_kv(line, "critic_loss_after", c.critic_loss_after);
+    line += ",\"staleness\":" + std::to_string(c.staleness);
+    line += ",\"attention\":[";
+    for (std::size_t j = 0; j < c.attention_row.size(); ++j) {
+      if (j != 0) line += ',';
+      json_number_append(line, c.attention_row[j]);
+    }
+    line += "]}";
+  }
+  line += "]}\n";
+  learning_ << line;
+  learning_.flush();
+  ++rounds_recorded_;
+  check_round(event);
+}
+
+void RunReporter::finalize(const Report& report, std::string_view history_json) {
+  if (finalized_) return;
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema\": \"pfrl-run-summary/1\",\n  \"rounds_recorded\": " +
+         std::to_string(rounds_recorded_);
+  out += ",\n  \"aborted\": ";
+  out += abort_requested_ ? "true" : "false";
+  out += ",\n  \"alerts\": [";
+  for (std::size_t i = 0; i < alerts_.size(); ++i) {
+    out += i == 0 ? "" : ",";
+    append_alert(out, alerts_[i]);
+  }
+  out += "],\n  \"history\": ";
+  out += history_json.empty() ? std::string("null") : std::string(history_json);
+  out += ",\n  \"metrics\": ";
+  append_metrics_snapshot(out, report);
+  out += "\n}\n";
+  write_file((std::filesystem::path(dir_) / "summary.json").string(), out);
+  learning_.flush();
+  finalized_ = true;  // set before write_manifest so a throw there cannot recurse
+  write_manifest(abort_requested_ ? "aborted" : "completed");
+}
+
+}  // namespace pfrl::obs

@@ -1,0 +1,180 @@
+// Run reporter: the learning-telemetry sink that makes a training run
+// explain itself after the fact.
+//
+// A RunReporter owns one run directory:
+//   <dir>/manifest.json   — who/what/when: run name, algorithm, seed,
+//                           git describe + build flags, config echo,
+//                           watchdog thresholds, status, fired alerts;
+//   <dir>/learning.jsonl  — one line per communication round with every
+//                           client's learning diagnostics (entropy,
+//                           approx-KL, clip fraction, explained variance,
+//                           grad norms, α, critic losses, staleness) and
+//                           the attention-weight row it received;
+//   <dir>/summary.json    — written by finalize(): fired alerts + the
+//                           caller's TrainingHistory JSON + a metrics/
+//                           span snapshot of the obs registry.
+//
+// The divergence watchdog inspects every recorded round and raises
+// alerts for non-finite signals, entropy collapse, approx-KL blowup and
+// explained-variance cratering against configurable thresholds. Alerts
+// are recorded into the manifest immediately (crash-safe) and, with
+// `abort_on_alert`, flip `abort_requested()` so the training loop can
+// stop a diverged run instead of burning the remaining episodes.
+//
+// Layering: obs knows nothing about fed/rl types — callers translate
+// their round state into LearningRoundEvent and pass their history as a
+// pre-rendered JSON fragment. tools/pfrl_report.py renders a run
+// directory into a human-readable report.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/sinks.hpp"
+
+namespace pfrl::obs {
+
+// Minimal JSON building blocks shared by the run reporter, the perf
+// record writer, and the fed-layer history serializer.
+/// Appends `text` as a quoted, escaped JSON string.
+void json_escape_append(std::string& out, std::string_view text);
+/// Appends a JSON number; non-finite values become null (JSON has no NaN).
+void json_number_append(std::string& out, double value);
+
+/// Identity of a training run, echoed into manifest.json.
+struct RunManifest {
+  std::string run_name;
+  std::string algorithm;
+  std::uint64_t seed = 0;
+  std::size_t episodes = 0;
+  std::size_t clients = 0;
+  /// Free-form config echo, written as a string→string JSON object
+  /// ("table": "3", "preset.0": "Google", ...).
+  std::vector<std::pair<std::string, std::string>> config;
+};
+
+/// Compile-time build facts for the manifest (git describe and the build
+/// type are injected by CMake; the compiler string comes from the
+/// translation unit).
+struct BuildInfo {
+  std::string git_describe;
+  std::string build_type;
+  std::string compiler;
+
+  static BuildInfo current();
+};
+
+/// One client's learning signals for one communication round. Field
+/// names mirror rl::UpdateDiagnostics; obs stays independent of rl.
+struct ClientRoundDiagnostics {
+  int id = 0;
+  /// True when the client sat the round out inside a crash window; the
+  /// watchdog skips crashed rows (no update happened).
+  bool crashed = false;
+  std::size_t episodes = 0;
+  double mean_reward = 0.0;
+  double policy_entropy = 0.0;
+  double approx_kl = 0.0;
+  double clip_fraction = 0.0;
+  double explained_variance = 0.0;
+  double policy_grad_norm = 0.0;
+  double critic_grad_norm = 0.0;
+  double alpha = 1.0;
+  double local_critic_loss = 0.0;
+  double public_critic_loss = 0.0;
+  /// Shared-critic loss right before/after the round's download landed.
+  double critic_loss_before = 0.0;
+  double critic_loss_after = 0.0;
+  std::size_t staleness = 0;
+  /// Attention weights this client received from the aggregator this
+  /// round (row of Alg. 1's W, Eqs. 18–22); empty when the client did not
+  /// participate or the aggregator reports no weights.
+  std::vector<double> attention_row;
+};
+
+/// One learning.jsonl line.
+struct LearningRoundEvent {
+  std::uint64_t round = 0;
+  std::size_t episodes_done = 0;
+  std::vector<ClientRoundDiagnostics> clients;
+};
+
+/// Divergence-watchdog thresholds. Entropy and explained-variance checks
+/// only start after `warmup_rounds` (both signals are legitimately poor
+/// while the critics are cold).
+struct WatchdogConfig {
+  /// Mean policy entropy below this is flagged as entropy collapse.
+  double min_policy_entropy = 1e-3;
+  /// Approx-KL above this is flagged as a step-size blowup.
+  double max_approx_kl = 1.0;
+  /// Explained variance below this (well under "uninformative") is
+  /// flagged as cratering.
+  double min_explained_variance = -1.0;
+  std::size_t warmup_rounds = 3;
+  /// When true, any alert flips abort_requested(); the training loop is
+  /// expected to stop at the next round boundary.
+  bool abort_on_alert = false;
+};
+
+struct WatchdogAlert {
+  std::uint64_t round = 0;
+  int client = 0;
+  /// "non_finite" | "entropy_collapse" | "kl_blowup" | "ev_crater".
+  std::string kind;
+  std::string detail;
+};
+
+class RunReporter {
+ public:
+  /// Creates `dir` (and parents) and writes the initial manifest.json.
+  /// Throws std::runtime_error when the directory or files cannot be
+  /// created.
+  RunReporter(std::string dir, RunManifest manifest, WatchdogConfig watchdog = {});
+
+  /// Finalizes with whatever has been recorded if finalize() was never
+  /// called (so an aborted run still leaves a complete manifest).
+  ~RunReporter();
+
+  RunReporter(const RunReporter&) = delete;
+  RunReporter& operator=(const RunReporter&) = delete;
+
+  const std::string& dir() const { return dir_; }
+
+  /// Appends one learning.jsonl line (flushed immediately, so a crashed
+  /// run keeps every completed round) and runs the watchdog over it.
+  void record_round(const LearningRoundEvent& event);
+
+  const std::vector<WatchdogAlert>& alerts() const { return alerts_; }
+  bool abort_requested() const { return abort_requested_; }
+  std::uint64_t rounds_recorded() const { return rounds_recorded_; }
+
+  /// Writes summary.json (alerts + `history_json` + the metrics/span
+  /// snapshot in `report`) and rewrites manifest.json with final status.
+  /// `history_json` must be a complete JSON value (object) or empty.
+  void finalize(const Report& report, std::string_view history_json);
+  bool finalized() const { return finalized_; }
+
+  const WatchdogConfig& watchdog() const { return watchdog_; }
+
+ private:
+  void write_manifest(const char* status);
+  void check_round(const LearningRoundEvent& event);
+  void add_alert(std::uint64_t round, int client, const char* kind, std::string detail);
+
+  std::string dir_;
+  RunManifest manifest_;
+  WatchdogConfig watchdog_;
+  BuildInfo build_;
+  std::int64_t started_unix_ = 0;
+  std::ofstream learning_;
+  std::vector<WatchdogAlert> alerts_;
+  std::uint64_t rounds_recorded_ = 0;
+  bool abort_requested_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace pfrl::obs

@@ -201,6 +201,12 @@ std::vector<SpanEvent> parse_jsonl_events(const std::string& path) {
   std::ifstream in(path);
   std::string line;
   while (std::getline(in, line)) {
+    // A process killed mid-write leaves a truncated final line. Without a
+    // closing brace the record is incomplete — and worse, a numeric field
+    // cut short ("dur_us":12 truncated from 1234) still parses, silently
+    // yielding a wrong value. Require the terminator before extracting.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+    if (line.empty() || line.back() != '}') continue;
     SpanEvent e;
     std::uint64_t depth = 0;
     if (!extract_string(line, "name", e.name)) continue;

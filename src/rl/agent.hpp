@@ -1,6 +1,7 @@
 // Agent-facing abstractions shared by PPO variants and the federated layer.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <span>
 
@@ -29,10 +30,58 @@ struct PpoConfig {
   std::uint64_t seed = 1;
 };
 
+/// Learning-health signals of one PPO update, computed on the update
+/// path's existing workspaces (scalar accumulators only, so enabling them
+/// costs no heap allocations). These are the per-update policy statistics
+/// that make RL schedulers debuggable at scale (arXiv:2503.00537) and the
+/// paper's personalization signals (α of Eq. 15, the dual critic losses
+/// of Eqs. 16–17) observable per client.
+struct UpdateDiagnostics {
+  /// Mean policy entropy (nats) over the batch, measured in the last
+  /// update epoch. Collapse toward 0 means a prematurely deterministic
+  /// policy; the watchdog flags it.
+  double policy_entropy = 0.0;
+  /// Mean of log π_old(a|s) − log π(a|s) in the last epoch: the standard
+  /// sample estimate of KL(π_old ‖ π) between the collection-time policy
+  /// and the updated one. Blowups mean the clipped objective lost control
+  /// of the step size.
+  double approx_kl = 0.0;
+  /// Fraction of samples whose importance ratio left [1−ε, 1+ε] in the
+  /// last epoch.
+  double clip_fraction = 0.0;
+  /// 1 − Var(returns − V)/Var(returns) with the rollout-time value
+  /// estimates. 1 = perfect value function, 0 = no better than the mean,
+  /// large negative = actively wrong (the cratering the watchdog flags).
+  double explained_variance = 0.0;
+  /// L2 norms of the accumulated actor / critic gradients right before
+  /// the optimizer step of the last epoch (pre-clipping).
+  double policy_grad_norm = 0.0;
+  double critic_grad_norm = 0.0;
+  /// Eq. 15 mixing weight after the update; 1.0 for single-critic agents
+  /// (the value function is entirely local).
+  double alpha = 1.0;
+  /// Buffer MSE of the local critic φ; for single-critic agents this is
+  /// the only critic loss.
+  double local_critic_loss = 0.0;
+  /// Buffer MSE of the public critic ψ; 0 for single-critic agents.
+  double public_critic_loss = 0.0;
+
+  bool all_finite() const {
+    return std::isfinite(policy_entropy) && std::isfinite(approx_kl) &&
+           std::isfinite(clip_fraction) && std::isfinite(explained_variance) &&
+           std::isfinite(policy_grad_norm) && std::isfinite(critic_grad_norm) &&
+           std::isfinite(alpha) && std::isfinite(local_critic_loss) &&
+           std::isfinite(public_critic_loss);
+  }
+};
+
 /// Outcome of one training or evaluation episode.
 struct EpisodeStats {
   double total_reward = 0.0;
   sim::EpisodeMetrics metrics;
+  /// Filled by training episodes of PPO agents; default for evaluation
+  /// rollouts and non-learning agents.
+  UpdateDiagnostics update;
 };
 
 /// Minimal polymorphic agent interface (the federated client holds

@@ -50,10 +50,21 @@ void DualCriticPpoAgent::update_critics(const nn::Matrix& states,
         ws_value_grad_(i, 0) = 2.0F * inv_n * (v(i, 0) - returns[i]);
       net->zero_grad();
       net->backward_batch(ws_value_grad_);
+      // Telemetry reports the *local* critic's gradient norm: φ never
+      // leaves the client, so its gradients are the per-client learning
+      // signal (ψ's direction is dominated by aggregation anyway).
+      if (epoch + 1 == config_.update_epochs && net == &critic_)
+        diagnostics_.critic_grad_norm = grad_l2_norm(*net);
       (net == &critic_ ? critic_opt_ : public_critic_opt_).step();
     }
   }
   refresh_alpha();
+}
+
+void DualCriticPpoAgent::fill_value_diagnostics() {
+  diagnostics_.alpha = alpha_;
+  diagnostics_.local_critic_loss = last_local_loss_;
+  diagnostics_.public_critic_loss = last_public_loss_;
 }
 
 void DualCriticPpoAgent::load_public_critic(std::span<const float> flat) {

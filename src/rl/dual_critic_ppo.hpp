@@ -51,6 +51,8 @@ class DualCriticPpoAgent final : public PpoAgent {
     refresh_alpha();
   }
   void update_critics(const nn::Matrix& states, std::span<const float> returns) override;
+  /// Reports the Eq. 15 mixture: α plus both critics' buffer losses.
+  void fill_value_diagnostics() override;
 
  private:
   void refresh_alpha();

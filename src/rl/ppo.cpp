@@ -100,6 +100,7 @@ EpisodeStats PpoAgent::train_episode(env::Env& environment) {
   if (const auto* source = dynamic_cast<const env::MetricsSource*>(&environment))
     stats.metrics = source->metrics();
   update(buffer);
+  stats.update = diagnostics_;
   return stats;
 }
 
@@ -168,6 +169,33 @@ void PpoAgent::update(const RolloutBuffer& buffer) {
   const RolloutBuffer::GaeResult gae =
       buffer.compute_gae(config_.gamma, config_.gae_lambda, config_.normalize_advantages);
 
+  diagnostics_ = UpdateDiagnostics{};
+  // Explained variance of the rollout-time value estimates against the
+  // regression targets — how much of the return signal the value function
+  // already captured when the advantages were formed.
+  {
+    const auto& transitions = buffer.transitions();
+    const double n = static_cast<double>(buffer.size());
+    double ret_mean = 0.0;
+    double err_mean = 0.0;
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      ret_mean += static_cast<double>(gae.returns[i]);
+      err_mean += static_cast<double>(gae.returns[i]) - static_cast<double>(transitions[i].value);
+    }
+    ret_mean /= n;
+    err_mean /= n;
+    double ret_var = 0.0;
+    double err_var = 0.0;
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      const double r = static_cast<double>(gae.returns[i]) - ret_mean;
+      const double e = static_cast<double>(gae.returns[i]) -
+                       static_cast<double>(transitions[i].value) - err_mean;
+      ret_var += r * r;
+      err_var += e * e;
+    }
+    diagnostics_.explained_variance = ret_var > 1e-12 ? 1.0 - err_var / ret_var : 0.0;
+  }
+
   // Stash the buffer first: subclasses re-evaluate critics on the current
   // trajectories whenever parameters change (Eq. 15).
   last_buffer_ = buffer;
@@ -177,6 +205,7 @@ void PpoAgent::update(const RolloutBuffer& buffer) {
   // Monte-Carlo returns once, instead of rebuilding both per call.
   buffer.compute_returns_into(config_.gamma, ws_mc_returns_);
   last_critic_loss_ = critic_loss_on(critic_, ws_states_, ws_mc_returns_);
+  fill_value_diagnostics();
 }
 
 void PpoAgent::update_actor(const RolloutBuffer& buffer, const nn::Matrix& states,
@@ -198,6 +227,14 @@ void PpoAgent::update_actor(const RolloutBuffer& buffer, const nn::Matrix& state
     const nn::Matrix& log_probs = ws_log_probs_;
     const nn::Matrix& probs = ws_probs_;
 
+    // Diagnostics are measured once, in the last epoch, where the policy
+    // has drifted furthest from the collection-time snapshot. Scalar
+    // accumulators only — the diagnostics add no allocations.
+    const bool diag_epoch = epoch + 1 == config_.update_epochs;
+    double diag_entropy = 0.0;
+    double diag_kl = 0.0;
+    std::size_t diag_clipped = 0;
+
     // dL/dlogits for L = -(1/N) Σ [min(rA, clip(r)A) + c_H H].
     ws_actor_grad_.resize(logits.rows(), logits.cols());
     ws_actor_grad_.zero();
@@ -207,6 +244,18 @@ void PpoAgent::update_actor(const RolloutBuffer& buffer, const nn::Matrix& state
       const float adv = advantages[i];
       const float ratio =
           std::exp(log_probs(i, static_cast<std::size_t>(a)) - transitions[i].log_prob);
+
+      if (diag_epoch) {
+        const auto p_row = probs.row(i);
+        const auto lp_row = log_probs.row(i);
+        double entropy = 0.0;
+        for (std::size_t j = 0; j < p_row.size(); ++j)
+          entropy -= static_cast<double>(p_row[j]) * static_cast<double>(lp_row[j]);
+        diag_entropy += entropy;
+        diag_kl += static_cast<double>(transitions[i].log_prob) -
+                   static_cast<double>(log_probs(i, static_cast<std::size_t>(a)));
+        if (std::abs(ratio - 1.0F) > config_.clip_epsilon) ++diag_clipped;
+      }
 
       // The clipped branch is active (zero gradient) when the ratio moved
       // past the clip boundary in the advantage's direction.
@@ -249,6 +298,13 @@ void PpoAgent::update_actor(const RolloutBuffer& buffer, const nn::Matrix& state
     actor_.backward_batch(grad);
     if (proximal_mu_ > 0.0F && !proximal_actor_anchor_.empty())
       apply_proximal_gradient(actor_, proximal_actor_anchor_);
+    if (diag_epoch) {
+      diagnostics_.policy_entropy = diag_entropy / static_cast<double>(n);
+      diagnostics_.approx_kl = diag_kl / static_cast<double>(n);
+      diagnostics_.clip_fraction =
+          static_cast<double>(diag_clipped) / static_cast<double>(n);
+      diagnostics_.policy_grad_norm = grad_l2_norm(actor_);
+    }
     actor_opt_.step();
   }
 }
@@ -264,8 +320,25 @@ void PpoAgent::update_critics(const nn::Matrix& states, std::span<const float> r
     critic_.backward_batch(ws_value_grad_);
     if (proximal_mu_ > 0.0F && !proximal_critic_anchor_.empty())
       apply_proximal_gradient(critic_, proximal_critic_anchor_);
+    if (epoch + 1 == config_.update_epochs)
+      diagnostics_.critic_grad_norm = grad_l2_norm(critic_);
     critic_opt_.step();
   }
+}
+
+double PpoAgent::grad_l2_norm(const nn::Mlp& net) {
+  double acc = 0.0;
+  for (const nn::Param* p : net.params())
+    for (const float g : p->grad.flat()) acc += static_cast<double>(g) * g;
+  return std::sqrt(acc);
+}
+
+void PpoAgent::fill_value_diagnostics() {
+  // Single critic: the value function is entirely local (α = 1 in the
+  // Eq. 14 reading) and last_critic_loss_ is the only critic loss.
+  diagnostics_.alpha = 1.0;
+  diagnostics_.local_critic_loss = last_critic_loss_;
+  diagnostics_.public_critic_loss = 0.0;
 }
 
 void PpoAgent::apply_proximal_gradient(nn::Mlp& net, const std::vector<float>& anchor) const {

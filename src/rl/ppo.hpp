@@ -75,6 +75,11 @@ class PpoAgent : public Agent {
   /// Mean critic loss on the most recently collected episode buffer.
   double last_critic_loss() const { return last_critic_loss_; }
 
+  /// Learning-health signals of the most recent update() call (telemetry
+  /// for the run reporter and the divergence watchdog). Value-initialized
+  /// until the first update.
+  const UpdateDiagnostics& last_update_diagnostics() const { return diagnostics_; }
+
   /// FedProx-style proximal regularization (Li et al., MLSys'20): adds
   /// μ·(θ − anchor) to actor and critic gradients during updates, pulling
   /// local training toward the last global model. Anchors must match the
@@ -106,6 +111,14 @@ class PpoAgent : public Agent {
   /// in the buffer" step of §4.3).
   const RolloutBuffer& last_buffer() const { return last_buffer_; }
 
+  /// Fills the value-function fields of `diagnostics_` at the end of
+  /// update(): α and the per-critic losses (overridden by the dual-critic
+  /// variant to report the Eq. 15 mixture).
+  virtual void fill_value_diagnostics();
+
+  /// L2 norm of the accumulated gradients across `net`'s parameters.
+  static double grad_l2_norm(const nn::Mlp& net);
+
   PpoConfig config_;
   std::size_t state_dim_;
   int action_count_;
@@ -116,6 +129,7 @@ class PpoAgent : public Agent {
   nn::Adam critic_opt_;
   RolloutBuffer last_buffer_;
   double last_critic_loss_ = 0.0;
+  UpdateDiagnostics diagnostics_;
 
   // Persistent update-path workspaces (capacity reused across episodes so
   // steady-state training stays off the heap). ws_value_grad_ is shared

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
 #include "core/presets.hpp"
 #include "fed/attention_aggregator.hpp"
 #include "fed/fedavg.hpp"
@@ -161,6 +167,147 @@ TEST(FedTrainer, MeanRewardCurveHandlesLateJoiners) {
   EXPECT_DOUBLE_EQ(curve[0], 1.0);
   EXPECT_DOUBLE_EQ(curve[1], 1.0);
   EXPECT_DOUBLE_EQ(curve[2], 5.0);
+}
+
+TEST(FedTrainer, MeanRewardCurveHandlesCrashedRoundGaps) {
+  // A client that crashed for later rounds simply has fewer episodes: the
+  // curve keeps averaging over whoever was actually training.
+  TrainingHistory h;
+  h.clients.resize(2);
+  h.clients[0].episode_rewards = {1.0, 1.0, 1.0, 1.0};
+  h.clients[1].episode_rewards = {9.0, 9.0};  // crashed from round 1 on
+  const auto curve = h.mean_reward_curve();
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0], 5.0);
+  EXPECT_DOUBLE_EQ(curve[1], 5.0);
+  EXPECT_DOUBLE_EQ(curve[2], 1.0);
+  EXPECT_DOUBLE_EQ(curve[3], 1.0);
+}
+
+TEST(FedTrainer, MeanRewardCurveCombinesLateJoinerAndGap) {
+  TrainingHistory h;
+  h.clients.resize(3);
+  h.clients[0].episode_rewards = {1.0, 1.0, 1.0, 1.0};
+  h.clients[1].episode_rewards = {4.0};  // crashed after one episode
+  h.clients[2].episode_rewards = {7.0, 7.0};
+  h.clients[2].joined_at_episode = 2;
+  const auto curve = h.mean_reward_curve();
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0], 2.5);  // clients 0 and 1
+  EXPECT_DOUBLE_EQ(curve[1], 1.0);  // client 0 alone
+  EXPECT_DOUBLE_EQ(curve[2], 4.0);  // clients 0 and 2
+  EXPECT_DOUBLE_EQ(curve[3], 4.0);
+}
+
+TEST(FedTrainer, RoundDiagnosticsAndAttentionRecorded) {
+  FedTrainer trainer(tiny_trainer_config(), std::make_unique<AttentionAggregator>(),
+                     make_clients(3, FedAlgorithm::kPfrlDm));
+  trainer.step_round();
+
+  for (std::size_t i = 0; i < trainer.client_count(); ++i) {
+    const ClientHistory& h = trainer.history().clients[i];
+    ASSERT_EQ(h.round_diagnostics.size(), 1u);
+    const rl::UpdateDiagnostics& d = h.round_diagnostics[0];
+    EXPECT_TRUE(d.all_finite());
+    EXPECT_GT(d.policy_entropy, 0.0);
+    EXPECT_GT(d.alpha, 0.0);
+    EXPECT_LE(d.alpha, 1.0);
+    EXPECT_GE(d.local_critic_loss, 0.0);
+    EXPECT_GE(d.public_critic_loss, 0.0);
+  }
+
+  // The attention aggregator's weight matrix lands in the history.
+  ASSERT_EQ(trainer.history().attention_rounds.size(), 1u);
+  const AttentionRoundRecord& rec = trainer.history().attention_rounds[0];
+  EXPECT_EQ(rec.round, 0u);
+  EXPECT_EQ(rec.participants.size(), 3u);
+  EXPECT_EQ(rec.weights.rows(), 3u);
+  EXPECT_EQ(rec.weights.cols(), 3u);
+  // Each row is a convex combination (Eq. 21 softmax rows sum to 1).
+  for (std::size_t r = 0; r < 3; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) sum += rec.weights(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(FedTrainer, ReporterReceivesRoundEvents) {
+  const std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / "fed_trainer_reporter";
+  std::filesystem::remove_all(dir);
+
+  obs::RunManifest manifest;
+  manifest.run_name = "fed-test";
+  manifest.algorithm = "PFRL-DM";
+  obs::RunReporter reporter(dir.string(), manifest);
+
+  FedTrainer trainer(tiny_trainer_config(), std::make_unique<AttentionAggregator>(),
+                     make_clients(2, FedAlgorithm::kPfrlDm));
+  trainer.set_reporter(&reporter);
+  trainer.step_round();
+
+  EXPECT_EQ(reporter.rounds_recorded(), 1u);
+  EXPECT_TRUE(reporter.alerts().empty());
+  std::ifstream in(dir / "learning.jsonl");
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string learning = ss.str();
+  EXPECT_NE(learning.find("\"alpha\":"), std::string::npos);
+  EXPECT_NE(learning.find("\"attention\":["), std::string::npos);
+  EXPECT_NE(learning.find("\"critic_loss_before\":"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FedTrainer, WatchdogAbortsRunOnForcedNaN) {
+  const std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / "fed_trainer_watchdog";
+  std::filesystem::remove_all(dir);
+
+  obs::WatchdogConfig watchdog;
+  watchdog.abort_on_alert = true;
+  obs::RunReporter reporter(dir.string(), obs::RunManifest{}, watchdog);
+
+  FedTrainerConfig cfg = tiny_trainer_config();
+  cfg.total_episodes = 8;  // 4 rounds if nothing aborts
+  FedTrainer trainer(cfg, std::make_unique<FedAvgAggregator>(),
+                     make_clients(2, FedAlgorithm::kFedAvg));
+  trainer.set_reporter(&reporter);
+
+  // Poison client 0's critic: every subsequent value estimate and critic
+  // loss is NaN, which the first recorded round must flag.
+  std::vector<float> weights = trainer.client(0).agent().critic().flatten();
+  for (float& w : weights) w = std::numeric_limits<float>::quiet_NaN();
+  trainer.client(0).agent().critic().unflatten(weights);
+
+  const TrainingHistory h = trainer.run();
+
+  ASSERT_FALSE(reporter.alerts().empty());
+  EXPECT_EQ(reporter.alerts()[0].kind, "non_finite");
+  EXPECT_TRUE(reporter.abort_requested());
+  // The run stopped at the first round boundary instead of burning all 4.
+  EXPECT_EQ(h.clients[0].episode_rewards.size(), cfg.comm_every);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FedTrainer, TrainingHistoryJsonCarriesCurvesAndDiagnostics) {
+  FedTrainer trainer(tiny_trainer_config(), std::make_unique<AttentionAggregator>(),
+                     make_clients(2, FedAlgorithm::kPfrlDm));
+  const TrainingHistory h = trainer.run();
+  const std::string json = training_history_json(h);
+
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  std::ptrdiff_t depth = 0;
+  for (const char c : json) {
+    depth += c == '{' || c == '[' ? 1 : 0;
+    depth -= c == '}' || c == ']' ? 1 : 0;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_NE(json.find("\"mean_reward_curve\":"), std::string::npos);
+  EXPECT_NE(json.find("\"round_diagnostics\":"), std::string::npos);
+  EXPECT_NE(json.find("\"attention_rounds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"alpha\":"), std::string::npos);
 }
 
 TEST(FedTrainer, DeterministicWithSingleThread) {

@@ -3,8 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <vector>
+
+#include "obs/sinks.hpp"
 
 namespace pfrl::obs {
 namespace {
@@ -191,6 +196,47 @@ TEST_F(ObsMetricsTest, MacrosAreInertWhenDisabled) {
   for (const CounterSample& c : snap.counters) EXPECT_NE(c.name, "test/disabled_counter");
   for (const GaugeSample& g : snap.gauges) EXPECT_NE(g.name, "test/disabled_gauge");
   for (const HistogramSample& h : snap.histograms) EXPECT_NE(h.name, "test/disabled_hist");
+}
+
+TEST_F(ObsMetricsTest, CsvReportEscapesHostileLabels) {
+  // Metric/span names are "<layer>/<thing>" literals by convention, but
+  // the CSV sink must not rely on that: a name carrying comma, quote, or
+  // newline has to come out RFC-4180-quoted, not as extra columns/rows.
+  metrics().counter("test/evil,comma").add(1);
+  metrics().counter("test/evil\"quote").add(2);
+  metrics().counter("test/evil\nnewline").add(3);
+
+  const std::string path = testing::TempDir() + "obs_metrics_escape.csv";
+  write_report_csv(capture_report(), path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream content_stream;
+  content_stream << in.rdbuf();
+  const std::string content = content_stream.str();
+
+  EXPECT_NE(content.find("\"test/evil,comma\""), std::string::npos);
+  EXPECT_NE(content.find("\"test/evil\"\"quote\""), std::string::npos);
+  EXPECT_NE(content.find("\"test/evil\nnewline\""), std::string::npos);
+
+  // Every data row keeps the 7-column arity despite the embedded comma:
+  // count the separators on the evil-comma row (quoted comma excluded).
+  std::istringstream lines(content);
+  std::string line;
+  bool checked = false;
+  while (std::getline(lines, line)) {
+    if (line.find("evil,comma") == std::string::npos) continue;
+    std::size_t commas = 0;
+    bool quoted = false;
+    for (const char c : line) {
+      if (c == '"') quoted = !quoted;
+      if (c == ',' && !quoted) ++commas;
+    }
+    EXPECT_EQ(commas, 6u) << line;
+    checked = true;
+  }
+  EXPECT_TRUE(checked);
+  std::remove(path.c_str());
 }
 
 TEST_F(ObsMetricsTest, MacrosRecordWhenEnabled) {

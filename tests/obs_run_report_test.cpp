@@ -1,0 +1,230 @@
+#include "obs/run_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace pfrl::obs {
+namespace {
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+RunManifest make_manifest() {
+  RunManifest m;
+  m.run_name = "test-run";
+  m.algorithm = "PFRL-DM";
+  m.seed = 7;
+  m.episodes = 30;
+  m.clients = 2;
+  m.config.emplace_back("table", "3");
+  return m;
+}
+
+ClientRoundDiagnostics healthy_client(int id) {
+  ClientRoundDiagnostics c;
+  c.id = id;
+  c.episodes = 5;
+  c.mean_reward = -100.0;
+  c.policy_entropy = 1.2;
+  c.approx_kl = 0.01;
+  c.clip_fraction = 0.1;
+  c.explained_variance = 0.4;
+  c.policy_grad_norm = 0.5;
+  c.critic_grad_norm = 2.0;
+  c.alpha = 0.5;  // exactly representable, so the JSON text is "0.5"
+  c.local_critic_loss = 10.0;
+  c.public_critic_loss = 12.0;
+  return c;
+}
+
+LearningRoundEvent round_of(std::uint64_t round, std::vector<ClientRoundDiagnostics> clients) {
+  LearningRoundEvent e;
+  e.round = round;
+  e.episodes_done = (round + 1) * 5;
+  e.clients = std::move(clients);
+  return e;
+}
+
+class ObsRunReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(testing::TempDir()) /
+           ("run_report_" + std::string(
+                                testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ObsRunReportTest, JsonHelpersEscapeAndNullify) {
+  std::string out;
+  json_escape_append(out, "a\"b\\c\nd");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\"");
+  out.clear();
+  json_number_append(out, 1.5);
+  EXPECT_EQ(out, "1.5");
+  out.clear();
+  json_number_append(out, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(out, "null");
+  out.clear();
+  json_number_append(out, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, "null");
+}
+
+TEST_F(ObsRunReportTest, WritesManifestLearningAndSummary) {
+  {
+    RunReporter reporter(dir_.string(), make_manifest());
+    reporter.record_round(round_of(0, {healthy_client(0), healthy_client(1)}));
+    reporter.record_round(round_of(1, {healthy_client(0), healthy_client(1)}));
+    reporter.finalize(Report{}, "{\"rounds\":2}");
+    EXPECT_TRUE(reporter.finalized());
+    EXPECT_EQ(reporter.rounds_recorded(), 2u);
+    EXPECT_TRUE(reporter.alerts().empty());
+  }
+  const std::string manifest = slurp(dir_ / "manifest.json");
+  EXPECT_NE(manifest.find("\"pfrl-run/1\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"test-run\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"completed\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"git_describe\""), std::string::npos);
+
+  const std::string learning = slurp(dir_ / "learning.jsonl");
+  std::size_t lines = 0;
+  for (const char c : learning) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(learning.find("\"alpha\":0.5"), std::string::npos);
+
+  const std::string summary = slurp(dir_ / "summary.json");
+  EXPECT_NE(summary.find("\"pfrl-run-summary/1\""), std::string::npos);
+  EXPECT_NE(summary.find("{\"rounds\":2}"), std::string::npos);
+  EXPECT_NE(summary.find("\"aborted\": false"), std::string::npos);
+}
+
+TEST_F(ObsRunReportTest, CreatesNestedRunDirectory) {
+  const std::filesystem::path nested = dir_ / "a" / "b" / "c";
+  RunReporter reporter(nested.string(), make_manifest());
+  EXPECT_TRUE(std::filesystem::exists(nested / "manifest.json"));
+  EXPECT_TRUE(std::filesystem::exists(nested / "learning.jsonl"));
+}
+
+TEST_F(ObsRunReportTest, NonFiniteLossTripsWatchdogAndAborts) {
+  WatchdogConfig watchdog;
+  watchdog.abort_on_alert = true;
+  RunReporter reporter(dir_.string(), make_manifest(), watchdog);
+
+  reporter.record_round(round_of(0, {healthy_client(0)}));
+  EXPECT_FALSE(reporter.abort_requested());
+
+  ClientRoundDiagnostics poisoned = healthy_client(1);
+  poisoned.local_critic_loss = std::numeric_limits<double>::quiet_NaN();
+  reporter.record_round(round_of(1, {healthy_client(0), poisoned}));
+
+  ASSERT_EQ(reporter.alerts().size(), 1u);
+  EXPECT_EQ(reporter.alerts()[0].kind, "non_finite");
+  EXPECT_EQ(reporter.alerts()[0].client, 1);
+  EXPECT_EQ(reporter.alerts()[0].round, 1u);
+  EXPECT_TRUE(reporter.abort_requested());
+
+  // The alert is already durable in the manifest before finalize.
+  EXPECT_NE(slurp(dir_ / "manifest.json").find("non_finite"), std::string::npos);
+
+  reporter.finalize(Report{}, "");
+  EXPECT_NE(slurp(dir_ / "manifest.json").find("\"aborted\""), std::string::npos);
+  EXPECT_NE(slurp(dir_ / "summary.json").find("\"aborted\": true"), std::string::npos);
+}
+
+TEST_F(ObsRunReportTest, EntropyCollapseOnlyAfterWarmup) {
+  WatchdogConfig watchdog;
+  watchdog.min_policy_entropy = 0.1;
+  watchdog.warmup_rounds = 2;
+  RunReporter reporter(dir_.string(), make_manifest(), watchdog);
+
+  ClientRoundDiagnostics collapsed = healthy_client(0);
+  collapsed.policy_entropy = 0.0;
+
+  reporter.record_round(round_of(0, {collapsed}));
+  reporter.record_round(round_of(1, {collapsed}));
+  EXPECT_TRUE(reporter.alerts().empty());  // still inside warmup
+
+  reporter.record_round(round_of(2, {collapsed}));
+  ASSERT_EQ(reporter.alerts().size(), 1u);
+  EXPECT_EQ(reporter.alerts()[0].kind, "entropy_collapse");
+  EXPECT_FALSE(reporter.abort_requested());  // abort_on_alert defaults off
+}
+
+TEST_F(ObsRunReportTest, KlBlowupIsFlaggedEvenDuringWarmup) {
+  WatchdogConfig watchdog;
+  watchdog.max_approx_kl = 0.5;
+  RunReporter reporter(dir_.string(), make_manifest(), watchdog);
+
+  ClientRoundDiagnostics blowup = healthy_client(0);
+  blowup.approx_kl = 3.0;
+  reporter.record_round(round_of(0, {blowup}));
+
+  ASSERT_EQ(reporter.alerts().size(), 1u);
+  EXPECT_EQ(reporter.alerts()[0].kind, "kl_blowup");
+}
+
+TEST_F(ObsRunReportTest, ExplainedVarianceCraterIsFlaggedAfterWarmup) {
+  WatchdogConfig watchdog;
+  watchdog.min_explained_variance = -0.5;
+  watchdog.warmup_rounds = 0;
+  RunReporter reporter(dir_.string(), make_manifest(), watchdog);
+
+  ClientRoundDiagnostics cratered = healthy_client(0);
+  cratered.explained_variance = -4.0;
+  reporter.record_round(round_of(0, {cratered}));
+
+  ASSERT_EQ(reporter.alerts().size(), 1u);
+  EXPECT_EQ(reporter.alerts()[0].kind, "ev_crater");
+}
+
+TEST_F(ObsRunReportTest, WatchdogSkipsCrashedAndIdleClients) {
+  WatchdogConfig watchdog;
+  watchdog.warmup_rounds = 0;
+  RunReporter reporter(dir_.string(), make_manifest(), watchdog);
+
+  ClientRoundDiagnostics crashed = healthy_client(0);
+  crashed.crashed = true;
+  crashed.policy_entropy = std::numeric_limits<double>::quiet_NaN();
+  ClientRoundDiagnostics idle = healthy_client(1);
+  idle.episodes = 0;
+  idle.approx_kl = std::numeric_limits<double>::infinity();
+  reporter.record_round(round_of(0, {crashed, idle}));
+
+  EXPECT_TRUE(reporter.alerts().empty());
+}
+
+TEST_F(ObsRunReportTest, DestructorFinalizesUnfinishedRun) {
+  {
+    RunReporter reporter(dir_.string(), make_manifest());
+    reporter.record_round(round_of(0, {healthy_client(0)}));
+    // No finalize(): the destructor must still leave a complete summary.
+  }
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "summary.json"));
+  EXPECT_NE(slurp(dir_ / "manifest.json").find("\"completed\""), std::string::npos);
+}
+
+TEST_F(ObsRunReportTest, AttentionRowsRoundTripIntoLearningJsonl) {
+  RunReporter reporter(dir_.string(), make_manifest());
+  ClientRoundDiagnostics c = healthy_client(0);
+  c.attention_row = {0.75, 0.25};
+  reporter.record_round(round_of(0, {c}));
+  EXPECT_NE(slurp(dir_ / "learning.jsonl").find("\"attention\":[0.75,0.25]"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfrl::obs

@@ -132,6 +132,27 @@ TEST_F(ObsTraceTest, ParseSkipsMalformedLines) {
   std::remove(path.c_str());
 }
 
+TEST_F(ObsTraceTest, ParseSkipsTruncatedTrailingLine) {
+  // A process killed mid-write leaves the last line cut off. The dangerous
+  // case is a truncated *numeric* field: "dur_us":12 chopped from 1234
+  // still parses as a number, just the wrong one. The parser must require
+  // the closing brace and drop such lines entirely.
+  const std::string path = temp_path("obs_trace_truncated");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"name\":\"ok\",\"parent\":\"\",\"ts_us\":5,\"dur_us\":2,\"tid\":0,\"depth\":0}\n",
+               f);
+    // No trailing newline and no closing brace: cut mid-number.
+    std::fputs("{\"name\":\"cut\",\"parent\":\"\",\"ts_us\":9,\"dur_us\":12", f);
+    std::fclose(f);
+  }
+  const std::vector<SpanEvent> events = parse_jsonl_events(path);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "ok");
+  std::remove(path.c_str());
+}
+
 TEST_F(ObsTraceTest, DisabledSpansRecordNothing) {
   set_enabled(false);
   { PFRL_SPAN("test/inert"); }

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "rl/dual_critic_ppo.hpp"
 #include "rl/ppo.hpp"
@@ -82,6 +83,53 @@ TEST(PpoAgent, DualCriticAlsoLearnsBandit) {
   DualCriticPpoAgent agent(3, 3, cfg);
   for (int ep = 0; ep < 150; ++ep) (void)agent.train_episode(env);
   EXPECT_GT(greedy_accuracy(agent, 777), 0.75);
+}
+
+TEST(PpoAgent, TrainEpisodeFillsUpdateDiagnostics) {
+  BanditEnv env(11);
+  PpoConfig cfg;
+  cfg.seed = 2;
+  PpoAgent agent(3, 3, cfg);
+  const EpisodeStats stats = agent.train_episode(env);
+  const UpdateDiagnostics& d = stats.update;
+  EXPECT_TRUE(d.all_finite());
+  // 3 actions: entropy of a softmax policy lies in (0, ln 3].
+  EXPECT_GT(d.policy_entropy, 0.0);
+  EXPECT_LE(d.policy_entropy, std::log(3.0) + 1e-9);
+  EXPECT_GE(d.clip_fraction, 0.0);
+  EXPECT_LE(d.clip_fraction, 1.0);
+  EXPECT_GT(d.policy_grad_norm, 0.0);
+  EXPECT_GT(d.critic_grad_norm, 0.0);
+  EXPECT_GE(d.local_critic_loss, 0.0);
+  // A single-critic agent reports the degenerate mixture.
+  EXPECT_DOUBLE_EQ(d.alpha, 1.0);
+  EXPECT_DOUBLE_EQ(d.public_critic_loss, 0.0);
+  // Diagnostics mirror the agent's accessor.
+  EXPECT_DOUBLE_EQ(agent.last_update_diagnostics().policy_entropy, d.policy_entropy);
+}
+
+TEST(PpoAgent, DualCriticDiagnosticsReportMixture) {
+  BanditEnv env(13);
+  PpoConfig cfg;
+  cfg.seed = 4;
+  DualCriticPpoAgent agent(3, 3, cfg);
+  const EpisodeStats stats = agent.train_episode(env);
+  const UpdateDiagnostics& d = stats.update;
+  EXPECT_TRUE(d.all_finite());
+  EXPECT_GT(d.alpha, 0.0);
+  EXPECT_LT(d.alpha, 1.0);
+  EXPECT_GE(d.local_critic_loss, 0.0);
+  EXPECT_GE(d.public_critic_loss, 0.0);
+  EXPECT_DOUBLE_EQ(d.alpha, agent.alpha());
+  EXPECT_DOUBLE_EQ(d.local_critic_loss, agent.last_local_critic_loss());
+  EXPECT_DOUBLE_EQ(d.public_critic_loss, agent.last_public_critic_loss());
+}
+
+TEST(PpoAgent, DiagnosticsDetectNonFinite) {
+  UpdateDiagnostics d;
+  EXPECT_TRUE(d.all_finite());
+  d.approx_kl = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(d.all_finite());
 }
 
 TEST(PpoAgent, ActStochasticReportsLogProbAndValue) {

@@ -1,0 +1,313 @@
+#!/usr/bin/env python3
+"""Render a PFRL-DM run directory into a human-readable report.
+
+A run directory is produced by `pfrldm train --run-dir DIR` or
+`quickstart --run-dir DIR` and contains:
+
+    manifest.json   run identity, build facts, watchdog config, alerts
+    learning.jsonl  one line per round: per-client learning diagnostics
+    summary.json    final history + metrics snapshot
+
+Usage:
+    tools/pfrl_report.py DIR [--out FILE] [--html]
+
+Markdown goes to stdout by default; --out writes a file; --html wraps the
+markdown in a minimal self-contained HTML page (no external assets).
+Only the standard library is used. Truncated trailing learning.jsonl
+lines (a run killed mid-write) are skipped, matching the C++ parser.
+"""
+
+import argparse
+import html
+import json
+import math
+import os
+import sys
+
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width=60):
+    """Renders a numeric series as a unicode sparkline, downsampling to
+    `width` buckets by bucket-mean. Non-finite values render as spaces."""
+    clean = [v for v in values if v is not None and math.isfinite(v)]
+    if not clean:
+        return "(no data)"
+    if len(values) > width:
+        step = len(values) / width
+        buckets = []
+        for b in range(width):
+            chunk = [
+                v
+                for v in values[int(b * step) : max(int((b + 1) * step), int(b * step) + 1)]
+                if v is not None and math.isfinite(v)
+            ]
+            buckets.append(sum(chunk) / len(chunk) if chunk else None)
+        values = buckets
+    lo, hi = min(clean), max(clean)
+    span = hi - lo
+    out = []
+    for v in values:
+        if v is None or not math.isfinite(v):
+            out.append(" ")
+        elif span <= 0:
+            out.append(SPARK_CHARS[3])
+        else:
+            idx = int((v - lo) / span * (len(SPARK_CHARS) - 1))
+            out.append(SPARK_CHARS[max(0, min(idx, len(SPARK_CHARS) - 1))])
+    return "".join(out)
+
+
+def fmt(value, digits=4):
+    if value is None:
+        return "nan"
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            return "nan" if math.isnan(value) else "inf"
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def load_run_dir(run_dir):
+    with open(os.path.join(run_dir, "manifest.json"), encoding="utf-8") as f:
+        manifest = json.load(f)
+    summary = None
+    summary_path = os.path.join(run_dir, "summary.json")
+    if os.path.exists(summary_path):
+        with open(summary_path, encoding="utf-8") as f:
+            summary = json.load(f)
+    rounds = []
+    learning_path = os.path.join(run_dir, "learning.jsonl")
+    if os.path.exists(learning_path):
+        with open(learning_path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                # A crashed writer leaves a truncated last line; a cut-off
+                # numeric field would still parse with a wrong value, so
+                # require the closing brace before attempting json.loads.
+                if not line.endswith("}"):
+                    continue
+                try:
+                    rounds.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+    return manifest, rounds, summary
+
+
+def client_series(rounds, field):
+    """{client_id: [per-round value]}, None-padded for crashed rounds."""
+    series = {}
+    for r in rounds:
+        for c in r.get("clients", []):
+            cid = c.get("id", 0)
+            value = None if c.get("crashed") else c.get(field)
+            series.setdefault(cid, []).append(value)
+    return series
+
+
+def diag_section(lines, rounds):
+    lines.append("## Learning diagnostics\n")
+    if not rounds:
+        lines.append("_No learning.jsonl rounds found._\n")
+        return
+    diag_fields = [
+        ("reward", "Mean reward"),
+        ("entropy", "Policy entropy"),
+        ("approx_kl", "Approx KL"),
+        ("clip_fraction", "Clip fraction"),
+        ("explained_variance", "Explained variance"),
+        ("policy_grad_norm", "Policy grad L2"),
+        ("critic_grad_norm", "Critic grad L2"),
+        ("alpha", "α (Eq. 15)"),
+        ("local_critic_loss", "Local critic loss"),
+        ("public_critic_loss", "Public critic loss"),
+    ]
+    client_ids = sorted(client_series(rounds, "reward").keys())
+    for cid in client_ids:
+        lines.append(f"### Client {cid}\n")
+        lines.append("| signal | last | trajectory |")
+        lines.append("|---|---|---|")
+        for field, label in diag_fields:
+            values = client_series(rounds, field).get(cid, [])
+            finite = [v for v in values if v is not None and math.isfinite(v)]
+            last = finite[-1] if finite else None
+            lines.append(f"| {label} | {fmt(last)} | `{sparkline(values)}` |")
+        lines.append("")
+
+
+def attention_section(lines, rounds):
+    rows = client_series(rounds, "attention")
+    has_any = any(any(v for v in values if v) for values in rows.values())
+    if not has_any:
+        return
+    lines.append("## Attention weights (Alg. 1)\n")
+    lines.append(
+        "Self-weight trajectory per client — how much of each personalized "
+        "model came from the client's own upload. The final round's full "
+        "row follows.\n"
+    )
+    lines.append("| client | self-weight | final row |")
+    lines.append("|---|---|---|")
+    for cid in sorted(rows.keys()):
+        # The attention row is ordered by the round's participant list; the
+        # self column index isn't recorded per line, so show max weight as
+        # the self proxy (attention is strongly diagonal in practice) and
+        # print the full final row for exact reading.
+        traj = [max(v) if v else None for v in rows[cid]]
+        final = next((v for v in reversed(rows[cid]) if v), None)
+        final_txt = "—" if final is None else "[" + ", ".join(fmt(w, 3) for w in final) + "]"
+        lines.append(f"| {cid} | `{sparkline(traj)}` | {final_txt} |")
+    lines.append("")
+
+
+def alerts_section(lines, manifest):
+    alerts = manifest.get("alerts", [])
+    lines.append("## Watchdog\n")
+    wd = manifest.get("watchdog", {})
+    lines.append(
+        f"Thresholds: entropy ≥ {fmt(wd.get('min_policy_entropy'))}, "
+        f"KL ≤ {fmt(wd.get('max_approx_kl'))}, "
+        f"explained variance ≥ {fmt(wd.get('min_explained_variance'))}, "
+        f"warmup {wd.get('warmup_rounds', '?')} rounds, "
+        f"abort: {wd.get('abort_on_alert', False)}.\n"
+    )
+    if not alerts:
+        lines.append("No alerts fired. ✅\n")
+        return
+    lines.append(f"**{len(alerts)} alert(s) fired:**\n")
+    lines.append("| round | client | kind | detail |")
+    lines.append("|---|---|---|---|")
+    for a in alerts:
+        lines.append(
+            f"| {a.get('round')} | {a.get('client')} | {a.get('kind')} | {a.get('detail')} |"
+        )
+    lines.append("")
+
+
+def history_section(lines, summary):
+    history = (summary or {}).get("history")
+    if not isinstance(history, dict):
+        return
+    curve = history.get("mean_reward_curve") or history.get("rewards")
+    if curve:
+        lines.append("## Reward curve\n")
+        finite = [v for v in curve if v is not None and math.isfinite(v)]
+        lines.append(f"`{sparkline(curve)}`\n")
+        if finite:
+            lines.append(
+                f"{len(curve)} episodes; first {fmt(finite[0])}, "
+                f"best {fmt(max(finite))}, final {fmt(finite[-1])}.\n"
+            )
+    faults = history.get("faults")
+    server = history.get("server")
+    clients = history.get("clients", [])
+    if faults is not None and any(faults.values()):
+        lines.append("## Fault counters\n")
+        lines.append("| fault | count |")
+        lines.append("|---|---|")
+        for key, value in faults.items():
+            lines.append(f"| {key} | {value} |")
+        lines.append("")
+    if server is not None and (server.get("rejected", 0) or server.get("quorum_failures", 0)):
+        lines.append("## Server validation\n")
+        lines.append("| outcome | count |")
+        lines.append("|---|---|")
+        for key, value in server.items():
+            lines.append(f"| {key} | {value} |")
+        lines.append("")
+    if clients and any(
+        c.get("rounds_crashed", 0) or c.get("max_staleness", 0) or c.get("downloads_rejected", 0)
+        for c in clients
+    ):
+        lines.append("## Client fault accounting\n")
+        lines.append("| client | crashed rounds | max staleness | downloads rejected |")
+        lines.append("|---|---|---|---|")
+        for i, c in enumerate(clients):
+            lines.append(
+                f"| {i} | {c.get('rounds_crashed', 0)} | {c.get('max_staleness', 0)} "
+                f"| {c.get('downloads_rejected', 0)} |"
+            )
+        lines.append("")
+
+
+def render_markdown(manifest, rounds, summary):
+    lines = []
+    name = manifest.get("name", "run")
+    lines.append(f"# Run report: {name}\n")
+    build = manifest.get("build", {})
+    lines.append("| | |")
+    lines.append("|---|---|")
+    lines.append(f"| algorithm | {manifest.get('algorithm', '?')} |")
+    lines.append(f"| status | **{manifest.get('status', '?')}** |")
+    lines.append(f"| seed | {manifest.get('seed', '?')} |")
+    lines.append(f"| episodes | {manifest.get('episodes', '?')} |")
+    lines.append(f"| clients | {manifest.get('clients', '?')} |")
+    lines.append(f"| rounds recorded | {manifest.get('rounds_recorded', '?')} |")
+    lines.append(f"| git | {build.get('git_describe', '?')} |")
+    lines.append(f"| build | {build.get('build_type', '?')}, {build.get('compiler', '?')} |")
+    config = manifest.get("config", {})
+    if config:
+        lines.append(
+            "| config | " + ", ".join(f"{k}={v}" for k, v in sorted(config.items())) + " |"
+        )
+    lines.append("")
+    alerts_section(lines, manifest)
+    history_section(lines, summary)
+    diag_section(lines, rounds)
+    attention_section(lines, rounds)
+    metrics = (summary or {}).get("metrics", {})
+    spans = metrics.get("spans", [])
+    if spans:
+        lines.append("## Time breakdown (spans)\n")
+        lines.append("| span | calls | total (ms) | mean (µs) |")
+        lines.append("|---|---|---|---|")
+        for s in sorted(spans, key=lambda x: -(x.get("total_ms") or 0)):
+            lines.append(
+                f"| {s.get('name')} | {s.get('calls')} | {fmt(s.get('total_ms'), 5)} "
+                f"| {fmt(s.get('mean_us'), 5)} |"
+            )
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+HTML_TEMPLATE = """<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{title}</title>
+<style>
+body {{ font-family: -apple-system, "Segoe UI", Roboto, sans-serif;
+       max-width: 72rem; margin: 2rem auto; padding: 0 1rem; color: #1a1a2e; }}
+pre {{ background: #f6f8fa; padding: 1rem; overflow-x: auto;
+      font-size: 0.9rem; line-height: 1.5; }}
+</style></head>
+<body><pre>{body}</pre></body></html>
+"""
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description="Render a PFRL-DM run directory")
+    parser.add_argument("run_dir", help="directory written by --run-dir")
+    parser.add_argument("--out", default="", help="output file (default: stdout)")
+    parser.add_argument("--html", action="store_true", help="emit a self-contained HTML page")
+    args = parser.parse_args(argv)
+
+    if not os.path.isfile(os.path.join(args.run_dir, "manifest.json")):
+        print(f"error: {args.run_dir} has no manifest.json", file=sys.stderr)
+        return 2
+    manifest, rounds, summary = load_run_dir(args.run_dir)
+    report = render_markdown(manifest, rounds, summary)
+    if args.html:
+        report = HTML_TEMPLATE.format(
+            title=html.escape(manifest.get("name", "run report")),
+            body=html.escape(report),
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(report)
+        print(f"report written to {args.out}")
+    else:
+        sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

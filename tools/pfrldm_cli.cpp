@@ -19,6 +19,8 @@
 // (JSONL span stream), --report (observability table on stderr).
 // Giving any of the last three arms the obs layer for the run.
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <string>
 
 #include "core/checkpoint.hpp"
@@ -48,8 +50,26 @@ int usage() {
       "  --log-level LEVEL    debug|info|warn|error|off (default info)\n"
       "  --metrics-out FILE   write a CSV metrics/span snapshot at exit\n"
       "  --trace-out FILE     stream spans as JSONL while running\n"
-      "  --report             print the observability tables to stderr\n");
+      "  --report             print the observability tables to stderr\n"
+      "train options:\n"
+      "  --run-dir DIR        write a run directory (manifest.json,\n"
+      "                       learning.jsonl, summary.json); render it with\n"
+      "                       tools/pfrl_report.py DIR\n"
+      "  --watchdog-abort     stop training when the divergence watchdog\n"
+      "                       raises an alert\n");
   return 2;
+}
+
+/// Creates the parent directory of an output path so `--metrics-out
+/// runs/a/m.csv` works without a prior mkdir. Throws when creation fails.
+void ensure_parent_dir(const std::string& path) {
+  if (path.empty()) return;
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+  if (ec && !std::filesystem::is_directory(parent))
+    throw std::runtime_error("cannot create directory " + parent.string() + ": " + ec.message());
 }
 
 /// Arms the obs layer from the global flags; flushes sinks at scope exit.
@@ -58,12 +78,17 @@ class ObsScope {
   explicit ObsScope(const util::Cli& cli)
       : metrics_out_(cli.get("metrics-out", "")),
         report_(cli.get_bool("report", false)),
-        armed_(!metrics_out_.empty() || report_ || cli.has("trace-out")) {
+        armed_(!metrics_out_.empty() || report_ || cli.has("trace-out") ||
+               cli.has("run-dir")) {
     util::set_log_level(util::parse_log_level(cli.get("log-level", "info")));
     if (!armed_) return;
     obs::set_enabled(true);
+    ensure_parent_dir(metrics_out_);
     const std::string trace_out = cli.get("trace-out", "");
-    if (!trace_out.empty()) obs::tracer().set_stream_path(trace_out);
+    if (!trace_out.empty()) {
+      ensure_parent_dir(trace_out);
+      obs::tracer().set_stream_path(trace_out);
+    }
   }
 
   ObsScope(const ObsScope&) = delete;
@@ -185,11 +210,49 @@ void print_eval(const char* title, core::Federation& federation,
   table.print();
 }
 
+std::unique_ptr<obs::RunReporter> make_run_reporter(const util::Cli& cli,
+                                                    const core::Federation& federation) {
+  const std::string run_dir = cli.get("run-dir", "");
+  if (run_dir.empty()) return nullptr;
+  const core::FederationConfig& cfg = federation.config();
+  obs::RunManifest manifest;
+  manifest.run_name = std::filesystem::path(run_dir).filename().string();
+  if (manifest.run_name.empty()) manifest.run_name = "train";
+  manifest.algorithm = fed::algorithm_name(cfg.algorithm);
+  manifest.seed = cfg.seed;
+  manifest.episodes = cfg.scale.episodes;
+  manifest.clients = federation.client_count();
+  manifest.config.emplace_back("table", cli.get("table", "3"));
+  manifest.config.emplace_back("comm_every", std::to_string(cfg.scale.comm_every));
+  manifest.config.emplace_back("tasks_per_client", std::to_string(cfg.scale.tasks_per_client));
+  manifest.config.emplace_back("participants_per_round",
+                               std::to_string(cfg.participants_per_round));
+  manifest.config.emplace_back("min_participants", std::to_string(cfg.min_participants));
+  for (std::size_t i = 0; i < federation.client_count(); ++i)
+    manifest.config.emplace_back("preset." + std::to_string(i),
+                                 workload::dataset_name(federation.preset(i).dataset));
+  obs::WatchdogConfig watchdog;
+  watchdog.abort_on_alert = cli.get_bool("watchdog-abort", false);
+  return std::make_unique<obs::RunReporter>(run_dir, std::move(manifest), watchdog);
+}
+
 int cmd_train(const util::Cli& cli) {
   core::Federation federation(presets_for(cli), federation_config(cli));
   std::printf("training %zu clients with %s...\n", federation.client_count(),
               fed::algorithm_name(federation.config().algorithm).c_str());
+  const std::unique_ptr<obs::RunReporter> reporter = make_run_reporter(cli, federation);
+  if (reporter) federation.trainer().set_reporter(reporter.get());
   const fed::TrainingHistory history = federation.train();
+  if (reporter) {
+    federation.trainer().set_reporter(nullptr);
+    reporter->finalize(obs::capture_report(), fed::training_history_json(history));
+    std::printf("run directory written to %s (render: tools/pfrl_report.py %s)\n",
+                reporter->dir().c_str(), reporter->dir().c_str());
+    for (const obs::WatchdogAlert& a : reporter->alerts())
+      std::fprintf(stderr, "watchdog alert: round %llu client %d %s: %s\n",
+                   static_cast<unsigned long long>(a.round), a.client, a.kind.c_str(),
+                   a.detail.c_str());
+  }
   const auto curve = history.mean_reward_curve();
   std::printf("episodes %zu, rounds %zu, final mean reward %.2f, uplink %.1f KiB\n",
               curve.size(), history.rounds, curve.empty() ? 0.0 : curve.back(),
