@@ -6,8 +6,12 @@
 // perfect the network can get before convergence suffers (§ DESIGN.md
 // "Fault model & degradation behaviour").
 #include <algorithm>
+#include <filesystem>
+#include <span>
 
 #include "bench_common.hpp"
+#include "core/checkpoint.hpp"
+#include "util/serialization.hpp"
 
 using namespace pfrl;
 
@@ -102,6 +106,61 @@ int main(int argc, char** argv) {
       std::printf("%s done (%zu/%zu uploads rejected)\n", label, history.server.total_rejected(),
                   history.server.total_rejected() + history.server.accepted);
     }
+  }
+
+  // Second scenario: the whole *process* dies mid-run (inside the crash
+  // window, faults active) and a fresh process resumes from the last
+  // full-state checkpoint. Degradation is measured in the strictest way
+  // possible: the resumed run must be byte-identical to a run that was
+  // never interrupted.
+  {
+    const std::size_t half_rounds = std::max<std::size_t>(1, rounds / 2);
+    const std::size_t half_episodes = half_rounds * std::max<std::size_t>(1, opt.scale.comm_every);
+    core::FederationConfig cfg = bench::fed_config(opt, fed::FedAlgorithm::kPfrlDm);
+    cfg.min_participants = 2;
+    cfg.faults.uplink_drop = 0.1;
+    cfg.faults.downlink_drop = 0.05;
+    cfg.faults.seed = opt.seed ^ 0xFA17ULL;
+    cfg.faults.crashes.push_back(
+        {1, static_cast<std::uint64_t>(rounds / 3), static_cast<std::uint64_t>(2 * rounds / 3)});
+
+    const auto state_bytes = [](const fed::FedTrainer& trainer) {
+      util::ByteWriter writer;
+      trainer.serialize_state(writer);
+      return writer.take();
+    };
+    const std::string ckpt_dir =
+        (std::filesystem::temp_directory_path() / "pfrl_ext_fault_resume").string();
+    std::filesystem::remove_all(ckpt_dir);
+
+    core::Federation straight(clients, cfg);
+    const fed::TrainingHistory full = straight.train();
+
+    core::FederationConfig half_cfg = cfg;
+    half_cfg.scale.episodes = half_episodes;
+    {
+      core::Federation interrupted(clients, half_cfg);
+      const core::CheckpointManager manager(ckpt_dir);
+      interrupted.trainer().set_checkpoint_every(1);
+      manager.attach(interrupted.trainer());
+      (void)interrupted.train();
+      // Process "dies" here: everything in memory is discarded.
+    }
+
+    core::Federation resumed(clients, cfg);
+    const core::CheckpointManager manager(ckpt_dir);
+    const auto info = manager.try_resume(resumed.trainer());
+    const fed::TrainingHistory cont = resumed.train();
+
+    const bool identical = state_bytes(resumed.trainer()) == state_bytes(straight.trainer());
+    const double delta = tail_mean(cont.mean_reward_curve()) - tail_mean(full.mean_reward_curve());
+    std::printf("\nKill + resume from checkpoint (faults on, killed at round %llu/%zu):\n"
+                "  bit-identical continuation: %s   final-reward delta: %+.4f\n",
+                info ? static_cast<unsigned long long>(info->round) : 0ULL, rounds,
+                identical ? "yes" : "NO", delta);
+    session.record().add("crash_resume.bit_identical", identical ? 1.0 : 0.0, "bool");
+    session.record().add("crash_resume.final_reward_delta", delta, "reward");
+    std::filesystem::remove_all(ckpt_dir);
   }
 
   std::printf("\nMean reward across clients (EMA-smoothed):\n");

@@ -1,27 +1,94 @@
 #include "core/checkpoint.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
+#include "util/logging.hpp"
 #include "util/serialization.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PFRL_CHECKPOINT_POSIX 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define PFRL_CHECKPOINT_POSIX 0
+#endif
 
 namespace pfrl::core {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x4C524650;  // "PFRL"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kMagic = 0x32434650;  // "PFC2"
+constexpr std::uint32_t kVersion = 2;
+constexpr std::size_t kHeaderSize = 12;  // magic + version + content kind
+constexpr std::size_t kFooterSize = 16;  // payload len + CRC + end magic
 
 enum class AgentKind : std::uint8_t { kPpo = 0, kDualCritic = 1 };
 
-void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("checkpoint: cannot open for writing: " + path);
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw std::runtime_error("checkpoint: write failed: " + path);
+const char* content_kind_name(ContentKind kind) {
+  switch (kind) {
+    case ContentKind::kAgent: return "agent";
+    case ContentKind::kGlobalModel: return "global-model";
+    case ContentKind::kFederationState: return "federation-state";
+    case ContentKind::kSingleAgentRun: return "single-agent-run";
+  }
+  return "?";
+}
+
+#if PFRL_CHECKPOINT_POSIX
+/// write + fsync + close a whole buffer through a POSIX fd; throws on any
+/// short write so a silently truncated checkpoint cannot be renamed live.
+void write_fd_fully(int fd, const std::uint8_t* data, std::size_t size, const std::string& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      ::close(fd);
+      throw std::runtime_error("checkpoint: write failed: " + path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw std::runtime_error("checkpoint: fsync failed: " + path);
+  }
+  if (::close(fd) != 0) throw std::runtime_error("checkpoint: close failed: " + path);
+}
+
+void fsync_directory(const std::string& directory) {
+  const int fd = ::open(directory.empty() ? "." : directory.c_str(), O_RDONLY);
+  if (fd < 0) return;  // best-effort: some filesystems refuse directory fds
+  ::fsync(fd);
+  ::close(fd);
+}
+#endif
+
+/// tmp + fsync + rename + directory fsync. After this returns, `path`
+/// holds either its previous contents or the full new bytes — never a
+/// prefix of them.
+void atomic_write_file(const std::string& path, std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+#if PFRL_CHECKPOINT_POSIX
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw std::runtime_error("checkpoint: cannot open for writing: " + tmp);
+  write_fd_fully(fd, bytes.data(), bytes.size(), tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("checkpoint: rename failed: " + tmp + " -> " + path);
+  fsync_directory(std::filesystem::path(path).parent_path().string());
+#else
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("checkpoint: cannot open for writing: " + tmp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) throw std::runtime_error("checkpoint: write failed: " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+#endif
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {
@@ -35,63 +102,329 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
   return bytes;
 }
 
+std::string hex_u64(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+void fnv_mix(std::uint64_t& hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (i * 8)) & 0xFF;
+    hash *= 0x100000001B3ULL;
+  }
+}
+
 }  // namespace
 
-void save_agent(rl::PpoAgent& agent, const std::string& path) {
+void write_container(const std::string& path, ContentKind kind,
+                     std::span<const std::uint8_t> payload) {
   util::ByteWriter w;
   w.write_u32(kMagic);
   w.write_u32(kVersion);
+  w.write_u32(static_cast<std::uint32_t>(kind));
+  w.write_raw_span(payload);
+  const std::uint32_t crc = util::crc32(w.bytes());
+  w.write_u64(payload.size());
+  w.write_u32(crc);
+  w.write_u32(kMagic);
+  atomic_write_file(path, w.bytes());
+}
+
+std::vector<std::uint8_t> read_container(const std::string& path, ContentKind kind) {
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  if (bytes.size() < kHeaderSize + kFooterSize)
+    throw std::invalid_argument("checkpoint: truncated container (" +
+                                std::to_string(bytes.size()) + " bytes): " + path);
+
+  util::ByteReader header(std::span<const std::uint8_t>(bytes).first(kHeaderSize));
+  if (header.read_u32() != kMagic)
+    throw std::invalid_argument("checkpoint: bad magic in " + path);
+  if (header.read_u32() != kVersion)
+    throw std::invalid_argument("checkpoint: unsupported container version in " + path);
+  const auto stored_kind = static_cast<ContentKind>(header.read_u32());
+
+  util::ByteReader footer(std::span<const std::uint8_t>(bytes).last(kFooterSize));
+  const std::uint64_t payload_len = footer.read_u64();
+  const std::uint32_t stored_crc = footer.read_u32();
+  if (footer.read_u32() != kMagic)
+    throw std::invalid_argument("checkpoint: bad end magic (torn write?) in " + path);
+  if (kHeaderSize + payload_len + kFooterSize != bytes.size())
+    throw std::invalid_argument("checkpoint: payload length mismatch in " + path);
+  const std::uint32_t actual_crc =
+      util::crc32(std::span<const std::uint8_t>(bytes).first(kHeaderSize + payload_len));
+  if (actual_crc != stored_crc)
+    throw std::invalid_argument("checkpoint: CRC mismatch (corrupted) in " + path);
+  // Kind is checked after the CRC: a mismatch on intact bytes is a real
+  // "wrong file" error, not corruption.
+  if (stored_kind != kind)
+    throw std::invalid_argument(std::string("checkpoint: wrong content kind in ") + path +
+                                " (found " + content_kind_name(stored_kind) + ", expected " +
+                                content_kind_name(kind) + ")");
+
+  return {bytes.begin() + static_cast<std::ptrdiff_t>(kHeaderSize),
+          bytes.begin() + static_cast<std::ptrdiff_t>(kHeaderSize + payload_len)};
+}
+
+SnapshotDir::SnapshotDir(std::string directory, ContentKind kind, std::string stem,
+                         std::size_t keep)
+    : directory_(std::move(directory)), kind_(kind), stem_(std::move(stem)),
+      keep_(std::max<std::size_t>(keep, 1)) {}
+
+std::string SnapshotDir::generation_path(std::uint64_t ordinal) const {
+  return directory_ + "/" + stem_ + "-" + std::to_string(ordinal) + ".pfc";
+}
+
+std::vector<std::uint64_t> SnapshotDir::list_generations() const {
+  std::vector<std::uint64_t> ordinals;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    const std::string prefix = stem_ + "-";
+    if (name.size() <= prefix.size() + 4 || name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - 4, 4, ".pfc") != 0)
+      continue;
+    const std::string digits = name.substr(prefix.size(), name.size() - prefix.size() - 4);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    ordinals.push_back(std::stoull(digits));
+  }
+  std::sort(ordinals.begin(), ordinals.end());
+  return ordinals;
+}
+
+void SnapshotDir::write(std::uint64_t ordinal, std::span<const std::uint8_t> payload) const {
+  std::filesystem::create_directories(directory_);
+  write_container(generation_path(ordinal), kind_, payload);
+  const std::vector<std::uint64_t> generations = list_generations();
+  if (generations.size() > keep_) {
+    for (std::size_t i = 0; i + keep_ < generations.size(); ++i) {
+      std::error_code ec;
+      std::filesystem::remove(generation_path(generations[i]), ec);
+    }
+  }
+}
+
+std::optional<SnapshotDir::Loaded> SnapshotDir::load_newest_valid() const {
+  std::vector<std::uint64_t> generations = list_generations();
+  for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+    const std::string path = generation_path(*it);
+    try {
+      Loaded loaded;
+      loaded.ordinal = *it;
+      loaded.path = path;
+      loaded.payload = read_container(path, kind_);
+      return loaded;
+    } catch (const std::exception& e) {
+      PFRL_LOG_WARN("checkpoint: generation %llu unusable (%s); falling back to previous",
+                    static_cast<unsigned long long>(*it), e.what());
+    }
+  }
+  return std::nullopt;
+}
+
+void save_agent(rl::PpoAgent& agent, const std::string& path) {
+  util::ByteWriter w;
   auto* dual = dynamic_cast<rl::DualCriticPpoAgent*>(&agent);
   w.write_u8(static_cast<std::uint8_t>(dual ? AgentKind::kDualCritic : AgentKind::kPpo));
   agent.actor().serialize(w);
   agent.critic().serialize(w);
   if (dual) dual->public_critic().serialize(w);
-  write_file(path, w.bytes());
+  write_container(path, ContentKind::kAgent, w.bytes());
 }
 
 void load_agent(rl::PpoAgent& agent, const std::string& path) {
-  const std::vector<std::uint8_t> bytes = read_file(path);
-  util::ByteReader r(bytes);
-  if (r.read_u32() != kMagic) throw std::invalid_argument("checkpoint: bad magic in " + path);
-  if (r.read_u32() != kVersion)
-    throw std::invalid_argument("checkpoint: unsupported version in " + path);
+  const std::vector<std::uint8_t> payload = read_container(path, ContentKind::kAgent);
+  util::ByteReader r(payload);
   const auto kind = static_cast<AgentKind>(r.read_u8());
   auto* dual = dynamic_cast<rl::DualCriticPpoAgent*>(&agent);
   if ((kind == AgentKind::kDualCritic) != (dual != nullptr))
     throw std::invalid_argument("checkpoint: agent kind mismatch in " + path);
-  agent.actor().deserialize(r);
-  agent.critic().deserialize(r);
-  if (dual) dual->public_critic().deserialize(r);
+
+  // Strong exception guarantee: deserialize into scratch copies (which
+  // validate architecture) and check the payload is fully consumed before
+  // a single live parameter changes.
+  nn::Mlp actor_scratch(agent.actor());
+  nn::Mlp critic_scratch(agent.critic());
+  actor_scratch.deserialize(r);
+  critic_scratch.deserialize(r);
+  std::optional<nn::Mlp> public_scratch;
+  if (dual) {
+    public_scratch.emplace(dual->public_critic());
+    public_scratch->deserialize(r);
+  }
   if (!r.exhausted()) throw std::invalid_argument("checkpoint: trailing bytes in " + path);
+
+  agent.load_actor(actor_scratch.flatten());
+  agent.load_critic(critic_scratch.flatten());
+  if (dual) dual->load_public_critic(public_scratch->flatten());
+}
+
+std::uint64_t federation_arch_hash(const fed::FedTrainer& trainer) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  fnv_mix(hash, trainer.client_count());
+  for (std::size_t i = 0; i < trainer.client_count(); ++i) {
+    const fed::FedClient& client = trainer.client(i);
+    const rl::PpoAgent& agent = client.agent();
+    const auto* dual = dynamic_cast<const rl::DualCriticPpoAgent*>(&agent);
+    fnv_mix(hash, static_cast<std::uint64_t>(client.id()));
+    fnv_mix(hash, static_cast<std::uint64_t>(client.algorithm()));
+    fnv_mix(hash, agent.state_dim());
+    fnv_mix(hash, static_cast<std::uint64_t>(agent.action_count()));
+    fnv_mix(hash, agent.actor().param_count());
+    fnv_mix(hash, agent.critic().param_count());
+    fnv_mix(hash, dual ? dual->public_critic().param_count() : 0);
+  }
+  return hash;
+}
+
+void write_federation_manifest(const fed::FedTrainer& trainer, const std::string& directory) {
+  std::filesystem::create_directories(directory);
+  std::string json = "{\"schema\":\"pfrl-federation/1\"";
+  json += ",\"clients\":" + std::to_string(trainer.client_count());
+  json += ",\"algorithm\":\"" + fed::algorithm_name(trainer.client(0).algorithm()) + "\"";
+  json += ",\"arch_hash\":\"" + hex_u64(federation_arch_hash(trainer)) + "\"";
+  json += ",\"agents\":[";
+  for (std::size_t i = 0; i < trainer.client_count(); ++i) {
+    const fed::FedClient& client = trainer.client(i);
+    const rl::PpoAgent& agent = client.agent();
+    const bool dual = dynamic_cast<const rl::DualCriticPpoAgent*>(&agent) != nullptr;
+    json += i == 0 ? "{" : ",{";
+    json += "\"id\":" + std::to_string(client.id());
+    json += ",\"dual_critic\":" + std::string(dual ? "true" : "false");
+    json += ",\"state_dim\":" + std::to_string(agent.state_dim());
+    json += ",\"action_count\":" + std::to_string(agent.action_count());
+    json += ",\"actor_params\":" + std::to_string(agent.actor().param_count());
+    json += ",\"critic_params\":" + std::to_string(agent.critic().param_count());
+    json += "}";
+  }
+  json += "]}\n";
+  atomic_write_file(directory + "/federation.json",
+                    std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(json.data()), json.size()));
+}
+
+namespace {
+
+/// Pulls the string/number after `"key":` out of a flat JSON object. Good
+/// enough for the manifest this module itself writes.
+std::string extract_json_field(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return {};
+  std::size_t begin = at + needle.size();
+  if (begin < json.size() && json[begin] == '"') {
+    ++begin;
+    const std::size_t end = json.find('"', begin);
+    if (end == std::string::npos) return {};
+    return json.substr(begin, end - begin);
+  }
+  std::size_t end = begin;
+  while (end < json.size() && json[end] != ',' && json[end] != '}') ++end;
+  return json.substr(begin, end - begin);
+}
+
+}  // namespace
+
+void validate_federation_manifest(const fed::FedTrainer& trainer, const std::string& directory) {
+  const std::string path = directory + "/federation.json";
+  if (!std::filesystem::exists(path))
+    throw std::invalid_argument("checkpoint: " + path +
+                                " is missing — not a federation checkpoint directory, or one "
+                                "written before the topology manifest existed");
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  const std::string json(bytes.begin(), bytes.end());
+
+  const std::string stored_clients = extract_json_field(json, "clients");
+  const std::string stored_algorithm = extract_json_field(json, "algorithm");
+  const std::string stored_hash = extract_json_field(json, "arch_hash");
+  if (stored_clients.empty() || stored_hash.empty())
+    throw std::invalid_argument("checkpoint: unparseable federation manifest: " + path);
+
+  if (stored_clients != std::to_string(trainer.client_count()))
+    throw std::invalid_argument("checkpoint: federation has " + stored_clients +
+                                " clients but the trainer has " +
+                                std::to_string(trainer.client_count()) + " (" + path + ")");
+  const std::string algorithm = fed::algorithm_name(trainer.client(0).algorithm());
+  if (!stored_algorithm.empty() && stored_algorithm != algorithm)
+    throw std::invalid_argument("checkpoint: federation was trained with " + stored_algorithm +
+                                " but the trainer runs " + algorithm + " (" + path + ")");
+  const std::string hash = hex_u64(federation_arch_hash(trainer));
+  if (stored_hash != hash)
+    throw std::invalid_argument(
+        "checkpoint: federation architecture hash mismatch (checkpoint " + stored_hash +
+        ", trainer " + hash + ") — client ids, dims, or algorithms differ (" + path + ")");
 }
 
 void save_federation(fed::FedTrainer& trainer, const std::string& directory) {
   std::filesystem::create_directories(directory);
+  write_federation_manifest(trainer, directory);
   for (std::size_t i = 0; i < trainer.client_count(); ++i)
     save_agent(trainer.client(i).agent(),
                directory + "/client_" + std::to_string(i) + ".ckpt");
   if (fed::FedServer* server = trainer.server(); server && server->has_global_model()) {
     util::ByteWriter w;
-    w.write_u32(kMagic);
-    w.write_u32(kVersion);
     w.write_f32_span(server->global_model());
-    write_file(directory + "/server.ckpt", w.bytes());
+    write_container(directory + "/server.ckpt", ContentKind::kGlobalModel, w.bytes());
   }
 }
 
 void load_federation(fed::FedTrainer& trainer, const std::string& directory) {
+  validate_federation_manifest(trainer, directory);
   for (std::size_t i = 0; i < trainer.client_count(); ++i)
     load_agent(trainer.client(i).agent(),
                directory + "/client_" + std::to_string(i) + ".ckpt");
   const std::string server_path = directory + "/server.ckpt";
   if (fed::FedServer* server = trainer.server();
       server && std::filesystem::exists(server_path)) {
-    const std::vector<std::uint8_t> bytes = read_file(server_path);
-    util::ByteReader r(bytes);
-    if (r.read_u32() != kMagic || r.read_u32() != kVersion)
-      throw std::invalid_argument("checkpoint: bad server checkpoint");
+    const std::vector<std::uint8_t> payload =
+        read_container(server_path, ContentKind::kGlobalModel);
+    util::ByteReader r(payload);
     server->set_global_model(r.read_f32_vector());
   }
+}
+
+CheckpointManager::CheckpointManager(std::string directory, std::size_t keep)
+    : store_(std::move(directory), ContentKind::kFederationState, "state", keep) {}
+
+void CheckpointManager::save(const fed::FedTrainer& trainer, std::uint64_t round) const {
+  util::ByteWriter w;
+  trainer.serialize_state(w);
+  store_.write(round, w.bytes());
+  write_federation_manifest(trainer, store_.directory());
+  PFRL_LOG_INFO("checkpoint: wrote round-%llu snapshot to %s",
+                static_cast<unsigned long long>(round), store_.directory().c_str());
+}
+
+void CheckpointManager::attach(fed::FedTrainer& trainer) const {
+  trainer.set_checkpoint_sink(
+      [manager = *this](const fed::FedTrainer& t, std::uint64_t round) {
+        manager.save(t, round);
+      });
+}
+
+std::optional<ResumeInfo> CheckpointManager::try_resume(fed::FedTrainer& trainer) const {
+  const std::vector<std::uint64_t> generations = store_.list_generations();
+  if (generations.empty()) return std::nullopt;
+  validate_federation_manifest(trainer, store_.directory());
+  const std::optional<SnapshotDir::Loaded> loaded = store_.load_newest_valid();
+  if (!loaded)
+    throw std::invalid_argument("checkpoint: all " + std::to_string(generations.size()) +
+                                " snapshot generations in " + store_.directory() +
+                                " are corrupt; cannot resume");
+  util::ByteReader r(loaded->payload);
+  trainer.deserialize_state(r);
+  if (!r.exhausted())
+    throw std::invalid_argument("checkpoint: trailing bytes in " + loaded->path);
+  PFRL_LOG_INFO("checkpoint: resumed from %s (round %llu, %zu episodes/client)",
+                loaded->path.c_str(), static_cast<unsigned long long>(loaded->ordinal),
+                trainer.episodes_done());
+  return ResumeInfo{loaded->ordinal, trainer.episodes_done()};
 }
 
 }  // namespace pfrl::core

@@ -1,32 +1,169 @@
-// Model persistence: save/restore trained agents and whole federations.
+// Crash-safe persistence: agents, federations, and full training state.
 //
-// Format: little-endian magic 'PFRL' + version + agent kind tag +
-// the networks' serialized parameters (actor, critic, and — for the
-// dual-critic agent — the public critic). Architecture is validated on
-// load: a checkpoint only restores into an identically shaped agent.
+// Checkpoint v2 on-disk container (little-endian):
+//
+//   header : magic 'PFC2' (u32) · version (u32) · content kind (u32)
+//   payload: content-defined bytes
+//   footer : payload length (u64) · CRC-32 over header+payload (u32)
+//            · end magic 'PFC2' (u32)
+//
+// Every file is written atomically — serialized to `<path>.tmp`, fsync'd,
+// then rename(2)'d over the final name, with the directory fsync'd after —
+// so a crash mid-write can never tear an existing checkpoint. A torn or
+// bit-flipped file is detected by magic/length/CRC validation on read.
+//
+// SnapshotDir layers generation rotation on top: each write lands as
+// `<stem>-<ordinal>.pfc`, the last `keep` generations are retained, and
+// loading walks generations newest-first past corrupt files (with a logged
+// warning) to the last good one — the "fall back one generation instead of
+// failing the run" contract.
+//
+// CheckpointManager binds SnapshotDir to FedTrainer::serialize_state for
+// full-state checkpoints whose restore continues training bit-identically
+// (parameters, Adam moments, RNG streams, α state, history, the works).
+// A `federation.json` manifest (client count, algorithm, architecture
+// hash) is written beside the snapshots; restoring into a trainer whose
+// topology hashes differently fails with a clear error instead of loading
+// weights into the wrong slots.
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "fed/trainer.hpp"
 #include "rl/dual_critic_ppo.hpp"
 
 namespace pfrl::core {
 
-/// Writes the agent's parameters to `path` (overwrites).
+/// What a v2 container holds; validated on read so an agent checkpoint
+/// can never be fed to the federation-state loader (or vice versa).
+enum class ContentKind : std::uint32_t {
+  kAgent = 1,            // actor/critic(/public critic) parameters
+  kGlobalModel = 2,      // the server's flattened ψ_G
+  kFederationState = 3,  // FedTrainer::serialize_state payload
+  kSingleAgentRun = 4,   // quickstart's agent + episode-loop state
+};
+
+/// Atomically writes `payload` wrapped in the v2 container.
+/// Throws std::runtime_error on I/O failure.
+void write_container(const std::string& path, ContentKind kind,
+                     std::span<const std::uint8_t> payload);
+
+/// Reads and validates a v2 container, returning the payload. Throws
+/// std::runtime_error when the file cannot be read and
+/// std::invalid_argument when validation fails (bad magic, wrong or
+/// unsupported version, wrong content kind, truncation, CRC mismatch).
+std::vector<std::uint8_t> read_container(const std::string& path, ContentKind kind);
+
+/// Rotating store of checkpoint generations under one directory.
+class SnapshotDir {
+ public:
+  /// `keep` >= 2 preserves a last-good generation behind the newest.
+  explicit SnapshotDir(std::string directory, ContentKind kind,
+                       std::string stem = "snapshot", std::size_t keep = 2);
+
+  /// Atomically writes `payload` as generation `ordinal`
+  /// (`<stem>-<ordinal>.pfc`), then prunes generations beyond `keep`.
+  void write(std::uint64_t ordinal, std::span<const std::uint8_t> payload) const;
+
+  struct Loaded {
+    std::uint64_t ordinal = 0;
+    std::string path;
+    std::vector<std::uint8_t> payload;
+  };
+
+  /// Loads the newest generation that validates, skipping corrupt or torn
+  /// files with a logged warning (never a crash, never a partial load).
+  /// Returns nullopt when the directory holds no valid generation.
+  std::optional<Loaded> load_newest_valid() const;
+
+  /// Generations on disk, ascending by ordinal (validity not checked).
+  std::vector<std::uint64_t> list_generations() const;
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  std::string generation_path(std::uint64_t ordinal) const;
+
+  std::string directory_;
+  ContentKind kind_;
+  std::string stem_;
+  std::size_t keep_;
+};
+
+/// Writes the agent's parameters to `path` (v2 container, atomic).
 void save_agent(rl::PpoAgent& agent, const std::string& path);
 
 /// Restores parameters saved by save_agent into an architecture-identical
-/// agent. Throws std::runtime_error on I/O failure and
-/// std::invalid_argument on format/architecture mismatch.
+/// agent, with the strong exception guarantee: the payload is fully
+/// validated (kind, shapes, length) against scratch copies before any
+/// parameter of the live agent changes, so a corrupt file leaves the
+/// in-memory agent untouched. Throws std::runtime_error on I/O failure
+/// and std::invalid_argument on format/architecture mismatch.
 void load_agent(rl::PpoAgent& agent, const std::string& path);
 
-/// Saves every client's agent (client_<i>.ckpt) plus the server's global
-/// model (server.ckpt, if any) under `directory` (created if missing).
+/// FNV-1a hash over the federation's topology: client count, per-client
+/// id/algorithm/state_dim/action_count/parameter counts. Two trainers
+/// share a hash iff a checkpoint of one restores cleanly into the other.
+std::uint64_t federation_arch_hash(const fed::FedTrainer& trainer);
+
+/// Writes `directory`/federation.json describing the trainer's topology
+/// (schema pfrl-federation/1: client count, algorithm, arch hash,
+/// per-agent dims).
+void write_federation_manifest(const fed::FedTrainer& trainer, const std::string& directory);
+
+/// Validates `directory`/federation.json against `trainer`. Throws
+/// std::invalid_argument with a clear message when the manifest is
+/// missing/unparseable or the topology hash differs.
+void validate_federation_manifest(const fed::FedTrainer& trainer, const std::string& directory);
+
+/// Saves every client's agent (client_<i>.ckpt), the server's global
+/// model (server.ckpt, if any), and the federation.json topology manifest
+/// under `directory` (created if missing).
 void save_federation(fed::FedTrainer& trainer, const std::string& directory);
 
 /// Restores a federation previously saved with save_federation. The
-/// trainer must have been constructed with the same clients/algorithm.
+/// directory's federation.json is validated first: loading into a trainer
+/// with a different client count, algorithm, or architecture fails with a
+/// clear error before any weight is touched.
 void load_federation(fed::FedTrainer& trainer, const std::string& directory);
+
+/// What a resumed trainer continues from.
+struct ResumeInfo {
+  std::uint64_t round = 0;        // rounds already completed
+  std::size_t episodes_done = 0;  // per-client episodes already trained
+};
+
+/// Full-training-state checkpointing for FedTrainer: rotated v2 snapshot
+/// generations plus the federation.json topology manifest. Attach via
+///   manager.attach(trainer);          // sink for periodic/stop/abort saves
+///   auto resumed = manager.try_resume(trainer);  // before run()
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(std::string directory, std::size_t keep = 2);
+
+  /// Serializes the trainer's complete state as generation `round`
+  /// (atomic write + rotation) and refreshes the topology manifest.
+  void save(const fed::FedTrainer& trainer, std::uint64_t round) const;
+
+  /// Installs this manager as the trainer's checkpoint sink.
+  void attach(fed::FedTrainer& trainer) const;
+
+  /// Restores the newest valid snapshot into `trainer` (corrupt newest
+  /// generations fall back to the previous one with a logged warning).
+  /// Validates federation.json first. Returns nullopt when the directory
+  /// holds no snapshot at all; throws std::invalid_argument when a
+  /// manifest/topology mismatch or an all-generations-corrupt state makes
+  /// resuming impossible.
+  std::optional<ResumeInfo> try_resume(fed::FedTrainer& trainer) const;
+
+  const std::string& directory() const { return store_.directory(); }
+
+ private:
+  SnapshotDir store_;
+};
 
 }  // namespace pfrl::core

@@ -36,6 +36,13 @@ class Aggregator {
 
   virtual AggregationOutput aggregate(const AggregationInput& input) = 0;
   virtual std::string name() const = 0;
+
+  /// Persists mutable cross-round state (momentum buffers, lazily created
+  /// attention modules) into a checkpoint. Stateless strategies — FedAvg,
+  /// fixed-weight — inherit the no-op.
+  virtual void save_state(util::ByteWriter& writer) const { (void)writer; }
+  /// Restores state written by save_state().
+  virtual void load_state(util::ByteReader& reader) { (void)reader; }
 };
 
 /// True when every entry of `models` is finite. Aggregators call this as

@@ -22,4 +22,19 @@ AggregationOutput AttentionAggregator::aggregate(const AggregationInput& input) 
   return weighted_aggregate(input, w, &personalized_scratch_);   // Eq. 21-22
 }
 
+void AttentionAggregator::save_state(util::ByteWriter& writer) const {
+  writer.write_bool(attention_.has_value());
+  writer.write_u64(attention_ ? attention_->input_dim() : 0);
+}
+
+void AttentionAggregator::load_state(util::ByteReader& reader) {
+  const bool has_attention = reader.read_bool();
+  const auto input_dim = static_cast<std::size_t>(reader.read_u64());
+  if (has_attention) {
+    attention_.emplace(input_dim, config_);
+  } else {
+    attention_.reset();
+  }
+}
+
 }  // namespace pfrl::fed

@@ -25,6 +25,12 @@ class AttentionAggregator final : public Aggregator {
     return attention_ ? &*attention_ : nullptr;
   }
 
+  /// The module's projections are a pure function of (input_dim, config
+  /// seed), so the checkpoint stores only whether it exists and its P;
+  /// load_state re-creates identical projections eagerly.
+  void save_state(util::ByteWriter& writer) const override;
+  void load_state(util::ByteReader& reader) override;
+
  private:
   nn::MultiHeadAttentionConfig config_;
   std::optional<nn::MultiHeadAttention> attention_;

@@ -62,4 +62,39 @@ std::uint64_t Bus::downlink_messages() const {
   return downlink_messages_;
 }
 
+void Bus::save_state(util::ByteWriter& writer) const {
+  const std::scoped_lock lock(mutex_);
+  writer.write_u64(client_boxes_.size());
+  writer.write_u64(server_box_.size());
+  for (const Message& m : server_box_) serialize_message(m, writer);
+  for (const auto& box : client_boxes_) {
+    writer.write_u64(box.size());
+    for (const Message& m : box) serialize_message(m, writer);
+  }
+  writer.write_u64(uplink_bytes_);
+  writer.write_u64(downlink_bytes_);
+  writer.write_u64(uplink_messages_);
+  writer.write_u64(downlink_messages_);
+}
+
+void Bus::load_state(util::ByteReader& reader) {
+  const std::scoped_lock lock(mutex_);
+  const std::uint64_t clients = reader.read_u64();
+  if (clients != client_boxes_.size())
+    throw std::invalid_argument("Bus::load_state: client count mismatch");
+  const std::uint64_t server_count = reader.read_u64();
+  server_box_.clear();
+  for (std::uint64_t i = 0; i < server_count; ++i)
+    server_box_.push_back(deserialize_message(reader));
+  for (auto& box : client_boxes_) {
+    const std::uint64_t n = reader.read_u64();
+    box.clear();
+    for (std::uint64_t i = 0; i < n; ++i) box.push_back(deserialize_message(reader));
+  }
+  uplink_bytes_ = reader.read_u64();
+  downlink_bytes_ = reader.read_u64();
+  uplink_messages_ = reader.read_u64();
+  downlink_messages_ = reader.read_u64();
+}
+
 }  // namespace pfrl::fed

@@ -46,6 +46,14 @@ class Bus {
   std::uint64_t uplink_messages() const;
   std::uint64_t downlink_messages() const;
 
+  /// Persists mailbox contents and traffic accounting into a checkpoint.
+  /// Overridden by FaultyBus to also carry its fault-injection state
+  /// (delayed messages, per-link RNG streams, counters).
+  virtual void save_state(util::ByteWriter& writer) const;
+  /// Restores state written by save_state(). Throws std::invalid_argument
+  /// if the stored client count disagrees with this bus's topology.
+  virtual void load_state(util::ByteReader& reader);
+
  private:
   mutable std::mutex mutex_;
   std::deque<Message> server_box_;

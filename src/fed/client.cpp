@@ -179,4 +179,24 @@ sim::EpisodeMetrics FedClient::evaluate_on_sampled(workload::Trace test_trace,
   return sim::average_metrics(runs);
 }
 
+void FedClient::save_state(util::ByteWriter& writer) const {
+  writer.write_i64(config_.id);
+  writer.write_u8(static_cast<std::uint8_t>(config_.algorithm));
+  agent_->save_training_state(writer);
+}
+
+void FedClient::load_state(util::ByteReader& reader) {
+  const auto id = static_cast<int>(reader.read_i64());
+  const auto algorithm = static_cast<FedAlgorithm>(reader.read_u8());
+  if (id != config_.id)
+    throw std::invalid_argument("FedClient::load_state: checkpoint is for client " +
+                                std::to_string(id) + ", not client " +
+                                std::to_string(config_.id));
+  if (algorithm != config_.algorithm)
+    throw std::invalid_argument("FedClient::load_state: algorithm mismatch (checkpoint: " +
+                                algorithm_name(algorithm) + ", client: " +
+                                algorithm_name(config_.algorithm) + ")");
+  agent_->load_training_state(reader);
+}
+
 }  // namespace pfrl::fed

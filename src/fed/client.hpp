@@ -82,9 +82,19 @@ class FedClient {
   sim::EpisodeMetrics evaluate_on_sampled(workload::Trace test_trace, std::size_t rollouts);
 
   rl::PpoAgent& agent() { return *agent_; }
+  const rl::PpoAgent& agent() const { return *agent_; }
   /// Non-null only for PFRL-DM clients.
   rl::DualCriticPpoAgent* dual_agent();
   env::SchedulingEnv& environment() { return env_; }
+
+  /// Persists this client's identity tag plus the agent's complete
+  /// training state (networks, optimizer moments, RNG stream, buffer).
+  void save_state(util::ByteWriter& writer) const;
+  /// Restores state written by save_state(). Throws std::invalid_argument
+  /// when the stored id or algorithm disagrees with this client — loading
+  /// a checkpoint into the wrong slot must fail loudly, not silently
+  /// cross-load weights.
+  void load_state(util::ByteReader& reader);
 
  private:
   FedClientConfig config_;

@@ -112,4 +112,56 @@ void FaultyBus::begin_round(std::uint64_t round) {
   for (Message& m : release) Bus::send_to_server(std::move(m));
 }
 
+void FaultyBus::save_state(util::ByteWriter& writer) const {
+  Bus::save_state(writer);
+  writer.write_u64(round_);
+  writer.write_u64(delayed_.size());
+  for (const auto& [deliver_at, message] : delayed_) {
+    writer.write_u64(deliver_at);
+    serialize_message(message, writer);
+  }
+  std::vector<std::uint64_t> keys;
+  keys.reserve(link_rngs_.size());
+  for (const auto& [key, rng] : link_rngs_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  writer.write_u64(keys.size());
+  for (const std::uint64_t key : keys) {
+    writer.write_u64(key);
+    link_rngs_.at(key).state().serialize(writer);
+  }
+  writer.write_u64(counters_.uplink_dropped);
+  writer.write_u64(counters_.downlink_dropped);
+  writer.write_u64(counters_.uplink_corrupted);
+  writer.write_u64(counters_.downlink_corrupted);
+  writer.write_u64(counters_.duplicated);
+  writer.write_u64(counters_.delayed);
+  writer.write_u64(counters_.crash_suppressed);
+}
+
+void FaultyBus::load_state(util::ByteReader& reader) {
+  Bus::load_state(reader);
+  round_ = reader.read_u64();
+  const std::uint64_t delayed_count = reader.read_u64();
+  delayed_.clear();
+  for (std::uint64_t i = 0; i < delayed_count; ++i) {
+    const std::uint64_t deliver_at = reader.read_u64();
+    delayed_.emplace_back(deliver_at, deserialize_message(reader));
+  }
+  const std::uint64_t rng_count = reader.read_u64();
+  link_rngs_.clear();
+  for (std::uint64_t i = 0; i < rng_count; ++i) {
+    const std::uint64_t key = reader.read_u64();
+    // Seed value is irrelevant: set_state overwrites the whole engine.
+    auto [it, inserted] = link_rngs_.emplace(key, util::Rng(key));
+    it->second.set_state(util::RngState::deserialize(reader));
+  }
+  counters_.uplink_dropped = reader.read_u64();
+  counters_.downlink_dropped = reader.read_u64();
+  counters_.uplink_corrupted = reader.read_u64();
+  counters_.downlink_corrupted = reader.read_u64();
+  counters_.duplicated = reader.read_u64();
+  counters_.delayed = reader.read_u64();
+  counters_.crash_suppressed = reader.read_u64();
+}
+
 }  // namespace pfrl::fed

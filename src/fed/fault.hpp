@@ -83,6 +83,12 @@ class FaultyBus final : public Bus {
   const FaultCounters& counters() const { return counters_; }
   const FaultPlan& plan() const { return plan_; }
 
+  /// Extends Bus::save_state with the fault-injection state: the round
+  /// cursor, in-flight delayed messages, every per-link RNG stream
+  /// (keys sorted so checkpoint bytes are deterministic), and counters.
+  void save_state(util::ByteWriter& writer) const override;
+  void load_state(util::ByteReader& reader) override;
+
  private:
   util::Rng& link_rng(bool uplink, std::size_t client);
   /// Flips 1–4 random bytes of the payload (checksum left as stamped, so

@@ -47,4 +47,25 @@ inline Message make_message(MessageType type, int sender, std::uint64_t round,
 
 inline bool checksum_ok(const Message& m) { return util::crc32(m.payload) == m.checksum; }
 
+/// Serializes a message verbatim (checksum included, NOT re-stamped) so
+/// in-flight traffic — e.g. FaultyBus-delayed uploads — survives a
+/// checkpoint/restore without laundering injected corruption.
+inline void serialize_message(const Message& m, util::ByteWriter& writer) {
+  writer.write_u8(static_cast<std::uint8_t>(m.type));
+  writer.write_i64(m.sender);
+  writer.write_u64(m.round);
+  writer.write_u32(m.checksum);
+  writer.write_bytes(m.payload);
+}
+
+inline Message deserialize_message(util::ByteReader& reader) {
+  Message m;
+  m.type = static_cast<MessageType>(reader.read_u8());
+  m.sender = static_cast<int>(reader.read_i64());
+  m.round = reader.read_u64();
+  m.checksum = reader.read_u32();
+  m.payload = reader.read_bytes();
+  return m;
+}
+
 }  // namespace pfrl::fed

@@ -34,6 +34,17 @@ class MfpoAggregator final : public Aggregator {
   AggregationOutput aggregate(const AggregationInput& input) override;
   std::string name() const override { return "mfpo"; }
 
+  /// θ_G and the momentum buffer u — without them a resumed MFPO run
+  /// would re-warm momentum from zero and diverge from the original.
+  void save_state(util::ByteWriter& writer) const override {
+    writer.write_f32_span(global_);
+    writer.write_f32_span(momentum_);
+  }
+  void load_state(util::ByteReader& reader) override {
+    global_ = reader.read_f32_vector();
+    momentum_ = reader.read_f32_vector();
+  }
+
   const std::vector<float>& momentum() const { return momentum_; }
 
  private:

@@ -160,4 +160,43 @@ std::vector<std::uint8_t> FedServer::global_payload() const {
   return encode_model(global_model_);
 }
 
+void FedServer::save_state(util::ByteWriter& writer) const {
+  writer.write_f32_span(global_model_);
+  last_weights_.serialize(writer);
+  writer.write_u64(last_participants_.size());
+  for (const int id : last_participants_) writer.write_i64(id);
+  writer.write_u64(stats_.accepted);
+  writer.write_u64(stats_.rejected_type);
+  writer.write_u64(stats_.rejected_checksum);
+  writer.write_u64(stats_.rejected_stale);
+  writer.write_u64(stats_.rejected_malformed);
+  writer.write_u64(stats_.rejected_size);
+  writer.write_u64(stats_.rejected_nonfinite);
+  writer.write_u64(stats_.rejected_duplicate);
+  writer.write_u64(stats_.quorum_failures);
+  writer.write_u64(min_participants_);
+  aggregator_->save_state(writer);
+}
+
+void FedServer::load_state(util::ByteReader& reader) {
+  global_model_ = reader.read_f32_vector();
+  last_weights_ = nn::Matrix::deserialize(reader);
+  const std::uint64_t participant_count = reader.read_u64();
+  last_participants_.clear();
+  last_participants_.reserve(participant_count);
+  for (std::uint64_t i = 0; i < participant_count; ++i)
+    last_participants_.push_back(static_cast<int>(reader.read_i64()));
+  stats_.accepted = reader.read_u64();
+  stats_.rejected_type = reader.read_u64();
+  stats_.rejected_checksum = reader.read_u64();
+  stats_.rejected_stale = reader.read_u64();
+  stats_.rejected_malformed = reader.read_u64();
+  stats_.rejected_size = reader.read_u64();
+  stats_.rejected_nonfinite = reader.read_u64();
+  stats_.rejected_duplicate = reader.read_u64();
+  stats_.quorum_failures = reader.read_u64();
+  min_participants_ = static_cast<std::size_t>(reader.read_u64());
+  aggregator_->load_state(reader);
+}
+
 }  // namespace pfrl::fed

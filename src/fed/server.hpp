@@ -70,6 +70,13 @@ class FedServer {
 
   const Aggregator& aggregator() const { return *aggregator_; }
 
+  /// Persists ψ_G, the last round's weight matrix/participants, the
+  /// validation stats, and the aggregator's own cross-round state.
+  void save_state(util::ByteWriter& writer) const;
+  /// Restores state written by save_state(). The server must already hold
+  /// the same aggregator strategy the checkpoint was taken with.
+  void load_state(util::ByteReader& reader);
+
  private:
   std::unique_ptr<Aggregator> aggregator_;
   std::vector<float> global_model_;

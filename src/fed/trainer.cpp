@@ -312,8 +312,21 @@ void FedTrainer::step_round() {
 TrainingHistory FedTrainer::run() {
   while (episodes_done_ < config_.total_episodes) {
     step_round();
-    if (reporter_ && reporter_->abort_requested()) {
+    const bool finished = episodes_done_ >= config_.total_episodes;
+    const bool abort_requested = reporter_ != nullptr && reporter_->abort_requested();
+    const bool stop_requested =
+        stop_flag_ != nullptr && stop_flag_->load(std::memory_order_relaxed);
+    const bool periodic = config_.checkpoint_every_n_rounds > 0 &&
+                          round_index_ % config_.checkpoint_every_n_rounds == 0;
+    if (checkpoint_sink_ && (periodic || finished || abort_requested || stop_requested))
+      checkpoint_sink_(*this, round_index_);
+    if (abort_requested) {
       PFRL_LOG_WARN("FedTrainer: watchdog requested abort after round %llu; stopping",
+                    static_cast<unsigned long long>(round_index_));
+      break;
+    }
+    if (stop_requested) {
+      PFRL_LOG_WARN("FedTrainer: stop requested; checkpointed at round %llu and stopping",
                     static_cast<unsigned long long>(round_index_));
       break;
     }
@@ -385,6 +398,117 @@ std::size_t FedTrainer::add_client(std::unique_ptr<FedClient> client) {
   if (communication_enabled() && server_->has_global_model())
     clients_[index]->apply_download(server_->global_payload());
   return index;
+}
+
+namespace {
+
+void serialize_client_history(const ClientHistory& h, util::ByteWriter& writer) {
+  writer.write_f64_span(h.episode_rewards);
+  writer.write_u64(h.episode_metrics.size());
+  for (const sim::EpisodeMetrics& m : h.episode_metrics) m.serialize(writer);
+  writer.write_f64_span(h.critic_loss_before);
+  writer.write_f64_span(h.critic_loss_after);
+  writer.write_u64(h.round_diagnostics.size());
+  for (const rl::UpdateDiagnostics& d : h.round_diagnostics) d.serialize(writer);
+  writer.write_u64(h.joined_at_episode);
+  writer.write_u64(h.uploads_sent);
+  writer.write_u64(h.downloads_applied);
+  writer.write_u64(h.downloads_rejected);
+  writer.write_u64(h.rounds_crashed);
+  writer.write_u64(h.staleness);
+  writer.write_u64(h.max_staleness);
+}
+
+ClientHistory deserialize_client_history(util::ByteReader& reader) {
+  ClientHistory h;
+  h.episode_rewards = reader.read_f64_vector();
+  const std::uint64_t metric_count = reader.read_u64();
+  h.episode_metrics.reserve(metric_count);
+  for (std::uint64_t i = 0; i < metric_count; ++i)
+    h.episode_metrics.push_back(sim::EpisodeMetrics::deserialize(reader));
+  h.critic_loss_before = reader.read_f64_vector();
+  h.critic_loss_after = reader.read_f64_vector();
+  const std::uint64_t diag_count = reader.read_u64();
+  h.round_diagnostics.reserve(diag_count);
+  for (std::uint64_t i = 0; i < diag_count; ++i)
+    h.round_diagnostics.push_back(rl::UpdateDiagnostics::deserialize(reader));
+  h.joined_at_episode = static_cast<std::size_t>(reader.read_u64());
+  h.uploads_sent = static_cast<std::size_t>(reader.read_u64());
+  h.downloads_applied = static_cast<std::size_t>(reader.read_u64());
+  h.downloads_rejected = static_cast<std::size_t>(reader.read_u64());
+  h.rounds_crashed = static_cast<std::size_t>(reader.read_u64());
+  h.staleness = static_cast<std::size_t>(reader.read_u64());
+  h.max_staleness = static_cast<std::size_t>(reader.read_u64());
+  return h;
+}
+
+}  // namespace
+
+void FedTrainer::serialize_state(util::ByteWriter& writer) const {
+  writer.write_u64(round_index_);
+  writer.write_u64(episodes_done_);
+  rng_.state().serialize(writer);
+
+  writer.write_u64(clients_.size());
+  for (const auto& client : clients_) client->save_state(writer);
+
+  writer.write_u64(history_.rounds);
+  if (history_.clients.size() != clients_.size())
+    throw std::logic_error("FedTrainer::serialize_state: history out of sync with clients");
+  for (const ClientHistory& h : history_.clients) serialize_client_history(h, writer);
+  writer.write_u64(history_.attention_rounds.size());
+  for (const AttentionRoundRecord& rec : history_.attention_rounds) {
+    writer.write_u64(rec.round);
+    writer.write_u64(rec.participants.size());
+    for (const int id : rec.participants) writer.write_i64(id);
+    rec.weights.serialize(writer);
+  }
+
+  bus_->save_state(writer);
+  writer.write_bool(server_ != nullptr);
+  if (server_) server_->save_state(writer);
+}
+
+void FedTrainer::deserialize_state(util::ByteReader& reader) {
+  const std::uint64_t round_index = reader.read_u64();
+  const std::uint64_t episodes_done = reader.read_u64();
+  const util::RngState rng_state = util::RngState::deserialize(reader);
+
+  const std::uint64_t client_count = reader.read_u64();
+  if (client_count != clients_.size())
+    throw std::invalid_argument("FedTrainer::deserialize_state: checkpoint has " +
+                                std::to_string(client_count) + " clients, trainer has " +
+                                std::to_string(clients_.size()));
+  for (auto& client : clients_) client->load_state(reader);
+
+  history_.rounds = static_cast<std::size_t>(reader.read_u64());
+  for (ClientHistory& h : history_.clients) h = deserialize_client_history(reader);
+  const std::uint64_t attention_count = reader.read_u64();
+  history_.attention_rounds.clear();
+  history_.attention_rounds.reserve(attention_count);
+  for (std::uint64_t i = 0; i < attention_count; ++i) {
+    AttentionRoundRecord rec;
+    rec.round = reader.read_u64();
+    const std::uint64_t participant_count = reader.read_u64();
+    rec.participants.reserve(participant_count);
+    for (std::uint64_t p = 0; p < participant_count; ++p)
+      rec.participants.push_back(static_cast<int>(reader.read_i64()));
+    rec.weights = nn::Matrix::deserialize(reader);
+    history_.attention_rounds.push_back(std::move(rec));
+  }
+
+  bus_->load_state(reader);
+  const bool had_server = reader.read_bool();
+  if (had_server != (server_ != nullptr))
+    throw std::invalid_argument(
+        "FedTrainer::deserialize_state: server presence mismatch (checkpoint and trainer "
+        "disagree on whether aggregation is enabled)");
+  if (server_) server_->load_state(reader);
+
+  // Counters last: only adopt them once every component restored cleanly.
+  round_index_ = round_index;
+  episodes_done_ = static_cast<std::size_t>(episodes_done);
+  rng_.set_state(rng_state);
 }
 
 TrainingHistory FedTrainer::snapshot_history() const {

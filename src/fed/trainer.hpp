@@ -15,7 +15,9 @@
 // network.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -44,6 +46,9 @@ struct FedTrainerConfig {
   FaultPlan faults;
   /// Valid uploads the server requires before aggregating (quorum).
   std::size_t min_participants = 1;
+  /// Invoke the checkpoint sink every N completed rounds (0 = only on
+  /// stop/abort/completion). Has no effect until a sink is attached.
+  std::size_t checkpoint_every_n_rounds = 0;
 };
 
 struct ClientHistory {
@@ -125,8 +130,10 @@ class FedTrainer {
   std::size_t episodes_done() const { return episodes_done_; }
   std::size_t client_count() const { return clients_.size(); }
   FedClient& client(std::size_t i) { return *clients_[i]; }
+  const FedClient& client(std::size_t i) const { return *clients_[i]; }
   /// Null when training independently (no aggregator was supplied).
   FedServer* server() { return server_ ? server_.get() : nullptr; }
+  const FedServer* server() const { return server_ ? server_.get() : nullptr; }
   Bus& bus() { return *bus_; }
   /// Non-null only when the config carried an enabled FaultPlan.
   FaultyBus* faulty_bus() { return faulty_bus_; }
@@ -138,6 +145,37 @@ class FedTrainer {
   /// next round boundary when the reporter's watchdog requests an abort.
   void set_reporter(obs::RunReporter* reporter) { reporter_ = reporter; }
   obs::RunReporter* reporter() { return reporter_; }
+
+  /// Rounds completed so far (also the id of the next round to run).
+  std::uint64_t round_index() const { return round_index_; }
+
+  /// Serializes the complete training state — counters, the participant-
+  /// sampling RNG, per-client agent state, the full history, bus traffic
+  /// (and fault-injection state), and the server/aggregator — such that a
+  /// trainer restored from these bytes continues bit-identically.
+  void serialize_state(util::ByteWriter& writer) const;
+  /// Restores state written by serialize_state() into a trainer built
+  /// from the same configuration. Throws std::invalid_argument on a
+  /// topology mismatch (client count / ids / algorithms).
+  void deserialize_state(util::ByteReader& reader);
+
+  /// Attaches a checkpoint sink, called with the trainer and the just-
+  /// completed round index: every config.checkpoint_every_n_rounds
+  /// rounds, on a watchdog abort, on a cooperative stop, and when
+  /// training completes. The sink is the trainer's only link to the
+  /// checkpoint store (core layer), keeping this layer file-format-free.
+  using CheckpointSink = std::function<void(const FedTrainer&, std::uint64_t)>;
+  void set_checkpoint_sink(CheckpointSink sink) { checkpoint_sink_ = std::move(sink); }
+
+  /// Adjusts the periodic-checkpoint cadence after construction (the CLI
+  /// builds the trainer through core::Federation and only later learns
+  /// whether --checkpoint-dir was given).
+  void set_checkpoint_every(std::size_t rounds) { config_.checkpoint_every_n_rounds = rounds; }
+
+  /// Cooperative shutdown: `flag` (not owned; may be a signal handler's
+  /// target) is polled at every round boundary — when set, run() writes a
+  /// final checkpoint through the sink and returns early.
+  void set_stop_flag(const std::atomic<bool>* flag) { stop_flag_ = flag; }
 
  private:
   bool communication_enabled() const;
@@ -155,6 +193,8 @@ class FedTrainer {
   util::ThreadPool pool_;
   TrainingHistory history_;
   obs::RunReporter* reporter_ = nullptr;
+  CheckpointSink checkpoint_sink_;
+  const std::atomic<bool>* stop_flag_ = nullptr;
   std::size_t episodes_done_ = 0;  // episodes completed by the oldest client
   std::uint64_t round_index_ = 0;
 };

@@ -53,6 +53,37 @@ void Adam::reset_moments() {
   step_count_ = 0;
 }
 
+void Adam::serialize(util::ByteWriter& writer) const {
+  writer.write_i64(step_count_);
+  writer.write_u32(static_cast<std::uint32_t>(m_.size()));
+  for (const Matrix& m : m_) m.serialize(writer);
+  for (const Matrix& v : v_) v.serialize(writer);
+}
+
+void Adam::deserialize(util::ByteReader& reader) {
+  const std::int64_t step_count = reader.read_i64();
+  const std::uint32_t count = reader.read_u32();
+  if (count != m_.size())
+    throw std::invalid_argument("Adam::deserialize: moment count mismatch");
+  std::vector<Matrix> m;
+  std::vector<Matrix> v;
+  m.reserve(count);
+  v.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    m.push_back(Matrix::deserialize(reader));
+    if (!m.back().same_shape(m_[i]))
+      throw std::invalid_argument("Adam::deserialize: first-moment shape mismatch");
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    v.push_back(Matrix::deserialize(reader));
+    if (!v.back().same_shape(v_[i]))
+      throw std::invalid_argument("Adam::deserialize: second-moment shape mismatch");
+  }
+  m_ = std::move(m);
+  v_ = std::move(v);
+  step_count_ = step_count;
+}
+
 void Adam::rebind(std::vector<Param*> params) {
   if (params.size() != params_.size())
     throw std::invalid_argument("Adam::rebind: param count mismatch");

@@ -38,6 +38,14 @@ class Adam {
   const AdamConfig& config() const { return config_; }
   void set_lr(float lr) { config_.lr = lr; }
 
+  /// Writes the step counter and both moment vectors — everything needed
+  /// to continue an interrupted optimization bit-identically.
+  void serialize(util::ByteWriter& writer) const;
+  /// Restores state written by serialize(). Throws std::invalid_argument
+  /// if the stored moment shapes disagree with the bound parameter set;
+  /// the optimizer is left unchanged in that case.
+  void deserialize(util::ByteReader& reader);
+
  private:
   std::vector<Param*> params_;
   AdamConfig config_;

@@ -36,6 +36,21 @@ void Matrix::assign_into(Matrix& dst) const {
   dst.data_.assign(data_.begin(), data_.end());
 }
 
+void Matrix::serialize(util::ByteWriter& writer) const {
+  writer.write_u64(rows_);
+  writer.write_u64(cols_);
+  writer.write_f32_span(data_);
+}
+
+Matrix Matrix::deserialize(util::ByteReader& reader) {
+  const auto rows = static_cast<std::size_t>(reader.read_u64());
+  const auto cols = static_cast<std::size_t>(reader.read_u64());
+  std::vector<float> data = reader.read_f32_vector();
+  if (data.size() != rows * cols)
+    throw std::invalid_argument("Matrix::deserialize: payload does not match shape");
+  return Matrix(rows, cols, std::move(data));
+}
+
 Matrix Matrix::matmul(const Matrix& other) const {
   Matrix out;
   matmul_into(other, out);

@@ -15,6 +15,8 @@
 #include <span>
 #include <vector>
 
+#include "util/serialization.hpp"
+
 namespace pfrl::nn {
 
 class Matrix {
@@ -101,6 +103,12 @@ class Matrix {
   bool same_shape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
+
+  /// Writes shape (rows, cols as u64) followed by the row-major payload.
+  void serialize(util::ByteWriter& writer) const;
+  /// Reads a matrix written by serialize(); throws on truncation or a
+  /// payload whose length disagrees with the declared shape.
+  static Matrix deserialize(util::ByteReader& reader);
 
  private:
   std::size_t rows_ = 0;

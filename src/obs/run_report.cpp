@@ -182,6 +182,11 @@ void RunReporter::write_manifest(const char* status) {
   out += ",\n  \"episodes\": " + std::to_string(manifest_.episodes);
   out += ",\n  \"clients\": " + std::to_string(manifest_.clients);
   out += ",\n  \"started_unix\": " + std::to_string(started_unix_);
+  if (manifest_.resumed) {
+    out += ",\n  \"resume\": {\"parent_run_id\": ";
+    json_escape_append(out, manifest_.parent_run_id);
+    out += ", \"resumed_round\": " + std::to_string(manifest_.resumed_round) + "}";
+  }
   out += ",\n  \"build\": {\"git_describe\": ";
   json_escape_append(out, build_.git_describe);
   out += ", \"build_type\": ";

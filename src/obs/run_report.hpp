@@ -52,6 +52,14 @@ struct RunManifest {
   std::uint64_t seed = 0;
   std::size_t episodes = 0;
   std::size_t clients = 0;
+  /// Resume lineage: when this run continued from a checkpoint of an
+  /// earlier run, `parent_run_id` names that run (its run_name, or the
+  /// checkpoint directory when no parent manifest was found) and
+  /// `resumed_round` is the round the continuation started from. Empty /
+  /// zero with `resumed == false` for a fresh run.
+  bool resumed = false;
+  std::string parent_run_id;
+  std::uint64_t resumed_round = 0;
   /// Free-form config echo, written as a string→string JSON object
   /// ("table": "3", "preset.0": "Google", ...).
   std::vector<std::pair<std::string, std::string>> config;

@@ -73,6 +73,32 @@ struct UpdateDiagnostics {
            std::isfinite(alpha) && std::isfinite(local_critic_loss) &&
            std::isfinite(public_critic_loss);
   }
+
+  void serialize(util::ByteWriter& writer) const {
+    writer.write_f64(policy_entropy);
+    writer.write_f64(approx_kl);
+    writer.write_f64(clip_fraction);
+    writer.write_f64(explained_variance);
+    writer.write_f64(policy_grad_norm);
+    writer.write_f64(critic_grad_norm);
+    writer.write_f64(alpha);
+    writer.write_f64(local_critic_loss);
+    writer.write_f64(public_critic_loss);
+  }
+
+  static UpdateDiagnostics deserialize(util::ByteReader& reader) {
+    UpdateDiagnostics d;
+    d.policy_entropy = reader.read_f64();
+    d.approx_kl = reader.read_f64();
+    d.clip_fraction = reader.read_f64();
+    d.explained_variance = reader.read_f64();
+    d.policy_grad_norm = reader.read_f64();
+    d.critic_grad_norm = reader.read_f64();
+    d.alpha = reader.read_f64();
+    d.local_critic_loss = reader.read_f64();
+    d.public_critic_loss = reader.read_f64();
+    return d;
+  }
 };
 
 /// Outcome of one training or evaluation episode.

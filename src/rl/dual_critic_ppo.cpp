@@ -77,6 +77,24 @@ void DualCriticPpoAgent::load_critic(std::span<const float> flat) {
   PpoAgent::load_critic(flat);  // targets the local critic; triggers refresh
 }
 
+void DualCriticPpoAgent::save_training_state(util::ByteWriter& writer) const {
+  PpoAgent::save_training_state(writer);
+  public_critic_.serialize(writer);
+  public_critic_opt_.serialize(writer);
+  writer.write_f64(alpha_);
+  writer.write_f64(last_local_loss_);
+  writer.write_f64(last_public_loss_);
+}
+
+void DualCriticPpoAgent::load_training_state(util::ByteReader& reader) {
+  PpoAgent::load_training_state(reader);
+  public_critic_.deserialize(reader);
+  public_critic_opt_.deserialize(reader);
+  alpha_ = reader.read_f64();
+  last_local_loss_ = reader.read_f64();
+  last_public_loss_ = reader.read_f64();
+}
+
 void DualCriticPpoAgent::refresh_alpha() {
   // Eq. (15), evaluated on the trajectories still in the buffer. Before
   // any experience exists the critics are equally trusted.

@@ -45,6 +45,11 @@ class DualCriticPpoAgent final : public PpoAgent {
   double last_public_critic_loss() const { return last_public_loss_; }
   double last_local_critic_loss() const { return last_local_loss_; }
 
+  /// Extends the base serialization with the public critic ψ, its Adam
+  /// state, and the Eq. 15 mixing state (α + cached losses).
+  void save_training_state(util::ByteWriter& writer) const override;
+  void load_training_state(util::ByteReader& reader) override;
+
  protected:
   void on_model_loaded() override {
     PpoAgent::on_model_loaded();

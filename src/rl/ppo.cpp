@@ -381,6 +381,51 @@ void PpoAgent::clear_kl_anchor() {
   kl_beta_ = 0.0F;
 }
 
+void PpoAgent::save_training_state(util::ByteWriter& writer) const {
+  rng_.state().serialize(writer);
+  actor_.serialize(writer);
+  critic_.serialize(writer);
+  actor_opt_.serialize(writer);
+  critic_opt_.serialize(writer);
+  last_buffer_.serialize(writer);
+  writer.write_f64(last_critic_loss_);
+  diagnostics_.serialize(writer);
+  writer.write_f32_span(proximal_actor_anchor_);
+  writer.write_f32_span(proximal_critic_anchor_);
+  writer.write_f32(proximal_mu_);
+  writer.write_bool(kl_anchor_actor_ != nullptr);
+  if (kl_anchor_actor_) {
+    const std::vector<float> anchor = kl_anchor_actor_->flatten();
+    writer.write_f32_span(anchor);
+  }
+  writer.write_f32(kl_beta_);
+}
+
+void PpoAgent::load_training_state(util::ByteReader& reader) {
+  rng_.set_state(util::RngState::deserialize(reader));
+  actor_.deserialize(reader);
+  critic_.deserialize(reader);
+  actor_opt_.deserialize(reader);
+  critic_opt_.deserialize(reader);
+  last_buffer_.deserialize(reader);
+  last_critic_loss_ = reader.read_f64();
+  diagnostics_ = UpdateDiagnostics::deserialize(reader);
+  proximal_actor_anchor_ = reader.read_f32_vector();
+  proximal_critic_anchor_ = reader.read_f32_vector();
+  proximal_mu_ = reader.read_f32();
+  const bool has_kl = reader.read_bool();
+  if (has_kl) {
+    const std::vector<float> anchor = reader.read_f32_vector();
+    if (anchor.size() != actor_.param_count())
+      throw std::invalid_argument("load_training_state: KL anchor size mismatch");
+    if (!kl_anchor_actor_) kl_anchor_actor_ = std::make_unique<nn::Mlp>(actor_);
+    kl_anchor_actor_->unflatten(anchor);
+  } else {
+    kl_anchor_actor_.reset();
+  }
+  kl_beta_ = reader.read_f32();
+}
+
 double PpoAgent::critic_loss_on(nn::Mlp& net, const RolloutBuffer& buffer) const {
   if (buffer.empty()) return 0.0;
   const nn::Matrix states = buffer.state_matrix();

@@ -96,6 +96,18 @@ class PpoAgent : public Agent {
   void clear_kl_anchor();
   bool has_kl_anchor() const { return kl_beta_ > 0.0F; }
 
+  /// Serializes the *entire* learning state — network parameters, Adam
+  /// moments and step counts, the policy RNG stream, the retained rollout
+  /// buffer, cached losses/diagnostics, and federated regularizer anchors
+  /// — so a restored agent continues training bit-identically.
+  virtual void save_training_state(util::ByteWriter& writer) const;
+  /// Restores state written by save_training_state(). Parameters are set
+  /// directly: unlike load_actor/load_critic no optimizer moments are
+  /// reset and no post-load re-evaluation runs, because the serialized
+  /// state already holds the exact post-round values. Throws on
+  /// architecture mismatch.
+  virtual void load_training_state(util::ByteReader& reader);
+
  protected:
   /// Called after any external parameter replacement; re-evaluates the
   /// critic on the retained buffer so before/after-aggregation losses

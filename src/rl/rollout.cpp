@@ -96,4 +96,33 @@ void RolloutBuffer::state_matrix_into(nn::Matrix& out) const {
   }
 }
 
+void RolloutBuffer::serialize(util::ByteWriter& writer) const {
+  writer.write_u64(transitions_.size());
+  for (const Transition& t : transitions_) {
+    writer.write_f32_span(t.state);
+    writer.write_i64(t.action);
+    writer.write_f64(t.reward);
+    writer.write_f32(t.log_prob);
+    writer.write_f32(t.value);
+    writer.write_bool(t.done);
+  }
+}
+
+void RolloutBuffer::deserialize(util::ByteReader& reader) {
+  const std::uint64_t n = reader.read_u64();
+  std::vector<Transition> transitions;
+  transitions.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Transition t;
+    t.state = reader.read_f32_vector();
+    t.action = static_cast<int>(reader.read_i64());
+    t.reward = reader.read_f64();
+    t.log_prob = reader.read_f32();
+    t.value = reader.read_f32();
+    t.done = reader.read_bool();
+    transitions.push_back(std::move(t));
+  }
+  transitions_ = std::move(transitions);
+}
+
 }  // namespace pfrl::rl

@@ -57,6 +57,13 @@ class RolloutBuffer {
   /// Workspace form: writes into `out`, reusing its capacity.
   void state_matrix_into(nn::Matrix& out) const;
 
+  /// Writes every stored transition. Part of the full-training-state
+  /// checkpoint: the retained buffer feeds α refreshes and critic
+  /// re-evaluation after a model swap, so resume must restore it.
+  void serialize(util::ByteWriter& writer) const;
+  /// Replaces the buffer contents with transitions written by serialize().
+  void deserialize(util::ByteReader& reader);
+
  private:
   std::vector<Transition> transitions_;
 };

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sim/cluster.hpp"
+#include "util/serialization.hpp"
 
 namespace pfrl::sim {
 
@@ -24,6 +25,34 @@ struct EpisodeMetrics {
   std::size_t steps = 0;
   std::size_t invalid_actions = 0;
   std::size_t lazy_noops = 0;  // no-op while some VM fit the head task
+
+  void serialize(util::ByteWriter& writer) const {
+    writer.write_f64(avg_response_time);
+    writer.write_f64(avg_wait_time);
+    writer.write_f64(makespan);
+    writer.write_f64(avg_utilization);
+    writer.write_f64(avg_load_balance);
+    writer.write_u64(completed_tasks);
+    writer.write_f64(total_reward);
+    writer.write_u64(steps);
+    writer.write_u64(invalid_actions);
+    writer.write_u64(lazy_noops);
+  }
+
+  static EpisodeMetrics deserialize(util::ByteReader& reader) {
+    EpisodeMetrics m;
+    m.avg_response_time = reader.read_f64();
+    m.avg_wait_time = reader.read_f64();
+    m.makespan = reader.read_f64();
+    m.avg_utilization = reader.read_f64();
+    m.avg_load_balance = reader.read_f64();
+    m.completed_tasks = static_cast<std::size_t>(reader.read_u64());
+    m.total_reward = reader.read_f64();
+    m.steps = static_cast<std::size_t>(reader.read_u64());
+    m.invalid_actions = static_cast<std::size_t>(reader.read_u64());
+    m.lazy_noops = static_cast<std::size_t>(reader.read_u64());
+    return m;
+  }
 };
 
 /// Field-wise mean over several episodes (multi-rollout evaluation).

@@ -39,6 +39,20 @@ std::uint64_t Rng::next_u64() {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+RngState Rng::state() const {
+  RngState snapshot;
+  for (std::size_t i = 0; i < snapshot.s.size(); ++i) snapshot.s[i] = state_[i];
+  snapshot.cached_normal = cached_normal_;
+  snapshot.has_cached_normal = has_cached_normal_;
+  return snapshot;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (std::size_t i = 0; i < state.s.size(); ++i) state_[i] = state.s[i];
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 double Rng::uniform() {
   // 53 high bits -> double in [0, 1).
   return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;

@@ -5,11 +5,41 @@
 // seed reproduces every figure bit-for-bit regardless of thread scheduling.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "util/serialization.hpp"
+
 namespace pfrl::util {
+
+/// Complete engine state of an Rng: the four xoshiro256** words plus the
+/// Box–Muller cache (a normal() draw produces two values; the undelivered
+/// one is part of the stream). Restoring this state makes the generator
+/// continue with an identical sequence across every sampling path —
+/// the property checkpoint resume depends on.
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+
+  bool operator==(const RngState&) const = default;
+
+  void serialize(ByteWriter& writer) const {
+    for (const std::uint64_t w : s) writer.write_u64(w);
+    writer.write_f64(cached_normal);
+    writer.write_bool(has_cached_normal);
+  }
+
+  static RngState deserialize(ByteReader& reader) {
+    RngState state;
+    for (auto& w : state.s) w = reader.read_u64();
+    state.cached_normal = reader.read_f64();
+    state.has_cached_normal = reader.read_bool();
+    return state;
+  }
+};
 
 /// xoshiro256** PRNG (Blackman & Vigna). Small, fast, and statistically
 /// strong enough for simulation work; seeded through splitmix64 so that
@@ -24,6 +54,12 @@ class Rng {
   /// Derive an independent child stream; used to hand sub-seeds to
   /// components without correlating their randomness.
   Rng split();
+
+  /// Snapshot of the full engine state (xoshiro words + normal cache).
+  RngState state() const;
+  /// Restores a snapshot; the stream continues exactly where state() was
+  /// taken, for every distribution.
+  void set_state(const RngState& state);
 
   /// Uniform double in [0, 1).
   double uniform();

@@ -36,9 +36,27 @@ class ByteWriter {
     write_raw(s.data(), s.size());
   }
 
+  void write_bool(bool v) { write_u8(v ? 1 : 0); }
+
   void write_f32_span(std::span<const float> values) {
     write_u32(static_cast<std::uint32_t>(values.size()));
     write_raw(values.data(), values.size() * sizeof(float));
+  }
+
+  void write_f64_span(std::span<const double> values) {
+    write_u32(static_cast<std::uint32_t>(values.size()));
+    write_raw(values.data(), values.size() * sizeof(double));
+  }
+
+  /// Length-prefixed raw byte blob (nested payloads).
+  void write_bytes(std::span<const std::uint8_t> bytes) {
+    write_u32(static_cast<std::uint32_t>(bytes.size()));
+    write_raw(bytes.data(), bytes.size());
+  }
+
+  /// Raw bytes with no length prefix (container framing owns the length).
+  void write_raw_span(std::span<const std::uint8_t> bytes) {
+    write_raw(bytes.data(), bytes.size());
   }
 
   const std::vector<std::uint8_t>& bytes() const { return buffer_; }
@@ -76,6 +94,8 @@ class ByteReader {
     return s;
   }
 
+  bool read_bool() { return read_u8() != 0; }
+
   std::vector<float> read_f32_vector() {
     const std::uint32_t n = read_u32();
     require(static_cast<std::size_t>(n) * sizeof(float));
@@ -83,6 +103,24 @@ class ByteReader {
     std::memcpy(values.data(), bytes_.data() + cursor_, n * sizeof(float));
     cursor_ += n * sizeof(float);
     return values;
+  }
+
+  std::vector<double> read_f64_vector() {
+    const std::uint32_t n = read_u32();
+    require(static_cast<std::size_t>(n) * sizeof(double));
+    std::vector<double> values(n);
+    std::memcpy(values.data(), bytes_.data() + cursor_, n * sizeof(double));
+    cursor_ += n * sizeof(double);
+    return values;
+  }
+
+  std::vector<std::uint8_t> read_bytes() {
+    const std::uint32_t n = read_u32();
+    require(n);
+    std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                                  bytes_.begin() + static_cast<std::ptrdiff_t>(cursor_ + n));
+    cursor_ += n;
+    return out;
   }
 
   std::size_t remaining() const { return bytes_.size() - cursor_; }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <iterator>
@@ -14,7 +16,13 @@ namespace {
 class CheckpointTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() / "pfrl_ckpt_test").string();
+    // Unique per test case: ctest runs cases of this binary as parallel
+    // processes, so a shared directory races one case's TearDown against
+    // another's writes.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("pfrl_ckpt_" + std::string(info->name()) + "_" + std::to_string(::getpid())))
+               .string();
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
@@ -116,6 +124,84 @@ TEST_F(CheckpointTest, BitFlippedHeaderRejected) {
   f.close();
   rl::PpoAgent b(4, 3, cfg);
   EXPECT_THROW(load_agent(b, path("flip.ckpt")), std::invalid_argument);
+}
+
+TEST_F(CheckpointTest, CorruptionInEveryByteRegionLeavesAgentUntouched) {
+  // The strong exception guarantee, probed region by region: whatever part
+  // of the container is damaged — header magic, version, content kind,
+  // payload (shape words or weights), footer length, CRC, end magic — the
+  // load throws and the in-memory agent keeps every parameter and Adam
+  // moment it had before.
+  rl::PpoConfig cfg;
+  cfg.seed = 11;
+  rl::DualCriticPpoAgent saved(5, 3, cfg);
+  save_agent(saved, path("good.ckpt"));
+  std::ifstream in(path("good.ckpt"), std::ios::binary);
+  const std::vector<char> good((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+  ASSERT_GT(good.size(), 32u);
+
+  struct Region {
+    const char* name;
+    std::size_t offset;
+  };
+  const Region regions[] = {
+      {"header magic", 0},
+      {"format version", 4},
+      {"content kind", 8},
+      {"payload shape word", 13},  // first bytes of the serialized actor dims
+      {"payload weights", good.size() / 2},
+      {"footer payload length", good.size() - 16},
+      {"footer crc", good.size() - 8},
+      {"footer end magic", good.size() - 4},
+  };
+  for (const Region& region : regions) {
+    std::vector<char> bad = good;
+    bad[region.offset] ^= 0x5A;
+    {
+      std::ofstream out(path("bad.ckpt"), std::ios::binary);
+      out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+    }
+    cfg.seed = 12;
+    rl::DualCriticPpoAgent victim(5, 3, cfg);
+    const std::vector<float> actor_before = victim.actor().flatten();
+    const std::vector<float> critic_before = victim.local_critic().flatten();
+    const std::vector<float> public_before = victim.public_critic().flatten();
+    EXPECT_THROW(load_agent(victim, path("bad.ckpt")), std::invalid_argument)
+        << "corrupting " << region.name << " must be rejected";
+    EXPECT_EQ(victim.actor().flatten(), actor_before)
+        << "corrupting " << region.name << " touched the actor";
+    EXPECT_EQ(victim.local_critic().flatten(), critic_before)
+        << "corrupting " << region.name << " touched the critic";
+    EXPECT_EQ(victim.public_critic().flatten(), public_before)
+        << "corrupting " << region.name << " touched the public critic";
+  }
+}
+
+TEST_F(CheckpointTest, FederationManifestRejectsMismatchedTopology) {
+  FederationConfig cfg;
+  cfg.algorithm = fed::FedAlgorithm::kPfrlDm;
+  cfg.scale = ExperimentScale::tiny();
+  cfg.threads = 1;
+  Federation saved(table2_clients(), cfg);
+  save_federation(saved.trainer(), dir_ + "/fed");
+
+  // Different algorithm: clear rejection before any weight is touched.
+  FederationConfig avg = cfg;
+  avg.algorithm = fed::FedAlgorithm::kFedAvg;
+  Federation wrong_alg(table2_clients(), avg);
+  EXPECT_THROW(load_federation(wrong_alg.trainer(), dir_ + "/fed"), std::invalid_argument);
+
+  // Different client count.
+  std::vector<ClientPreset> fewer = table2_clients();
+  fewer.pop_back();
+  Federation wrong_count(fewer, cfg);
+  EXPECT_THROW(load_federation(wrong_count.trainer(), dir_ + "/fed"), std::invalid_argument);
+
+  // Manifest deleted: the directory no longer identifies itself.
+  std::filesystem::remove(dir_ + "/fed/federation.json");
+  Federation fresh(table2_clients(), cfg);
+  EXPECT_THROW(load_federation(fresh.trainer(), dir_ + "/fed"), std::invalid_argument);
 }
 
 TEST_F(CheckpointTest, FederationRoundTrip) {

@@ -1,0 +1,180 @@
+// Crash-safe resume acceptance tests: the bit-identical contract (N
+// rounds straight == K rounds + kill + resume + N−K rounds, byte for
+// byte), and torn-write recovery (a truncated or bit-flipped newest
+// generation falls back to the previous one instead of failing the run).
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/federation.hpp"
+#include "util/serialization.hpp"
+
+namespace pfrl::core {
+namespace {
+
+class ResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("pfrl_resume_" + std::string(info->name()) + "_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static FederationConfig config(std::size_t episodes,
+                                 fed::FedAlgorithm algorithm = fed::FedAlgorithm::kPfrlDm) {
+    FederationConfig cfg;
+    cfg.algorithm = algorithm;
+    cfg.scale = ExperimentScale::tiny();
+    cfg.scale.episodes = episodes;
+    cfg.threads = 1;
+    return cfg;
+  }
+
+  /// Runs `episodes` with a CheckpointManager attached (snapshot every
+  /// round), leaving rotated generations + federation.json under dir_.
+  void train_with_checkpoints(std::size_t episodes) {
+    Federation federation(table2_clients(), config(episodes));
+    const CheckpointManager manager(dir_);
+    federation.trainer().set_checkpoint_every(1);
+    manager.attach(federation.trainer());
+    (void)federation.train();
+  }
+
+  static std::vector<std::uint8_t> state_bytes(const fed::FedTrainer& trainer) {
+    util::ByteWriter writer;
+    trainer.serialize_state(writer);
+    return writer.bytes();
+  }
+
+  std::string generation(std::uint64_t ordinal) const {
+    return dir_ + "/state-" + std::to_string(ordinal) + ".pfc";
+  }
+
+  void truncate_file(const std::string& path) const {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(bytes.size(), 64u);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  void flip_byte(const std::string& path, std::size_t offset) const {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(static_cast<std::streamoff>(offset));
+    char c;
+    f.read(&c, 1);
+    c ^= 0x24;
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&c, 1);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ResumeTest, ResumeContinuesBitIdentically) {
+  // Straight run: 8 episodes/client = 4 communication rounds, no
+  // checkpointing anywhere near it.
+  Federation straight(table2_clients(), config(8));
+  (void)straight.train();
+
+  // Interrupted run: 4 episodes (2 rounds), checkpointed every round —
+  // then the process "dies" (the Federation goes out of scope) and a
+  // brand-new one resumes from disk and finishes the remaining rounds.
+  train_with_checkpoints(4);
+
+  Federation resumed(table2_clients(), config(8));
+  const CheckpointManager manager(dir_);
+  const std::optional<ResumeInfo> info = manager.try_resume(resumed.trainer());
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->round, 2u);
+  EXPECT_EQ(info->episodes_done, 4u);
+  const fed::TrainingHistory history = resumed.train();
+
+  // Byte-for-byte: parameters, Adam moments, RNG streams, α state,
+  // history, bus counters — serialize_state covers all of it, so equal
+  // bytes is the strongest possible equality.
+  EXPECT_EQ(state_bytes(resumed.trainer()), state_bytes(straight.trainer()));
+  EXPECT_EQ(fed::training_history_json(history),
+            fed::training_history_json(straight.trainer().snapshot_history()));
+  for (std::size_t i = 0; i < resumed.client_count(); ++i) {
+    EXPECT_EQ(resumed.trainer().client(i).agent().actor().flatten(),
+              straight.trainer().client(i).agent().actor().flatten());
+    EXPECT_EQ(resumed.trainer().client(i).agent().critic().flatten(),
+              straight.trainer().client(i).agent().critic().flatten());
+  }
+}
+
+TEST_F(ResumeTest, TruncatedNewestGenerationFallsBackOneGeneration) {
+  train_with_checkpoints(6);  // rounds 1..3; keep=2 leaves generations 2 and 3
+  ASSERT_TRUE(std::filesystem::exists(generation(3)));
+  ASSERT_TRUE(std::filesystem::exists(generation(2)));
+  truncate_file(generation(3));  // torn write: the crash hit mid-rename era
+
+  Federation resumed(table2_clients(), config(6));
+  const CheckpointManager manager(dir_);
+  const std::optional<ResumeInfo> info = manager.try_resume(resumed.trainer());
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->round, 2u) << "must fall back to the last good generation";
+  // The fallen-back state is live: training continues from it.
+  resumed.trainer().step_round();
+  EXPECT_GT(resumed.trainer().episodes_done(), info->episodes_done);
+}
+
+TEST_F(ResumeTest, BitFlippedNewestGenerationFallsBackOneGeneration) {
+  train_with_checkpoints(6);
+  const auto size = std::filesystem::file_size(generation(3));
+  flip_byte(generation(3), static_cast<std::size_t>(size / 2));
+
+  Federation resumed(table2_clients(), config(6));
+  const CheckpointManager manager(dir_);
+  const std::optional<ResumeInfo> info = manager.try_resume(resumed.trainer());
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->round, 2u);
+}
+
+TEST_F(ResumeTest, AllGenerationsCorruptFailsLoudly) {
+  train_with_checkpoints(6);
+  truncate_file(generation(3));
+  truncate_file(generation(2));
+  Federation resumed(table2_clients(), config(6));
+  const CheckpointManager manager(dir_);
+  EXPECT_THROW((void)manager.try_resume(resumed.trainer()), std::invalid_argument);
+}
+
+TEST_F(ResumeTest, EmptyDirectoryResumesAsFreshStart) {
+  Federation federation(table2_clients(), config(4));
+  const CheckpointManager manager(dir_);
+  EXPECT_FALSE(manager.try_resume(federation.trainer()).has_value());
+  EXPECT_EQ(federation.trainer().round_index(), 0u);
+}
+
+TEST_F(ResumeTest, TopologyMismatchOnResumeIsRejected) {
+  train_with_checkpoints(4);  // pfrl-dm snapshots
+  Federation other(table2_clients(), config(4, fed::FedAlgorithm::kFedAvg));
+  const CheckpointManager manager(dir_);
+  EXPECT_THROW((void)manager.try_resume(other.trainer()), std::invalid_argument);
+}
+
+TEST_F(ResumeTest, PeriodicCadenceIsHonoured) {
+  Federation federation(table2_clients(), config(8));  // 4 rounds
+  const CheckpointManager manager(dir_);
+  federation.trainer().set_checkpoint_every(2);
+  manager.attach(federation.trainer());
+  (void)federation.train();
+  // Rounds 2 and 4 snapshot (cadence + the final round); keep=2 retains both.
+  const SnapshotDir store(dir_, ContentKind::kFederationState, "state");
+  EXPECT_EQ(store.list_generations(), (std::vector<std::uint64_t>{2, 4}));
+}
+
+}  // namespace
+}  // namespace pfrl::core

@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "core/presets.hpp"
 #include "fed/attention_aggregator.hpp"
@@ -293,6 +294,54 @@ TEST(FedTrainerFaults, DisabledPlanUsesPlainBusAndStaysDeterministic) {
   FedTrainer plain(cfg, std::make_unique<FedAvgAggregator>(),
                    make_clients(2, FedAlgorithm::kFedAvg));
   EXPECT_EQ(plain.faulty_bus(), nullptr);
+}
+
+TEST(FedTrainerFaults, CheckpointResumeInsideCrashWindowIsBitIdentical) {
+  // The process dies (trainer destroyed) while client 1 is inside its
+  // crash window; a new trainer restores the serialized state and
+  // finishes. The faulted continuation must be byte-identical to a
+  // never-interrupted run: crash windows, per-link fault RNG streams,
+  // delayed-message queues, staleness and quorum accounting all live in
+  // the checkpoint.
+  const auto make_cfg = [](std::size_t total_episodes) {
+    FedTrainerConfig cfg = faulty_config(total_episodes, 2);
+    cfg.faults.uplink_drop = 0.25;
+    cfg.faults.downlink_drop = 0.2;
+    cfg.faults.seed = 2024;
+    cfg.faults.crashes.push_back({1, 2, 4});  // client 1 down rounds 2-3
+    return cfg;
+  };
+  const auto serialized = [](const FedTrainer& trainer) {
+    util::ByteWriter writer;
+    trainer.serialize_state(writer);
+    return writer.take();
+  };
+
+  FedTrainer straight(make_cfg(12), std::make_unique<AttentionAggregator>(),
+                      make_clients(3, FedAlgorithm::kPfrlDm));
+  const TrainingHistory reference = straight.run();
+
+  // Interrupted run: stop after round 3 — mid crash window — and snapshot.
+  FedTrainer first(make_cfg(6), std::make_unique<AttentionAggregator>(),
+                   make_clients(3, FedAlgorithm::kPfrlDm));
+  (void)first.run();
+  const std::vector<std::uint8_t> snapshot = serialized(first);
+
+  FedTrainer resumed(make_cfg(12), std::make_unique<AttentionAggregator>(),
+                     make_clients(3, FedAlgorithm::kPfrlDm));
+  util::ByteReader reader{std::span<const std::uint8_t>(snapshot)};
+  resumed.deserialize_state(reader);
+  EXPECT_TRUE(reader.exhausted());
+  const TrainingHistory h = resumed.run();
+
+  EXPECT_EQ(h.rounds, reference.rounds);
+  EXPECT_EQ(serialized(resumed), serialized(straight));
+  // The rejoined client's crash accounting is consistent across the kill:
+  // 2 rounds out, the missing episodes never back-filled, staleness seen.
+  EXPECT_EQ(h.clients[1].rounds_crashed, reference.clients[1].rounds_crashed);
+  EXPECT_EQ(h.clients[1].episode_rewards, reference.clients[1].episode_rewards);
+  EXPECT_EQ(h.clients[1].max_staleness, reference.clients[1].max_staleness);
+  EXPECT_EQ(training_history_json(h), training_history_json(reference));
 }
 
 TEST(FedTrainerFaults, StalenessCountersTrackMissedDownloads) {

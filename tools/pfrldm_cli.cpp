@@ -18,9 +18,13 @@
 // --metrics-out FILE (CSV metrics snapshot at exit), --trace-out FILE
 // (JSONL span stream), --report (observability table on stderr).
 // Giving any of the last three arms the obs layer for the run.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/checkpoint.hpp"
@@ -36,6 +40,13 @@ using namespace pfrl;
 
 namespace {
 
+/// Flipped by SIGINT/SIGTERM; FedTrainer polls it at round boundaries and
+/// writes a final checkpoint before stopping (only armed with
+/// --checkpoint-dir, so a plain ^C without checkpointing stays a plain ^C).
+std::atomic<bool> g_stop_requested{false};
+
+void handle_stop_signal(int) { g_stop_requested.store(true, std::memory_order_relaxed); }
+
 int usage() {
   std::printf(
       "usage: pfrldm <command> [options]\n"
@@ -44,6 +55,7 @@ int usage() {
       "  inspect  --in FILE\n"
       "  train    --algorithm ALG --table 2|3 [--episodes N] [--seed S]\n"
       "           [--checkpoint DIR] [--full]\n"
+      "           [--checkpoint-dir DIR [--checkpoint-every N] [--resume]]\n"
       "  evaluate --algorithm ALG --table 2|3 --checkpoint DIR [--hybrid F]\n"
       "algorithms: pfrl-dm fedavg mfpo fedprox fedkl ppo\n"
       "global options:\n"
@@ -56,7 +68,13 @@ int usage() {
       "                       learning.jsonl, summary.json); render it with\n"
       "                       tools/pfrl_report.py DIR\n"
       "  --watchdog-abort     stop training when the divergence watchdog\n"
-      "                       raises an alert\n");
+      "                       raises an alert\n"
+      "  --checkpoint-dir DIR full-state crash-safe checkpoints: rotated\n"
+      "                       snapshot generations + federation.json; SIGINT/\n"
+      "                       SIGTERM checkpoint-then-stop at a round boundary\n"
+      "  --checkpoint-every N snapshot every N rounds (default 1)\n"
+      "  --resume             restore the newest valid snapshot from\n"
+      "                       --checkpoint-dir and continue bit-identically\n");
   return 2;
 }
 
@@ -210,8 +228,24 @@ void print_eval(const char* title, core::Federation& federation,
   table.print();
 }
 
+/// Lineage note the CLI leaves beside the snapshots: the run_name of the
+/// last run that checkpointed here, so a later --resume can name its
+/// parent in manifest.json instead of just pointing at the directory.
+std::string lineage_path(const std::string& checkpoint_dir) {
+  return (std::filesystem::path(checkpoint_dir) / "last_run").string();
+}
+
+std::string read_first_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in && std::getline(in, line)) return line;
+  return {};
+}
+
 std::unique_ptr<obs::RunReporter> make_run_reporter(const util::Cli& cli,
-                                                    const core::Federation& federation) {
+                                                    const core::Federation& federation,
+                                                    const std::string& checkpoint_dir,
+                                                    const std::optional<core::ResumeInfo>& resumed) {
   const std::string run_dir = cli.get("run-dir", "");
   if (run_dir.empty()) return nullptr;
   const core::FederationConfig& cfg = federation.config();
@@ -222,6 +256,12 @@ std::unique_ptr<obs::RunReporter> make_run_reporter(const util::Cli& cli,
   manifest.seed = cfg.seed;
   manifest.episodes = cfg.scale.episodes;
   manifest.clients = federation.client_count();
+  if (resumed) {
+    manifest.resumed = true;
+    manifest.parent_run_id = read_first_line(lineage_path(checkpoint_dir));
+    if (manifest.parent_run_id.empty()) manifest.parent_run_id = checkpoint_dir;
+    manifest.resumed_round = resumed->round;
+  }
   manifest.config.emplace_back("table", cli.get("table", "3"));
   manifest.config.emplace_back("comm_every", std::to_string(cfg.scale.comm_every));
   manifest.config.emplace_back("tasks_per_client", std::to_string(cfg.scale.tasks_per_client));
@@ -238,10 +278,41 @@ std::unique_ptr<obs::RunReporter> make_run_reporter(const util::Cli& cli,
 
 int cmd_train(const util::Cli& cli) {
   core::Federation federation(presets_for(cli), federation_config(cli));
+  fed::FedTrainer& trainer = federation.trainer();
   std::printf("training %zu clients with %s...\n", federation.client_count(),
               fed::algorithm_name(federation.config().algorithm).c_str());
-  const std::unique_ptr<obs::RunReporter> reporter = make_run_reporter(cli, federation);
+
+  const std::string checkpoint_dir = cli.get("checkpoint-dir", "");
+  if (checkpoint_dir.empty() && cli.get_bool("resume", false))
+    throw std::invalid_argument("--resume requires --checkpoint-dir");
+  std::optional<core::CheckpointManager> checkpoints;
+  std::optional<core::ResumeInfo> resumed;
+  if (!checkpoint_dir.empty()) {
+    checkpoints.emplace(checkpoint_dir);
+    if (cli.get_bool("resume", false)) {
+      resumed = checkpoints->try_resume(trainer);
+      if (resumed)
+        std::printf("resumed from %s at round %llu (%zu episodes done)\n", checkpoint_dir.c_str(),
+                    static_cast<unsigned long long>(resumed->round), resumed->episodes_done);
+      else
+        std::printf("no snapshot in %s yet; starting fresh\n", checkpoint_dir.c_str());
+    }
+    trainer.set_checkpoint_every(static_cast<std::size_t>(cli.get_int("checkpoint-every", 1)));
+    checkpoints->attach(trainer);
+    trainer.set_stop_flag(&g_stop_requested);
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+  }
+
+  const std::unique_ptr<obs::RunReporter> reporter =
+      make_run_reporter(cli, federation, checkpoint_dir, resumed);
   if (reporter) federation.trainer().set_reporter(reporter.get());
+  if (checkpoints && reporter) {
+    // Leave the lineage note for a future --resume of this directory.
+    std::filesystem::create_directories(checkpoint_dir);
+    std::ofstream lineage(lineage_path(checkpoint_dir));
+    lineage << std::filesystem::path(reporter->dir()).filename().string() << "\n";
+  }
   const fed::TrainingHistory history = federation.train();
   if (reporter) {
     federation.trainer().set_reporter(nullptr);
