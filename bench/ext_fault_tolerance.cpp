@@ -7,11 +7,17 @@
 // "Fault model & degradation behaviour").
 #include <algorithm>
 #include <filesystem>
+#include <numeric>
 #include <span>
+#include <thread>
+
+#include <unistd.h>
 
 #include "bench_common.hpp"
 #include "core/checkpoint.hpp"
+#include "fed/socket_transport.hpp"
 #include "util/serialization.hpp"
+#include "util/stopwatch.hpp"
 
 using namespace pfrl;
 
@@ -161,6 +167,188 @@ int main(int argc, char** argv) {
     session.record().add("crash_resume.bit_identical", identical ? 1.0 : 0.0, "bool");
     session.record().add("crash_resume.final_reward_delta", delta, "reward");
     std::filesystem::remove_all(ckpt_dir);
+  }
+
+  // Third scenario: the socket transport itself under fire. A 12-client
+  // Unix-domain federation pushes fixed-size uploads through injected
+  // drop/duplicate/delay faults and forced disconnects, across retry
+  // budgets, and we measure the throughput cost of resilience: rounds/sec,
+  // bytes moved per round, reconnect count, and the fraction of uploads
+  // that arrived too late for their round (the staleness path).
+  {
+    constexpr std::size_t kNetClients = 12;
+    constexpr std::size_t kNetRounds = 6;
+    constexpr std::size_t kUploadBytes = 32 * 1024;
+    const std::string sock_path =
+        (std::filesystem::temp_directory_path() /
+         ("pfrl_ext_fault_net_" + std::to_string(::getpid()) + ".sock"))
+            .string();
+
+    struct FaultLevel {
+      const char* name;
+      double drop, duplicate, delay;
+      bool crashes;  // forced disconnects mid-run (reconnect + re-handshake)
+    };
+    const FaultLevel levels[] = {
+        {"clean", 0.0, 0.0, 0.0, false},
+        {"lossy", 0.15, 0.10, 0.15, false},
+        {"harsh", 0.30, 0.15, 0.25, true},
+    };
+
+    util::TablePrinter net_table({"faults", "retries", "rounds/s", "KiB/round", "reconnects",
+                                  "stale frac", "give-ups"});
+    auto net_csv = bench::maybe_csv(opt, "ext_fault_tolerance_transport",
+                                    {"faults", "retry_budget", "rounds_per_sec", "bytes_per_round",
+                                     "reconnects", "stale_fraction", "give_ups"});
+
+    std::vector<std::uint8_t> upload(kUploadBytes);
+    util::Rng payload_rng(opt.seed ^ 0x7E57ULL);
+    for (auto& b : upload) b = static_cast<std::uint8_t>(payload_rng.next_u64());
+
+    for (const FaultLevel& level : levels) {
+      for (const std::uint32_t retry_budget : {1U, 3U, 6U}) {
+        fed::TransportConfig server_tc;  // server side stays clean
+        server_tc.send_deadline = std::chrono::milliseconds(1000);
+        fed::HandshakeValidator accept_all = [](const fed::HelloPayload&, std::string&,
+                                                fed::WelcomePayload& welcome) {
+          welcome.client_count = kNetClients;
+          return true;
+        };
+        fed::SocketServerTransport server(util::parse_endpoint("unix:" + sock_path), kNetClients,
+                                          server_tc, accept_all);
+
+        std::vector<std::size_t> expected(kNetClients);
+        std::iota(expected.begin(), expected.end(), std::size_t{0});
+
+        std::vector<std::thread> workers;
+        std::vector<fed::TransportStats> client_stats(kNetClients);
+        for (std::size_t id = 0; id < kNetClients; ++id)
+          workers.emplace_back([&, id] {
+            fed::TransportConfig tc;
+            tc.retry.max_attempts = retry_budget;
+            tc.retry.base_backoff = std::chrono::milliseconds(5);
+            tc.send_deadline = std::chrono::milliseconds(500);
+            tc.inject_drop_prob = level.drop;
+            tc.inject_duplicate_prob = level.duplicate;
+            tc.inject_delay_prob = level.delay;
+            tc.inject_seed = opt.seed ^ (0xFA17ULL + id);
+            fed::HelloPayload hello;
+            hello.client_id = static_cast<std::int64_t>(id);
+            fed::SocketClientTransport transport(util::parse_endpoint("unix:" + sock_path), hello,
+                                                 tc);
+            if (!transport.connect()) return;
+            bool done = false;
+            int idle_polls = 0;
+            while (!done) {
+              const auto m = transport.poll(std::chrono::milliseconds(100));
+              // A disconnected client never sees the (single-attempt)
+              // Goodbye; 5 s of silence means the run is over.
+              if (!m) {
+                if (++idle_polls > 50) break;
+                continue;
+              }
+              idle_polls = 0;
+              if (m->type == fed::MessageType::kGoodbye) {
+                done = true;
+              } else if (m->type == fed::MessageType::kRoundBegin) {
+                const auto begin = fed::decode_round_begin(m->payload);
+                // The harsh tier yanks connections mid-run so the sweep
+                // also pays for reconnect + re-handshake on the next send.
+                if (level.crashes && begin.round > 0 && (begin.round + id) % 5 == 0)
+                  transport.debug_drop_connection();
+                transport.send(fed::make_message(fed::MessageType::kModelUpload,
+                                                 static_cast<int>(id), begin.round, upload));
+              }
+            }
+            client_stats[id] = transport.stats();
+            transport.close();
+          });
+
+        // Join barrier: server -> client sends are single-attempt by
+        // design, so broadcasting round 0 before the whole fleet has
+        // handshaked would silently drop the kRoundBegin for the not-yet-
+        // connected clients. Handshakes surface as kHello through poll().
+        std::size_t joined = 0;
+        const auto join_deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(30);
+        while (joined < kNetClients && std::chrono::steady_clock::now() < join_deadline)
+          if (const auto m = server.poll(std::chrono::milliseconds(100));
+              m && m->type == fed::MessageType::kHello)
+            ++joined;
+
+        std::uint64_t stale_uploads = 0;
+        std::uint64_t on_time_uploads = 0;
+        const util::Stopwatch clock;
+        for (std::uint64_t round = 0; round < kNetRounds; ++round) {
+          fed::RoundBeginPayload begin;
+          begin.round = round;
+          for (std::size_t id = 0; id < kNetClients; ++id)
+            server.send(id, fed::make_message(fed::MessageType::kRoundBegin, -1, round,
+                                              fed::encode_round_begin(begin)));
+          // Quorum 1: a round always closes at the deadline even when a
+          // retry-budget-1 client dropped its only attempt, so the sweep
+          // is hang-free by construction; laggards land in `late`/missing.
+          const fed::RoundCollection collection = fed::collect_round(
+              server, round, expected, /*quorum=*/1, std::chrono::milliseconds(1500));
+          on_time_uploads += collection.uploads.size();
+          for (const fed::Message& m : collection.late)
+            if (m.type == fed::MessageType::kModelUpload) ++stale_uploads;
+        }
+        const double elapsed = clock.seconds();
+        for (std::size_t id = 0; id < kNetClients; ++id)
+          server.send(id, fed::make_message(fed::MessageType::kGoodbye, -1, kNetRounds, {}));
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        const fed::TransportStats server_stats = server.stats();
+        server.stop();
+        for (std::thread& t : workers) t.join();
+
+        std::uint64_t reconnects = 0;
+        std::uint64_t give_ups = 0;
+        std::uint64_t client_bytes = 0;
+        for (const fed::TransportStats& s : client_stats) {
+          reconnects += s.reconnects;
+          give_ups += s.give_ups;
+          client_bytes += s.bytes_sent + s.bytes_received;
+        }
+        const double rounds_per_sec = elapsed > 0.0 ? kNetRounds / elapsed : 0.0;
+        const double bytes_per_round =
+            static_cast<double>(server_stats.bytes_sent + server_stats.bytes_received) /
+            static_cast<double>(kNetRounds);
+        const std::uint64_t total_uploads = on_time_uploads + stale_uploads;
+        const double stale_fraction =
+            total_uploads > 0 ? static_cast<double>(stale_uploads) /
+                                    static_cast<double>(total_uploads)
+                              : 0.0;
+
+        char label[64];
+        std::snprintf(label, sizeof(label), "transport.%s.retry=%u", level.name, retry_budget);
+        session.record().add(std::string(label) + ".rounds_per_sec", rounds_per_sec, "rounds/s");
+        session.record().add(std::string(label) + ".bytes_per_round", bytes_per_round, "bytes");
+        session.record().add(std::string(label) + ".reconnects",
+                             static_cast<double>(reconnects), "count");
+        session.record().add(std::string(label) + ".stale_fraction", stale_fraction, "fraction");
+        session.record().add(std::string(label) + ".give_ups", static_cast<double>(give_ups),
+                             "count");
+        net_table.row({level.name, std::to_string(retry_budget),
+                       util::TablePrinter::num(rounds_per_sec, 2),
+                       util::TablePrinter::num(bytes_per_round / 1024.0, 1),
+                       std::to_string(reconnects), util::TablePrinter::num(stale_fraction, 3),
+                       std::to_string(give_ups)});
+        if (net_csv)
+          net_csv->row({level.name, std::to_string(retry_budget),
+                        util::CsvWriter::field(rounds_per_sec),
+                        util::CsvWriter::field(bytes_per_round), std::to_string(reconnects),
+                        util::CsvWriter::field(stale_fraction), std::to_string(give_ups)});
+        std::printf("transport %s retry=%u done (%.2f rounds/s, %llu reconnects)\n", level.name,
+                    retry_budget, rounds_per_sec,
+                    static_cast<unsigned long long>(reconnects));
+        (void)client_bytes;
+      }
+    }
+    std::printf("\nSocket transport under injected faults (%zu clients, UDS, %zu KiB uploads):\n",
+                kNetClients, kUploadBytes / 1024);
+    net_table.print();
+    std::filesystem::remove(sock_path);
   }
 
   std::printf("\nMean reward across clients (EMA-smoothed):\n");

@@ -34,6 +34,7 @@ const char* content_kind_name(ContentKind kind) {
     case ContentKind::kGlobalModel: return "global-model";
     case ContentKind::kFederationState: return "federation-state";
     case ContentKind::kSingleAgentRun: return "single-agent-run";
+    case ContentKind::kNetClientState: return "net-client-state";
   }
   return "?";
 }

@@ -45,6 +45,7 @@ enum class ContentKind : std::uint32_t {
   kGlobalModel = 2,      // the server's flattened ψ_G
   kFederationState = 3,  // FedTrainer::serialize_state payload
   kSingleAgentRun = 4,   // quickstart's agent + episode-loop state
+  kNetClientState = 5,   // one networked client's round/agent/history state
 };
 
 /// Atomically writes `payload` wrapped in the v2 container.

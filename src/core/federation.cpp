@@ -20,6 +20,53 @@ std::unique_ptr<fed::Aggregator> make_aggregator(const FederationConfig& config)
   throw std::invalid_argument("make_aggregator: unknown algorithm");
 }
 
+std::size_t resolved_participants(const FederationConfig& config, std::size_t client_count) {
+  return config.participants_per_round == 0 ? (client_count + 1) / 2
+                                            : config.participants_per_round;
+}
+
+namespace {
+
+std::unique_ptr<fed::FedClient> make_fed_client(const FederationConfig& config,
+                                                const FederationLayout& layout, int id,
+                                                const ClientPreset& preset,
+                                                workload::Trace train_trace) {
+  env::SchedulingEnvConfig env_cfg = make_env_config(preset, layout, config.scale);
+  env_cfg.reward.rho = config.rho;
+  env_cfg.reward.strict_paper_reward = config.strict_paper_reward;
+  env_cfg.reward.energy_weight = config.energy_weight;
+
+  fed::FedClientConfig client_cfg;
+  client_cfg.id = id;
+  client_cfg.algorithm = config.algorithm;
+  client_cfg.ppo = config.ppo;
+  client_cfg.fedprox_mu = config.fedprox_mu;
+  client_cfg.fedkl_beta = config.fedkl_beta;
+  client_cfg.ppo.seed = config.seed + static_cast<std::uint64_t>(id) * 0x9E3779B9ULL + 1;
+  return std::make_unique<fed::FedClient>(client_cfg, std::move(env_cfg), std::move(train_trace));
+}
+
+}  // namespace
+
+SingleClientBuild build_single_client(std::span<const ClientPreset> presets,
+                                      const FederationConfig& config, std::size_t index) {
+  if (index >= presets.size())
+    throw std::invalid_argument("build_single_client: index out of range");
+  SingleClientBuild out;
+  out.layout = layout_for(presets, config.scale);
+  // Burn the trace-seed chain exactly as the Federation constructor does,
+  // so client `index` samples the same trace it would get in-process.
+  util::Rng seed_rng(config.seed);
+  std::uint64_t trace_seed = 0;
+  for (std::size_t i = 0; i <= index; ++i) trace_seed = seed_rng.next_u64();
+  const workload::Trace full = make_trace(presets[index], config.scale, trace_seed);
+  auto [train, test] = workload::split_train_test(full, config.scale.train_fraction);
+  out.test_trace = std::move(test);
+  out.client =
+      make_fed_client(config, out.layout, static_cast<int>(index), presets[index], std::move(train));
+  return out;
+}
+
 Federation::Federation(std::vector<ClientPreset> presets, FederationConfig config)
     : config_(std::move(config)), presets_(std::move(presets)) {
   if (presets_.empty()) throw std::invalid_argument("Federation: no clients");
@@ -40,9 +87,7 @@ Federation::Federation(std::vector<ClientPreset> presets, FederationConfig confi
   fed::FedTrainerConfig trainer_cfg;
   trainer_cfg.total_episodes = config_.scale.episodes;
   trainer_cfg.comm_every = config_.scale.comm_every;
-  trainer_cfg.participants_per_round =
-      config_.participants_per_round == 0 ? (presets_.size() + 1) / 2
-                                          : config_.participants_per_round;
+  trainer_cfg.participants_per_round = resolved_participants(config_, presets_.size());
   trainer_cfg.seed = config_.seed ^ 0xFEDFEDFEDULL;
   trainer_cfg.threads = config_.threads;
   trainer_cfg.faults = config_.faults;
@@ -53,20 +98,7 @@ Federation::Federation(std::vector<ClientPreset> presets, FederationConfig confi
 
 std::unique_ptr<fed::FedClient> Federation::build_client(int id, const ClientPreset& preset,
                                                          workload::Trace train_trace) {
-  env::SchedulingEnvConfig env_cfg = make_env_config(preset, layout_, config_.scale);
-  env_cfg.reward.rho = config_.rho;
-  env_cfg.reward.strict_paper_reward = config_.strict_paper_reward;
-  env_cfg.reward.energy_weight = config_.energy_weight;
-
-  fed::FedClientConfig client_cfg;
-  client_cfg.id = id;
-  client_cfg.algorithm = config_.algorithm;
-  client_cfg.ppo = config_.ppo;
-  client_cfg.fedprox_mu = config_.fedprox_mu;
-  client_cfg.fedkl_beta = config_.fedkl_beta;
-  client_cfg.ppo.seed = config_.seed + static_cast<std::uint64_t>(id) * 0x9E3779B9ULL + 1;
-  return std::make_unique<fed::FedClient>(client_cfg, std::move(env_cfg),
-                                          std::move(train_trace));
+  return make_fed_client(config_, layout_, id, preset, std::move(train_trace));
 }
 
 fed::TrainingHistory Federation::train() { return trainer_->run(); }

@@ -45,6 +45,26 @@ struct FederationConfig {
 /// Builds the aggregator matching `algorithm` (null for independent PPO).
 std::unique_ptr<fed::Aggregator> make_aggregator(const FederationConfig& config);
 
+/// Participants per round after resolving the config's 0 = "the paper's
+/// K = N/2 (rounded up)" default — the same resolution the Federation
+/// constructor applies before handing the value to FedTrainer.
+std::size_t resolved_participants(const FederationConfig& config, std::size_t client_count);
+
+/// One client of a federation, built in isolation.
+struct SingleClientBuild {
+  std::unique_ptr<fed::FedClient> client;
+  workload::Trace test_trace;  // the client's held-out split
+  FederationLayout layout;
+};
+
+/// Builds client `index` exactly as the Federation constructor would —
+/// same shared layout, same per-client trace-seed chain, same PPO seed —
+/// without instantiating the other N-1 clients. The networked runtime
+/// (core/net_federation.hpp) runs one process per client through this, so
+/// a multi-process federation reproduces the in-process one bit for bit.
+SingleClientBuild build_single_client(std::span<const ClientPreset> presets,
+                                      const FederationConfig& config, std::size_t index);
+
 /// Per-client evaluation outcome on a test trace.
 struct EvalResult {
   int client_id = 0;

@@ -1,0 +1,586 @@
+#include "core/net_federation.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/checkpoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+#include "util/serialization.hpp"
+
+namespace pfrl::core {
+
+namespace {
+
+constexpr std::chrono::milliseconds kPollTick{100};
+
+std::string hex_u64(std::uint64_t value) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::uint64_t rounds_for(const ExperimentScale& scale) {
+  if (scale.comm_every == 0) throw std::invalid_argument("net federation: comm_every must be > 0");
+  return (scale.episodes + scale.comm_every - 1) / scale.comm_every;
+}
+
+/// Minimal manifest so a restarted server (or a later client) can detect
+/// topology drift before any round runs. Same spirit as the checkpoint
+/// layer's federation.json, keyed on the per-client arch hash every Hello
+/// must present.
+void write_or_validate_manifest(const std::string& dir, std::size_t clients,
+                                const std::string& algorithm, std::uint64_t arch_hash,
+                                std::uint64_t total_rounds) {
+  const std::string path = (std::filesystem::path(dir) / "federation.json").string();
+  if (std::filesystem::exists(path)) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    const auto expect = [&](const std::string& fragment, const char* what) {
+      if (text.find(fragment) == std::string::npos)
+        throw std::invalid_argument("net federation manifest mismatch in " + path + ": " + what +
+                                    " differs from this configuration (expected " + fragment + ")");
+    };
+    expect("\"arch_hash\":\"" + hex_u64(arch_hash) + "\"", "arch_hash");
+    expect("\"clients\":" + std::to_string(clients), "client count");
+    expect("\"algorithm\":\"" + algorithm + "\"", "algorithm");
+    return;
+  }
+  std::filesystem::create_directories(dir);
+  std::ofstream out(path);
+  out << "{\"schema\":\"pfrl-netfed/1\""
+      << ",\"clients\":" << clients << ",\"algorithm\":\"" << algorithm << "\""
+      << ",\"arch_hash\":\"" << hex_u64(arch_hash) << "\""
+      << ",\"total_rounds\":" << total_rounds << "}\n";
+  if (!out) throw std::runtime_error("net federation: cannot write " + path);
+}
+
+}  // namespace
+
+// --- NetFedServer ------------------------------------------------------
+
+NetFedServer::NetFedServer(NetFedServerConfig config)
+    : config_(std::move(config)),
+      client_count_(config_.presets.size()),
+      participants_per_round_(resolved_participants(config_.federation, client_count_)),
+      total_rounds_(rounds_for(config_.federation.scale)),
+      participant_rng_(config_.federation.seed ^ 0xFEDFEDFEDULL) {
+  if (config_.presets.empty()) throw std::invalid_argument("NetFedServer: no presets");
+  if (config_.federation.algorithm == fed::FedAlgorithm::kIndependent)
+    throw std::invalid_argument("NetFedServer: independent PPO has nothing to federate");
+
+  {
+    // One throwaway client pins the architecture every Hello must match.
+    const SingleClientBuild reference = build_single_client(config_.presets, config_.federation, 0);
+    expected_arch_hash_ = fed::client_arch_hash(*reference.client);
+  }
+  if (!config_.manifest_dir.empty())
+    write_or_validate_manifest(config_.manifest_dir, client_count_,
+                               fed::algorithm_name(config_.federation.algorithm),
+                               expected_arch_hash_, total_rounds_);
+
+  server_ = std::make_unique<fed::FedServer>(make_aggregator(config_.federation));
+  server_->set_min_participants(config_.federation.min_participants);
+  bus_ = std::make_unique<fed::Bus>(client_count_);
+  joins_.resize(client_count_);
+
+  const std::string algorithm = fed::algorithm_name(config_.federation.algorithm);
+  fed::HandshakeValidator validator = [this, algorithm](const fed::HelloPayload& hello,
+                                                        std::string& reason,
+                                                        fed::WelcomePayload& welcome) {
+    if (hello.protocol != fed::kTransportProtocolVersion) {
+      reason = "protocol version mismatch (server " +
+               std::to_string(fed::kTransportProtocolVersion) + ", client " +
+               std::to_string(hello.protocol) + ")";
+      return false;
+    }
+    if (hello.algorithm != algorithm) {
+      reason = "algorithm mismatch (server " + algorithm + ", client " + hello.algorithm + ")";
+      return false;
+    }
+    if (hello.arch_hash != expected_arch_hash_) {
+      reason = "arch hash mismatch (manifest expects " + hex_u64(expected_arch_hash_) + ", got " +
+               hex_u64(hello.arch_hash) + ")";
+      return false;
+    }
+    const std::scoped_lock lock(state_mutex_);
+    welcome.client_count = client_count_;
+    welcome.total_rounds = total_rounds_;
+    welcome.comm_every = config_.federation.scale.comm_every;
+    welcome.participants_per_round = participants_per_round_;
+    welcome.current_round = round_index_;
+    if (server_->has_global_model()) welcome.global_model = server_->global_payload();
+    return true;
+  };
+  transport_ = std::make_unique<fed::SocketServerTransport>(config_.listen, client_count_,
+                                                            config_.transport, validator);
+}
+
+NetFedServer::~NetFedServer() {
+  if (transport_) transport_->stop();
+}
+
+bool NetFedServer::stopping() const {
+  return stop_flag_ != nullptr && stop_flag_->load(std::memory_order_relaxed);
+}
+
+void NetFedServer::handle_hello(const fed::Message& message, bool initial_phase) {
+  fed::HelloPayload hello;
+  try {
+    hello = fed::decode_hello(message.payload);
+  } catch (const std::exception& e) {
+    PFRL_LOG_WARN("NetFedServer: undecodable hello from %d: %s", message.sender, e.what());
+    return;
+  }
+  if (message.sender < 0 || static_cast<std::size_t>(message.sender) >= client_count_) return;
+  JoinState& join = joins_[static_cast<std::size_t>(message.sender)];
+  if (join.joined) {
+    ++summary_.rejoins;
+    PFRL_COUNT("net/rejoins", 1);
+    PFRL_LOG_INFO("NetFedServer: client %d rejoined (resume round %llu)", message.sender,
+                  static_cast<unsigned long long>(hello.resume_round));
+  } else {
+    join.joined = true;
+    PFRL_LOG_INFO("NetFedServer: client %d joined%s", message.sender,
+                  initial_phase ? "" : " late");
+  }
+  join.resume_round = hello.resume_round;
+  if (join.init_upload.empty()) join.init_upload = hello.init_upload;
+}
+
+std::vector<std::size_t> NetFedServer::pick_participants() {
+  // Mirrors FedTrainer::pick_participants draw for draw: the same seed
+  // (config.seed ^ 0xFEDFEDFED), a shuffle only when 0 < K < N, and a
+  // sorted result — so the networked run selects the in-process run's
+  // participant sets.
+  std::vector<std::size_t> all(client_count_);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const std::size_t k = participants_per_round_;
+  if (k == 0 || k >= client_count_) return all;
+  participant_rng_.shuffle(all);
+  all.resize(k);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+NetFedServer::Summary NetFedServer::run() {
+  PFRL_SPAN("net/server_run");
+  using Clock = std::chrono::steady_clock;
+
+  // --- Join phase: wait for the whole fleet to handshake. ---
+  const auto join_deadline = Clock::now() + config_.join_timeout;
+  const auto joined_count = [this] {
+    std::size_t n = 0;
+    for (const JoinState& j : joins_)
+      if (j.joined) ++n;
+    return n;
+  };
+  while (joined_count() < client_count_) {
+    if (stopping()) {
+      summary_.error = "stopped before the fleet joined";
+      break;
+    }
+    if (Clock::now() >= join_deadline) {
+      summary_.error = "join timeout: " + std::to_string(joined_count()) + "/" +
+                       std::to_string(client_count_) + " clients joined";
+      break;
+    }
+    const std::optional<fed::Message> m = transport_->poll(kPollTick);
+    if (m && m->type == fed::MessageType::kHello) handle_hello(*m, /*initial_phase=*/true);
+  }
+
+  std::uint64_t round = 0;
+  if (summary_.error.empty()) {
+    // A whole-fleet restart presents resume_rounds > 0; pick up where the
+    // most advanced client left off (fresh fleets all say 0).
+    for (const JoinState& j : joins_) round = std::max(round, j.resume_round);
+    round = std::min<std::uint64_t>(round, total_rounds_);
+    {
+      const std::scoped_lock lock(state_mutex_);
+      round_index_ = round;
+    }
+    // Keep the participant RNG stream aligned with the skipped rounds.
+    for (std::uint64_t r = 0; r < round; ++r) (void)pick_participants();
+
+    // --- Initial model sync (the networked sync_initial_model): the
+    // lowest-id client's upload seeds ψ_G and everyone else applies it
+    // before round 0 trains. A whole-fleet restart skips this — the
+    // clients resumed their own models and the first aggregation rebuilds
+    // ψ_G; re-broadcasting client 0's weights would clobber them. ---
+    if (round == 0 && !server_->has_global_model()) {
+      std::size_t origin = 0;
+      const std::vector<std::uint8_t>& init = joins_[origin].init_upload;
+      if (!init.empty()) {
+        {
+          const std::scoped_lock lock(state_mutex_);
+          util::ByteReader reader(init);
+          server_->set_global_model(reader.read_f32_vector());
+        }
+        for (std::size_t id = 0; id < client_count_; ++id) {
+          if (id == origin) continue;
+          transport_->send(id, fed::make_message(fed::MessageType::kModelInit, -1, round, init));
+        }
+      }
+    }
+  }
+
+  // --- Rounds. ---
+  std::vector<std::size_t> all(client_count_);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  for (; summary_.error.empty() && round < total_rounds_; ++round) {
+    if (stopping()) break;
+    PFRL_SPAN("net/server_round");
+    const std::vector<std::size_t> participants = pick_participants();
+
+    for (std::size_t id = 0; id < client_count_; ++id) {
+      fed::RoundBeginPayload begin;
+      begin.round = round;
+      begin.participate =
+          std::find(participants.begin(), participants.end(), id) != participants.end();
+      begin.episodes = config_.federation.scale.comm_every;
+      transport_->send(id, fed::make_message(fed::MessageType::kRoundBegin, -1, round,
+                                             fed::encode_round_begin(begin)));
+    }
+
+    const std::size_t quorum = std::clamp<std::size_t>(config_.federation.min_participants,
+                                                       std::size_t{1}, participants.size());
+    fed::RoundCollection collection =
+        fed::collect_round(*transport_, round, participants, quorum, config_.round_deadline);
+
+    // Joins/rejoins observed mid-round surface as kHello; everything else
+    // late is a straggler upload the server's staleness counters should
+    // see. Collected on-round uploads go in already sorted by client id.
+    for (fed::Message& m : collection.uploads) bus_->send_to_server(std::move(m));
+    for (fed::Message& m : collection.late) {
+      if (m.type == fed::MessageType::kHello)
+        handle_hello(m, /*initial_phase=*/false);
+      else
+        bus_->send_to_server(std::move(m));
+    }
+
+    {
+      const std::scoped_lock lock(state_mutex_);
+      server_->run_round(*bus_, round, all);
+      round_index_ = round + 1;
+    }
+    for (std::size_t id = 0; id < client_count_; ++id)
+      for (fed::Message& m : bus_->drain_client(id)) transport_->send(id, std::move(m));
+
+    ++summary_.rounds;
+    if (collection.closed_at_deadline) ++summary_.rounds_closed_at_deadline;
+    summary_.laggard_rounds += collection.missing.size();
+    PFRL_LOG_INFO("NetFedServer: round %llu done (%zu/%zu uploads%s)",
+                  static_cast<unsigned long long>(round), collection.uploads.size(),
+                  participants.size(), collection.closed_at_deadline ? ", quorum deadline" : "");
+  }
+
+  summary_.completed = summary_.error.empty() && round == total_rounds_;
+  std::uint64_t final_round = 0;
+  {
+    const std::scoped_lock lock(state_mutex_);
+    final_round = round_index_;
+  }
+  for (std::size_t id = 0; id < client_count_; ++id)
+    transport_->send(id, fed::make_message(fed::MessageType::kGoodbye, -1, final_round, {}));
+  // Give in-flight goodbyes a moment to land before tearing sockets down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  summary_.server = server_->stats();
+  summary_.transport = transport_->stats();
+  transport_->stop();
+  return summary_;
+}
+
+std::string NetFedServer::summary_json(const Summary& s) {
+  std::string out = "{\"rounds\":" + std::to_string(s.rounds);
+  out += ",\"rounds_closed_at_deadline\":" + std::to_string(s.rounds_closed_at_deadline);
+  out += ",\"laggard_rounds\":" + std::to_string(s.laggard_rounds);
+  out += ",\"rejoins\":" + std::to_string(s.rejoins);
+  out += ",\"completed\":" + std::string(s.completed ? "true" : "false");
+  out += ",\"error\":\"" + s.error + "\"";
+  out += ",\"server\":{\"accepted\":" + std::to_string(s.server.accepted);
+  out += ",\"rejected\":" + std::to_string(s.server.total_rejected());
+  out += ",\"rejected_stale\":" + std::to_string(s.server.rejected_stale);
+  out += ",\"quorum_failures\":" + std::to_string(s.server.quorum_failures) + "}";
+  out += ",\"transport\":{\"sends\":" + std::to_string(s.transport.sends);
+  out += ",\"send_failures\":" + std::to_string(s.transport.send_failures);
+  out += ",\"reconnects\":" + std::to_string(s.transport.reconnects);
+  out += ",\"handshakes\":" + std::to_string(s.transport.handshakes);
+  out += ",\"heartbeats_seen\":" + std::to_string(s.transport.heartbeats_seen);
+  out += ",\"duplicates_dropped\":" + std::to_string(s.transport.duplicates_dropped);
+  out += ",\"crc_dropped\":" + std::to_string(s.transport.crc_dropped);
+  out += ",\"bytes_received\":" + std::to_string(s.transport.bytes_received);
+  out += ",\"bytes_sent\":" + std::to_string(s.transport.bytes_sent) + "}}";
+  return out;
+}
+
+// --- NetFedClient ------------------------------------------------------
+
+NetFedClient::NetFedClient(NetFedClientConfig config) : config_(std::move(config)) {
+  if (config_.index >= config_.presets.size())
+    throw std::invalid_argument("NetFedClient: index out of range");
+  if (config_.federation.algorithm == fed::FedAlgorithm::kIndependent)
+    throw std::invalid_argument("NetFedClient: independent PPO has nothing to federate");
+  if (config_.resume && config_.checkpoint_dir.empty())
+    throw std::invalid_argument("NetFedClient: resume requires a checkpoint dir");
+}
+
+NetFedClient::Result NetFedClient::run() {
+  PFRL_SPAN("net/client_run");
+  using Clock = std::chrono::steady_clock;
+  Result result;
+
+  SingleClientBuild build = build_single_client(config_.presets, config_.federation, config_.index);
+  fed::FedClient& client = *build.client;
+
+  std::optional<SnapshotDir> store;
+  if (!config_.checkpoint_dir.empty())
+    store.emplace(config_.checkpoint_dir, ContentKind::kNetClientState, "client");
+
+  fed::ClientHistory history;
+  std::uint64_t next_round = 0;
+  std::size_t episodes_done = 0;
+  if (config_.resume && store) {
+    if (const auto loaded = store->load_newest_valid()) {
+      util::ByteReader reader(loaded->payload);
+      next_round = reader.read_u64();
+      episodes_done = static_cast<std::size_t>(reader.read_u64());
+      client.load_state(reader);
+      history = fed::deserialize_client_history(reader);
+      result.resumed = true;
+      PFRL_LOG_INFO("NetFedClient %zu: resumed from %s at round %llu", config_.index,
+                    loaded->path.c_str(), static_cast<unsigned long long>(next_round));
+    } else {
+      PFRL_LOG_INFO("NetFedClient %zu: no snapshot in %s yet; starting fresh", config_.index,
+                    config_.checkpoint_dir.c_str());
+    }
+  }
+
+  fed::HelloPayload hello;
+  hello.client_id = static_cast<std::int64_t>(config_.index);
+  hello.arch_hash = fed::client_arch_hash(client);
+  hello.algorithm = fed::algorithm_name(config_.federation.algorithm);
+  hello.resume_round = next_round;
+  hello.init_upload = client.make_upload();
+
+  std::optional<fed::WelcomePayload> welcome;
+  fed::SocketClientTransport transport(
+      config_.endpoint, hello, config_.transport,
+      [&welcome](const fed::WelcomePayload& w) { welcome = w; });
+
+  const auto save_checkpoint = [&] {
+    if (!store) return;
+    util::ByteWriter writer;
+    writer.write_u64(next_round);
+    writer.write_u64(episodes_done);
+    client.save_state(writer);
+    fed::serialize_client_history(history, writer);
+    store->write(next_round, writer.take());
+  };
+  const auto finish = [&](bool completed) {
+    result.history = std::move(history);
+    result.transport = transport.stats();
+    result.next_round = next_round;
+    result.episodes_done = episodes_done;
+    result.completed = completed;
+    transport.close();
+    return result;
+  };
+
+  // --- Join (keep dialing until the server is up or the deadline hits). ---
+  const auto connect_deadline = Clock::now() + config_.connect_deadline;
+  while (!transport.connect()) {
+    if (transport.rejected()) {
+      result.error = "handshake rejected: " + transport.reject_reason();
+      return finish(false);
+    }
+    if (stop_flag_ != nullptr && stop_flag_->load(std::memory_order_relaxed)) {
+      result.error = "stopped before joining";
+      return finish(false);
+    }
+    if (Clock::now() >= connect_deadline) {
+      result.error = "could not reach the server at " + config_.endpoint.describe();
+      return finish(false);
+    }
+    std::this_thread::sleep_for(kPollTick);
+  }
+  // A rejoiner's Welcome carries the current ψ_G; applying it replaces the
+  // downloads missed while down (a fresh fleet's Welcome is empty — the
+  // initial model arrives as kModelInit so round 0 matches in-process).
+  if (welcome && !welcome->global_model.empty()) {
+    try {
+      client.apply_download(welcome->global_model);
+    } catch (const std::exception& e) {
+      PFRL_LOG_WARN("NetFedClient %zu: welcome model rejected: %s", config_.index, e.what());
+    }
+  }
+
+  std::deque<fed::Message> pending;
+  const auto next_message = [&](std::chrono::milliseconds timeout) -> std::optional<fed::Message> {
+    if (!pending.empty()) {
+      fed::Message m = std::move(pending.front());
+      pending.pop_front();
+      return m;
+    }
+    return transport.poll(timeout);
+  };
+
+  auto last_traffic = Clock::now();
+  std::uint64_t rounds_this_life = 0;
+  bool done = false;
+  bool saw_goodbye = false;
+  while (!done) {
+    if (stop_flag_ != nullptr && stop_flag_->load(std::memory_order_relaxed)) {
+      result.error = "stopped";
+      break;
+    }
+    std::optional<fed::Message> m = next_message(kPollTick);
+    if (!m) {
+      if (Clock::now() - last_traffic > config_.idle_timeout) {
+        result.error = "no server traffic for " + std::to_string(config_.idle_timeout.count()) +
+                       " ms; giving up";
+        break;
+      }
+      continue;
+    }
+    last_traffic = Clock::now();
+
+    switch (m->type) {
+      case fed::MessageType::kModelInit: {
+        if (!fed::checksum_ok(*m)) break;
+        try {
+          client.apply_download(m->payload);
+        } catch (const std::exception& e) {
+          PFRL_LOG_WARN("NetFedClient %zu: initial model rejected: %s", config_.index, e.what());
+        }
+        break;
+      }
+      case fed::MessageType::kGoodbye:
+        saw_goodbye = true;
+        done = true;
+        break;
+      case fed::MessageType::kRoundBegin: {
+        fed::RoundBeginPayload begin;
+        try {
+          begin = fed::decode_round_begin(m->payload);
+        } catch (const std::exception&) {
+          break;
+        }
+        // Rounds missed while down (server moved on) are recorded exactly
+        // like the in-process crash windows: a default diagnostics entry,
+        // stale critic-loss samples, growing staleness.
+        while (next_round < begin.round) {
+          ++history.rounds_crashed;
+          history.round_diagnostics.emplace_back();
+          history.critic_loss_before.push_back(client.shared_critic_loss());
+          ++history.staleness;
+          history.max_staleness = std::max(history.max_staleness, history.staleness);
+          history.critic_loss_after.push_back(client.shared_critic_loss());
+          ++next_round;
+        }
+        if (begin.round < next_round) break;  // duplicate / stale begin
+
+        {
+          PFRL_SPAN("net/client_round");
+          fed::record_training_round(history, client.train_episodes(begin.episodes));
+          episodes_done += begin.episodes;
+        }
+        if (begin.participate) {
+          if (transport.send(fed::make_message(fed::MessageType::kModelUpload, client.id(),
+                                               begin.round, client.make_upload())))
+            ++history.uploads_sent;
+        }
+        history.critic_loss_before.push_back(client.shared_critic_loss());
+
+        // Await this round's download; the server always answers every
+        // client it can reach, so a timeout here means we go stale.
+        bool applied = false;
+        const auto download_deadline = Clock::now() + config_.download_deadline;
+        while (Clock::now() < download_deadline) {
+          std::optional<fed::Message> d = next_message(kPollTick);
+          if (!d) continue;
+          last_traffic = Clock::now();
+          if (d->type == fed::MessageType::kModelPersonalized ||
+              d->type == fed::MessageType::kModelGlobal) {
+            if (d->round != begin.round) continue;  // leftover from an old round
+            std::string reason;
+            if (client.try_apply_download(*d, &reason)) {
+              applied = true;
+              ++history.downloads_applied;
+              PFRL_COUNT("fed/downloads_applied", 1);
+            } else {
+              ++history.downloads_rejected;
+              PFRL_COUNT("fed/downloads_rejected", 1);
+              PFRL_LOG_WARN("NetFedClient %zu: rejected download (round %llu): %s", config_.index,
+                            static_cast<unsigned long long>(begin.round), reason.c_str());
+            }
+            break;
+          }
+          // The server moved on (or is closing): finish this round's
+          // accounting first, then let the main loop handle it.
+          pending.push_back(std::move(*d));
+          break;
+        }
+        if (applied) {
+          history.staleness = 0;
+        } else {
+          ++history.staleness;
+          history.max_staleness = std::max(history.max_staleness, history.staleness);
+        }
+        history.critic_loss_after.push_back(client.shared_critic_loss());
+
+        ++next_round;
+        ++rounds_this_life;
+        ++result.rounds_done;
+        transport.set_resume_round(next_round);
+        if (store && config_.checkpoint_every > 0 && next_round % config_.checkpoint_every == 0)
+          save_checkpoint();
+        if (config_.exit_after_rounds > 0 && rounds_this_life >= config_.exit_after_rounds) {
+          // Simulated crash for tests: no Goodbye, just vanish (the
+          // snapshot above is what the next life rejoins from).
+          save_checkpoint();
+          result.error = "exited after " + std::to_string(rounds_this_life) + " rounds (test hook)";
+          done = true;
+        }
+        break;
+      }
+      default:
+        break;  // stray duplicate downloads etc.
+    }
+  }
+
+  if (store) save_checkpoint();
+  return finish(saw_goodbye);
+}
+
+std::string NetFedClient::result_json(const Result& r) {
+  std::string out = "{\"completed\":" + std::string(r.completed ? "true" : "false");
+  out += ",\"resumed\":" + std::string(r.resumed ? "true" : "false");
+  out += ",\"rounds_done\":" + std::to_string(r.rounds_done);
+  out += ",\"next_round\":" + std::to_string(r.next_round);
+  out += ",\"episodes_done\":" + std::to_string(r.episodes_done);
+  out += ",\"error\":\"" + r.error + "\"";
+  out += ",\"transport\":{\"sends\":" + std::to_string(r.transport.sends);
+  out += ",\"retries\":" + std::to_string(r.transport.retries);
+  out += ",\"send_failures\":" + std::to_string(r.transport.send_failures);
+  out += ",\"give_ups\":" + std::to_string(r.transport.give_ups);
+  out += ",\"reconnects\":" + std::to_string(r.transport.reconnects);
+  out += ",\"handshakes\":" + std::to_string(r.transport.handshakes);
+  out += ",\"heartbeats_sent\":" + std::to_string(r.transport.heartbeats_sent);
+  out += ",\"bytes_sent\":" + std::to_string(r.transport.bytes_sent);
+  out += ",\"bytes_received\":" + std::to_string(r.transport.bytes_received) + "}";
+  out += ",\"history\":" + fed::client_history_json(r.history) + "}";
+  return out;
+}
+
+}  // namespace pfrl::core

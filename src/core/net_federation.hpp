@@ -1,0 +1,179 @@
+// Networked federation runtime: one server process plus one process per
+// client, speaking the socket transport (fed/socket_transport.hpp) over
+// TCP or a Unix-domain socket.
+//
+// The round protocol mirrors FedTrainer::step_round message for message:
+//
+//   join     every client Hello-handshakes (arch hash validated against
+//            the server's expected topology); once the fleet is complete
+//            the lowest-id client's init_upload seeds ψ_G and is
+//            broadcast as kModelInit to everyone else — the networked
+//            twin of sync_initial_model.
+//   round r  server → all:  kRoundBegin{r, participate, Ω}
+//            client: train Ω episodes → (participants) upload →
+//                    critic_loss_before → await download →
+//                    try_apply_download / staleness → critic_loss_after
+//            server: collect_round (straggler-tolerant: closes at the
+//                    quorum deadline, laggards feed the staleness path)
+//                    → FedServer::run_round → downloads out.
+//   end      server → all: kGoodbye.
+//
+// With a fault-free transport and the same FederationConfig/seed, each
+// client process produces a ClientHistory identical to the in-process
+// trainer's: clients are built through build_single_client (same seed
+// chain), participants are drawn from the same RNG stream
+// (seed ^ 0xFEDFEDFED), and uploads are aggregated in client-id order.
+//
+// Crash recovery: clients checkpoint {next_round, episodes_done, agent
+// state, history} into a SnapshotDir (ContentKind::kNetClientState) and
+// rejoin from the newest valid generation with Hello.resume_round set.
+// The Welcome returns the current round and ψ_G, missed rounds are
+// recorded like crash windows (rounds_crashed / staleness), and the rest
+// of the fleet never waits: the quorum deadline closes rounds without
+// the crashed client until it returns.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/federation.hpp"
+#include "fed/socket_transport.hpp"
+#include "util/net.hpp"
+
+namespace pfrl::core {
+
+struct NetFedServerConfig {
+  FederationConfig federation;
+  std::vector<ClientPreset> presets;
+  util::Endpoint listen;  // "unix:/path" or "host:port" (port 0 = ephemeral)
+  fed::TransportConfig transport;
+  /// Quorum deadline per round: once elapsed, the round closes as soon as
+  /// min_participants uploads arrived and laggards go down the staleness
+  /// path. Fault-free fleets close early (everyone reports).
+  std::chrono::milliseconds round_deadline{30000};
+  /// How long to wait for the initial fleet before giving up.
+  std::chrono::milliseconds join_timeout{60000};
+  /// When set, federation.json is written here (or validated against an
+  /// existing one) so restarts reject topology drift before training.
+  std::string manifest_dir;
+};
+
+class NetFedServer {
+ public:
+  /// Binds and starts accepting. Throws on bind failure, on an
+  /// independent-PPO config (nothing to federate), or when manifest_dir
+  /// holds a manifest for a different topology.
+  explicit NetFedServer(NetFedServerConfig config);
+  ~NetFedServer();
+
+  /// The bound endpoint (TCP port 0 resolved to the kernel's choice).
+  const util::Endpoint& endpoint() const { return transport_->endpoint(); }
+
+  struct Summary {
+    std::uint64_t rounds = 0;
+    std::uint64_t rounds_closed_at_deadline = 0;
+    std::uint64_t laggard_rounds = 0;  // (round, missing-client) pairs
+    std::uint64_t rejoins = 0;         // re-handshakes after the initial join
+    bool completed = false;            // ran every round and said goodbye
+    std::string error;                 // non-empty on join timeout etc.
+    fed::ServerStats server;
+    fed::TransportStats transport;
+  };
+
+  /// Drives the whole run: join phase, all rounds, goodbye. Blocking.
+  Summary run();
+
+  /// Cooperative shutdown from a signal handler (checked each poll tick).
+  void set_stop_flag(const std::atomic<bool>* flag) { stop_flag_ = flag; }
+
+  /// The arch hash every Hello must present (exposed for tests).
+  std::uint64_t expected_arch_hash() const { return expected_arch_hash_; }
+
+  static std::string summary_json(const Summary& summary);
+
+ private:
+  struct JoinState {
+    bool joined = false;
+    std::uint64_t resume_round = 0;
+    std::vector<std::uint8_t> init_upload;
+  };
+
+  bool stopping() const;
+  void handle_hello(const fed::Message& message, bool initial_phase);
+  std::vector<std::size_t> pick_participants();
+
+  NetFedServerConfig config_;
+  std::size_t client_count_;
+  std::size_t participants_per_round_;
+  std::uint64_t total_rounds_;
+  std::uint64_t expected_arch_hash_ = 0;
+
+  std::unique_ptr<fed::FedServer> server_;
+  std::unique_ptr<fed::Bus> bus_;  // internal staging for FedServer::run_round
+  std::unique_ptr<fed::SocketServerTransport> transport_;
+  util::Rng participant_rng_;
+
+  mutable std::mutex state_mutex_;  // guards server_/round_index_ (validator
+                                    // callbacks run on connection threads)
+  std::uint64_t round_index_ = 0;
+
+  std::vector<JoinState> joins_;
+  Summary summary_;
+  const std::atomic<bool>* stop_flag_ = nullptr;
+};
+
+struct NetFedClientConfig {
+  FederationConfig federation;
+  std::vector<ClientPreset> presets;
+  std::size_t index = 0;  // which preset/client this process embodies
+  util::Endpoint endpoint;
+  fed::TransportConfig transport;
+  /// Rotated kNetClientState snapshots land here ("" = no checkpointing).
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 1;  // rounds between snapshots
+  bool resume = false;               // restore the newest valid snapshot first
+  /// Keep re-dialing the server for this long before giving up.
+  std::chrono::milliseconds connect_deadline{30000};
+  /// Max wait for a round's download before going stale.
+  std::chrono::milliseconds download_deadline{30000};
+  /// No server traffic for this long = the run is dead; return what we have.
+  std::chrono::milliseconds idle_timeout{120000};
+  /// Test hook: exit (as if crashed — no Goodbye, no close handshake)
+  /// after completing this many rounds. 0 = run to Goodbye.
+  std::uint64_t exit_after_rounds = 0;
+};
+
+class NetFedClient {
+ public:
+  explicit NetFedClient(NetFedClientConfig config);
+
+  struct Result {
+    fed::ClientHistory history;
+    fed::TransportStats transport;
+    std::uint64_t rounds_done = 0;      // rounds completed this process
+    std::uint64_t next_round = 0;       // first round still owed
+    std::size_t episodes_done = 0;      // local episodes across all lives
+    bool completed = false;             // saw the server's Goodbye
+    bool resumed = false;               // restarted from a snapshot
+    std::string error;                  // rejection reason / timeout note
+  };
+
+  /// Builds the client (optionally from a checkpoint), joins the
+  /// federation, and runs rounds until Goodbye. Blocking.
+  Result run();
+
+  void set_stop_flag(const std::atomic<bool>* flag) { stop_flag_ = flag; }
+
+  static std::string result_json(const Result& result);
+
+ private:
+  NetFedClientConfig config_;
+  const std::atomic<bool>* stop_flag_ = nullptr;
+};
+
+}  // namespace pfrl::core

@@ -7,18 +7,35 @@ namespace pfrl::fed {
 Bus::Bus(std::size_t client_count) : client_boxes_(client_count) {}
 
 void Bus::send_to_server(Message message) {
-  const std::scoped_lock lock(mutex_);
-  uplink_bytes_ += message.payload.size();
-  ++uplink_messages_;
-  server_box_.push_back(std::move(message));
+  {
+    const std::scoped_lock lock(mutex_);
+    uplink_bytes_ += message.payload.size();
+    ++uplink_messages_;
+    server_box_.push_back(std::move(message));
+  }
+  cv_.notify_all();
 }
 
 void Bus::send_to_client(std::size_t client, Message message) {
-  const std::scoped_lock lock(mutex_);
+  {
+    const std::scoped_lock lock(mutex_);
+    if (client >= client_boxes_.size()) throw std::out_of_range("Bus: unknown client");
+    downlink_bytes_ += message.payload.size();
+    ++downlink_messages_;
+    client_boxes_[client].push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+bool Bus::wait_server(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mutex_);
+  return cv_.wait_for(lock, timeout, [this] { return !server_box_.empty(); });
+}
+
+bool Bus::wait_client(std::size_t client, std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mutex_);
   if (client >= client_boxes_.size()) throw std::out_of_range("Bus: unknown client");
-  downlink_bytes_ += message.payload.size();
-  ++downlink_messages_;
-  client_boxes_[client].push_back(std::move(message));
+  return cv_.wait_for(lock, timeout, [this, client] { return !client_boxes_[client].empty(); });
 }
 
 std::vector<Message> Bus::drain_server() {

@@ -5,6 +5,8 @@
 // cooperative message passing, no shared model state).
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -38,6 +40,15 @@ class Bus {
   virtual std::vector<Message> drain_server();
   virtual std::vector<Message> drain_client(std::size_t client);
 
+  /// Blocks until the server mailbox is non-empty or `timeout` elapses.
+  /// Returns true if a message is waiting. Lets the in-process transport
+  /// backend poll without spinning; the single-threaded trainer never
+  /// calls these. Note a FaultyBus drop correctly never signals — the
+  /// message was lost, there is nothing to wake up for.
+  bool wait_server(std::chrono::milliseconds timeout);
+  /// Same for one client's mailbox.
+  bool wait_client(std::size_t client, std::chrono::milliseconds timeout);
+
   /// Grow to accommodate a newly joined client (Fig. 20); returns its id.
   virtual std::size_t add_client();
 
@@ -56,6 +67,7 @@ class Bus {
 
  private:
   mutable std::mutex mutex_;
+  std::condition_variable cv_;
   std::deque<Message> server_box_;
   std::vector<std::deque<Message>> client_boxes_;
   std::uint64_t uplink_bytes_ = 0;

@@ -199,4 +199,23 @@ void FedClient::load_state(util::ByteReader& reader) {
   agent_->load_training_state(reader);
 }
 
+std::uint64_t client_arch_hash(const FedClient& client) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (i * 8)) & 0xFF;
+      hash *= 0x100000001B3ULL;  // FNV prime
+    }
+  };
+  const rl::PpoAgent& agent = client.agent();
+  const auto* dual = dynamic_cast<const rl::DualCriticPpoAgent*>(&agent);
+  mix(static_cast<std::uint64_t>(client.algorithm()));
+  mix(agent.state_dim());
+  mix(static_cast<std::uint64_t>(agent.action_count()));
+  mix(agent.actor().param_count());
+  mix(agent.critic().param_count());
+  mix(dual ? dual->public_critic().param_count() : 0);
+  return hash;
+}
+
 }  // namespace pfrl::fed

@@ -103,4 +103,12 @@ class FedClient {
   std::unique_ptr<rl::PpoAgent> agent_;
 };
 
+/// FNV-1a hash over one client's wire-relevant architecture: algorithm,
+/// state/action dimensions, and actor/critic(/public critic) parameter
+/// counts — deliberately excluding the client id, so every member of a
+/// homogeneous federation shares the hash. Two processes agree on this
+/// value iff their uploads/downloads are shape-compatible; the networked
+/// handshake rejects a Hello whose hash differs from the server's.
+std::uint64_t client_arch_hash(const FedClient& client);
+
 }  // namespace pfrl::fed

@@ -21,6 +21,17 @@ enum class MessageType : std::uint8_t {
   kModelUpload = 0,    // client -> server: locally trained parameters
   kModelPersonalized,  // server -> client: the client's personalized model
   kModelGlobal,        // server -> client: ψ_G (non-participants, joiners)
+
+  // Control-plane types for the networked transport (fed/transport.hpp).
+  // The in-process trainer never emits these; FedServer::run_round rejects
+  // them as malformed if one ever leaks into an upload drain.
+  kModelInit = 3,    // server -> client: initial model sync before round 0
+  kHello = 4,        // client -> server: handshake (id, arch hash, resume round)
+  kWelcome = 5,      // server -> client: handshake accept (+ current ψ_G)
+  kHelloReject = 6,  // server -> client: handshake refused (arch mismatch, ...)
+  kHeartbeat = 7,    // client -> server: liveness beacon between rounds
+  kRoundBegin = 8,   // server -> client: start round r (participant flag)
+  kGoodbye = 9,      // server -> client: training finished, disconnect
 };
 
 struct Message {

@@ -1,0 +1,640 @@
+#include "fed/socket_transport.hpp"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pfrl::fed {
+
+namespace {
+
+using namespace std::chrono_literals;
+
+/// How often blocked reader/accept loops wake to check the stop flag.
+constexpr std::chrono::milliseconds kLoopTick{200};
+
+util::IoResult write_frame_bytes(int fd, const std::vector<std::uint8_t>& bytes,
+                                 std::chrono::milliseconds deadline) {
+  return util::write_full(fd, bytes.data(), bytes.size(), deadline);
+}
+
+Message make_control(MessageType type, int sender, std::uint64_t round,
+                     std::vector<std::uint8_t> payload = {}) {
+  return make_message(type, sender, round, std::move(payload));
+}
+
+std::vector<std::uint8_t> string_payload(const std::string& text) {
+  return std::vector<std::uint8_t>(text.begin(), text.end());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(std::uint64_t seq, const Message& message) {
+  util::ByteWriter body_writer;
+  serialize_message(message, body_writer);
+  const std::vector<std::uint8_t> body = std::move(body_writer).take();
+
+  util::ByteWriter writer;
+  writer.write_u32(kFrameMagic);
+  writer.write_u32(static_cast<std::uint32_t>(body.size()));
+  writer.write_u64(seq);
+  writer.write_u32(util::crc32(body));
+  writer.write_raw_span(body);
+  return std::move(writer).take();
+}
+
+FrameResult read_frame(int fd, Frame& out, std::chrono::milliseconds idle_timeout,
+                       std::chrono::milliseconds io_timeout) {
+  // Poll-only wait for the first byte: an idle timeout here never
+  // half-consumes a header, so the caller can spin a stop-flag tick.
+  if (!util::wait_readable(fd, idle_timeout)) return FrameResult::kTimeout;
+
+  std::uint8_t header[kFrameHeaderBytes];
+  switch (util::read_full(fd, header, sizeof(header), io_timeout)) {
+    case util::IoResult::kOk:
+      break;
+    case util::IoResult::kClosed:
+      return FrameResult::kClosed;
+    case util::IoResult::kTimeout:  // wedged mid-header: stream is dead
+    case util::IoResult::kError:
+      return FrameResult::kError;
+  }
+
+  util::ByteReader reader(std::span<const std::uint8_t>(header, sizeof(header)));
+  const std::uint32_t magic = reader.read_u32();
+  const std::uint32_t body_len = reader.read_u32();
+  const std::uint64_t seq = reader.read_u64();
+  const std::uint32_t crc = reader.read_u32();
+  if (magic != kFrameMagic || body_len > kMaxFrameBody) return FrameResult::kError;
+
+  std::vector<std::uint8_t> body(body_len);
+  if (body_len > 0) {
+    switch (util::read_full(fd, body.data(), body.size(), io_timeout)) {
+      case util::IoResult::kOk:
+        break;
+      case util::IoResult::kClosed:
+        return FrameResult::kClosed;
+      case util::IoResult::kTimeout:
+      case util::IoResult::kError:
+        return FrameResult::kError;
+    }
+  }
+  if (util::crc32(body) != crc) return FrameResult::kBadCrc;
+
+  try {
+    util::ByteReader body_reader(body);
+    out.message = deserialize_message(body_reader);
+  } catch (const std::out_of_range&) {
+    // CRC matched but the body is not a Message: peer speaks a different
+    // dialect — tear the stream down rather than guess at framing.
+    return FrameResult::kError;
+  }
+  out.seq = seq;
+  return FrameResult::kOk;
+}
+
+// --- Server ------------------------------------------------------------
+
+SocketServerTransport::SocketServerTransport(const util::Endpoint& endpoint,
+                                             std::size_t client_count, TransportConfig config,
+                                             HandshakeValidator validator)
+    : endpoint_(endpoint), config_(config), validator_(std::move(validator)) {
+  util::ignore_sigpipe();
+  listen_fd_ = util::listen_endpoint(endpoint_);
+  endpoint_ = util::local_endpoint(listen_fd_.get(), endpoint_);
+  slots_.reserve(client_count);
+  for (std::size_t i = 0; i < client_count; ++i) slots_.push_back(std::make_unique<Slot>());
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+SocketServerTransport::~SocketServerTransport() { stop(); }
+
+void SocketServerTransport::accept_loop() {
+  while (!stop_.load()) {
+    util::ScopedFd conn;
+    try {
+      conn = util::accept_connection(listen_fd_.get(), kLoopTick);
+    } catch (const std::runtime_error&) {
+      if (stop_.load()) break;
+      continue;  // transient accept error; keep serving
+    }
+    if (!conn.valid()) continue;  // tick: recheck stop flag
+    const std::scoped_lock lock(threads_mutex_);
+    if (stop_.load()) break;
+    connection_threads_.emplace_back(
+        [this, fd = std::move(conn)]() mutable { connection_loop(std::move(fd)); });
+  }
+}
+
+void SocketServerTransport::connection_loop(util::ScopedFd fd) {
+  // 1. Handshake: the first frame must be a control kHello.
+  Frame frame;
+  const FrameResult hr =
+      read_frame(fd.get(), frame, config_.handshake_timeout, config_.handshake_timeout);
+  if (hr != FrameResult::kOk || frame.seq != 0 ||
+      frame.message.type != MessageType::kHello || !checksum_ok(frame.message))
+    return;  // not a federation client; drop silently
+
+  HelloPayload hello;
+  try {
+    hello = decode_hello(frame.message.payload);
+  } catch (const std::out_of_range&) {
+    return;
+  }
+
+  std::string reason;
+  WelcomePayload welcome;
+  bool accepted = hello.protocol == kTransportProtocolVersion && hello.client_id >= 0 &&
+                  static_cast<std::size_t>(hello.client_id) < slots_.size();
+  if (!accepted) reason = "unknown client id or protocol version";
+  if (accepted && validator_ && !validator_(hello, reason, welcome)) accepted = false;
+
+  if (!accepted) {
+    const Message reject =
+        make_control(MessageType::kHelloReject, -1, 0, string_payload(reason));
+    write_frame_bytes(fd.get(), encode_frame(0, reject), config_.send_deadline);
+    return;
+  }
+
+  const auto id = static_cast<std::size_t>(hello.client_id);
+  Slot& slot = *slots_[id];
+  std::uint64_t my_generation = 0;
+  bool is_reconnect = false;
+  const int raw_fd = fd.get();
+  {
+    const std::scoped_lock lock(slot.write_mutex);
+    if (slot.fd.valid()) {
+      // Takeover: wake the old reader, then park the old fd so its number
+      // cannot be reused while that thread is still winding down.
+      ::shutdown(slot.fd.get(), SHUT_RDWR);
+      slot.graveyard = std::move(slot.fd);
+      is_reconnect = true;
+    }
+    is_reconnect = is_reconnect || slot.generation > 0;
+    slot.fd = std::move(fd);
+    my_generation = ++slot.generation;
+    slot.last_seen = std::chrono::steady_clock::now();
+    welcome.last_seq_seen = slot.last_seq_in;
+
+    const Message accept_msg =
+        make_control(MessageType::kWelcome, -1, welcome.current_round, encode_welcome(welcome));
+    if (write_frame_bytes(raw_fd, encode_frame(0, accept_msg), config_.send_deadline) !=
+        util::IoResult::kOk) {
+      if (slot.generation == my_generation) slot.fd.reset();
+      return;
+    }
+  }
+  {
+    const std::scoped_lock lock(stats_mutex_);
+    ++stats_.handshakes;
+    if (is_reconnect) ++stats_.reconnects;
+  }
+  PFRL_COUNT("net/handshakes", 1);
+  if (is_reconnect) PFRL_COUNT("net/reconnects", 1);
+
+  // Surface the join to the runtime (collect init uploads, rejoins, ...).
+  push_inbox(make_control(MessageType::kHello, static_cast<int>(id), hello.resume_round,
+                          frame.message.payload));
+
+  // 2. Frame loop.
+  while (!stop_.load()) {
+    {
+      const std::scoped_lock lock(slot.write_mutex);
+      if (slot.generation != my_generation) return;  // taken over
+    }
+    const FrameResult fr = read_frame(raw_fd, frame, kLoopTick, config_.send_deadline);
+    if (fr == FrameResult::kTimeout) continue;  // idle tick
+    if (fr == FrameResult::kBadCrc) {
+      const std::scoped_lock lock(stats_mutex_);
+      ++stats_.crc_dropped;
+      PFRL_COUNT("net/crc_dropped", 1);
+      continue;
+    }
+    if (fr != FrameResult::kOk) break;  // closed / desync
+
+    const std::scoped_lock lock(slot.write_mutex);
+    if (slot.generation != my_generation) return;
+    slot.last_seen = std::chrono::steady_clock::now();
+    if (frame.seq == 0) {
+      if (frame.message.type == MessageType::kHeartbeat) {
+        const std::scoped_lock stats_lock(stats_mutex_);
+        ++stats_.heartbeats_seen;
+        PFRL_COUNT("net/heartbeats_seen", 1);
+      }
+      continue;  // control frames never reach the inbox
+    }
+    if (frame.seq <= slot.last_seq_in) {
+      const std::scoped_lock stats_lock(stats_mutex_);
+      ++stats_.duplicates_dropped;
+      PFRL_COUNT("net/duplicates_dropped", 1);
+      continue;
+    }
+    slot.last_seq_in = frame.seq;
+    // The handshake bound this connection to `id`; the in-band sender
+    // field is untrusted and gets overwritten.
+    frame.message.sender = static_cast<int>(id);
+    push_inbox(std::move(frame.message));
+  }
+
+  const std::scoped_lock lock(slot.write_mutex);
+  if (slot.generation == my_generation) slot.fd.reset();
+}
+
+void SocketServerTransport::push_inbox(Message message) {
+  {
+    const std::scoped_lock stats_lock(stats_mutex_);
+    stats_.bytes_received += message.payload.size();
+  }
+  {
+    const std::scoped_lock lock(inbox_mutex_);
+    inbox_.push_back(std::move(message));
+  }
+  inbox_cv_.notify_one();
+}
+
+bool SocketServerTransport::send(std::size_t client, const Message& message) {
+  PFRL_SPAN("net/send");
+  if (client >= slots_.size()) return false;
+  Slot& slot = *slots_[client];
+  // Seq assignment and the write stay under one lock so frames can never
+  // hit the wire out of seq order (the receiver's high-water dedup would
+  // drop the swapped-back frame).
+  const std::scoped_lock lock(slot.write_mutex);
+  const std::vector<std::uint8_t> frame = encode_frame(slot.next_seq_out++, message);
+  {
+    const std::scoped_lock stats_lock(stats_mutex_);
+    ++stats_.sends;
+    ++stats_.send_attempts;
+  }
+  PFRL_COUNT("net/sends", 1);
+  if (!slot.fd.valid() ||
+      write_frame_bytes(slot.fd.get(), frame, config_.send_deadline) != util::IoResult::kOk) {
+    // Single attempt by design: a client that misses a download recovers
+    // the current ψ_G at its next handshake.
+    const std::scoped_lock stats_lock(stats_mutex_);
+    ++stats_.send_failures;
+    PFRL_COUNT("net/send_failures", 1);
+    return false;
+  }
+  const std::scoped_lock stats_lock(stats_mutex_);
+  stats_.bytes_sent += frame.size();
+  return true;
+}
+
+std::optional<Message> SocketServerTransport::poll(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(inbox_mutex_);
+  if (!inbox_cv_.wait_for(lock, timeout, [this] { return !inbox_.empty() || stop_.load(); })) {
+    const std::scoped_lock stats_lock(stats_mutex_);
+    ++stats_.recv_timeouts;
+    PFRL_COUNT("net/timeouts", 1);
+    return std::nullopt;
+  }
+  if (inbox_.empty()) return std::nullopt;  // woken by stop()
+  Message m = std::move(inbox_.front());
+  inbox_.pop_front();
+  lock.unlock();
+  const std::scoped_lock stats_lock(stats_mutex_);
+  ++stats_.recv_messages;
+  return m;
+}
+
+std::vector<std::size_t> SocketServerTransport::live_clients() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = *slots_[i];
+    const std::scoped_lock lock(slot.write_mutex);
+    if (slot.fd.valid() && now - slot.last_seen < config_.liveness_timeout) live.push_back(i);
+  }
+  return live;
+}
+
+void SocketServerTransport::stop() {
+  if (stop_.exchange(true)) return;
+  // Closing the listener wakes the accept loop; shutting the slots wakes
+  // every connection reader.
+  if (listen_fd_.valid()) ::shutdown(listen_fd_.get(), SHUT_RDWR);
+  listen_fd_.reset();
+  for (auto& slot : slots_) {
+    const std::scoped_lock lock(slot->write_mutex);
+    if (slot->fd.valid()) ::shutdown(slot->fd.get(), SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    const std::scoped_lock lock(threads_mutex_);
+    for (std::thread& t : connection_threads_)
+      if (t.joinable()) t.join();
+    connection_threads_.clear();
+  }
+  for (auto& slot : slots_) {
+    const std::scoped_lock lock(slot->write_mutex);
+    slot->fd.reset();
+    slot->graveyard.reset();
+  }
+  inbox_cv_.notify_all();
+}
+
+TransportStats SocketServerTransport::stats() const {
+  const std::scoped_lock lock(stats_mutex_);
+  return stats_;
+}
+
+// --- Client ------------------------------------------------------------
+
+SocketClientTransport::SocketClientTransport(util::Endpoint endpoint, HelloPayload hello,
+                                             TransportConfig config,
+                                             std::function<void(const WelcomePayload&)> on_welcome)
+    : endpoint_(std::move(endpoint)),
+      hello_(std::move(hello)),
+      config_(config),
+      on_welcome_(std::move(on_welcome)),
+      jitter_rng_(config.jitter_seed ^
+                  (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(hello_.client_id) + 1))),
+      fault_rng_(config.inject_seed ^
+                 (0xC0FFEEULL * (static_cast<std::uint64_t>(hello_.client_id) + 1))),
+      fail_budget_(config.inject_send_fail_count),
+      duplicate_budget_(config.inject_send_duplicate_count) {
+  util::ignore_sigpipe();
+}
+
+SocketClientTransport::~SocketClientTransport() { close(); }
+
+void SocketClientTransport::set_resume_round(std::uint64_t round) {
+  const std::scoped_lock lock(conn_mutex_);
+  hello_.resume_round = round;
+}
+
+bool SocketClientTransport::connect() {
+  const std::scoped_lock lock(conn_mutex_);
+  if (connected_.load()) return true;
+  if (rejected_.load()) return false;
+  for (std::uint32_t attempt = 0; attempt < config_.retry.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      {
+        const std::scoped_lock stats_lock(stats_mutex_);
+        ++stats_.retries;
+      }
+      PFRL_COUNT("net/retries", 1);
+      std::this_thread::sleep_for(backoff_delay(config_.retry, attempt - 1, jitter_rng_));
+    }
+    if (connect_locked()) return true;
+    if (rejected_.load()) return false;
+  }
+  return false;
+}
+
+bool SocketClientTransport::connected() const { return connected_.load(); }
+
+bool SocketClientTransport::connect_locked() {
+  PFRL_SPAN("net/connect");
+  teardown_locked(/*count_reconnect=*/false);
+
+  util::ScopedFd fd = util::connect_endpoint(endpoint_, config_.handshake_timeout);
+  if (!fd.valid()) return false;
+
+  const Message hello_msg = make_control(MessageType::kHello, static_cast<int>(hello_.client_id),
+                                         hello_.resume_round, encode_hello(hello_));
+  if (write_frame_bytes(fd.get(), encode_frame(0, hello_msg), config_.handshake_timeout) !=
+      util::IoResult::kOk)
+    return false;
+
+  Frame frame;
+  if (read_frame(fd.get(), frame, config_.handshake_timeout, config_.handshake_timeout) !=
+          FrameResult::kOk ||
+      frame.seq != 0)
+    return false;
+  if (frame.message.type == MessageType::kHelloReject) {
+    reject_reason_.assign(frame.message.payload.begin(), frame.message.payload.end());
+    rejected_.store(true);
+    return false;
+  }
+  if (frame.message.type != MessageType::kWelcome || !checksum_ok(frame.message)) return false;
+
+  WelcomePayload welcome;
+  try {
+    welcome = decode_welcome(frame.message.payload);
+  } catch (const std::out_of_range&) {
+    return false;
+  }
+  // Resume outbound numbering above anything the server already accepted
+  // from this id (a restarted process would otherwise look like a replay).
+  next_seq_ = std::max(next_seq_, welcome.last_seq_seen + 1);
+
+  fd_ = std::move(fd);
+  const std::uint64_t generation = ++generation_;
+  connected_.store(true);
+  {
+    const std::scoped_lock stats_lock(stats_mutex_);
+    ++stats_.handshakes;
+    if (ever_connected_) ++stats_.reconnects;
+  }
+  PFRL_COUNT("net/handshakes", 1);
+  if (ever_connected_) PFRL_COUNT("net/reconnects", 1);
+  ever_connected_ = true;
+
+  reader_thread_ = std::thread([this, raw = fd_.get(), generation] { reader_loop(raw, generation); });
+  if (!heartbeat_thread_.joinable())
+    heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
+
+  if (on_welcome_) on_welcome_(welcome);
+  return true;
+}
+
+void SocketClientTransport::teardown_locked(bool count_reconnect) {
+  connected_.store(false);
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+  if (reader_thread_.joinable()) reader_thread_.join();
+  fd_.reset();
+  if (count_reconnect) {
+    const std::scoped_lock stats_lock(stats_mutex_);
+    ++stats_.reconnects;
+  }
+}
+
+void SocketClientTransport::reader_loop(int fd, std::uint64_t generation) {
+  Frame frame;
+  while (!stop_.load()) {
+    {
+      // A new handshake may have replaced this connection.
+      if (generation_ != generation || !connected_.load()) return;
+    }
+    const FrameResult fr = read_frame(fd, frame, kLoopTick, config_.send_deadline);
+    if (fr == FrameResult::kTimeout) continue;
+    if (fr == FrameResult::kBadCrc) {
+      const std::scoped_lock stats_lock(stats_mutex_);
+      ++stats_.crc_dropped;
+      PFRL_COUNT("net/crc_dropped", 1);
+      continue;
+    }
+    if (fr != FrameResult::kOk) break;
+    if (frame.seq == 0) continue;  // server control frames: none expected
+    if (frame.seq <= last_seq_in_) {
+      const std::scoped_lock stats_lock(stats_mutex_);
+      ++stats_.duplicates_dropped;
+      PFRL_COUNT("net/duplicates_dropped", 1);
+      continue;
+    }
+    last_seq_in_ = frame.seq;
+    {
+      const std::scoped_lock stats_lock(stats_mutex_);
+      stats_.bytes_received += frame.message.payload.size();
+    }
+    {
+      const std::scoped_lock lock(inbox_mutex_);
+      inbox_.push_back(std::move(frame.message));
+    }
+    inbox_cv_.notify_one();
+  }
+  connected_.store(false);
+  inbox_cv_.notify_all();
+}
+
+void SocketClientTransport::heartbeat_loop() {
+  while (!stop_.load()) {
+    {
+      std::unique_lock lock(heartbeat_mutex_);
+      heartbeat_cv_.wait_for(lock, config_.heartbeat_interval, [this] { return stop_.load(); });
+    }
+    if (stop_.load()) return;
+    const std::scoped_lock lock(conn_mutex_);
+    if (!connected_.load()) continue;
+    const Message beat = make_control(MessageType::kHeartbeat,
+                                      static_cast<int>(hello_.client_id), 0);
+    if (write_frame_locked(0, beat)) {
+      const std::scoped_lock stats_lock(stats_mutex_);
+      ++stats_.heartbeats_sent;
+      PFRL_COUNT("net/heartbeats_sent", 1);
+    }
+  }
+}
+
+bool SocketClientTransport::write_frame_locked(std::uint64_t seq, const Message& message) {
+  const std::scoped_lock lock(write_mutex_);
+  if (!fd_.valid()) return false;
+  const std::vector<std::uint8_t> frame = encode_frame(seq, message);
+  if (write_frame_bytes(fd_.get(), frame, config_.send_deadline) != util::IoResult::kOk)
+    return false;
+  const std::scoped_lock stats_lock(stats_mutex_);
+  stats_.bytes_sent += frame.size();
+  return true;
+}
+
+bool SocketClientTransport::send(const Message& message) {
+  PFRL_SPAN("net/send");
+  const std::scoped_lock lock(conn_mutex_);
+  {
+    const std::scoped_lock stats_lock(stats_mutex_);
+    ++stats_.sends;
+  }
+  PFRL_COUNT("net/sends", 1);
+  const std::uint64_t seq = next_seq_++;  // retries resend the same seq
+
+  for (std::uint32_t attempt = 0; attempt < config_.retry.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      {
+        const std::scoped_lock stats_lock(stats_mutex_);
+        ++stats_.retries;
+      }
+      PFRL_COUNT("net/retries", 1);
+      std::this_thread::sleep_for(backoff_delay(config_.retry, attempt - 1, jitter_rng_));
+    }
+    {
+      const std::scoped_lock stats_lock(stats_mutex_);
+      ++stats_.send_attempts;
+    }
+
+    bool fail_attempt = false;
+    bool duplicate_attempt = false;
+    if (fail_budget_ > 0) {
+      --fail_budget_;
+      fail_attempt = true;
+    } else if (duplicate_budget_ > 0) {
+      --duplicate_budget_;
+      duplicate_attempt = true;
+    } else if (config_.inject_drop_prob > 0.0 && fault_rng_.bernoulli(config_.inject_drop_prob)) {
+      fail_attempt = true;
+    } else if (config_.inject_duplicate_prob > 0.0 &&
+               fault_rng_.bernoulli(config_.inject_duplicate_prob)) {
+      duplicate_attempt = true;
+    }
+    if (config_.inject_delay_prob > 0.0 && fault_rng_.bernoulli(config_.inject_delay_prob))
+      std::this_thread::sleep_for(config_.inject_delay);
+
+    if (fail_attempt) {
+      const std::scoped_lock stats_lock(stats_mutex_);
+      ++stats_.send_failures;
+      PFRL_COUNT("net/send_failures", 1);
+      continue;
+    }
+
+    if (!connected_.load()) {
+      if (!config_.auto_reconnect || rejected_.load() || !connect_locked()) {
+        const std::scoped_lock stats_lock(stats_mutex_);
+        ++stats_.send_failures;
+        PFRL_COUNT("net/send_failures", 1);
+        continue;
+      }
+    }
+
+    if (!write_frame_locked(seq, message)) {
+      connected_.store(false);  // broken pipe: force reconnect next attempt
+      const std::scoped_lock stats_lock(stats_mutex_);
+      ++stats_.send_failures;
+      PFRL_COUNT("net/send_failures", 1);
+      continue;
+    }
+    if (duplicate_attempt)
+      write_frame_locked(seq, message);  // wire duplicate; receiver dedups by seq
+    return true;
+  }
+  {
+    const std::scoped_lock stats_lock(stats_mutex_);
+    ++stats_.give_ups;
+  }
+  PFRL_COUNT("net/give_ups", 1);
+  return false;
+}
+
+std::optional<Message> SocketClientTransport::poll(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(inbox_mutex_);
+  if (!inbox_cv_.wait_for(lock, timeout, [this] { return !inbox_.empty() || stop_.load(); })) {
+    const std::scoped_lock stats_lock(stats_mutex_);
+    ++stats_.recv_timeouts;
+    PFRL_COUNT("net/timeouts", 1);
+    return std::nullopt;
+  }
+  if (inbox_.empty()) return std::nullopt;
+  Message m = std::move(inbox_.front());
+  inbox_.pop_front();
+  lock.unlock();
+  const std::scoped_lock stats_lock(stats_mutex_);
+  ++stats_.recv_messages;
+  return m;
+}
+
+void SocketClientTransport::close() {
+  {
+    const std::scoped_lock lock(conn_mutex_);
+    if (stop_.exchange(true)) return;
+    teardown_locked(/*count_reconnect=*/false);
+  }
+  heartbeat_cv_.notify_all();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  inbox_cv_.notify_all();
+}
+
+void SocketClientTransport::debug_drop_connection() {
+  const std::scoped_lock lock(conn_mutex_);
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+  connected_.store(false);
+}
+
+TransportStats SocketClientTransport::stats() const {
+  const std::scoped_lock lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace pfrl::fed

@@ -1,0 +1,205 @@
+// Socket-backed federation transport (TCP or Unix-domain stream).
+//
+// Wire format, reusing the project's CRC-32 + length-framing idiom:
+//
+//   frame   := header body
+//   header  := magic:u32 ('PFRN') | body_len:u32 | seq:u64 | crc:u32
+//   body    := serialize_message(Message) bytes   (body_len of them)
+//   crc     := CRC-32 of body
+//
+// All integers little-endian via util::ByteWriter. seq == 0 marks a
+// control frame (kHello / kWelcome / kHelloReject / kHeartbeat), handled
+// inside the transport and never surfaced through poll(). Data frames
+// carry a per-client monotonic seq; RETRIES RESEND THE SAME SEQ, and the
+// receiver drops seq <= high-water as a duplicate. The server keeps its
+// high-water per client id across reconnect generations (so retransmits
+// of pre-crash uploads still dedup), and the Welcome tells a restarted
+// client where to resume its counter.
+//
+// Failure semantics: a bad magic or oversized length desyncs the stream
+// and tears the connection down; a CRC mismatch drops just that frame
+// (the framing is still intact) and counts crc_dropped. The client
+// reconnects + re-handshakes between send attempts when auto_reconnect
+// is set; the server treats a re-handshake for a live id as a takeover
+// (old connection closed, reconnects counter bumped).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+
+#include "fed/transport.hpp"
+#include "util/net.hpp"
+
+namespace pfrl::fed {
+
+inline constexpr std::uint32_t kFrameMagic = 0x5046524E;  // 'PFRN'
+inline constexpr std::uint32_t kFrameHeaderBytes = 20;
+inline constexpr std::uint32_t kMaxFrameBody = 64u << 20;  // 64 MiB
+
+struct Frame {
+  std::uint64_t seq = 0;  // 0 = control frame
+  Message message;
+};
+
+std::vector<std::uint8_t> encode_frame(std::uint64_t seq, const Message& message);
+
+enum class FrameResult {
+  kOk,
+  kTimeout,   // deadline expired (mid-frame timeouts tear the connection)
+  kClosed,    // peer closed the stream
+  kError,     // I/O error or stream desync (bad magic / oversize)
+  kBadCrc,    // this frame dropped, stream still framed — keep reading
+};
+
+/// Reads one frame. `idle_timeout` bounds the wait for the first byte
+/// (poll-only, nothing consumed, so callers can tick a stop flag);
+/// `io_timeout` bounds each transfer once bytes are flowing.
+FrameResult read_frame(int fd, Frame& out, std::chrono::milliseconds idle_timeout,
+                       std::chrono::milliseconds io_timeout);
+
+/// Decides whether an incoming handshake is accepted. On accept, fill
+/// `welcome` (current_round, ψ_G for rejoiners, ...) and return true; on
+/// reject, set `reason` and return false. Called with the hello already
+/// bounds-checked (0 <= client_id < client_count). last_seq_seen is
+/// stamped by the transport after the validator runs.
+using HandshakeValidator =
+    std::function<bool(const HelloPayload& hello, std::string& reason, WelcomePayload& welcome)>;
+
+/// Server side: accepts connections, runs handshakes, reads frames on one
+/// thread per connection, and merges accepted data messages (sender
+/// stamped with the handshake-bound id — the wire sender is untrusted)
+/// into a single inbox. Successful handshakes also surface as a kHello
+/// message through poll() so the runtime sees joins and rejoins.
+class SocketServerTransport final : public ServerTransport {
+ public:
+  /// Binds and starts the accept loop. Throws on bind/listen failure.
+  SocketServerTransport(const util::Endpoint& endpoint, std::size_t client_count,
+                        TransportConfig config, HandshakeValidator validator);
+  ~SocketServerTransport() override;
+
+  /// The bound endpoint (TCP port 0 resolved to the kernel's choice).
+  const util::Endpoint& endpoint() const { return endpoint_; }
+
+  std::size_t client_count() const override { return slots_.size(); }
+  bool send(std::size_t client, const Message& message) override;
+  std::optional<Message> poll(std::chrono::milliseconds timeout) override;
+  std::vector<std::size_t> live_clients() const override;
+  void stop() override;
+  TransportStats stats() const override;
+
+ private:
+  struct Slot {
+    util::ScopedFd fd;                 // invalid when disconnected
+    // On takeover the replaced fd is parked here (shutdown but open) so
+    // its number cannot be reused while the old reader thread is still
+    // winding down; closed at the next takeover or on stop().
+    util::ScopedFd graveyard;
+    std::uint64_t generation = 0;      // bumps on every (re)handshake
+    std::uint64_t last_seq_in = 0;     // inbound dedup high-water (persists)
+    std::uint64_t next_seq_out = 1;    // outbound data seq (persists)
+    std::chrono::steady_clock::time_point last_seen{};
+    std::mutex write_mutex;
+  };
+
+  void accept_loop();
+  void connection_loop(util::ScopedFd fd);
+  void push_inbox(Message message);
+
+  util::Endpoint endpoint_;
+  TransportConfig config_;
+  HandshakeValidator validator_;
+  util::ScopedFd listen_fd_;
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  mutable std::mutex slots_mutex_;
+
+  std::deque<Message> inbox_;
+  mutable std::mutex inbox_mutex_;
+  std::condition_variable inbox_cv_;
+
+  TransportStats stats_;
+  mutable std::mutex stats_mutex_;
+
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> connection_threads_;
+  std::mutex threads_mutex_;
+};
+
+/// Client side: dials, handshakes, then runs a reader thread (downloads
+/// into the inbox, duplicates dropped by seq) and a heartbeat thread.
+/// send() retries with seeded exponential backoff, reconnecting and
+/// re-handshaking between attempts when the connection died.
+class SocketClientTransport final : public ClientTransport {
+ public:
+  /// `hello` is the handshake this client presents (id, arch hash,
+  /// algorithm, init upload); `resume_round` can be refreshed with
+  /// set_resume_round before a reconnect. `on_welcome` (optional) runs on
+  /// every accepted handshake with the server's Welcome.
+  SocketClientTransport(util::Endpoint endpoint, HelloPayload hello, TransportConfig config,
+                        std::function<void(const WelcomePayload&)> on_welcome = nullptr);
+  ~SocketClientTransport() override;
+
+  bool connect() override;
+  bool connected() const override;
+  bool send(const Message& message) override;
+  std::optional<Message> poll(std::chrono::milliseconds timeout) override;
+  void close() override;
+  TransportStats stats() const override;
+
+  bool supports_reconnect() const override { return true; }
+  void debug_drop_connection() override;
+
+  void set_resume_round(std::uint64_t round);
+  /// True once the server rejected our handshake — retrying is pointless.
+  bool rejected() const { return rejected_.load(); }
+  const std::string& reject_reason() const { return reject_reason_; }
+
+ private:
+  bool connect_locked();  // requires conn_mutex_
+  void teardown_locked(bool count_reconnect);
+  void reader_loop(int fd, std::uint64_t generation);
+  void heartbeat_loop();
+  bool write_frame_locked(std::uint64_t seq, const Message& message);
+
+  util::Endpoint endpoint_;
+  HelloPayload hello_;
+  TransportConfig config_;
+  std::function<void(const WelcomePayload&)> on_welcome_;
+
+  util::ScopedFd fd_;
+  std::atomic<std::uint64_t> generation_{0};  // bumps per successful handshake
+  std::atomic<bool> connected_{false};
+  std::atomic<bool> rejected_{false};
+  std::string reject_reason_;
+  bool ever_connected_ = false;
+  std::uint64_t next_seq_ = 1;      // outbound data seq (same seq on retry)
+  std::uint64_t last_seq_in_ = 0;   // inbound dedup high-water
+  mutable std::mutex conn_mutex_;   // guards fd_/generation_/handshake state
+  std::mutex write_mutex_;          // serializes frame writes (send vs heartbeat)
+
+  util::Rng jitter_rng_;
+  util::Rng fault_rng_;
+  std::uint32_t fail_budget_;
+  std::uint32_t duplicate_budget_;
+
+  std::deque<Message> inbox_;
+  mutable std::mutex inbox_mutex_;
+  std::condition_variable inbox_cv_;
+
+  TransportStats stats_;
+  mutable std::mutex stats_mutex_;
+
+  std::atomic<bool> stop_{false};
+  std::thread reader_thread_;
+  std::thread heartbeat_thread_;
+  std::condition_variable heartbeat_cv_;
+  std::mutex heartbeat_mutex_;
+};
+
+}  // namespace pfrl::fed

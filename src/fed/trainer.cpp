@@ -46,6 +46,80 @@ void append_double_array(std::string& out, const std::vector<double>& values) {
 
 }  // namespace
 
+std::string client_history_json(const ClientHistory& c) {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"joined_at_episode\":" + std::to_string(c.joined_at_episode);
+  out += ",\"uploads_sent\":" + std::to_string(c.uploads_sent);
+  out += ",\"downloads_applied\":" + std::to_string(c.downloads_applied);
+  out += ",\"downloads_rejected\":" + std::to_string(c.downloads_rejected);
+  out += ",\"rounds_crashed\":" + std::to_string(c.rounds_crashed);
+  out += ",\"max_staleness\":" + std::to_string(c.max_staleness);
+  out += ",\"episode_rewards\":";
+  append_double_array(out, c.episode_rewards);
+  out += ",\"critic_loss_before\":";
+  append_double_array(out, c.critic_loss_before);
+  out += ",\"critic_loss_after\":";
+  append_double_array(out, c.critic_loss_after);
+  out += ",\"round_diagnostics\":[";
+  for (std::size_t r = 0; r < c.round_diagnostics.size(); ++r) {
+    const rl::UpdateDiagnostics& d = c.round_diagnostics[r];
+    out += r == 0 ? "{" : ",{";
+    out += "\"entropy\":";
+    obs::json_number_append(out, d.policy_entropy);
+    out += ",\"approx_kl\":";
+    obs::json_number_append(out, d.approx_kl);
+    out += ",\"clip_fraction\":";
+    obs::json_number_append(out, d.clip_fraction);
+    out += ",\"explained_variance\":";
+    obs::json_number_append(out, d.explained_variance);
+    out += ",\"policy_grad_norm\":";
+    obs::json_number_append(out, d.policy_grad_norm);
+    out += ",\"critic_grad_norm\":";
+    obs::json_number_append(out, d.critic_grad_norm);
+    out += ",\"alpha\":";
+    obs::json_number_append(out, d.alpha);
+    out += ",\"local_critic_loss\":";
+    obs::json_number_append(out, d.local_critic_loss);
+    out += ",\"public_critic_loss\":";
+    obs::json_number_append(out, d.public_critic_loss);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void record_training_round(ClientHistory& h, const std::vector<rl::EpisodeStats>& stats) {
+  rl::UpdateDiagnostics mean;
+  mean.alpha = 0.0;  // accumulate from zero (the struct defaults to 1)
+  for (const rl::EpisodeStats& s : stats) {
+    h.episode_rewards.push_back(s.total_reward);
+    h.episode_metrics.push_back(s.metrics);
+    mean.policy_entropy += s.update.policy_entropy;
+    mean.approx_kl += s.update.approx_kl;
+    mean.clip_fraction += s.update.clip_fraction;
+    mean.explained_variance += s.update.explained_variance;
+    mean.policy_grad_norm += s.update.policy_grad_norm;
+    mean.critic_grad_norm += s.update.critic_grad_norm;
+    mean.alpha += s.update.alpha;
+    mean.local_critic_loss += s.update.local_critic_loss;
+    mean.public_critic_loss += s.update.public_critic_loss;
+  }
+  if (!stats.empty()) {
+    const double inv = 1.0 / static_cast<double>(stats.size());
+    mean.policy_entropy *= inv;
+    mean.approx_kl *= inv;
+    mean.clip_fraction *= inv;
+    mean.explained_variance *= inv;
+    mean.policy_grad_norm *= inv;
+    mean.critic_grad_norm *= inv;
+    mean.alpha *= inv;
+    mean.local_critic_loss *= inv;
+    mean.public_critic_loss *= inv;
+  }
+  h.round_diagnostics.push_back(mean);
+}
+
 std::string training_history_json(const TrainingHistory& history) {
   std::string out;
   out.reserve(4096);
@@ -67,45 +141,8 @@ std::string training_history_json(const TrainingHistory& history) {
   append_double_array(out, history.mean_reward_curve());
   out += ",\"clients\":[";
   for (std::size_t i = 0; i < history.clients.size(); ++i) {
-    const ClientHistory& c = history.clients[i];
-    out += i == 0 ? "{" : ",{";
-    out += "\"joined_at_episode\":" + std::to_string(c.joined_at_episode);
-    out += ",\"uploads_sent\":" + std::to_string(c.uploads_sent);
-    out += ",\"downloads_applied\":" + std::to_string(c.downloads_applied);
-    out += ",\"downloads_rejected\":" + std::to_string(c.downloads_rejected);
-    out += ",\"rounds_crashed\":" + std::to_string(c.rounds_crashed);
-    out += ",\"max_staleness\":" + std::to_string(c.max_staleness);
-    out += ",\"episode_rewards\":";
-    append_double_array(out, c.episode_rewards);
-    out += ",\"critic_loss_before\":";
-    append_double_array(out, c.critic_loss_before);
-    out += ",\"critic_loss_after\":";
-    append_double_array(out, c.critic_loss_after);
-    out += ",\"round_diagnostics\":[";
-    for (std::size_t r = 0; r < c.round_diagnostics.size(); ++r) {
-      const rl::UpdateDiagnostics& d = c.round_diagnostics[r];
-      out += r == 0 ? "{" : ",{";
-      out += "\"entropy\":";
-      obs::json_number_append(out, d.policy_entropy);
-      out += ",\"approx_kl\":";
-      obs::json_number_append(out, d.approx_kl);
-      out += ",\"clip_fraction\":";
-      obs::json_number_append(out, d.clip_fraction);
-      out += ",\"explained_variance\":";
-      obs::json_number_append(out, d.explained_variance);
-      out += ",\"policy_grad_norm\":";
-      obs::json_number_append(out, d.policy_grad_norm);
-      out += ",\"critic_grad_norm\":";
-      obs::json_number_append(out, d.critic_grad_norm);
-      out += ",\"alpha\":";
-      obs::json_number_append(out, d.alpha);
-      out += ",\"local_critic_loss\":";
-      obs::json_number_append(out, d.local_critic_loss);
-      out += ",\"public_critic_loss\":";
-      obs::json_number_append(out, d.public_critic_loss);
-      out += "}";
-    }
-    out += "]}";
+    if (i != 0) out += ',';
+    out += client_history_json(history.clients[i]);
   }
   out += "],\"attention_rounds\":[";
   for (std::size_t i = 0; i < history.attention_rounds.size(); ++i) {
@@ -195,36 +232,7 @@ void FedTrainer::step_round() {
     PFRL_SPAN("fed/local_training");
     pool_.parallel_for(clients_.size(), [&](std::size_t i) {
       if (crashed[i]) return;
-      const std::vector<rl::EpisodeStats> stats = clients_[i]->train_episodes(episodes);
-      ClientHistory& h = history_.clients[i];
-      rl::UpdateDiagnostics mean;
-      mean.alpha = 0.0;  // accumulate from zero (the struct defaults to 1)
-      for (const rl::EpisodeStats& s : stats) {
-        h.episode_rewards.push_back(s.total_reward);
-        h.episode_metrics.push_back(s.metrics);
-        mean.policy_entropy += s.update.policy_entropy;
-        mean.approx_kl += s.update.approx_kl;
-        mean.clip_fraction += s.update.clip_fraction;
-        mean.explained_variance += s.update.explained_variance;
-        mean.policy_grad_norm += s.update.policy_grad_norm;
-        mean.critic_grad_norm += s.update.critic_grad_norm;
-        mean.alpha += s.update.alpha;
-        mean.local_critic_loss += s.update.local_critic_loss;
-        mean.public_critic_loss += s.update.public_critic_loss;
-      }
-      if (!stats.empty()) {
-        const double inv = 1.0 / static_cast<double>(stats.size());
-        mean.policy_entropy *= inv;
-        mean.approx_kl *= inv;
-        mean.clip_fraction *= inv;
-        mean.explained_variance *= inv;
-        mean.policy_grad_norm *= inv;
-        mean.critic_grad_norm *= inv;
-        mean.alpha *= inv;
-        mean.local_critic_loss *= inv;
-        mean.public_critic_loss *= inv;
-      }
-      h.round_diagnostics.push_back(mean);
+      record_training_round(history_.clients[i], clients_[i]->train_episodes(episodes));
     });
   }
   episodes_done_ += episodes;
@@ -400,8 +408,6 @@ std::size_t FedTrainer::add_client(std::unique_ptr<FedClient> client) {
   return index;
 }
 
-namespace {
-
 void serialize_client_history(const ClientHistory& h, util::ByteWriter& writer) {
   writer.write_f64_span(h.episode_rewards);
   writer.write_u64(h.episode_metrics.size());
@@ -441,8 +447,6 @@ ClientHistory deserialize_client_history(util::ByteReader& reader) {
   h.max_staleness = static_cast<std::size_t>(reader.read_u64());
   return h;
 }
-
-}  // namespace
 
 void FedTrainer::serialize_state(util::ByteWriter& writer) const {
   writer.write_u64(round_index_);

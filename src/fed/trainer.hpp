@@ -111,6 +111,23 @@ struct TrainingHistory {
 /// obs::RunReporter stays independent of fed types).
 std::string training_history_json(const TrainingHistory& history);
 
+/// Renders one client's history as a JSON object — the element shape of
+/// training_history_json's "clients" array, and what a networked client
+/// process writes with --history-out, so per-client histories from the
+/// two runtimes diff directly.
+std::string client_history_json(const ClientHistory& history);
+
+/// Appends one training burst (Ω local episodes) to `history`: per-episode
+/// rewards/metrics plus the round's mean-diagnostics entry. Shared by
+/// FedTrainer::step_round and the networked per-process client so both
+/// record histories identically.
+void record_training_round(ClientHistory& history, const std::vector<rl::EpisodeStats>& stats);
+
+/// Checkpoint codecs for one client's history (FedTrainer full-state
+/// snapshots and the networked client's per-process checkpoints).
+void serialize_client_history(const ClientHistory& history, util::ByteWriter& writer);
+ClientHistory deserialize_client_history(util::ByteReader& reader);
+
 class FedTrainer {
  public:
   FedTrainer(FedTrainerConfig config, std::unique_ptr<Aggregator> aggregator,

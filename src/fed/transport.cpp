@@ -1,0 +1,304 @@
+#include "fed/transport.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_set>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pfrl::fed {
+
+std::chrono::milliseconds backoff_delay(const RetryPolicy& policy, std::uint32_t attempt,
+                                        util::Rng& rng) {
+  double delay = static_cast<double>(policy.base_backoff.count());
+  for (std::uint32_t i = 0; i < attempt && delay < static_cast<double>(policy.max_backoff.count());
+       ++i)
+    delay *= 2.0;
+  delay = std::min(delay, static_cast<double>(policy.max_backoff.count()));
+  // Jitter draw happens unconditionally so the RNG stream advances the
+  // same way regardless of the jitter amplitude — keeps runs comparable
+  // when only the jitter fraction changes.
+  const double noise = rng.uniform(-1.0, 1.0);
+  delay *= 1.0 + policy.jitter * noise;
+  return std::chrono::milliseconds(std::max<std::int64_t>(0, static_cast<std::int64_t>(delay)));
+}
+
+// --- Handshake codecs --------------------------------------------------
+
+std::vector<std::uint8_t> encode_hello(const HelloPayload& hello) {
+  util::ByteWriter writer;
+  writer.write_u32(hello.protocol);
+  writer.write_i64(hello.client_id);
+  writer.write_u64(hello.arch_hash);
+  writer.write_string(hello.algorithm);
+  writer.write_u64(hello.resume_round);
+  writer.write_bytes(hello.init_upload);
+  return std::move(writer).take();
+}
+
+HelloPayload decode_hello(const std::vector<std::uint8_t>& payload) {
+  util::ByteReader reader(payload);
+  HelloPayload hello;
+  hello.protocol = reader.read_u32();
+  hello.client_id = reader.read_i64();
+  hello.arch_hash = reader.read_u64();
+  hello.algorithm = reader.read_string();
+  hello.resume_round = reader.read_u64();
+  hello.init_upload = reader.read_bytes();
+  return hello;
+}
+
+std::vector<std::uint8_t> encode_welcome(const WelcomePayload& welcome) {
+  util::ByteWriter writer;
+  writer.write_u32(welcome.protocol);
+  writer.write_u64(welcome.client_count);
+  writer.write_u64(welcome.total_rounds);
+  writer.write_u64(welcome.comm_every);
+  writer.write_u64(welcome.participants_per_round);
+  writer.write_u64(welcome.current_round);
+  writer.write_u64(welcome.last_seq_seen);
+  writer.write_bytes(welcome.global_model);
+  return std::move(writer).take();
+}
+
+WelcomePayload decode_welcome(const std::vector<std::uint8_t>& payload) {
+  util::ByteReader reader(payload);
+  WelcomePayload welcome;
+  welcome.protocol = reader.read_u32();
+  welcome.client_count = reader.read_u64();
+  welcome.total_rounds = reader.read_u64();
+  welcome.comm_every = reader.read_u64();
+  welcome.participants_per_round = reader.read_u64();
+  welcome.current_round = reader.read_u64();
+  welcome.last_seq_seen = reader.read_u64();
+  welcome.global_model = reader.read_bytes();
+  return welcome;
+}
+
+std::vector<std::uint8_t> encode_round_begin(const RoundBeginPayload& begin) {
+  util::ByteWriter writer;
+  writer.write_u64(begin.round);
+  writer.write_bool(begin.participate);
+  writer.write_u64(begin.episodes);
+  return std::move(writer).take();
+}
+
+RoundBeginPayload decode_round_begin(const std::vector<std::uint8_t>& payload) {
+  util::ByteReader reader(payload);
+  RoundBeginPayload begin;
+  begin.round = reader.read_u64();
+  begin.participate = reader.read_bool();
+  begin.episodes = reader.read_u64();
+  return begin;
+}
+
+// --- Straggler-tolerant round collection -------------------------------
+
+RoundCollection collect_round(ServerTransport& transport, std::uint64_t round,
+                              const std::vector<std::size_t>& expected, std::size_t quorum,
+                              std::chrono::milliseconds deadline,
+                              std::chrono::milliseconds poll_tick) {
+  PFRL_SPAN("net/round_collect");
+  const auto started = std::chrono::steady_clock::now();
+  const auto quorum_deadline = started + deadline;
+  const std::unordered_set<std::size_t> expected_set(expected.begin(), expected.end());
+
+  RoundCollection collection;
+  std::unordered_set<std::size_t> arrived;  // distinct on-round senders
+  while (true) {
+    if (arrived.size() >= expected_set.size()) break;  // everyone reported
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= quorum_deadline && arrived.size() >= quorum) {
+      collection.closed_at_deadline = true;
+      break;
+    }
+    auto message = transport.poll(poll_tick);
+    if (!message) continue;
+    if (message->type == MessageType::kModelUpload && message->round == round) {
+      if (message->sender >= 0) arrived.insert(static_cast<std::size_t>(message->sender));
+      collection.uploads.push_back(std::move(*message));
+    } else {
+      // Stale (laggard from an already-closed round) or otherwise
+      // off-round traffic: hand it to the caller so FedServer's existing
+      // staleness / reject counters see it.
+      collection.late.push_back(std::move(*message));
+    }
+  }
+
+  for (const std::size_t id : expected)
+    if (!arrived.contains(id)) collection.missing.push_back(id);
+
+  // Aggregation order must not depend on network arrival order: the
+  // identical-history guarantee vs the in-process trainer needs uploads
+  // sorted the way step_round posts them (by client index).
+  std::stable_sort(collection.uploads.begin(), collection.uploads.end(),
+                   [](const Message& a, const Message& b) { return a.sender < b.sender; });
+
+  PFRL_COUNT("net/round_laggards", collection.missing.size());
+  if (collection.closed_at_deadline) PFRL_COUNT("net/rounds_closed_at_deadline", 1);
+  PFRL_HISTOGRAM_RECORD("net/round_latency_us",
+                        std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - started)
+                            .count());
+  return collection;
+}
+
+// --- In-process Bus backend -------------------------------------------
+
+BusClientTransport::BusClientTransport(Bus& bus, std::size_t client_id, TransportConfig config)
+    : bus_(bus),
+      client_id_(client_id),
+      config_(config),
+      jitter_rng_(config.jitter_seed ^ (0x9E3779B97F4A7C15ULL * (client_id + 1))),
+      fault_rng_(config.inject_seed ^ (0xC0FFEEULL * (client_id + 1))),
+      fail_budget_(config.inject_send_fail_count),
+      duplicate_budget_(config.inject_send_duplicate_count) {}
+
+bool BusClientTransport::send(const Message& message) {
+  PFRL_SPAN("net/send");
+  const std::scoped_lock lock(mutex_);
+  ++stats_.sends;
+  PFRL_COUNT("net/sends", 1);
+
+  bool posted = false;
+  for (std::uint32_t attempt = 0; attempt < config_.retry.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      PFRL_COUNT("net/retries", 1);
+      std::this_thread::sleep_for(backoff_delay(config_.retry, attempt - 1, jitter_rng_));
+    }
+    ++stats_.send_attempts;
+
+    if (posted) {
+      // The previous attempt did deliver (injected duplicate): the wire
+      // would now carry a second copy. Exactly-once for the in-process
+      // bus means suppressing the repost here and counting the dedup.
+      ++stats_.duplicates_dropped;
+      PFRL_COUNT("net/duplicates_dropped", 1);
+      return true;
+    }
+
+    bool fail_attempt = false;
+    bool duplicate_attempt = false;
+    if (fail_budget_ > 0) {
+      --fail_budget_;
+      fail_attempt = true;
+    } else if (duplicate_budget_ > 0) {
+      --duplicate_budget_;
+      duplicate_attempt = true;
+    } else if (config_.inject_drop_prob > 0.0 && fault_rng_.bernoulli(config_.inject_drop_prob)) {
+      fail_attempt = true;
+    } else if (config_.inject_duplicate_prob > 0.0 &&
+               fault_rng_.bernoulli(config_.inject_duplicate_prob)) {
+      duplicate_attempt = true;
+    }
+    if (config_.inject_delay_prob > 0.0 && fault_rng_.bernoulli(config_.inject_delay_prob))
+      std::this_thread::sleep_for(config_.inject_delay);
+
+    if (fail_attempt) {
+      ++stats_.send_failures;
+      PFRL_COUNT("net/send_failures", 1);
+      continue;
+    }
+
+    bus_.send_to_server(message);
+    stats_.bytes_sent += message.payload.size();
+    posted = true;
+    if (duplicate_attempt) {
+      // Delivered, but the "ack" was lost: report failure so the retry
+      // path runs and exercises the duplicate-suppression branch above.
+      ++stats_.send_failures;
+      PFRL_COUNT("net/send_failures", 1);
+      continue;
+    }
+    return true;
+  }
+  if (posted) return true;  // budget ended on a delivered-but-unacked attempt
+  ++stats_.give_ups;
+  PFRL_COUNT("net/give_ups", 1);
+  return false;
+}
+
+std::optional<Message> BusClientTransport::poll(std::chrono::milliseconds timeout) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (!pending_.empty()) {
+      Message m = std::move(pending_.front());
+      pending_.pop_front();
+      ++stats_.recv_messages;
+      stats_.bytes_received += m.payload.size();
+      return m;
+    }
+  }
+  if (!bus_.wait_client(client_id_, timeout)) {
+    const std::scoped_lock lock(mutex_);
+    ++stats_.recv_timeouts;
+    PFRL_COUNT("net/timeouts", 1);
+    return std::nullopt;
+  }
+  const std::scoped_lock lock(mutex_);
+  for (Message& m : bus_.drain_client(client_id_)) pending_.push_back(std::move(m));
+  if (pending_.empty()) return std::nullopt;  // another poll won the race
+  Message m = std::move(pending_.front());
+  pending_.pop_front();
+  ++stats_.recv_messages;
+  stats_.bytes_received += m.payload.size();
+  return m;
+}
+
+TransportStats BusClientTransport::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+BusServerTransport::BusServerTransport(Bus& bus, TransportConfig config)
+    : bus_(bus), config_(config) {}
+
+bool BusServerTransport::send(std::size_t client, const Message& message) {
+  const std::scoped_lock lock(mutex_);
+  ++stats_.sends;
+  ++stats_.send_attempts;
+  bus_.send_to_client(client, message);
+  stats_.bytes_sent += message.payload.size();
+  return true;
+}
+
+std::optional<Message> BusServerTransport::poll(std::chrono::milliseconds timeout) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (!pending_.empty()) {
+      Message m = std::move(pending_.front());
+      pending_.pop_front();
+      ++stats_.recv_messages;
+      stats_.bytes_received += m.payload.size();
+      return m;
+    }
+  }
+  if (!bus_.wait_server(timeout)) {
+    const std::scoped_lock lock(mutex_);
+    ++stats_.recv_timeouts;
+    return std::nullopt;
+  }
+  const std::scoped_lock lock(mutex_);
+  for (Message& m : bus_.drain_server()) pending_.push_back(std::move(m));
+  if (pending_.empty()) return std::nullopt;
+  Message m = std::move(pending_.front());
+  pending_.pop_front();
+  ++stats_.recv_messages;
+  stats_.bytes_received += m.payload.size();
+  return m;
+}
+
+std::vector<std::size_t> BusServerTransport::live_clients() const {
+  std::vector<std::size_t> all(bus_.client_count());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return all;
+}
+
+TransportStats BusServerTransport::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace pfrl::fed

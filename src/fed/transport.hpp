@@ -1,0 +1,268 @@
+// Transport abstraction for the federated stack.
+//
+// FedTrainer historically owned a concrete in-process Bus; resilient
+// multi-process federation needs the same message flow over sockets with
+// deadlines, retries, heartbeats, and reconnects. ClientTransport /
+// ServerTransport capture exactly the surface the federation runtime
+// needs, with two backends:
+//
+//  * Bus-backed (this header + transport.cpp): wraps the existing
+//    in-process Bus — including a FaultyBus, whose injection layering is
+//    preserved untouched — and adds the transport-level retry/duplicate
+//    semantics on top so conformance tests exercise one contract.
+//  * Socket-backed (socket_transport.hpp): blocking TCP/UDS with the
+//    CRC-32 + length-framed wire format, handshakes, heartbeats, and
+//    automatic reconnect.
+//
+// Retries use bounded exponential backoff with seeded jitter so a run is
+// reproducible end to end. Sends are at-least-once with duplicate
+// suppression (sender-side for the bus backend, sequence-number dedup at
+// the receiver for sockets); FedServer's existing duplicate counter
+// remains the last line of defense.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fed/bus.hpp"
+#include "fed/message.hpp"
+#include "util/rng.hpp"
+
+namespace pfrl::fed {
+
+inline constexpr std::uint32_t kTransportProtocolVersion = 1;
+
+/// Bounded exponential backoff between send attempts:
+/// delay(a) = min(base * 2^a, max) * (1 + jitter * U[-1, 1]).
+struct RetryPolicy {
+  std::uint32_t max_attempts = 5;
+  std::chrono::milliseconds base_backoff{10};
+  std::chrono::milliseconds max_backoff{1000};
+  double jitter = 0.2;  // fraction of the delay; drawn from the seeded RNG
+};
+
+std::chrono::milliseconds backoff_delay(const RetryPolicy& policy, std::uint32_t attempt,
+                                        util::Rng& rng);
+
+struct TransportConfig {
+  RetryPolicy retry;
+  std::chrono::milliseconds send_deadline{2000};     // per-attempt I/O deadline
+  std::chrono::milliseconds handshake_timeout{5000};
+  std::chrono::milliseconds heartbeat_interval{500};
+  std::chrono::milliseconds liveness_timeout{2500};  // no frame for this long = dead
+  std::uint64_t jitter_seed = 0x7A57C0DE;  // backoff jitter stream (deterministic)
+  bool auto_reconnect = true;              // socket client re-dials between attempts
+
+  // Deterministic fault injection, applied at the transport layer (the
+  // FaultyBus plan is independent and composes underneath the bus
+  // backend). Used by the conformance tests and the bench sweep.
+  std::uint32_t inject_send_fail_count = 0;       // first N send attempts fail
+  std::uint32_t inject_send_duplicate_count = 0;  // first N sends deliver twice
+  double inject_drop_prob = 0.0;       // P(attempt silently lost)
+  double inject_duplicate_prob = 0.0;  // P(delivered but reported failed)
+  double inject_delay_prob = 0.0;      // P(attempt delayed by inject_delay)
+  std::chrono::milliseconds inject_delay{20};
+  std::uint64_t inject_seed = 0xFA17;
+};
+
+/// Event counters every backend maintains; snapshots are also published
+/// into the obs metrics registry under "net/...".
+struct TransportStats {
+  std::uint64_t sends = 0;            // messages handed to send()
+  std::uint64_t send_attempts = 0;    // wire attempts (>= sends)
+  std::uint64_t send_failures = 0;    // failed attempts (pre-retry)
+  std::uint64_t retries = 0;          // attempts after the first
+  std::uint64_t give_ups = 0;         // sends that exhausted the retry budget
+  std::uint64_t recv_messages = 0;
+  std::uint64_t recv_timeouts = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t crc_dropped = 0;      // frames dropped on CRC mismatch
+  std::uint64_t reconnects = 0;
+  std::uint64_t handshakes = 0;
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_seen = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// Client-side endpoint: connects (with handshake on socket backends),
+/// sends uploads, and polls for downloads. Control frames (heartbeats,
+/// handshakes) never surface through poll().
+class ClientTransport {
+ public:
+  virtual ~ClientTransport() = default;
+
+  /// Establishes (or re-establishes) the connection, including the
+  /// Hello/Welcome handshake on socket backends. Returns false on
+  /// permanent failure (e.g. the server rejected the handshake).
+  virtual bool connect() = 0;
+  virtual bool connected() const = 0;
+
+  /// At-least-once send with retry/backoff per the TransportConfig.
+  /// Returns false only after the retry budget is exhausted.
+  virtual bool send(const Message& message) = 0;
+
+  /// Next data message, waiting up to `timeout`. std::nullopt on timeout.
+  virtual std::optional<Message> poll(std::chrono::milliseconds timeout) = 0;
+
+  virtual void close() = 0;
+  virtual TransportStats stats() const = 0;
+
+  /// True for backends where connect()/reconnect is a real operation the
+  /// conformance suite can exercise (socket backends).
+  virtual bool supports_reconnect() const { return false; }
+  /// Test hook: tear the connection down uncleanly (as if the network
+  /// dropped), so the next send must reconnect + re-handshake.
+  virtual void debug_drop_connection() {}
+};
+
+/// Server-side endpoint: addresses clients by id, polls the merged inbox.
+class ServerTransport {
+ public:
+  virtual ~ServerTransport() = default;
+
+  virtual std::size_t client_count() const = 0;
+
+  /// Single-attempt send (documented asymmetry: a client that misses a
+  /// download recovers it at the next handshake via the Welcome's ψ_G, so
+  /// server-side retries would only delay the round).
+  virtual bool send(std::size_t client, const Message& message) = 0;
+
+  /// Next upload/control-data message from any client. The sender id is
+  /// authoritative (socket backend stamps the handshake-bound id).
+  virtual std::optional<Message> poll(std::chrono::milliseconds timeout) = 0;
+
+  /// Clients considered alive right now (connected and heartbeating
+  /// within liveness_timeout). The bus backend reports everyone.
+  virtual std::vector<std::size_t> live_clients() const = 0;
+
+  virtual void stop() = 0;
+  virtual TransportStats stats() const = 0;
+};
+
+// --- Handshake / control payload codecs ------------------------------
+
+/// Client -> server on (re)connect. `init_upload` carries the client's
+/// make_upload() bytes so the server can seed ψ_G before round 0 exactly
+/// like the in-process sync_initial_model step.
+struct HelloPayload {
+  std::uint32_t protocol = kTransportProtocolVersion;
+  std::int64_t client_id = -1;
+  std::uint64_t arch_hash = 0;  // client_arch_hash(); must match the manifest
+  std::string algorithm;
+  std::uint64_t resume_round = 0;  // first round the client still needs
+  std::vector<std::uint8_t> init_upload;
+};
+
+/// Server -> client handshake accept. `global_model` is empty before the
+/// initial sync; rejoiners get the current ψ_G so they can catch up
+/// without stalling the fleet.
+struct WelcomePayload {
+  std::uint32_t protocol = kTransportProtocolVersion;
+  std::uint64_t client_count = 0;
+  std::uint64_t total_rounds = 0;
+  std::uint64_t comm_every = 0;
+  std::uint64_t participants_per_round = 0;
+  std::uint64_t current_round = 0;
+  /// Highest data-frame sequence number the server has accepted from this
+  /// client id. A restarted client resumes its outbound counter above
+  /// this, so retransmits of pre-crash uploads still dedup while fresh
+  /// messages are never mistaken for duplicates.
+  std::uint64_t last_seq_seen = 0;
+  std::vector<std::uint8_t> global_model;
+};
+
+/// Server -> client at the top of each round.
+struct RoundBeginPayload {
+  std::uint64_t round = 0;
+  bool participate = false;  // chosen for the upload set this round
+  std::uint64_t episodes = 0;  // local episodes to train before uploading
+};
+
+std::vector<std::uint8_t> encode_hello(const HelloPayload& hello);
+HelloPayload decode_hello(const std::vector<std::uint8_t>& payload);
+std::vector<std::uint8_t> encode_welcome(const WelcomePayload& welcome);
+WelcomePayload decode_welcome(const std::vector<std::uint8_t>& payload);
+std::vector<std::uint8_t> encode_round_begin(const RoundBeginPayload& begin);
+RoundBeginPayload decode_round_begin(const std::vector<std::uint8_t>& payload);
+
+// --- Straggler-tolerant round collection ------------------------------
+
+/// Result of draining one round's uploads from a ServerTransport.
+struct RoundCollection {
+  std::vector<Message> uploads;       // round-matching, stable-sorted by sender
+  std::vector<Message> late;          // stale/early messages (feed the server's
+                                      // existing staleness/reject counters)
+  std::vector<std::size_t> missing;   // expected senders that never arrived
+  bool closed_at_deadline = false;    // quorum closure fired before everyone
+};
+
+/// Collects uploads for `round` from `expected` senders. Closes as soon
+/// as every expected sender has arrived; otherwise, once `deadline` has
+/// elapsed AND at least `quorum` distinct on-round senders have arrived,
+/// the round closes and the laggards are left to the staleness path. With
+/// fewer than `quorum` arrivals the collection keeps waiting (the
+/// caller's run-level timeout bounds a truly dead fleet).
+RoundCollection collect_round(ServerTransport& transport, std::uint64_t round,
+                              const std::vector<std::size_t>& expected, std::size_t quorum,
+                              std::chrono::milliseconds deadline,
+                              std::chrono::milliseconds poll_tick = std::chrono::milliseconds(50));
+
+// --- In-process Bus backend -------------------------------------------
+
+/// ClientTransport over the in-process Bus (plain or FaultyBus). Sends
+/// are exactly-once on the wire: an injected "duplicate" posts the
+/// message once but reports failure, and the retry loop detects the
+/// message was already posted, suppresses the repost, and counts a
+/// dropped duplicate — mirroring the receiver-side dedup of the socket
+/// backend without polluting the mailbox.
+class BusClientTransport final : public ClientTransport {
+ public:
+  BusClientTransport(Bus& bus, std::size_t client_id, TransportConfig config);
+
+  bool connect() override { return true; }
+  bool connected() const override { return true; }
+  bool send(const Message& message) override;
+  std::optional<Message> poll(std::chrono::milliseconds timeout) override;
+  void close() override {}
+  TransportStats stats() const override;
+
+ private:
+  Bus& bus_;
+  std::size_t client_id_;
+  TransportConfig config_;
+  util::Rng jitter_rng_;
+  util::Rng fault_rng_;
+  std::uint32_t fail_budget_;
+  std::uint32_t duplicate_budget_;
+  std::deque<Message> pending_;
+  TransportStats stats_;
+  mutable std::mutex mutex_;
+};
+
+/// ServerTransport over the in-process Bus. All clients are local, so
+/// everyone is always live and sends cannot fail.
+class BusServerTransport final : public ServerTransport {
+ public:
+  BusServerTransport(Bus& bus, TransportConfig config);
+
+  std::size_t client_count() const override { return bus_.client_count(); }
+  bool send(std::size_t client, const Message& message) override;
+  std::optional<Message> poll(std::chrono::milliseconds timeout) override;
+  std::vector<std::size_t> live_clients() const override;
+  void stop() override {}
+  TransportStats stats() const override;
+
+ private:
+  Bus& bus_;
+  TransportConfig config_;
+  std::deque<Message> pending_;
+  TransportStats stats_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace pfrl::fed

@@ -1,0 +1,265 @@
+#include "util/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+namespace pfrl::util {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds left before `deadline`, clamped to [0, INT_MAX] for poll.
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 3'600'000) return 3'600'000;
+  return static_cast<int>(left.count());
+}
+
+/// Polls `fd` for `events` until the deadline, retrying on EINTR with the
+/// remaining time recomputed (a signal must not extend the deadline).
+/// Returns >0 ready, 0 timeout, <0 error.
+int poll_until(int fd, short events, Clock::time_point deadline) {
+  while (true) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int rc = ::poll(&pfd, 1, remaining_ms(deadline));
+    if (rc < 0 && errno == EINTR) continue;
+    return rc;
+  }
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return;
+  ::fcntl(fd, F_SETFL, on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::invalid_argument("unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+void ignore_sigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+void ScopedFd::reset(int fd) {
+  if (fd_ >= 0) retry_eintr([this] { return ::close(fd_); });
+  fd_ = fd;
+}
+
+std::string Endpoint::describe() const {
+  if (is_unix) return "unix:" + path;
+  return host + ":" + std::to_string(port);
+}
+
+Endpoint parse_endpoint(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.is_unix = true;
+    ep.path = spec.substr(5);
+    if (ep.path.empty()) throw std::invalid_argument("empty unix socket path in '" + spec + "'");
+    return ep;
+  }
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size())
+    throw std::invalid_argument("endpoint '" + spec + "' is neither unix:<path> nor <host>:<port>");
+  ep.host = spec.substr(0, colon);
+  const std::string port_str = spec.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port < 0 || port > 65535)
+    throw std::invalid_argument("bad port '" + port_str + "' in endpoint '" + spec + "'");
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+ScopedFd listen_endpoint(const Endpoint& endpoint, int backlog) {
+  ignore_sigpipe();
+  if (endpoint.is_unix) {
+    ScopedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) throw std::runtime_error("socket(AF_UNIX): " + std::string(strerror(errno)));
+    // A stale path from a crashed server would make bind fail forever.
+    ::unlink(endpoint.path.c_str());
+    sockaddr_un addr = make_unix_addr(endpoint.path);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+      throw std::runtime_error("bind(" + endpoint.describe() + "): " + strerror(errno));
+    if (::listen(fd.get(), backlog) < 0)
+      throw std::runtime_error("listen(" + endpoint.describe() + "): " + strerror(errno));
+    return fd;
+  }
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const std::string port = std::to_string(endpoint.port);
+  const int rc = ::getaddrinfo(endpoint.host.c_str(), port.c_str(), &hints, &res);
+  if (rc != 0)
+    throw std::runtime_error("getaddrinfo(" + endpoint.describe() + "): " + gai_strerror(rc));
+  ScopedFd fd;
+  std::string error = "no usable address";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    ScopedFd candidate(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!candidate.valid()) continue;
+    const int one = 1;
+    ::setsockopt(candidate.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(candidate.get(), ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(candidate.get(), backlog) == 0) {
+      fd = std::move(candidate);
+      break;
+    }
+    error = strerror(errno);
+  }
+  ::freeaddrinfo(res);
+  if (!fd.valid())
+    throw std::runtime_error("listen(" + endpoint.describe() + "): " + error);
+  return fd;
+}
+
+Endpoint local_endpoint(int fd, const Endpoint& requested) {
+  if (requested.is_unix) return requested;
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  Endpoint resolved = requested;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    if (addr.ss_family == AF_INET)
+      resolved.port = ntohs(reinterpret_cast<sockaddr_in*>(&addr)->sin_port);
+    else if (addr.ss_family == AF_INET6)
+      resolved.port = ntohs(reinterpret_cast<sockaddr_in6*>(&addr)->sin6_port);
+  }
+  return resolved;
+}
+
+ScopedFd accept_connection(int listen_fd, std::chrono::milliseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+  while (true) {
+    const int ready = poll_until(listen_fd, POLLIN, deadline);
+    if (ready == 0) return ScopedFd();
+    if (ready < 0) throw std::runtime_error("poll(accept): " + std::string(strerror(errno)));
+    const int fd =
+        static_cast<int>(retry_eintr([listen_fd] { return ::accept(listen_fd, nullptr, nullptr); }));
+    if (fd >= 0) return ScopedFd(fd);
+    // Transient per-connection failures (peer gone between poll and
+    // accept) are not a listener error; wait for the next connection.
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) continue;
+    throw std::runtime_error("accept: " + std::string(strerror(errno)));
+  }
+}
+
+ScopedFd connect_endpoint(const Endpoint& endpoint, std::chrono::milliseconds timeout) {
+  ignore_sigpipe();
+  const auto deadline = Clock::now() + timeout;
+
+  const auto finish_connect = [&](ScopedFd fd, const sockaddr* addr, socklen_t len) -> ScopedFd {
+    set_nonblocking(fd.get(), true);
+    const int rc =
+        static_cast<int>(retry_eintr([&] { return ::connect(fd.get(), addr, len); }));
+    if (rc < 0 && errno != EINPROGRESS) return ScopedFd();
+    if (rc < 0) {
+      if (poll_until(fd.get(), POLLOUT, deadline) <= 0) return ScopedFd();
+      int err = 0;
+      socklen_t err_len = sizeof(err);
+      if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &err_len) < 0 || err != 0)
+        return ScopedFd();
+    }
+    set_nonblocking(fd.get(), false);
+    return fd;
+  };
+
+  if (endpoint.is_unix) {
+    ScopedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) return ScopedFd();
+    sockaddr_un addr = make_unix_addr(endpoint.path);
+    return finish_connect(std::move(fd), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  }
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port = std::to_string(endpoint.port);
+  if (::getaddrinfo(endpoint.host.c_str(), port.c_str(), &hints, &res) != 0) return ScopedFd();
+  ScopedFd connected;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    ScopedFd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) continue;
+    const int one = 1;
+    if (ai->ai_family == AF_INET || ai->ai_family == AF_INET6)
+      ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connected = finish_connect(std::move(fd), ai->ai_addr, ai->ai_addrlen);
+    if (connected.valid()) break;
+  }
+  ::freeaddrinfo(res);
+  return connected;
+}
+
+bool wait_readable(int fd, std::chrono::milliseconds timeout) {
+  return poll_until(fd, POLLIN, Clock::now() + timeout) > 0;
+}
+
+IoResult read_full(int fd, void* data, std::size_t size, std::chrono::milliseconds timeout) {
+  auto* cursor = static_cast<std::uint8_t*>(data);
+  std::size_t done = 0;
+  const auto deadline = Clock::now() + timeout;
+  while (done < size) {
+    const int ready = poll_until(fd, POLLIN, deadline);
+    if (ready == 0) return IoResult::kTimeout;
+    if (ready < 0) return IoResult::kError;
+    const ssize_t n =
+        retry_eintr([&] { return ::read(fd, cursor + done, size - done); });
+    if (n == 0) return IoResult::kClosed;
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // spurious wakeup
+      return IoResult::kError;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return IoResult::kOk;
+}
+
+IoResult write_full(int fd, const void* data, std::size_t size, std::chrono::milliseconds timeout) {
+  const auto* cursor = static_cast<const std::uint8_t*>(data);
+  std::size_t done = 0;
+  const auto deadline = Clock::now() + timeout;
+  while (done < size) {
+    const int ready = poll_until(fd, POLLOUT, deadline);
+    if (ready == 0) return IoResult::kTimeout;
+    if (ready < 0) return IoResult::kError;
+    ssize_t n = retry_eintr(
+        [&] { return ::send(fd, cursor + done, size - done, MSG_NOSIGNAL); });
+    if (n < 0 && errno == ENOTSOCK)  // pipes in tests have no send(2)
+      n = retry_eintr([&] { return ::write(fd, cursor + done, size - done); });
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return IoResult::kError;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return IoResult::kOk;
+}
+
+}  // namespace pfrl::util

@@ -1,0 +1,116 @@
+// EINTR-safe POSIX socket helpers for the networked federation transport.
+//
+// Deliberately low-level and blocking-with-deadline: the fed layer builds
+// retry/backoff/heartbeat semantics on top, and the deadline plumbing
+// (poll(2) + remaining-time loops) is what keeps one wedged peer from
+// hanging a round forever. Every read and write retries on EINTR — a
+// signal landing mid-syscall (the checkpoint SIGTERM handler, a profiler
+// attach) must never tear a frame in half — and writes use MSG_NOSIGNAL
+// (plus a process-wide SIGPIPE ignore) so a dead peer surfaces as EPIPE
+// instead of killing the process.
+#pragma once
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace pfrl::util {
+
+/// Re-issues `op` (a callable returning an int-like result) while it
+/// fails with EINTR; returns the first non-EINTR result. Use around any
+/// blocking syscall that a stop/checkpoint signal may interrupt.
+template <typename Op>
+auto retry_eintr(Op&& op) -> decltype(op()) {
+  decltype(op()) result;
+  do {
+    result = op();
+  } while (result < 0 && errno == EINTR);
+  return result;
+}
+
+/// Installs SIG_IGN for SIGPIPE once per process (idempotent and
+/// thread-safe). Socket writes also pass MSG_NOSIGNAL; this covers any
+/// path that writes a dying fd outside our helpers.
+void ignore_sigpipe();
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { reset(); }
+
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ScopedFd(ScopedFd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  /// Closes the held fd (EINTR-safe) and adopts `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A transport address: `unix:<path>` (Unix-domain stream socket) or
+/// `<host>:<port>` (TCP; port 0 asks the kernel for an ephemeral port).
+struct Endpoint {
+  bool is_unix = false;
+  std::string path;         // UDS socket path
+  std::string host;         // TCP host (name or numeric)
+  std::uint16_t port = 0;   // TCP port
+  std::string describe() const;
+};
+
+/// Parses `unix:/path` or `host:port` (IPv4/hostname). Throws
+/// std::invalid_argument on malformed specs.
+Endpoint parse_endpoint(const std::string& spec);
+
+/// Creates, binds, and listens. A stale UDS path left by a crashed server
+/// is unlinked first. Throws std::runtime_error on failure.
+ScopedFd listen_endpoint(const Endpoint& endpoint, int backlog = 64);
+
+/// The endpoint the socket actually bound (resolves TCP port 0 to the
+/// kernel-assigned ephemeral port via getsockname).
+Endpoint local_endpoint(int fd, const Endpoint& requested);
+
+/// Accepts one connection, waiting up to `timeout`. Returns an invalid fd
+/// on timeout; throws std::runtime_error on a non-transient accept error.
+ScopedFd accept_connection(int listen_fd, std::chrono::milliseconds timeout);
+
+/// Connects with a deadline (non-blocking connect + poll). Returns an
+/// invalid fd on timeout or refusal — callers own the retry policy.
+ScopedFd connect_endpoint(const Endpoint& endpoint, std::chrono::milliseconds timeout);
+
+enum class IoResult {
+  kOk,       // all bytes transferred
+  kTimeout,  // deadline expired mid-transfer
+  kClosed,   // peer closed the stream (reads only)
+  kError,    // non-transient errno (EPIPE, ECONNRESET, ...)
+};
+
+/// Waits (without consuming) until `fd` is readable or `timeout` elapses.
+/// Lets a reader loop tick a stop flag between frames without ever
+/// half-consuming a frame header. Returns true if readable.
+bool wait_readable(int fd, std::chrono::milliseconds timeout);
+
+/// Reads exactly `size` bytes, retrying on EINTR and short reads, bounded
+/// by one overall deadline across the whole transfer.
+IoResult read_full(int fd, void* data, std::size_t size, std::chrono::milliseconds timeout);
+
+/// Writes exactly `size` bytes (MSG_NOSIGNAL on sockets), retrying on
+/// EINTR and short writes, bounded by one overall deadline.
+IoResult write_full(int fd, const void* data, std::size_t size, std::chrono::milliseconds timeout);
+
+}  // namespace pfrl::util

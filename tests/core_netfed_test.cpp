@@ -1,0 +1,266 @@
+// Networked-federation acceptance tests.
+//
+// The headline contract: a multi-process-shaped federation (one
+// NetFedServer plus one NetFedClient per preset, talking over a real
+// Unix-domain socket) with a fault-free transport produces, for every
+// client, a ClientHistory IDENTICAL to the in-process FedTrainer's for
+// the same config and seed. Everything the trainer does — seed chains,
+// participant draws, upload order, staleness accounting — must survive
+// the move onto the wire.
+//
+// The robustness contract: a client that crashes mid-run (simulated via
+// exit_after_rounds, which vanishes without a Goodbye) rejoins from its
+// SnapshotDir checkpoint, the fleet never stalls, and the server counts
+// the rejoin.
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "core/federation.hpp"
+#include "core/net_federation.hpp"
+
+namespace pfrl::core {
+namespace {
+
+class NetFedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("pfrl_netfed_" + std::string(info->name()) + "_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  util::Endpoint socket_endpoint(const char* name) const {
+    return util::parse_endpoint("unix:" + dir_ + "/" + name);
+  }
+
+  static std::vector<ClientPreset> presets() {
+    std::vector<ClientPreset> all = table2_clients();
+    all.resize(3);  // 3 clients keeps the wall clock down; K = 2
+    return all;
+  }
+
+  static FederationConfig config() {
+    FederationConfig cfg;
+    cfg.algorithm = fed::FedAlgorithm::kPfrlDm;
+    cfg.scale = ExperimentScale::tiny();  // 6 episodes, comm_every 2 → 3 rounds
+    cfg.seed = 99;
+    cfg.threads = 1;
+    return cfg;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(NetFedTest, FaultFreeSocketFederationMatchesInProcessHistory) {
+  const std::vector<ClientPreset> fleet = presets();
+  const FederationConfig cfg = config();
+
+  NetFedServerConfig server_cfg;
+  server_cfg.federation = cfg;
+  server_cfg.presets = fleet;
+  server_cfg.listen = socket_endpoint("fed.sock");
+  server_cfg.round_deadline = std::chrono::milliseconds(60000);  // fault-free: never hit
+  NetFedServer server(std::move(server_cfg));
+
+  NetFedServer::Summary summary;
+  std::thread server_thread([&] { summary = server.run(); });
+
+  std::vector<NetFedClient::Result> results(fleet.size());
+  std::vector<std::thread> client_threads;
+  for (std::size_t i = 0; i < fleet.size(); ++i)
+    client_threads.emplace_back([&, i] {
+      NetFedClientConfig client_cfg;
+      client_cfg.federation = cfg;
+      client_cfg.presets = fleet;
+      client_cfg.index = i;
+      client_cfg.endpoint = server.endpoint();
+      NetFedClient client(std::move(client_cfg));
+      results[i] = client.run();
+    });
+  for (std::thread& t : client_threads) t.join();
+  server_thread.join();
+
+  ASSERT_TRUE(summary.completed) << summary.error;
+  EXPECT_EQ(summary.rounds, 3U);
+  EXPECT_EQ(summary.rounds_closed_at_deadline, 0U);
+  EXPECT_EQ(summary.rejoins, 0U);
+  EXPECT_EQ(summary.server.total_rejected(), 0U);
+
+  Federation reference(fleet, cfg);
+  const fed::TrainingHistory expected = reference.train();
+  ASSERT_EQ(expected.clients.size(), results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].completed) << "client " << i << ": " << results[i].error;
+    EXPECT_EQ(fed::client_history_json(results[i].history),
+              fed::client_history_json(expected.clients[i]))
+        << "client " << i << " history diverged from the in-process trainer";
+  }
+}
+
+TEST_F(NetFedTest, CrashedClientRejoinsFromCheckpointWithoutStallingFleet) {
+  const std::vector<ClientPreset> fleet = presets();
+  const FederationConfig cfg = config();
+  const std::string checkpoint_dir = dir_ + "/ckpt2";
+
+  NetFedServerConfig server_cfg;
+  server_cfg.federation = cfg;
+  server_cfg.presets = fleet;
+  server_cfg.listen = socket_endpoint("fed.sock");
+  // Short quorum deadline: rounds where the crashed client is a chosen
+  // participant must close without it instead of stalling the fleet.
+  server_cfg.round_deadline = std::chrono::milliseconds(2000);
+  NetFedServer server(std::move(server_cfg));
+
+  NetFedServer::Summary summary;
+  std::thread server_thread([&] { summary = server.run(); });
+
+  std::vector<NetFedClient::Result> results(fleet.size());
+  std::vector<std::thread> client_threads;
+  for (std::size_t i = 0; i < 2; ++i)
+    client_threads.emplace_back([&, i] {
+      NetFedClientConfig client_cfg;
+      client_cfg.federation = cfg;
+      client_cfg.presets = fleet;
+      client_cfg.index = i;
+      client_cfg.endpoint = server.endpoint();
+      NetFedClient client(std::move(client_cfg));
+      results[i] = client.run();
+    });
+
+  // Client 2: first life checkpoints and "crashes" (no Goodbye) after one
+  // round; second life resumes from the snapshot and rejoins.
+  NetFedClient::Result life1;
+  NetFedClient::Result life2;
+  client_threads.emplace_back([&] {
+    NetFedClientConfig client_cfg;
+    client_cfg.federation = cfg;
+    client_cfg.presets = fleet;
+    client_cfg.index = 2;
+    client_cfg.endpoint = server.endpoint();
+    client_cfg.checkpoint_dir = checkpoint_dir;
+    client_cfg.exit_after_rounds = 1;
+    NetFedClient client(std::move(client_cfg));
+    life1 = client.run();
+
+    NetFedClientConfig rejoin_cfg;
+    rejoin_cfg.federation = cfg;
+    rejoin_cfg.presets = fleet;
+    rejoin_cfg.index = 2;
+    rejoin_cfg.endpoint = server.endpoint();
+    rejoin_cfg.checkpoint_dir = checkpoint_dir;
+    rejoin_cfg.resume = true;
+    NetFedClient rejoined(std::move(rejoin_cfg));
+    life2 = rejoined.run();
+  });
+  for (std::thread& t : client_threads) t.join();
+  server_thread.join();
+
+  ASSERT_TRUE(summary.completed) << summary.error;
+  EXPECT_EQ(summary.rounds, 3U);
+  EXPECT_GE(summary.rejoins, 1U);
+
+  // The healthy clients never noticed: full runs, goodbye received.
+  for (std::size_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(results[i].completed) << "client " << i << ": " << results[i].error;
+    EXPECT_EQ(results[i].history.episode_rewards.size(), 6U);
+  }
+
+  // Life 1 completed exactly its one round and left a valid snapshot.
+  EXPECT_EQ(life1.rounds_done, 1U);
+  EXPECT_FALSE(life1.completed);
+
+  // Life 2 resumed from it (round 0's two episodes are in the restored
+  // history) and ran to the server's Goodbye. Rounds the server completed
+  // while client 2 was down are recorded as crash windows, so resumed
+  // round + missed rounds + replayed rounds always lines up.
+  EXPECT_TRUE(life2.resumed);
+  ASSERT_TRUE(life2.completed) << life2.error;
+  EXPECT_GE(life2.history.episode_rewards.size(), 2U);
+  EXPECT_EQ(life2.next_round, 1 + life2.history.rounds_crashed + life2.rounds_done);
+  EXPECT_LE(life2.next_round, 3U);
+}
+
+TEST_F(NetFedTest, ServerRejectsArchHashMismatch) {
+  const std::vector<ClientPreset> fleet = presets();
+  const FederationConfig cfg = config();
+
+  NetFedServerConfig server_cfg;
+  server_cfg.federation = cfg;
+  server_cfg.presets = fleet;
+  server_cfg.listen = socket_endpoint("fed.sock");
+  server_cfg.join_timeout = std::chrono::milliseconds(3000);
+  NetFedServer server(std::move(server_cfg));
+
+  NetFedServer::Summary summary;
+  std::thread server_thread([&] { summary = server.run(); });
+
+  // A client configured with a different algorithm ships a different arch
+  // hash (and algorithm name); the handshake must refuse it.
+  FederationConfig wrong = cfg;
+  wrong.algorithm = fed::FedAlgorithm::kFedAvg;
+  NetFedClientConfig client_cfg;
+  client_cfg.federation = wrong;
+  client_cfg.presets = fleet;
+  client_cfg.index = 0;
+  client_cfg.endpoint = server.endpoint();
+  client_cfg.connect_deadline = std::chrono::milliseconds(5000);
+  NetFedClient client(std::move(client_cfg));
+  const NetFedClient::Result result = client.run();
+
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.error.find("rejected"), std::string::npos) << result.error;
+
+  server_thread.join();
+  EXPECT_FALSE(summary.completed);
+  EXPECT_NE(summary.error.find("join timeout"), std::string::npos) << summary.error;
+}
+
+TEST_F(NetFedTest, ManifestDetectsTopologyDrift) {
+  const std::vector<ClientPreset> fleet = presets();
+  const FederationConfig cfg = config();
+  const std::string manifest_dir = dir_ + "/manifest";
+
+  {
+    NetFedServerConfig server_cfg;
+    server_cfg.federation = cfg;
+    server_cfg.presets = fleet;
+    server_cfg.listen = socket_endpoint("a.sock");
+    server_cfg.manifest_dir = manifest_dir;
+    NetFedServer server(std::move(server_cfg));  // writes federation.json
+  }
+  ASSERT_TRUE(std::filesystem::exists(manifest_dir + "/federation.json"));
+
+  // Same topology revalidates fine.
+  {
+    NetFedServerConfig server_cfg;
+    server_cfg.federation = cfg;
+    server_cfg.presets = fleet;
+    server_cfg.listen = socket_endpoint("b.sock");
+    server_cfg.manifest_dir = manifest_dir;
+    EXPECT_NO_THROW({ NetFedServer server(std::move(server_cfg)); });
+  }
+
+  // A different algorithm (different arch hash) must be refused.
+  {
+    FederationConfig drifted = cfg;
+    drifted.algorithm = fed::FedAlgorithm::kFedAvg;
+    NetFedServerConfig server_cfg;
+    server_cfg.federation = drifted;
+    server_cfg.presets = fleet;
+    server_cfg.listen = socket_endpoint("c.sock");
+    server_cfg.manifest_dir = manifest_dir;
+    EXPECT_THROW({ NetFedServer server(std::move(server_cfg)); }, std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace pfrl::core

@@ -1,0 +1,420 @@
+// Transport conformance suite: every test in TransportConformance runs
+// against BOTH backends (in-process bus, Unix-domain socket) so the two
+// implementations keep honoring one contract — framing round-trip,
+// deadline expiry, retry-then-success, duplicate suppression, reconnect +
+// re-handshake, and quorum-deadline round closure.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+#include "fed/socket_transport.hpp"
+#include "fed/transport.hpp"
+
+namespace pfrl::fed {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr std::size_t kClients = 3;
+
+std::string unique_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/pfrl_transport_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+Message upload(int sender, std::uint64_t round, std::uint8_t tag) {
+  return make_message(MessageType::kModelUpload, sender, round,
+                      std::vector<std::uint8_t>{tag, 1, 2, 3});
+}
+
+/// A server + factory for clients, so each conformance test can run
+/// verbatim against either backend.
+class Harness {
+ public:
+  virtual ~Harness() = default;
+  virtual ServerTransport& server() = 0;
+  virtual std::unique_ptr<ClientTransport> make_client(std::size_t id, TransportConfig config) = 0;
+  virtual bool socket_backend() const = 0;
+};
+
+class BusHarness final : public Harness {
+ public:
+  BusHarness() : bus_(kClients), server_(bus_, TransportConfig{}) {}
+  ServerTransport& server() override { return server_; }
+  std::unique_ptr<ClientTransport> make_client(std::size_t id, TransportConfig config) override {
+    return std::make_unique<BusClientTransport>(bus_, id, config);
+  }
+  bool socket_backend() const override { return false; }
+
+ private:
+  Bus bus_;
+  BusServerTransport server_;
+};
+
+class SocketHarness final : public Harness {
+ public:
+  SocketHarness()
+      : path_(unique_socket_path()),
+        server_(util::parse_endpoint("unix:" + path_), kClients, server_config(),
+                [](const HelloPayload& hello, std::string& reason, WelcomePayload& welcome) {
+                  if (hello.arch_hash == 0xBAD) {
+                    reason = "arch hash mismatch";
+                    return false;
+                  }
+                  welcome.client_count = kClients;
+                  return true;
+                }) {}
+  ~SocketHarness() override {
+    server_.stop();
+    std::filesystem::remove(path_);
+  }
+
+  ServerTransport& server() override { return server_; }
+  std::unique_ptr<ClientTransport> make_client(std::size_t id, TransportConfig config) override {
+    HelloPayload hello;
+    hello.client_id = static_cast<std::int64_t>(id);
+    hello.arch_hash = 0xFEED;
+    hello.algorithm = "pfrl-dm";
+    return std::make_unique<SocketClientTransport>(util::parse_endpoint("unix:" + path_), hello,
+                                                   config);
+  }
+  bool socket_backend() const override { return true; }
+
+  SocketServerTransport& socket_server() { return server_; }
+
+ private:
+  static TransportConfig server_config() {
+    TransportConfig config;
+    config.liveness_timeout = 600ms;
+    return config;
+  }
+
+  std::string path_;
+  SocketServerTransport server_;
+};
+
+enum class Backend { kBus, kSocket };
+
+class TransportConformance : public ::testing::TestWithParam<Backend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == Backend::kBus)
+      harness_ = std::make_unique<BusHarness>();
+    else
+      harness_ = std::make_unique<SocketHarness>();
+  }
+
+  /// Drains join notifications (socket backend surfaces kHello through
+  /// poll) so tests can assert on data traffic alone.
+  std::optional<Message> poll_data(std::chrono::milliseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (std::chrono::steady_clock::now() < deadline) {
+      auto m = harness_->server().poll(50ms);
+      if (m && m->type != MessageType::kHello) return m;
+    }
+    return std::nullopt;
+  }
+
+  std::unique_ptr<Harness> harness_;
+};
+
+TEST_P(TransportConformance, FramingRoundTripBothDirections) {
+  auto client = harness_->make_client(1, TransportConfig{});
+  ASSERT_TRUE(client->connect());
+
+  const Message up = upload(1, 7, 0xAA);
+  ASSERT_TRUE(client->send(up));
+  auto received = poll_data(2000ms);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->type, MessageType::kModelUpload);
+  EXPECT_EQ(received->sender, 1);
+  EXPECT_EQ(received->round, 7u);
+  EXPECT_EQ(received->payload, up.payload);
+  EXPECT_TRUE(checksum_ok(*received));
+
+  const Message down =
+      make_message(MessageType::kModelGlobal, -1, 7, std::vector<std::uint8_t>{9, 8, 7});
+  ASSERT_TRUE(harness_->server().send(1, down));
+  auto dl = client->poll(2000ms);
+  ASSERT_TRUE(dl.has_value());
+  EXPECT_EQ(dl->type, MessageType::kModelGlobal);
+  EXPECT_EQ(dl->round, 7u);
+  EXPECT_EQ(dl->payload, down.payload);
+  EXPECT_TRUE(checksum_ok(*dl));
+}
+
+TEST_P(TransportConformance, PollDeadlineExpires) {
+  auto client = harness_->make_client(0, TransportConfig{});
+  ASSERT_TRUE(client->connect());
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client->poll(80ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 70ms);
+  EXPECT_GE(client->stats().recv_timeouts, 1u);
+}
+
+TEST_P(TransportConformance, RetryThenSuccess) {
+  TransportConfig config;
+  config.inject_send_fail_count = 2;
+  config.retry.max_attempts = 5;
+  config.retry.base_backoff = 1ms;
+  auto client = harness_->make_client(0, config);
+  ASSERT_TRUE(client->connect());
+
+  ASSERT_TRUE(client->send(upload(0, 1, 0x01)));
+  const TransportStats stats = client->stats();
+  EXPECT_EQ(stats.send_failures, 2u);
+  EXPECT_GE(stats.retries, 2u);
+  EXPECT_EQ(stats.give_ups, 0u);
+
+  auto received = poll_data(2000ms);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->sender, 0);
+}
+
+TEST_P(TransportConformance, ExhaustedRetryBudgetGivesUp) {
+  TransportConfig config;
+  config.inject_send_fail_count = 10;
+  config.retry.max_attempts = 3;
+  config.retry.base_backoff = 1ms;
+  auto client = harness_->make_client(0, config);
+  ASSERT_TRUE(client->connect());
+  EXPECT_FALSE(client->send(upload(0, 1, 0x02)));
+  EXPECT_EQ(client->stats().give_ups, 1u);
+}
+
+TEST_P(TransportConformance, DuplicateDeliveryIsSuppressed) {
+  TransportConfig config;
+  config.inject_send_duplicate_count = 1;
+  config.retry.max_attempts = 5;
+  config.retry.base_backoff = 1ms;
+  auto client = harness_->make_client(2, config);
+  ASSERT_TRUE(client->connect());
+
+  ASSERT_TRUE(client->send(upload(2, 3, 0x03)));
+  auto first = poll_data(2000ms);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->sender, 2);
+  // Exactly one copy may surface.
+  EXPECT_FALSE(poll_data(300ms).has_value());
+  const std::uint64_t dedups =
+      client->stats().duplicates_dropped + harness_->server().stats().duplicates_dropped;
+  EXPECT_GE(dedups, 1u);
+}
+
+TEST_P(TransportConformance, ReconnectAndRehandshakeAfterDrop) {
+  auto client = harness_->make_client(1, TransportConfig{});
+  ASSERT_TRUE(client->connect());
+  if (!client->supports_reconnect()) GTEST_SKIP() << "bus backend has no connection to drop";
+
+  ASSERT_TRUE(client->send(upload(1, 0, 0x04)));
+  ASSERT_TRUE(poll_data(2000ms).has_value());
+
+  client->debug_drop_connection();
+  // The next send must dial + re-handshake transparently.
+  ASSERT_TRUE(client->send(upload(1, 1, 0x05)));
+  auto received = poll_data(2000ms);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->round, 1u);
+
+  const TransportStats stats = client->stats();
+  EXPECT_GE(stats.reconnects, 1u);
+  EXPECT_GE(stats.handshakes, 2u);
+}
+
+TEST_P(TransportConformance, QuorumDeadlineClosesRoundWithLaggard) {
+  auto c0 = harness_->make_client(0, TransportConfig{});
+  auto c1 = harness_->make_client(1, TransportConfig{});
+  auto c2 = harness_->make_client(2, TransportConfig{});
+  ASSERT_TRUE(c0->connect());
+  ASSERT_TRUE(c1->connect());
+  ASSERT_TRUE(c2->connect());
+
+  // Client 2 never uploads this round.
+  ASSERT_TRUE(c1->send(upload(1, 5, 0x11)));
+  ASSERT_TRUE(c0->send(upload(0, 5, 0x10)));
+
+  const auto started = std::chrono::steady_clock::now();
+  const RoundCollection collection =
+      collect_round(harness_->server(), 5, {0, 1, 2}, /*quorum=*/2, /*deadline=*/400ms, 20ms);
+  EXPECT_TRUE(collection.closed_at_deadline);
+  EXPECT_GE(std::chrono::steady_clock::now() - started, 350ms);
+  ASSERT_EQ(collection.uploads.size(), 2u);
+  // Stable-sorted by sender regardless of arrival order.
+  EXPECT_EQ(collection.uploads[0].sender, 0);
+  EXPECT_EQ(collection.uploads[1].sender, 1);
+  ASSERT_EQ(collection.missing.size(), 1u);
+  EXPECT_EQ(collection.missing[0], 2u);
+}
+
+TEST_P(TransportConformance, RoundClosesEarlyWhenAllArrive) {
+  auto c0 = harness_->make_client(0, TransportConfig{});
+  auto c1 = harness_->make_client(1, TransportConfig{});
+  ASSERT_TRUE(c0->connect());
+  ASSERT_TRUE(c1->connect());
+  ASSERT_TRUE(c0->send(upload(0, 2, 0x20)));
+  ASSERT_TRUE(c1->send(upload(1, 2, 0x21)));
+
+  const auto started = std::chrono::steady_clock::now();
+  const RoundCollection collection =
+      collect_round(harness_->server(), 2, {0, 1}, /*quorum=*/1, /*deadline=*/5000ms, 20ms);
+  EXPECT_FALSE(collection.closed_at_deadline);
+  EXPECT_LT(std::chrono::steady_clock::now() - started, 3000ms);
+  EXPECT_EQ(collection.uploads.size(), 2u);
+  EXPECT_TRUE(collection.missing.empty());
+}
+
+TEST_P(TransportConformance, LateUploadRoutedToStalenessPath) {
+  auto c0 = harness_->make_client(0, TransportConfig{});
+  auto c1 = harness_->make_client(1, TransportConfig{});
+  ASSERT_TRUE(c0->connect());
+  ASSERT_TRUE(c1->connect());
+
+  // c1's upload is a laggard from round 3; the collector for round 4 must
+  // hand it to the staleness path, not the aggregation set. c1 stays in
+  // the expected list so the collector waits out the quorum deadline —
+  // the stale message is guaranteed to have landed by then.
+  ASSERT_TRUE(c1->send(upload(1, 3, 0x31)));
+  ASSERT_TRUE(c0->send(upload(0, 4, 0x40)));
+
+  const RoundCollection collection =
+      collect_round(harness_->server(), 4, {0, 1}, /*quorum=*/1, /*deadline=*/400ms, 20ms);
+  EXPECT_TRUE(collection.closed_at_deadline);
+  ASSERT_EQ(collection.uploads.size(), 1u);
+  EXPECT_EQ(collection.uploads[0].sender, 0);
+  ASSERT_EQ(collection.missing.size(), 1u);
+  EXPECT_EQ(collection.missing[0], 1u);
+  bool found_late = false;
+  for (const Message& m : collection.late)
+    if (m.type == MessageType::kModelUpload && m.round == 3) found_late = true;
+  EXPECT_TRUE(found_late);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
+                         ::testing::Values(Backend::kBus, Backend::kSocket),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           return info.param == Backend::kBus ? "Bus" : "Socket";
+                         });
+
+// --- Socket-specific behavior -----------------------------------------
+
+TEST(SocketTransport, FrameEncodeDecodeRoundTrip) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  util::ScopedFd a(fds[0]);
+  util::ScopedFd b(fds[1]);
+
+  const Message m = upload(4, 12, 0x77);
+  const std::vector<std::uint8_t> wire = encode_frame(42, m);
+  ASSERT_EQ(util::write_full(a.get(), wire.data(), wire.size(), 1000ms), util::IoResult::kOk);
+
+  Frame frame;
+  ASSERT_EQ(read_frame(b.get(), frame, 1000ms, 1000ms), FrameResult::kOk);
+  EXPECT_EQ(frame.seq, 42u);
+  EXPECT_EQ(frame.message.sender, 4);
+  EXPECT_EQ(frame.message.round, 12u);
+  EXPECT_EQ(frame.message.payload, m.payload);
+  EXPECT_TRUE(checksum_ok(frame.message));
+}
+
+TEST(SocketTransport, CorruptedFrameBodyIsDroppedByCrc) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  util::ScopedFd a(fds[0]);
+  util::ScopedFd b(fds[1]);
+
+  std::vector<std::uint8_t> wire = encode_frame(1, upload(0, 0, 0x55));
+  wire.back() ^= 0xFF;  // flip a payload byte; header stays intact
+  ASSERT_EQ(util::write_full(a.get(), wire.data(), wire.size(), 1000ms), util::IoResult::kOk);
+
+  Frame frame;
+  EXPECT_EQ(read_frame(b.get(), frame, 1000ms, 1000ms), FrameResult::kBadCrc);
+
+  // The stream is still framed: the next (clean) frame parses fine.
+  const std::vector<std::uint8_t> clean = encode_frame(2, upload(0, 1, 0x56));
+  ASSERT_EQ(util::write_full(a.get(), clean.data(), clean.size(), 1000ms), util::IoResult::kOk);
+  EXPECT_EQ(read_frame(b.get(), frame, 1000ms, 1000ms), FrameResult::kOk);
+  EXPECT_EQ(frame.seq, 2u);
+}
+
+TEST(SocketTransport, BadMagicTearsConnectionDown) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  util::ScopedFd a(fds[0]);
+  util::ScopedFd b(fds[1]);
+
+  std::vector<std::uint8_t> wire = encode_frame(1, upload(0, 0, 0x55));
+  wire[0] ^= 0xFF;
+  ASSERT_EQ(util::write_full(a.get(), wire.data(), wire.size(), 1000ms), util::IoResult::kOk);
+  Frame frame;
+  EXPECT_EQ(read_frame(b.get(), frame, 1000ms, 1000ms), FrameResult::kError);
+}
+
+TEST(SocketTransport, HandshakeRejectedOnArchHashMismatch) {
+  SocketHarness harness;
+  HelloPayload hello;
+  hello.client_id = 0;
+  hello.arch_hash = 0xBAD;  // the harness validator refuses this
+  hello.algorithm = "pfrl-dm";
+  SocketClientTransport client(harness.socket_server().endpoint(), hello, TransportConfig{});
+  EXPECT_FALSE(client.connect());
+  EXPECT_TRUE(client.rejected());
+  EXPECT_EQ(client.reject_reason(), "arch hash mismatch");
+  // Rejection is permanent: no amount of retrying helps.
+  EXPECT_FALSE(client.connect());
+}
+
+TEST(SocketTransport, HeartbeatsKeepClientLiveAndSilenceExpiresIt) {
+  SocketHarness harness;
+  TransportConfig config;
+  config.heartbeat_interval = 50ms;
+  auto client = harness.make_client(1, config);
+  ASSERT_TRUE(client->connect());
+
+  // Heartbeats flow: the client stays live well past the first interval.
+  std::this_thread::sleep_for(300ms);
+  std::vector<std::size_t> live = harness.server().live_clients();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0], 1u);
+  EXPECT_GE(client->stats().heartbeats_sent, 2u);
+  EXPECT_GE(harness.server().stats().heartbeats_seen, 2u);
+
+  // Drop the connection: liveness decays (fd closes server-side).
+  client->debug_drop_connection();
+  const auto deadline = std::chrono::steady_clock::now() + 3s;
+  while (!harness.server().live_clients().empty() && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(50ms);
+  EXPECT_TRUE(harness.server().live_clients().empty());
+}
+
+TEST(SocketTransport, WorksOverTcpWithEphemeralPort) {
+  SocketServerTransport server(
+      util::parse_endpoint("127.0.0.1:0"), 1, TransportConfig{},
+      [](const HelloPayload&, std::string&, WelcomePayload&) { return true; });
+  ASSERT_NE(server.endpoint().port, 0);
+
+  HelloPayload hello;
+  hello.client_id = 0;
+  hello.algorithm = "pfrl-dm";
+  SocketClientTransport client(server.endpoint(), hello, TransportConfig{});
+  ASSERT_TRUE(client.connect());
+  ASSERT_TRUE(client.send(upload(0, 9, 0x99)));
+
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  std::optional<Message> received;
+  while (std::chrono::steady_clock::now() < deadline) {
+    received = server.poll(50ms);
+    if (received && received->type == MessageType::kModelUpload) break;
+    received.reset();
+  }
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->round, 9u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace pfrl::fed

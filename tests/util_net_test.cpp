@@ -1,0 +1,210 @@
+// util/net: EINTR-safe socket I/O. The centerpiece is the blocked-read
+// interruption test — the satellite contract of the networked-federation
+// PR: a signal landing while a transport read is parked in poll/read must
+// neither kill the process (SIGPIPE ignored, EINTR retried) nor tear the
+// transfer; the read completes once bytes arrive.
+#include "util/net.hpp"
+
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace pfrl::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ParseEndpoint, UnixAndTcpForms) {
+  const Endpoint uds = parse_endpoint("unix:/tmp/fed.sock");
+  EXPECT_TRUE(uds.is_unix);
+  EXPECT_EQ(uds.path, "/tmp/fed.sock");
+  EXPECT_EQ(uds.describe(), "unix:/tmp/fed.sock");
+
+  const Endpoint tcp = parse_endpoint("127.0.0.1:7777");
+  EXPECT_FALSE(tcp.is_unix);
+  EXPECT_EQ(tcp.host, "127.0.0.1");
+  EXPECT_EQ(tcp.port, 7777);
+
+  EXPECT_THROW(parse_endpoint("unix:"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("no-port"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("host:"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("host:99999"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint(":123"), std::invalid_argument);
+}
+
+TEST(RetryEintr, PassesThroughNonEintrResults) {
+  int calls = 0;
+  const int ok = retry_eintr([&] {
+    ++calls;
+    return 7;
+  });
+  EXPECT_EQ(ok, 7);
+  EXPECT_EQ(calls, 1);
+
+  calls = 0;
+  const int failed = retry_eintr([&]() -> int {
+    ++calls;
+    errno = calls < 3 ? EINTR : EBADF;
+    return -1;
+  });
+  EXPECT_EQ(failed, -1);
+  EXPECT_EQ(errno, EBADF);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(ReadWriteFull, RoundTripsOverSocketPair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ScopedFd a(fds[0]);
+  ScopedFd b(fds[1]);
+
+  std::vector<std::uint8_t> out(100'000);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = static_cast<std::uint8_t>(i * 31);
+
+  // Writer in a thread: the payload exceeds the socket buffer, so the
+  // write must survive short writes while the reader drains.
+  std::thread writer([&] {
+    EXPECT_EQ(write_full(a.get(), out.data(), out.size(), 5000ms), IoResult::kOk);
+  });
+  std::vector<std::uint8_t> in(out.size());
+  EXPECT_EQ(read_full(b.get(), in.data(), in.size(), 5000ms), IoResult::kOk);
+  writer.join();
+  EXPECT_EQ(in, out);
+}
+
+TEST(ReadWriteFull, ReadTimesOutWhenNoBytesArrive) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ScopedFd a(fds[0]);
+  ScopedFd b(fds[1]);
+  std::uint8_t byte = 0;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(read_full(b.get(), &byte, 1, 60ms), IoResult::kTimeout);
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 50ms);
+}
+
+TEST(ReadWriteFull, ReadReportsPeerClose) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ScopedFd a(fds[0]);
+  ScopedFd b(fds[1]);
+  a.reset();
+  std::uint8_t byte = 0;
+  EXPECT_EQ(read_full(b.get(), &byte, 1, 1000ms), IoResult::kClosed);
+}
+
+TEST(ReadWriteFull, WriteToClosedPeerFailsInsteadOfKillingProcess) {
+  ignore_sigpipe();
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ScopedFd a(fds[0]);
+  ScopedFd b(fds[1]);
+  b.reset();
+  // Large enough to defeat buffering: the second chunk must hit EPIPE.
+  std::vector<std::uint8_t> chunk(1 << 20, 0xAB);
+  IoResult last = IoResult::kOk;
+  for (int i = 0; i < 4 && last == IoResult::kOk; ++i)
+    last = write_full(a.get(), chunk.data(), chunk.size(), 500ms);
+  EXPECT_EQ(last, IoResult::kError);  // EPIPE surfaced, process alive
+}
+
+/// The no-op handler that makes pthread_kill interrupt a blocked syscall:
+/// installed WITHOUT SA_RESTART, so poll/read return EINTR and our retry
+/// loops — not the kernel — decide what happens next.
+void noop_signal_handler(int) {}
+
+TEST(ReadWriteFull, BlockedReadSurvivesSignalInterruptions) {
+  struct sigaction sa {};
+  sa.sa_handler = noop_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction old {};
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ScopedFd writer_fd(fds[0]);
+  ScopedFd reader_fd(fds[1]);
+
+  std::vector<std::uint8_t> expected(4096);
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    expected[i] = static_cast<std::uint8_t>(i * 17);
+
+  std::atomic<bool> reader_parked{false};
+  std::vector<std::uint8_t> received(expected.size());
+  IoResult read_result = IoResult::kError;
+  std::thread reader([&] {
+    reader_parked.store(true);
+    read_result = read_full(reader_fd.get(), received.data(), received.size(), 10'000ms);
+  });
+
+  // Pepper the parked reader with signals; every one interrupts the
+  // blocking syscall with EINTR and the helper must re-enter it.
+  while (!reader_parked.load()) std::this_thread::yield();
+  for (int i = 0; i < 25; ++i) {
+    pthread_kill(reader.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(2ms);
+  }
+
+  // Only now deliver the payload, in two halves with signals in between.
+  ASSERT_EQ(write_full(writer_fd.get(), expected.data(), expected.size() / 2, 1000ms),
+            IoResult::kOk);
+  pthread_kill(reader.native_handle(), SIGUSR1);
+  std::this_thread::sleep_for(5ms);
+  ASSERT_EQ(write_full(writer_fd.get(), expected.data() + expected.size() / 2,
+                       expected.size() - expected.size() / 2, 1000ms),
+            IoResult::kOk);
+
+  reader.join();
+  EXPECT_EQ(read_result, IoResult::kOk);
+  EXPECT_EQ(received, expected);
+  sigaction(SIGUSR1, &old, nullptr);
+}
+
+TEST(Endpoints, ListenConnectAcceptOverEphemeralTcpPort) {
+  const Endpoint requested = parse_endpoint("127.0.0.1:0");
+  ScopedFd listener = listen_endpoint(requested);
+  ASSERT_TRUE(listener.valid());
+  const Endpoint bound = local_endpoint(listener.get(), requested);
+  ASSERT_NE(bound.port, 0);  // kernel assigned a real port
+
+  ScopedFd client = connect_endpoint(bound, 2000ms);
+  ASSERT_TRUE(client.valid());
+  ScopedFd server_side = accept_connection(listener.get(), 2000ms);
+  ASSERT_TRUE(server_side.valid());
+
+  const char ping[] = "ping";
+  ASSERT_EQ(write_full(client.get(), ping, sizeof(ping), 1000ms), IoResult::kOk);
+  char buf[sizeof(ping)] = {};
+  ASSERT_EQ(read_full(server_side.get(), buf, sizeof(buf), 1000ms), IoResult::kOk);
+  EXPECT_STREQ(buf, "ping");
+}
+
+TEST(Endpoints, AcceptTimesOutWithNoClient) {
+  ScopedFd listener = listen_endpoint(parse_endpoint("127.0.0.1:0"));
+  const ScopedFd none = accept_connection(listener.get(), 50ms);
+  EXPECT_FALSE(none.valid());
+}
+
+TEST(Endpoints, ConnectToDeadEndpointFailsCleanly) {
+  // Bind an ephemeral port, close the listener, then dial it: refusal
+  // must come back as an invalid fd, not an exception or a hang.
+  const Endpoint requested = parse_endpoint("127.0.0.1:0");
+  Endpoint bound;
+  {
+    ScopedFd listener = listen_endpoint(requested);
+    bound = local_endpoint(listener.get(), requested);
+  }
+  const ScopedFd fd = connect_endpoint(bound, 500ms);
+  EXPECT_FALSE(fd.valid());
+}
+
+}  // namespace
+}  // namespace pfrl::util

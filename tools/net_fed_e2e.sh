@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# End-to-end multi-process federation smoke: a `pfrldm serve` + 4-client
+# (Table 2) Unix-domain-socket fleet, with one client SIGKILLed as soon
+# as it has written its first checkpoint and restarted with --resume.
+# Asserts the run completes, the server counted the rejoin, and the
+# revived client resumed from its snapshot.
+#
+#   tools/net_fed_e2e.sh [build-dir]
+#
+# Exits nonzero on any failed assertion; bounded by PFRL_E2E_TIMEOUT
+# seconds (default 300) so a wedged fleet cannot hang CI.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build"}"
+pfrldm="${build_dir}/tools/pfrldm"
+timeout_s="${PFRL_E2E_TIMEOUT:-300}"
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/pfrl_netfed_e2e.XXXXXX")"
+pids=()
+cleanup() {
+  local rc=$?
+  for pid in "${pids[@]-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$work"
+  exit "$rc"
+}
+trap cleanup EXIT INT TERM
+
+if [ "${PFRL_E2E_CHILD:-0}" != "1" ]; then
+  # Re-exec under an overall timeout (SIGKILL 20s after SIGTERM).
+  PFRL_E2E_CHILD=1 exec timeout -k 20 "$timeout_s" "$0" "$@"
+fi
+
+sock="unix:${work}/fed.sock"
+common=(--table 2 --tiny --episodes 40 --algorithm pfrl-dm --seed 7 --log-level warn)
+
+echo "== starting server + 4 clients on ${sock}"
+"$pfrldm" serve --listen "$sock" "${common[@]}" --round-deadline-ms 2000 \
+    --summary-out "$work/summary.json" > "$work/serve.log" 2>&1 &
+serve_pid=$!
+pids+=("$serve_pid")
+sleep 0.5
+
+for i in 0 1 3; do
+  "$pfrldm" client --connect "$sock" --index "$i" "${common[@]}" \
+      > "$work/client$i.log" 2>&1 &
+  pids+=("$!")
+done
+"$pfrldm" client --connect "$sock" --index 2 "${common[@]}" \
+    --checkpoint-dir "$work/ckpt2" > "$work/client2-first.log" 2>&1 &
+victim_pid=$!
+pids+=("$victim_pid")
+
+echo "== waiting for client 2's first checkpoint, then SIGKILL"
+for _ in $(seq 1 600); do
+  ls "$work"/ckpt2/*.pfc >/dev/null 2>&1 && break
+  sleep 0.05
+done
+ls "$work"/ckpt2/*.pfc >/dev/null
+kill -9 "$victim_pid" || true
+echo "== killed client 2 at snapshot: $(ls "$work"/ckpt2 | tr '\n' ' ')"
+sleep 0.5
+
+echo "== restarting client 2 with --resume"
+"$pfrldm" client --connect "$sock" --index 2 "${common[@]}" \
+    --checkpoint-dir "$work/ckpt2" --resume \
+    --result-out "$work/client2.json" > "$work/client2-resumed.log" 2>&1 &
+rejoin_pid=$!
+pids+=("$rejoin_pid")
+
+wait "$serve_pid"
+serve_rc=$?
+wait "$rejoin_pid"
+rejoin_rc=$?
+echo "== serve rc=${serve_rc} rejoined-client rc=${rejoin_rc}"
+cat "$work/summary.json"
+
+[ "$serve_rc" -eq 0 ] || { echo "FAIL: server exited nonzero"; exit 1; }
+[ "$rejoin_rc" -eq 0 ] || { echo "FAIL: rejoined client exited nonzero"; exit 1; }
+
+python3 - "$work/summary.json" "$work/client2.json" <<'EOF'
+import json, sys
+summary = json.load(open(sys.argv[1]))
+client = json.load(open(sys.argv[2]))
+assert summary["completed"], f"server did not complete: {summary}"
+assert summary["rejoins"] >= 1, f"server saw no rejoin: {summary}"
+assert summary["rounds"] == 20, f"expected 20 rounds, got {summary['rounds']}"
+assert client["completed"], f"rejoined client did not complete: {client}"
+assert client["resumed"], "client 2 did not resume from its checkpoint"
+# Rounds spent dead train nothing — the same accounting as the
+# in-process crash windows — so the history is short exactly
+# comm_every * rounds_crashed episodes.
+crashed = client["history"]["rounds_crashed"]
+assert crashed >= 1, "client 2 recorded no crashed rounds"
+rewards = client["history"]["episode_rewards"]
+expect = 40 - 2 * crashed
+assert len(rewards) == expect, f"expected {expect} episodes of history, got {len(rewards)}"
+print("e2e OK: rejoins=%d rounds_closed_at_deadline=%d laggard_rounds=%d"
+      % (summary["rejoins"], summary["rounds_closed_at_deadline"],
+         summary["laggard_rounds"]))
+EOF

@@ -13,12 +13,18 @@
 //   pfrldm evaluate --algorithm pfrl-dm --table 3 --checkpoint DIR
 //                   [--hybrid 0.2]
 //       Restore a federation and evaluate on held-out / hybrid workloads.
+//   pfrldm serve  --listen unix:/tmp/fed.sock --algorithm pfrl-dm --table 3
+//       Run the federated server of a multi-process federation.
+//   pfrldm client --connect unix:/tmp/fed.sock --index 0 ...
+//       Run one federated client process (same config flags as serve).
 //
 // Global options (any command): --log-level debug|info|warn|error|off,
 // --metrics-out FILE (CSV metrics snapshot at exit), --trace-out FILE
 // (JSONL span stream), --report (observability table on stderr).
 // Giving any of the last three arms the obs layer for the run.
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
@@ -29,6 +35,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/federation.hpp"
+#include "core/net_federation.hpp"
 #include "obs/obs.hpp"
 #include "stats/summary.hpp"
 #include "util/cli.hpp"
@@ -57,6 +64,14 @@ int usage() {
       "           [--checkpoint DIR] [--full]\n"
       "           [--checkpoint-dir DIR [--checkpoint-every N] [--resume]]\n"
       "  evaluate --algorithm ALG --table 2|3 --checkpoint DIR [--hybrid F]\n"
+      "  serve    --listen EP [--algorithm ALG --table 2|3 --episodes N --seed S]\n"
+      "           [--round-deadline-ms N] [--join-timeout-ms N]\n"
+      "           [--min-participants N] [--manifest-dir DIR] [--summary-out FILE]\n"
+      "  client   --connect EP --index I [--algorithm ALG --table 2|3 ...]\n"
+      "           [--checkpoint-dir DIR [--checkpoint-every N] [--resume]]\n"
+      "           [--connect-deadline-ms N] [--download-deadline-ms N]\n"
+      "           [--idle-timeout-ms N] [--result-out FILE]\n"
+      "endpoints: unix:/path/to.sock or host:port (port 0 = ephemeral)\n"
       "algorithms: pfrl-dm fedavg mfpo fedprox fedkl ppo\n"
       "global options:\n"
       "  --log-level LEVEL    debug|info|warn|error|off (default info)\n"
@@ -152,11 +167,16 @@ workload::DatasetId parse_dataset(const std::string& name) {
 core::FederationConfig federation_config(const util::Cli& cli) {
   core::FederationConfig cfg;
   cfg.algorithm = parse_algorithm(cli.get("algorithm", "pfrl-dm"));
-  cfg.scale = cli.get_bool("full", false) ? core::ExperimentScale::paper()
-                                          : core::ExperimentScale::quick();
+  if (cli.get_bool("full", false))
+    cfg.scale = core::ExperimentScale::paper();
+  else if (cli.get_bool("tiny", false))
+    cfg.scale = core::ExperimentScale::tiny();  // CI / smoke federations
+  else
+    cfg.scale = core::ExperimentScale::quick();
   cfg.scale.episodes = static_cast<std::size_t>(
       cli.get_int("episodes", static_cast<std::int64_t>(cfg.scale.episodes)));
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  cfg.min_participants = static_cast<std::size_t>(cli.get_int("min-participants", 1));
   return cfg;
 }
 
@@ -324,6 +344,14 @@ int cmd_train(const util::Cli& cli) {
                    static_cast<unsigned long long>(a.round), a.client, a.kind.c_str(),
                    a.detail.c_str());
   }
+  const std::string history_out = cli.get("history-out", "");
+  if (!history_out.empty()) {
+    ensure_parent_dir(history_out);
+    std::ofstream out(history_out);
+    out << fed::training_history_json(history) << "\n";
+    if (!out) throw std::runtime_error("cannot write " + history_out);
+    std::printf("training history written to %s\n", history_out.c_str());
+  }
   const auto curve = history.mean_reward_curve();
   std::printf("episodes %zu, rounds %zu, final mean reward %.2f, uplink %.1f KiB\n",
               curve.size(), history.rounds, curve.empty() ? 0.0 : curve.back(),
@@ -335,6 +363,92 @@ int cmd_train(const util::Cli& cli) {
     std::printf("\ncheckpoint written to %s\n", checkpoint.c_str());
   }
   return 0;
+}
+
+void write_json_file(const std::string& path, const std::string& json) {
+  if (path.empty()) return;
+  ensure_parent_dir(path);
+  std::ofstream out(path);
+  out << json << "\n";
+  if (!out) throw std::runtime_error("cannot write " + path);
+}
+
+std::chrono::milliseconds cli_ms(const util::Cli& cli, const char* flag, std::int64_t fallback) {
+  return std::chrono::milliseconds(cli.get_int(flag, fallback));
+}
+
+fed::TransportConfig transport_config(const util::Cli& cli) {
+  fed::TransportConfig cfg;
+  cfg.retry.max_attempts = static_cast<std::uint32_t>(cli.get_int("retry-max", 5));
+  cfg.send_deadline = cli_ms(cli, "send-deadline-ms", cfg.send_deadline.count());
+  cfg.heartbeat_interval = cli_ms(cli, "heartbeat-ms", cfg.heartbeat_interval.count());
+  cfg.liveness_timeout = std::max(cfg.liveness_timeout, 5 * cfg.heartbeat_interval);
+  return cfg;
+}
+
+int cmd_serve(const util::Cli& cli) {
+  const std::string listen = cli.get("listen", "");
+  if (listen.empty()) return usage();
+  core::NetFedServerConfig cfg;
+  cfg.federation = federation_config(cli);
+  cfg.presets = presets_for(cli);
+  cfg.listen = util::parse_endpoint(listen);
+  cfg.transport = transport_config(cli);
+  cfg.round_deadline = cli_ms(cli, "round-deadline-ms", cfg.round_deadline.count());
+  cfg.join_timeout = cli_ms(cli, "join-timeout-ms", cfg.join_timeout.count());
+  cfg.manifest_dir = cli.get("manifest-dir", "");
+
+  core::NetFedServer server(std::move(cfg));
+  server.set_stop_flag(&g_stop_requested);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::printf("serving %zu clients on %s (arch hash %llx)\n", presets_for(cli).size(),
+              server.endpoint().describe().c_str(),
+              static_cast<unsigned long long>(server.expected_arch_hash()));
+  std::fflush(stdout);
+
+  const core::NetFedServer::Summary summary = server.run();
+  const std::string json = core::NetFedServer::summary_json(summary);
+  write_json_file(cli.get("summary-out", ""), json);
+  std::printf("%s\n", json.c_str());
+  if (!summary.error.empty()) {
+    std::fprintf(stderr, "error: %s\n", summary.error.c_str());
+    return 1;
+  }
+  return summary.completed ? 0 : 1;
+}
+
+int cmd_client(const util::Cli& cli) {
+  const std::string connect = cli.get("connect", "");
+  if (connect.empty() || !cli.has("index")) return usage();
+  core::NetFedClientConfig cfg;
+  cfg.federation = federation_config(cli);
+  cfg.presets = presets_for(cli);
+  cfg.index = static_cast<std::size_t>(cli.get_int("index", 0));
+  cfg.endpoint = util::parse_endpoint(connect);
+  cfg.transport = transport_config(cli);
+  cfg.checkpoint_dir = cli.get("checkpoint-dir", "");
+  cfg.checkpoint_every = static_cast<std::size_t>(cli.get_int("checkpoint-every", 1));
+  cfg.resume = cli.get_bool("resume", false);
+  cfg.connect_deadline = cli_ms(cli, "connect-deadline-ms", cfg.connect_deadline.count());
+  cfg.download_deadline = cli_ms(cli, "download-deadline-ms", cfg.download_deadline.count());
+  cfg.idle_timeout = cli_ms(cli, "idle-timeout-ms", cfg.idle_timeout.count());
+  cfg.exit_after_rounds = static_cast<std::uint64_t>(cli.get_int("exit-after-rounds", 0));
+
+  core::NetFedClient client(std::move(cfg));
+  client.set_stop_flag(&g_stop_requested);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  const core::NetFedClient::Result result = client.run();
+  const std::string json = core::NetFedClient::result_json(result);
+  write_json_file(cli.get("result-out", ""), json);
+  std::printf("%s\n", json.c_str());
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "error: %s\n", result.error.c_str());
+    return 1;
+  }
+  return result.completed ? 0 : 1;
 }
 
 int cmd_evaluate(const util::Cli& cli) {
@@ -364,6 +478,8 @@ int main(int argc, char** argv) {
     if (command == "inspect") return cmd_inspect(cli);
     if (command == "train") return cmd_train(cli);
     if (command == "evaluate") return cmd_evaluate(cli);
+    if (command == "serve") return cmd_serve(cli);
+    if (command == "client") return cmd_client(cli);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

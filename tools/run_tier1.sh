@@ -5,13 +5,45 @@
 #
 # Extra cmake options go in CMAKE_ARGS, e.g.
 #   CMAKE_ARGS='-DPFRL_SANITIZE=address;undefined' tools/run_tier1.sh build-asan
+#
+# Fail-fast: each stage aborts the run with a named error on the first
+# failure instead of cascading into confusing downstream output. The whole
+# run is bounded by PFRL_TIER1_TIMEOUT seconds (default 1800) so a hung
+# test — e.g. a socket test deadlocked on a dead peer — kills the run
+# rather than wedging CI; a per-test ctest timeout catches the common case
+# with a readable name first.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-"${repo_root}/build"}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+overall_timeout="${PFRL_TIER1_TIMEOUT:-1800}"
+per_test_timeout="${PFRL_TIER1_TEST_TIMEOUT:-300}"
+
+start_s="$(date +%s)"
+
+fail() {
+  echo "tier1: $1 failed" >&2
+  exit 1
+}
+
+# Each stage gets whatever is left of the overall budget, so the three
+# stages together can never exceed PFRL_TIER1_TIMEOUT.
+run_stage() {
+  local name="$1"
+  shift
+  local remaining=$((overall_timeout - ($(date +%s) - start_s)))
+  [ "${remaining}" -gt 0 ] || fail "${name} (overall ${overall_timeout}s timeout exhausted)"
+  if command -v timeout > /dev/null 2>&1; then
+    timeout --signal=TERM --kill-after=30 "${remaining}" "$@" || fail "${name}"
+  else
+    "$@" || fail "${name}"
+  fi
+}
 
 # shellcheck disable=SC2086  # CMAKE_ARGS is intentionally word-split
-cmake -B "${build_dir}" -S "${repo_root}" ${CMAKE_ARGS:-}
-cmake --build "${build_dir}" -j "${jobs}"
-ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+run_stage configure cmake -B "${build_dir}" -S "${repo_root}" ${CMAKE_ARGS:-}
+run_stage build cmake --build "${build_dir}" -j "${jobs}"
+run_stage test ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
+  --timeout "${per_test_timeout}"
+echo "tier1: all stages passed"
