@@ -1,0 +1,109 @@
+// Extension: serving throughput of the policy-serving engine. Drives a
+// PolicyServer with closed-loop simulated tenants (src/serve/load_gen)
+// and reports decisions/sec plus enqueue→decision latency percentiles —
+// the numbers the check_perf gate tracks. A tenant sweep shows how
+// micro-batching trades latency for throughput as concurrency grows;
+// the gated headline row is the fixed "standard" configuration so the
+// regression comparison is apples-to-apples across PRs.
+//
+//   ext_serving_throughput [--shards N] [--tenants N] [--requests N]
+//                          [--window N] [--max-batch N] [--seed S]
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/policy_server.hpp"
+
+using namespace pfrl;
+
+namespace {
+
+serve::LoadGenReport run_config(serve::PolicyServer& server, std::size_t tenants,
+                                std::size_t requests, std::size_t window, std::uint64_t seed) {
+  // Percentiles must describe this configuration only.
+  obs::metrics().reset_values();
+  serve::LoadGenConfig cfg;
+  cfg.tenants = tenants;
+  cfg.requests_per_tenant = requests;
+  cfg.window = window;
+  cfg.seed = seed;
+  return run_load(server, cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::Options::parse(argc, argv);
+  const util::Cli cli(argc, argv);
+  bench::Session session(opt, "ext_serving_throughput");
+  bench::print_banner("Extension: policy-serving throughput",
+                      "batched, sharded scheduling decisions from a trained policy", opt);
+
+  // Architecture-faithful agent (Table 3 client 0 under quick scale); an
+  // untrained policy costs exactly as much to serve as a trained one.
+  const std::vector<core::ClientPreset> presets = core::table3_clients();
+  core::SingleClientBuild build =
+      core::build_single_client(presets, bench::fed_config(opt, fed::FedAlgorithm::kPfrlDm), 0);
+
+  serve::PolicyServerConfig server_cfg;
+  server_cfg.shards = static_cast<std::size_t>(cli.get_int("shards", 2));
+  server_cfg.max_batch = static_cast<std::size_t>(cli.get_int("max-batch", 64));
+  serve::PolicyServer server(build.client->agent().actor(), server_cfg);
+  server.start();
+
+  const auto requests = static_cast<std::size_t>(cli.get_int("requests", 40000));
+  const auto window = static_cast<std::size_t>(cli.get_int("window", 32));
+  const auto standard_tenants = static_cast<std::size_t>(cli.get_int("tenants", 8));
+  std::printf("server: %zu shards, state dim %zu, %d actions, max batch %zu\n\n",
+              server.shard_count(), server.state_dim(), server.action_count(),
+              server_cfg.max_batch);
+
+  util::TablePrinter table({"tenants", "decisions/s", "p50 (us)", "p95 (us)", "p99 (us)",
+                            "mean batch", "retries"});
+  for (const std::size_t tenants : std::vector<std::size_t>{1, standard_tenants,
+                                                            standard_tenants * 4}) {
+    // Fixed total work per row, so wall time stays flat across the sweep.
+    const std::size_t per_tenant = std::max<std::size_t>(1, requests / tenants);
+    const serve::LoadGenReport r = run_config(server, tenants, per_tenant, window, opt.seed);
+    table.row({std::to_string(tenants), util::TablePrinter::num(r.decisions_per_sec, 0),
+               util::TablePrinter::num(r.p50_us, 2), util::TablePrinter::num(r.p95_us, 2),
+               util::TablePrinter::num(r.p99_us, 2), util::TablePrinter::num(r.mean_batch, 2),
+               std::to_string(r.retries)});
+  }
+  table.print();
+
+  // Gated headline: the standard configuration, run three times — the
+  // regression check compares best throughput and median percentiles, so
+  // one unlucky scheduler hiccup does not flap the gate.
+  std::vector<serve::LoadGenReport> runs;
+  for (int i = 0; i < 3; ++i)
+    runs.push_back(run_config(server, standard_tenants,
+                              std::max<std::size_t>(1, requests / standard_tenants), window,
+                              opt.seed + static_cast<std::uint64_t>(i)));
+  const auto median_of = [&runs](double serve::LoadGenReport::* field) {
+    std::vector<double> values;
+    for (const serve::LoadGenReport& r : runs) values.push_back(r.*field);
+    std::sort(values.begin(), values.end());
+    return values[values.size() / 2];
+  };
+  double best_rate = 0.0;
+  for (const serve::LoadGenReport& r : runs) best_rate = std::max(best_rate, r.decisions_per_sec);
+  session.record().add("serving.decisions_per_sec", best_rate, "decisions/s");
+  session.record().add("serving.latency_p50_us", median_of(&serve::LoadGenReport::p50_us), "us");
+  session.record().add("serving.latency_p95_us", median_of(&serve::LoadGenReport::p95_us), "us");
+  session.record().add("serving.latency_p99_us", median_of(&serve::LoadGenReport::p99_us), "us");
+  session.record().add("serving.mean_batch", median_of(&serve::LoadGenReport::mean_batch),
+                       "rows");
+  std::printf("\ngated: best %.0f decisions/s, median p50/p95/p99 %.1f/%.1f/%.1f us\n",
+              best_rate, median_of(&serve::LoadGenReport::p50_us),
+              median_of(&serve::LoadGenReport::p95_us),
+              median_of(&serve::LoadGenReport::p99_us));
+  server.stop();
+  // The registry still holds the last run's raw instruments; zero them so
+  // the Session's auto-captured report doesn't add gate-relevant duplicates
+  // of the serving.* metrics above (both sides of a comparison do this).
+  obs::metrics().reset_values();
+  return 0;
+}

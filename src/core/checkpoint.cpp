@@ -230,14 +230,28 @@ std::optional<SnapshotDir::Loaded> SnapshotDir::load_newest_valid() const {
   return std::nullopt;
 }
 
-void save_agent(rl::PpoAgent& agent, const std::string& path) {
+std::vector<std::uint8_t> encode_agent_payload(const rl::PpoAgent& agent) {
   util::ByteWriter w;
-  auto* dual = dynamic_cast<rl::DualCriticPpoAgent*>(&agent);
+  const auto* dual = dynamic_cast<const rl::DualCriticPpoAgent*>(&agent);
   w.write_u8(static_cast<std::uint8_t>(dual ? AgentKind::kDualCritic : AgentKind::kPpo));
   agent.actor().serialize(w);
   agent.critic().serialize(w);
   if (dual) dual->public_critic().serialize(w);
-  write_container(path, ContentKind::kAgent, w.bytes());
+  return w.bytes();
+}
+
+void save_agent(rl::PpoAgent& agent, const std::string& path) {
+  write_container(path, ContentKind::kAgent, encode_agent_payload(agent));
+}
+
+void decode_agent_actor(std::span<const std::uint8_t> payload, nn::Mlp& actor) {
+  util::ByteReader r(payload);
+  const auto kind = static_cast<AgentKind>(r.read_u8());
+  if (kind != AgentKind::kPpo && kind != AgentKind::kDualCritic)
+    throw std::invalid_argument("checkpoint: unknown agent kind in policy payload");
+  nn::Mlp scratch(actor);
+  scratch.deserialize(r);
+  actor = std::move(scratch);
 }
 
 void load_agent(rl::PpoAgent& agent, const std::string& path) {

@@ -98,6 +98,20 @@ class SnapshotDir {
 /// Writes the agent's parameters to `path` (v2 container, atomic).
 void save_agent(rl::PpoAgent& agent, const std::string& path);
 
+/// The bytes save_agent wraps in its kAgent container (agent kind tag +
+/// serialized networks). Exposed so policy snapshots can be written
+/// through a SnapshotDir — the serving engine's hot-swap source — with
+/// the exact on-disk payload a save_agent file carries.
+std::vector<std::uint8_t> encode_agent_payload(const rl::PpoAgent& agent);
+
+/// Extracts just the actor network from an encode_agent_payload /
+/// save_agent payload into `actor` (architecture-validated; the critics
+/// are skipped — serving needs only the policy, and the container CRC
+/// already vouched for the bytes). Strong exception guarantee: `actor`
+/// is untouched unless its parameters decode cleanly. Throws
+/// std::invalid_argument on format or architecture mismatch.
+void decode_agent_actor(std::span<const std::uint8_t> payload, nn::Mlp& actor);
+
 /// Restores parameters saved by save_agent into an architecture-identical
 /// agent, with the strong exception guarantee: the payload is fully
 /// validated (kind, shapes, length) against scratch copies before any

@@ -41,6 +41,14 @@ std::vector<double> Histogram::default_time_bounds_us() {
   return bounds;
 }
 
+std::vector<double> Histogram::fine_time_bounds_us() {
+  std::vector<double> bounds;
+  for (const double decade : {0.01, 0.1, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5})
+    for (const double step : {1.0, 2.0, 5.0}) bounds.push_back(decade * step);
+  bounds.push_back(1e6);  // 1 s
+  return bounds;
+}
+
 void Histogram::record(double value) {
   if (std::isnan(value)) return;
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);

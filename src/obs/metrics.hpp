@@ -104,8 +104,17 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
 
   /// Default layout for durations in microseconds: 1us..60s, roughly
-  /// logarithmic (1-2-5 per decade).
+  /// logarithmic (1-2-5 per decade). Sized for training-scale events
+  /// (env steps, rounds); everything below 1us lands in the first bucket.
   static std::vector<double> default_time_bounds_us();
+
+  /// Serving-scale layout: 10ns..1s with the same 1-2-5 progression, so
+  /// sub-microsecond latencies (a fused-GEMV policy decision is ~0.5us)
+  /// resolve into real buckets instead of being quantized into the
+  /// training layout's first bin. Register with
+  ///   metrics().histogram(name, Histogram::fine_time_bounds_us())
+  /// or the PFRL_HISTOGRAM_RECORD_FINE macro.
+  static std::vector<double> fine_time_bounds_us();
 
   void record(double value);
 
@@ -202,6 +211,20 @@ MetricsRegistry& metrics();
     if (::pfrl::obs::enabled()) {                                    \
       static ::pfrl::obs::Histogram& pfrl_obs_hist_ =                \
           ::pfrl::obs::metrics().histogram(name);                    \
+      pfrl_obs_hist_.record(static_cast<double>(value));             \
+    }                                                                \
+  } while (0)
+
+// Same as PFRL_HISTOGRAM_RECORD but registers the histogram with the
+// fine (sub-microsecond) bucket layout. Bounds are consulted only on the
+// first registration of `name`, so mixing the two macros on one name
+// keeps whichever layout registered first.
+#define PFRL_HISTOGRAM_RECORD_FINE(name, value)                      \
+  do {                                                               \
+    if (::pfrl::obs::enabled()) {                                    \
+      static ::pfrl::obs::Histogram& pfrl_obs_hist_ =                \
+          ::pfrl::obs::metrics().histogram(                          \
+              name, ::pfrl::obs::Histogram::fine_time_bounds_us());  \
       pfrl_obs_hist_.record(static_cast<double>(value));             \
     }                                                                \
   } while (0)

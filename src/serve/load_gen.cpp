@@ -1,0 +1,89 @@
+#include "serve/load_gen.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pfrl::serve {
+
+namespace {
+
+/// Counts decisions for one tenant. Per-tenant request FIFO (same shard,
+/// same ring, in-order drain) means decision k completing implies all
+/// requests < k completed, which is what makes window-slot reuse safe.
+class CountingSink final : public DecisionSink {
+ public:
+  void on_decision(std::uint64_t /*request_id*/, int /*action*/) override {
+    completed_.fetch_add(1, std::memory_order_release);
+  }
+  std::uint64_t completed() const { return completed_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<std::uint64_t> completed_{0};
+};
+
+}  // namespace
+
+LoadGenReport run_load(PolicyServer& server, const LoadGenConfig& config) {
+  if (config.tenants == 0 || config.requests_per_tenant == 0)
+    throw std::invalid_argument("run_load: tenants and requests_per_tenant must be > 0");
+  const std::size_t window = std::max<std::size_t>(1, config.window);
+  const std::size_t dim = server.state_dim();
+
+  const std::uint64_t decisions_before = server.decisions();
+  const std::uint64_t batches_before = server.batches();
+  const std::uint64_t swaps_before = server.swap_count();
+
+  std::atomic<std::uint64_t> retries{0};
+  std::vector<std::thread> tenants;
+  tenants.reserve(config.tenants);
+  const auto started = std::chrono::steady_clock::now();
+
+  for (std::size_t t = 0; t < config.tenants; ++t) {
+    tenants.emplace_back([&, t] {
+      util::Rng rng(config.seed + t);
+      // One state row per window slot; slot seq % window is only reused
+      // after its previous request's decision fired (FIFO + window gate),
+      // so rows stay valid for the whole in-flight lifetime.
+      std::vector<float> pool(window * dim);
+      for (float& v : pool) v = static_cast<float>(rng.uniform());
+      CountingSink sink;
+      const auto tenant = static_cast<std::uint32_t>(t);
+
+      for (std::size_t seq = 0; seq < config.requests_per_tenant; ++seq) {
+        while (seq - sink.completed() >= window) std::this_thread::yield();
+        const std::span<const float> state(pool.data() + (seq % window) * dim, dim);
+        while (!server.submit(tenant, state, seq, sink)) {
+          retries.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::yield();
+        }
+      }
+      while (sink.completed() < config.requests_per_tenant) std::this_thread::yield();
+    });
+  }
+  for (std::thread& tenant : tenants) tenant.join();
+  const auto finished = std::chrono::steady_clock::now();
+
+  LoadGenReport report;
+  report.decisions = server.decisions() - decisions_before;
+  report.retries = retries.load(std::memory_order_relaxed);
+  report.wall_seconds = std::chrono::duration<double>(finished - started).count();
+  report.decisions_per_sec =
+      report.wall_seconds > 0.0 ? static_cast<double>(report.decisions) / report.wall_seconds : 0.0;
+  const obs::Histogram& latency = server.latency_histogram();
+  report.p50_us = latency.quantile(0.50);
+  report.p95_us = latency.quantile(0.95);
+  report.p99_us = latency.quantile(0.99);
+  report.batches = server.batches() - batches_before;
+  report.mean_batch =
+      report.batches > 0 ? static_cast<double>(report.decisions) / static_cast<double>(report.batches)
+                         : 0.0;
+  report.swaps = server.swap_count() - swaps_before;
+  return report;
+}
+
+}  // namespace pfrl::serve

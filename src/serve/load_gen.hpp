@@ -1,0 +1,55 @@
+// In-process load generator for the policy-serving engine: simulated
+// tenants driving a PolicyServer closed-loop, each keeping a bounded
+// window of requests in flight. Shared by `pfrldm serve-policy` and
+// bench/ext_serving_throughput, so the CLI demo and the perf gate
+// measure the same traffic shape.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "serve/policy_server.hpp"
+
+namespace pfrl::serve {
+
+struct LoadGenConfig {
+  /// Concurrent tenant threads, each its own closed loop.
+  std::size_t tenants = 8;
+  std::size_t requests_per_tenant = 10000;
+  /// Max requests one tenant keeps in flight. Larger windows let the
+  /// shard workers form bigger batches.
+  std::size_t window = 32;
+  /// Seeds the per-tenant state generators (tenant t uses seed + t).
+  std::uint64_t seed = 42;
+};
+
+/// What one load run measured. Latency percentiles come from the
+/// server's enqueue→decision histogram over this run (the caller resets
+/// the histogram via obs::metrics().reset_values() if isolation across
+/// runs matters — run_load does not, so back-to-back runs accumulate).
+struct LoadGenReport {
+  std::uint64_t decisions = 0;
+  /// submit() rejections (ring full) that tenants retried — backpressure
+  /// events, not lost requests; the closed loop retries until accepted.
+  std::uint64_t retries = 0;
+  double wall_seconds = 0.0;
+  double decisions_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  /// forward calls the server issued during the run, and the resulting
+  /// mean coalesced batch size (decisions / batches).
+  std::uint64_t batches = 0;
+  double mean_batch = 0.0;
+  /// Per-shard hot swaps that happened mid-run.
+  std::uint64_t swaps = 0;
+};
+
+/// Drives `server` (already start()ed) with config.tenants closed-loop
+/// threads and blocks until every request has a decision. Thread-safe
+/// with a concurrent snapshot writer — that is the serve-while-training
+/// demo. Throws std::invalid_argument on a zero-tenant/zero-request
+/// config.
+LoadGenReport run_load(PolicyServer& server, const LoadGenConfig& config);
+
+}  // namespace pfrl::serve

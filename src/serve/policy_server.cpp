@@ -1,0 +1,253 @@
+#include "serve/policy_server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+
+namespace pfrl::serve {
+
+namespace {
+
+std::size_t resolve_shards(std::size_t requested) {
+  if (requested > 0) return requested;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::max<std::size_t>(1, hw / 2);
+}
+
+std::vector<double> batch_size_bounds(std::size_t max_batch) {
+  std::vector<double> bounds;
+  for (std::size_t b = 1; b < max_batch; b <<= 1) bounds.push_back(static_cast<double>(b));
+  bounds.push_back(static_cast<double>(max_batch));
+  return bounds;
+}
+
+}  // namespace
+
+PolicyServer::PolicyServer(nn::Mlp actor, PolicyServerConfig config)
+    : actor_(std::move(actor)),
+      config_(std::move(config)),
+      // One spare thread beyond the shards: snapshot decode runs there,
+      // off every decision path.
+      pool_(resolve_shards(config_.shards) + 1),
+      latency_hist_(obs::metrics().histogram("serve/latency_us",
+                                             obs::Histogram::fine_time_bounds_us())),
+      batch_hist_(obs::metrics().histogram(
+          "serve/batch_size", batch_size_bounds(std::max<std::size_t>(1, config_.max_batch)))) {
+  if (actor_.input_dim() == 0 || actor_.output_dim() == 0)
+    throw std::invalid_argument("PolicyServer: actor has no parameters");
+  config_.shards = resolve_shards(config_.shards);
+  config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s)
+    shards_.push_back(std::make_unique<Shard>(config_.queue_capacity));
+}
+
+PolicyServer::~PolicyServer() { stop(); }
+
+void PolicyServer::watch_snapshots(const std::string& directory) {
+  if (started_.load(std::memory_order_relaxed))
+    throw std::logic_error("PolicyServer: watch_snapshots must precede start()");
+  snapshots_.emplace(directory, core::ContentKind::kAgent, config_.snapshot_stem);
+  // Serve the newest checkpoint from the first decision on, when one
+  // already exists.
+  load_snapshot_once();
+}
+
+void PolicyServer::start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return;
+  stopping_.store(false, std::memory_order_relaxed);
+  for (std::size_t s = 0; s < shards_.size(); ++s) pool_.submit([this, s] { shard_loop(s); });
+  if (snapshots_) poller_ = std::thread([this] { poller_loop(); });
+  PFRL_GAUGE_SET("serve/shards", shards_.size());
+}
+
+void PolicyServer::stop() {
+  if (!started_.load(std::memory_order_relaxed)) return;
+  stopping_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    shard->cv.notify_all();
+  }
+  if (poller_.joinable()) poller_.join();
+  pool_.shutdown();  // workers drain their rings, then exit
+  started_.store(false, std::memory_order_relaxed);
+}
+
+bool PolicyServer::submit(std::uint32_t tenant, std::span<const float> state,
+                          std::uint64_t request_id, DecisionSink& sink) {
+  if (state.size() != actor_.input_dim())
+    throw std::invalid_argument("PolicyServer::submit: state has wrong dimension");
+  if (stopping_.load(std::memory_order_relaxed)) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Shard& shard = *shards_[tenant % shards_.size()];
+  Request request;
+  request.id = request_id;
+  request.tenant = tenant;
+  request.state = state.data();
+  request.sink = &sink;
+  request.enqueued = std::chrono::steady_clock::now();
+  if (!shard.queue.try_push(request)) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    PFRL_COUNT("serve/shed", 1);
+    return false;
+  }
+  if (shard.asleep.load(std::memory_order_acquire)) {
+    const std::scoped_lock lock(shard.mutex);
+    shard.cv.notify_one();
+  }
+  return true;
+}
+
+void PolicyServer::maybe_adopt(nn::Mlp& replica, std::uint64_t& local_epoch) {
+  if (published_epoch_.load(std::memory_order_acquire) == local_epoch) return;
+  std::shared_ptr<const std::vector<float>> flat;
+  std::uint64_t epoch = 0;
+  {
+    const std::scoped_lock lock(swap_mutex_);
+    flat = published_flat_;
+    epoch = published_epoch_.load(std::memory_order_relaxed);
+  }
+  if (!flat || epoch == local_epoch) return;
+  PFRL_SPAN("serve/swap");
+  replica.unflatten(*flat);
+  local_epoch = epoch;
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  PFRL_COUNT("serve/swaps", 1);
+}
+
+void PolicyServer::decide_batch(nn::Mlp& replica, std::vector<Request>& batch,
+                                nn::Matrix& states_ws, std::vector<float>& row_logits) {
+  PFRL_SPAN("serve/batch");
+  const std::size_t dim = actor_.input_dim();
+  const std::size_t actions = actor_.output_dim();
+  const auto argmax = [actions](std::span<const float> logits) {
+    std::size_t best = 0;
+    for (std::size_t a = 1; a < actions; ++a)
+      if (logits[a] > logits[best]) best = a;
+    return static_cast<int>(best);
+  };
+
+  if (batch.size() == 1) {
+    // Singleton: the allocation-free fused GEMV row plan.
+    replica.forward_row(std::span<const float>(batch[0].state, dim), row_logits);
+  } else {
+    states_ws.resize(batch.size(), dim);
+    for (std::size_t r = 0; r < batch.size(); ++r)
+      std::copy_n(batch[r].state, dim, states_ws.row(r).data());
+  }
+  const nn::Matrix* logits =
+      batch.size() == 1 ? nullptr : &replica.forward_batch(states_ws);
+
+  const auto now = std::chrono::steady_clock::now();
+  batch_hist_.record(static_cast<double>(batch.size()));
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  PFRL_COUNT("serve/batches", 1);
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    const Request& request = batch[r];
+    const int action = argmax(logits ? logits->row(r) : std::span<const float>(row_logits));
+    const double wait_us =
+        std::chrono::duration<double, std::micro>(now - request.enqueued).count();
+    latency_hist_.record(wait_us);
+    decisions_.fetch_add(1, std::memory_order_relaxed);
+    PFRL_COUNT("serve/decisions", 1);
+    request.sink->on_decision(request.id, action);
+  }
+}
+
+void PolicyServer::shard_loop(std::size_t index) {
+  Shard& shard = *shards_[index];
+  nn::Mlp replica(actor_);
+  std::uint64_t local_epoch = 0;
+  maybe_adopt(replica, local_epoch);
+
+  std::vector<Request> batch;
+  batch.reserve(config_.max_batch);
+  std::vector<float> row_logits(actor_.output_dim());
+  nn::Matrix states_ws;
+
+  for (;;) {
+    batch.clear();
+    Request request;
+    while (batch.size() < config_.max_batch && shard.queue.try_pop(request))
+      batch.push_back(request);
+
+    if (batch.empty()) {
+      if (stopping_.load(std::memory_order_acquire)) break;  // drained; exit
+      std::unique_lock lock(shard.mutex);
+      shard.asleep.store(true, std::memory_order_release);
+      // Bounded wait: also wakes to notice stop() and a published swap.
+      shard.cv.wait_for(lock, std::chrono::microseconds(200));
+      shard.asleep.store(false, std::memory_order_release);
+      continue;
+    }
+
+    if (config_.coalesce_wait_us > 0 && batch.size() < config_.max_batch) {
+      // Moderate load: lingering briefly turns several singleton GEMVs
+      // into one GEMM without unbounded latency.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(config_.coalesce_wait_us);
+      while (batch.size() < config_.max_batch &&
+             std::chrono::steady_clock::now() < deadline) {
+        if (shard.queue.try_pop(request))
+          batch.push_back(request);
+        else
+          std::this_thread::yield();
+      }
+    }
+
+    maybe_adopt(replica, local_epoch);
+    decide_batch(replica, batch, states_ws, row_logits);
+    PFRL_GAUGE_SET("serve/queue_depth", shard.queue.approx_size());
+  }
+}
+
+void PolicyServer::load_snapshot_once() {
+  PFRL_SPAN("serve/snapshot_load");
+  try {
+    const auto loaded = snapshots_->load_newest_valid();
+    if (!loaded) return;
+    if (loaded->ordinal <= published_epoch_.load(std::memory_order_acquire)) return;
+    nn::Mlp fresh(actor_);
+    core::decode_agent_actor(loaded->payload, fresh);
+    auto flat = std::make_shared<const std::vector<float>>(fresh.flatten());
+    {
+      const std::scoped_lock lock(swap_mutex_);
+      published_flat_ = std::move(flat);
+      published_epoch_.store(loaded->ordinal, std::memory_order_release);
+    }
+    PFRL_COUNT("serve/snapshot_loads", 1);
+    PFRL_GAUGE_SET("serve/model_epoch", loaded->ordinal);
+    PFRL_LOG_INFO("serve: published policy generation %llu from %s",
+                  static_cast<unsigned long long>(loaded->ordinal), loaded->path.c_str());
+  } catch (const std::exception& e) {
+    swap_errors_.fetch_add(1, std::memory_order_relaxed);
+    PFRL_COUNT("serve/swap_errors", 1);
+    PFRL_LOG_WARN("serve: snapshot load failed (%s); keeping the current policy", e.what());
+  }
+}
+
+void PolicyServer::poller_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // The spare pool thread does the decode; a bound of 1 sheds poll
+    // ticks when a load is still pending instead of stacking them.
+    if (!pool_.try_submit([this] { load_snapshot_once(); }, 1)) PFRL_COUNT("serve/poll_shed", 1);
+    std::this_thread::sleep_for(config_.snapshot_poll);
+  }
+}
+
+void write_policy_snapshot(const core::SnapshotDir& store, std::uint64_t ordinal,
+                           const rl::PpoAgent& agent) {
+  store.write(ordinal, core::encode_agent_payload(agent));
+}
+
+core::SnapshotDir policy_snapshot_dir(const std::string& directory, const std::string& stem,
+                                      std::size_t keep) {
+  return core::SnapshotDir(directory, core::ContentKind::kAgent, stem, keep);
+}
+
+}  // namespace pfrl::serve

@@ -1,0 +1,206 @@
+// The policy-serving engine: a long-lived scheduler that answers
+// placement requests from many concurrent tenants with a trained policy
+// (ROADMAP item 2, grounded in "Scalable Reinforcement Learning for
+// Virtual Machine Scheduling").
+//
+// Architecture (DESIGN.md "Policy-serving engine"):
+//
+//   tenants ──submit──▶ per-shard bounded MPSC ring ──▶ shard worker
+//                                                        │  drain ≤ max_batch
+//                                                        │  1 row  → fused GEMV row plan
+//                                                        │  n rows → forward_batch GEMM
+//                                                        ▼
+//                                                   DecisionSink callback
+//
+//  - Sharding: tenant id hashes to a shard, so each tenant's requests are
+//    answered in order by one worker. Each shard owns a private model
+//    replica — no lock is ever taken on the decision path.
+//  - Adaptive micro-batching: a worker drains whatever is queued (up to
+//    max_batch) into one forward_batch call; batch size grows with load
+//    and collapses to the allocation-free single-row plan when traffic is
+//    light. coalesce_wait_us optionally trades a bounded wait for fuller
+//    batches.
+//  - Load shedding: the rings are bounded; submit() returns false instead
+//    of queueing unboundedly when a shard is saturated.
+//  - Hot swap: a poller watches a core::SnapshotDir for new policy
+//    generations (written by a concurrently-running trainer). A validated
+//    generation is published as (epoch, flat params); workers adopt it at
+//    a batch boundary, so an in-flight batch always runs on a complete,
+//    CRC-validated model — never a torn one. Snapshot decode runs on the
+//    pool's spare thread via try_submit, so a slow disk sheds poll ticks
+//    instead of stacking them.
+//
+// Latency accounting: enqueue→decision histograms (fine sub-microsecond
+// buckets), batch-size distribution, queue depth, and swap counters all
+// land in the obs metrics registry under serve/*.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "nn/mlp.hpp"
+#include "obs/metrics.hpp"
+#include "serve/request_queue.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pfrl::serve {
+
+struct PolicyServerConfig {
+  /// Worker shards, each with a private model replica. 0 picks
+  /// max(1, hardware_concurrency / 2).
+  std::size_t shards = 2;
+  /// Per-shard ring capacity (rounded up to a power of two). Requests
+  /// beyond it are shed at submit().
+  std::size_t queue_capacity = 4096;
+  /// Most requests coalesced into one forward_batch call.
+  std::size_t max_batch = 64;
+  /// When > 0 and a drained batch is smaller than max_batch, the worker
+  /// keeps draining for up to this long before deciding — trades a
+  /// bounded latency add for fuller batches under moderate load.
+  std::uint32_t coalesce_wait_us = 0;
+  /// How often the snapshot poller looks for a new policy generation.
+  std::chrono::milliseconds snapshot_poll{25};
+  /// Generation stem inside the watched SnapshotDir (`<stem>-<n>.pfc`).
+  std::string snapshot_stem = "policy";
+};
+
+/// Where decisions are delivered. Called on a shard worker thread, once
+/// per submitted request; implementations synchronize their own state.
+class DecisionSink {
+ public:
+  virtual ~DecisionSink() = default;
+  virtual void on_decision(std::uint64_t request_id, int action) = 0;
+};
+
+/// What a placement request carries through the ring. POD so the ring
+/// never allocates; the state floats stay caller-owned.
+struct Request {
+  std::uint64_t id = 0;
+  std::uint32_t tenant = 0;
+  const float* state = nullptr;
+  DecisionSink* sink = nullptr;
+  std::chrono::steady_clock::time_point enqueued{};
+};
+
+class PolicyServer {
+ public:
+  /// Serves greedy decisions from `actor` (logit argmax — the same
+  /// deterministic policy evaluation uses). The actor is copied into one
+  /// replica per shard.
+  explicit PolicyServer(nn::Mlp actor, PolicyServerConfig config = {});
+  ~PolicyServer();
+
+  PolicyServer(const PolicyServer&) = delete;
+  PolicyServer& operator=(const PolicyServer&) = delete;
+
+  /// Arms hot swap: watch `directory` for kAgent policy generations
+  /// (written with write_policy_snapshot / core::SnapshotDir). Loads the
+  /// newest valid generation synchronously if one exists, so start()
+  /// serves the latest checkpoint. Must be called before start().
+  void watch_snapshots(const std::string& directory);
+
+  void start();
+  /// Drains every queued request to a decision, then joins all workers
+  /// and the poller. Idempotent; the destructor calls it.
+  void stop();
+
+  /// Enqueues one placement request. `state` must hold state_dim()
+  /// floats and stay valid until `sink.on_decision(request_id, ...)`
+  /// fires. Returns false — shedding the request — when the tenant's
+  /// shard ring is full or the server is stopping; the sink is then
+  /// never called for this request.
+  bool submit(std::uint32_t tenant, std::span<const float> state, std::uint64_t request_id,
+              DecisionSink& sink);
+
+  std::size_t state_dim() const { return actor_.input_dim(); }
+  int action_count() const { return static_cast<int>(actor_.output_dim()); }
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Decisions delivered so far.
+  std::uint64_t decisions() const { return decisions_.load(std::memory_order_relaxed); }
+  /// Requests rejected at submit() (ring full / stopping).
+  std::uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  /// forward calls issued (batched or singleton).
+  std::uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  /// Per-shard replica adoptions of a published generation (a single
+  /// published snapshot counts once per shard).
+  std::uint64_t swap_count() const { return swaps_.load(std::memory_order_relaxed); }
+  /// Snapshot generations that failed to decode (serving continues on
+  /// the previous model).
+  std::uint64_t swap_errors() const { return swap_errors_.load(std::memory_order_relaxed); }
+  /// Ordinal of the newest published generation (0 = construction-time
+  /// actor, nothing swapped in yet).
+  std::uint64_t model_epoch() const { return published_epoch_.load(std::memory_order_acquire); }
+
+  /// The enqueue→decision latency histogram (microseconds, fine
+  /// sub-microsecond buckets) — always recorded, a serving product
+  /// metric rather than optional instrumentation.
+  const obs::Histogram& latency_histogram() const { return latency_hist_; }
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t capacity) : queue(capacity) {}
+    BoundedMpscQueue<Request> queue;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::atomic<bool> asleep{false};
+  };
+
+  void shard_loop(std::size_t index);
+  void decide_batch(nn::Mlp& replica, std::vector<Request>& batch, nn::Matrix& states_ws,
+                    std::vector<float>& row_logits);
+  /// Adopts the newest published generation into `replica` if it is
+  /// newer than `local_epoch` (called only at batch boundaries).
+  void maybe_adopt(nn::Mlp& replica, std::uint64_t& local_epoch);
+  /// Loads + validates + publishes the newest snapshot generation (runs
+  /// on the pool's maintenance thread).
+  void load_snapshot_once();
+  void poller_loop();
+
+  nn::Mlp actor_;  // prototype: architecture + construction-time params
+  PolicyServerConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  util::ThreadPool pool_;  // shard workers + one maintenance thread
+  std::thread poller_;
+
+  std::optional<core::SnapshotDir> snapshots_;
+  std::mutex swap_mutex_;  // guards published_flat_ (cold path only)
+  std::shared_ptr<const std::vector<float>> published_flat_;
+  std::atomic<std::uint64_t> published_epoch_{0};
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<std::uint64_t> decisions_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> swaps_{0};
+  std::atomic<std::uint64_t> swap_errors_{0};
+
+  obs::Histogram& latency_hist_;
+  obs::Histogram& batch_hist_;
+};
+
+/// Writes `agent`'s parameters as policy generation `ordinal` of `store`
+/// (atomic write + rotation) — the producer side of the hot-swap
+/// protocol, callable from a training loop between rounds.
+void write_policy_snapshot(const core::SnapshotDir& store, std::uint64_t ordinal,
+                           const rl::PpoAgent& agent);
+
+/// The SnapshotDir a PolicyServer with `stem` watches under `directory` —
+/// writer and server must agree on kind (kAgent) and stem.
+core::SnapshotDir policy_snapshot_dir(const std::string& directory,
+                                      const std::string& stem = "policy",
+                                      std::size_t keep = 2);
+
+}  // namespace pfrl::serve

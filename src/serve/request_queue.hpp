@@ -1,0 +1,107 @@
+// Bounded lock-free request queue for the serving engine.
+//
+// Dmitry Vyukov's bounded MPMC ring: each cell carries a sequence number
+// whose distance from the producer/consumer cursor says whether the cell
+// is free, full, or contended. push and pop are one CAS on the shared
+// cursor plus one release store on the cell — no locks, no allocation
+// after construction, and a full queue rejects instead of blocking, which
+// is exactly the load-shedding contract PolicyServer::submit needs.
+//
+// The serving engine uses it MPSC (many tenant threads, one shard
+// worker), but the algorithm is safely MPMC, so tests can drain from
+// several threads too. Per-producer FIFO holds: a producer claims ring
+// positions in program order, and the consumer drains positions in order.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace pfrl::serve {
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2). Memory is
+  /// allocated once, here.
+  explicit BoundedMpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i)
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+  }
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  /// False when the ring is full (the caller sheds the request).
+  bool try_push(const T& item) {
+    Cell* cell = nullptr;
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::uint64_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) break;
+      } else if (diff < 0) {
+        return false;  // the cell still holds an unconsumed older item
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);  // lost the race; reread
+      }
+    }
+    cell->value = item;
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when the ring is empty (or the head cell's producer has
+  /// claimed but not yet published — the consumer retries next round).
+  bool try_pop(T& out) {
+    Cell* cell = nullptr;
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::uint64_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto diff =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) break;
+      } else if (diff < 0) {
+        return false;
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    out = cell->value;
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Racy instantaneous occupancy — a gauge, not a synchronization tool.
+  std::size_t approx_size() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    return tail > head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+ private:
+  static constexpr std::size_t kCacheLine = 64;
+
+  struct alignas(kCacheLine) Cell {
+    std::atomic<std::uint64_t> sequence{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};  // producers
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};  // consumer
+};
+
+}  // namespace pfrl::serve

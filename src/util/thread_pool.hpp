@@ -13,6 +13,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <thread>
 #include <vector>
@@ -43,17 +44,31 @@ class ThreadPool {
     {
       const std::scoped_lock lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
-      // submitted_ moves before queue_depth_ (and a pop moves queue_depth_
-      // before inflight_), so at any single instant
-      // depth + inflight + completed <= submitted holds.
-      submitted_.fetch_add(1, std::memory_order_relaxed);
-      queue_.emplace([task] { (*task)(); });
-      const std::size_t depth = queue_.size();
-      queue_depth_.store(depth, std::memory_order_relaxed);
-      std::size_t peak = peak_queue_depth_.load(std::memory_order_relaxed);
-      while (depth > peak &&
-             !peak_queue_depth_.compare_exchange_weak(peak, depth, std::memory_order_relaxed)) {
+      enqueue_locked([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Bounded, non-blocking submit: rejects instead of queueing when the
+  /// queue already holds `max_queue_depth` pending tasks (or the pool is
+  /// shutting down), so callers under overload shed work instead of
+  /// growing the queue without bound. Returns nullopt on rejection;
+  /// rejections are counted in rejected(). Never throws on a stopped
+  /// pool — rejection is the uniform answer.
+  template <typename F>
+  auto try_submit(F&& fn, std::size_t max_queue_depth)
+      -> std::optional<std::future<std::invoke_result_t<F>>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      const std::scoped_lock lock(mutex_);
+      if (stopping_ || queue_.size() >= max_queue_depth) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
       }
+      enqueue_locked([task] { (*task)(); });
     }
     cv_.notify_one();
     return result;
@@ -68,8 +83,10 @@ class ThreadPool {
   // the monotone pair is safe to compare across loads (read completed
   // before submitted and completed <= submitted always holds).
 
-  /// Tasks accepted by submit() so far.
+  /// Tasks accepted by submit()/try_submit() so far.
   std::uint64_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
+  /// Tasks turned away by try_submit() (queue at bound, or shutdown).
+  std::uint64_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
   /// Tasks finished (normally or by exception).
   std::uint64_t completed() const { return completed_.load(std::memory_order_acquire); }
   /// Tasks sitting in the queue, not yet picked up by a worker.
@@ -88,6 +105,21 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// Shared tail of submit/try_submit, called with mutex_ held.
+  /// submitted_ moves before queue_depth_ (and a pop moves queue_depth_
+  /// before inflight_), so at any single instant
+  /// depth + inflight + completed <= submitted holds.
+  void enqueue_locked(std::function<void()> task) {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    queue_.push(std::move(task));
+    const std::size_t depth = queue_.size();
+    queue_depth_.store(depth, std::memory_order_relaxed);
+    std::size_t peak = peak_queue_depth_.load(std::memory_order_relaxed);
+    while (depth > peak &&
+           !peak_queue_depth_.compare_exchange_weak(peak, depth, std::memory_order_relaxed)) {
+    }
+  }
+
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
   std::mutex mutex_;
@@ -97,6 +129,7 @@ class ThreadPool {
   std::atomic<std::size_t> inflight_{0};
   std::atomic<std::size_t> peak_queue_depth_{0};
   std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> completed_{0};
 };
 

@@ -4,9 +4,12 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <thread>
+#include <vector>
 
 #include "core/federation.hpp"
 
@@ -243,6 +246,75 @@ TEST_F(CheckpointTest, LoadedFederationKeepsTraining) {
   load_federation(resumed.trainer(), dir_ + "/fed2");
   resumed.trainer().step_round();  // must not throw; history keeps growing
   EXPECT_GT(resumed.trainer().episodes_done(), 0u);
+}
+
+TEST_F(CheckpointTest, EncodeAgentPayloadMatchesSaveAgentAndActorDecodes) {
+  rl::PpoConfig cfg;
+  cfg.seed = 11;
+  rl::DualCriticPpoAgent agent(5, 3, cfg);
+  save_agent(agent, path("agent.ckpt"));
+  // The exposed payload is byte-identical to what save_agent wraps, so a
+  // SnapshotDir generation and a save_agent file are interchangeable.
+  EXPECT_EQ(encode_agent_payload(agent), read_container(path("agent.ckpt"), ContentKind::kAgent));
+
+  cfg.seed = 12;
+  rl::PpoAgent other(5, 3, cfg);
+  nn::Mlp actor = other.actor();
+  ASSERT_NE(actor.flatten(), agent.actor().flatten());
+  decode_agent_actor(encode_agent_payload(agent), actor);
+  EXPECT_EQ(actor.flatten(), agent.actor().flatten());
+
+  // Architecture mismatch leaves the destination untouched.
+  rl::PpoAgent wide(9, 3, cfg);
+  nn::Mlp wrong = wide.actor();
+  const std::vector<float> before = wrong.flatten();
+  EXPECT_THROW(decode_agent_actor(encode_agent_payload(agent), wrong), std::invalid_argument);
+  EXPECT_EQ(wrong.flatten(), before);
+}
+
+TEST_F(CheckpointTest, SnapshotDirConcurrentWriterNeverTearsReader) {
+  // The serving hot-swap protocol: a trainer rotates generations while a
+  // server loads the newest. Whatever interleaving the scheduler picks,
+  // a load must return an internally consistent generation (the payload's
+  // bytes all match its ordinal) or cleanly the previous one — never a
+  // torn mix, even while pruning unlinks files a reader may be opening.
+  const SnapshotDir store(dir_ + "/swap", ContentKind::kAgent, "policy", 2);
+  constexpr std::uint64_t kGenerations = 60;
+  constexpr std::size_t kPayload = 8192;
+
+  const auto payload_for = [](std::uint64_t ordinal) {
+    std::vector<std::uint8_t> p(kPayload);
+    for (std::size_t i = 0; i < p.size(); ++i)
+      p[i] = static_cast<std::uint8_t>((ordinal * 31 + i * 7) & 0xFF);
+    return p;
+  };
+
+  std::atomic<std::uint64_t> published{0};
+  std::thread writer([&] {
+    for (std::uint64_t g = 1; g <= kGenerations; ++g) {
+      store.write(g, payload_for(g));
+      published.store(g, std::memory_order_release);
+    }
+  });
+
+  std::uint64_t last_seen = 0;
+  std::size_t loads = 0;
+  while (last_seen < kGenerations) {
+    const auto loaded = store.load_newest_valid();
+    if (!loaded) {
+      // Only possible before the first write has landed.
+      EXPECT_EQ(published.load(std::memory_order_acquire), 0u);
+      continue;
+    }
+    ++loads;
+    EXPECT_GE(loaded->ordinal, last_seen);  // rotation never goes backwards
+    last_seen = loaded->ordinal;
+    EXPECT_EQ(loaded->payload, payload_for(loaded->ordinal))
+        << "torn generation " << loaded->ordinal;
+  }
+  writer.join();
+  EXPECT_EQ(last_seen, kGenerations);
+  EXPECT_GT(loads, 0u);
 }
 
 }  // namespace

@@ -138,6 +138,33 @@ TEST_F(ObsMetricsTest, DefaultTimeBoundsAreAscendingMicroseconds) {
   for (std::size_t i = 1; i < bounds.size(); ++i) EXPECT_LT(bounds[i - 1], bounds[i]);
 }
 
+TEST_F(ObsMetricsTest, FineTimeBoundsResolveSubMicrosecondLatencies) {
+  const std::vector<double> bounds = Histogram::fine_time_bounds_us();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_DOUBLE_EQ(bounds.front(), 0.01);  // 10 ns
+  EXPECT_DOUBLE_EQ(bounds.back(), 1e6);    // 1 s
+  for (std::size_t i = 1; i < bounds.size(); ++i) EXPECT_LT(bounds[i - 1], bounds[i]);
+
+  // A ~0.5us decision and a ~50us batch wait land in different buckets of
+  // the fine layout (in the default layout both collapse into low bins).
+  Histogram fine(bounds);
+  for (int i = 0; i < 1000; ++i) fine.record(0.5);
+  EXPECT_GT(fine.quantile(0.5), 0.2);
+  EXPECT_LT(fine.quantile(0.5), 1.0);
+}
+
+TEST_F(ObsMetricsTest, FineMacroRegistersFineLayoutFirstWins) {
+  PFRL_HISTOGRAM_RECORD_FINE("test/fine_hist", 0.5);
+  const Histogram& h = metrics().histogram("test/fine_hist");
+  // First registration fixed the fine layout; existing callers using the
+  // plain macro on other names keep the default layout.
+  EXPECT_EQ(h.bounds(), Histogram::fine_time_bounds_us());
+  EXPECT_EQ(h.count(), 1u);
+  PFRL_HISTOGRAM_RECORD("test/plain_hist", 5.0);
+  EXPECT_EQ(metrics().histogram("test/plain_hist").bounds(),
+            Histogram::default_time_bounds_us());
+}
+
 TEST_F(ObsMetricsTest, RegistryInternsByNameAndSnapshotsSorted) {
   Counter& a = metrics().counter("test/interned");
   Counter& b = metrics().counter("test/interned");

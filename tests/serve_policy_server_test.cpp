@@ -1,0 +1,306 @@
+#include "serve/policy_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/load_gen.hpp"
+#include "util/rng.hpp"
+
+namespace pfrl::serve {
+namespace {
+
+class PolicyServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("pfrl_serve_" + std::string(info->name()) + "_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static rl::PpoAgent make_agent(std::uint64_t seed, std::size_t state_dim = 6,
+                                 int actions = 4) {
+    rl::PpoConfig cfg;
+    cfg.seed = seed;
+    return rl::PpoAgent(state_dim, actions, cfg);
+  }
+
+  static int greedy_action(const nn::Mlp& actor, std::span<const float> state) {
+    std::vector<float> logits(actor.output_dim());
+    actor.forward_row(state, logits);
+    return static_cast<int>(std::distance(
+        logits.begin(), std::max_element(logits.begin(), logits.end())));
+  }
+
+  std::string dir_;
+};
+
+/// Thread-safe (id, action) recorder.
+class RecordingSink final : public DecisionSink {
+ public:
+  void on_decision(std::uint64_t request_id, int action) override {
+    const std::scoped_lock lock(mutex_);
+    decisions_.emplace_back(request_id, action);
+  }
+  std::vector<std::pair<std::uint64_t, int>> decisions() const {
+    const std::scoped_lock lock(mutex_);
+    return decisions_;
+  }
+  std::size_t count() const {
+    const std::scoped_lock lock(mutex_);
+    return decisions_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::uint64_t, int>> decisions_;
+};
+
+TEST_F(PolicyServerTest, DecisionsMatchReferenceGreedyArgmax) {
+  rl::PpoAgent agent = make_agent(7);
+  PolicyServerConfig cfg;
+  cfg.shards = 2;
+  PolicyServer server(agent.actor(), cfg);
+  server.start();
+
+  util::Rng rng(3);
+  constexpr std::size_t kRequests = 200;
+  std::vector<std::vector<float>> states(kRequests);
+  RecordingSink sink;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    states[i].resize(server.state_dim());
+    for (float& v : states[i]) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    while (!server.submit(static_cast<std::uint32_t>(i % 5), states[i], i, sink))
+      std::this_thread::yield();
+  }
+  server.stop();
+
+  const auto decisions = sink.decisions();
+  ASSERT_EQ(decisions.size(), kRequests);
+  for (const auto& [id, action] : decisions)
+    EXPECT_EQ(action, greedy_action(agent.actor(), states[id])) << "request " << id;
+}
+
+TEST_F(PolicyServerTest, SubmitValidatesStateDimension) {
+  rl::PpoAgent agent = make_agent(7);
+  PolicyServer server(agent.actor());
+  RecordingSink sink;
+  const std::vector<float> wrong(server.state_dim() + 1, 0.0F);
+  EXPECT_THROW((void)server.submit(0, wrong, 0, sink), std::invalid_argument);
+}
+
+TEST_F(PolicyServerTest, FullShardShedsInsteadOfBlocking) {
+  rl::PpoAgent agent = make_agent(8);
+  PolicyServerConfig cfg;
+  cfg.shards = 1;
+  cfg.queue_capacity = 2;  // tiny ring
+  PolicyServer server(agent.actor(), cfg);
+  // Workers not started: the ring fills, then submit() sheds.
+  RecordingSink sink;
+  const std::vector<float> state(server.state_dim(), 0.5F);
+  EXPECT_TRUE(server.submit(0, state, 0, sink));
+  EXPECT_TRUE(server.submit(0, state, 1, sink));
+  EXPECT_FALSE(server.submit(0, state, 2, sink));
+  EXPECT_EQ(server.shed(), 1u);
+
+  server.start();
+  server.stop();  // drains the two accepted requests
+  EXPECT_EQ(server.decisions(), 2u);
+  const auto decisions = sink.decisions();
+  ASSERT_EQ(decisions.size(), 2u);
+  // The shed request (id 2) never got a callback.
+  for (const auto& [id, action] : decisions) EXPECT_LT(id, 2u);
+}
+
+TEST_F(PolicyServerTest, StopDrainsEveryAcceptedRequest) {
+  rl::PpoAgent agent = make_agent(9);
+  PolicyServerConfig cfg;
+  cfg.shards = 2;
+  PolicyServer server(agent.actor(), cfg);
+  server.start();
+  RecordingSink sink;
+  const std::vector<float> state(server.state_dim(), 0.25F);
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < 500; ++i)
+    if (server.submit(static_cast<std::uint32_t>(i % 7), state, i, sink)) ++accepted;
+  server.stop();
+  EXPECT_EQ(sink.count(), accepted);
+  EXPECT_EQ(server.decisions(), accepted);
+}
+
+TEST_F(PolicyServerTest, HotSwapMidServeIsAtomicAndMonotone) {
+  // Two policies whose greedy actions differ on a probe state; a trainer
+  // (writer thread) publishes B while the server is answering requests
+  // with A. Every decision must be exactly A's or B's answer — a torn
+  // model would produce neither — and once B appears it must stick.
+  rl::PpoAgent agent_a = make_agent(21);
+  rl::PpoAgent agent_b = make_agent(22);
+
+  util::Rng rng(5);
+  std::vector<float> probe(agent_a.actor().input_dim());
+  int action_a = 0;
+  int action_b = 0;
+  for (int attempt = 0;; ++attempt) {
+    ASSERT_LT(attempt, 1000) << "no state distinguishes the two policies";
+    for (float& v : probe) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    action_a = greedy_action(agent_a.actor(), probe);
+    action_b = greedy_action(agent_b.actor(), probe);
+    if (action_a != action_b) break;
+  }
+
+  const core::SnapshotDir store = policy_snapshot_dir(dir_ + "/gen");
+  PolicyServerConfig cfg;
+  cfg.shards = 1;  // one shard -> adoption order is total
+  cfg.snapshot_poll = std::chrono::milliseconds(2);
+  PolicyServer server(agent_a.actor(), cfg);
+  server.watch_snapshots(dir_ + "/gen");
+  EXPECT_EQ(server.model_epoch(), 0u);  // nothing published yet
+  server.start();
+
+  RecordingSink sink;
+  std::uint64_t next_id = 0;
+  bool swapped_written = false;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (true) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "swap never observed";
+    while (!server.submit(0, probe, next_id, sink)) std::this_thread::yield();
+    ++next_id;
+    if (next_id == 50 && !swapped_written) {
+      write_policy_snapshot(store, 1, agent_b);
+      swapped_written = true;
+    }
+    const auto decisions = sink.decisions();
+    if (!decisions.empty() && decisions.back().second == action_b) break;
+    std::this_thread::yield();
+  }
+  server.stop();
+
+  EXPECT_EQ(server.model_epoch(), 1u);
+  EXPECT_GE(server.swap_count(), 1u);
+  EXPECT_EQ(server.swap_errors(), 0u);
+
+  const auto decisions = sink.decisions();
+  ASSERT_EQ(decisions.size(), next_id);  // nothing dropped across the swap
+  bool seen_b = false;
+  for (const auto& [id, action] : decisions) {
+    ASSERT_TRUE(action == action_a || action == action_b)
+        << "request " << id << " decided " << action << " — torn model?";
+    if (action == action_b) seen_b = true;
+    if (seen_b) EXPECT_EQ(action, action_b) << "reverted to the old policy after the swap";
+  }
+  EXPECT_TRUE(seen_b);
+}
+
+TEST_F(PolicyServerTest, WatchSnapshotsAdoptsNewestExistingGenerationBeforeStart) {
+  rl::PpoAgent agent_a = make_agent(31);
+  rl::PpoAgent agent_b = make_agent(32);
+  const core::SnapshotDir store = policy_snapshot_dir(dir_ + "/gen");
+  write_policy_snapshot(store, 1, agent_a);
+  write_policy_snapshot(store, 2, agent_b);
+
+  PolicyServer server(agent_a.actor());
+  server.watch_snapshots(dir_ + "/gen");
+  EXPECT_EQ(server.model_epoch(), 2u);
+  server.start();
+
+  util::Rng rng(6);
+  std::vector<float> state(server.state_dim());
+  for (float& v : state) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  RecordingSink sink;
+  while (!server.submit(0, state, 0, sink)) std::this_thread::yield();
+  server.stop();
+  const auto decisions = sink.decisions();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].second, greedy_action(agent_b.actor(), state));
+}
+
+TEST_F(PolicyServerTest, UndecodableGenerationKeepsServingCurrentModel) {
+  rl::PpoAgent agent = make_agent(41);
+  const core::SnapshotDir store = policy_snapshot_dir(dir_ + "/gen");
+  // The newest generation validates as a container but holds a different
+  // architecture — decode fails after the CRC passes. The server counts a
+  // swap error and keeps its current model instead of crashing or
+  // publishing garbage.
+  rl::PpoAgent mismatched = make_agent(42, /*state_dim=*/9, /*actions=*/5);
+  write_policy_snapshot(store, 1, mismatched);
+
+  PolicyServer server(agent.actor());
+  server.watch_snapshots(dir_ + "/gen");
+  EXPECT_EQ(server.model_epoch(), 0u);  // construction-time model kept
+  EXPECT_EQ(server.swap_errors(), 1u);
+
+  // Decisions still flow, on the construction-time actor.
+  server.start();
+  const std::vector<float> state(server.state_dim(), 0.5F);
+  RecordingSink sink;
+  while (!server.submit(0, state, 0, sink)) std::this_thread::yield();
+  server.stop();
+  ASSERT_EQ(sink.count(), 1u);
+  EXPECT_EQ(sink.decisions()[0].second, greedy_action(agent.actor(), state));
+}
+
+TEST_F(PolicyServerTest, CorruptNewestFileFallsBackToPreviousGeneration) {
+  rl::PpoAgent agent_a = make_agent(51);
+  rl::PpoAgent agent_b = make_agent(52);
+  const core::SnapshotDir store = policy_snapshot_dir(dir_ + "/gen");
+  write_policy_snapshot(store, 1, agent_a);
+  write_policy_snapshot(store, 2, agent_b);
+  {  // bit-flip one payload byte of the newest generation on disk
+    std::fstream f(dir_ + "/gen/policy-2.pfc",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(24);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5A);
+    f.seekp(24);
+    f.write(&byte, 1);
+  }
+  PolicyServer server(agent_a.actor());
+  server.watch_snapshots(dir_ + "/gen");
+  // SnapshotDir skips the torn file; generation 1 is served.
+  EXPECT_EQ(server.model_epoch(), 1u);
+  EXPECT_EQ(server.swap_errors(), 0u);
+}
+
+TEST_F(PolicyServerTest, RunLoadDeliversEveryRequest) {
+  rl::PpoAgent agent = make_agent(61);
+  PolicyServerConfig cfg;
+  cfg.shards = 2;
+  PolicyServer server(agent.actor(), cfg);
+  server.start();
+  LoadGenConfig load;
+  load.tenants = 3;
+  load.requests_per_tenant = 2000;
+  load.window = 16;
+  const LoadGenReport report = run_load(server, load);
+  server.stop();
+  EXPECT_EQ(report.decisions, 3u * 2000u);
+  EXPECT_GT(report.decisions_per_sec, 0.0);
+  EXPECT_GT(report.batches, 0u);
+  EXPECT_GE(report.mean_batch, 1.0);
+  EXPECT_GE(report.p99_us, report.p50_us);
+}
+
+TEST_F(PolicyServerTest, ZeroConfigRejected) {
+  rl::PpoAgent agent = make_agent(71);
+  PolicyServer server(agent.actor());
+  LoadGenConfig load;
+  load.tenants = 0;
+  EXPECT_THROW((void)run_load(server, load), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfrl::serve

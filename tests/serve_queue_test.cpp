@@ -1,0 +1,104 @@
+#include "serve/request_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace pfrl::serve {
+namespace {
+
+TEST(BoundedMpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(BoundedMpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(BoundedMpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(BoundedMpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(BoundedMpscQueue<int>(4096).capacity(), 4096u);
+  EXPECT_EQ(BoundedMpscQueue<int>(5000).capacity(), 8192u);
+}
+
+TEST(BoundedMpscQueue, FifoSingleThread) {
+  BoundedMpscQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(BoundedMpscQueue, FullQueueRejectsInsteadOfBlocking) {
+  BoundedMpscQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // shed, not blocked
+  int out = -1;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(q.try_push(4));  // slot freed, accepted again
+  EXPECT_EQ(q.approx_size(), 4u);
+}
+
+TEST(BoundedMpscQueue, WrapsAroundManyTimes) {
+  BoundedMpscQueue<std::uint64_t> q(4);
+  std::uint64_t out = 0;
+  for (std::uint64_t v = 0; v < 1000; ++v) {
+    ASSERT_TRUE(q.try_push(v));
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(BoundedMpscQueue, ManyProducersOneConsumerLosesNothing) {
+  // The serving shape: tenant threads push, one shard worker drains.
+  constexpr std::size_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 20000;
+  BoundedMpscQueue<std::uint64_t> q(256);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p)
+    producers.emplace_back([&q, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t item = p * kPerProducer + i;
+        while (!q.try_push(item)) std::this_thread::yield();
+      }
+    });
+
+  std::vector<std::uint64_t> last_seen(kProducers, 0);
+  std::vector<std::uint64_t> counts(kProducers, 0);
+  std::uint64_t drained = 0;
+  while (drained < kProducers * kPerProducer) {
+    std::uint64_t item = 0;
+    if (!q.try_pop(item)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const std::size_t p = item / kPerProducer;
+    ASSERT_LT(p, kProducers);
+    // Per-producer FIFO: items from one producer arrive in program order.
+    if (counts[p] > 0) EXPECT_GT(item, last_seen[p]);
+    last_seen[p] = item;
+    ++counts[p];
+    ++drained;
+  }
+  for (std::thread& t : producers) t.join();
+  for (std::size_t p = 0; p < kProducers; ++p) EXPECT_EQ(counts[p], kPerProducer);
+  std::uint64_t leftover = 0;
+  EXPECT_FALSE(q.try_pop(leftover));
+}
+
+TEST(BoundedMpscQueue, ApproxSizeTracksOccupancy) {
+  BoundedMpscQueue<int> q(8);
+  EXPECT_EQ(q.approx_size(), 0u);
+  for (int i = 0; i < 5; ++i) (void)q.try_push(i);
+  EXPECT_EQ(q.approx_size(), 5u);
+  int out = 0;
+  (void)q.try_pop(out);
+  (void)q.try_pop(out);
+  EXPECT_EQ(q.approx_size(), 3u);
+}
+
+}  // namespace
+}  // namespace pfrl::serve

@@ -187,6 +187,63 @@ TEST(ThreadPool, GaugeInvariantHoldsUnderConcurrentSampling) {
   EXPECT_GE(pool.peak_queue_depth(), 1u);
 }
 
+TEST(ThreadPool, TrySubmitRunsUnderTheBound) {
+  ThreadPool pool(1);
+  auto f = pool.try_submit([] { return 7; }, 4);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->get(), 7);
+  EXPECT_EQ(pool.rejected(), 0u);
+}
+
+TEST(ThreadPool, TrySubmitRejectsWhenQueueAtBound) {
+  ThreadPool pool(1);
+  // Gate the single worker so queued tasks cannot drain.
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  bool started = false;
+  auto gate = pool.submit([&] {
+    std::unique_lock lock(m);
+    started = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  });
+  {
+    std::unique_lock lock(m);
+    cv.wait(lock, [&] { return started; });
+  }
+
+  std::atomic<int> ran{0};
+  auto a = pool.try_submit([&] { ran.fetch_add(1); }, 2);
+  auto b = pool.try_submit([&] { ran.fetch_add(1); }, 2);
+  EXPECT_TRUE(a.has_value());
+  EXPECT_TRUE(b.has_value());
+  // Queue now holds 2 pending tasks: at the bound, so the next is shed.
+  auto c = pool.try_submit([&] { ran.fetch_add(1); }, 2);
+  EXPECT_FALSE(c.has_value());
+  EXPECT_EQ(pool.rejected(), 1u);
+
+  {
+    const std::scoped_lock lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  gate.get();
+  a->get();
+  b->get();
+  EXPECT_EQ(ran.load(), 2);  // the shed task never ran
+  // Accounting: sheds are not submissions.
+  EXPECT_EQ(pool.submitted(), 3u);
+}
+
+TEST(ThreadPool, TrySubmitAfterShutdownRejectsInsteadOfThrowing) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  auto f = pool.try_submit([] { return 1; }, 8);
+  EXPECT_FALSE(f.has_value());
+  EXPECT_EQ(pool.rejected(), 1u);
+}
+
 TEST(ThreadPool, DestructionDrainsQueue) {
   std::atomic<int> done{0};
   {

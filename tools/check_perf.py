@@ -1,15 +1,23 @@
 #!/usr/bin/env python3
-"""Compare a fresh micro_primitives perf record against the checked-in baseline.
+"""Compare fresh perf records against the checked-in baselines.
 
-Both files use the pfrl-perf/1 schema written by obs/perf_record.hpp
-(bench/micro_primitives.cpp dumps one per run). Metrics are matched by
-name; a metric whose fresh value exceeds baseline * (1 + threshold) is a
-regression and fails the check. Metrics present on only one side are
-reported but never fail the check (benchmarks come and go across PRs).
+All files use the pfrl-perf/1 schema written by obs/perf_record.hpp
+(bench/micro_primitives.cpp and bench/ext_serving_throughput.cpp dump one
+per run). Pass --baseline/--fresh once per record pair; pairs are matched
+positionally:
 
-Usage:
   tools/check_perf.py --baseline BENCH_micro_primitives.json \
-                      --fresh build/BENCH_fresh.json [--threshold 0.25]
+                      --fresh build/BENCH_fresh.json \
+                      --baseline BENCH_ext_serving_throughput.json \
+                      --fresh build/BENCH_fresh_serving.json [--threshold 0.25]
+
+Metrics are matched by name within a pair. Direction comes from the
+metric's unit: rates (unit ending in "/s") regress when the fresh value
+drops below baseline * (1 - threshold); durations in "ns"/"us" regress
+when it exceeds baseline * (1 + threshold). Other units (counts, gauges,
+coarse wall-clock totals) are reported but never gate — they describe the
+workload, not its speed. Metrics present on only one side are reported
+but never fail the check (benchmarks come and go across PRs).
 
 Exit codes: 0 = no regression, 1 = at least one regression, 2 = bad input.
 """
@@ -20,8 +28,11 @@ import argparse
 import json
 import sys
 
+LOWER_IS_BETTER_UNITS = {"ns", "us"}
 
-def load_metrics(path: str) -> dict[str, float]:
+
+def load_metrics(path: str) -> dict[str, tuple[float, str]]:
+    """name -> (value, unit) for one pfrl-perf/1 record."""
     try:
         with open(path, "r", encoding="utf-8") as fh:
             record = json.load(fh)
@@ -32,29 +43,25 @@ def load_metrics(path: str) -> dict[str, float]:
         print(f"check_perf: {path}: unexpected schema {record.get('schema')!r}",
               file=sys.stderr)
         sys.exit(2)
-    metrics: dict[str, float] = {}
+    metrics: dict[str, tuple[float, str]] = {}
     for metric in record.get("metrics", []):
         name, value = metric.get("name"), metric.get("value")
+        unit = metric.get("unit", "")
         if isinstance(name, str) and isinstance(value, (int, float)):
-            metrics[name] = float(value)
+            metrics[name] = (float(value), unit if isinstance(unit, str) else "")
     if not metrics:
         print(f"check_perf: {path}: no metrics", file=sys.stderr)
         sys.exit(2)
     return metrics
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True, help="checked-in perf record")
-    parser.add_argument("--fresh", required=True, help="freshly generated perf record")
-    parser.add_argument("--threshold", type=float, default=0.25,
-                        help="allowed relative slowdown (0.25 = +25%%)")
-    args = parser.parse_args()
+def compare_pair(baseline_path: str, fresh_path: str, threshold: float) -> list[str]:
+    """Prints the comparison table; returns the regressed metric lines."""
+    baseline = load_metrics(baseline_path)
+    fresh = load_metrics(fresh_path)
+    print(f"\n{baseline_path} vs {fresh_path}:")
 
-    baseline = load_metrics(args.baseline)
-    fresh = load_metrics(args.fresh)
-
-    regressions = []
+    regressions: list[str] = []
     width = max(len(n) for n in sorted(set(baseline) | set(fresh)))
     for name in sorted(set(baseline) | set(fresh)):
         if name not in baseline:
@@ -63,20 +70,44 @@ def main() -> int:
         if name not in fresh:
             print(f"  {name:<{width}}  (missing from fresh run)")
             continue
-        base, now = baseline[name], fresh[name]
+        (base, unit), (now, _) = baseline[name], fresh[name]
         ratio = now / base if base > 0 else float("inf")
-        marker = ""
-        if ratio > 1.0 + args.threshold:
-            marker = "  << REGRESSION"
-            regressions.append((name, base, now, ratio))
-        print(f"  {name:<{width}}  {base:>12.1f} -> {now:>12.1f} ns  ({ratio:5.2f}x){marker}")
+        if unit.endswith("/s"):
+            regressed, direction = now < base * (1.0 - threshold), "rate"
+        elif unit in LOWER_IS_BETTER_UNITS:
+            regressed, direction = now > base * (1.0 + threshold), "time"
+        else:
+            regressed, direction = False, "info"
+        marker = "  << REGRESSION" if regressed else ""
+        print(f"  {name:<{width}}  {base:>14.1f} -> {now:>14.1f} {unit or '-':<12}"
+              f"({ratio:5.2f}x, {direction}){marker}")
+        if regressed:
+            regressions.append(f"{name}: {base:.1f} -> {now:.1f} {unit} ({ratio:.2f}x)")
+    return regressions
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", action="append", required=True,
+                        help="checked-in perf record (repeatable)")
+    parser.add_argument("--fresh", action="append", required=True,
+                        help="freshly generated perf record (paired with --baseline)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative change (0.25 = 25%%)")
+    args = parser.parse_args()
+    if len(args.baseline) != len(args.fresh):
+        print("check_perf: --baseline and --fresh must be paired", file=sys.stderr)
+        return 2
+
+    regressions: list[str] = []
+    for baseline_path, fresh_path in zip(args.baseline, args.fresh):
+        regressions += compare_pair(baseline_path, fresh_path, args.threshold)
 
     if regressions:
         print(f"\ncheck_perf: {len(regressions)} metric(s) regressed more than "
               f"{args.threshold:.0%}:", file=sys.stderr)
-        for name, base, now, ratio in regressions:
-            print(f"  {name}: {base:.1f} ns -> {now:.1f} ns ({ratio:.2f}x)",
-                  file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
         return 1
     print(f"\ncheck_perf: OK ({args.threshold:.0%} threshold)")
     return 0

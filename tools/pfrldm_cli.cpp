@@ -17,6 +17,10 @@
 //       Run the federated server of a multi-process federation.
 //   pfrldm client --connect unix:/tmp/fed.sock --index 0 ...
 //       Run one federated client process (same config flags as serve).
+//   pfrldm serve-policy --checkpoint DIR [--client I] [--snapshot-dir DIR]
+//       Serve scheduling decisions from a trained policy to simulated
+//       tenants (in-process load generator); --snapshot-dir hot-swaps in
+//       new policy generations while serving.
 //
 // Global options (any command): --log-level debug|info|warn|error|off,
 // --metrics-out FILE (CSV metrics snapshot at exit), --trace-out FILE
@@ -37,6 +41,8 @@
 #include "core/federation.hpp"
 #include "core/net_federation.hpp"
 #include "obs/obs.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/policy_server.hpp"
 #include "stats/summary.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
@@ -71,6 +77,10 @@ int usage() {
       "           [--checkpoint-dir DIR [--checkpoint-every N] [--resume]]\n"
       "           [--connect-deadline-ms N] [--download-deadline-ms N]\n"
       "           [--idle-timeout-ms N] [--result-out FILE]\n"
+      "  serve-policy [--checkpoint DIR] [--client I] [--algorithm ALG --table 2|3]\n"
+      "           [--snapshot-dir DIR [--snapshot-poll-ms N]]\n"
+      "           [--shards N] [--max-batch N] [--queue-capacity N] [--coalesce-us N]\n"
+      "           [--tenants N] [--requests N] [--window N] [--summary-out FILE]\n"
       "endpoints: unix:/path/to.sock or host:port (port 0 = ephemeral)\n"
       "algorithms: pfrl-dm fedavg mfpo fedprox fedkl ppo\n"
       "global options:\n"
@@ -451,6 +461,91 @@ int cmd_client(const util::Cli& cli) {
   return result.completed ? 0 : 1;
 }
 
+/// `serve-policy`: load a trained policy and answer placement requests
+/// from simulated tenants (the in-process load generator). With
+/// --snapshot-dir the server hot-swaps new policy generations mid-serve —
+/// point it at a directory a trainer is writing policy snapshots into.
+int cmd_serve_policy(const util::Cli& cli) {
+  // Rebuild client `index` exactly as training did, so the agent's
+  // architecture matches the checkpoint bit for bit.
+  const auto index = static_cast<std::size_t>(cli.get_int("client", 0));
+  const std::vector<core::ClientPreset> presets = presets_for(cli);
+  if (index >= presets.size())
+    throw std::invalid_argument("--client " + std::to_string(index) + " out of range (" +
+                                std::to_string(presets.size()) + " presets)");
+  core::SingleClientBuild build = core::build_single_client(presets, federation_config(cli), index);
+  rl::PpoAgent& agent = build.client->agent();
+  const std::string checkpoint = cli.get("checkpoint", "");
+  if (!checkpoint.empty()) {
+    const std::string path =
+        (std::filesystem::path(checkpoint) / ("client_" + std::to_string(index) + ".ckpt"))
+            .string();
+    core::load_agent(agent, path);
+    std::printf("loaded policy from %s\n", path.c_str());
+  }
+
+  serve::PolicyServerConfig server_cfg;
+  server_cfg.shards = static_cast<std::size_t>(cli.get_int("shards", 2));
+  server_cfg.queue_capacity = static_cast<std::size_t>(cli.get_int("queue-capacity", 4096));
+  server_cfg.max_batch = static_cast<std::size_t>(cli.get_int("max-batch", 64));
+  server_cfg.coalesce_wait_us = static_cast<std::uint32_t>(cli.get_int("coalesce-us", 0));
+  server_cfg.snapshot_poll = cli_ms(cli, "snapshot-poll-ms", 25);
+
+  serve::PolicyServer server(agent.actor(), server_cfg);
+  const std::string snapshot_dir = cli.get("snapshot-dir", "");
+  if (!snapshot_dir.empty()) {
+    server.watch_snapshots(snapshot_dir);
+    std::printf("watching %s for policy generations (poll %lld ms)\n", snapshot_dir.c_str(),
+                static_cast<long long>(server_cfg.snapshot_poll.count()));
+  }
+  server.start();
+
+  serve::LoadGenConfig load_cfg;
+  load_cfg.tenants = static_cast<std::size_t>(cli.get_int("tenants", 8));
+  load_cfg.requests_per_tenant = static_cast<std::size_t>(cli.get_int("requests", 5000));
+  load_cfg.window = static_cast<std::size_t>(cli.get_int("window", 32));
+  load_cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  std::printf("serving on %zu shards (state dim %zu, %d actions); %zu tenants x %zu requests\n",
+              server.shard_count(), server.state_dim(), server.action_count(), load_cfg.tenants,
+              load_cfg.requests_per_tenant);
+  std::fflush(stdout);
+
+  const serve::LoadGenReport r = serve::run_load(server, load_cfg);
+  server.stop();
+
+  util::TablePrinter table({"metric", "value"});
+  table.row({"decisions", std::to_string(r.decisions)});
+  table.row({"decisions/sec", util::TablePrinter::num(r.decisions_per_sec, 0)});
+  table.row({"latency p50 (us)", util::TablePrinter::num(r.p50_us, 2)});
+  table.row({"latency p95 (us)", util::TablePrinter::num(r.p95_us, 2)});
+  table.row({"latency p99 (us)", util::TablePrinter::num(r.p99_us, 2)});
+  table.row({"mean batch", util::TablePrinter::num(r.mean_batch, 2)});
+  table.row({"backpressure retries", std::to_string(r.retries)});
+  table.row({"hot swaps", std::to_string(server.swap_count())});
+  table.row({"swap errors", std::to_string(server.swap_errors())});
+  table.row({"model epoch", std::to_string(server.model_epoch())});
+  table.print();
+
+  char json[1024];
+  std::snprintf(json, sizeof(json),
+                "{\"schema\": \"pfrl-serve/1\", \"decisions\": %llu, "
+                "\"decisions_per_sec\": %.1f, \"p50_us\": %.3f, \"p95_us\": %.3f, "
+                "\"p99_us\": %.3f, \"mean_batch\": %.2f, \"retries\": %llu, "
+                "\"batches\": %llu, \"swaps\": %llu, \"swap_errors\": %llu, "
+                "\"model_epoch\": %llu, \"shards\": %zu, \"tenants\": %zu, "
+                "\"wall_seconds\": %.3f}",
+                static_cast<unsigned long long>(r.decisions), r.decisions_per_sec, r.p50_us,
+                r.p95_us, r.p99_us, r.mean_batch, static_cast<unsigned long long>(r.retries),
+                static_cast<unsigned long long>(r.batches),
+                static_cast<unsigned long long>(server.swap_count()),
+                static_cast<unsigned long long>(server.swap_errors()),
+                static_cast<unsigned long long>(server.model_epoch()), server.shard_count(),
+                load_cfg.tenants, r.wall_seconds);
+  write_json_file(cli.get("summary-out", ""), json);
+  std::printf("%s\n", json);
+  return r.decisions > 0 ? 0 : 1;
+}
+
 int cmd_evaluate(const util::Cli& cli) {
   const std::string checkpoint = cli.get("checkpoint", "");
   if (checkpoint.empty()) return usage();
@@ -480,6 +575,7 @@ int main(int argc, char** argv) {
     if (command == "evaluate") return cmd_evaluate(cli);
     if (command == "serve") return cmd_serve(cli);
     if (command == "client") return cmd_client(cli);
+    if (command == "serve-policy") return cmd_serve_policy(cli);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
