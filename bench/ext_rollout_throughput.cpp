@@ -1,0 +1,129 @@
+// Extension: rollout-collection throughput of the vectorized engine.
+// Sweeps the envs-per-sweep width E over the paper's scheduling
+// environment and measures aggregate env-steps/sec of pure collection
+// (no PPO update): E replica environments stepped in lockstep, one
+// forward_batch GEMM per step producing every logit/value row. E = 1 is
+// the serial reference — collect_sweep routes a single active row through
+// the exact forward_row path train_episode uses, so the speedup column is
+// "vectorized vs serial", not "vectorized vs strawman".
+//
+// The check_perf gate tracks steps/sec at each width (rate metrics, so
+// only drops regress) plus the E=16 speedup as an info metric; the ≥3x
+// acceptance line is printed at the bottom.
+//
+//   ext_rollout_throughput [--max-envs N] [--min-time-ms MS]
+//                          [--tasks N] [--seed S]
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/presets.hpp"
+#include "env/scheduling_env.hpp"
+#include "rl/ppo.hpp"
+#include "rl/vec_env.hpp"
+
+using namespace pfrl;
+
+namespace {
+
+struct WidthResult {
+  std::size_t width = 0;
+  double steps_per_sec = 0.0;
+  double ns_per_step = 0.0;
+  std::size_t steps_measured = 0;
+};
+
+/// Best-of-`trials` collection throughput at sweep width `width`: repeat
+/// full sweeps until `min_time_s` elapses, count transitions, keep the
+/// fastest trial (the one least disturbed by the machine).
+WidthResult measure(rl::PpoAgent& agent, rl::VecEnv& vec, std::size_t width, double min_time_s,
+                    int trials) {
+  rl::RolloutBuffer buffer;
+  std::vector<double> rewards;
+  agent.collect_sweep(vec, width, buffer, rewards);  // warm every workspace
+
+  WidthResult result;
+  result.width = width;
+  for (int t = 0; t < trials; ++t) {
+    util::Stopwatch clock;
+    std::size_t steps = 0;
+    do {
+      buffer.clear();
+      rewards.clear();
+      agent.collect_sweep(vec, width, buffer, rewards);
+      steps += buffer.size();
+    } while (clock.seconds() < min_time_s);
+    const double rate = static_cast<double>(steps) / clock.seconds();
+    if (rate > result.steps_per_sec) {
+      result.steps_per_sec = rate;
+      result.ns_per_step = 1e9 / rate;
+      result.steps_measured = steps;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::Options::parse(argc, argv);
+  const util::Cli cli(argc, argv);
+  bench::Session session(opt, "ext_rollout_throughput");
+  bench::print_banner("Extension: vectorized rollout throughput",
+                      "env-steps/sec vs envs-per-sweep on the GEMM collection path", opt);
+
+  // Client 1 of Table 2 under the bench scale; every replica shares the
+  // same config and trace, so widths differ only in batching.
+  const core::ClientPreset preset = core::table2_clients().front();
+  const core::FederationLayout layout = core::layout_for({&preset, 1}, opt.scale);
+  const env::SchedulingEnvConfig env_cfg = core::make_env_config(preset, layout, opt.scale);
+  const workload::Trace trace = core::make_trace(preset, opt.scale, opt.seed);
+
+  const auto max_envs = static_cast<std::size_t>(cli.get_int("max-envs", 64));
+  const double min_time_s = static_cast<double>(cli.get_int("min-time-ms", 300)) / 1000.0;
+  std::vector<std::unique_ptr<env::Env>> replicas;
+  replicas.reserve(max_envs);
+  for (std::size_t i = 0; i < max_envs; ++i)
+    replicas.push_back(std::make_unique<env::SchedulingEnv>(env_cfg, trace));
+  rl::VecEnv vec(std::move(replicas));
+
+  rl::PpoConfig ppo;
+  ppo.seed = opt.seed;
+  rl::PpoAgent agent(vec.state_dim(), vec.action_count(), ppo);
+  std::printf("env: %zu tasks/episode trace, state dim %zu, %d actions; policy %zu x %zu\n\n",
+              trace.size(), vec.state_dim(), vec.action_count(), vec.state_dim(),
+              static_cast<std::size_t>(vec.action_count()));
+
+  std::vector<std::size_t> widths{1, 4, 16};
+  if (max_envs >= 64) widths.push_back(64);
+  util::TablePrinter table({"envs/sweep", "steps/s", "ns/step", "speedup vs E=1", "steps timed"});
+  std::vector<WidthResult> results;
+  for (const std::size_t width : widths) {
+    results.push_back(measure(agent, vec, width, min_time_s, 3));
+    const WidthResult& r = results.back();
+    const double speedup = r.steps_per_sec / results.front().steps_per_sec;
+    table.row({std::to_string(width), util::TablePrinter::num(r.steps_per_sec, 0),
+               util::TablePrinter::num(r.ns_per_step, 1), util::TablePrinter::num(speedup, 2),
+               std::to_string(r.steps_measured)});
+    session.record().add("rollout.steps_per_sec_e" + std::to_string(width), r.steps_per_sec,
+                         "steps/s");
+  }
+  table.print();
+
+  const auto at = [&](std::size_t width) -> const WidthResult* {
+    for (const WidthResult& r : results)
+      if (r.width == width) return &r;
+    return nullptr;
+  };
+  if (const WidthResult* e16 = at(16)) {
+    const double speedup = e16->steps_per_sec / results.front().steps_per_sec;
+    session.record().add("rollout.speedup_e16", speedup, "x");
+    std::printf("\ngated: %.0f steps/s serial, %.0f steps/s at E=16 (%.2fx, target >= 3x %s)\n",
+                results.front().steps_per_sec, e16->steps_per_sec, speedup,
+                speedup >= 3.0 ? "met" : "NOT met");
+  }
+  return 0;
+}

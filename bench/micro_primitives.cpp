@@ -78,6 +78,24 @@ void BM_MlpForward(benchmark::State& state) {
 }
 BENCHMARK(BM_MlpForward)->Arg(1)->Arg(64)->Arg(512);
 
+// The vectorized-rollout inference shape: E sweep lanes packed into one
+// (E × state_dim) batch through the paper-scale actor (state 190, 6
+// actions). This is the GEMM that replaces E fused GEMVs per sweep step.
+void BM_MlpForwardBatch(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  nn::Mlp net(190, {64}, 6, rng);
+  nn::Matrix x(batch, 190);
+  for (float& v : x.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto _ : state) {
+    const nn::Matrix& y = net.forward_batch(x);
+    benchmark::DoNotOptimize(y.flat().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_MlpForwardBatch)->Arg(4)->Arg(16)->Arg(64);
+
 // The policy-step inference shape (actor of §3.1): fused GEMV chain
 // through preallocated scratch, zero heap allocations per call.
 void BM_MlpForwardRow(benchmark::State& state) {

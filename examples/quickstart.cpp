@@ -3,9 +3,15 @@
 // test split.
 //
 //   ./quickstart [--episodes N] [--tasks N] [--seed S]
+//               [--envs-per-client E]
 //               [--checkpoint-dir DIR] [--resume]
 //               [--metrics-out FILE] [--trace-out FILE] [--run-dir DIR]
 //               [--log-level L]
+//
+// --envs-per-client E > 1 collects rollouts through the vectorized
+// engine: E replicas of the training env stepped in lockstep, policy
+// inference batched into one GEMM per step (DESIGN.md "Vectorized
+// rollout"). E = 1 is the serial path.
 //
 // --checkpoint-dir snapshots the full training state (network weights,
 // Adam moments, RNG stream, reward curve) after every episode as rotated
@@ -17,10 +23,12 @@
 // as JSONL while training runs, and --run-dir writes a run directory
 // (manifest.json + learning.jsonl + summary.json) that
 // tools/pfrl_report.py renders into a report.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "core/checkpoint.hpp"
 #include "core/presets.hpp"
@@ -48,6 +56,11 @@ int main(int argc, char** argv) {
   scale.episodes = static_cast<std::size_t>(cli.get_int("episodes", 30));
   scale.tasks_per_client = static_cast<std::size_t>(cli.get_int("tasks", 100));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const auto envs_per_client = static_cast<std::size_t>(cli.get_int("envs-per-client", 1));
+  if (envs_per_client == 0) {
+    std::fprintf(stderr, "--envs-per-client must be at least 1\n");
+    return 1;
+  }
 
   // Client 1 of Table 2: Google workload on a small mixed cluster.
   const core::ClientPreset preset = core::table2_clients().front();
@@ -66,6 +79,19 @@ int main(int argc, char** argv) {
   rl::PpoConfig ppo;
   ppo.seed = seed;
   rl::PpoAgent agent(environment.state_dim(), environment.action_count(), ppo);
+
+  // E > 1: rollouts run through the vectorized engine on E replicas of
+  // the training env (same config, same trace).
+  std::unique_ptr<rl::VecEnv> vec_env;
+  if (envs_per_client > 1) {
+    std::vector<std::unique_ptr<env::Env>> replicas;
+    replicas.reserve(envs_per_client);
+    for (std::size_t i = 0; i < envs_per_client; ++i)
+      replicas.push_back(std::make_unique<env::SchedulingEnv>(
+          core::make_env_config(preset, layout, scale), train));
+    vec_env = std::make_unique<rl::VecEnv>(std::move(replicas));
+    std::printf("Vectorized rollouts: %zu envs per sweep\n", envs_per_client);
+  }
 
   // With --run-dir, every episode becomes one learning.jsonl "round" for
   // this single local agent; the watchdog screens the diagnostics as they
@@ -106,43 +132,56 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\nTraining %zu episodes...\n", scale.episodes);
-  for (std::size_t e = start_episode; e < scale.episodes; ++e) {
-    const rl::EpisodeStats stats = agent.train_episode(environment);
-    rewards.push_back(stats.total_reward);
+  for (std::size_t e = start_episode; e < scale.episodes;) {
+    // One sweep trains width episodes in lockstep (width = 1 reproduces
+    // the serial loop exactly — the sweep IS the serial path then).
+    const std::size_t width = vec_env ? std::min(envs_per_client, scale.episodes - e) : 1;
+    std::vector<rl::EpisodeStats> batch;
+    if (vec_env) {
+      batch = agent.train_sweep(*vec_env, width);
+    } else {
+      batch.push_back(agent.train_episode(environment));
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const rl::EpisodeStats& stats = batch[i];
+      const std::size_t episode = e + i;
+      rewards.push_back(stats.total_reward);
+      if (reporter) {
+        obs::LearningRoundEvent event;
+        event.round = episode;
+        event.episodes_done = episode + 1;
+        obs::ClientRoundDiagnostics c;
+        c.id = 0;
+        c.episodes = 1;
+        c.mean_reward = stats.total_reward;
+        c.policy_entropy = stats.update.policy_entropy;
+        c.approx_kl = stats.update.approx_kl;
+        c.clip_fraction = stats.update.clip_fraction;
+        c.explained_variance = stats.update.explained_variance;
+        c.policy_grad_norm = stats.update.policy_grad_norm;
+        c.critic_grad_norm = stats.update.critic_grad_norm;
+        c.alpha = stats.update.alpha;
+        c.local_critic_loss = stats.update.local_critic_loss;
+        c.public_critic_loss = stats.update.public_critic_loss;
+        event.clients.push_back(std::move(c));
+        reporter->record_round(event);
+      }
+      if (episode % 5 == 0 || episode + 1 == scale.episodes)
+        std::printf(
+            "  episode %3zu  reward %9.2f  avg-response %7.2f s  util %4.1f%%  "
+            "steps %4zu inval %4zu lazy %3zu\n",
+            episode, stats.total_reward, stats.metrics.avg_response_time,
+            100.0 * stats.metrics.avg_utilization, stats.metrics.steps,
+            stats.metrics.invalid_actions, stats.metrics.lazy_noops);
+    }
+    e += width;
     if (snapshots) {
       util::ByteWriter writer;
       agent.save_training_state(writer);
-      writer.write_u64(static_cast<std::uint64_t>(e + 1));
+      writer.write_u64(static_cast<std::uint64_t>(e));
       writer.write_f64_span(rewards);
-      snapshots->write(e + 1, writer.bytes());
+      snapshots->write(e, writer.bytes());
     }
-    if (reporter) {
-      obs::LearningRoundEvent event;
-      event.round = e;
-      event.episodes_done = e + 1;
-      obs::ClientRoundDiagnostics c;
-      c.id = 0;
-      c.episodes = 1;
-      c.mean_reward = stats.total_reward;
-      c.policy_entropy = stats.update.policy_entropy;
-      c.approx_kl = stats.update.approx_kl;
-      c.clip_fraction = stats.update.clip_fraction;
-      c.explained_variance = stats.update.explained_variance;
-      c.policy_grad_norm = stats.update.policy_grad_norm;
-      c.critic_grad_norm = stats.update.critic_grad_norm;
-      c.alpha = stats.update.alpha;
-      c.local_critic_loss = stats.update.local_critic_loss;
-      c.public_critic_loss = stats.update.public_critic_loss;
-      event.clients.push_back(std::move(c));
-      reporter->record_round(event);
-    }
-    if (e % 5 == 0 || e + 1 == scale.episodes)
-      std::printf(
-          "  episode %3zu  reward %9.2f  avg-response %7.2f s  util %4.1f%%  "
-          "steps %4zu inval %4zu lazy %3zu\n",
-          e, stats.total_reward, stats.metrics.avg_response_time,
-          100.0 * stats.metrics.avg_utilization, stats.metrics.steps,
-          stats.metrics.invalid_actions, stats.metrics.lazy_noops);
   }
 
   environment.set_trace(test);

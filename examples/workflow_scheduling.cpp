@@ -89,14 +89,17 @@ int main(int argc, char** argv) {
                util::TablePrinter::num(test_env.metrics().avg_load_balance, 3)});
   };
 
+  // Persistent observation/mask buffers: the rollout loop reuses them
+  // instead of round-tripping through per-step temporaries.
+  std::vector<float> obs_buf(test_env.state_dim());
+  std::vector<std::uint8_t> mask_buf(static_cast<std::size_t>(test_env.action_count()));
   run_episode(test_env, [&](env::WorkflowEnv& e) {
-    std::vector<float> s(e.state_dim());
-    e.observe(s);
-    std::vector<bool> mask = e.valid_actions();
+    e.observe(obs_buf);
+    e.valid_actions_into(mask_buf);
     bool any = false;
-    for (std::size_t a = 0; a + 1 < mask.size(); ++a) any |= mask[a];
-    if (any) mask.back() = false;
-    return agent.act_greedy_masked(s, mask);
+    for (std::size_t a = 0; a + 1 < mask_buf.size(); ++a) any |= mask_buf[a] != 0;
+    if (any) mask_buf.back() = 0;
+    return agent.act_greedy_masked(obs_buf, std::span<const std::uint8_t>(mask_buf));
   });
   report("PPO (trained)");
 

@@ -42,6 +42,7 @@ std::unique_ptr<fed::FedClient> make_fed_client(const FederationConfig& config,
   client_cfg.ppo = config.ppo;
   client_cfg.fedprox_mu = config.fedprox_mu;
   client_cfg.fedkl_beta = config.fedkl_beta;
+  client_cfg.envs_per_client = config.envs_per_client;
   client_cfg.ppo.seed = config.seed + static_cast<std::uint64_t>(id) * 0x9E3779B9ULL + 1;
   return std::make_unique<fed::FedClient>(client_cfg, std::move(env_cfg), std::move(train_trace));
 }

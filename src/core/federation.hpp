@@ -33,6 +33,10 @@ struct FederationConfig {
   fed::MfpoConfig mfpo;
   float fedprox_mu = 0.01F;  // kFedProx proximal strength
   float fedkl_beta = 0.5F;   // kFedKl KL-penalty strength
+  /// Environments each client steps in lockstep per training sweep
+  /// (rl::VecEnv). 1 = serial rollouts (bit-identical to earlier
+  /// versions); E > 1 batches policy inference across E episodes.
+  std::size_t envs_per_client = 1;
   double rho = 0.5;                  // reward mix (Eq. 6)
   bool strict_paper_reward = false;  // Eq. 8 literal sign
   double energy_weight = 0.0;        // energy-objective extension (0 = paper)

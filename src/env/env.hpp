@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -57,6 +58,16 @@ class Env {
   /// Validity mask over actions in the current state (used by masked
   /// policies and by tests; the paper's agent learns penalties instead).
   virtual std::vector<bool> valid_actions() const = 0;
+
+  /// Allocation-free mask: writes 1 (valid) / 0 (invalid) per action into
+  /// `out` (size action_count()). The default shims over valid_actions()
+  /// — one allocation — so every Env works; environments on per-step hot
+  /// paths (serve, vectorized rollout, masked evaluation) override it.
+  virtual void valid_actions_into(std::span<std::uint8_t> out) const {
+    const std::vector<bool> mask = valid_actions();
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] = (i < mask.size() && mask[i]) ? std::uint8_t{1} : std::uint8_t{0};
+  }
 };
 
 }  // namespace pfrl::env

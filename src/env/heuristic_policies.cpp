@@ -21,11 +21,14 @@ HeuristicScheduler::HeuristicScheduler(HeuristicPolicy policy, std::uint64_t see
     : policy_(policy), rng_(seed) {}
 
 int HeuristicScheduler::act(const Env& environment) {
-  const std::vector<bool> mask = environment.valid_actions();
+  mask_.resize(static_cast<std::size_t>(environment.action_count()));
+  environment.valid_actions_into(mask_);
+  const std::span<const std::uint8_t> mask(mask_);
   const int noop = environment.action_count() - 1;  // no-op is last by convention
-  std::vector<std::size_t> feasible;
+  feasible_.clear();
   for (std::size_t a = 0; a + 1 < mask.size(); ++a)
-    if (mask[a]) feasible.push_back(a);
+    if (mask[a] != 0) feasible_.push_back(a);
+  const std::vector<std::size_t>& feasible = feasible_;
   if (feasible.empty()) return noop;
 
   switch (policy_) {

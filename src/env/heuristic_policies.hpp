@@ -42,6 +42,10 @@ class HeuristicScheduler {
   HeuristicPolicy policy_;
   util::Rng rng_;
   std::size_t round_robin_cursor_ = 0;
+  // Per-step scratch (Env::valid_actions_into + feasible VM indices),
+  // reused so a decision allocates nothing once warmed.
+  std::vector<std::uint8_t> mask_;
+  std::vector<std::size_t> feasible_;
 };
 
 }  // namespace pfrl::env

@@ -33,14 +33,14 @@ void encode_observation(const sim::Cluster& cluster, const SchedulingEnvConfig& 
     pos += sim::kResourceTypes;
   }
 
-  // S^vCPU — per-slot completion progress.
+  // S^vCPU — per-slot completion progress, one pass over each VM's
+  // running tasks (slot_progress per slot re-scans the task list).
   const double now = cluster.now();
   for (std::size_t i = 0; i < config.max_vms; ++i) {
     if (i < vms.size()) {
-      const int slots = std::min(vms[i].vcpu_capacity(), config.max_vcpus_per_vm);
-      for (int k = 0; k < slots; ++k)
-        out[pos + static_cast<std::size_t>(k)] =
-            static_cast<float>(vms[i].slot_progress(k, now));
+      const auto slots = static_cast<std::size_t>(
+          std::min(vms[i].vcpu_capacity(), config.max_vcpus_per_vm));
+      vms[i].slot_progress_into(out.subspan(pos, slots), now);
     }
     pos += static_cast<std::size_t>(config.max_vcpus_per_vm);
   }
@@ -63,6 +63,16 @@ std::vector<bool> action_validity(const sim::Cluster& cluster,
   for (std::size_t i = 0; i < cluster.vm_count() && i < config.max_vms; ++i)
     mask[i] = cluster.vm_fits_head(i);
   return mask;
+}
+
+void action_validity_into(const sim::Cluster& cluster, const SchedulingEnvConfig& config,
+                          std::span<std::uint8_t> out) {
+  if (out.size() != config.max_vms + 1)
+    throw std::invalid_argument("action_validity_into: bad buffer size");
+  std::fill(out.begin(), out.end(), std::uint8_t{0});
+  out.back() = 1;  // no-op is always available
+  for (std::size_t i = 0; i < cluster.vm_count() && i < config.max_vms; ++i)
+    out[i] = cluster.vm_fits_head(i) ? std::uint8_t{1} : std::uint8_t{0};
 }
 
 }  // namespace pfrl::env

@@ -3,6 +3,7 @@
 // layout of §4.1 / Fig. 6).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -23,5 +24,10 @@ void encode_observation(const sim::Cluster& cluster, const SchedulingEnvConfig& 
 /// no-op (last) always true.
 std::vector<bool> action_validity(const sim::Cluster& cluster,
                                   const SchedulingEnvConfig& config);
+
+/// Workspace form of action_validity: writes 1/0 per action into `out`
+/// (size max_vms + 1), performing no allocations. Throws on size mismatch.
+void action_validity_into(const sim::Cluster& cluster, const SchedulingEnvConfig& config,
+                          std::span<std::uint8_t> out);
 
 }  // namespace pfrl::env

@@ -64,6 +64,10 @@ std::vector<bool> SchedulingEnv::valid_actions() const {
   return action_validity(*cluster_, config_);
 }
 
+void SchedulingEnv::valid_actions_into(std::span<std::uint8_t> out) const {
+  action_validity_into(*cluster_, config_, out);
+}
+
 void SchedulingEnv::advance_clock() {
   for (const sim::Completion& c : cluster_->tick()) collector_.record_completion(c);
   collector_.record_tick(*cluster_);

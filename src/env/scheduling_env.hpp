@@ -65,6 +65,7 @@ class SchedulingEnv final : public Env, public MetricsSource, public ClusterView
   void observe(std::span<float> out) const override;
   StepResult step(int action) override;
   std::vector<bool> valid_actions() const override;
+  void valid_actions_into(std::span<std::uint8_t> out) const override;
 
   /// Index of the no-op action (== max_vms).
   int noop_action() const { return static_cast<int>(config_.max_vms); }

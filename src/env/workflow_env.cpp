@@ -62,6 +62,9 @@ void WorkflowEnv::observe(std::span<float> out) const {
 std::vector<bool> WorkflowEnv::valid_actions() const {
   return action_validity(*cluster_, config_);
 }
+void WorkflowEnv::valid_actions_into(std::span<std::uint8_t> out) const {
+  action_validity_into(*cluster_, config_, out);
+}
 
 void WorkflowEnv::admit_arrived_jobs() {
   while (next_job_ < batch_.size() &&

@@ -28,6 +28,7 @@ class WorkflowEnv final : public Env, public MetricsSource, public ClusterView {
   void observe(std::span<float> out) const override;
   StepResult step(int action) override;
   std::vector<bool> valid_actions() const override;
+  void valid_actions_into(std::span<std::uint8_t> out) const override;
 
   int noop_action() const { return static_cast<int>(config_.max_vms); }
 

@@ -1,5 +1,6 @@
 #include "fed/client.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -31,14 +32,35 @@ std::unique_ptr<rl::PpoAgent> make_agent(FedAlgorithm algorithm, std::size_t sta
 FedClient::FedClient(FedClientConfig config, env::SchedulingEnvConfig env_config,
                      workload::Trace train_trace)
     : config_(config),
-      env_(std::move(env_config), train_trace),
+      env_(env_config, train_trace),
       train_trace_(std::move(train_trace)),
-      agent_(make_agent(config.algorithm, env_.state_dim(), env_.action_count(), config.ppo)) {}
+      agent_(make_agent(config.algorithm, env_.state_dim(), env_.action_count(), config.ppo)) {
+  if (config_.envs_per_client == 0) config_.envs_per_client = 1;
+  if (config_.envs_per_client > 1) {
+    // E replicas of the training env, stepped in lockstep so policy
+    // inference over a sweep runs as one forward_batch GEMM.
+    std::vector<std::unique_ptr<env::Env>> replicas;
+    replicas.reserve(config_.envs_per_client);
+    for (std::size_t e = 0; e < config_.envs_per_client; ++e)
+      replicas.push_back(std::make_unique<env::SchedulingEnv>(env_config, train_trace_));
+    vec_env_ = std::make_unique<rl::VecEnv>(std::move(replicas));
+  }
+}
 
 std::vector<rl::EpisodeStats> FedClient::train_episodes(std::size_t episodes) {
   std::vector<rl::EpisodeStats> stats;
   stats.reserve(episodes);
-  for (std::size_t e = 0; e < episodes; ++e) stats.push_back(agent_->train_episode(env_));
+  if (vec_env_ == nullptr) {
+    for (std::size_t e = 0; e < episodes; ++e) stats.push_back(agent_->train_episode(env_));
+    return stats;
+  }
+  std::size_t remaining = episodes;
+  while (remaining > 0) {
+    const std::size_t width = std::min(config_.envs_per_client, remaining);
+    std::vector<rl::EpisodeStats> sweep = agent_->train_sweep(*vec_env_, width);
+    for (rl::EpisodeStats& s : sweep) stats.push_back(std::move(s));
+    remaining -= width;
+  }
   return stats;
 }
 
@@ -182,6 +204,7 @@ sim::EpisodeMetrics FedClient::evaluate_on_sampled(workload::Trace test_trace,
 void FedClient::save_state(util::ByteWriter& writer) const {
   writer.write_i64(config_.id);
   writer.write_u8(static_cast<std::uint8_t>(config_.algorithm));
+  writer.write_u64(config_.envs_per_client);
   agent_->save_training_state(writer);
 }
 
@@ -196,6 +219,13 @@ void FedClient::load_state(util::ByteReader& reader) {
     throw std::invalid_argument("FedClient::load_state: algorithm mismatch (checkpoint: " +
                                 algorithm_name(algorithm) + ", client: " +
                                 algorithm_name(config_.algorithm) + ")");
+  // Sweep width shapes the RNG-stream consumption pattern, so resuming at
+  // a different width could not reproduce the original run bit-for-bit.
+  const std::uint64_t envs = reader.read_u64();
+  if (envs != config_.envs_per_client)
+    throw std::invalid_argument("FedClient::load_state: envs_per_client mismatch (checkpoint: " +
+                                std::to_string(envs) + ", client: " +
+                                std::to_string(config_.envs_per_client) + ")");
   agent_->load_training_state(reader);
 }
 

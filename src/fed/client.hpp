@@ -39,6 +39,11 @@ struct FedClientConfig {
   rl::PpoConfig ppo;
   float fedprox_mu = 0.01F;  // proximal strength (kFedProx)
   float fedkl_beta = 0.5F;   // KL penalty strength (kFedKl)
+  /// Environments stepped in lockstep per training sweep (rl::VecEnv).
+  /// 1 = the serial rollout path, bit-identical to earlier versions;
+  /// E > 1 batches policy inference across E episodes (DESIGN.md
+  /// "Vectorized rollout").
+  std::size_t envs_per_client = 1;
 };
 
 class FedClient {
@@ -101,6 +106,9 @@ class FedClient {
   env::SchedulingEnv env_;
   workload::Trace train_trace_;
   std::unique_ptr<rl::PpoAgent> agent_;
+  /// Built only when envs_per_client > 1: E replicas of the training env
+  /// (same config, same trace) stepped in lockstep by train_episodes.
+  std::unique_ptr<rl::VecEnv> vec_env_;
 };
 
 /// FNV-1a hash over one client's wire-relevant architecture: algorithm,

@@ -18,22 +18,266 @@ namespace pfrl::nn::kernels {
 
 namespace {
 
-/// Shared GEMM body: C = A·B, rows seeded from `bias` (nullptr → zero).
-/// Register blocking: 4 C rows × 2 k steps are held in scalars, the inner
-/// j loop writes 4 contiguous output rows — unit stride, no aliasing, the
-/// shape the vectorizer wants.
+// Width of the register-resident accumulator tiles below. 16 floats is
+// two AVX2 vectors — wide enough that each k step issues 8 independent
+// FMA chains (latency-hiding), narrow enough that a 4×16 tile plus the
+// streamed B vectors fits the 16 ymm registers of x86-64-v3.
+constexpr std::size_t kColTile = 16;
+
+/// Shared GEMM body: C = A·B (+ row-broadcast bias). Register blocking: a
+/// 4-row × 16-column C tile lives in local accumulators for the ENTIRE
+/// k loop, so C memory traffic happens once per tile instead of once per
+/// k step. (The previous scheme kept C in memory and re-loaded/re-stored
+/// every row on each k pair, leaving the kernel store-bound at ~7 Gflop/s
+/// — slower per row than the fused GEMV it was meant to beat.) The
+/// k-accumulation order for an output element is strictly sequential and
+/// the same in every tile/remainder path, so a row's result is
+/// independent of which batch it was computed in.
+/// y = x·W + bias for one row, k unrolled by 4; optional fused tanh.
+/// `bias == nullptr` seeds the row with zeros (the GEMM m==1 fast path).
+PFRL_TARGET_CLONES
+void gemv_bias_impl(const float* x, const float* w, const float* bias, float* y, std::size_t k,
+                    std::size_t n, bool tanh_epilogue) {
+  if (bias == nullptr) {
+    std::fill(y, y + n, 0.0F);
+  } else {
+    std::copy(bias, bias + n, y);
+  }
+  std::size_t kk = 0;
+  for (; kk + 4 <= k; kk += 4) {
+    const float x0 = x[kk], x1 = x[kk + 1], x2 = x[kk + 2], x3 = x[kk + 3];
+    const float* w0 = w + (kk + 0) * n;
+    const float* w1 = w + (kk + 1) * n;
+    const float* w2 = w + (kk + 2) * n;
+    const float* w3 = w + (kk + 3) * n;
+    for (std::size_t j = 0; j < n; ++j)
+      y[j] += x0 * w0[j] + x1 * w1[j] + x2 * w2[j] + x3 * w3[j];
+  }
+  for (; kk < k; ++kk) {
+    const float xv = x[kk];
+    const float* wr = w + kk * n;
+    for (std::size_t j = 0; j < n; ++j) y[j] += xv * wr[j];
+  }
+  if (tanh_epilogue)
+    for (std::size_t j = 0; j < n; ++j) y[j] = fast_tanh(y[j]);
+}
+
+/// n == 1 (a value head): B is a contiguous k-vector, so each output is a
+/// plain dot product over a contiguous A row — four partial sums give the
+/// vectorizer independent lanes. The generic tile path pays its full
+/// 16-wide machinery for one live column (~17× wasted work).
+PFRL_TARGET_CLONES
+void gemm_bias_n1_impl(const float* a, const float* b, const float* bias, float* c,
+                       std::size_t m, std::size_t k) {
+  const float base = bias == nullptr ? 0.0F : bias[0];
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* ai = a + i * k;
+    float s0 = 0.0F, s1 = 0.0F, s2 = 0.0F, s3 = 0.0F;
+    std::size_t kk = 0;
+    for (; kk + 4 <= k; kk += 4) {
+      s0 += ai[kk + 0] * b[kk + 0];
+      s1 += ai[kk + 1] * b[kk + 1];
+      s2 += ai[kk + 2] * b[kk + 2];
+      s3 += ai[kk + 3] * b[kk + 3];
+    }
+    float s = (s0 + s1) + (s2 + s3);
+    for (; kk < k; ++kk) s += ai[kk] * b[kk];
+    c[i] = base + s;
+  }
+}
+
+// Narrow-B staging area: a logits head with a handful of actions leaves
+// the tile path's inner loop at a runtime width the vectorizer refuses to
+// touch (measured ~5 Gflop/s at n=6 vs ~76 at n=16). Padding B once into
+// a full-width buffer restores full-tile code for ~(16/n)× redundant
+// flops — a large net win for any n below the tile width.
+constexpr std::size_t kPadMaxK = 512;
+
 PFRL_TARGET_CLONES
 void gemm_bias_impl(const float* a, const float* b, const float* bias, float* c, std::size_t m,
                     std::size_t k, std::size_t n) {
-  for (std::size_t i = 0; i < m; ++i) {
-    float* ci = c + i * n;
-    if (bias == nullptr) {
-      std::fill(ci, ci + n, 0.0F);
-    } else {
-      std::copy(bias, bias + n, ci);
+  if (m == 1) {
+    // A batch of one row is exactly a GEMV; the row kernel's k-unrolled
+    // form has 4× the independent accumulator chains of a 1×16 tile.
+    gemv_bias_impl(a, b, bias, c, k, n, false);
+    return;
+  }
+  if (n == 1) {
+    gemm_bias_n1_impl(a, b, bias, c, m, k);
+    return;
+  }
+  if (n < kColTile && k <= kPadMaxK) {
+    float b_pad[kPadMaxK * kColTile];
+    float bias_pad[kColTile] = {};
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* src = b + kk * n;
+      float* dst = b_pad + kk * kColTile;
+      std::size_t j = 0;
+      for (; j < n; ++j) dst[j] = src[j];
+      for (; j < kColTile; ++j) dst[j] = 0.0F;
     }
+    if (bias != nullptr) std::copy(bias, bias + n, bias_pad);
+    // All row-tile widths accumulate each output element on the same
+    // single sequential k chain with the bias added last — bit-identical
+    // to the unpadded narrow-tile path, so a row's bits stay independent
+    // of its position in the batch (and of the tile width that covers it).
+    std::size_t i = 0;
+    for (; i + 8 <= m; i += 8) {
+      const float* a0 = a + (i + 0) * k;
+      const float* a1 = a + (i + 1) * k;
+      const float* a2 = a + (i + 2) * k;
+      const float* a3 = a + (i + 3) * k;
+      const float* a4 = a + (i + 4) * k;
+      const float* a5 = a + (i + 5) * k;
+      const float* a6 = a + (i + 6) * k;
+      const float* a7 = a + (i + 7) * k;
+      float t0[kColTile] = {}, t1[kColTile] = {}, t2[kColTile] = {}, t3[kColTile] = {};
+      float t4[kColTile] = {}, t5[kColTile] = {}, t6[kColTile] = {}, t7[kColTile] = {};
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* br = b_pad + kk * kColTile;
+        const float x0 = a0[kk], x1 = a1[kk], x2 = a2[kk], x3 = a3[kk];
+        const float x4 = a4[kk], x5 = a5[kk], x6 = a6[kk], x7 = a7[kk];
+        for (std::size_t j = 0; j < kColTile; ++j) {
+          const float bj = br[j];
+          t0[j] += x0 * bj;
+          t1[j] += x1 * bj;
+          t2[j] += x2 * bj;
+          t3[j] += x3 * bj;
+          t4[j] += x4 * bj;
+          t5[j] += x5 * bj;
+          t6[j] += x6 * bj;
+          t7[j] += x7 * bj;
+        }
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        const float base = bias_pad[j];
+        c[(i + 0) * n + j] = base + t0[j];
+        c[(i + 1) * n + j] = base + t1[j];
+        c[(i + 2) * n + j] = base + t2[j];
+        c[(i + 3) * n + j] = base + t3[j];
+        c[(i + 4) * n + j] = base + t4[j];
+        c[(i + 5) * n + j] = base + t5[j];
+        c[(i + 6) * n + j] = base + t6[j];
+        c[(i + 7) * n + j] = base + t7[j];
+      }
+    }
+    for (; i + 4 <= m; i += 4) {
+      const float* a0 = a + (i + 0) * k;
+      const float* a1 = a + (i + 1) * k;
+      const float* a2 = a + (i + 2) * k;
+      const float* a3 = a + (i + 3) * k;
+      float t0[kColTile] = {}, t1[kColTile] = {}, t2[kColTile] = {}, t3[kColTile] = {};
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* br = b_pad + kk * kColTile;
+        const float x0 = a0[kk], x1 = a1[kk], x2 = a2[kk], x3 = a3[kk];
+        for (std::size_t j = 0; j < kColTile; ++j) {
+          const float bj = br[j];
+          t0[j] += x0 * bj;
+          t1[j] += x1 * bj;
+          t2[j] += x2 * bj;
+          t3[j] += x3 * bj;
+        }
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        const float base = bias_pad[j];
+        c[(i + 0) * n + j] = base + t0[j];
+        c[(i + 1) * n + j] = base + t1[j];
+        c[(i + 2) * n + j] = base + t2[j];
+        c[(i + 3) * n + j] = base + t3[j];
+      }
+    }
+    for (; i < m; ++i) {
+      const float* ai = a + i * k;
+      float t0[kColTile] = {};
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* br = b_pad + kk * kColTile;
+        const float x = ai[kk];
+        for (std::size_t j = 0; j < kColTile; ++j) t0[j] += x * br[j];
+      }
+      for (std::size_t j = 0; j < n; ++j)
+        c[i * n + j] = (bias == nullptr ? 0.0F : bias[j]) + t0[j];
+    }
+    return;
   }
   std::size_t i = 0;
+  // 8-row tiles first: with only 4 accumulator chains per column tile the
+  // loop is FMA-latency-bound (each chain issues one FMA every `latency`
+  // cycles); 8 independent chains keep both FMA ports busy. Each output
+  // element is still one sequential k chain — bits match the 4-row tile.
+  for (; i + 8 <= m; i += 8) {
+    const float* a0 = a + (i + 0) * k;
+    const float* a1 = a + (i + 1) * k;
+    const float* a2 = a + (i + 2) * k;
+    const float* a3 = a + (i + 3) * k;
+    const float* a4 = a + (i + 4) * k;
+    const float* a5 = a + (i + 5) * k;
+    const float* a6 = a + (i + 6) * k;
+    const float* a7 = a + (i + 7) * k;
+    std::size_t j0 = 0;
+    for (; j0 + kColTile <= n; j0 += kColTile) {
+      float t0[kColTile] = {}, t1[kColTile] = {}, t2[kColTile] = {}, t3[kColTile] = {};
+      float t4[kColTile] = {}, t5[kColTile] = {}, t6[kColTile] = {}, t7[kColTile] = {};
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* br = b + kk * n + j0;
+        const float x0 = a0[kk], x1 = a1[kk], x2 = a2[kk], x3 = a3[kk];
+        const float x4 = a4[kk], x5 = a5[kk], x6 = a6[kk], x7 = a7[kk];
+        for (std::size_t j = 0; j < kColTile; ++j) {
+          const float bj = br[j];
+          t0[j] += x0 * bj;
+          t1[j] += x1 * bj;
+          t2[j] += x2 * bj;
+          t3[j] += x3 * bj;
+          t4[j] += x4 * bj;
+          t5[j] += x5 * bj;
+          t6[j] += x6 * bj;
+          t7[j] += x7 * bj;
+        }
+      }
+      for (std::size_t j = 0; j < kColTile; ++j) {
+        const float base = bias == nullptr ? 0.0F : bias[j0 + j];
+        c[(i + 0) * n + j0 + j] = base + t0[j];
+        c[(i + 1) * n + j0 + j] = base + t1[j];
+        c[(i + 2) * n + j0 + j] = base + t2[j];
+        c[(i + 3) * n + j0 + j] = base + t3[j];
+        c[(i + 4) * n + j0 + j] = base + t4[j];
+        c[(i + 5) * n + j0 + j] = base + t5[j];
+        c[(i + 6) * n + j0 + j] = base + t6[j];
+        c[(i + 7) * n + j0 + j] = base + t7[j];
+      }
+    }
+    if (j0 < n) {
+      const std::size_t w = n - j0;
+      float t0[kColTile] = {}, t1[kColTile] = {}, t2[kColTile] = {}, t3[kColTile] = {};
+      float t4[kColTile] = {}, t5[kColTile] = {}, t6[kColTile] = {}, t7[kColTile] = {};
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* br = b + kk * n + j0;
+        const float x0 = a0[kk], x1 = a1[kk], x2 = a2[kk], x3 = a3[kk];
+        const float x4 = a4[kk], x5 = a5[kk], x6 = a6[kk], x7 = a7[kk];
+        for (std::size_t j = 0; j < w; ++j) {
+          const float bj = br[j];
+          t0[j] += x0 * bj;
+          t1[j] += x1 * bj;
+          t2[j] += x2 * bj;
+          t3[j] += x3 * bj;
+          t4[j] += x4 * bj;
+          t5[j] += x5 * bj;
+          t6[j] += x6 * bj;
+          t7[j] += x7 * bj;
+        }
+      }
+      for (std::size_t j = 0; j < w; ++j) {
+        const float base = bias == nullptr ? 0.0F : bias[j0 + j];
+        c[(i + 0) * n + j0 + j] = base + t0[j];
+        c[(i + 1) * n + j0 + j] = base + t1[j];
+        c[(i + 2) * n + j0 + j] = base + t2[j];
+        c[(i + 3) * n + j0 + j] = base + t3[j];
+        c[(i + 4) * n + j0 + j] = base + t4[j];
+        c[(i + 5) * n + j0 + j] = base + t5[j];
+        c[(i + 6) * n + j0 + j] = base + t6[j];
+        c[(i + 7) * n + j0 + j] = base + t7[j];
+      }
+    }
+  }
   for (; i + 4 <= m; i += 4) {
     const float* a0 = a + (i + 0) * k;
     const float* a1 = a + (i + 1) * k;
@@ -43,86 +287,130 @@ void gemm_bias_impl(const float* a, const float* b, const float* bias, float* c,
     float* c1 = c + (i + 1) * n;
     float* c2 = c + (i + 2) * n;
     float* c3 = c + (i + 3) * n;
-    std::size_t kk = 0;
-    for (; kk + 2 <= k; kk += 2) {
-      const float* b0 = b + (kk + 0) * n;
-      const float* b1 = b + (kk + 1) * n;
-      const float a00 = a0[kk], a01 = a0[kk + 1];
-      const float a10 = a1[kk], a11 = a1[kk + 1];
-      const float a20 = a2[kk], a21 = a2[kk + 1];
-      const float a30 = a3[kk], a31 = a3[kk + 1];
-      for (std::size_t j = 0; j < n; ++j) {
-        const float b0j = b0[j];
-        const float b1j = b1[j];
-        c0[j] += a00 * b0j + a01 * b1j;
-        c1[j] += a10 * b0j + a11 * b1j;
-        c2[j] += a20 * b0j + a21 * b1j;
-        c3[j] += a30 * b0j + a31 * b1j;
+    std::size_t j0 = 0;
+    for (; j0 + kColTile <= n; j0 += kColTile) {
+      float t0[kColTile] = {}, t1[kColTile] = {}, t2[kColTile] = {}, t3[kColTile] = {};
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* br = b + kk * n + j0;
+        const float x0 = a0[kk], x1 = a1[kk], x2 = a2[kk], x3 = a3[kk];
+        for (std::size_t j = 0; j < kColTile; ++j) {
+          const float bj = br[j];
+          t0[j] += x0 * bj;
+          t1[j] += x1 * bj;
+          t2[j] += x2 * bj;
+          t3[j] += x3 * bj;
+        }
+      }
+      for (std::size_t j = 0; j < kColTile; ++j) {
+        const float base = bias == nullptr ? 0.0F : bias[j0 + j];
+        c0[j0 + j] = base + t0[j];
+        c1[j0 + j] = base + t1[j];
+        c2[j0 + j] = base + t2[j];
+        c3[j0 + j] = base + t3[j];
       }
     }
-    for (; kk < k; ++kk) {
-      const float* br = b + kk * n;
-      const float a0k = a0[kk], a1k = a1[kk], a2k = a2[kk], a3k = a3[kk];
-      for (std::size_t j = 0; j < n; ++j) {
-        const float bj = br[j];
-        c0[j] += a0k * bj;
-        c1[j] += a1k * bj;
-        c2[j] += a2k * bj;
-        c3[j] += a3k * bj;
+    if (j0 < n) {
+      const std::size_t w = n - j0;
+      float t0[kColTile] = {}, t1[kColTile] = {}, t2[kColTile] = {}, t3[kColTile] = {};
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* br = b + kk * n + j0;
+        const float x0 = a0[kk], x1 = a1[kk], x2 = a2[kk], x3 = a3[kk];
+        for (std::size_t j = 0; j < w; ++j) {
+          const float bj = br[j];
+          t0[j] += x0 * bj;
+          t1[j] += x1 * bj;
+          t2[j] += x2 * bj;
+          t3[j] += x3 * bj;
+        }
+      }
+      for (std::size_t j = 0; j < w; ++j) {
+        const float base = bias == nullptr ? 0.0F : bias[j0 + j];
+        c0[j0 + j] = base + t0[j];
+        c1[j0 + j] = base + t1[j];
+        c2[j0 + j] = base + t2[j];
+        c3[j0 + j] = base + t3[j];
       }
     }
   }
   for (; i < m; ++i) {
     const float* ai = a + i * k;
     float* ci = c + i * n;
-    std::size_t kk = 0;
-    for (; kk + 4 <= k; kk += 4) {
-      const float x0 = ai[kk], x1 = ai[kk + 1], x2 = ai[kk + 2], x3 = ai[kk + 3];
-      const float* b0 = b + (kk + 0) * n;
-      const float* b1 = b + (kk + 1) * n;
-      const float* b2 = b + (kk + 2) * n;
-      const float* b3 = b + (kk + 3) * n;
-      for (std::size_t j = 0; j < n; ++j)
-        ci[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
-    }
-    for (; kk < k; ++kk) {
-      const float x = ai[kk];
-      const float* br = b + kk * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += x * br[j];
+    for (std::size_t j0 = 0; j0 < n; j0 += kColTile) {
+      const std::size_t w = std::min(kColTile, n - j0);
+      float t0[kColTile] = {};
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* br = b + kk * n + j0;
+        const float x = ai[kk];
+        for (std::size_t j = 0; j < w; ++j) t0[j] += x * br[j];
+      }
+      for (std::size_t j = 0; j < w; ++j)
+        ci[j0 + j] = (bias == nullptr ? 0.0F : bias[j0 + j]) + t0[j];
     }
   }
 }
 
-/// C (m×n) (+)= Aᵀ·B with A (k×m), B (k×n): iterate the shared k rows in
-/// blocks of 4 so four B rows stay hot while streaming over all of C.
+/// C (m×n) (+)= Aᵀ·B with A (k×m), B (k×n): the same 4×16 register tile
+/// as gemm_bias_impl, accumulating over the shared k rows — A is simply
+/// read column-wise (stride m scalar loads feeding the broadcasts). C is
+/// touched once per tile; the old scheme streamed the whole of C through
+/// memory for every 4 k rows, which made the backward weight-gradient
+/// pass store-bound.
 PFRL_TARGET_CLONES
 void gemm_at_b_impl(const float* a, const float* b, float* c, std::size_t k, std::size_t m,
                     std::size_t n, bool accumulate) {
-  if (!accumulate) std::fill(c, c + m * n, 0.0F);
-  std::size_t r = 0;
-  for (; r + 4 <= k; r += 4) {
-    const float* a0 = a + (r + 0) * m;
-    const float* a1 = a + (r + 1) * m;
-    const float* a2 = a + (r + 2) * m;
-    const float* a3 = a + (r + 3) * m;
-    const float* b0 = b + (r + 0) * n;
-    const float* b1 = b + (r + 1) * n;
-    const float* b2 = b + (r + 2) * n;
-    const float* b3 = b + (r + 3) * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float x0 = a0[i], x1 = a1[i], x2 = a2[i], x3 = a3[i];
-      float* ci = c + i * n;
-      for (std::size_t j = 0; j < n; ++j)
-        ci[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    float* c0 = c + (i + 0) * n;
+    float* c1 = c + (i + 1) * n;
+    float* c2 = c + (i + 2) * n;
+    float* c3 = c + (i + 3) * n;
+    for (std::size_t j0 = 0; j0 < n; j0 += kColTile) {
+      const std::size_t w = std::min(kColTile, n - j0);
+      float t0[kColTile] = {}, t1[kColTile] = {}, t2[kColTile] = {}, t3[kColTile] = {};
+      for (std::size_t r = 0; r < k; ++r) {
+        const float* ar = a + r * m + i;
+        const float* br = b + r * n + j0;
+        const float x0 = ar[0], x1 = ar[1], x2 = ar[2], x3 = ar[3];
+        for (std::size_t j = 0; j < w; ++j) {
+          const float bj = br[j];
+          t0[j] += x0 * bj;
+          t1[j] += x1 * bj;
+          t2[j] += x2 * bj;
+          t3[j] += x3 * bj;
+        }
+      }
+      if (accumulate) {
+        for (std::size_t j = 0; j < w; ++j) {
+          c0[j0 + j] += t0[j];
+          c1[j0 + j] += t1[j];
+          c2[j0 + j] += t2[j];
+          c3[j0 + j] += t3[j];
+        }
+      } else {
+        for (std::size_t j = 0; j < w; ++j) {
+          c0[j0 + j] = t0[j];
+          c1[j0 + j] = t1[j];
+          c2[j0 + j] = t2[j];
+          c3[j0 + j] = t3[j];
+        }
+      }
     }
   }
-  for (; r < k; ++r) {
-    const float* ar = a + r * m;
-    const float* br = b + r * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float x = ar[i];
-      float* ci = c + i * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += x * br[j];
+  for (; i < m; ++i) {
+    float* ci = c + i * n;
+    for (std::size_t j0 = 0; j0 < n; j0 += kColTile) {
+      const std::size_t w = std::min(kColTile, n - j0);
+      float t0[kColTile] = {};
+      for (std::size_t r = 0; r < k; ++r) {
+        const float x = a[r * m + i];
+        const float* br = b + r * n + j0;
+        for (std::size_t j = 0; j < w; ++j) t0[j] += x * br[j];
+      }
+      if (accumulate) {
+        for (std::size_t j = 0; j < w; ++j) ci[j0 + j] += t0[j];
+      } else {
+        for (std::size_t j = 0; j < w; ++j) ci[j0 + j] = t0[j];
+      }
     }
   }
 }
@@ -151,30 +439,6 @@ void gemm_a_bt_impl(const float* a, const float* b, float* c, std::size_t m, std
       ci[j] = s;
     }
   }
-}
-
-/// y = x·W + bias for one row, k unrolled by 4; optional fused tanh.
-PFRL_TARGET_CLONES
-void gemv_bias_impl(const float* x, const float* w, const float* bias, float* y, std::size_t k,
-                    std::size_t n, bool tanh_epilogue) {
-  std::copy(bias, bias + n, y);
-  std::size_t kk = 0;
-  for (; kk + 4 <= k; kk += 4) {
-    const float x0 = x[kk], x1 = x[kk + 1], x2 = x[kk + 2], x3 = x[kk + 3];
-    const float* w0 = w + (kk + 0) * n;
-    const float* w1 = w + (kk + 1) * n;
-    const float* w2 = w + (kk + 2) * n;
-    const float* w3 = w + (kk + 3) * n;
-    for (std::size_t j = 0; j < n; ++j)
-      y[j] += x0 * w0[j] + x1 * w1[j] + x2 * w2[j] + x3 * w3[j];
-  }
-  for (; kk < k; ++kk) {
-    const float xv = x[kk];
-    const float* wr = w + kk * n;
-    for (std::size_t j = 0; j < n; ++j) y[j] += xv * wr[j];
-  }
-  if (tanh_epilogue)
-    for (std::size_t j = 0; j < n; ++j) y[j] = fast_tanh(y[j]);
 }
 
 PFRL_TARGET_CLONES

@@ -31,6 +31,45 @@ int sample_categorical(std::span<const float> logits, util::Rng& rng, float& log
   return static_cast<int>(chosen);
 }
 
+int sample_categorical_masked(std::span<const float> logits, std::span<const std::uint8_t> valid,
+                              util::Rng& rng, float& log_prob) {
+  assert(!logits.empty());
+  const auto is_valid = [valid](std::size_t a) { return a >= valid.size() || valid[a] != 0; };
+  float max_logit = 0.0F;
+  bool any_valid = false;
+  for (std::size_t a = 0; a < logits.size(); ++a) {
+    if (!is_valid(a)) continue;
+    if (!any_valid || logits[a] > max_logit) max_logit = logits[a];
+    any_valid = true;
+  }
+  if (!any_valid) return sample_categorical(logits, rng, log_prob);
+
+  // Same two-pass, exp-recomputing structure as the unmasked sampler:
+  // the masked policy step stays off the heap too.
+  double total = 0.0;
+  std::size_t last_valid = 0;
+  for (std::size_t a = 0; a < logits.size(); ++a) {
+    if (!is_valid(a)) continue;
+    total += std::exp(static_cast<double>(logits[a] - max_logit));
+    last_valid = a;
+  }
+  double target = rng.uniform() * total;
+  std::size_t chosen = last_valid;
+  double chosen_weight = std::exp(static_cast<double>(logits[last_valid] - max_logit));
+  for (std::size_t a = 0; a < logits.size(); ++a) {
+    if (!is_valid(a)) continue;
+    const double w = std::exp(static_cast<double>(logits[a] - max_logit));
+    target -= w;
+    if (target < 0.0) {
+      chosen = a;
+      chosen_weight = w;
+      break;
+    }
+  }
+  log_prob = static_cast<float>(std::log(chosen_weight / total));
+  return static_cast<int>(chosen);
+}
+
 int argmax_action(std::span<const float> logits) {
   assert(!logits.empty());
   return static_cast<int>(std::max_element(logits.begin(), logits.end()) - logits.begin());

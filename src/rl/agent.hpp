@@ -130,6 +130,13 @@ class Agent {
 /// `log_prob` holds log π(a). Numerically stable (works on raw logits).
 int sample_categorical(std::span<const float> logits, util::Rng& rng, float& log_prob);
 
+/// Masked variant: samples from softmax(logits) restricted to actions with
+/// valid[a] != 0 (indices past valid.size() count as valid, matching the
+/// open tail of Env::valid_actions). Allocation-free. Falls back to the
+/// unmasked distribution if the mask admits nothing.
+int sample_categorical_masked(std::span<const float> logits, std::span<const std::uint8_t> valid,
+                              util::Rng& rng, float& log_prob);
+
 /// Index of the largest logit (greedy action).
 int argmax_action(std::span<const float> logits);
 

@@ -37,6 +37,15 @@ float DualCriticPpoAgent::value_row(std::span<const float> state) {
   return a * local + (1.0F - a) * pub;
 }
 
+void DualCriticPpoAgent::value_rows_into(const nn::Matrix& states, std::vector<float>& out) {
+  const nn::Matrix& local = critic_.forward_batch(states);
+  out.resize(local.rows());
+  for (std::size_t i = 0; i < local.rows(); ++i) out[i] = local(i, 0);
+  const nn::Matrix& pub = public_critic_.forward_batch(states);
+  const auto a = static_cast<float>(alpha_);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a * out[i] + (1.0F - a) * pub(i, 0);
+}
+
 void DualCriticPpoAgent::update_critics(const nn::Matrix& states,
                                         std::span<const float> returns) {
   // Eqs. (16) and (17): both critics regress toward the same targets,

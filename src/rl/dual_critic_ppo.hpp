@@ -29,6 +29,10 @@ class DualCriticPpoAgent final : public PpoAgent {
   /// Mixed value for a single state, allocation-free (Eq. 14).
   float value_row(std::span<const float> state) override;
 
+  /// Mixed values for a packed batch, written into a reused vector
+  /// (Eq. 14 on the vectorized-rollout hot path).
+  void value_rows_into(const nn::Matrix& states, std::vector<float>& out) override;
+
   nn::Mlp& local_critic() { return critic_; }
   nn::Mlp& public_critic() { return public_critic_; }
   const nn::Mlp& public_critic() const { return public_critic_; }

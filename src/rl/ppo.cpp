@@ -1,5 +1,6 @@
 #include "rl/ppo.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -16,6 +17,23 @@ nn::AdamConfig adam_for(float lr, float max_grad_norm) {
   c.lr = lr;
   c.max_grad_norm = max_grad_norm;
   return c;
+}
+
+// Evaluation rollouts must make progress: when any placement is feasible,
+// the no-op (last action) is masked out so a policy that drifted toward
+// idling cannot livelock the episode; the learned ranking still chooses
+// *which* VM.
+void forbid_lazy_noop(std::span<std::uint8_t> mask) {
+  bool any_placement = false;
+  for (std::size_t a = 0; a + 1 < mask.size(); ++a) any_placement |= mask[a] != 0;
+  if (any_placement && !mask.empty()) mask.back() = 0;
+}
+
+// Seed of the dedicated RNG stream serving env slot `e` (e ≥ 1) of a
+// vectorized sweep. Depends only on the agent seed and the slot index, so
+// streams are reproducible regardless of when they were first created.
+std::uint64_t env_stream_seed(std::uint64_t seed, std::size_t e) {
+  return seed + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(e);
 }
 }  // namespace
 
@@ -40,6 +58,12 @@ float PpoAgent::value_row(std::span<const float> state) {
   return v;
 }
 
+void PpoAgent::value_rows_into(const nn::Matrix& states, std::vector<float>& out) {
+  const nn::Matrix& v = critic_.forward_batch(states);
+  out.resize(v.rows());
+  for (std::size_t i = 0; i < v.rows(); ++i) out[i] = v(i, 0);
+}
+
 int PpoAgent::act_stochastic(std::span<const float> state, float& log_prob, float& value) {
   // Fused GEMV path through preallocated scratch: a policy step performs
   // zero heap allocations.
@@ -59,6 +83,17 @@ int PpoAgent::act_greedy_masked(std::span<const float> state, const std::vector<
   int best = -1;
   for (std::size_t a = 0; a < row.size(); ++a) {
     if (a < valid.size() && !valid[a]) continue;
+    if (best < 0 || row[a] > row[static_cast<std::size_t>(best)]) best = static_cast<int>(a);
+  }
+  return best >= 0 ? best : argmax_action(row);
+}
+
+int PpoAgent::act_greedy_masked(std::span<const float> state, std::span<const std::uint8_t> valid) {
+  actor_.forward_row(state, row_logits_);
+  const std::span<const float> row(row_logits_);
+  int best = -1;
+  for (std::size_t a = 0; a < row.size(); ++a) {
+    if (a < valid.size() && valid[a] == 0) continue;
     if (best < 0 || row[a] > row[static_cast<std::size_t>(best)]) best = static_cast<int>(a);
   }
   return best >= 0 ? best : argmax_action(row);
@@ -91,6 +126,136 @@ double PpoAgent::collect_episode(env::Env& environment, RolloutBuffer& buffer) {
   return total_reward;
 }
 
+util::Rng& PpoAgent::env_rng(std::size_t env_index) {
+  return env_index == 0 ? rng_ : vec_rngs_[env_index - 1];
+}
+
+void PpoAgent::ensure_env_rngs(std::size_t count) {
+  while (vec_rngs_.size() + 1 < count)
+    vec_rngs_.emplace_back(env_stream_seed(config_.seed, vec_rngs_.size() + 1));
+}
+
+void PpoAgent::stage_pre(std::size_t env_index, std::span<const float> state, int action,
+                         float log_prob) {
+  VecLane& lane = vec_lanes_[env_index];
+  lane.states.insert(lane.states.end(), state.begin(), state.end());
+  lane.actions.push_back(action);
+  lane.log_probs.push_back(log_prob);
+}
+
+void PpoAgent::fill_lane_values(VecLane& lane) {
+  const std::size_t rows = lane.actions.size();
+  lane.values.resize(rows);
+  constexpr std::size_t kChunk = 64;
+  for (std::size_t done = 0; done < rows; done += kChunk) {
+    const std::size_t m = std::min(kChunk, rows - done);
+    vec_state_chunk_.resize(m, state_dim_);
+    std::copy_n(lane.states.data() + done * state_dim_, m * state_dim_,
+                vec_state_chunk_.flat().data());
+    value_rows_into(vec_state_chunk_, vec_values_);
+    std::copy_n(vec_values_.data(), m, lane.values.data() + done);
+  }
+}
+
+void PpoAgent::begin_sweep(VecEnv& envs, std::size_t count) {
+  if (envs.state_dim() != state_dim_ ||
+      envs.action_count() != action_count_)
+    throw std::invalid_argument("begin_sweep: env/agent shape mismatch");
+  envs.reset(count);  // validates count
+  ensure_env_rngs(count);
+  if (vec_lanes_.size() < count) vec_lanes_.resize(count);
+  for (std::size_t e = 0; e < count; ++e) vec_lanes_[e].clear();
+  vec_actions_.reserve(count);
+  vec_results_.reserve(count);
+  vec_values_.reserve(count);
+  sweep_count_ = count;
+}
+
+std::size_t PpoAgent::vec_step(VecEnv& envs) {
+  const std::size_t k = envs.active_count();
+  if (k == 0) return 0;
+  const std::vector<std::size_t>& ids = envs.active_ids();
+  const nn::Matrix& obs = envs.observe_active();
+  vec_actions_.resize(k);
+  vec_results_.resize(k);
+  if (k == 1) {
+    // Serial-path equivalence: exactly the fused-GEMV ops (and RNG draws)
+    // of act_stochastic, so an E=1 sweep matches collect_episode
+    // bit-for-bit and a wider sweep's last survivor skips the GEMM setup.
+    // Values are deferred to finish_sweep for width ≥ 2 sweeps (the
+    // critic output is only consumed by GAE after the episode ends), so
+    // only a true E=1 sweep pays the per-step critic GEMV.
+    const auto state = obs.row(0);
+    actor_.forward_row(state, row_logits_);
+    float log_prob = 0.0F;
+    vec_actions_[0] = sample_categorical(row_logits_, env_rng(ids[0]), log_prob);
+    stage_pre(ids[0], state, vec_actions_[0], log_prob);
+    if (sweep_count_ == 1) vec_lanes_[ids[0]].values.push_back(value_row(state));
+  } else {
+    const nn::Matrix& logits = actor_.forward_batch(obs);
+    for (std::size_t r = 0; r < k; ++r) {
+      float log_prob = 0.0F;
+      vec_actions_[r] = sample_categorical(logits.row(r), env_rng(ids[r]), log_prob);
+      stage_pre(ids[r], obs.row(r), vec_actions_[r], log_prob);
+    }
+  }
+  envs.step_active(std::span<const int>(vec_actions_.data(), k),
+                   std::span<env::StepResult>(vec_results_.data(), k));
+  for (std::size_t r = 0; r < k; ++r) {
+    VecLane& lane = vec_lanes_[ids[r]];
+    lane.rewards.push_back(vec_results_[r].reward);
+    lane.total_reward += vec_results_[r].reward;
+  }
+  envs.retire_done(std::span<const env::StepResult>(vec_results_.data(), k));
+  return envs.active_count();
+}
+
+void PpoAgent::finish_sweep(RolloutBuffer& buffer, std::vector<double>& episode_rewards) {
+  episode_rewards.resize(sweep_count_);
+  for (std::size_t e = 0; e < sweep_count_; ++e) {
+    VecLane& lane = vec_lanes_[e];
+    if (sweep_count_ >= 2) fill_lane_values(lane);
+    const std::size_t steps = lane.actions.size();
+    for (std::size_t t = 0; t < steps; ++t) {
+      Transition tr;
+      tr.state.assign(lane.states.begin() + static_cast<std::ptrdiff_t>(t * state_dim_),
+                      lane.states.begin() + static_cast<std::ptrdiff_t>((t + 1) * state_dim_));
+      tr.action = lane.actions[t];
+      tr.reward = lane.rewards[t];
+      tr.log_prob = lane.log_probs[t];
+      tr.value = lane.values[t];
+      tr.done = t + 1 == steps;
+      buffer.add(std::move(tr));
+    }
+    episode_rewards[e] = lane.total_reward;
+  }
+}
+
+void PpoAgent::collect_sweep(VecEnv& envs, std::size_t count, RolloutBuffer& buffer,
+                             std::vector<double>& episode_rewards) {
+  PFRL_SPAN("rl/rollout");
+  begin_sweep(envs, count);
+  while (!envs.all_done()) vec_step(envs);
+  finish_sweep(buffer, episode_rewards);
+}
+
+std::vector<EpisodeStats> PpoAgent::train_sweep(VecEnv& envs, std::size_t count) {
+  PFRL_SPAN("rl/train_sweep");
+  PFRL_COUNT("rl/episodes", count);
+  RolloutBuffer buffer;
+  std::vector<double> rewards;
+  collect_sweep(envs, count, buffer, rewards);
+  std::vector<EpisodeStats> stats(count);
+  for (std::size_t e = 0; e < count; ++e) {
+    stats[e].total_reward = rewards[e];
+    if (const auto* source = dynamic_cast<const env::MetricsSource*>(&envs.env(e)))
+      stats[e].metrics = source->metrics();
+  }
+  update(buffer);
+  for (std::size_t e = 0; e < count; ++e) stats[e].update = diagnostics_;
+  return stats;
+}
+
 EpisodeStats PpoAgent::train_episode(env::Env& environment) {
   PFRL_SPAN("rl/train_episode");
   PFRL_COUNT("rl/episodes", 1);
@@ -108,18 +273,17 @@ EpisodeStats PpoAgent::evaluate(env::Env& environment) {
   environment.reset();
   EpisodeStats stats;
   std::vector<float> state(environment.state_dim());
+  row_mask_.resize(static_cast<std::size_t>(environment.action_count()));
   bool done = false;
   while (!done) {
     environment.observe(state);
-    // Deterministic evaluation must make progress: when any placement is
-    // feasible, the no-op (last action) is masked out so a policy that
-    // drifted toward idling cannot livelock the episode; the learned
-    // ranking still chooses *which* VM.
-    std::vector<bool> mask = environment.valid_actions();
-    bool any_placement = false;
-    for (std::size_t a = 0; a + 1 < mask.size(); ++a) any_placement |= mask[a];
-    if (any_placement) mask.back() = false;
-    const env::StepResult r = environment.step(act_greedy_masked(state, mask));
+    // Allocation-free feasibility mask (Env::valid_actions_into) with the
+    // no-op forbidden whenever a placement is feasible, so a policy that
+    // drifted toward idling cannot livelock the rollout.
+    environment.valid_actions_into(row_mask_);
+    forbid_lazy_noop(row_mask_);
+    const env::StepResult r =
+        environment.step(act_greedy_masked(state, std::span<const std::uint8_t>(row_mask_)));
     stats.total_reward += r.reward;
     done = r.done;
   }
@@ -132,6 +296,7 @@ EpisodeStats PpoAgent::evaluate_sampled(env::Env& environment, bool masked) {
   environment.reset();
   EpisodeStats stats;
   std::vector<float> state(environment.state_dim());
+  row_mask_.resize(static_cast<std::size_t>(environment.action_count()));
   bool done = false;
   while (!done) {
     environment.observe(state);
@@ -141,14 +306,9 @@ EpisodeStats PpoAgent::evaluate_sampled(env::Env& environment, bool masked) {
     int action;
     float log_prob = 0.0F;
     if (masked) {
-      std::vector<bool> mask = environment.valid_actions();
-      bool any_placement = false;
-      for (std::size_t a = 0; a + 1 < mask.size(); ++a) any_placement |= mask[a];
-      if (any_placement) mask.back() = false;
-      std::vector<float> restricted(row.size(), -1e30F);
-      for (std::size_t a = 0; a < row.size(); ++a)
-        if (a >= mask.size() || mask[a]) restricted[a] = row[a];
-      action = sample_categorical(restricted, rng_, log_prob);
+      environment.valid_actions_into(row_mask_);
+      forbid_lazy_noop(row_mask_);
+      action = sample_categorical_masked(row, row_mask_, rng_, log_prob);
     } else {
       action = sample_categorical(row, rng_, log_prob);
     }
@@ -383,6 +543,10 @@ void PpoAgent::clear_kl_anchor() {
 
 void PpoAgent::save_training_state(util::ByteWriter& writer) const {
   rng_.state().serialize(writer);
+  // Vectorized-rollout RNG streams: sweep trajectories depend on them, so
+  // bit-identical resume with envs_per_client > 1 must restore them.
+  writer.write_u64(vec_rngs_.size());
+  for (const util::Rng& r : vec_rngs_) r.state().serialize(writer);
   actor_.serialize(writer);
   critic_.serialize(writer);
   actor_opt_.serialize(writer);
@@ -403,6 +567,13 @@ void PpoAgent::save_training_state(util::ByteWriter& writer) const {
 
 void PpoAgent::load_training_state(util::ByteReader& reader) {
   rng_.set_state(util::RngState::deserialize(reader));
+  const std::uint64_t stream_count = reader.read_u64();
+  vec_rngs_.clear();
+  for (std::uint64_t i = 0; i < stream_count; ++i) {
+    util::Rng stream(0);
+    stream.set_state(util::RngState::deserialize(reader));
+    vec_rngs_.push_back(stream);
+  }
   actor_.deserialize(reader);
   critic_.deserialize(reader);
   actor_opt_.deserialize(reader);

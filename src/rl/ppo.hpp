@@ -6,6 +6,7 @@
 #include "nn/mlp.hpp"
 #include "rl/agent.hpp"
 #include "rl/rollout.hpp"
+#include "rl/vec_env.hpp"
 
 namespace pfrl::rl {
 
@@ -35,9 +36,44 @@ class PpoAgent : public Agent {
   /// but a deterministic rollout must not be able to wedge on a VM that
   /// never fits.
   int act_greedy_masked(std::span<const float> state, const std::vector<bool>& valid);
+  /// Same, over the allocation-free byte mask of Env::valid_actions_into.
+  int act_greedy_masked(std::span<const float> state, std::span<const std::uint8_t> valid);
 
   /// Rolls one episode into `buffer` (no learning). Returns env reward.
   double collect_episode(env::Env& environment, RolloutBuffer& buffer);
+
+  // === Vectorized rollout (DESIGN.md "Vectorized rollout") ===
+
+  /// Collects one episode from each of the first `count` envs of `envs`,
+  /// stepped in lockstep with batched policy GEMMs, then performs ONE
+  /// update over the combined buffer. Returns per-env stats (env order);
+  /// every entry shares the single update's diagnostics. A 1-env sweep is
+  /// bit-identical to train_episode on envs.env(0).
+  std::vector<EpisodeStats> train_sweep(VecEnv& envs, std::size_t count);
+
+  /// Rollout-only form of train_sweep: fills `buffer` env by env (each
+  /// episode contiguous, terminated by its done flag — the layout
+  /// compute_gae expects) and writes per-env episode rewards.
+  void collect_sweep(VecEnv& envs, std::size_t count, RolloutBuffer& buffer,
+                     std::vector<double>& episode_rewards);
+
+  /// Begins a lockstep sweep: resets the first `count` envs, clears the
+  /// persistent staging lanes, and (lazily, deterministically) creates the
+  /// per-env RNG streams. Slot 0 always samples from the agent's own
+  /// policy stream, so a 1-env sweep consumes rng_ exactly as the serial
+  /// collect_episode path does.
+  void begin_sweep(VecEnv& envs, std::size_t count);
+  /// One observe → forward → sample → step cycle over the active set:
+  /// batched (forward_batch GEMM over the packed observation matrix) when
+  /// ≥ 2 envs are active; the last surviving env drops to the fused-GEMV
+  /// forward_row path — which is also what makes E=1 reproduce the serial
+  /// trajectories bit-for-bit. Zero heap allocations in steady state
+  /// (after one warmup sweep at the same width). Returns the number of
+  /// envs still active after retiring finished episodes.
+  std::size_t vec_step(VecEnv& envs);
+  /// Flushes the staged trajectories of the current sweep into `buffer`
+  /// and reports per-env episode rewards.
+  void finish_sweep(RolloutBuffer& buffer, std::vector<double>& episode_rewards);
 
   /// One PPO update (config.update_epochs passes) from a filled buffer.
   void update(const RolloutBuffer& buffer);
@@ -49,6 +85,11 @@ class PpoAgent : public Agent {
   /// Value estimate V(s) for a single state via the allocation-free
   /// forward_row path (same override semantics as value_batch).
   virtual float value_row(std::span<const float> state);
+
+  /// Value estimates for a packed batch written into a reused vector
+  /// (one forward_batch GEMM; no per-call Matrix). The vectorized rollout
+  /// hot loop uses this instead of value_batch.
+  virtual void value_rows_into(const nn::Matrix& states, std::vector<float>& out);
 
   nn::Mlp& actor() { return actor_; }
   const nn::Mlp& actor() const { return actor_; }
@@ -164,6 +205,48 @@ class PpoAgent : public Agent {
   void update_actor(const RolloutBuffer& buffer, const nn::Matrix& states,
                     std::span<const float> advantages);
 
+  // --- Vectorized-rollout internals ---
+
+  /// Per-env trajectory staging: SoA columns appended step by step while
+  /// the sweep runs, flushed into the RolloutBuffer at finish_sweep so
+  /// each episode lands contiguously. clear() keeps capacity, so a warmed
+  /// lane never reallocates.
+  struct VecLane {
+    std::vector<float> states;  // steps × state_dim, flattened row-major
+    std::vector<int> actions;
+    std::vector<double> rewards;
+    std::vector<float> log_probs;
+    std::vector<float> values;
+    double total_reward = 0.0;
+
+    void clear() {
+      states.clear();
+      actions.clear();
+      rewards.clear();
+      log_probs.clear();
+      values.clear();
+      total_reward = 0.0;
+    }
+  };
+
+  /// RNG stream for env slot `env_index` of a sweep. Slot 0 is the
+  /// agent's own policy stream rng_ (serial-path equivalence); slot e ≥ 1
+  /// gets a dedicated stream seeded from (config seed, e) alone, so the
+  /// streams are identical whether created lazily, after a resume, or at
+  /// a different sweep width.
+  util::Rng& env_rng(std::size_t env_index);
+  void ensure_env_rngs(std::size_t count);
+  void stage_pre(std::size_t env_index, std::span<const float> state, int action,
+                 float log_prob);
+
+  /// Deferred critic pass for sweeps of width ≥ 2: values are not needed
+  /// until GAE runs at episode end, so the step loop skips the critic
+  /// entirely and this fills lane.values from the staged flat states in
+  /// fixed-size batched chunks. Row bits are identical to a per-step
+  /// critic call because every kernel accumulates a row's outputs on the
+  /// same sequential k chain regardless of batch size or position.
+  void fill_lane_values(VecLane& lane);
+
   // Single-row inference scratch (sized action_count at construction) and
   // actor-update workspaces.
   std::vector<float> row_logits_;
@@ -171,6 +254,18 @@ class PpoAgent : public Agent {
   nn::Matrix ws_probs_;
   nn::Matrix ws_actor_grad_;
   nn::Matrix ws_anchor_lp_;
+
+  // Vectorized-rollout state. vec_rngs_[e-1] serves env slot e; the
+  // streams are part of the training state (serialized) because sweep
+  // trajectories depend on them. The rest is reused scratch.
+  std::vector<util::Rng> vec_rngs_;
+  std::vector<VecLane> vec_lanes_;
+  std::vector<int> vec_actions_;
+  std::vector<env::StepResult> vec_results_;
+  std::vector<float> vec_values_;
+  nn::Matrix vec_state_chunk_;  // fill_lane_values staging (chunk × state_dim)
+  std::vector<std::uint8_t> row_mask_;
+  std::size_t sweep_count_ = 0;
 };
 
 }  // namespace pfrl::rl

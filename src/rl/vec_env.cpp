@@ -1,0 +1,52 @@
+#include "rl/vec_env.hpp"
+
+#include <stdexcept>
+
+namespace pfrl::rl {
+
+VecEnv::VecEnv(std::vector<std::unique_ptr<env::Env>> envs) : envs_(std::move(envs)) {
+  if (envs_.empty()) throw std::invalid_argument("VecEnv: no environments");
+  for (const auto& e : envs_)
+    if (e == nullptr) throw std::invalid_argument("VecEnv: null environment");
+  state_dim_ = envs_.front()->state_dim();
+  action_count_ = envs_.front()->action_count();
+  for (const auto& e : envs_)
+    if (e->state_dim() != state_dim_ || e->action_count() != action_count_)
+      throw std::invalid_argument("VecEnv: heterogeneous state/action dimensions");
+  active_ids_.reserve(envs_.size());
+}
+
+void VecEnv::reset(std::size_t count) {
+  if (count == 0 || count > envs_.size())
+    throw std::invalid_argument("VecEnv::reset: count out of range");
+  active_ids_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    envs_[i]->reset();
+    active_ids_.push_back(i);
+  }
+}
+
+const nn::Matrix& VecEnv::observe_active() {
+  obs_.resize(active_ids_.size(), state_dim_);
+  for (std::size_t r = 0; r < active_ids_.size(); ++r)
+    envs_[active_ids_[r]]->observe(obs_.row(r));
+  return obs_;
+}
+
+void VecEnv::step_active(std::span<const int> actions, std::span<env::StepResult> results) {
+  if (actions.size() != active_ids_.size() || results.size() != active_ids_.size())
+    throw std::invalid_argument("VecEnv::step_active: span size mismatch");
+  for (std::size_t r = 0; r < active_ids_.size(); ++r)
+    results[r] = envs_[active_ids_[r]]->step(actions[r]);
+}
+
+void VecEnv::retire_done(std::span<const env::StepResult> results) {
+  if (results.size() != active_ids_.size())
+    throw std::invalid_argument("VecEnv::retire_done: span size mismatch");
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < active_ids_.size(); ++r)
+    if (!results[r].done) active_ids_[w++] = active_ids_[r];
+  active_ids_.resize(w);
+}
+
+}  // namespace pfrl::rl

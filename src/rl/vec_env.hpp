@@ -1,0 +1,68 @@
+// Vectorized environment: E independent env::Env instances stepped in
+// lockstep, with observations packed into one persistent (E × state_dim)
+// matrix so a single forward_batch GEMM produces every policy row
+// (DESIGN.md "Vectorized rollout").
+//
+// The active set starts as envs [0, count) and only shrinks: as episodes
+// finish, their envs are retired and the survivors stay in ascending
+// env-id order. Stable ordering is what makes per-env RNG streams
+// deterministic — row r of the packed matrix always belongs to
+// active_ids()[r], and the agent samples row r from the stream of that
+// env id, never from "whatever stream is next".
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "env/env.hpp"
+#include "nn/matrix.hpp"
+
+namespace pfrl::rl {
+
+class VecEnv {
+ public:
+  /// Takes ownership of `envs` (at least one; all must agree on
+  /// state_dim/action_count). Throws std::invalid_argument otherwise.
+  explicit VecEnv(std::vector<std::unique_ptr<env::Env>> envs);
+
+  std::size_t size() const { return envs_.size(); }
+  std::size_t state_dim() const { return state_dim_; }
+  int action_count() const { return action_count_; }
+
+  env::Env& env(std::size_t i) { return *envs_[i]; }
+  const env::Env& env(std::size_t i) const { return *envs_[i]; }
+
+  /// Resets envs [0, count) and makes them the active set.
+  void reset(std::size_t count);
+
+  std::size_t active_count() const { return active_ids_.size(); }
+  bool all_done() const { return active_ids_.empty(); }
+  /// Env ids backing the packed rows, ascending; row r ↔ active_ids()[r].
+  const std::vector<std::size_t>& active_ids() const { return active_ids_; }
+
+  /// Packs the active envs' observations into the persistent matrix
+  /// (active_count × state_dim) and returns it. Allocation-free once the
+  /// matrix has grown to the sweep's width.
+  const nn::Matrix& observe_active();
+
+  /// Steps active env r with actions[r], writing its StepResult into
+  /// results[r]. Does NOT retire finished envs — callers stage rewards
+  /// and dones against stable row indices first, then call retire_done().
+  /// Both spans must be active_count() long.
+  void step_active(std::span<const int> actions, std::span<env::StepResult> results);
+
+  /// Removes every env whose results[r].done is set from the active set
+  /// (results as returned by the matching step_active call). The
+  /// surviving rows keep their relative (ascending) order.
+  void retire_done(std::span<const env::StepResult> results);
+
+ private:
+  std::vector<std::unique_ptr<env::Env>> envs_;
+  std::vector<std::size_t> active_ids_;
+  std::size_t state_dim_ = 0;
+  int action_count_ = 0;
+  nn::Matrix obs_;
+};
+
+}  // namespace pfrl::rl

@@ -71,6 +71,15 @@ double Vm::slot_progress(int slot, double now) const {
   return 0.0;  // unreachable if invariants hold
 }
 
+void Vm::slot_progress_into(std::span<float> out, double now) const {
+  std::fill(out.begin(), out.end(), 0.0F);
+  for (const auto& rt : running_) {
+    const auto p = static_cast<float>(rt.progress(now));
+    for (const int k : rt.slots)
+      if (static_cast<std::size_t>(k) < out.size()) out[static_cast<std::size_t>(k)] = p;
+  }
+}
+
 double Vm::utilization(int resource) const {
   switch (resource) {
     case 0: return static_cast<double>(used_vcpus_) / static_cast<double>(vcpu_capacity_);

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "workload/trace.hpp"
@@ -56,6 +57,14 @@ class Vm {
   /// Progress of the task on slot k at `now`; 0 for a free slot.
   double slot_progress(int slot, double now) const;
 
+  /// Writes progress for slots [0, out.size()) in ONE pass over the
+  /// running tasks — the observation encoder calls this once per VM
+  /// instead of `slot_progress` per slot, which re-scans every running
+  /// task's slot list per query (O(slots × tasks) per observation vs
+  /// O(slots + tasks) here). Values are identical: each busy slot gets
+  /// its task's progress(now), free slots get 0.
+  void slot_progress_into(std::span<float> out, double now) const;
+
   /// Fraction of resource used: index 0 = vCPU, 1 = memory.
   double utilization(int resource) const;
   /// Fraction of resource *remaining* (the paper's m^load, Eq. 4).
@@ -71,8 +80,7 @@ class Vm {
   int used_vcpus_ = 0;
   double used_memory_ = 0.0;
   std::vector<RunningTask> running_;
-  std::vector<std::int8_t> slot_busy_;      // per-vCPU occupancy flag
-  std::vector<std::size_t> slot_task_idx_;  // slot -> index into running_
+  std::vector<std::int8_t> slot_busy_;  // per-vCPU occupancy flag
 };
 
 }  // namespace pfrl::sim

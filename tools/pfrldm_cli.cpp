@@ -67,7 +67,7 @@ int usage() {
       "  trace    --dataset NAME --tasks N --out FILE [--seed S]\n"
       "  inspect  --in FILE\n"
       "  train    --algorithm ALG --table 2|3 [--episodes N] [--seed S]\n"
-      "           [--checkpoint DIR] [--full]\n"
+      "           [--envs-per-client E] [--checkpoint DIR] [--full]\n"
       "           [--checkpoint-dir DIR [--checkpoint-every N] [--resume]]\n"
       "  evaluate --algorithm ALG --table 2|3 --checkpoint DIR [--hybrid F]\n"
       "  serve    --listen EP [--algorithm ALG --table 2|3 --episodes N --seed S]\n"
@@ -187,6 +187,9 @@ core::FederationConfig federation_config(const util::Cli& cli) {
       cli.get_int("episodes", static_cast<std::int64_t>(cfg.scale.episodes)));
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   cfg.min_participants = static_cast<std::size_t>(cli.get_int("min-participants", 1));
+  cfg.envs_per_client = static_cast<std::size_t>(cli.get_int("envs-per-client", 1));
+  if (cfg.envs_per_client == 0)
+    throw std::invalid_argument("--envs-per-client must be at least 1");
   return cfg;
 }
 
@@ -298,6 +301,7 @@ std::unique_ptr<obs::RunReporter> make_run_reporter(const util::Cli& cli,
   manifest.config.emplace_back("participants_per_round",
                                std::to_string(cfg.participants_per_round));
   manifest.config.emplace_back("min_participants", std::to_string(cfg.min_participants));
+  manifest.config.emplace_back("envs_per_client", std::to_string(cfg.envs_per_client));
   for (std::size_t i = 0; i < federation.client_count(); ++i)
     manifest.config.emplace_back("preset." + std::to_string(i),
                                  workload::dataset_name(federation.preset(i).dataset));
