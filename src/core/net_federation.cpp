@@ -98,8 +98,10 @@ NetFedServer::NetFedServer(NetFedServerConfig config)
   fed::HandshakeValidator validator = [this, algorithm](const fed::HelloPayload& hello,
                                                         std::string& reason,
                                                         fed::WelcomePayload& welcome) {
-    if (hello.protocol != fed::kTransportProtocolVersion) {
-      reason = "protocol version mismatch (server " +
+    if (hello.protocol < fed::kMinTransportProtocolVersion ||
+        hello.protocol > fed::kTransportProtocolVersion) {
+      reason = "unsupported protocol version (server speaks " +
+               std::to_string(fed::kMinTransportProtocolVersion) + ".." +
                std::to_string(fed::kTransportProtocolVersion) + ", client " +
                std::to_string(hello.protocol) + ")";
       return false;
@@ -239,7 +241,10 @@ NetFedServer::Summary NetFedServer::run() {
   std::iota(all.begin(), all.end(), std::size_t{0});
   for (; summary_.error.empty() && round < total_rounds_; ++round) {
     if (stopping()) break;
-    PFRL_SPAN("net/server_round");
+    // The round span's context rides on every frame sent inside it
+    // (RoundBegin, downloads), so client-side round spans across the
+    // fleet all join this span's trace.
+    PFRL_SPAN("fed/round");
     const std::vector<std::size_t> participants = pick_participants();
 
     for (std::size_t id = 0; id < client_count_; ++id) {
@@ -277,6 +282,7 @@ NetFedServer::Summary NetFedServer::run() {
       for (fed::Message& m : bus_->drain_client(id)) transport_->send(id, std::move(m));
 
     ++summary_.rounds;
+    PFRL_COUNT("fed/rounds", 1);
     if (collection.closed_at_deadline) ++summary_.rounds_closed_at_deadline;
     summary_.laggard_rounds += collection.missing.size();
     PFRL_LOG_INFO("NetFedServer: round %llu done (%zu/%zu uploads%s)",
@@ -491,53 +497,58 @@ NetFedClient::Result NetFedClient::run() {
         if (begin.round < next_round) break;  // duplicate / stale begin
 
         {
-          PFRL_SPAN("net/client_round");
+          // Adopt the trace context stamped on the RoundBegin frame by a
+          // protocol-v2 server: this client's round span (train + upload +
+          // download) becomes a child of the server's fed/round span, so
+          // merged traces show one causally-linked round across processes.
+          obs::RemoteSpanScope remote_scope({m->trace_id, m->span_id});
+          PFRL_SPAN("fed/round");
           fed::record_training_round(history, client.train_episodes(begin.episodes));
           episodes_done += begin.episodes;
-        }
-        if (begin.participate) {
-          if (transport.send(fed::make_message(fed::MessageType::kModelUpload, client.id(),
-                                               begin.round, client.make_upload())))
-            ++history.uploads_sent;
-        }
-        history.critic_loss_before.push_back(client.shared_critic_loss());
+          if (begin.participate) {
+            if (transport.send(fed::make_message(fed::MessageType::kModelUpload, client.id(),
+                                                 begin.round, client.make_upload())))
+              ++history.uploads_sent;
+          }
+          history.critic_loss_before.push_back(client.shared_critic_loss());
 
-        // Await this round's download; the server always answers every
-        // client it can reach, so a timeout here means we go stale.
-        bool applied = false;
-        const auto download_deadline = Clock::now() + config_.download_deadline;
-        while (Clock::now() < download_deadline) {
-          std::optional<fed::Message> d = next_message(kPollTick);
-          if (!d) continue;
-          last_traffic = Clock::now();
-          if (d->type == fed::MessageType::kModelPersonalized ||
-              d->type == fed::MessageType::kModelGlobal) {
-            if (d->round != begin.round) continue;  // leftover from an old round
-            std::string reason;
-            if (client.try_apply_download(*d, &reason)) {
-              applied = true;
-              ++history.downloads_applied;
-              PFRL_COUNT("fed/downloads_applied", 1);
-            } else {
-              ++history.downloads_rejected;
-              PFRL_COUNT("fed/downloads_rejected", 1);
-              PFRL_LOG_WARN("NetFedClient %zu: rejected download (round %llu): %s", config_.index,
-                            static_cast<unsigned long long>(begin.round), reason.c_str());
+          // Await this round's download; the server always answers every
+          // client it can reach, so a timeout here means we go stale.
+          bool applied = false;
+          const auto download_deadline = Clock::now() + config_.download_deadline;
+          while (Clock::now() < download_deadline) {
+            std::optional<fed::Message> d = next_message(kPollTick);
+            if (!d) continue;
+            last_traffic = Clock::now();
+            if (d->type == fed::MessageType::kModelPersonalized ||
+                d->type == fed::MessageType::kModelGlobal) {
+              if (d->round != begin.round) continue;  // leftover from an old round
+              std::string reason;
+              if (client.try_apply_download(*d, &reason)) {
+                applied = true;
+                ++history.downloads_applied;
+                PFRL_COUNT("fed/downloads_applied", 1);
+              } else {
+                ++history.downloads_rejected;
+                PFRL_COUNT("fed/downloads_rejected", 1);
+                PFRL_LOG_WARN("NetFedClient %zu: rejected download (round %llu): %s", config_.index,
+                              static_cast<unsigned long long>(begin.round), reason.c_str());
+              }
+              break;
             }
+            // The server moved on (or is closing): finish this round's
+            // accounting first, then let the main loop handle it.
+            pending.push_back(std::move(*d));
             break;
           }
-          // The server moved on (or is closing): finish this round's
-          // accounting first, then let the main loop handle it.
-          pending.push_back(std::move(*d));
-          break;
+          if (applied) {
+            history.staleness = 0;
+          } else {
+            ++history.staleness;
+            history.max_staleness = std::max(history.max_staleness, history.staleness);
+          }
+          history.critic_loss_after.push_back(client.shared_critic_loss());
         }
-        if (applied) {
-          history.staleness = 0;
-        } else {
-          ++history.staleness;
-          history.max_staleness = std::max(history.max_staleness, history.staleness);
-        }
-        history.critic_loss_after.push_back(client.shared_critic_loss());
 
         ++next_round;
         ++rounds_this_life;

@@ -40,6 +40,15 @@ struct Message {
   std::uint64_t round = 0;
   std::uint32_t checksum = 0;  // CRC-32 of payload (see make_message)
   std::vector<std::uint8_t> payload;
+
+  // Distributed-trace context, carried at the frame layer by protocol-v2
+  // socket transports (socket_transport.hpp) and stamped here on the
+  // receive path so handlers can adopt the sender's span. Transient:
+  // serialize_message does NOT write these — checkpointed in-flight
+  // traffic (FaultyBus delay queues) stays byte-identical across the
+  // protocol bump. Zero means "no context".
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 };
 
 /// Builds a message with its checksum stamped. All legitimate senders go

@@ -46,6 +46,24 @@ std::vector<std::uint8_t> encode_frame(std::uint64_t seq, const Message& message
   return std::move(writer).take();
 }
 
+std::vector<std::uint8_t> encode_frame(std::uint64_t seq, const Message& message,
+                                       obs::TraceContext context) {
+  if (!context.valid()) return encode_frame(seq, message);
+  util::ByteWriter body_writer;
+  serialize_message(message, body_writer);
+  const std::vector<std::uint8_t> body = std::move(body_writer).take();
+
+  util::ByteWriter writer;
+  writer.write_u32(kFrameMagicTraced);
+  writer.write_u32(static_cast<std::uint32_t>(body.size()));
+  writer.write_u64(seq);
+  writer.write_u32(util::crc32(body));
+  writer.write_u64(context.trace_id);
+  writer.write_u64(context.span_id);
+  writer.write_raw_span(body);
+  return std::move(writer).take();
+}
+
 FrameResult read_frame(int fd, Frame& out, std::chrono::milliseconds idle_timeout,
                        std::chrono::milliseconds io_timeout) {
   // Poll-only wait for the first byte: an idle timeout here never
@@ -68,7 +86,26 @@ FrameResult read_frame(int fd, Frame& out, std::chrono::milliseconds idle_timeou
   const std::uint32_t body_len = reader.read_u32();
   const std::uint64_t seq = reader.read_u64();
   const std::uint32_t crc = reader.read_u32();
-  if (magic != kFrameMagic || body_len > kMaxFrameBody) return FrameResult::kError;
+  if ((magic != kFrameMagic && magic != kFrameMagicTraced) || body_len > kMaxFrameBody)
+    return FrameResult::kError;
+
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  if (magic == kFrameMagicTraced) {
+    std::uint8_t trace_ext[kTracedFrameExtraBytes];
+    switch (util::read_full(fd, trace_ext, sizeof(trace_ext), io_timeout)) {
+      case util::IoResult::kOk:
+        break;
+      case util::IoResult::kClosed:
+        return FrameResult::kClosed;
+      case util::IoResult::kTimeout:
+      case util::IoResult::kError:
+        return FrameResult::kError;
+    }
+    util::ByteReader ext_reader(std::span<const std::uint8_t>(trace_ext, sizeof(trace_ext)));
+    trace_id = ext_reader.read_u64();
+    span_id = ext_reader.read_u64();
+  }
 
   std::vector<std::uint8_t> body(body_len);
   if (body_len > 0) {
@@ -92,6 +129,8 @@ FrameResult read_frame(int fd, Frame& out, std::chrono::milliseconds idle_timeou
     // dialect — tear the stream down rather than guess at framing.
     return FrameResult::kError;
   }
+  out.message.trace_id = trace_id;
+  out.message.span_id = span_id;
   out.seq = seq;
   return FrameResult::kOk;
 }
@@ -147,10 +186,14 @@ void SocketServerTransport::connection_loop(util::ScopedFd fd) {
 
   std::string reason;
   WelcomePayload welcome;
-  bool accepted = hello.protocol == kTransportProtocolVersion && hello.client_id >= 0 &&
+  bool accepted = hello.protocol >= kMinTransportProtocolVersion &&
+                  hello.protocol <= kTransportProtocolVersion && hello.client_id >= 0 &&
                   static_cast<std::size_t>(hello.client_id) < slots_.size();
   if (!accepted) reason = "unknown client id or protocol version";
   if (accepted && validator_ && !validator_(hello, reason, welcome)) accepted = false;
+  // Run the lower of the two dialects; the Welcome echoes the decision so
+  // both ends agree on whether traced frames may appear on this stream.
+  const std::uint32_t negotiated = std::min(hello.protocol, kTransportProtocolVersion);
 
   if (!accepted) {
     const Message reject =
@@ -177,7 +220,9 @@ void SocketServerTransport::connection_loop(util::ScopedFd fd) {
     slot.fd = std::move(fd);
     my_generation = ++slot.generation;
     slot.last_seen = std::chrono::steady_clock::now();
+    slot.negotiated = negotiated;
     welcome.last_seq_seen = slot.last_seq_in;
+    welcome.protocol = negotiated;
 
     const Message accept_msg =
         make_control(MessageType::kWelcome, -1, welcome.current_round, encode_welcome(welcome));
@@ -256,6 +301,10 @@ void SocketServerTransport::push_inbox(Message message) {
 }
 
 bool SocketServerTransport::send(std::size_t client, const Message& message) {
+  // Capture the caller's context before opening the transport span, so a
+  // traced frame parents the receiver to the caller's span (the round),
+  // not to the send plumbing.
+  const obs::TraceContext context = obs::current_trace_context();
   PFRL_SPAN("net/send");
   if (client >= slots_.size()) return false;
   Slot& slot = *slots_[client];
@@ -263,7 +312,9 @@ bool SocketServerTransport::send(std::size_t client, const Message& message) {
   // hit the wire out of seq order (the receiver's high-water dedup would
   // drop the swapped-back frame).
   const std::scoped_lock lock(slot.write_mutex);
-  const std::vector<std::uint8_t> frame = encode_frame(slot.next_seq_out++, message);
+  const std::vector<std::uint8_t> frame =
+      slot.negotiated >= 2 ? encode_frame(slot.next_seq_out++, message, context)
+                           : encode_frame(slot.next_seq_out++, message);
   {
     const std::scoped_lock stats_lock(stats_mutex_);
     ++stats_.sends;
@@ -422,6 +473,10 @@ bool SocketClientTransport::connect_locked() {
   // Resume outbound numbering above anything the server already accepted
   // from this id (a restarted process would otherwise look like a replay).
   next_seq_ = std::max(next_seq_, welcome.last_seq_seen + 1);
+  // The server's Welcome carries the negotiated dialect (min of both
+  // ends); clamp against ours in case the peer is newer than us.
+  negotiated_ = std::min(welcome.protocol, kTransportProtocolVersion);
+  if (negotiated_ < kMinTransportProtocolVersion) negotiated_ = kMinTransportProtocolVersion;
 
   fd_ = std::move(fd);
   const std::uint64_t generation = ++generation_;
@@ -511,10 +566,12 @@ void SocketClientTransport::heartbeat_loop() {
   }
 }
 
-bool SocketClientTransport::write_frame_locked(std::uint64_t seq, const Message& message) {
+bool SocketClientTransport::write_frame_locked(std::uint64_t seq, const Message& message,
+                                               obs::TraceContext context) {
   const std::scoped_lock lock(write_mutex_);
   if (!fd_.valid()) return false;
-  const std::vector<std::uint8_t> frame = encode_frame(seq, message);
+  const std::vector<std::uint8_t> frame = negotiated_ >= 2 ? encode_frame(seq, message, context)
+                                                           : encode_frame(seq, message);
   if (write_frame_bytes(fd_.get(), frame, config_.send_deadline) != util::IoResult::kOk)
     return false;
   const std::scoped_lock stats_lock(stats_mutex_);
@@ -523,6 +580,8 @@ bool SocketClientTransport::write_frame_locked(std::uint64_t seq, const Message&
 }
 
 bool SocketClientTransport::send(const Message& message) {
+  // Context before the transport span: see SocketServerTransport::send.
+  const obs::TraceContext context = obs::current_trace_context();
   PFRL_SPAN("net/send");
   const std::scoped_lock lock(conn_mutex_);
   {
@@ -579,7 +638,7 @@ bool SocketClientTransport::send(const Message& message) {
       }
     }
 
-    if (!write_frame_locked(seq, message)) {
+    if (!write_frame_locked(seq, message, context)) {
       connected_.store(false);  // broken pipe: force reconnect next attempt
       const std::scoped_lock stats_lock(stats_mutex_);
       ++stats_.send_failures;
@@ -587,7 +646,7 @@ bool SocketClientTransport::send(const Message& message) {
       continue;
     }
     if (duplicate_attempt)
-      write_frame_locked(seq, message);  // wire duplicate; receiver dedups by seq
+      write_frame_locked(seq, message, context);  // wire duplicate; receiver dedups by seq
     return true;
   }
   {

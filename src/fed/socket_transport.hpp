@@ -2,10 +2,16 @@
 //
 // Wire format, reusing the project's CRC-32 + length-framing idiom:
 //
-//   frame   := header body
-//   header  := magic:u32 ('PFRN') | body_len:u32 | seq:u64 | crc:u32
+//   frame   := header [trace] body
+//   header  := magic:u32 ('PFRN' | 'PFRT') | body_len:u32 | seq:u64 | crc:u32
+//   trace   := trace_id:u64 | span_id:u64      (only after 'PFRT' magic)
 //   body    := serialize_message(Message) bytes   (body_len of them)
 //   crc     := CRC-32 of body
+//
+// 'PFRT' frames (protocol v2) carry the sender's distributed-trace
+// context; they are only emitted when the Hello/Welcome negotiation
+// landed on v2 AND a span is active, so a run without obs — or against a
+// v1 peer — produces byte-identical 'PFRN' traffic.
 //
 // All integers little-endian via util::ByteWriter. seq == 0 marks a
 // control frame (kHello / kWelcome / kHelloReject / kHeartbeat), handled
@@ -33,20 +39,28 @@
 #include <unordered_map>
 
 #include "fed/transport.hpp"
+#include "obs/trace.hpp"
 #include "util/net.hpp"
 
 namespace pfrl::fed {
 
-inline constexpr std::uint32_t kFrameMagic = 0x5046524E;  // 'PFRN'
+inline constexpr std::uint32_t kFrameMagic = 0x5046524E;        // 'PFRN'
+inline constexpr std::uint32_t kFrameMagicTraced = 0x50465254;  // 'PFRT'
 inline constexpr std::uint32_t kFrameHeaderBytes = 20;
+inline constexpr std::uint32_t kTracedFrameExtraBytes = 16;  // trace_id + span_id
 inline constexpr std::uint32_t kMaxFrameBody = 64u << 20;  // 64 MiB
 
 struct Frame {
   std::uint64_t seq = 0;  // 0 = control frame
-  Message message;
+  Message message;        // trace_id/span_id stamped from 'PFRT' headers
 };
 
 std::vector<std::uint8_t> encode_frame(std::uint64_t seq, const Message& message);
+
+/// Traced variant: emits a 'PFRT' frame carrying `context`. An invalid
+/// context degrades to the plain encoding, byte for byte.
+std::vector<std::uint8_t> encode_frame(std::uint64_t seq, const Message& message,
+                                       obs::TraceContext context);
 
 enum class FrameResult {
   kOk,
@@ -102,6 +116,9 @@ class SocketServerTransport final : public ServerTransport {
     std::uint64_t generation = 0;      // bumps on every (re)handshake
     std::uint64_t last_seq_in = 0;     // inbound dedup high-water (persists)
     std::uint64_t next_seq_out = 1;    // outbound data seq (persists)
+    // Protocol version agreed at the last handshake: min(client, ours).
+    // Traced frames are only sent to v2+ peers.
+    std::uint32_t negotiated = kMinTransportProtocolVersion;
     std::chrono::steady_clock::time_point last_seen{};
     std::mutex write_mutex;
   };
@@ -165,7 +182,8 @@ class SocketClientTransport final : public ClientTransport {
   void teardown_locked(bool count_reconnect);
   void reader_loop(int fd, std::uint64_t generation);
   void heartbeat_loop();
-  bool write_frame_locked(std::uint64_t seq, const Message& message);
+  bool write_frame_locked(std::uint64_t seq, const Message& message,
+                          obs::TraceContext context = {});
 
   util::Endpoint endpoint_;
   HelloPayload hello_;
@@ -178,6 +196,7 @@ class SocketClientTransport final : public ClientTransport {
   std::atomic<bool> rejected_{false};
   std::string reject_reason_;
   bool ever_connected_ = false;
+  std::uint32_t negotiated_ = kMinTransportProtocolVersion;  // from the Welcome
   std::uint64_t next_seq_ = 1;      // outbound data seq (same seq on retry)
   std::uint64_t last_seq_in_ = 0;   // inbound dedup high-water
   mutable std::mutex conn_mutex_;   // guards fd_/generation_/handshake state

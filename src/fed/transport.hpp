@@ -34,7 +34,16 @@
 
 namespace pfrl::fed {
 
-inline constexpr std::uint32_t kTransportProtocolVersion = 1;
+// Protocol history:
+//   v1 — original PFRN framing (magic 'PFRN', 20-byte header).
+//   v2 — adds optional traced frames (magic 'PFRT', +16 header bytes of
+//        trace/span id) carrying distributed-trace context. Untraced v2
+//        frames are byte-identical to v1.
+// Both ends advertise kTransportProtocolVersion in Hello/Welcome and run
+// the lower of the two, so v1 peers interop untouched; anything outside
+// [kMinTransportProtocolVersion, kTransportProtocolVersion] is rejected.
+inline constexpr std::uint32_t kTransportProtocolVersion = 2;
+inline constexpr std::uint32_t kMinTransportProtocolVersion = 1;
 
 /// Bounded exponential backoff between send attempts:
 /// delay(a) = min(base * 2^a, max) * (1 + jitter * U[-1, 1]).

@@ -1,0 +1,205 @@
+#include "obs/exporter.hpp"
+
+#include <cstdio>
+
+#include "obs/run_report.hpp"
+
+namespace pfrl::obs {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our "layer/name" paths
+/// map '/' (and anything else exotic) to '_' under a "pfrl_" prefix.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "pfrl_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void append_double(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string prometheus_exposition(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(1024);
+  for (const CounterSample& c : snapshot.counters) {
+    const std::string name = prometheus_name(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    const std::string name = prometheus_name(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " ";
+    append_double(out, g.value);
+    out += "\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string name = prometheus_name(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size() && i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      out += name + "_bucket{le=\"";
+      append_double(out, h.bounds[i]);
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    if (!h.buckets.empty()) cumulative += h.buckets.back();  // overflow bucket
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += name + "_sum ";
+    append_double(out, h.sum);
+    out += "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string snapshot_json(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"schema\":\"pfrl-snapshot/1\",\"counters\":{";
+  bool first = true;
+  for (const CounterSample& c : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    json_escape_append(out, c.name);
+    out += ':' + std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const GaugeSample& g : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    json_escape_append(out, g.name);
+    out += ':';
+    json_number_append(out, g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSample& h : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    json_escape_append(out, h.name);
+    out += ":{\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":";
+    json_number_append(out, h.sum);
+    out += ",\"p50\":";
+    json_number_append(out, h.p50);
+    out += ",\"p95\":";
+    json_number_append(out, h.p95);
+    out += ",\"p99\":";
+    json_number_append(out, h.p99);
+    out += ",\"bounds\":[";
+    bool inner_first = true;
+    for (const double b : h.bounds) {
+      if (!inner_first) out += ',';
+      inner_first = false;
+      json_number_append(out, b);
+    }
+    out += "],\"buckets\":[";
+    inner_first = true;
+    for (const std::uint64_t b : h.buckets) {
+      if (!inner_first) out += ',';
+      inner_first = false;
+      out += std::to_string(b);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+TelemetryExporter::TelemetryExporter(TelemetryConfig config) : config_(std::move(config)) {
+  listen_fd_ = util::listen_endpoint(config_.endpoint);
+  bound_ = util::local_endpoint(listen_fd_.get(), config_.endpoint);
+  if (config_.sample_period.count() > 0)
+    sampler_ = std::make_unique<TimeSeriesSampler>(config_.sample_period, config_.sample_capacity);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+TelemetryExporter::~TelemetryExporter() { stop(); }
+
+void TelemetryExporter::stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (sampler_) sampler_->stop();
+}
+
+void TelemetryExporter::serve_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    util::ScopedFd conn = util::accept_connection(listen_fd_.get(), std::chrono::milliseconds(200));
+    if (!conn.valid()) continue;  // poll tick: re-check the stop flag
+    handle_connection(std::move(conn));
+  }
+}
+
+void TelemetryExporter::handle_connection(util::ScopedFd fd) {
+  std::string request;
+  const util::IoResult rc =
+      util::read_until(fd.get(), request, "\r\n\r\n", 8192, config_.io_timeout);
+  if (rc != util::IoResult::kOk) return;  // slow/garbage client: drop
+
+  // Request line: METHOD SP PATH SP VERSION. Query strings are ignored.
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line = request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  std::string method = sp1 == std::string::npos ? "" : line.substr(0, sp1);
+  std::string path =
+      sp2 == std::string::npos ? "" : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  int status = 200;
+  const char* status_text = "OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (method != "GET") {
+    status = 405;
+    status_text = "Method Not Allowed";
+    body = "only GET is served\n";
+  } else if (path == "/metrics") {
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = prometheus_exposition(metrics().snapshot());
+  } else if (path == "/snapshot.json") {
+    content_type = "application/json";
+    body = snapshot_json(metrics().snapshot());
+  } else if (path == "/timeseries.json") {
+    if (sampler_) {
+      content_type = "application/json";
+      body = sampler_->to_json();
+    } else {
+      status = 404;
+      status_text = "Not Found";
+      body = "sampler disabled\n";
+    }
+  } else if (path == "/healthz") {
+    body = "ok\n";
+  } else {
+    status = 404;
+    status_text = "Not Found";
+    body = "routes: /metrics /snapshot.json /timeseries.json /healthz\n";
+  }
+
+  std::string response;
+  response.reserve(128 + body.size());
+  response += "HTTP/1.1 " + std::to_string(status) + " " + status_text + "\r\n";
+  response += "Content-Type: " + content_type + "\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  util::write_full(fd.get(), response.data(), response.size(), config_.io_timeout);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace pfrl::obs

@@ -1,0 +1,88 @@
+// Live telemetry endpoint: a minimal blocking HTTP/1.1 server over the
+// util/net helpers that exposes the metrics registry while the process
+// runs, instead of only as a file after it exits.
+//
+// Routes:
+//   /metrics          Prometheus text exposition (version 0.0.4) of all
+//                     counters, gauges, and histograms (cumulative
+//                     _bucket{le=...} / _sum / _count series);
+//   /snapshot.json    the same registry snapshot as JSON;
+//   /timeseries.json  the sampler ring (pfrl-timeseries/1), when the
+//                     sampler is enabled;
+//   /healthz          "ok" — liveness probe.
+//
+// One accept thread handles one connection at a time, one request per
+// connection (Connection: close). That is deliberate: scrape traffic is
+// one poll per second or two, and a serial server cannot be wedged into
+// unbounded thread growth by a misbehaving scraper. Deadlines bound
+// every read/write so a stalled client cannot hold the accept loop for
+// more than ~2 s.
+//
+// Wired behind `--telemetry-port` in pfrldm train / serve / client /
+// serve-policy; port 0 binds an ephemeral port, resolved via endpoint().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "util/net.hpp"
+
+namespace pfrl::obs {
+
+/// Renders a registry snapshot in the Prometheus text exposition format.
+/// Metric names are prefixed "pfrl_" with path separators mapped to '_'
+/// ("serve/latency_us" -> pfrl_serve_latency_us).
+std::string prometheus_exposition(const MetricsSnapshot& snapshot);
+
+/// Renders a registry snapshot as one JSON object (pfrl-snapshot/1).
+std::string snapshot_json(const MetricsSnapshot& snapshot);
+
+struct TelemetryConfig {
+  /// TCP by default; unix:<path> also works for local scrapers.
+  util::Endpoint endpoint;
+  /// Sampler cadence and window for /timeseries.json; period 0 disables
+  /// the sampler (the route then answers 404).
+  std::chrono::milliseconds sample_period{1000};
+  std::size_t sample_capacity = 512;
+  /// Per-request I/O deadline.
+  std::chrono::milliseconds io_timeout{2000};
+};
+
+class TelemetryExporter {
+ public:
+  /// Binds and starts serving immediately; throws std::runtime_error when
+  /// the endpoint cannot be bound.
+  explicit TelemetryExporter(TelemetryConfig config);
+  ~TelemetryExporter();
+
+  TelemetryExporter(const TelemetryExporter&) = delete;
+  TelemetryExporter& operator=(const TelemetryExporter&) = delete;
+
+  /// The bound address (ephemeral port resolved).
+  const util::Endpoint& endpoint() const { return bound_; }
+
+  std::uint64_t requests_served() const { return requests_.load(std::memory_order_relaxed); }
+
+  /// Stops the accept loop and the sampler; idempotent.
+  void stop();
+
+ private:
+  void serve_loop();
+  void handle_connection(util::ScopedFd fd);
+
+  TelemetryConfig config_;
+  util::ScopedFd listen_fd_;
+  util::Endpoint bound_;
+  std::unique_ptr<TimeSeriesSampler> sampler_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace pfrl::obs

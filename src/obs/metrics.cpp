@@ -139,6 +139,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     s.p95 = h->quantile(0.95);
     s.p99 = h->quantile(0.99);
     s.max_bound = h->bounds().empty() ? 0.0 : h->bounds().back();
+    s.bounds = h->bounds();
+    s.buckets = h->bucket_counts();
     snap.histograms.push_back(std::move(s));
   }
   return snap;

@@ -152,6 +152,10 @@ struct HistogramSample {
   double p95 = 0.0;
   double p99 = 0.0;
   double max_bound = 0.0;
+  // Full bucket layout (bounds are upper edges; buckets has one extra
+  // overflow slot) so exporters can render cumulative distributions.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
 };
 
 struct MetricsSnapshot {

@@ -14,8 +14,10 @@
 // env/steps, util/pool_queue_depth.
 #pragma once
 
+#include "obs/exporter.hpp"     // IWYU pragma: export
 #include "obs/metrics.hpp"      // IWYU pragma: export
 #include "obs/perf_record.hpp"  // IWYU pragma: export
 #include "obs/run_report.hpp"   // IWYU pragma: export
+#include "obs/sampler.hpp"      // IWYU pragma: export
 #include "obs/sinks.hpp"        // IWYU pragma: export
 #include "obs/trace.hpp"        // IWYU pragma: export

@@ -1,5 +1,7 @@
 #include "obs/perf_record.hpp"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <fstream>
 #include <stdexcept>
@@ -9,11 +11,22 @@
 
 namespace pfrl::obs {
 
+namespace {
+
+std::int64_t wall_unix_seconds() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 PerfRecord::PerfRecord(std::string bench_name) : name_(std::move(bench_name)) {
-  timestamp_unix_ = std::chrono::duration_cast<std::chrono::seconds>(
-                        std::chrono::system_clock::now().time_since_epoch())
-                        .count();
+  timestamp_unix_ = wall_unix_seconds();
   host_threads_ = std::thread::hardware_concurrency();
+  char host[256] = {0};
+  if (::gethostname(host, sizeof(host) - 1) == 0) host_name_ = host;
+  git_describe_ = BuildInfo::current().git_describe;
 }
 
 void PerfRecord::add(PerfMetric metric) { metrics_.push_back(std::move(metric)); }
@@ -47,7 +60,15 @@ std::string PerfRecord::to_json() const {
   out += "{\n  \"schema\": \"pfrl-perf/1\",\n  \"name\": ";
   json_escape_append(out, name_);
   out += ",\n  \"timestamp_unix\": " + std::to_string(timestamp_unix_);
-  out += ",\n  \"host\": {\"threads\": " + std::to_string(host_threads_) + "}";
+  // End stamp at serialization time: a bench's write() happens when the
+  // session ends, so start/end bracket the measured run.
+  out += ",\n  \"timestamp_end_unix\": " + std::to_string(wall_unix_seconds());
+  out += ",\n  \"git_describe\": ";
+  json_escape_append(out, git_describe_);
+  out += ",\n  \"host\": {\"threads\": " + std::to_string(host_threads_);
+  out += ", \"name\": ";
+  json_escape_append(out, host_name_);
+  out += "}";
   out += ",\n  \"metrics\": [";
   for (std::size_t i = 0; i < metrics_.size(); ++i) {
     const PerfMetric& m = metrics_[i];

@@ -5,12 +5,18 @@
 //     "schema": "pfrl-perf/1",
 //     "name": "micro_primitives",
 //     "timestamp_unix": 1754400000,
-//     "host": {"threads": 8},
+//     "timestamp_end_unix": 1754400041,
+//     "git_describe": "v0-9-gabc1234",
+//     "host": {"threads": 8, "name": "bench-box-1"},
 //     "metrics": [
 //       {"name": "BM_MlpForward/64", "value": 1234.5, "unit": "ns",
 //        "items_per_second": 51883.1}
 //     ]
 //   }
+//
+// The start/end wall-clock stamps, hostname, and git describe make a
+// checked-in BENCH_*.json trajectory attributable: which commit, which
+// machine, and how long the bench ran.
 //
 // Successive PRs append records for the same bench name; comparing the
 // same metric name across records is the regression check. The schema
@@ -61,8 +67,10 @@ class PerfRecord {
 
  private:
   std::string name_;
-  std::int64_t timestamp_unix_ = 0;
+  std::int64_t timestamp_unix_ = 0;  // construction; to_json stamps the end
   std::size_t host_threads_ = 0;
+  std::string host_name_;
+  std::string git_describe_;
   std::vector<PerfMetric> metrics_;
 };
 

@@ -1,0 +1,114 @@
+#include "obs/sampler.hpp"
+
+#include <algorithm>
+
+#include "obs/run_report.hpp"
+
+namespace pfrl::obs {
+
+TimeSeriesSampler::TimeSeriesSampler(std::chrono::milliseconds period, std::size_t capacity)
+    : period_(std::max(period, std::chrono::milliseconds(10))),
+      capacity_(std::max<std::size_t>(capacity, 2)),
+      start_(std::chrono::steady_clock::now()) {
+  ring_.resize(capacity_);
+  thread_ = std::thread([this] { run(); });
+}
+
+TimeSeriesSampler::~TimeSeriesSampler() { stop(); }
+
+void TimeSeriesSampler::stop() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TimeSeriesSampler::run() {
+  std::unique_lock lock(mutex_);
+  while (!stopping_) {
+    // Snapshot outside the ring lock would let readers observe a torn
+    // ring; the registry snapshot is cheap enough to take under it.
+    Sample s;
+    s.t_ms = static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                            std::chrono::steady_clock::now() - start_)
+                                            .count());
+    s.wall_unix_ms =
+        static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                       std::chrono::system_clock::now().time_since_epoch())
+                                       .count());
+    s.snapshot = metrics().snapshot();
+    const std::size_t slot = (head_ + size_) % capacity_;
+    ring_[slot] = std::move(s);
+    if (size_ < capacity_)
+      ++size_;
+    else
+      head_ = (head_ + 1) % capacity_;
+    cv_.wait_for(lock, period_, [this] { return stopping_; });
+  }
+}
+
+std::vector<TimeSeriesSampler::Sample> TimeSeriesSampler::samples() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Sample> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(ring_[(head_ + i) % capacity_]);
+  return out;
+}
+
+std::string TimeSeriesSampler::to_json() const {
+  const std::vector<Sample> window = samples();
+  std::string out;
+  out.reserve(1024 + window.size() * 256);
+  out += "{\"schema\":\"pfrl-timeseries/1\",\"period_ms\":";
+  out += std::to_string(period_.count());
+  out += ",\"capacity\":" + std::to_string(capacity_);
+  out += ",\"samples\":[";
+  bool first_sample = true;
+  for (const Sample& s : window) {
+    if (!first_sample) out += ',';
+    first_sample = false;
+    out += "{\"t_ms\":" + std::to_string(s.t_ms);
+    out += ",\"wall_unix_ms\":" + std::to_string(s.wall_unix_ms);
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const CounterSample& c : s.snapshot.counters) {
+      if (!first) out += ',';
+      first = false;
+      json_escape_append(out, c.name);
+      out += ':' + std::to_string(c.value);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const GaugeSample& g : s.snapshot.gauges) {
+      if (!first) out += ',';
+      first = false;
+      json_escape_append(out, g.name);
+      out += ':';
+      json_number_append(out, g.value);
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const HistogramSample& h : s.snapshot.histograms) {
+      if (!first) out += ',';
+      first = false;
+      json_escape_append(out, h.name);
+      out += ":{\"count\":" + std::to_string(h.count);
+      out += ",\"sum\":";
+      json_number_append(out, h.sum);
+      out += ",\"p50\":";
+      json_number_append(out, h.p50);
+      out += ",\"p95\":";
+      json_number_append(out, h.p95);
+      out += ",\"p99\":";
+      json_number_append(out, h.p99);
+      out += '}';
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace pfrl::obs

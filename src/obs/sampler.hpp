@@ -1,0 +1,69 @@
+// Time-series sampler: a background thread that snapshots the metrics
+// registry every `period` into a fixed-size ring buffer, giving live
+// consumers (the /timeseries.json telemetry route, pfrl_top.py) a short
+// rolling history to difference rates from without the process ever
+// accumulating unbounded state. Oldest samples are overwritten in place;
+// with the defaults (1 s x 512 slots) the ring holds ~8.5 minutes.
+//
+// Snapshotting takes the registry mutex briefly (same cost as the
+// end-of-run snapshot), so sub-100ms periods are for tests, not hot
+// production loops.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace pfrl::obs {
+
+class TimeSeriesSampler {
+ public:
+  struct Sample {
+    std::uint64_t t_ms = 0;          // since sampler start (steady clock)
+    std::uint64_t wall_unix_ms = 0;  // wall clock at capture
+    MetricsSnapshot snapshot;
+  };
+
+  /// Starts the sampling thread immediately.
+  TimeSeriesSampler(std::chrono::milliseconds period, std::size_t capacity);
+  ~TimeSeriesSampler();
+
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  std::chrono::milliseconds period() const { return period_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Stops the thread; idempotent. Called by the destructor.
+  void stop();
+
+  /// Oldest-first copy of the retained window.
+  std::vector<Sample> samples() const;
+
+  /// The whole window as a pfrl-timeseries/1 JSON document.
+  std::string to_json() const;
+
+ private:
+  void run();
+
+  std::chrono::milliseconds period_;
+  std::size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::vector<Sample> ring_;  // ring_[ (head_ + i) % capacity_ ], size_ live
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+
+  std::chrono::steady_clock::time_point start_;
+  std::thread thread_;
+};
+
+}  // namespace pfrl::obs

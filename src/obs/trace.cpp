@@ -1,7 +1,10 @@
 #include "obs/trace.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -17,6 +20,12 @@ std::uint64_t now_ns() {
                                         .count());
 }
 
+std::uint64_t wall_now_us() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::system_clock::now().time_since_epoch())
+                                        .count());
+}
+
 /// Process start reference so streamed timestamps are small and relative.
 std::uint64_t process_epoch_ns() {
   static const std::uint64_t epoch = now_ns();
@@ -29,13 +38,39 @@ std::uint64_t thread_ordinal() {
   return id;
 }
 
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Process-unique nonzero 64-bit ids: a splitmix64 walk seeded from the
+/// pid and the clock, so ids from concurrently started processes do not
+/// collide in a merged trace.
+std::uint64_t next_id() {
+  static std::atomic<std::uint64_t> counter{
+      splitmix64(now_ns() ^ (static_cast<std::uint64_t>(::getpid()) << 32))};
+  std::uint64_t id = 0;
+  while (id == 0) id = splitmix64(counter.fetch_add(1, std::memory_order_relaxed));
+  return id;
+}
+
 struct StackEntry {
   const char* name;
+  std::uint64_t span_id;
+  std::uint64_t trace_id;
 };
 
-std::vector<StackEntry>& span_stack() {
-  thread_local std::vector<StackEntry> stack;
-  return stack;
+struct ThreadTrace {
+  std::vector<StackEntry> stack;
+  TraceContext remote;            // pending adopted remote parent
+  std::size_t remote_depth = 0;   // stack depth the adoption applies at
+};
+
+ThreadTrace& thread_trace() {
+  thread_local ThreadTrace t;
+  return t;
 }
 
 struct TracerState {
@@ -67,6 +102,12 @@ void json_escape_into(std::string& out, const char* text) {
   }
 }
 
+void append_hex16(std::string& out, std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(value));
+  out += buf;
+}
+
 }  // namespace
 
 void Tracer::set_stream_path(const std::string& path) {
@@ -79,6 +120,20 @@ void Tracer::set_stream_path(const std::string& path) {
   s.stream.open(path, std::ios::trunc);
   if (!s.stream.is_open()) throw std::runtime_error("Tracer: cannot open trace file " + path);
   s.streaming = true;
+  // Meta line: lets merge tooling align this process's relative clock
+  // (wall_epoch_us is the wall-clock instant where ts_us == 0) and label
+  // events by process. Parsers keying on "name" skip it.
+  char host[256] = {0};
+  if (::gethostname(host, sizeof(host) - 1) != 0) host[0] = '\0';
+  const std::uint64_t rel_us = (now_ns() - process_epoch_ns()) / 1000;
+  std::string meta;
+  meta += "{\"meta\":\"pfrl-trace/1\",\"pid\":" + std::to_string(::getpid());
+  meta += ",\"host\":\"";
+  json_escape_into(meta, host);
+  meta += "\",\"wall_epoch_us\":" + std::to_string(wall_now_us() - rel_us);
+  meta += "}\n";
+  s.stream << meta;
+  s.stream.flush();
 }
 
 bool Tracer::streaming() const {
@@ -103,7 +158,8 @@ void Tracer::reset() {
 }
 
 void Tracer::record(const char* name, const char* parent, std::uint64_t start_ns,
-                    std::uint64_t end_ns, std::uint32_t depth) {
+                    std::uint64_t end_ns, std::uint32_t depth, std::uint64_t trace_id,
+                    std::uint64_t span_id, std::uint64_t parent_span_id) {
   const std::uint64_t dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
   TracerState& s = state();
   const std::scoped_lock lock(s.mutex);
@@ -122,7 +178,7 @@ void Tracer::record(const char* name, const char* parent, std::uint64_t start_ns
 
   if (s.streaming) {
     std::string line;
-    line.reserve(128);
+    line.reserve(192);
     line += "{\"name\":\"";
     json_escape_into(line, name);
     line += "\",\"parent\":\"";
@@ -131,7 +187,13 @@ void Tracer::record(const char* name, const char* parent, std::uint64_t start_ns
     line += ",\"dur_us\":" + std::to_string(dur_ns / 1000);
     line += ",\"tid\":" + std::to_string(thread_ordinal());
     line += ",\"depth\":" + std::to_string(depth);
-    line += "}\n";
+    line += ",\"trace\":\"";
+    append_hex16(line, trace_id);
+    line += "\",\"span\":\"";
+    append_hex16(line, span_id);
+    line += "\",\"pspan\":\"";
+    append_hex16(line, parent_span_id);
+    line += "\"}\n";
     s.stream << line;
     s.stream.flush();
   }
@@ -142,13 +204,50 @@ Tracer& tracer() {
   return t;
 }
 
+TraceContext current_trace_context() {
+  if (!enabled()) return {};
+  const ThreadTrace& t = thread_trace();
+  if (t.stack.empty()) return {};
+  return {t.stack.back().trace_id, t.stack.back().span_id};
+}
+
+RemoteSpanScope::RemoteSpanScope(TraceContext context) {
+  if (!enabled() || !context.valid()) return;
+  ThreadTrace& t = thread_trace();
+  saved_context_ = t.remote;
+  saved_depth_ = t.remote_depth;
+  t.remote = context;
+  t.remote_depth = t.stack.size();
+  active_ = true;
+}
+
+RemoteSpanScope::~RemoteSpanScope() {
+  if (!active_) return;
+  ThreadTrace& t = thread_trace();
+  t.remote = saved_context_;
+  t.remote_depth = saved_depth_;
+}
+
 Span::Span(const char* name) {
   if (!enabled()) return;
   process_epoch_ns();  // pin the epoch before the first timestamp
-  std::vector<StackEntry>& stack = span_stack();
-  parent_ = stack.empty() ? nullptr : stack.back().name;
-  depth_ = static_cast<std::uint32_t>(stack.size());
-  stack.push_back({name});
+  ThreadTrace& t = thread_trace();
+  span_id_ = next_id();
+  if (t.remote.valid() && t.stack.size() == t.remote_depth) {
+    // Continuing a request that arrived over the wire: this span parents
+    // to the remote span and joins its trace. The remote parent has no
+    // local name — the merge tool resolves it by id across processes.
+    trace_id_ = t.remote.trace_id;
+    parent_span_id_ = t.remote.span_id;
+  } else if (!t.stack.empty()) {
+    parent_ = t.stack.back().name;
+    trace_id_ = t.stack.back().trace_id;
+    parent_span_id_ = t.stack.back().span_id;
+  } else {
+    trace_id_ = next_id();
+  }
+  depth_ = static_cast<std::uint32_t>(t.stack.size());
+  t.stack.push_back({name, span_id_, trace_id_});
   name_ = name;
   start_ns_ = now_ns();
 }
@@ -156,9 +255,9 @@ Span::Span(const char* name) {
 Span::~Span() {
   if (!name_) return;
   const std::uint64_t end = now_ns();
-  std::vector<StackEntry>& stack = span_stack();
-  if (!stack.empty()) stack.pop_back();
-  tracer().record(name_, parent_, start_ns_, end, depth_);
+  ThreadTrace& t = thread_trace();
+  if (!t.stack.empty()) t.stack.pop_back();
+  tracer().record(name_, parent_, start_ns_, end, depth_, trace_id_, span_id_, parent_span_id_);
 }
 
 namespace {
@@ -194,6 +293,19 @@ bool extract_u64(const std::string& line, const std::string& key, std::uint64_t&
   return true;
 }
 
+/// Ids stream as 16-digit hex strings (decimal u64 would overflow the
+/// 2^53 integer range of JSON consumers). Absent on pre-id streams.
+bool extract_hex_u64(const std::string& line, const std::string& key, std::uint64_t& out) {
+  std::string text;
+  if (!extract_string(line, key, text) || text.empty()) return false;
+  try {
+    out = std::stoull(text, nullptr, 16);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::vector<SpanEvent> parse_jsonl_events(const std::string& path) {
@@ -216,6 +328,9 @@ std::vector<SpanEvent> parse_jsonl_events(const std::string& path) {
     extract_u64(line, "tid", e.thread);
     extract_u64(line, "depth", depth);
     e.depth = static_cast<std::uint32_t>(depth);
+    extract_hex_u64(line, "trace", e.trace_id);
+    extract_hex_u64(line, "span", e.span_id);
+    extract_hex_u64(line, "pspan", e.parent_span_id);
     events.push_back(std::move(e));
   }
   return events;

@@ -16,6 +16,19 @@
 // Span names are stable "<layer>/<operation>" literals; nesting is
 // recorded as depth + parent in the stream, while aggregation stays
 // keyed by name alone so the summary table is compact.
+//
+// Distributed tracing: every span carries a 64-bit trace id (shared by
+// all spans in one causal tree, across processes) and a 64-bit span id
+// (unique per span). A process that receives a request over the wire
+// adopts the sender's context with RemoteSpanScope, so the handler span
+// it opens becomes a child of the remote span and joins its trace:
+//
+//   obs::RemoteSpanScope remote({frame.trace_id, frame.span_id});
+//   PFRL_SPAN("fed/round");   // child of the server's round span
+//
+// Per-process trace.jsonl streams are stitched into one timeline by
+// tools/pfrl_trace_merge.py using these ids plus the wall-clock anchor
+// in the stream's meta line.
 #pragma once
 
 #include <chrono>
@@ -41,6 +54,15 @@ struct SpanAggregate {
   }
 };
 
+/// Identifies one span within one trace. trace_id == 0 means "no
+/// context": sends carrying it fall back to the untraced wire format.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
 /// One streamed span event (also the shape parse_jsonl_events returns).
 struct SpanEvent {
   std::string name;
@@ -49,12 +71,18 @@ struct SpanEvent {
   std::uint64_t dur_us = 0;
   std::uint64_t thread = 0;
   std::uint32_t depth = 0;
+  std::uint64_t trace_id = 0;       // 0 on streams written before ids existed
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0; // 0 for trace roots
 };
 
 class Tracer {
  public:
   /// Streams every completed span to `path` as one JSON object per line.
   /// Empty path detaches the stream. Aggregation happens regardless.
+  /// The first line of a fresh stream is a meta record carrying the pid,
+  /// hostname, and the wall-clock instant of ts_us == 0 so merge tooling
+  /// can align per-process relative clocks.
   void set_stream_path(const std::string& path);
   bool streaming() const;
 
@@ -65,10 +93,34 @@ class Tracer {
 
   // Called by Span only.
   void record(const char* name, const char* parent, std::uint64_t start_ns,
-              std::uint64_t end_ns, std::uint32_t depth);
+              std::uint64_t end_ns, std::uint32_t depth, std::uint64_t trace_id,
+              std::uint64_t span_id, std::uint64_t parent_span_id);
 };
 
 Tracer& tracer();
+
+/// Context of the innermost open span on this thread ({0,0} when no span
+/// is open). This is what transports stamp onto outgoing frames.
+TraceContext current_trace_context();
+
+/// Adopts a remote trace context for the current scope: spans opened at
+/// the stack depth where the scope was entered become children of the
+/// remote span and share its trace id (deeper spans nest locally as
+/// usual). An invalid context makes the scope a no-op. Scopes nest;
+/// destruction restores the previous adoption.
+class RemoteSpanScope {
+ public:
+  explicit RemoteSpanScope(TraceContext context);
+  ~RemoteSpanScope();
+
+  RemoteSpanScope(const RemoteSpanScope&) = delete;
+  RemoteSpanScope& operator=(const RemoteSpanScope&) = delete;
+
+ private:
+  TraceContext saved_context_;
+  std::size_t saved_depth_ = 0;
+  bool active_ = false;
+};
 
 /// Parses a JSONL span stream written by the tracer (round-trip tests and
 /// external tooling). Lines that do not parse are skipped.
@@ -84,11 +136,17 @@ class Span {
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
+  /// This span's ids ({0,0} when inert). Mostly for tests.
+  TraceContext context() const { return {trace_id_, span_id_}; }
+
  private:
   const char* name_ = nullptr;  // null when inert
   const char* parent_ = nullptr;
   std::uint64_t start_ns_ = 0;
   std::uint32_t depth_ = 0;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_id_ = 0;
 };
 
 #define PFRL_OBS_CONCAT_INNER(a, b) a##b

@@ -10,6 +10,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <csignal>
 #include <cstring>
 #include <mutex>
@@ -260,6 +261,34 @@ IoResult write_full(int fd, const void* data, std::size_t size, std::chrono::mil
     done += static_cast<std::size_t>(n);
   }
   return IoResult::kOk;
+}
+
+IoResult read_until(int fd, std::string& out, const std::string& delim, std::size_t max_size,
+                    std::chrono::milliseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+  // Only the tail of the existing buffer can complete a split delimiter,
+  // so the search restarts just before the previous end.
+  std::size_t search_from = 0;
+  while (true) {
+    if (out.size() >= delim.size()) {
+      const std::size_t at = out.find(delim, search_from);
+      if (at != std::string::npos) return IoResult::kOk;
+      search_from = out.size() - (delim.size() - 1);
+    }
+    if (out.size() >= max_size) return IoResult::kError;
+    const int ready = poll_until(fd, POLLIN, deadline);
+    if (ready == 0) return IoResult::kTimeout;
+    if (ready < 0) return IoResult::kError;
+    char chunk[512];
+    const std::size_t want = std::min(sizeof(chunk), max_size - out.size());
+    const ssize_t n = retry_eintr([&] { return ::read(fd, chunk, want); });
+    if (n == 0) return IoResult::kClosed;
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return IoResult::kError;
+    }
+    out.append(chunk, static_cast<std::size_t>(n));
+  }
 }
 
 }  // namespace pfrl::util

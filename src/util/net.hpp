@@ -113,4 +113,12 @@ IoResult read_full(int fd, void* data, std::size_t size, std::chrono::millisecon
 /// EINTR and short writes, bounded by one overall deadline.
 IoResult write_full(int fd, const void* data, std::size_t size, std::chrono::milliseconds timeout);
 
+/// Appends to `out` until it contains `delim` (kept in `out`), the peer
+/// closes (kClosed), `max_size` bytes accumulate without the delimiter
+/// (kError — the caller's framing assumption is broken), or the deadline
+/// expires. Bytes past the delimiter within the final chunk stay in
+/// `out`. For line/header-oriented protocols (the telemetry endpoint).
+IoResult read_until(int fd, std::string& out, const std::string& delim, std::size_t max_size,
+                    std::chrono::milliseconds timeout);
+
 }  // namespace pfrl::util

@@ -416,5 +416,151 @@ TEST(SocketTransport, WorksOverTcpWithEphemeralPort) {
   server.stop();
 }
 
+// --- Protocol v2: traced frames ---------------------------------------
+
+/// Obs off, no context: the traced overload must degrade to the plain v1
+/// encoding byte for byte — the guarantee that a run without telemetry
+/// (or against a v1 peer) puts exactly yesterday's bytes on the wire.
+TEST(TracedFrames, NoContextEncodesByteIdenticalToV1) {
+  const Message m = upload(2, 5, 0x11);
+  const std::vector<std::uint8_t> plain = encode_frame(9, m);
+  const std::vector<std::uint8_t> traced = encode_frame(9, m, obs::TraceContext{});
+  EXPECT_EQ(traced, plain);
+  ASSERT_GE(plain.size(), 4u);
+  EXPECT_EQ(plain[0], static_cast<std::uint8_t>(kFrameMagic & 0xFF));
+}
+
+TEST(TracedFrames, RoundTripCarriesContextAcrossTheWire) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  util::ScopedFd a(fds[0]);
+  util::ScopedFd b(fds[1]);
+
+  const Message m = upload(4, 12, 0x77);
+  const obs::TraceContext context{0x1122334455667788ULL, 0xAABBCCDDEEFF0011ULL};
+  const std::vector<std::uint8_t> wire = encode_frame(42, m, context);
+  EXPECT_EQ(wire.size(), encode_frame(42, m).size() + kTracedFrameExtraBytes);
+  ASSERT_EQ(util::write_full(a.get(), wire.data(), wire.size(), 1000ms), util::IoResult::kOk);
+
+  Frame frame;
+  ASSERT_EQ(read_frame(b.get(), frame, 1000ms, 1000ms), FrameResult::kOk);
+  EXPECT_EQ(frame.seq, 42u);
+  EXPECT_EQ(frame.message.trace_id, context.trace_id);
+  EXPECT_EQ(frame.message.span_id, context.span_id);
+  EXPECT_EQ(frame.message.payload, m.payload);
+  EXPECT_TRUE(checksum_ok(frame.message));
+
+  // A plain frame on the same stream leaves the context fields zero.
+  const std::vector<std::uint8_t> plain = encode_frame(43, m);
+  ASSERT_EQ(util::write_full(a.get(), plain.data(), plain.size(), 1000ms), util::IoResult::kOk);
+  ASSERT_EQ(read_frame(b.get(), frame, 1000ms, 1000ms), FrameResult::kOk);
+  EXPECT_EQ(frame.message.trace_id, 0u);
+  EXPECT_EQ(frame.message.span_id, 0u);
+}
+
+TEST(TracedFrames, CorruptedTracedBodyStillDropsOnCrc) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  util::ScopedFd a(fds[0]);
+  util::ScopedFd b(fds[1]);
+
+  std::vector<std::uint8_t> wire = encode_frame(1, upload(0, 0, 0x55), {7, 8});
+  wire.back() ^= 0xFF;
+  ASSERT_EQ(util::write_full(a.get(), wire.data(), wire.size(), 1000ms), util::IoResult::kOk);
+  Frame frame;
+  EXPECT_EQ(read_frame(b.get(), frame, 1000ms, 1000ms), FrameResult::kBadCrc);
+
+  const std::vector<std::uint8_t> clean = encode_frame(2, upload(0, 1, 0x56), {7, 9});
+  ASSERT_EQ(util::write_full(a.get(), clean.data(), clean.size(), 1000ms), util::IoResult::kOk);
+  EXPECT_EQ(read_frame(b.get(), frame, 1000ms, 1000ms), FrameResult::kOk);
+  EXPECT_EQ(frame.seq, 2u);
+  EXPECT_EQ(frame.message.span_id, 9u);
+}
+
+/// A v1 peer negotiates down: the Welcome echoes protocol 1 and uploads
+/// flow as plain frames even while a span is active on the sender.
+TEST(TracedFrames, V1PeerNegotiatesDownAndInterops) {
+  SocketHarness harness;
+  HelloPayload hello;
+  hello.protocol = 1;
+  hello.client_id = 0;
+  hello.arch_hash = 0xFEED;
+  hello.algorithm = "pfrl-dm";
+  std::uint32_t welcomed_protocol = 0;
+  SocketClientTransport client(
+      harness.socket_server().endpoint(), hello, TransportConfig{},
+      [&](const WelcomePayload& w) { welcomed_protocol = w.protocol; });
+  ASSERT_TRUE(client.connect());
+  EXPECT_EQ(welcomed_protocol, 1u);
+
+  obs::set_enabled(true);
+  {
+    PFRL_SPAN("test/v1_interop");
+    ASSERT_TRUE(client.send(upload(0, 3, 0x33)));
+  }
+  obs::set_enabled(false);
+
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  std::optional<Message> received;
+  while (std::chrono::steady_clock::now() < deadline) {
+    received = harness.server().poll(50ms);
+    if (received && received->type == MessageType::kModelUpload) break;
+    received.reset();
+  }
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->round, 3u);
+  EXPECT_EQ(received->trace_id, 0u);  // negotiated v1: no context on the wire
+  EXPECT_EQ(received->span_id, 0u);
+  client.close();
+}
+
+/// Both ends v2 with obs armed: the sender's active span context arrives
+/// stamped on the server's copy of the upload.
+TEST(TracedFrames, V2UploadCarriesActiveSpanContext) {
+  SocketHarness harness;
+  auto client = harness.make_client(1, TransportConfig{});
+  ASSERT_TRUE(client->connect());
+
+  obs::set_enabled(true);
+  obs::TraceContext sent;
+  {
+    PFRL_SPAN("test/v2_round");
+    sent = obs::current_trace_context();
+    ASSERT_TRUE(sent.valid());
+    ASSERT_TRUE(client->send(upload(1, 6, 0x66)));
+  }
+  obs::set_enabled(false);
+
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  std::optional<Message> received;
+  while (std::chrono::steady_clock::now() < deadline) {
+    received = harness.server().poll(50ms);
+    if (received && received->type == MessageType::kModelUpload) break;
+    received.reset();
+  }
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->trace_id, sent.trace_id);
+  EXPECT_EQ(received->span_id, sent.span_id);
+  client->close();
+}
+
+/// The transient context fields never reach serialize_message: the
+/// checkpoint image of an in-flight message is unchanged by the bump.
+TEST(TracedFrames, SerializeMessageIgnoresTraceContext) {
+  Message m = upload(0, 2, 0x22);
+  util::ByteWriter without;
+  serialize_message(m, without);
+  m.trace_id = 0xDEAD;
+  m.span_id = 0xBEEF;
+  util::ByteWriter with;
+  serialize_message(m, with);
+  EXPECT_EQ(without.bytes(), with.bytes());
+
+  util::ByteReader reader(with.bytes());
+  const Message back = deserialize_message(reader);
+  EXPECT_EQ(back.trace_id, 0u);
+  EXPECT_EQ(back.span_id, 0u);
+}
+
 }  // namespace
 }  // namespace pfrl::fed

@@ -1,0 +1,202 @@
+// Telemetry exporter: Prometheus text exposition correctness (cumulative
+// histogram series, name sanitization), snapshot JSON, the HTTP routes of
+// TelemetryExporter over a real socket, live-scrape-equals-registry
+// equality, and the sampler ring staying bounded.
+#include "obs/exporter.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+
+namespace pfrl::obs {
+namespace {
+
+using namespace std::chrono_literals;
+
+class ObsExporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    metrics().reset_values();
+  }
+  void TearDown() override {
+    metrics().reset_values();
+    set_enabled(false);
+  }
+};
+
+/// Value of the one sample line for `name` (no labels) in an exposition.
+double sample_value(const std::string& text, const std::string& name) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(name + " ", 0) == 0) return std::stod(line.substr(name.size() + 1));
+  }
+  ADD_FAILURE() << "no sample " << name << " in exposition";
+  return -1.0;
+}
+
+TEST_F(ObsExporterTest, ExpositionSanitizesNamesAndTypesEverything) {
+  metrics().counter("exp/weird-name!x").add(3);
+  metrics().gauge("exp/depth").set(7.5);
+  metrics().histogram("exp/lat", {1.0, 10.0}).record(0.5);
+
+  const std::string text = prometheus_exposition(metrics().snapshot());
+  EXPECT_NE(text.find("# TYPE pfrl_exp_weird_name_x counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pfrl_exp_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pfrl_exp_lat histogram"), std::string::npos);
+  EXPECT_EQ(sample_value(text, "pfrl_exp_weird_name_x"), 3.0);
+  EXPECT_EQ(sample_value(text, "pfrl_exp_depth"), 7.5);
+}
+
+TEST_F(ObsExporterTest, ExpositionHistogramSeriesAreCumulativeAndClosed) {
+  Histogram& h = metrics().histogram("exp/hist", {10.0, 100.0});
+  h.record(5.0);    // bucket 0
+  h.record(50.0);   // bucket 1
+  h.record(5000.0); // overflow
+  h.record(7000.0); // overflow
+
+  const std::string text = prometheus_exposition(metrics().snapshot());
+  // Cumulative: le="10" holds 1, le="100" holds 2, +Inf holds all 4
+  // (overflow included), and _count agrees with the +Inf bucket.
+  EXPECT_EQ(sample_value(text, "pfrl_exp_hist_bucket{le=\"10\"}"), 1.0);
+  EXPECT_EQ(sample_value(text, "pfrl_exp_hist_bucket{le=\"100\"}"), 2.0);
+  EXPECT_EQ(sample_value(text, "pfrl_exp_hist_bucket{le=\"+Inf\"}"), 4.0);
+  EXPECT_EQ(sample_value(text, "pfrl_exp_hist_count"), 4.0);
+  EXPECT_EQ(sample_value(text, "pfrl_exp_hist_sum"), 12055.0);
+}
+
+TEST_F(ObsExporterTest, SnapshotJsonCarriesBucketLayout) {
+  metrics().counter("exp/json_counter").add(11);
+  metrics().histogram("exp/json_hist", {2.0}).record(1.0);
+
+  const std::string json = snapshot_json(metrics().snapshot());
+  EXPECT_NE(json.find("\"schema\":\"pfrl-snapshot/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"exp/json_counter\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\":[2]"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[1,0]"), std::string::npos);  // + overflow slot
+}
+
+/// Minimal scrape client over the same util/net helpers the server uses.
+struct HttpResponse {
+  int status = 0;
+  std::string headers;
+  std::string body;
+};
+
+HttpResponse http_get(const util::Endpoint& endpoint, const std::string& target,
+                      const std::string& method = "GET") {
+  HttpResponse r;
+  util::ScopedFd fd = util::connect_endpoint(endpoint, 2000ms);
+  if (!fd.valid()) return r;
+  const std::string request =
+      method + " " + target + " HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n";
+  if (util::write_full(fd.get(), request.data(), request.size(), 2000ms) != util::IoResult::kOk)
+    return r;
+  std::string raw;
+  char buf[2048];
+  for (;;) {
+    if (!util::wait_readable(fd.get(), 2000ms)) break;
+    const auto n = util::retry_eintr([&] { return ::read(fd.get(), buf, sizeof(buf)); });
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  std::sscanf(raw.c_str(), "HTTP/1.1 %d", &r.status);
+  const std::size_t split = raw.find("\r\n\r\n");
+  if (split != std::string::npos) {
+    r.headers = raw.substr(0, split);
+    r.body = raw.substr(split + 4);
+  }
+  return r;
+}
+
+TEST_F(ObsExporterTest, HttpRoutesServeMetricsSnapshotAndHealth) {
+  TelemetryConfig config;
+  config.endpoint = util::parse_endpoint("127.0.0.1:0");
+  config.sample_period = 20ms;
+  config.sample_capacity = 8;
+  TelemetryExporter exporter(config);
+  ASSERT_NE(exporter.endpoint().port, 0);
+
+  metrics().counter("exp/http_counter").add(42);
+
+  const HttpResponse health = http_get(exporter.endpoint(), "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  const HttpResponse metrics_r = http_get(exporter.endpoint(), "/metrics");
+  EXPECT_EQ(metrics_r.status, 200);
+  EXPECT_NE(metrics_r.headers.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_EQ(sample_value(metrics_r.body, "pfrl_exp_http_counter"), 42.0);
+
+  const HttpResponse snap = http_get(exporter.endpoint(), "/snapshot.json");
+  EXPECT_EQ(snap.status, 200);
+  EXPECT_NE(snap.headers.find("application/json"), std::string::npos);
+  EXPECT_NE(snap.body.find("\"exp/http_counter\":42"), std::string::npos);
+
+  std::this_thread::sleep_for(60ms);  // let the sampler tick
+  const HttpResponse ts = http_get(exporter.endpoint(), "/timeseries.json");
+  EXPECT_EQ(ts.status, 200);
+  EXPECT_NE(ts.body.find("\"schema\":\"pfrl-timeseries/1\""), std::string::npos);
+
+  EXPECT_EQ(http_get(exporter.endpoint(), "/nope").status, 404);
+  EXPECT_EQ(http_get(exporter.endpoint(), "/metrics", "POST").status, 405);
+  EXPECT_GE(exporter.requests_served(), 6u);
+  exporter.stop();
+  exporter.stop();  // idempotent
+}
+
+TEST_F(ObsExporterTest, TimeseriesRouteAnswers404WhenSamplerDisabled) {
+  TelemetryConfig config;
+  config.endpoint = util::parse_endpoint("127.0.0.1:0");
+  config.sample_period = 0ms;  // sampler off
+  TelemetryExporter exporter(config);
+  EXPECT_EQ(http_get(exporter.endpoint(), "/timeseries.json").status, 404);
+  EXPECT_EQ(http_get(exporter.endpoint(), "/healthz").status, 200);
+}
+
+/// The acceptance bar for live scrapes: counter totals seen over HTTP
+/// mid-run equal the registry values captured at the same instant.
+TEST_F(ObsExporterTest, LiveScrapeAgreesWithRegistrySnapshot) {
+  TelemetryConfig config;
+  config.endpoint = util::parse_endpoint("127.0.0.1:0");
+  config.sample_period = 0ms;
+  TelemetryExporter exporter(config);
+
+  metrics().counter("exp/scrape_me").add(1234);
+  const HttpResponse scrape = http_get(exporter.endpoint(), "/metrics");
+  const std::uint64_t registry_value = metrics().counter("exp/scrape_me").value();
+  EXPECT_EQ(sample_value(scrape.body, "pfrl_exp_scrape_me"),
+            static_cast<double>(registry_value));
+}
+
+TEST_F(ObsExporterTest, SamplerRingStaysBoundedAndOrdered) {
+  metrics().counter("exp/sampled").add(1);
+  TimeSeriesSampler sampler(10ms, 4);
+  std::this_thread::sleep_for(120ms);  // enough ticks to wrap the ring
+  sampler.stop();
+
+  const std::vector<TimeSeriesSampler::Sample> samples = sampler.samples();
+  ASSERT_GE(samples.size(), 2u);
+  EXPECT_LE(samples.size(), 4u);  // ring capacity enforced
+  for (std::size_t i = 1; i < samples.size(); ++i)
+    EXPECT_GE(samples[i].t_ms, samples[i - 1].t_ms);
+  bool found = false;
+  for (const CounterSample& c : samples.back().snapshot.counters)
+    found = found || (c.name == "exp/sampled" && c.value == 1);
+  EXPECT_TRUE(found);
+
+  const std::string json = sampler.to_json();
+  EXPECT_NE(json.find("\"schema\":\"pfrl-timeseries/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"period_ms\":10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfrl::obs

@@ -266,6 +266,86 @@ TEST_F(ObsMetricsTest, CsvReportEscapesHostileLabels) {
   std::remove(path.c_str());
 }
 
+// --- Histogram::quantile edge cases ---
+
+TEST_F(ObsMetricsTest, QuantileOfEmptyHistogramIsZero) {
+  Histogram h({10.0, 100.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST_F(ObsMetricsTest, QuantileAllInFirstBucketInterpolatesFromZero) {
+  Histogram h({10.0, 100.0});
+  for (int i = 0; i < 4; ++i) h.record(1.0);
+  // Every sample sits in [0, 10]; the quantile interpolates linearly
+  // across that bucket regardless of where the samples actually landed.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST_F(ObsMetricsTest, QuantileAllInOverflowReportsLastBound) {
+  Histogram h({10.0, 100.0});
+  for (int i = 0; i < 3; ++i) h.record(5000.0);
+  // The overflow bucket has no upper edge: every quantile degrades to
+  // its lower edge, the largest configured bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.01), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST_F(ObsMetricsTest, QuantileSingleBucketInterpolatesByRank) {
+  Histogram h({100.0});
+  for (int i = 0; i < 4; ++i) h.record(50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 25.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 75.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST_F(ObsMetricsTest, QuantileClampsOutOfRangeInputs) {
+  Histogram h({100.0});
+  h.record(50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST_F(ObsMetricsTest, SnapshotStaysConsistentUnderConcurrentRecorders) {
+  Histogram& h = metrics().histogram("test/concurrent_hist", {1.0, 10.0, 100.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.record(static_cast<double>((t * kPerThread + i) % 200));
+    });
+  }
+  // Mid-flight snapshots must always be internally sane: the bucket
+  // layout fixed, count never ahead of the recorded total.
+  for (int probe = 0; probe < 50; ++probe) {
+    for (const HistogramSample& s : metrics().snapshot().histograms) {
+      if (s.name != "test/concurrent_hist") continue;
+      EXPECT_EQ(s.bounds.size(), 3u);
+      EXPECT_EQ(s.buckets.size(), 4u);
+      EXPECT_LE(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+    }
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  for (const HistogramSample& s : metrics().snapshot().histograms) {
+    if (s.name != "test/concurrent_hist") continue;
+    std::uint64_t in_buckets = 0;
+    for (const std::uint64_t b : s.buckets) in_buckets += b;
+    EXPECT_EQ(in_buckets, s.count);  // no sample lost between count and buckets
+  }
+  const double p100 = h.quantile(1.0);
+  EXPECT_GE(p100, 100.0);  // values up to 199 land in overflow → last bound
+}
+
 TEST_F(ObsMetricsTest, MacrosRecordWhenEnabled) {
   PFRL_COUNT("test/macro_counter", 3);
   PFRL_COUNT("test/macro_counter", 4);

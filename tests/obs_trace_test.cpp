@@ -205,5 +205,124 @@ TEST_F(ObsTraceTest, ReportAndPerfRecordCarrySpansAndMetrics) {
   EXPECT_NE(json.find("test/report_span.total_ms"), std::string::npos);
 }
 
+// --- Trace/span ids and remote-context adoption ---
+
+TEST_F(ObsTraceTest, SpansCarryLinkedTraceAndSpanIds) {
+  const std::string path = temp_path("obs_trace_ids");
+  tracer().set_stream_path(path);
+  {
+    PFRL_SPAN("test/id_root");
+    { PFRL_SPAN("test/id_child"); }
+  }
+  { PFRL_SPAN("test/id_second_root"); }
+  tracer().set_stream_path("");
+
+  const std::vector<SpanEvent> events = parse_jsonl_events(path);
+  ASSERT_EQ(events.size(), 3u);  // child closes first
+  const SpanEvent& child = events[0];
+  const SpanEvent& root = events[1];
+  const SpanEvent& second = events[2];
+  EXPECT_NE(root.trace_id, 0u);
+  EXPECT_NE(root.span_id, 0u);
+  EXPECT_EQ(root.parent_span_id, 0u);  // trace root
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  EXPECT_EQ(child.parent_span_id, root.span_id);
+  EXPECT_NE(child.span_id, root.span_id);
+  // A new root span opens a fresh trace with fresh ids.
+  EXPECT_NE(second.trace_id, root.trace_id);
+  EXPECT_NE(second.span_id, root.span_id);
+  EXPECT_EQ(second.parent_span_id, 0u);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTraceTest, CurrentTraceContextTracksInnermostSpan) {
+  EXPECT_FALSE(current_trace_context().valid());
+  PFRL_SPAN("test/ctx_outer");
+  const TraceContext outer = current_trace_context();
+  EXPECT_TRUE(outer.valid());
+  {
+    PFRL_SPAN("test/ctx_inner");
+    const TraceContext inner = current_trace_context();
+    EXPECT_EQ(inner.trace_id, outer.trace_id);
+    EXPECT_NE(inner.span_id, outer.span_id);
+  }
+  EXPECT_EQ(current_trace_context().span_id, outer.span_id);
+}
+
+TEST_F(ObsTraceTest, RemoteSpanScopeAdoptsContextAtEntryDepth) {
+  const std::string path = temp_path("obs_trace_adopt");
+  tracer().set_stream_path(path);
+  const TraceContext remote{0xABCD'0000'0000'0001ULL, 0x1234'0000'0000'0002ULL};
+  {
+    RemoteSpanScope scope(remote);
+    {
+      PFRL_SPAN("test/adopt_handler");
+      { PFRL_SPAN("test/adopt_nested"); }
+    }
+  }
+  { PFRL_SPAN("test/adopt_after"); }
+  tracer().set_stream_path("");
+
+  const std::vector<SpanEvent> events = parse_jsonl_events(path);
+  ASSERT_EQ(events.size(), 3u);
+  const SpanEvent& nested = events[0];
+  const SpanEvent& handler = events[1];
+  const SpanEvent& after = events[2];
+  // The handler span joins the remote trace and parents to the remote
+  // span — but has no *local* parent name, the marker merge tooling
+  // uses to tell adopted client rounds from server-local rounds.
+  EXPECT_EQ(handler.trace_id, remote.trace_id);
+  EXPECT_EQ(handler.parent_span_id, remote.span_id);
+  EXPECT_EQ(handler.parent, "");
+  // Nested spans parent locally inside the adopted trace.
+  EXPECT_EQ(nested.trace_id, remote.trace_id);
+  EXPECT_EQ(nested.parent_span_id, handler.span_id);
+  EXPECT_EQ(nested.parent, "test/adopt_handler");
+  // Once the scope closes, new roots are back to fresh local traces.
+  EXPECT_NE(after.trace_id, remote.trace_id);
+  EXPECT_EQ(after.parent_span_id, 0u);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTraceTest, RemoteSpanScopeAdoptionSkipsOpenSpans) {
+  // Adoption applies only to spans opened at the scope's entry depth:
+  // if a local span is already open *inside* the scope... the scope was
+  // installed at depth 1, so a span at depth 1 adopts, deeper ones nest.
+  PFRL_SPAN("test/outer_local");
+  const TraceContext local = current_trace_context();
+  const TraceContext remote{0xDEAD'0000'0000'0003ULL, 0xBEEF'0000'0000'0004ULL};
+  {
+    RemoteSpanScope scope(remote);
+    PFRL_SPAN("test/inner_adopted");
+    const TraceContext ctx = current_trace_context();
+    EXPECT_EQ(ctx.trace_id, remote.trace_id);
+    {
+      // Deeper spans stay in the adopted trace, parented locally.
+      PFRL_SPAN("test/deeper");
+      EXPECT_EQ(current_trace_context().trace_id, remote.trace_id);
+      EXPECT_NE(current_trace_context().span_id, ctx.span_id);
+    }
+  }
+  // Back outside the scope the original local trace is intact.
+  EXPECT_EQ(current_trace_context().trace_id, local.trace_id);
+  EXPECT_EQ(current_trace_context().span_id, local.span_id);
+}
+
+TEST_F(ObsTraceTest, InvalidRemoteContextIsIgnored) {
+  const std::string path = temp_path("obs_trace_invalid_ctx");
+  tracer().set_stream_path(path);
+  {
+    RemoteSpanScope scope(TraceContext{});  // trace_id 0: no context
+    PFRL_SPAN("test/no_adopt");
+  }
+  tracer().set_stream_path("");
+
+  const std::vector<SpanEvent> events = parse_jsonl_events(path);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NE(events[0].trace_id, 0u);      // fresh local trace
+  EXPECT_EQ(events[0].parent_span_id, 0u);  // no phantom remote parent
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace pfrl::obs

@@ -36,6 +36,7 @@ common=(--table 2 --tiny --episodes 40 --algorithm pfrl-dm --seed 7 --log-level 
 
 echo "== starting server + 4 clients on ${sock}"
 "$pfrldm" serve --listen "$sock" "${common[@]}" --round-deadline-ms 2000 \
+    --trace-out "$work/trace-server.jsonl" \
     --summary-out "$work/summary.json" > "$work/serve.log" 2>&1 &
 serve_pid=$!
 pids+=("$serve_pid")
@@ -43,10 +44,14 @@ sleep 0.5
 
 for i in 0 1 3; do
   "$pfrldm" client --connect "$sock" --index "$i" "${common[@]}" \
+      --trace-out "$work/trace-client$i.jsonl" \
       > "$work/client$i.log" 2>&1 &
   pids+=("$!")
 done
+# Client 2 lives twice (SIGKILL + --resume); each life streams its own
+# trace file so the merge below sees both processes.
 "$pfrldm" client --connect "$sock" --index 2 "${common[@]}" \
+    --trace-out "$work/trace-client2-first.jsonl" \
     --checkpoint-dir "$work/ckpt2" > "$work/client2-first.log" 2>&1 &
 victim_pid=$!
 pids+=("$victim_pid")
@@ -63,6 +68,7 @@ sleep 0.5
 
 echo "== restarting client 2 with --resume"
 "$pfrldm" client --connect "$sock" --index 2 "${common[@]}" \
+    --trace-out "$work/trace-client2-resumed.jsonl" \
     --checkpoint-dir "$work/ckpt2" --resume \
     --result-out "$work/client2.json" > "$work/client2-resumed.log" 2>&1 &
 rejoin_pid=$!
@@ -99,3 +105,11 @@ print("e2e OK: rejoins=%d rounds_closed_at_deadline=%d laggard_rounds=%d"
       % (summary["rejoins"], summary["rounds_closed_at_deadline"],
          summary["laggard_rounds"]))
 EOF
+
+echo "== stitching per-process traces into one timeline"
+# --check-round-parents asserts every client fed/round span is a child of
+# a server fed/round span (trace context propagated over the wire); the
+# SIGKILLed first life of client 2 exercises truncated-tail tolerance.
+python3 "${repo_root}/tools/pfrl_trace_merge.py" \
+    --check-round-parents --out "$work/merged_trace.json" \
+    "$work"/trace-*.jsonl

@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Live terminal dashboard for a pfrldm --telemetry-port endpoint.
+
+Polls /snapshot.json (and /timeseries.json when sampling is on) and
+renders counters with rates, gauges, and histogram quantiles in place —
+`top` for a federation: rounds/s, decisions/s, queue depths, latency
+p50/p95/p99, shed/reject rates.
+
+  tools/pfrl_top.py http://127.0.0.1:9464 [--interval 1.0]
+  tools/pfrl_top.py http://127.0.0.1:9464 --once     # one frame, no ANSI
+  tools/pfrl_top.py http://127.0.0.1:9464 --lint     # check /metrics
+                                                     # exposition, exit 0/1
+
+--lint fetches /metrics and validates the Prometheus text exposition
+(format 0.0.4): metric-name syntax, parseable sample values, and for
+histograms the cumulative bucket invariants (non-decreasing, closed by
+le="+Inf" == _count). CI runs this against a live serve-policy process.
+
+Stdlib only — no prometheus client, no curses.
+"""
+
+import argparse
+import json
+import re
+import sys
+import time
+import urllib.error
+import urllib.request
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)(\s+\d+)?$")
+
+
+def fetch(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as r:
+        return r.read().decode("utf-8", errors="replace")
+
+
+# --- exposition lint --------------------------------------------------
+
+
+def lint_exposition(text):
+    """Returns (families, samples, errors) for a 0.0.4 text exposition."""
+    types = {}
+    samples = []  # (name, labels_str, value)
+    errors = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    errors.append("line %d: malformed TYPE comment" % lineno)
+                    continue
+                name, kind = parts[2], parts[3]
+                if not NAME_RE.match(name):
+                    errors.append("line %d: bad metric name %r" % (lineno, name))
+                if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    errors.append("line %d: unknown type %r" % (lineno, kind))
+                if name in types:
+                    errors.append("line %d: duplicate TYPE for %r" % (lineno, name))
+                types[name] = kind
+            continue  # HELP / other comments pass through
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append("line %d: unparseable sample %r" % (lineno, line))
+            continue
+        name, labels, value = m.group(1), m.group(3) or "", m.group(4)
+        try:
+            val = float(value)
+        except ValueError:
+            errors.append("line %d: bad value %r" % (lineno, value))
+            continue
+        samples.append((name, labels, val))
+
+    by_name = {}
+    for name, labels, val in samples:
+        by_name.setdefault(name, []).append((labels, val))
+
+    for name, kind in types.items():
+        if kind == "histogram":
+            buckets = by_name.get(name + "_bucket", [])
+            les, last = [], None
+            for labels, val in buckets:
+                lm = re.search(r'le="([^"]*)"', labels)
+                if not lm:
+                    errors.append("%s_bucket sample without le label" % name)
+                    continue
+                les.append((lm.group(1), val))
+                if last is not None and val < last:
+                    errors.append("%s buckets not cumulative" % name)
+                last = val
+            if not les:
+                errors.append("histogram %s has no buckets" % name)
+                continue
+            if les[-1][0] != "+Inf":
+                errors.append("%s buckets not closed by le=\"+Inf\"" % name)
+            count = by_name.get(name + "_count")
+            if not count:
+                errors.append("histogram %s missing _count" % name)
+            elif les and count[0][1] != les[-1][1]:
+                errors.append("%s: _count %.10g != +Inf bucket %.10g"
+                              % (name, count[0][1], les[-1][1]))
+            if not by_name.get(name + "_sum"):
+                errors.append("histogram %s missing _sum" % name)
+        elif kind in ("counter", "gauge"):
+            if name not in by_name:
+                errors.append("TYPE %s declared but no sample" % name)
+    for name in by_name:
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in types and base not in types:
+            errors.append("sample %s has no TYPE comment" % name)
+    return types, samples, errors
+
+
+# --- dashboard --------------------------------------------------------
+
+
+def quantile(bounds, buckets, q):
+    """Interpolated quantile from upper-edge bounds + overflow slot,
+    mirroring obs::Histogram::quantile."""
+    total = sum(buckets)
+    if total == 0:
+        return 0.0
+    rank = q * (total - 1)
+    seen = 0
+    for i, count in enumerate(buckets):
+        if count == 0:
+            continue
+        if seen + count > rank:
+            if i >= len(bounds):  # overflow bucket: report its lower edge
+                return bounds[-1] if bounds else 0.0
+            lo = bounds[i - 1] if i > 0 else 0.0
+            hi = bounds[i]
+            frac = (rank - seen + 1.0) / count
+            return lo + (hi - lo) * min(1.0, max(0.0, frac))
+        seen += count
+    return bounds[-1] if bounds else 0.0
+
+
+def fmt(v):
+    if abs(v) >= 1e6:
+        return "%.3gM" % (v / 1e6)
+    if abs(v) >= 1e4:
+        return "%.3gk" % (v / 1e3)
+    return "%.4g" % v
+
+
+def render(snapshot, prev, dt, url):
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    hists = snapshot.get("histograms", {})
+    rates = {}
+    if prev and dt > 0:
+        for name, val in counters.items():
+            rates[name] = max(0.0, (val - prev.get("counters", {}).get(name, 0)) / dt)
+
+    lines = []
+    lines.append("pfrl-top — %s — %s" % (url, time.strftime("%H:%M:%S")))
+    head = []
+    for label, key in (("rounds/s", "fed/rounds"), ("decisions/s", "serve/decisions"),
+                       ("episodes/s", "fed/episodes")):
+        if key in rates:
+            head.append("%s %s" % (label, fmt(rates[key])))
+    for name, val in sorted(gauges.items()):
+        if "queue" in name:
+            head.append("%s %s" % (name, fmt(val)))
+    shed = sum(r for n, r in rates.items() if "shed" in n or "reject" in n)
+    if any("shed" in n or "reject" in n for n in counters):
+        head.append("shed+reject/s %s" % fmt(shed))
+    if head:
+        lines.append("  " + "   ".join(head))
+    lines.append("")
+
+    if counters:
+        lines.append("  %-38s %14s %12s" % ("counter", "total", "per-sec"))
+        for name, val in sorted(counters.items()):
+            lines.append("  %-38s %14s %12s"
+                         % (name, fmt(val), fmt(rates[name]) if name in rates else "-"))
+        lines.append("")
+    if gauges:
+        lines.append("  %-38s %14s" % ("gauge", "value"))
+        for name, val in sorted(gauges.items()):
+            lines.append("  %-38s %14s" % (name, fmt(val)))
+        lines.append("")
+    if hists:
+        lines.append("  %-38s %10s %10s %10s %10s" % ("histogram", "count", "p50", "p95", "p99"))
+        for name, h in sorted(hists.items()):
+            bounds, buckets = h.get("bounds", []), h.get("buckets", [])
+            lines.append("  %-38s %10s %10s %10s %10s"
+                         % (name, fmt(h.get("count", 0)),
+                            fmt(quantile(bounds, buckets, 0.50)),
+                            fmt(quantile(bounds, buckets, 0.95)),
+                            fmt(quantile(bounds, buckets, 0.99))))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("url", help="telemetry base URL, e.g. http://127.0.0.1:9464")
+    ap.add_argument("--interval", type=float, default=1.0, help="poll period seconds")
+    ap.add_argument("--once", action="store_true", help="print one frame and exit")
+    ap.add_argument("--lint", action="store_true",
+                    help="validate the /metrics exposition and exit")
+    args = ap.parse_args()
+    base = args.url.rstrip("/")
+    if "://" not in base:
+        base = "http://" + base
+
+    if args.lint:
+        text = fetch(base + "/metrics")
+        types, samples, errors = lint_exposition(text)
+        for e in errors:
+            print("LINT: " + e, file=sys.stderr)
+        print("lint %s: %d families, %d samples"
+              % ("FAILED" if errors else "OK", len(types), len(samples)))
+        return 1 if errors else 0
+
+    prev, prev_t = None, None
+    while True:
+        try:
+            snapshot = json.loads(fetch(base + "/snapshot.json"))
+        except (urllib.error.URLError, OSError) as e:
+            print("pfrl-top: %s unreachable: %s" % (base, e), file=sys.stderr)
+            return 1
+        now = time.monotonic()
+        frame = render(snapshot, prev, now - (prev_t or now), base)
+        if args.once:
+            print(frame)
+            return 0
+        sys.stdout.write("\x1b[H\x1b[2J" + frame + "\n(^C to quit)\n")
+        sys.stdout.flush()
+        prev, prev_t = snapshot, now
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Stitch per-process pfrl trace.jsonl files into one timeline.
+
+Each process armed with --trace-out streams spans as JSONL, preceded by a
+meta line ({"meta":"pfrl-trace/1","pid":...,"host":...,"wall_epoch_us":...})
+that anchors its process-relative clock to the wall clock. Protocol-v2
+socket transports carry trace/span ids across the wire, so spans recorded
+in different processes share trace ids and parent links; this tool joins
+them into a single causally-linked timeline.
+
+Wall clocks are only the first-order alignment: processes on different
+hosts (or under clock slew) can disagree by more than a span duration.
+After the wall anchor, per-process clock offsets are refined from
+cross-process parent/child pairs: a child span observed over the wire
+must lie inside its remote parent, which bounds the child process's
+offset from below (child cannot start before its parent) and above
+(child cannot end after it). The midpoint of the feasible interval is
+applied — or zero when no correction is needed.
+
+Usage:
+  tools/pfrl_trace_merge.py [--out merged.json] [--check-round-parents]
+                            trace-a.jsonl trace-b.jsonl ...
+
+--check-round-parents exits nonzero unless every client-side fed/round
+span resolves to a fed/round parent span in another process (the CI
+assertion that one federation round is one distributed trace).
+
+Files from processes killed mid-write (SIGKILL) are fine: lines without
+a closing brace are skipped, matching the C++ parser's behavior.
+"""
+
+import argparse
+import json
+import sys
+
+NO_ID = "0000000000000000"
+
+
+def load_trace(path, proc_index):
+    """Returns (meta, spans). Spans get absolute wall-clock start/end."""
+    meta = {"pid": 0, "host": "", "wall_epoch_us": 0, "file": path}
+    spans = []
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        for line in f:
+            line = line.strip()
+            if not line or not line.endswith("}"):
+                continue  # truncated tail from a killed process
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if rec.get("meta") == "pfrl-trace/1":
+                meta.update({k: rec[k] for k in ("pid", "host", "wall_epoch_us") if k in rec})
+                continue
+            if "name" not in rec or "ts_us" not in rec:
+                continue
+            start = meta["wall_epoch_us"] + rec["ts_us"]
+            spans.append({
+                "name": rec["name"],
+                "parent": rec.get("parent", ""),
+                "proc": proc_index,
+                "start_us": start,
+                "end_us": start + rec.get("dur_us", 0),
+                "dur_us": rec.get("dur_us", 0),
+                "tid": rec.get("tid", 0),
+                "depth": rec.get("depth", 0),
+                "trace": rec.get("trace", NO_ID),
+                "span": rec.get("span", NO_ID),
+                "pspan": rec.get("pspan", NO_ID),
+            })
+    return meta, spans
+
+
+def cross_process_edges(spans, by_span):
+    """Yields (child, parent) pairs whose link crosses a process boundary."""
+    for child in spans:
+        if child["pspan"] == NO_ID:
+            continue
+        parent = by_span.get(child["pspan"])
+        if parent is not None and parent["proc"] != child["proc"]:
+            yield child, parent
+
+
+def estimate_offsets(metas, spans, by_span):
+    """Per-process clock corrections (us), anchored at process 0 = 0.
+
+    Each wire-linked pair is a request/reply exchange: the parent span
+    opens, sends the request (child starts handling strictly after), and
+    closes only after observing the reply. So the child's corrected start
+    must land inside the parent's corrected [start, end] window — the
+    request leg bounds offset(child) - offset(parent) from below
+    (parent_start - child_start, a hard happens-before edge), the reply
+    leg from above (parent_end - child_start). The tightest lower bound
+    is taken across pairs; for the upper bound the loosest, since a child
+    whose request sat queued past the parent's close (a straggler round)
+    yields a spuriously small one. The minimal correction inside the
+    interval is applied — zero when the wall anchors already agree —
+    propagated breadth-first from process 0.
+    """
+    bounds = {}  # (parent_proc, child_proc) -> [lo_max, hi_max]
+    for child, parent in cross_process_edges(spans, by_span):
+        key = (parent["proc"], child["proc"])
+        lo = parent["start_us"] - child["start_us"]
+        hi = parent["end_us"] - child["start_us"]
+        cur = bounds.setdefault(key, [float("-inf"), float("-inf")])
+        cur[0] = max(cur[0], lo)
+        cur[1] = max(cur[1], hi)
+
+    offsets = {0: 0.0}
+    frontier = [0]
+    while frontier:
+        nxt = []
+        for (p, c), (lo, hi) in bounds.items():
+            known, unknown, sign = (p, c, 1) if p in offsets else (c, p, -1)
+            if known not in offsets or unknown in offsets or known not in frontier:
+                continue
+            hi = max(hi, lo)
+            if lo <= 0.0 <= hi:
+                rel = 0.0  # wall clocks already consistent: leave them be
+            elif lo > 0.0:
+                rel = lo
+            else:
+                rel = hi
+            offsets[unknown] = offsets[known] + sign * rel
+            nxt.append(unknown)
+        frontier = nxt
+    for i in range(len(metas)):
+        offsets.setdefault(i, 0.0)
+    return offsets
+
+
+def check_round_parents(spans, by_span, metas):
+    """Every client fed/round span must be a child of a server fed/round.
+
+    Client rounds adopt their parent over the wire, so they record no
+    local parent name — just the remote pspan id. Server rounds nest
+    locally under net/server_run and keep a local parent name.
+    """
+    client_rounds = [s for s in spans
+                     if s["name"] == "fed/round" and s["parent"] == "" and s["pspan"] != NO_ID]
+    resolved = [s for s in client_rounds if s["pspan"] in by_span]
+    orphans = [s for s in client_rounds if s["pspan"] not in by_span]
+    local = [s for s in resolved if by_span[s["pspan"]]["proc"] == s["proc"]]
+    bad = [s for s in resolved if by_span[s["pspan"]]["name"] != "fed/round"]
+    n_server = sum(1 for s in spans if s["name"] == "fed/round" and s["parent"] != "")
+
+    errors = []
+    if not client_rounds:
+        errors.append("no adopted fed/round spans found "
+                      "(trace context did not propagate)")
+    if bad:
+        errors.append("%d fed/round spans parent to a non-round span (%s)" %
+                      (len(bad), by_span[bad[0]["pspan"]]["name"]))
+    if local:
+        errors.append("%d fed/round spans parent within their own process" % len(local))
+    if orphans:
+        errors.append("%d fed/round spans reference a parent span id missing "
+                      "from every input file" % len(orphans))
+    traces = {s["trace"] for s in client_rounds}
+    print("round-parent check: %d client round spans across %d processes, "
+          "%d server round spans, %d traces" %
+          (len(client_rounds), len(metas), n_server, len(traces)))
+    for e in errors:
+        print("FAIL: " + e, file=sys.stderr)
+    return not errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("files", nargs="+", help="per-process trace.jsonl files")
+    ap.add_argument("--out", help="write the merged timeline JSON here")
+    ap.add_argument("--check-round-parents", action="store_true",
+                    help="assert every client fed/round span has a remote "
+                         "fed/round parent (CI mode)")
+    args = ap.parse_args()
+
+    metas, spans = [], []
+    for i, path in enumerate(args.files):
+        meta, s = load_trace(path, i)
+        metas.append(meta)
+        spans.extend(s)
+
+    by_span = {}
+    for s in spans:
+        if s["span"] != NO_ID:
+            by_span[s["span"]] = s
+
+    offsets = estimate_offsets(metas, spans, by_span)
+    for s in spans:
+        off = offsets[s["proc"]]
+        s["start_us"] = int(s["start_us"] + off)
+        s["end_us"] = int(s["end_us"] + off)
+    spans.sort(key=lambda s: (s["start_us"], -s["dur_us"]))
+
+    for i, meta in enumerate(metas):
+        n = sum(1 for s in spans if s["proc"] == i)
+        print("proc %d: pid=%s host=%s offset=%+.0fus spans=%d (%s)" %
+              (i, meta["pid"], meta["host"] or "?", offsets[i], n, meta["file"]))
+    cross = sum(1 for _ in cross_process_edges(spans, by_span))
+    print("merged %d spans, %d cross-process links, %d traces" %
+          (len(spans), cross, len({s["trace"] for s in spans if s["trace"] != NO_ID})))
+
+    if args.out:
+        merged = {
+            "schema": "pfrl-merged-trace/1",
+            "processes": [{"pid": m["pid"], "host": m["host"], "file": m["file"],
+                           "offset_us": offsets[i]} for i, m in enumerate(metas)],
+            "spans": [{k: s[k] for k in ("name", "proc", "start_us", "dur_us",
+                                         "trace", "span", "pspan", "tid", "depth")}
+                      for s in spans],
+        }
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(merged, f)
+            f.write("\n")
+        print("merged timeline written to %s" % args.out)
+
+    if args.check_round_parents and not check_round_parents(spans, by_span, metas):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

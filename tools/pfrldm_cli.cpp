@@ -24,8 +24,11 @@
 //
 // Global options (any command): --log-level debug|info|warn|error|off,
 // --metrics-out FILE (CSV metrics snapshot at exit), --trace-out FILE
-// (JSONL span stream), --report (observability table on stderr).
-// Giving any of the last three arms the obs layer for the run.
+// (JSONL span stream), --report (observability table on stderr),
+// --telemetry-port N (live HTTP endpoint: /metrics, /snapshot.json,
+// /timeseries.json, /healthz). Giving any of these arms the obs layer.
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -36,6 +39,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "core/checkpoint.hpp"
 #include "core/federation.hpp"
@@ -46,6 +50,7 @@
 #include "stats/summary.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
+#include "util/net.hpp"
 #include "util/table.hpp"
 #include "workload/trace_io.hpp"
 
@@ -53,12 +58,25 @@ using namespace pfrl;
 
 namespace {
 
-/// Flipped by SIGINT/SIGTERM; FedTrainer polls it at round boundaries and
-/// writes a final checkpoint before stopping (only armed with
-/// --checkpoint-dir, so a plain ^C without checkpointing stays a plain ^C).
+/// Flipped by SIGINT/SIGTERM (installed once in main for every command);
+/// long-running loops — FedTrainer round boundaries, the net-fed
+/// server/client — poll it and wind down cleanly. The handler also pokes
+/// the self-pipe so ObsScope's flush thread makes --metrics-out durable
+/// the moment the signal lands, then resets to the default action: a
+/// second ^C force-kills a wedged run.
 std::atomic<bool> g_stop_requested{false};
+int g_signal_pipe[2] = {-1, -1};
+std::atomic<int> g_signal_pipe_wr{-1};
 
-void handle_stop_signal(int) { g_stop_requested.store(true, std::memory_order_relaxed); }
+void handle_stop_signal(int sig) {
+  g_stop_requested.store(true, std::memory_order_relaxed);
+  const int fd = g_signal_pipe_wr.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    (void)::write(fd, &byte, 1);  // async-signal-safe wakeup
+  }
+  std::signal(sig, SIG_DFL);
+}
 
 int usage() {
   std::printf(
@@ -86,8 +104,19 @@ int usage() {
       "global options:\n"
       "  --log-level LEVEL    debug|info|warn|error|off (default info)\n"
       "  --metrics-out FILE   write a CSV metrics/span snapshot at exit\n"
+      "                       (also flushed immediately on SIGINT/SIGTERM)\n"
       "  --trace-out FILE     stream spans as JSONL while running\n"
       "  --report             print the observability tables to stderr\n"
+      "  --telemetry-port N   serve live telemetry over HTTP on this TCP\n"
+      "                       port (0 = ephemeral; the bound address is\n"
+      "                       printed at startup): /metrics (Prometheus\n"
+      "                       text), /snapshot.json, /timeseries.json,\n"
+      "                       /healthz — watch with tools/pfrl_top.py\n"
+      "  --telemetry-bind H   interface for --telemetry-port (default\n"
+      "                       127.0.0.1)\n"
+      "  --telemetry-sample-ms N\n"
+      "                       time-series sampler period (default 1000;\n"
+      "                       0 disables /timeseries.json)\n"
       "train options:\n"
       "  --run-dir DIR        write a run directory (manifest.json,\n"
       "                       learning.jsonl, summary.json); render it with\n"
@@ -116,13 +145,18 @@ void ensure_parent_dir(const std::string& path) {
 }
 
 /// Arms the obs layer from the global flags; flushes sinks at scope exit.
+/// With --telemetry-port it also runs the live HTTP exporter for the
+/// duration of the command, and (whenever armed) a flush thread parked on
+/// the signal self-pipe so a SIGINT/SIGTERM makes --metrics-out durable
+/// even if the interrupted command never reaches its graceful exit. The
+/// trace stream needs no such treatment: it flushes per span.
 class ObsScope {
  public:
   explicit ObsScope(const util::Cli& cli)
       : metrics_out_(cli.get("metrics-out", "")),
         report_(cli.get_bool("report", false)),
         armed_(!metrics_out_.empty() || report_ || cli.has("trace-out") ||
-               cli.has("run-dir")) {
+               cli.has("run-dir") || cli.has("telemetry-port")) {
     util::set_log_level(util::parse_log_level(cli.get("log-level", "info")));
     if (!armed_) return;
     obs::set_enabled(true);
@@ -132,30 +166,59 @@ class ObsScope {
       ensure_parent_dir(trace_out);
       obs::tracer().set_stream_path(trace_out);
     }
+    if (cli.has("telemetry-port")) {
+      obs::TelemetryConfig tcfg;
+      tcfg.endpoint.host = cli.get("telemetry-bind", "127.0.0.1");
+      tcfg.endpoint.port = static_cast<std::uint16_t>(cli.get_int("telemetry-port", 0));
+      tcfg.sample_period = std::chrono::milliseconds(cli.get_int("telemetry-sample-ms", 1000));
+      telemetry_ = std::make_unique<obs::TelemetryExporter>(tcfg);
+      std::printf("telemetry on http://%s (/metrics /snapshot.json /timeseries.json /healthz)\n",
+                  telemetry_->endpoint().describe().c_str());
+      std::fflush(stdout);
+    }
+    if (g_signal_pipe[0] >= 0) {
+      flush_thread_ = std::thread([this] {
+        char byte = 0;
+        while (util::retry_eintr([&] { return ::read(g_signal_pipe[0], &byte, 1); }) > 0)
+          write_metrics("stop signal: metrics snapshot flushed to %s\n");
+      });
+    }
   }
 
   ObsScope(const ObsScope&) = delete;
   ObsScope& operator=(const ObsScope&) = delete;
 
   ~ObsScope() {
-    if (!armed_) return;
-    const obs::Report report = obs::capture_report();
-    if (!metrics_out_.empty()) {
-      try {
-        obs::write_report_csv(report, metrics_out_);
-        std::fprintf(stderr, "metrics snapshot written to %s\n", metrics_out_.c_str());
-      } catch (const std::exception& e) {
-        std::fprintf(stderr, "error: metrics snapshot failed: %s\n", e.what());
-      }
+    if (flush_thread_.joinable()) {
+      // Retire the handler's write end; EOF on the read end parks the
+      // flush thread for joining.
+      const int wr = g_signal_pipe_wr.exchange(-1, std::memory_order_relaxed);
+      if (wr >= 0) ::close(wr);
+      flush_thread_.join();
     }
-    if (report_) obs::print_report(report);
+    if (!armed_) return;
+    telemetry_.reset();  // stop serving before the final snapshot
+    write_metrics("metrics snapshot written to %s\n");
+    if (report_) obs::print_report(obs::capture_report());
     obs::tracer().set_stream_path("");
   }
 
  private:
+  void write_metrics(const char* done_format) {
+    if (metrics_out_.empty()) return;
+    try {
+      obs::write_report_csv(obs::capture_report(), metrics_out_);
+      std::fprintf(stderr, done_format, metrics_out_.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: metrics snapshot failed: %s\n", e.what());
+    }
+  }
+
   std::string metrics_out_;
   bool report_;
   bool armed_;
+  std::unique_ptr<obs::TelemetryExporter> telemetry_;
+  std::thread flush_thread_;
 };
 
 fed::FedAlgorithm parse_algorithm(const std::string& name) {
@@ -333,10 +396,10 @@ int cmd_train(const util::Cli& cli) {
     }
     trainer.set_checkpoint_every(static_cast<std::size_t>(cli.get_int("checkpoint-every", 1)));
     checkpoints->attach(trainer);
-    trainer.set_stop_flag(&g_stop_requested);
-    std::signal(SIGINT, handle_stop_signal);
-    std::signal(SIGTERM, handle_stop_signal);
   }
+  // Stop-at-round-boundary on ^C regardless of checkpointing; with
+  // --checkpoint-dir the attached manager also snapshots before exit.
+  trainer.set_stop_flag(&g_stop_requested);
 
   const std::unique_ptr<obs::RunReporter> reporter =
       make_run_reporter(cli, federation, checkpoint_dir, resumed);
@@ -414,8 +477,6 @@ int cmd_serve(const util::Cli& cli) {
 
   core::NetFedServer server(std::move(cfg));
   server.set_stop_flag(&g_stop_requested);
-  std::signal(SIGINT, handle_stop_signal);
-  std::signal(SIGTERM, handle_stop_signal);
   std::printf("serving %zu clients on %s (arch hash %llx)\n", presets_for(cli).size(),
               server.endpoint().describe().c_str(),
               static_cast<unsigned long long>(server.expected_arch_hash()));
@@ -451,8 +512,6 @@ int cmd_client(const util::Cli& cli) {
 
   core::NetFedClient client(std::move(cfg));
   client.set_stop_flag(&g_stop_requested);
-  std::signal(SIGINT, handle_stop_signal);
-  std::signal(SIGTERM, handle_stop_signal);
 
   const core::NetFedClient::Result result = client.run();
   const std::string json = core::NetFedClient::result_json(result);
@@ -570,6 +629,10 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const util::Cli cli(argc - 1, argv + 1);
+  if (::pipe(g_signal_pipe) != 0) g_signal_pipe[0] = g_signal_pipe[1] = -1;
+  g_signal_pipe_wr.store(g_signal_pipe[1], std::memory_order_relaxed);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
   try {
     const ObsScope obs_scope(cli);
     if (command == "datasets") return cmd_datasets();
