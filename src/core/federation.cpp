@@ -7,17 +7,25 @@
 namespace pfrl::core {
 
 std::unique_ptr<fed::Aggregator> make_aggregator(const FederationConfig& config) {
+  std::unique_ptr<fed::Aggregator> inner;
   switch (config.algorithm) {
     case fed::FedAlgorithm::kIndependent: return nullptr;
     case fed::FedAlgorithm::kFedAvg:
     case fed::FedAlgorithm::kFedProx:  // regularization happens client-side
-    case fed::FedAlgorithm::kFedKl:
-      return std::make_unique<fed::FedAvgAggregator>();
-    case fed::FedAlgorithm::kMfpo: return std::make_unique<fed::MfpoAggregator>(config.mfpo);
+    case fed::FedAlgorithm::kFedKl: inner = std::make_unique<fed::FedAvgAggregator>(); break;
+    case fed::FedAlgorithm::kMfpo: inner = std::make_unique<fed::MfpoAggregator>(config.mfpo); break;
     case fed::FedAlgorithm::kPfrlDm:
-      return std::make_unique<fed::AttentionAggregator>(config.attention);
+      inner = std::make_unique<fed::AttentionAggregator>(config.attention);
+      break;
   }
-  throw std::invalid_argument("make_aggregator: unknown algorithm");
+  if (!inner) throw std::invalid_argument("make_aggregator: unknown algorithm");
+  // The defense decorates whatever strategy was picked, so FedAvg, MFPO
+  // and attention all share one Byzantine-robust implementation — and so
+  // the in-process trainer and the networked server (both of which build
+  // their FedServer through here) behave identically under attack.
+  if (config.defense.mode != fed::DefenseMode::kOff)
+    return std::make_unique<fed::RobustAggregator>(std::move(inner), config.defense);
+  return inner;
 }
 
 std::size_t resolved_participants(const FederationConfig& config, std::size_t client_count) {

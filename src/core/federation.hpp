@@ -41,9 +41,14 @@ struct FederationConfig {
   bool strict_paper_reward = false;  // Eq. 8 literal sign
   double energy_weight = 0.0;        // energy-objective extension (0 = paper)
   /// Fault model for the bus (fed/fault.hpp); all-zero = perfect network.
+  /// Also carries the Byzantine attack plan (attack_mode/attack_fraction).
   fed::FaultPlan faults;
   /// Valid uploads the server requires before aggregating (quorum).
   std::size_t min_participants = 1;
+  /// Byzantine defense (fed/robust_aggregator.hpp). mode == kOff leaves
+  /// the aggregator unwrapped; anything else decorates it with scoring,
+  /// clipping/robust reduction, and client quarantine.
+  fed::DefenseConfig defense{.mode = fed::DefenseMode::kOff};
 };
 
 /// Builds the aggregator matching `algorithm` (null for independent PPO).

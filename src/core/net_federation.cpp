@@ -227,6 +227,9 @@ NetFedServer::Summary NetFedServer::run() {
           const std::scoped_lock lock(state_mutex_);
           util::ByteReader reader(init);
           server_->set_global_model(reader.read_f32_vector());
+          // Pin the architecture's parameter count: a mis-sized upload is
+          // now rejected even before the first aggregation round.
+          server_->set_expected_params(server_->global_model().size());
         }
         for (std::size_t id = 0; id < client_count_; ++id) {
           if (id == origin) continue;
@@ -302,6 +305,10 @@ NetFedServer::Summary NetFedServer::run() {
   std::this_thread::sleep_for(std::chrono::milliseconds(200));
 
   summary_.server = server_->stats();
+  if (const fed::RobustAggregator* defense = server_->defense()) {
+    summary_.defense_active = true;
+    summary_.defense = defense->stats();
+  }
   summary_.transport = transport_->stats();
   transport_->stop();
   return summary_;
@@ -318,6 +325,13 @@ std::string NetFedServer::summary_json(const Summary& s) {
   out += ",\"rejected\":" + std::to_string(s.server.total_rejected());
   out += ",\"rejected_stale\":" + std::to_string(s.server.rejected_stale);
   out += ",\"quorum_failures\":" + std::to_string(s.server.quorum_failures) + "}";
+  out += ",\"defense\":{\"active\":" + std::string(s.defense_active ? "true" : "false");
+  out += ",\"anomalies\":" + std::to_string(s.defense.anomalies);
+  out += ",\"clipped\":" + std::to_string(s.defense.clipped);
+  out += ",\"excluded\":" + std::to_string(s.defense.excluded);
+  out += ",\"quarantine_events\":" + std::to_string(s.defense.quarantine_events);
+  out += ",\"readmissions\":" + std::to_string(s.defense.readmissions);
+  out += ",\"first_anomaly_round\":" + std::to_string(s.defense.first_anomaly_round) + "}";
   out += ",\"transport\":{\"sends\":" + std::to_string(s.transport.sends);
   out += ",\"send_failures\":" + std::to_string(s.transport.send_failures);
   out += ",\"reconnects\":" + std::to_string(s.transport.reconnects);
@@ -356,6 +370,15 @@ NetFedClient::Result NetFedClient::run() {
   fed::ClientHistory history;
   std::uint64_t next_round = 0;
   std::size_t episodes_done = 0;
+  // A Byzantine client poisons its own round uploads before they hit the
+  // wire — the same attack_payload the in-process FaultyBus applies, and
+  // deterministic in (seed, client, round), so both runtimes agree. The
+  // Hello's init_upload stays honest, matching in-process semantics where
+  // attacks only touch round uploads. The stale-replay cache rides in the
+  // checkpoint so a resumed attacker replays identically.
+  const bool attacker =
+      config_.federation.faults.attacker(config_.index, config_.presets.size());
+  std::vector<std::uint8_t> attack_replay;
   if (config_.resume && store) {
     if (const auto loaded = store->load_newest_valid()) {
       util::ByteReader reader(loaded->payload);
@@ -363,6 +386,7 @@ NetFedClient::Result NetFedClient::run() {
       episodes_done = static_cast<std::size_t>(reader.read_u64());
       client.load_state(reader);
       history = fed::deserialize_client_history(reader);
+      if (attacker) attack_replay = reader.read_bytes();
       result.resumed = true;
       PFRL_LOG_INFO("NetFedClient %zu: resumed from %s at round %llu", config_.index,
                     loaded->path.c_str(), static_cast<unsigned long long>(next_round));
@@ -391,6 +415,8 @@ NetFedClient::Result NetFedClient::run() {
     writer.write_u64(episodes_done);
     client.save_state(writer);
     fed::serialize_client_history(history, writer);
+    // Honest clients keep the pre-attack snapshot layout byte for byte.
+    if (attacker) writer.write_bytes(attack_replay);
     store->write(next_round, writer.take());
   };
   const auto finish = [&](bool completed) {
@@ -506,8 +532,14 @@ NetFedClient::Result NetFedClient::run() {
           fed::record_training_round(history, client.train_episodes(begin.episodes));
           episodes_done += begin.episodes;
           if (begin.participate) {
+            std::vector<std::uint8_t> upload = client.make_upload();
+            if (attacker) {
+              upload = fed::attack_payload(upload, config_.federation.faults, config_.index,
+                                           begin.round, &attack_replay);
+              PFRL_COUNT("fed/attacked", 1);
+            }
             if (transport.send(fed::make_message(fed::MessageType::kModelUpload, client.id(),
-                                                 begin.round, client.make_upload())))
+                                                 begin.round, std::move(upload))))
               ++history.uploads_sent;
           }
           history.critic_loss_before.push_back(client.shared_critic_loss());

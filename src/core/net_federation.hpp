@@ -83,6 +83,9 @@ class NetFedServer {
     std::string error;                 // non-empty on join timeout etc.
     fed::ServerStats server;
     fed::TransportStats transport;
+    /// Byzantine-defense outcomes (inactive without a RobustAggregator).
+    bool defense_active = false;
+    fed::DefenseStats defense;
   };
 
   /// Drives the whole run: join phase, all rounds, goodbye. Blocking.

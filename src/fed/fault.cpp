@@ -1,21 +1,103 @@
 #include "fed/fault.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
 
 #include "util/logging.hpp"
 
 namespace pfrl::fed {
 
+AttackMode parse_attack_mode(const std::string& name) {
+  if (name == "none") return AttackMode::kNone;
+  if (name == "sign-flip") return AttackMode::kSignFlip;
+  if (name == "scale") return AttackMode::kScale;
+  if (name == "gaussian") return AttackMode::kGaussianNoise;
+  if (name == "stale-replay") return AttackMode::kStaleReplay;
+  throw std::invalid_argument("unknown attack mode '" + name +
+                              "' (none|sign-flip|scale|gaussian|stale-replay)");
+}
+
+std::string attack_mode_name(AttackMode mode) {
+  switch (mode) {
+    case AttackMode::kNone: return "none";
+    case AttackMode::kSignFlip: return "sign-flip";
+    case AttackMode::kScale: return "scale";
+    case AttackMode::kGaussianNoise: return "gaussian";
+    case AttackMode::kStaleReplay: return "stale-replay";
+  }
+  return "none";
+}
+
 bool FaultPlan::enabled() const {
   return uplink_drop > 0.0 || downlink_drop > 0.0 || uplink_corrupt > 0.0 ||
          downlink_corrupt > 0.0 || uplink_duplicate > 0.0 || uplink_delay > 0.0 ||
-         !crashes.empty();
+         !crashes.empty() || attack_enabled();
 }
 
 bool FaultPlan::crashed(std::size_t client, std::uint64_t round) const {
   for (const CrashWindow& w : crashes)
     if (w.client == client && round >= w.from_round && round < w.until_round) return true;
   return false;
+}
+
+bool FaultPlan::attack_enabled() const {
+  return attack_mode != AttackMode::kNone && (attack_fraction > 0.0 || !attackers.empty());
+}
+
+bool FaultPlan::attacker(std::size_t client, std::size_t client_count) const {
+  if (!attack_enabled()) return false;
+  if (!attackers.empty())
+    return std::find(attackers.begin(), attackers.end(), client) != attackers.end();
+  const auto hostile = static_cast<std::size_t>(
+      std::floor(attack_fraction * static_cast<double>(client_count) + 0.5));
+  // The highest ids turn hostile, so client 0 (ψ_G's seed) stays honest.
+  return hostile > 0 && client_count > 0 && client >= client_count - std::min(hostile, client_count);
+}
+
+std::vector<std::uint8_t> attack_payload(const std::vector<std::uint8_t>& payload,
+                                         const FaultPlan& plan, std::size_t client,
+                                         std::uint64_t round,
+                                         std::vector<std::uint8_t>* replay_cache) {
+  std::vector<float> params;
+  try {
+    util::ByteReader reader(payload);
+    params = reader.read_f32_vector();
+    if (!reader.exhausted()) return payload;
+  } catch (const std::exception&) {
+    return payload;  // not a parameter vector; nothing to poison
+  }
+  if (params.empty()) return payload;
+
+  switch (plan.attack_mode) {
+    case AttackMode::kNone: return payload;
+    case AttackMode::kSignFlip:
+      for (float& v : params) v = -v;
+      break;
+    case AttackMode::kScale:
+      for (float& v : params) v = static_cast<float>(v * plan.attack_scale);
+      break;
+    case AttackMode::kGaussianNoise: {
+      // Fresh generator per (seed, client, round): no cross-round stream
+      // state, so both runtimes and any checkpoint resume reproduce the
+      // identical noise without serializing an engine.
+      std::uint64_t mix = plan.seed ^ 0xA77ACC3DULL;
+      mix ^= (static_cast<std::uint64_t>(client) + 1) * 0x9E3779B97F4A7C15ULL;
+      mix ^= (round + 1) * 0xC2B2AE3D27D4EB4FULL;
+      util::Rng rng(mix);
+      for (float& v : params) v = static_cast<float>(rng.normal(0.0, plan.attack_noise));
+      break;
+    }
+    case AttackMode::kStaleReplay: {
+      if (replay_cache == nullptr) return payload;
+      std::vector<std::uint8_t> out = replay_cache->empty() ? payload : *replay_cache;
+      *replay_cache = payload;
+      return out;
+    }
+  }
+  util::ByteWriter writer;
+  writer.write_f32_span(params);
+  return writer.take();
 }
 
 FaultyBus::FaultyBus(std::size_t client_count, FaultPlan plan)
@@ -38,12 +120,33 @@ void FaultyBus::corrupt_payload(Message& message, util::Rng& rng) {
   }
 }
 
+void FaultyBus::maybe_attack(Message& message, std::size_t client) {
+  if (message.type != MessageType::kModelUpload) return;
+  if (!plan_.attacker(client, client_count())) return;
+  std::vector<std::uint8_t>& cache = replay_cache_[client];
+  Message hostile = make_message(MessageType::kModelUpload, message.sender, message.round,
+                                 attack_payload(message.payload, plan_, client, round_, &cache));
+  // make_message re-stamps the CRC: a Byzantine upload is *valid* on the
+  // wire and must be caught by aggregation-side defenses, not transport
+  // checks. Trace context survives so spans still stitch.
+  hostile.trace_id = message.trace_id;
+  hostile.span_id = message.span_id;
+  message = std::move(hostile);
+  ++counters_.attacked;
+  PFRL_LOG_DEBUG("fault: %s attack on upload from client %zu (round %llu)",
+                 attack_mode_name(plan_.attack_mode).c_str(), client,
+                 static_cast<unsigned long long>(message.round));
+}
+
 void FaultyBus::send_to_server(Message message) {
   const auto client = static_cast<std::size_t>(std::max(message.sender, 0));
   if (plan_.crashed(client, round_)) {
     ++counters_.crash_suppressed;
     return;
   }
+  // The attacker poisons at the source, before transport faults: a
+  // dropped or corrupted adversarial upload behaves like any other.
+  maybe_attack(message, client);
   util::Rng& rng = link_rng(/*uplink=*/true, client);
   // All four decisions are drawn every time so the per-link stream
   // consumption does not depend on earlier outcomes.
@@ -136,6 +239,16 @@ void FaultyBus::save_state(util::ByteWriter& writer) const {
   writer.write_u64(counters_.duplicated);
   writer.write_u64(counters_.delayed);
   writer.write_u64(counters_.crash_suppressed);
+  writer.write_u64(counters_.attacked);
+  std::vector<std::uint64_t> replay_keys;
+  replay_keys.reserve(replay_cache_.size());
+  for (const auto& [client, payload] : replay_cache_) replay_keys.push_back(client);
+  std::sort(replay_keys.begin(), replay_keys.end());
+  writer.write_u64(replay_keys.size());
+  for (const std::uint64_t client : replay_keys) {
+    writer.write_u64(client);
+    writer.write_bytes(replay_cache_.at(client));
+  }
 }
 
 void FaultyBus::load_state(util::ByteReader& reader) {
@@ -162,6 +275,13 @@ void FaultyBus::load_state(util::ByteReader& reader) {
   counters_.duplicated = reader.read_u64();
   counters_.delayed = reader.read_u64();
   counters_.crash_suppressed = reader.read_u64();
+  counters_.attacked = reader.read_u64();
+  const std::uint64_t replay_count = reader.read_u64();
+  replay_cache_.clear();
+  for (std::uint64_t i = 0; i < replay_count; ++i) {
+    const std::uint64_t client = reader.read_u64();
+    replay_cache_[client] = reader.read_bytes();
+  }
 }
 
 }  // namespace pfrl::fed

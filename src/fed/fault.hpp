@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -29,6 +30,22 @@ struct CrashWindow {
   std::uint64_t until_round = 0;
 };
 
+/// Byzantine behaviour of an adversarial client. Unlike the transport
+/// faults below, an attacker produces a *valid* message — correct CRC,
+/// correct round, finite values — whose parameters are poisoned, so it
+/// sails through every transport-level check and must be caught by the
+/// aggregation-side defenses (fed/robust_aggregator.hpp).
+enum class AttackMode : std::uint8_t {
+  kNone = 0,
+  kSignFlip,       // upload -Θ: pulls ψ_G away from consensus
+  kScale,          // upload K·Θ: one loud client dominates the mean
+  kGaussianNoise,  // replace Θ with N(0, σ²) noise: erases information
+  kStaleReplay,    // resend the previous round's upload verbatim
+};
+
+AttackMode parse_attack_mode(const std::string& name);
+std::string attack_mode_name(AttackMode mode);
+
 /// Per-link fault probabilities plus the crash schedule. All-zero (the
 /// default) means a perfect network; FedTrainer then uses a plain Bus and
 /// behaves byte-for-byte like the fault-free implementation.
@@ -43,9 +60,33 @@ struct FaultPlan {
   std::vector<CrashWindow> crashes;
   std::uint64_t seed = 0x5EEDFA17;
 
+  /// Adversarial-update model: `attack_fraction` of the fleet (or the
+  /// explicit `attackers` list when non-empty) poisons every upload with
+  /// `attack_mode`. Implicit attackers are the highest client ids, so
+  /// client 0 — whose parameters seed ψ_G^(0) — stays honest.
+  AttackMode attack_mode = AttackMode::kNone;
+  double attack_fraction = 0.0;        // fraction of clients adversarial
+  double attack_scale = 100.0;         // K for kScale
+  double attack_noise = 1.0;           // σ for kGaussianNoise
+  std::vector<std::size_t> attackers;  // explicit ids; overrides fraction
+
   bool enabled() const;
   bool crashed(std::size_t client, std::uint64_t round) const;
+  bool attack_enabled() const;
+  /// True when `client` behaves adversarially in a fleet of `client_count`.
+  bool attacker(std::size_t client, std::size_t client_count) const;
 };
+
+/// Produces the adversarial version of an encoded f32 parameter payload.
+/// Deterministic in (plan.seed, client, round), so the in-process FaultyBus
+/// and a networked NetFedClient generate byte-identical attacks and a
+/// checkpoint resume replays the exact same poison. `replay_cache` holds
+/// the client's previous upload for kStaleReplay (updated in place); a
+/// payload that does not decode as an f32 vector passes through untouched.
+std::vector<std::uint8_t> attack_payload(const std::vector<std::uint8_t>& payload,
+                                         const FaultPlan& plan, std::size_t client,
+                                         std::uint64_t round,
+                                         std::vector<std::uint8_t>* replay_cache);
 
 struct FaultCounters {
   std::uint64_t uplink_dropped = 0;
@@ -56,10 +97,12 @@ struct FaultCounters {
   std::uint64_t delayed = 0;
   /// Messages blackholed because an endpoint was inside a crash window.
   std::uint64_t crash_suppressed = 0;
+  /// Uploads replaced with adversarial payloads (AttackMode).
+  std::uint64_t attacked = 0;
 
   std::uint64_t total() const {
     return uplink_dropped + downlink_dropped + uplink_corrupted + downlink_corrupted +
-           duplicated + delayed + crash_suppressed;
+           duplicated + delayed + crash_suppressed + attacked;
   }
 };
 
@@ -94,11 +137,16 @@ class FaultyBus final : public Bus {
   /// Flips 1–4 random bytes of the payload (checksum left as stamped, so
   /// the receiver's CRC verification catches it).
   void corrupt_payload(Message& message, util::Rng& rng);
+  /// Swaps an attacker's upload for its adversarial version (re-stamped
+  /// CRC: the attack must survive transport validation by construction).
+  void maybe_attack(Message& message, std::size_t client);
 
   FaultPlan plan_;
   std::uint64_t round_ = 0;
   std::vector<std::pair<std::uint64_t, Message>> delayed_;  // (deliver_at, msg)
   std::unordered_map<std::uint64_t, util::Rng> link_rngs_;
+  /// Per-attacker previous upload, for AttackMode::kStaleReplay.
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> replay_cache_;
   FaultCounters counters_;
 };
 

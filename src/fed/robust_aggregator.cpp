@@ -1,0 +1,313 @@
+#include "fed/robust_aggregator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+#include "util/serialization.hpp"
+
+namespace pfrl::fed {
+
+DefenseMode parse_defense_mode(const std::string& name) {
+  if (name == "off") return DefenseMode::kOff;
+  if (name == "clip") return DefenseMode::kClip;
+  if (name == "trimmed") return DefenseMode::kTrimmedMean;
+  if (name == "median") return DefenseMode::kMedian;
+  throw std::invalid_argument("unknown defense mode '" + name + "' (off|clip|trimmed|median)");
+}
+
+std::string defense_mode_name(DefenseMode mode) {
+  switch (mode) {
+    case DefenseMode::kOff: return "off";
+    case DefenseMode::kClip: return "clip";
+    case DefenseMode::kTrimmedMean: return "trimmed";
+    case DefenseMode::kMedian: return "median";
+  }
+  return "off";
+}
+
+namespace {
+
+double l2_norm(std::span<const float> v) {
+  double acc = 0.0;
+  for (const float x : v) acc += static_cast<double>(x) * static_cast<double>(x);
+  return std::sqrt(acc);
+}
+
+/// cos(a, b); neutral 1.0 when either vector is (near) zero, so an empty
+/// or degenerate reference never flags anyone.
+double cosine(std::span<const float> a, std::span<const float> b) {
+  double dot = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    dot += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  const double na = l2_norm(a);
+  const double nb = l2_norm(b);
+  if (na < 1e-12 || nb < 1e-12) return 1.0;
+  return dot / (na * nb);
+}
+
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+}  // namespace
+
+RobustAggregator::RobustAggregator(std::unique_ptr<Aggregator> inner, DefenseConfig config)
+    : inner_(std::move(inner)), config_(config) {
+  if (!inner_) throw std::invalid_argument("RobustAggregator: null inner aggregator");
+  if (config_.trim_fraction < 0.0 || config_.trim_fraction >= 0.5)
+    throw std::invalid_argument("RobustAggregator: trim_fraction must be in [0, 0.5)");
+  if (config_.norm_window == 0) config_.norm_window = 1;
+}
+
+std::string RobustAggregator::name() const {
+  return "robust-" + defense_mode_name(config_.mode) + "(" + inner_->name() + ")";
+}
+
+void RobustAggregator::set_reference(std::vector<float> reference) {
+  reference_ = std::move(reference);
+}
+
+std::vector<int> RobustAggregator::quarantined() const {
+  std::vector<int> ids;
+  for (const auto& [id, rep] : reputation_)
+    if (rep.quarantined) ids.push_back(id);
+  return ids;
+}
+
+std::vector<ClientReputation> RobustAggregator::reputations() const {
+  std::vector<ClientReputation> out;
+  out.reserve(reputation_.size());
+  for (const auto& [id, rep] : reputation_)
+    out.push_back({id, rep.score, rep.quarantined, rep.clean_streak, rep.flagged_rounds});
+  return out;
+}
+
+bool RobustAggregator::update_reputation(int client_id, bool flagged) {
+  Reputation& rep = reputation_[client_id];
+  if (flagged) {
+    rep.score *= 1.0 - config_.reputation_decay;
+    rep.clean_streak = 0;
+    ++rep.flagged_rounds;
+  } else {
+    rep.score = std::min(1.0, rep.score + config_.clean_recovery);
+    ++rep.clean_streak;
+  }
+  if (!rep.quarantined && rep.score < config_.quarantine_threshold) {
+    rep.quarantined = true;
+    rep.clean_streak = 0;
+    ++stats_.quarantine_events;
+    PFRL_COUNT("fed/quarantined", 1);
+    PFRL_LOG_WARN("RobustAggregator: client %d quarantined (reputation %.3f)", client_id,
+                  rep.score);
+  } else if (rep.quarantined && !flagged && rep.clean_streak >= config_.probation_rounds) {
+    rep.quarantined = false;
+    rep.score = std::max(rep.score, config_.quarantine_threshold);
+    ++stats_.readmissions;
+    PFRL_LOG_INFO("RobustAggregator: client %d re-admitted after %llu clean rounds", client_id,
+                  static_cast<unsigned long long>(config_.probation_rounds));
+  }
+  return rep.quarantined;
+}
+
+AggregationOutput RobustAggregator::aggregate(const AggregationInput& input) {
+  const std::size_t k = input.models.rows();
+  const std::size_t p = input.models.cols();
+  if (k == 0 || input.client_ids.size() != k)
+    throw std::invalid_argument("RobustAggregator: malformed input");
+
+  if (config_.mode == DefenseMode::kOff) {
+    // Monitor-only wrapper: pass through untouched.
+    AggregationOutput output = inner_->aggregate(input);
+    reference_ = output.global_model;
+    ++stats_.rounds_scored;
+    return output;
+  }
+
+  // --- 1. Score every upload (including quarantined clients': their
+  // clean streak during probation is measured on real uploads). ---
+  std::vector<double> norms(k);
+  std::vector<double> cosines(k, 1.0);
+  const bool has_reference = !reference_.empty() && reference_.size() == p;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto row = input.models.row(i);
+    norms[i] = l2_norm(row);
+    if (has_reference) cosines[i] = cosine(row, reference_);
+  }
+  const double round_median_norm = median_of(norms);
+  std::vector<double> window = norm_window_;
+  if (window.empty()) window.push_back(round_median_norm);
+  const double norm_threshold = config_.clip_multiplier * median_of(std::move(window));
+
+  std::vector<char> excluded(k, 0);
+  std::size_t flagged_count = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const bool norm_flag = norms[i] > norm_threshold;
+    const bool cosine_flag = has_reference && cosines[i] < config_.anomaly_threshold;
+    const bool flagged = norm_flag || cosine_flag;
+    if (flagged) {
+      ++stats_.anomalies;
+      ++flagged_count;
+      PFRL_COUNT("fed/anomaly", 1);
+      if (stats_.first_anomaly_round < 0)
+        stats_.first_anomaly_round = static_cast<std::int64_t>(stats_.rounds_scored);
+      PFRL_LOG_WARN(
+          "RobustAggregator: anomalous upload from client %d (cos %.3f, norm %.3f, limit %.3f)",
+          input.client_ids[i], cosines[i], norms[i], norm_threshold);
+    }
+    const bool now_quarantined = update_reputation(input.client_ids[i], flagged);
+    // Norm violations are repaired by clipping below; only directional
+    // anomalies (and quarantine) remove a row from the reduction.
+    excluded[i] = now_quarantined || (cosine_flag && config_.exclude_flagged) ? 1 : 0;
+  }
+  norm_window_.push_back(round_median_norm);
+  if (norm_window_.size() > config_.norm_window)
+    norm_window_.erase(norm_window_.begin(),
+                       norm_window_.begin() + (norm_window_.size() - config_.norm_window));
+
+  std::vector<std::size_t> survivors;
+  survivors.reserve(k);
+  for (std::size_t i = 0; i < k; ++i)
+    if (!excluded[i]) survivors.push_back(i);
+  if (survivors.empty()) {
+    // Never let the defense brick a round: with everyone flagged the
+    // exclusion is void and clipping alone has to contain the damage.
+    PFRL_LOG_WARN("RobustAggregator: every upload flagged; aggregating all %zu clipped rows", k);
+    for (std::size_t i = 0; i < k; ++i) survivors.push_back(i);
+  }
+  stats_.excluded += k - survivors.size();
+
+  // --- 2. Condition survivors: L2-clip to the rolling-median threshold. ---
+  AggregationInput robust;
+  robust.client_ids.reserve(survivors.size());
+  robust.models = nn::Matrix(survivors.size(), p);
+  for (std::size_t s = 0; s < survivors.size(); ++s) {
+    const std::size_t i = survivors[s];
+    robust.client_ids.push_back(input.client_ids[i]);
+    const auto src = input.models.row(i);
+    auto dst = robust.models.row(s);
+    double scale = 1.0;
+    if (norms[i] > norm_threshold && norms[i] > 0.0) {
+      scale = norm_threshold / norms[i];
+      ++stats_.clipped;
+      PFRL_COUNT("fed/clipped", 1);
+    }
+    for (std::size_t j = 0; j < p; ++j) dst[j] = static_cast<float>(src[j] * scale);
+  }
+
+  // --- 3. Reduce. ---
+  AggregationOutput output;
+  if (config_.mode == DefenseMode::kClip) {
+    AggregationOutput robust_out = inner_->aggregate(robust);
+    output.global_model = std::move(robust_out.global_model);
+    output.weights = nn::Matrix(k, k);
+    output.personalized.assign(k, {});
+    for (std::size_t s = 0; s < survivors.size(); ++s) {
+      output.personalized[survivors[s]] = std::move(robust_out.personalized[s]);
+      for (std::size_t t = 0; t < survivors.size(); ++t)
+        output.weights(survivors[s], survivors[t]) = robust_out.weights(s, t);
+    }
+  } else {
+    // Coordinate-wise trimmed mean / median over the surviving rows. The
+    // column values are sorted before reduction, so the result is exactly
+    // permutation-invariant and bounded by the per-coordinate extremes.
+    const std::size_t s_count = survivors.size();
+    std::size_t trim = 0;
+    if (config_.mode == DefenseMode::kTrimmedMean)
+      trim = static_cast<std::size_t>(config_.trim_fraction * static_cast<double>(s_count));
+    if (2 * trim >= s_count) trim = (s_count - 1) / 2;
+    std::vector<float> center(p);
+    std::vector<double> column(s_count);
+    for (std::size_t j = 0; j < p; ++j) {
+      for (std::size_t s = 0; s < s_count; ++s)
+        column[s] = static_cast<double>(robust.models.row(s)[j]);
+      std::sort(column.begin(), column.end());
+      if (config_.mode == DefenseMode::kMedian) {
+        const std::size_t mid = s_count / 2;
+        center[j] = static_cast<float>(s_count % 2 == 1 ? column[mid]
+                                                        : 0.5 * (column[mid - 1] + column[mid]));
+      } else {
+        double acc = 0.0;
+        for (std::size_t s = trim; s < s_count - trim; ++s) acc += column[s];
+        center[j] = static_cast<float>(acc / static_cast<double>(s_count - 2 * trim));
+      }
+    }
+    // Robust modes trade personalization for consensus: every participant
+    // (including excluded ones) is served the robust center, and the
+    // diagnostic weight matrix records the uniform surviving mass.
+    output.global_model = center;
+    output.personalized.assign(k, center);
+    output.weights = nn::Matrix(k, k);
+    const float w = 1.0F / static_cast<float>(s_count);
+    for (std::size_t i = 0; i < k; ++i)
+      for (std::size_t s = 0; s < s_count; ++s) output.weights(i, survivors[s]) = w;
+  }
+
+  // Excluded participants are still answered — with the robust ψ_G.
+  for (std::size_t i = 0; i < k; ++i)
+    if (output.personalized[i].empty()) output.personalized[i] = output.global_model;
+
+  reference_ = output.global_model;
+  ++stats_.rounds_scored;
+  if (obs::enabled()) {
+    std::size_t active = 0;
+    for (const auto& [id, rep] : reputation_)
+      if (rep.quarantined) ++active;
+    PFRL_GAUGE_SET("fed/quarantined_active", active);
+    (void)flagged_count;
+  }
+  return output;
+}
+
+void RobustAggregator::save_state(util::ByteWriter& writer) const {
+  writer.write_f32_span(reference_);
+  writer.write_f64_span(norm_window_);
+  writer.write_u64(reputation_.size());
+  for (const auto& [id, rep] : reputation_) {  // std::map: ascending, deterministic
+    writer.write_i64(id);
+    writer.write_f64(rep.score);
+    writer.write_bool(rep.quarantined);
+    writer.write_u64(rep.clean_streak);
+    writer.write_u64(rep.flagged_rounds);
+  }
+  writer.write_u64(stats_.rounds_scored);
+  writer.write_u64(stats_.anomalies);
+  writer.write_u64(stats_.clipped);
+  writer.write_u64(stats_.excluded);
+  writer.write_u64(stats_.quarantine_events);
+  writer.write_u64(stats_.readmissions);
+  writer.write_i64(stats_.first_anomaly_round);
+  inner_->save_state(writer);
+}
+
+void RobustAggregator::load_state(util::ByteReader& reader) {
+  reference_ = reader.read_f32_vector();
+  norm_window_ = reader.read_f64_vector();
+  const std::uint64_t rep_count = reader.read_u64();
+  reputation_.clear();
+  for (std::uint64_t i = 0; i < rep_count; ++i) {
+    const int id = static_cast<int>(reader.read_i64());
+    Reputation rep;
+    rep.score = reader.read_f64();
+    rep.quarantined = reader.read_bool();
+    rep.clean_streak = reader.read_u64();
+    rep.flagged_rounds = reader.read_u64();
+    reputation_.emplace(id, rep);
+  }
+  stats_.rounds_scored = reader.read_u64();
+  stats_.anomalies = reader.read_u64();
+  stats_.clipped = reader.read_u64();
+  stats_.excluded = reader.read_u64();
+  stats_.quarantine_events = reader.read_u64();
+  stats_.readmissions = reader.read_u64();
+  stats_.first_anomaly_round = reader.read_i64();
+  inner_->load_state(reader);
+}
+
+}  // namespace pfrl::fed

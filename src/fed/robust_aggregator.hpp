@@ -1,0 +1,139 @@
+// Byzantine-robust aggregation: a decorator around any Aggregator.
+//
+// FedServer's validation layer (checksum/round/shape/finite) stops
+// transport damage, but a *valid* upload with hostile parameters — a
+// sign-flipped vector, a 100×-scaled vector, pure noise — passes every
+// check and poisons ψ_G for the whole fleet. RobustAggregator defends
+// the aggregation step itself:
+//
+//   1. Scoring. Each upload gets a cosine similarity against the
+//      previous round's ψ_G direction and an L2 norm compared to a
+//      rolling median of recent round norms. Low cosine → anomalous
+//      (sign-flip ≈ -1, Gaussian noise ≈ 0, honest drift ≈ +1);
+//      oversized norm → clipped and noted (scale attacks).
+//   2. Reputation & quarantine. Scores feed a per-client reputation
+//      (decays on anomalies, recovers on clean rounds). A client whose
+//      reputation falls below the quarantine threshold is excluded from
+//      aggregation — but its uploads are still *scored*, so after
+//      `probation_rounds` consecutive clean uploads it is re-admitted.
+//      Quarantined participants are answered with ψ_G, never dropped.
+//   3. Reduction. kClip rescales over-norm rows and delegates to the
+//      wrapped aggregator (personalization preserved). kTrimmedMean /
+//      kMedian replace the reduction with a coordinate-wise robust
+//      statistic over the surviving rows — provably bounded by honest
+//      extremes once attackers are a minority, at the price of serving
+//      every participant the same consensus vector.
+//
+// All cross-round state (reference ψ_G, norm window, reputations,
+// counters) serializes through the standard Aggregator save_state chain,
+// so checkpoint resume under attack stays bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fed/aggregator.hpp"
+
+namespace pfrl::fed {
+
+enum class DefenseMode : std::uint8_t {
+  kOff = 0,      // no wrapper (callers skip construction); monitor-only if wrapped
+  kClip,         // norm-clip rows, inner aggregator personalizes as usual
+  kTrimmedMean,  // coordinate-wise trimmed mean over surviving rows
+  kMedian,       // coordinate-wise median over surviving rows
+};
+
+DefenseMode parse_defense_mode(const std::string& name);
+std::string defense_mode_name(DefenseMode mode);
+
+struct DefenseConfig {
+  DefenseMode mode = DefenseMode::kClip;
+  /// Clip threshold = multiplier × rolling median of round-median norms.
+  double clip_multiplier = 2.0;
+  /// Rounds of history in the rolling norm window.
+  std::size_t norm_window = 8;
+  /// Fraction trimmed from *each* side per coordinate (kTrimmedMean).
+  double trim_fraction = 0.25;
+  /// Flag an upload anomalous when cos(upload, previous ψ_G) < threshold.
+  double anomaly_threshold = 0.5;
+  /// Exclude cosine-flagged rows from the round's reduction.
+  bool exclude_flagged = true;
+  /// Reputation starts at 1; an anomalous round multiplies it by
+  /// (1 - reputation_decay), a clean round adds clean_recovery (cap 1).
+  double reputation_decay = 0.5;
+  double clean_recovery = 0.1;
+  /// Quarantine below this reputation; re-admit (reputation reset to the
+  /// threshold) after `probation_rounds` consecutive clean uploads.
+  double quarantine_threshold = 0.3;
+  std::size_t probation_rounds = 3;
+};
+
+/// Cumulative defense outcomes, surfaced in TrainingHistory and the
+/// networked server summary; mirrored into fed/anomaly, fed/clipped and
+/// fed/quarantined obs counters (and therefore /metrics).
+struct DefenseStats {
+  std::uint64_t rounds_scored = 0;
+  std::uint64_t anomalies = 0;          // cosine- or norm-flagged uploads
+  std::uint64_t clipped = 0;            // rows rescaled to the norm threshold
+  std::uint64_t excluded = 0;           // rows left out of a reduction
+  std::uint64_t quarantine_events = 0;  // healthy -> quarantined transitions
+  std::uint64_t readmissions = 0;       // quarantined -> healthy transitions
+  /// Round counter (rounds_scored) at the first flagged upload, or -1.
+  std::int64_t first_anomaly_round = -1;
+};
+
+/// Reputation snapshot for one client (diagnostics / history JSON).
+struct ClientReputation {
+  int client_id = 0;
+  double score = 1.0;
+  bool quarantined = false;
+  std::uint64_t clean_streak = 0;
+  std::uint64_t flagged_rounds = 0;
+};
+
+class RobustAggregator final : public Aggregator {
+ public:
+  RobustAggregator(std::unique_ptr<Aggregator> inner, DefenseConfig config);
+
+  AggregationOutput aggregate(const AggregationInput& input) override;
+  std::string name() const override;
+
+  /// Seeds the cosine reference before the first aggregation (FedServer
+  /// forwards its initial ψ_G broadcast here), so attacks are scoreable
+  /// from round one.
+  void set_reference(std::vector<float> reference);
+
+  const DefenseConfig& config() const { return config_; }
+  const DefenseStats& stats() const { return stats_; }
+  /// Ids currently excluded from aggregation, ascending.
+  std::vector<int> quarantined() const;
+  /// Every tracked client's reputation, ascending by id.
+  std::vector<ClientReputation> reputations() const;
+
+  void save_state(util::ByteWriter& writer) const override;
+  void load_state(util::ByteReader& reader) override;
+
+ private:
+  struct Reputation {
+    double score = 1.0;
+    bool quarantined = false;
+    std::uint64_t clean_streak = 0;
+    std::uint64_t flagged_rounds = 0;
+  };
+
+  /// Updates one client's reputation with this round's verdict; returns
+  /// true when the client is quarantined *after* the update.
+  bool update_reputation(int client_id, bool flagged);
+
+  std::unique_ptr<Aggregator> inner_;
+  DefenseConfig config_;
+  std::vector<float> reference_;       // previous ψ_G (cosine baseline)
+  std::vector<double> norm_window_;    // recent round-median upload norms
+  std::map<int, Reputation> reputation_;  // ordered: deterministic bytes
+  DefenseStats stats_;
+};
+
+}  // namespace pfrl::fed

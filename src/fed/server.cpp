@@ -14,6 +14,7 @@ namespace pfrl::fed {
 FedServer::FedServer(std::unique_ptr<Aggregator> aggregator)
     : aggregator_(std::move(aggregator)) {
   if (!aggregator_) throw std::invalid_argument("FedServer: null aggregator");
+  robust_ = dynamic_cast<RobustAggregator*>(aggregator_.get());
 }
 
 namespace {
@@ -44,12 +45,14 @@ std::size_t FedServer::run_round(Bus& bus, std::uint64_t round,
   std::vector<std::vector<float>> rows;
   rows.reserve(uploads.size());
   // ψ_G (when it exists) pins the expected parameter count; before the
-  // first aggregation the first valid upload defines it.
-  std::size_t p = global_model_.size();
+  // first aggregation the architecture pin (set_expected_params) applies,
+  // and only when neither exists does the first valid upload define it.
+  std::size_t p = global_model_.empty() ? expected_params_ : global_model_.size();
   for (const Message& m : uploads) {
     if (m.type != MessageType::kModelUpload) {
       ++stats_.rejected_type;
       PFRL_COUNT("fed/rejected_type", 1);
+      PFRL_COUNT("fed/reject", 1);
       PFRL_LOG_WARN("FedServer: dropped non-upload message (type %d) from %d",
                     static_cast<int>(m.type), m.sender);
       continue;
@@ -57,6 +60,7 @@ std::size_t FedServer::run_round(Bus& bus, std::uint64_t round,
     if (!checksum_ok(m)) {
       ++stats_.rejected_checksum;
       PFRL_COUNT("fed/rejected_checksum", 1);
+      PFRL_COUNT("fed/reject", 1);
       PFRL_LOG_WARN("FedServer: dropped corrupted upload from client %d (round %llu)", m.sender,
                     static_cast<unsigned long long>(m.round));
       continue;
@@ -64,6 +68,7 @@ std::size_t FedServer::run_round(Bus& bus, std::uint64_t round,
     if (m.round != round) {
       ++stats_.rejected_stale;
       PFRL_COUNT("fed/rejected_stale", 1);
+      PFRL_COUNT("fed/reject", 1);
       PFRL_LOG_WARN("FedServer: dropped stale upload from client %d (round %llu, expected %llu)",
                     m.sender, static_cast<unsigned long long>(m.round),
                     static_cast<unsigned long long>(round));
@@ -77,12 +82,14 @@ std::size_t FedServer::run_round(Bus& bus, std::uint64_t round,
     } catch (const std::exception& e) {
       ++stats_.rejected_malformed;
       PFRL_COUNT("fed/rejected_malformed", 1);
+      PFRL_COUNT("fed/reject", 1);
       PFRL_LOG_WARN("FedServer: dropped malformed upload from client %d: %s", m.sender, e.what());
       continue;
     }
     if (row.empty() || (p != 0 && row.size() != p)) {
       ++stats_.rejected_size;
       PFRL_COUNT("fed/rejected_size", 1);
+      PFRL_COUNT("fed/reject", 1);
       PFRL_LOG_WARN("FedServer: dropped mis-sized upload from client %d (%zu params, expected %zu)",
                     m.sender, row.size(), p);
       continue;
@@ -90,6 +97,7 @@ std::size_t FedServer::run_round(Bus& bus, std::uint64_t round,
     if (!all_finite(row)) {
       ++stats_.rejected_nonfinite;
       PFRL_COUNT("fed/rejected_nonfinite", 1);
+      PFRL_COUNT("fed/reject", 1);
       PFRL_LOG_WARN("FedServer: dropped non-finite upload from client %d (diverged?)", m.sender);
       continue;
     }
@@ -97,6 +105,7 @@ std::size_t FedServer::run_round(Bus& bus, std::uint64_t round,
         input.client_ids.end()) {
       ++stats_.rejected_duplicate;
       PFRL_COUNT("fed/rejected_duplicate", 1);
+      PFRL_COUNT("fed/reject", 1);
       PFRL_LOG_WARN("FedServer: dropped duplicate upload from client %d (round %llu)", m.sender,
                     static_cast<unsigned long long>(m.round));
       continue;
@@ -153,7 +162,12 @@ std::size_t FedServer::run_round(Bus& bus, std::uint64_t round,
   return input.client_ids.size();
 }
 
-void FedServer::set_global_model(std::vector<float> model) { global_model_ = std::move(model); }
+void FedServer::set_global_model(std::vector<float> model) {
+  global_model_ = std::move(model);
+  // The initial broadcast doubles as the defense's cosine baseline, so a
+  // Byzantine upload is scoreable from the very first aggregation.
+  if (robust_ != nullptr) robust_->set_reference(global_model_);
+}
 
 std::vector<std::uint8_t> FedServer::global_payload() const {
   if (!has_global_model()) throw std::logic_error("FedServer: no global model yet");
@@ -175,6 +189,7 @@ void FedServer::save_state(util::ByteWriter& writer) const {
   writer.write_u64(stats_.rejected_duplicate);
   writer.write_u64(stats_.quorum_failures);
   writer.write_u64(min_participants_);
+  writer.write_u64(expected_params_);
   aggregator_->save_state(writer);
 }
 
@@ -196,6 +211,7 @@ void FedServer::load_state(util::ByteReader& reader) {
   stats_.rejected_duplicate = reader.read_u64();
   stats_.quorum_failures = reader.read_u64();
   min_participants_ = static_cast<std::size_t>(reader.read_u64());
+  expected_params_ = static_cast<std::size_t>(reader.read_u64());
   aggregator_->load_state(reader);
 }
 

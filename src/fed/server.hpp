@@ -16,6 +16,7 @@
 
 #include "fed/aggregator.hpp"
 #include "fed/bus.hpp"
+#include "fed/robust_aggregator.hpp"
 
 namespace pfrl::fed {
 
@@ -54,6 +55,12 @@ class FedServer {
   void set_min_participants(std::size_t n) { min_participants_ = n == 0 ? 1 : n; }
   std::size_t min_participants() const { return min_participants_; }
 
+  /// Pins the architecture's parameter count independently of ψ_G, so a
+  /// mis-sized upload is rejected even before the first aggregation (when
+  /// ψ_G does not exist yet and would otherwise adopt the bad length).
+  void set_expected_params(std::size_t p) { expected_params_ = p; }
+  std::size_t expected_params() const { return expected_params_; }
+
   /// Seeds ψ_G before training (initial broadcast) or for tests.
   void set_global_model(std::vector<float> model);
   bool has_global_model() const { return !global_model_.empty(); }
@@ -70,6 +77,11 @@ class FedServer {
 
   const Aggregator& aggregator() const { return *aggregator_; }
 
+  /// The Byzantine-defense decorator when one wraps the aggregator;
+  /// nullptr for an undefended server. Gives FedTrainer/NetFedServer one
+  /// shared place to read quarantine and anomaly outcomes.
+  const RobustAggregator* defense() const { return robust_; }
+
   /// Persists ψ_G, the last round's weight matrix/participants, the
   /// validation stats, and the aggregator's own cross-round state.
   void save_state(util::ByteWriter& writer) const;
@@ -79,11 +91,13 @@ class FedServer {
 
  private:
   std::unique_ptr<Aggregator> aggregator_;
+  RobustAggregator* robust_ = nullptr;  // non-owning view into aggregator_
   std::vector<float> global_model_;
   nn::Matrix last_weights_;
   std::vector<int> last_participants_;
   ServerStats stats_;
   std::size_t min_participants_ = 1;
+  std::size_t expected_params_ = 0;  // 0 = unpinned (first upload decides)
 };
 
 }  // namespace pfrl::fed

@@ -132,11 +132,31 @@ std::string training_history_json(const TrainingHistory& history) {
   out += ",\"downlink_corrupted\":" + std::to_string(history.faults.downlink_corrupted);
   out += ",\"duplicated\":" + std::to_string(history.faults.duplicated);
   out += ",\"delayed\":" + std::to_string(history.faults.delayed);
-  out += ",\"crash_suppressed\":" + std::to_string(history.faults.crash_suppressed) + "}";
+  out += ",\"crash_suppressed\":" + std::to_string(history.faults.crash_suppressed);
+  out += ",\"attacked\":" + std::to_string(history.faults.attacked) + "}";
   out += ",\"server\":{\"accepted\":" + std::to_string(history.server.accepted);
   out += ",\"rejected\":" + std::to_string(history.server.total_rejected());
   out += ",\"rejected_nonfinite\":" + std::to_string(history.server.rejected_nonfinite);
   out += ",\"quorum_failures\":" + std::to_string(history.server.quorum_failures) + "}";
+  out += ",\"defense\":{\"active\":" + std::string(history.defense_active ? "true" : "false");
+  out += ",\"rounds_scored\":" + std::to_string(history.defense.rounds_scored);
+  out += ",\"anomalies\":" + std::to_string(history.defense.anomalies);
+  out += ",\"clipped\":" + std::to_string(history.defense.clipped);
+  out += ",\"excluded\":" + std::to_string(history.defense.excluded);
+  out += ",\"quarantine_events\":" + std::to_string(history.defense.quarantine_events);
+  out += ",\"readmissions\":" + std::to_string(history.defense.readmissions);
+  out += ",\"first_anomaly_round\":" + std::to_string(history.defense.first_anomaly_round);
+  out += ",\"reputation\":[";
+  for (std::size_t i = 0; i < history.reputation.size(); ++i) {
+    const ClientReputation& r = history.reputation[i];
+    out += i == 0 ? "{" : ",{";
+    out += "\"client\":" + std::to_string(r.client_id);
+    out += ",\"score\":";
+    obs::json_number_append(out, r.score);
+    out += ",\"quarantined\":" + std::string(r.quarantined ? "true" : "false");
+    out += ",\"flagged_rounds\":" + std::to_string(r.flagged_rounds) + "}";
+  }
+  out += "]}";
   out += ",\"mean_reward_curve\":";
   append_double_array(out, history.mean_reward_curve());
   out += ",\"clients\":[";
@@ -185,10 +205,12 @@ FedTrainer::FedTrainer(FedTrainerConfig config, std::unique_ptr<Aggregator> aggr
 
   if (communication_enabled() && config_.sync_initial_model) {
     // Every client starts from client 0's shared parameters, which also
-    // seeds ψ_G on the server (Algorithm 1's ψ_G^{(0)}).
+    // seeds ψ_G on the server (Algorithm 1's ψ_G^{(0)}) and pins the
+    // architecture's parameter count for upload validation.
     const std::vector<std::uint8_t> init = clients_.front()->make_upload();
     util::ByteReader reader(init);
     server_->set_global_model(reader.read_f32_vector());
+    server_->set_expected_params(server_->global_model().size());
     for (std::size_t i = 1; i < clients_.size(); ++i) clients_[i]->apply_download(init);
   }
 }
@@ -520,7 +542,14 @@ TrainingHistory FedTrainer::snapshot_history() const {
   h.uplink_bytes = bus_->uplink_bytes();
   h.downlink_bytes = bus_->downlink_bytes();
   if (faulty_bus_) h.faults = faulty_bus_->counters();
-  if (server_) h.server = server_->stats();
+  if (server_) {
+    h.server = server_->stats();
+    if (const RobustAggregator* defense = server_->defense()) {
+      h.defense_active = true;
+      h.defense = defense->stats();
+      h.reputation = defense->reputations();
+    }
+  }
   return h;
 }
 

@@ -97,6 +97,12 @@ struct TrainingHistory {
   FaultCounters faults;
   /// Server-side upload validation outcomes.
   ServerStats server;
+  /// Byzantine-defense outcomes (all-zero and inactive when no
+  /// RobustAggregator wraps the aggregation).
+  bool defense_active = false;
+  DefenseStats defense;
+  /// Per-client reputation at snapshot time (defense active only).
+  std::vector<ClientReputation> reputation;
   /// Attention matrices per aggregation round (empty for non-attention
   /// aggregators, which report no weights).
   std::vector<AttentionRoundRecord> attention_rounds;

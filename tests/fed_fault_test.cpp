@@ -13,6 +13,7 @@
 #include "core/presets.hpp"
 #include "fed/attention_aggregator.hpp"
 #include "fed/fedavg.hpp"
+#include "fed/robust_aggregator.hpp"
 #include "fed/trainer.hpp"
 #include "util/serialization.hpp"
 
@@ -342,6 +343,192 @@ TEST(FedTrainerFaults, CheckpointResumeInsideCrashWindowIsBitIdentical) {
   EXPECT_EQ(h.clients[1].episode_rewards, reference.clients[1].episode_rewards);
   EXPECT_EQ(h.clients[1].max_staleness, reference.clients[1].max_staleness);
   EXPECT_EQ(training_history_json(h), training_history_json(reference));
+}
+
+TEST(FedAttack, PayloadTransformsAreDeterministicPerClientAndRound) {
+  FaultPlan plan;
+  plan.seed = 5;
+  const std::vector<float> theta{1.0F, -2.0F, 3.0F};
+  const auto decode = [](const std::vector<std::uint8_t>& p) {
+    util::ByteReader r{std::span<const std::uint8_t>(p)};
+    return r.read_f32_vector();
+  };
+
+  plan.attack_mode = AttackMode::kSignFlip;
+  EXPECT_EQ(decode(attack_payload(encode(theta), plan, 1, 0, nullptr)),
+            (std::vector<float>{-1.0F, 2.0F, -3.0F}));
+
+  plan.attack_mode = AttackMode::kScale;
+  plan.attack_scale = 10.0;
+  EXPECT_EQ(decode(attack_payload(encode(theta), plan, 1, 0, nullptr)),
+            (std::vector<float>{10.0F, -20.0F, 30.0F}));
+
+  plan.attack_mode = AttackMode::kGaussianNoise;
+  const auto noise = attack_payload(encode(theta), plan, 1, 4, nullptr);
+  // No persistent stream: the same (seed, client, round) always yields the
+  // same noise — this is what lets the networked client and the in-process
+  // bus agree byte for byte — while any coordinate change yields fresh noise.
+  EXPECT_EQ(attack_payload(encode(theta), plan, 1, 4, nullptr), noise);
+  EXPECT_NE(attack_payload(encode(theta), plan, 2, 4, nullptr), noise);
+  EXPECT_NE(attack_payload(encode(theta), plan, 1, 5, nullptr), noise);
+  EXPECT_NE(decode(noise), theta);
+  for (const float v : decode(noise)) EXPECT_TRUE(std::isfinite(v));
+
+  plan.attack_mode = AttackMode::kStaleReplay;
+  std::vector<std::uint8_t> cache;
+  const std::vector<float> theta2{9.0F, 8.0F, 7.0F};
+  // Nothing cached yet: round 0 passes through (and primes the cache);
+  // every later round replays the previous upload.
+  EXPECT_EQ(attack_payload(encode(theta), plan, 1, 0, &cache), encode(theta));
+  EXPECT_EQ(attack_payload(encode(theta2), plan, 1, 1, &cache), encode(theta));
+  EXPECT_EQ(attack_payload(encode(theta), plan, 1, 2, &cache), encode(theta2));
+
+  // A payload that is not an f32 vector is passed through untouched.
+  plan.attack_mode = AttackMode::kSignFlip;
+  const std::vector<std::uint8_t> opaque{1, 2, 3};
+  EXPECT_EQ(attack_payload(opaque, plan, 1, 0, nullptr), opaque);
+}
+
+TEST(FedAttack, FaultyBusPoisonsOnlyAttackerUploadsWithValidCrc) {
+  FaultPlan plan;
+  plan.attack_mode = AttackMode::kSignFlip;
+  plan.attackers = {1};
+  FaultyBus bus(2, plan);
+  EXPECT_TRUE(plan.enabled());  // an attack plan alone activates the bus
+  bus.send_to_server(upload(0, 0, {1.0F, 2.0F}));
+  bus.send_to_server(upload(1, 0, {3.0F, 4.0F}));
+  const auto msgs = bus.drain_server();
+  ASSERT_EQ(msgs.size(), 2u);
+  // The honest upload is untouched; the hostile one is sign-flipped but
+  // valid on the wire — CRC re-stamped, so transport checks cannot catch it.
+  EXPECT_EQ(msgs[0].payload, encode({1.0F, 2.0F}));
+  EXPECT_EQ(msgs[1].payload, encode({-3.0F, -4.0F}));
+  EXPECT_TRUE(checksum_ok(msgs[1]));
+  EXPECT_EQ(bus.counters().attacked, 1u);
+}
+
+TEST(FedAttack, ImplicitAttackersAreTheHighestIdsAndSpareClientZero) {
+  FaultPlan plan;
+  plan.attack_mode = AttackMode::kSignFlip;
+  plan.attack_fraction = 0.25;
+  // 8 clients at 25% -> clients 6 and 7 hostile; ψ_G's seed (0) honest.
+  for (const std::size_t c : {0u, 1u, 2u, 3u, 4u, 5u}) EXPECT_FALSE(plan.attacker(c, 8));
+  EXPECT_TRUE(plan.attacker(6, 8));
+  EXPECT_TRUE(plan.attacker(7, 8));
+}
+
+double rel_distance(const std::vector<float>& a, const std::vector<float>& b) {
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    num += d * d;
+    den += static_cast<double>(b[i]) * static_cast<double>(b[i]);
+  }
+  return den > 0.0 ? std::sqrt(num / den) : 0.0;
+}
+
+TEST(FedRobust, OneSignFlipAttackerAmongEightHonestIsNeutralized) {
+  // The acceptance scenario: 1 sign-flip attacker in a 9-client FedAvg
+  // fleet. Plain FedAvg averages the poison straight into ψ_G; the
+  // trimmed-mean defense must keep the final global model close to the
+  // attack-free run's.
+  const auto run = [&](bool attack, bool defend) {
+    FedTrainerConfig cfg = faulty_config(8, 2);  // 4 rounds, all participate
+    if (attack) {
+      cfg.faults.attack_mode = AttackMode::kSignFlip;
+      cfg.faults.attackers = {8};
+    }
+    std::unique_ptr<Aggregator> agg = std::make_unique<FedAvgAggregator>();
+    if (defend) {
+      DefenseConfig dcfg;
+      dcfg.mode = DefenseMode::kTrimmedMean;
+      agg = std::make_unique<RobustAggregator>(std::move(agg), dcfg);
+    }
+    FedTrainer trainer(cfg, std::move(agg), make_clients(9, FedAlgorithm::kFedAvg));
+    TrainingHistory h = trainer.run();
+    return std::make_pair(std::move(h), trainer.server()->global_model());
+  };
+
+  const auto [clean, clean_model] = run(/*attack=*/false, /*defend=*/false);
+  const auto [undefended, undefended_model] = run(/*attack=*/true, /*defend=*/false);
+  const auto [defended, defended_model] = run(/*attack=*/true, /*defend=*/true);
+
+  EXPECT_EQ(undefended.faults.attacked, 4u);  // every round poisoned
+  EXPECT_EQ(defended.faults.attacked, 4u);
+  EXPECT_TRUE(defended.defense_active);
+  EXPECT_GT(defended.defense.anomalies, 0u);
+  EXPECT_GE(defended.defense.first_anomaly_round, 0);
+
+  const double undefended_dist = rel_distance(undefended_model, clean_model);
+  const double defended_dist = rel_distance(defended_model, clean_model);
+  // The defense must recover most of the attack-induced model drift, and
+  // the undefended drift must be measurable to begin with (a 1/9 sign-flip
+  // shifts the plain mean by ~2/9 of the parameter scale every round).
+  EXPECT_GT(undefended_dist, 0.05);
+  EXPECT_LT(defended_dist, undefended_dist / 2.0);
+}
+
+TEST(FedRobust, AttackedDefendedCheckpointResumeIsBitIdentical) {
+  // CheckpointResumeInsideCrashWindowIsBitIdentical, now with a Byzantine
+  // twist: a stale-replay attacker (whose poison depends on cross-round
+  // replay state), uplink drops, and the trimmed-mean defense (whose
+  // reputation/norm-window state evolves every round). Kill + resume must
+  // still be byte-identical, which proves the attack replay cache and the
+  // whole defense state live in the checkpoint.
+  const auto make_cfg = [](std::size_t total_episodes) {
+    FedTrainerConfig cfg = faulty_config(total_episodes, 2);
+    cfg.faults.uplink_drop = 0.2;
+    cfg.faults.seed = 2024;
+    cfg.faults.attack_mode = AttackMode::kStaleReplay;
+    cfg.faults.attackers = {2};
+    return cfg;
+  };
+  const auto make_defended = [] {
+    DefenseConfig dcfg;
+    dcfg.mode = DefenseMode::kTrimmedMean;
+    return std::make_unique<RobustAggregator>(std::make_unique<AttentionAggregator>(), dcfg);
+  };
+  const auto serialized = [](const FedTrainer& trainer) {
+    util::ByteWriter writer;
+    trainer.serialize_state(writer);
+    return writer.take();
+  };
+
+  FedTrainer straight(make_cfg(12), make_defended(), make_clients(3, FedAlgorithm::kPfrlDm));
+  const TrainingHistory reference = straight.run();
+
+  FedTrainer first(make_cfg(6), make_defended(), make_clients(3, FedAlgorithm::kPfrlDm));
+  (void)first.run();
+  const std::vector<std::uint8_t> snapshot = serialized(first);
+
+  FedTrainer resumed(make_cfg(12), make_defended(), make_clients(3, FedAlgorithm::kPfrlDm));
+  util::ByteReader reader{std::span<const std::uint8_t>(snapshot)};
+  resumed.deserialize_state(reader);
+  EXPECT_TRUE(reader.exhausted());
+  const TrainingHistory h = resumed.run();
+
+  EXPECT_EQ(serialized(resumed), serialized(straight));
+  EXPECT_EQ(training_history_json(h), training_history_json(reference));
+  EXPECT_GT(reference.faults.attacked, 0u);
+  EXPECT_TRUE(reference.defense_active);
+}
+
+TEST(FedServerHardening, RejectsLengthMismatchBeforeGlobalModelExists) {
+  // Before any aggregation has produced ψ_G the server has no implicit
+  // parameter count, so a malformed-length vector used to sail through to
+  // the aggregator. set_expected_params pins P from the initial sync.
+  FedServer server(std::make_unique<FedAvgAggregator>());
+  server.set_expected_params(3);
+  EXPECT_EQ(server.expected_params(), 3u);
+  Bus bus(2);
+  const std::vector<std::size_t> all{0, 1};
+  bus.send_to_server(upload(0, 0, {1.0F, 2.0F}));         // wrong P
+  bus.send_to_server(upload(1, 0, {4.0F, 5.0F, 6.0F}));   // right P
+  EXPECT_EQ(server.run_round(bus, 0, all), 1u);
+  EXPECT_EQ(server.stats().rejected_size, 1u);
+  EXPECT_EQ(server.stats().accepted, 1u);
+  EXPECT_EQ(server.global_model(), (std::vector<float>{4.0F, 5.0F, 6.0F}));
 }
 
 TEST(FedTrainerFaults, StalenessCountersTrackMissedDownloads) {

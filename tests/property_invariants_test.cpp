@@ -2,11 +2,15 @@
 // through the full preset → trace → environment → scheduler pipeline.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "core/presets.hpp"
 #include "env/heuristic_policies.hpp"
 #include "env/scheduling_env.hpp"
+#include "fed/fedavg.hpp"
+#include "fed/robust_aggregator.hpp"
 #include "workload/catalog.hpp"
 
 namespace pfrl {
@@ -116,6 +120,73 @@ TEST_P(PipelineInvariants, HybridMixPreservesScheduleability) {
   env::HeuristicScheduler sched(env::HeuristicPolicy::kBestFit, GetParam().seed);
   const sim::EpisodeMetrics m = sched.run_episode(environment);
   EXPECT_GT(m.completed_tasks, 0u);
+}
+
+// The robust reductions are order statistics per coordinate, so two
+// algebraic properties must hold *exactly* (in floats, not within an
+// epsilon): shuffling the participant rows cannot change the result, and
+// every output coordinate lies within the participants' extremes for
+// that coordinate. Both break silently if the reduction ever reverts to
+// accumulation order-dependent arithmetic.
+TEST(RobustReductionInvariants, TrimmedMeanAndMedianArePermutationInvariantAndBounded) {
+  for (const fed::DefenseMode mode : {fed::DefenseMode::kTrimmedMean, fed::DefenseMode::kMedian}) {
+    for (const std::uint64_t seed : {11ULL, 29ULL, 83ULL}) {
+      for (const std::size_t k : {std::size_t{3}, std::size_t{5}, std::size_t{8}}) {
+        const std::size_t p = 17;
+        util::Rng rng(seed * 977 + k);
+        fed::AggregationInput input;
+        input.models = nn::Matrix(k, p);
+        input.client_ids.resize(k);
+        std::iota(input.client_ids.begin(), input.client_ids.end(), 0);
+        for (std::size_t r = 0; r < k; ++r)
+          for (std::size_t c = 0; c < p; ++c)
+            input.models(r, c) = static_cast<float>(rng.normal(0.0, 3.0));
+
+        fed::AggregationInput shuffled;
+        shuffled.models = nn::Matrix(k, p);
+        std::vector<std::size_t> perm(k);
+        std::iota(perm.begin(), perm.end(), std::size_t{0});
+        rng.shuffle(perm);
+        shuffled.client_ids.resize(k);
+        for (std::size_t r = 0; r < k; ++r) {
+          shuffled.client_ids[r] = input.client_ids[perm[r]];
+          std::copy_n(input.models.row(perm[r]).data(), p, shuffled.models.row(r).data());
+        }
+
+        const auto make_agg = [&] {
+          fed::DefenseConfig cfg;
+          cfg.mode = mode;
+          cfg.clip_multiplier = 1e9;    // no clipping: the pure reduction is under test
+          cfg.anomaly_threshold = -2.0;  // cosine can't go below -1: nothing flagged
+          return std::make_unique<fed::RobustAggregator>(std::make_unique<fed::FedAvgAggregator>(),
+                                                         cfg);
+        };
+        const fed::AggregationOutput direct = make_agg()->aggregate(input);
+        const fed::AggregationOutput permuted = make_agg()->aggregate(shuffled);
+
+        ASSERT_EQ(direct.global_model.size(), p);
+        EXPECT_EQ(direct.global_model, permuted.global_model)
+            << fed::defense_mode_name(mode) << " seed=" << seed << " k=" << k;
+
+        for (std::size_t c = 0; c < p; ++c) {
+          float lo = input.models(0, c);
+          float hi = lo;
+          for (std::size_t r = 1; r < k; ++r) {
+            lo = std::min(lo, input.models(r, c));
+            hi = std::max(hi, input.models(r, c));
+          }
+          EXPECT_GE(direct.global_model[c], lo);
+          EXPECT_LE(direct.global_model[c], hi);
+        }
+
+        // Robust modes trade personalization for consensus: every
+        // participant is served the same robust center.
+        ASSERT_EQ(direct.personalized.size(), k);
+        for (const std::vector<float>& row : direct.personalized)
+          EXPECT_EQ(row, direct.global_model);
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

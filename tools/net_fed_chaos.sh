@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Chaos sweep: a 12-client Unix-domain-socket federation where a quarter
+# of the fleet is Byzantine, run against the trimmed-mean defense. Meant
+# for the sanitized (ASan/UBSan) build: every process is instrumented,
+# and the run must stay hang-free purely through the existing quorum
+# deadline and client idle guards — no chaos-specific timeouts inside
+# the protocol.
+#
+#   tools/net_fed_chaos.sh [build-dir] [attack-mode] [defense]
+#
+# attack-mode: sign-flip (default) | scale | gaussian | stale-replay
+# defense:     trimmed (default) | off | clip | median
+#
+# Asserts the server completed all rounds, uploads were actually
+# poisoned, and (for an active defense) anomalies were flagged. Bounded
+# by PFRL_CHAOS_TIMEOUT seconds (default 600).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build"}"
+attack="${2:-sign-flip}"
+defense="${3:-trimmed}"
+pfrldm="${build_dir}/tools/pfrldm"
+timeout_s="${PFRL_CHAOS_TIMEOUT:-600}"
+clients=12
+
+if [ "${PFRL_CHAOS_CHILD:-0}" != "1" ]; then
+  # Overall watchdog before any state exists (see net_fed_e2e.sh).
+  PFRL_CHAOS_CHILD=1 exec timeout -k 20 "$timeout_s" "$0" "$@"
+fi
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/pfrl_netfed_chaos.XXXXXX")"
+pids=()
+cleanup() {
+  local rc=$1
+  for pid in "${pids[@]-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$work"
+  exit "$rc"
+}
+trap 'cleanup $?' EXIT
+trap 'trap - EXIT; cleanup 130' INT
+trap 'trap - EXIT; cleanup 143' TERM
+
+sock="unix:${work}/fed.sock"
+# 12 clients = table 3 cycled (+2); 25% attack fraction = the top 3 ids
+# hostile. ASan is slow, so the schedule is short but still multi-round.
+common=(--table 3 --clients "$clients" --tiny --episodes 8 --algorithm pfrl-dm
+        --seed 11 --log-level warn --attack "${attack}:0.25" --defense "$defense")
+
+echo "== chaos: ${clients}-client UDS fleet, attack=${attack}:0.25 defense=${defense}"
+"$pfrldm" serve --listen "$sock" "${common[@]}" --round-deadline-ms 8000 \
+    --min-participants 2 --summary-out "$work/summary.json" \
+    > "$work/serve.log" 2>&1 &
+serve_pid=$!
+pids+=("$serve_pid")
+sleep 0.5
+
+for i in $(seq 0 $((clients - 1))); do
+  "$pfrldm" client --connect "$sock" --index "$i" "${common[@]}" \
+      --result-out "$work/client$i.json" > "$work/client$i.log" 2>&1 &
+  pids+=("$!")
+done
+
+wait "$serve_pid"
+serve_rc=$?
+client_rc=0
+for pid in "${pids[@]:1}"; do wait "$pid" || client_rc=$?; done
+echo "== serve rc=${serve_rc} worst client rc=${client_rc}"
+cat "$work/summary.json"
+
+[ "$serve_rc" -eq 0 ] || { echo "FAIL: server exited nonzero"; exit 1; }
+[ "$client_rc" -eq 0 ] || { echo "FAIL: a client exited nonzero"; exit 1; }
+
+python3 - "$work/summary.json" "$attack" "$defense" "$clients" <<'EOF'
+import glob, json, os, sys
+summary = json.load(open(sys.argv[1]))
+attack, defense, clients = sys.argv[2], sys.argv[3], int(sys.argv[4])
+assert summary["completed"], f"server did not complete: {summary}"
+assert summary["rounds"] == 4, f"expected 4 rounds, got {summary['rounds']}"
+defended = summary["defense"]
+if defense == "off":
+    assert not defended["active"], f"defense unexpectedly active: {defended}"
+else:
+    assert defended["active"], f"defense not active: {defended}"
+    # stale-replay's first poisoned round replays an *honest* upload, and
+    # replays of slowly-moving parameters may stay within tolerance — every
+    # other mode must be flagged outright.
+    if attack != "stale-replay":
+        assert defended["anomalies"] > 0, f"no anomalies flagged: {defended}"
+        assert defended["first_anomaly_round"] >= 0, defended
+results = [json.load(open(p)) for p in sorted(glob.glob(os.path.dirname(sys.argv[1]) + "/client*.json"))]
+assert len(results) == clients, f"expected {clients} client results, got {len(results)}"
+assert all(r["completed"] for r in results), "a client did not reach Goodbye"
+print("chaos OK: rounds=%d anomalies=%s quarantine_events=%s" %
+      (summary["rounds"], defended.get("anomalies"), defended.get("quarantine_events")))
+EOF
+echo "== net-fed chaos OK"

@@ -16,20 +16,30 @@ build_dir="${1:-"${repo_root}/build"}"
 pfrldm="${build_dir}/tools/pfrldm"
 timeout_s="${PFRL_E2E_TIMEOUT:-300}"
 
+if [ "${PFRL_E2E_CHILD:-0}" != "1" ]; then
+  # Re-exec under an overall timeout (SIGKILL 20s after SIGTERM). This
+  # happens before any state is created: exec does not fire EXIT traps,
+  # so a workdir made in the parent would leak. `timeout` forwards the
+  # child's exit status (124/137 on timeout), so a failed assertion —
+  # including the trace-merge check at the very end — reaches the caller
+  # unchanged through the wrapper.
+  PFRL_E2E_CHILD=1 exec timeout -k 20 "$timeout_s" "$0" "$@"
+fi
+
 work="$(mktemp -d "${TMPDIR:-/tmp}/pfrl_netfed_e2e.XXXXXX")"
 pids=()
 cleanup() {
-  local rc=$?
+  local rc=$1
   for pid in "${pids[@]-}"; do kill -9 "$pid" 2>/dev/null || true; done
   rm -rf "$work"
   exit "$rc"
 }
-trap cleanup EXIT INT TERM
-
-if [ "${PFRL_E2E_CHILD:-0}" != "1" ]; then
-  # Re-exec under an overall timeout (SIGKILL 20s after SIGTERM).
-  PFRL_E2E_CHILD=1 exec timeout -k 20 "$timeout_s" "$0" "$@"
-fi
+# The signal paths must not trust $? — the last command before the signal
+# may well have succeeded, and an interrupted run reporting rc=0 would
+# turn a CI timeout into a green check.
+trap 'cleanup $?' EXIT
+trap 'trap - EXIT; cleanup 130' INT
+trap 'trap - EXIT; cleanup 143' TERM
 
 sock="unix:${work}/fed.sock"
 common=(--table 2 --tiny --episodes 40 --algorithm pfrl-dm --seed 7 --log-level warn)
@@ -107,9 +117,28 @@ print("e2e OK: rejoins=%d rounds_closed_at_deadline=%d laggard_rounds=%d"
 EOF
 
 echo "== stitching per-process traces into one timeline"
+# Failure-injection knob (used by CI to verify this script's nonzero-exit
+# propagation end to end, through the timeout re-exec and the traps): an
+# extra trace file with a fed/round span whose parent id exists nowhere
+# must make the merge check — and therefore this script — fail.
+if [ "${PFRL_E2E_INJECT:-}" = "orphan-round" ]; then
+  echo "== PFRL_E2E_INJECT=orphan-round: planting an orphaned fed/round span"
+  cat > "$work/trace-injected.jsonl" <<'EOF'
+{"meta":"pfrl-trace/1","pid":99999,"host":"inject","wall_epoch_us":0}
+{"name":"fed/round","parent":"","ts_us":1,"dur_us":5,"trace":"feedfacefeedface","span":"1badd00d1badd00d","pspan":"deadbeefdeadbeef"}
+EOF
+fi
 # --check-round-parents asserts every client fed/round span is a child of
 # a server fed/round span (trace context propagated over the wire); the
 # SIGKILLed first life of client 2 exercises truncated-tail tolerance.
+# The rc is captured explicitly rather than left to set -e so the failure
+# is named in the log before the EXIT trap reports it.
+merge_rc=0
 python3 "${repo_root}/tools/pfrl_trace_merge.py" \
     --check-round-parents --out "$work/merged_trace.json" \
-    "$work"/trace-*.jsonl
+    "$work"/trace-*.jsonl || merge_rc=$?
+if [ "${merge_rc}" -ne 0 ]; then
+  echo "FAIL: trace merge --check-round-parents exited ${merge_rc}" >&2
+  exit "${merge_rc}"
+fi
+echo "== net-fed e2e OK"

@@ -101,6 +101,15 @@ int usage() {
       "           [--tenants N] [--requests N] [--window N] [--summary-out FILE]\n"
       "endpoints: unix:/path/to.sock or host:port (port 0 = ephemeral)\n"
       "algorithms: pfrl-dm fedavg mfpo fedprox fedkl ppo\n"
+      "fleet sizing (train / serve / client):\n"
+      "  --clients N          resize the fleet to N clients, cycling the\n"
+      "                       chosen table's presets when N exceeds it\n"
+      "robustness (train / serve / client):\n"
+      "  --defense MODE       off|clip|trimmed|median — Byzantine-robust\n"
+      "                       aggregation with anomaly scoring + quarantine\n"
+      "  --attack MODE[:F]    inject adversarial uploads from a fraction F\n"
+      "                       (default 0.25) of clients: sign-flip, scale,\n"
+      "                       gaussian, stale-replay\n"
       "global options:\n"
       "  --log-level LEVEL    debug|info|warn|error|off (default info)\n"
       "  --metrics-out FILE   write a CSV metrics/span snapshot at exit\n"
@@ -253,11 +262,36 @@ core::FederationConfig federation_config(const util::Cli& cli) {
   cfg.envs_per_client = static_cast<std::size_t>(cli.get_int("envs-per-client", 1));
   if (cfg.envs_per_client == 0)
     throw std::invalid_argument("--envs-per-client must be at least 1");
+  cfg.defense.mode = fed::parse_defense_mode(cli.get("defense", "off"));
+  const std::string attack = cli.get("attack", "");
+  if (!attack.empty()) {
+    // mode[:fraction], e.g. "sign-flip:0.25". Both serve and client parse
+    // the same flag, so attacker identity (derived from fraction × fleet
+    // size) agrees across the processes of a networked federation.
+    const std::size_t colon = attack.find(':');
+    cfg.faults.attack_mode = fed::parse_attack_mode(attack.substr(0, colon));
+    cfg.faults.attack_fraction =
+        colon == std::string::npos ? 0.25 : std::stod(attack.substr(colon + 1));
+    if (cfg.faults.attack_fraction < 0.0 || cfg.faults.attack_fraction > 1.0)
+      throw std::invalid_argument("--attack fraction must be in [0, 1]");
+  }
   return cfg;
 }
 
 std::vector<core::ClientPreset> presets_for(const util::Cli& cli) {
-  return cli.get_int("table", 3) == 2 ? core::table2_clients() : core::table3_clients();
+  std::vector<core::ClientPreset> presets =
+      cli.get_int("table", 3) == 2 ? core::table2_clients() : core::table3_clients();
+  // --clients N shrinks or (cycling the table) grows the fleet — chaos
+  // sweeps want more processes than the paper has presets. Every process
+  // of a networked federation must agree on N or the arch hash check
+  // rejects the handshake.
+  const auto n = static_cast<std::size_t>(cli.get_int("clients", 0));
+  if (n > 0 && n != presets.size()) {
+    const std::size_t base = presets.size();
+    presets.resize(n);
+    for (std::size_t i = base; i < n; ++i) presets[i] = presets[i % base];
+  }
+  return presets;
 }
 
 int cmd_datasets() {
@@ -365,6 +399,9 @@ std::unique_ptr<obs::RunReporter> make_run_reporter(const util::Cli& cli,
                                std::to_string(cfg.participants_per_round));
   manifest.config.emplace_back("min_participants", std::to_string(cfg.min_participants));
   manifest.config.emplace_back("envs_per_client", std::to_string(cfg.envs_per_client));
+  manifest.config.emplace_back("defense", fed::defense_mode_name(cfg.defense.mode));
+  manifest.config.emplace_back("attack", fed::attack_mode_name(cfg.faults.attack_mode));
+  manifest.config.emplace_back("attack_fraction", std::to_string(cfg.faults.attack_fraction));
   for (std::size_t i = 0; i < federation.client_count(); ++i)
     manifest.config.emplace_back("preset." + std::to_string(i),
                                  workload::dataset_name(federation.preset(i).dataset));

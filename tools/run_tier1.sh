@@ -46,4 +46,11 @@ run_stage configure cmake -B "${build_dir}" -S "${repo_root}" ${CMAKE_ARGS:-}
 run_stage build cmake --build "${build_dir}" -j "${jobs}"
 run_stage test ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
   --timeout "${per_test_timeout}"
+# Opt-in multi-process smoke (PFRL_TIER1_E2E=1): the socket federation
+# e2e, run through the same remaining-budget timeout wrapper as the other
+# stages so its exit status — including a trace-merge assertion failure —
+# fails the run rather than vanishing behind the wrapper.
+if [ "${PFRL_TIER1_E2E:-0}" = "1" ]; then
+  run_stage net-fed-e2e "${repo_root}/tools/net_fed_e2e.sh" "${build_dir}"
+fi
 echo "tier1: all stages passed"
